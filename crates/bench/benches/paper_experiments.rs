@@ -1,0 +1,139 @@
+//! Criterion benchmarks regenerating every table and figure of the MUTLS
+//! evaluation (§V).  Each group corresponds to one paper artefact; the
+//! generated tables are printed to stderr once per group so `cargo bench`
+//! output doubles as the experiment record (see EXPERIMENTS.md).
+
+use std::sync::Arc;
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mutls_harness::{
+    figure10, figure11, figure3, figure4, figure5, figure6, figure7, figure8, figure9, table2,
+    ExperimentConfig,
+};
+use mutls_membuf::GlobalMemory;
+use mutls_simcpu::{record_region, simulate, SimConfig};
+use mutls_workloads::{arena_bytes, run_speculative, setup, Scale, WorkloadKind};
+
+fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: Scale::Tiny,
+        cpus: vec![1, 4, 16, 64],
+        seed: 0xAB5C155A,
+    }
+}
+
+static PRINT_TABLES: Once = Once::new();
+
+/// Print every regenerated table once, so the bench run records the
+/// measured figure data alongside the timing numbers.
+fn print_tables_once() {
+    PRINT_TABLES.call_once(|| {
+        let config = bench_config();
+        eprintln!("{}", table2(&config).1);
+        eprintln!("{}", figure3(&config).1);
+        eprintln!("{}", figure4(&config).1);
+        eprintln!("{}", figure5(&config).1);
+        eprintln!("{}", figure6(&config).1);
+        eprintln!("{}", figure7(&config).1);
+        eprintln!("{}", figure8(&config).1);
+        eprintln!("{}", figure9(&config).1);
+        eprintln!("{}", figure10(&config).1);
+        eprintln!("{}", figure11(&config).1);
+    });
+}
+
+/// Table II / figures 3-4 substrate: recording + simulating each workload.
+fn bench_workload_simulation(c: &mut Criterion) {
+    print_tables_once();
+    let mut group = c.benchmark_group("table2_workloads");
+    group.sample_size(10);
+    for kind in WorkloadKind::ALL {
+        let memory = Arc::new(GlobalMemory::new(arena_bytes(kind, Scale::Tiny)));
+        let data = setup(kind, Scale::Tiny, &memory);
+        let recording = record_region(Arc::clone(&memory), |ctx| run_speculative(ctx, &data));
+        group.bench_with_input(BenchmarkId::new("simulate_16cpu", kind.name()), &recording, |b, rec| {
+            b.iter(|| simulate(rec, SimConfig::with_cpus(16)).speedup())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 3: speedup sweep of the computation-intensive applications.
+fn bench_fig3_speedup_compute(c: &mut Criterion) {
+    print_tables_once();
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig3_speedup_compute");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| b.iter(|| figure3(&config).0.len()));
+    group.finish();
+}
+
+/// Figure 4: speedup sweep of the memory-intensive applications.
+fn bench_fig4_speedup_memory(c: &mut Criterion) {
+    print_tables_once();
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig4_speedup_memory");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| b.iter(|| figure4(&config).0.len()));
+    group.finish();
+}
+
+/// Figures 5-7: efficiency metrics over all benchmarks.
+fn bench_fig5to7_efficiencies(c: &mut Criterion) {
+    print_tables_once();
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig5_6_7_efficiencies");
+    group.sample_size(10);
+    group.bench_function("fig5_critical_path", |b| b.iter(|| figure5(&config).0.len()));
+    group.bench_function("fig6_speculative_path", |b| b.iter(|| figure6(&config).0.len()));
+    group.bench_function("fig7_power", |b| b.iter(|| figure7(&config).0.len()));
+    group.finish();
+}
+
+/// Figures 8-9: per-phase breakdowns.
+fn bench_fig8to9_breakdowns(c: &mut Criterion) {
+    print_tables_once();
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig8_9_breakdowns");
+    group.sample_size(10);
+    group.bench_function("fig8_critical_breakdown", |b| b.iter(|| figure8(&config).0.len()));
+    group.bench_function("fig9_speculative_breakdown", |b| b.iter(|| figure9(&config).0.len()));
+    group.finish();
+}
+
+/// Figure 10: forking-model comparison on the tree-recursion benchmarks.
+fn bench_fig10_fork_models(c: &mut Criterion) {
+    print_tables_once();
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig10_fork_models");
+    group.sample_size(10);
+    group.bench_function("comparison", |b| b.iter(|| figure10(&config).0.len()));
+    group.finish();
+}
+
+/// Figure 11: rollback sensitivity.
+fn bench_fig11_rollback_sensitivity(c: &mut Criterion) {
+    print_tables_once();
+    let config = ExperimentConfig {
+        cpus: vec![16],
+        ..bench_config()
+    };
+    let mut group = c.benchmark_group("fig11_rollback_sensitivity");
+    group.sample_size(10);
+    group.bench_function("sensitivity", |b| b.iter(|| figure11(&config).0.len()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_workload_simulation,
+    bench_fig3_speedup_compute,
+    bench_fig4_speedup_memory,
+    bench_fig5to7_efficiencies,
+    bench_fig8to9_breakdowns,
+    bench_fig10_fork_models,
+    bench_fig11_rollback_sensitivity,
+);
+criterion_main!(benches);

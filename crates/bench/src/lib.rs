@@ -1,0 +1,3 @@
+//! Benchmark-only crate: see `benches/paper_experiments.rs`, which
+//! regenerates every table and figure of the MUTLS evaluation under
+//! `cargo bench`.

@@ -1,0 +1,93 @@
+//! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
+//!
+//! ```text
+//! mutls-experiments <fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|table2|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...]
+//! ```
+
+use std::process::ExitCode;
+
+use mutls_harness::{
+    figure10, figure11, figure3, figure4, figure5, figure6, figure7, figure8, figure9, table2,
+    ExperimentConfig,
+};
+use mutls_workloads::Scale;
+
+fn parse_args() -> Result<(Vec<String>, ExperimentConfig), String> {
+    let mut config = ExperimentConfig::default();
+    let mut selected = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                config.scale = match value.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "scaled" => Scale::Scaled,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale: {other}")),
+                };
+            }
+            "--cpus" => {
+                let value = args.next().ok_or("--cpus needs a value")?;
+                config.cpus = value
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                config.seed = value.parse().map_err(|_| "bad seed".to_string())?;
+            }
+            other if !other.starts_with("--") => selected.push(other.to_string()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    Ok((selected, config))
+}
+
+fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), String> {
+    match name {
+        "table2" => println!("{}", table2(config).1),
+        "fig3" => println!("{}", figure3(config).1),
+        "fig4" => println!("{}", figure4(config).1),
+        "fig5" => println!("{}", figure5(config).1),
+        "fig6" => println!("{}", figure6(config).1),
+        "fig7" => println!("{}", figure7(config).1),
+        "fig8" => println!("{}", figure8(config).1),
+        "fig9" => println!("{}", figure9(config).1),
+        "fig10" => println!("{}", figure10(config).1),
+        "fig11" => println!("{}", figure11(config).1),
+        "all" => {
+            for exp in [
+                "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            ] {
+                run_one(exp, config)?;
+            }
+        }
+        other => return Err(format!("unknown experiment: {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (selected, config) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: mutls-experiments <fig3..fig11|table2|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    for name in &selected {
+        if let Err(e) = run_one(name, &config) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,35 @@
+//! # mutls-harness — experiment harness regenerating the paper's evaluation
+//!
+//! Every table and figure of the MUTLS evaluation (§V) has a corresponding
+//! generator here:
+//!
+//! | Paper artefact | Generator |
+//! |----------------|-----------|
+//! | Table II (benchmarks)                | [`table2`] |
+//! | Fig. 3 (speedup, computation-intensive) | [`figure3`] |
+//! | Fig. 4 (speedup, memory-intensive)      | [`figure4`] |
+//! | Fig. 5 (critical path efficiency)       | [`figure5`] |
+//! | Fig. 6 (speculative path efficiency)    | [`figure6`] |
+//! | Fig. 7 (power efficiency)               | [`figure7`] |
+//! | Fig. 8 (critical path breakdown)        | [`figure8`] |
+//! | Fig. 9 (speculative path breakdown)     | [`figure9`] |
+//! | Fig. 10 (forking model comparison)      | [`figure10`] |
+//! | Fig. 11 (rollback sensitivity)          | [`figure11`] |
+//!
+//! The `mutls-experiments` binary wraps these functions; the Criterion
+//! benches in `crates/bench` regenerate the same rows under `cargo bench`.
+//!
+//! All experiments run on the deterministic multicore simulator
+//! (`mutls-simcpu`), which substitutes for the paper's 64-core AMD Opteron
+//! testbed (see `DESIGN.md` §2), so they are reproducible on any host.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    breakdown, figure10, figure11, figure3, figure4, figure5, figure6, figure7, figure8, figure9,
+    record_workload, speedup_sweep, table2, BreakdownRow, ExperimentConfig, MetricKind, SweepRow,
+};
+pub use report::{format_breakdown_table, format_sweep_table, Table};

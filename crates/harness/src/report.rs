@@ -1,0 +1,151 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+}
+
+/// Render a speedup/efficiency sweep as a table: one row per CPU count and
+/// one column per workload.
+pub fn format_sweep_table(
+    title: &str,
+    cpus: &[usize],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    let mut headers = vec!["CPUs".to_string()];
+    headers.extend(series.iter().map(|(name, _)| name.clone()));
+    let mut table = Table {
+        title: title.to_string(),
+        headers,
+        rows: Vec::new(),
+    };
+    for (i, &n) in cpus.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for (_, values) in series {
+            row.push(format!("{:.2}", values.get(i).copied().unwrap_or(f64::NAN)));
+        }
+        table.push_row(row);
+    }
+    table.render()
+}
+
+/// Render a per-phase breakdown (one row per CPU count, one column per
+/// phase, values are percentages).
+pub fn format_breakdown_table(
+    title: &str,
+    cpus: &[usize],
+    phases: &[&str],
+    rows: &[Vec<f64>],
+) -> String {
+    let mut headers = vec!["CPUs".to_string()];
+    headers.extend(phases.iter().map(|p| p.to_string()));
+    let mut table = Table {
+        title: title.to_string(),
+        headers,
+        rows: Vec::new(),
+    };
+    for (i, &n) in cpus.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for value in &rows[i] {
+            row.push(format!("{:5.1}%", value * 100.0));
+        }
+        table.push_row(row);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["fft".into(), "3.72".into()]);
+        t.push_row(vec!["matmult".into(), "2.01".into()]);
+        let text = t.render();
+        assert!(text.contains("# demo"));
+        assert!(text.contains("fft"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn sweep_table_has_one_row_per_cpu() {
+        let text = format_sweep_table(
+            "speedup",
+            &[1, 2, 4],
+            &[("fft".to_string(), vec![1.0, 1.8, 3.1])],
+        );
+        assert_eq!(text.lines().count(), 3 + 3);
+        assert!(text.contains("3.10"));
+    }
+
+    #[test]
+    fn breakdown_table_formats_percentages() {
+        let text = format_breakdown_table(
+            "breakdown",
+            &[2],
+            &["work", "idle"],
+            &[vec![0.75, 0.25]],
+        );
+        assert!(text.contains("75.0%"));
+        assert!(text.contains("25.0%"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Read-set/write-set buffering of non-local memory accesses (paper §IV-G2).
+//!
+//! Every speculative thread owns one [`GlobalBuffer`].  Writes to the global
+//! address space are redirected into the write-set; loads return the value
+//! from the write-set if present, else from the read-set, else the value is
+//! loaded from main memory and recorded in the read-set.
+//!
+//! Conflicts only occur when a speculative thread reads an address before a
+//! logically earlier thread writes it, so validation simply re-reads every
+//! read-set entry from main memory and compares; commit then publishes the
+//! write-set (masked by the bytes actually written).
+
+use crate::error::BufferError;
+use crate::memory::{Addr, MainMemory, WORD_BYTES};
+use crate::wordmap::{byte_mask, WordMap};
+
+/// Capacity configuration of a speculative thread's buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferConfig {
+    /// Direct-mapped slots in the read-set.
+    pub read_capacity_words: usize,
+    /// Direct-mapped slots in the write-set.
+    pub write_capacity_words: usize,
+    /// Entries in each overflow area.
+    pub overflow_capacity: usize,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        // Defaults sized for the paper's memory-intensive benchmarks
+        // (2^20 doubles FFT working set split across recursive tasks).
+        BufferConfig {
+            read_capacity_words: 1 << 16,
+            write_capacity_words: 1 << 16,
+            overflow_capacity: 1 << 10,
+        }
+    }
+}
+
+impl BufferConfig {
+    /// A deliberately tiny configuration useful in tests that exercise
+    /// overflow and rollback paths.
+    pub fn tiny() -> Self {
+        BufferConfig {
+            read_capacity_words: 16,
+            write_capacity_words: 16,
+            overflow_capacity: 4,
+        }
+    }
+}
+
+/// Counters describing buffer activity, consumed by the statistics layer
+/// and the discrete-event simulator cost model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Speculative loads served (any source).
+    pub loads: u64,
+    /// Speculative stores buffered.
+    pub stores: u64,
+    /// Loads that had to touch main memory (read-set misses).
+    pub memory_loads: u64,
+    /// Words validated at join time.
+    pub validated_words: u64,
+    /// Words committed at join time.
+    pub committed_words: u64,
+    /// Hash conflicts that landed in the overflow area.
+    pub overflow_events: u64,
+}
+
+/// Per-thread buffering of global (static/heap/non-speculative-stack) data.
+#[derive(Debug)]
+pub struct GlobalBuffer {
+    read_set: WordMap,
+    write_set: WordMap,
+    stats: BufferStats,
+}
+
+impl GlobalBuffer {
+    /// Create a buffer with the given capacities.
+    pub fn new(config: BufferConfig) -> Self {
+        GlobalBuffer {
+            read_set: WordMap::new(config.read_capacity_words, config.overflow_capacity),
+            write_set: WordMap::new(config.write_capacity_words, config.overflow_capacity),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Activity counters accumulated since the last [`clear`](Self::clear).
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Number of words currently buffered in the read-set.
+    pub fn read_set_len(&self) -> usize {
+        self.read_set.len()
+    }
+
+    /// Number of words currently buffered in the write-set.
+    pub fn write_set_len(&self) -> usize {
+        self.write_set.len()
+    }
+
+    /// True if either set had to spill into its overflow area; the runtime
+    /// stalls the thread at its next check point in that case.
+    pub fn overflow_pending(&self) -> bool {
+        self.read_set.overflow_pending() || self.write_set.overflow_pending()
+    }
+
+    fn split(addr: Addr, size: u64) -> Result<(Addr, u64), BufferError> {
+        if size == 0 || (size < WORD_BYTES && WORD_BYTES % size != 0) {
+            return Err(BufferError::UnsupportedSize);
+        }
+        if addr % size.min(WORD_BYTES) != 0 {
+            return Err(BufferError::Misaligned);
+        }
+        let word_addr = addr & !(WORD_BYTES - 1);
+        let offset = addr - word_addr;
+        Ok((word_addr, offset))
+    }
+
+    /// Speculatively load `size` bytes (1, 2, 4 or 8) at `addr`.
+    ///
+    /// The value is returned in the low bits of the result.
+    pub fn load(
+        &mut self,
+        mem: &dyn MainMemory,
+        addr: Addr,
+        size: u64,
+    ) -> Result<u64, BufferError> {
+        self.stats.loads += 1;
+        let (word_addr, offset) = Self::split(addr, size)?;
+        let mask = byte_mask(offset, size.min(WORD_BYTES))?;
+        let word = self.load_word(mem, word_addr)?;
+        // Overlay any bytes the thread itself has written.
+        let word = match self.write_set.get(word_addr) {
+            Some(w) => (word & !w.mask) | (w.data & w.mask),
+            None => word,
+        };
+        Ok((word & mask) >> (offset * 8))
+    }
+
+    /// Load a full word, recording it in the read-set on first access.
+    fn load_word(&mut self, mem: &dyn MainMemory, word_addr: Addr) -> Result<u64, BufferError> {
+        // A word fully covered by the thread's own writes carries no read
+        // dependence; skip the read-set so no false conflict can arise.
+        if let Some(w) = self.write_set.get(word_addr) {
+            if w.mask == u64::MAX {
+                return Ok(w.data);
+            }
+        }
+        if let Some(r) = self.read_set.get(word_addr) {
+            return Ok(r.data);
+        }
+        self.stats.memory_loads += 1;
+        let value = mem.read_word(word_addr);
+        match self.read_set.insert_word(word_addr, value) {
+            Ok(()) => {}
+            Err(BufferError::OverflowPending) => self.stats.overflow_events += 1,
+            Err(e) => return Err(e),
+        }
+        Ok(value)
+    }
+
+    /// Speculatively store the low `size` bytes of `value` at `addr`.
+    pub fn store(&mut self, addr: Addr, value: u64, size: u64) -> Result<(), BufferError> {
+        self.stats.stores += 1;
+        let (word_addr, offset) = Self::split(addr, size)?;
+        let mask = byte_mask(offset, size.min(WORD_BYTES))?;
+        match self.write_set.merge(word_addr, value << (offset * 8), mask) {
+            Ok(()) => Ok(()),
+            Err(BufferError::OverflowPending) => {
+                self.stats.overflow_events += 1;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Validate the read-set against main memory.
+    ///
+    /// Returns `true` when every read value still matches main memory —
+    /// i.e. no logically earlier thread wrote any address this thread read.
+    pub fn validate(&mut self, mem: &dyn MainMemory) -> bool {
+        for entry in self.read_set.iter() {
+            self.stats.validated_words += 1;
+            if mem.read_word(entry.addr) != entry.data {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Commit the write-set to main memory.
+    ///
+    /// Only bytes actually written are published; a fully written word is
+    /// committed with a single word store (the paper's "-1 mark" fast
+    /// path).
+    pub fn commit(&mut self, mem: &dyn MainMemory) {
+        for entry in self.write_set.iter() {
+            self.stats.committed_words += 1;
+            if entry.mask == u64::MAX {
+                mem.write_word(entry.addr, entry.data);
+            } else {
+                mem.write_word_masked(entry.addr, entry.data, entry.mask);
+            }
+        }
+    }
+
+    /// Discard all buffered state and reset the overflow flag
+    /// (finalization after commit, or rollback).
+    pub fn clear(&mut self) {
+        self.read_set.clear();
+        self.write_set.clear();
+        self.stats = BufferStats::default();
+    }
+
+    /// Iterate over the addresses currently in the read-set (used by the
+    /// discrete-event simulator for deterministic conflict detection).
+    pub fn read_addresses(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.read_set.iter().map(|e| e.addr)
+    }
+
+    /// Iterate over the addresses currently in the write-set.
+    pub fn write_addresses(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.write_set.iter().map(|e| e.addr)
+    }
+
+    /// Iterate over the read-set entries (address, first-read data, mask).
+    pub fn read_entries(&self) -> impl Iterator<Item = crate::wordmap::WordEntry> + '_ {
+        self.read_set.iter()
+    }
+
+    /// Iterate over the write-set entries (address, buffered data, mask).
+    pub fn write_entries(&self) -> impl Iterator<Item = crate::wordmap::WordEntry> + '_ {
+        self.write_set.iter()
+    }
+
+    /// Validate the read-set against an arbitrary memory *view*.
+    ///
+    /// The view maps a word-aligned address to its current value; a
+    /// speculative parent joining its own child uses "parent write-set
+    /// overlaid on main memory" as the view, the non-speculative thread
+    /// uses main memory directly.
+    pub fn validate_view<F: Fn(Addr) -> u64>(&mut self, view: F) -> bool {
+        for entry in self.read_set.iter() {
+            self.stats.validated_words += 1;
+            if view(entry.addr) != entry.data {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Absorb a (validated) child buffer into this one: the child's writes
+    /// become this thread's writes and the child's read dependences become
+    /// this thread's read dependences, so they are re-validated when this
+    /// thread itself is eventually joined.
+    ///
+    /// Used when a *speculative* parent joins its own speculative child —
+    /// nothing may reach main memory until the whole subtree is joined by
+    /// the non-speculative thread.
+    pub fn absorb(&mut self, child: &GlobalBuffer) -> Result<(), BufferError> {
+        for entry in child.read_set.iter() {
+            // A word this thread has already fully written carries no read
+            // dependence for the subtree; and if we already recorded a read
+            // for it, the earlier (first) read is the one to validate.
+            let fully_written = self
+                .write_set
+                .get(entry.addr)
+                .map(|w| w.mask == u64::MAX)
+                .unwrap_or(false);
+            if fully_written || self.read_set.get(entry.addr).is_some() {
+                continue;
+            }
+            match self.read_set.insert_word(entry.addr, entry.data) {
+                Ok(()) | Err(BufferError::OverflowPending) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for entry in child.write_set.iter() {
+            self.stats.committed_words += 1;
+            match self.write_set.merge(entry.addr, entry.data, entry.mask) {
+                Ok(()) | Err(BufferError::OverflowPending) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::GlobalMemory;
+
+    fn setup() -> (GlobalMemory, GlobalBuffer) {
+        let mem = GlobalMemory::new(4096);
+        let buf = GlobalBuffer::new(BufferConfig::default());
+        (mem, buf)
+    }
+
+    #[test]
+    fn load_reads_through_to_memory_once() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(4);
+        mem.set(&p, 0, 77);
+        let a = p.addr_of(0);
+        assert_eq!(buf.load(&mem, a, 8).unwrap(), 77);
+        // Memory changes after first read are not observed again (the
+        // read-set caches the first value) — exactly what validation later
+        // checks against.
+        mem.set(&p, 0, 99);
+        assert_eq!(buf.load(&mem, a, 8).unwrap(), 77);
+        assert_eq!(buf.stats().memory_loads, 1);
+        assert_eq!(buf.stats().loads, 2);
+    }
+
+    #[test]
+    fn store_then_load_returns_buffered_value_without_touching_memory() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(1);
+        mem.set(&p, 0, 5);
+        let a = p.addr_of(0);
+        buf.store(a, 123, 8).unwrap();
+        assert_eq!(buf.load(&mem, a, 8).unwrap(), 123);
+        // Main memory untouched until commit.
+        assert_eq!(mem.get(&p, 0), 5);
+        // Fully-written word produces no read-set entry → no false conflict.
+        assert_eq!(buf.read_set_len(), 0);
+    }
+
+    #[test]
+    fn partial_store_overlays_memory_bytes() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(1);
+        mem.set(&p, 0, 0x1111_2222_3333_4444);
+        let a = p.addr_of(0);
+        buf.store(a, 0xAAAA, 2).unwrap();
+        assert_eq!(buf.load(&mem, a, 8).unwrap(), 0x1111_2222_3333_AAAA);
+        assert_eq!(buf.load(&mem, a + 4, 4).unwrap(), 0x1111_2222);
+    }
+
+    #[test]
+    fn validate_detects_conflicting_write() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(2);
+        mem.set(&p, 0, 10);
+        let _ = buf.load(&mem, p.addr_of(0), 8).unwrap();
+        assert!(buf.validate(&mem));
+        // A logically earlier thread writes the address we read.
+        mem.set(&p, 0, 11);
+        assert!(!buf.validate(&mem));
+    }
+
+    #[test]
+    fn validate_ignores_addresses_only_written() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(1);
+        buf.store(p.addr_of(0), 3, 8).unwrap();
+        mem.set(&p, 0, 100);
+        // Write-after-write is not a conflict in this model.
+        assert!(buf.validate(&mem));
+    }
+
+    #[test]
+    fn commit_publishes_only_written_bytes() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(2);
+        mem.set(&p, 0, 0xFFFF_FFFF_FFFF_FFFF);
+        buf.store(p.addr_of(0), 0xAB, 1).unwrap();
+        buf.store(p.addr_of(1), 0x1234_5678_9ABC_DEF0, 8).unwrap();
+        buf.commit(&mem);
+        assert_eq!(mem.get(&p, 0), 0xFFFF_FFFF_FFFF_FFAB);
+        assert_eq!(mem.get(&p, 1), 0x1234_5678_9ABC_DEF0);
+        assert_eq!(buf.stats().committed_words, 2);
+    }
+
+    #[test]
+    fn clear_discards_buffered_writes() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(1);
+        buf.store(p.addr_of(0), 42, 8).unwrap();
+        buf.clear();
+        buf.commit(&mem);
+        assert_eq!(mem.get(&p, 0), 0);
+        assert_eq!(buf.write_set_len(), 0);
+        assert_eq!(buf.stats(), BufferStats::default());
+    }
+
+    #[test]
+    fn misaligned_and_bad_sizes_are_rejected() {
+        let (mem, mut buf) = setup();
+        assert_eq!(buf.load(&mem, 9, 8).unwrap_err(), BufferError::Misaligned);
+        assert_eq!(buf.load(&mem, 8, 3).unwrap_err(), BufferError::UnsupportedSize);
+        assert_eq!(buf.store(10, 0, 4).unwrap_err(), BufferError::Misaligned);
+    }
+
+    #[test]
+    fn overflow_is_reported_and_survivable() {
+        let mem = GlobalMemory::new(1 << 14);
+        let mut buf = GlobalBuffer::new(BufferConfig::tiny());
+        let p = mem.alloc::<u64>(64);
+        // 16 direct slots: indices 0..15 occupy every slot, 16 and 17 then
+        // collide and must land in the overflow area without failing.
+        for i in 0..18 {
+            buf.store(p.addr_of(i), i as u64, 8).unwrap();
+        }
+        assert!(buf.overflow_pending());
+        assert_eq!(buf.stats().overflow_events, 2);
+        // The overflowed data is still readable and committable.
+        assert_eq!(buf.load(&mem, p.addr_of(16), 8).unwrap(), 16);
+        buf.commit(&mem);
+        assert_eq!(mem.get(&p, 17), 17);
+    }
+
+    #[test]
+    fn read_and_write_address_iterators() {
+        let (mem, mut buf) = setup();
+        let p = mem.alloc::<u64>(4);
+        let _ = buf.load(&mem, p.addr_of(1), 8).unwrap();
+        buf.store(p.addr_of(2), 9, 8).unwrap();
+        let reads: Vec<_> = buf.read_addresses().collect();
+        let writes: Vec<_> = buf.write_addresses().collect();
+        assert_eq!(reads, vec![p.addr_of(1)]);
+        assert_eq!(writes, vec![p.addr_of(2)]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # mutls-membuf — speculative memory buffering for MUTLS
+//!
+//! This crate implements the memory-buffering substrate of the MUTLS
+//! software thread-level-speculation runtime (Cao & Verbrugge, ICPP 2013,
+//! §IV-G):
+//!
+//! * [`WordMap`] — the *static-memory* word-granular hash map used for both
+//!   the read-set and the write-set of a speculative thread.  It is built
+//!   from a data `buffer`, an `addresses` array, an `offsets` stack and a
+//!   per-byte `mark` array, plus a small linear *overflow* buffer used when
+//!   a hash slot collision occurs.
+//! * [`GlobalBuffer`] — read-set/write-set pair with load/store redirection,
+//!   validation against main memory and (masked) commit.
+//! * [`LocalBuffer`] — register/stack variable transfer between parent and
+//!   speculative child threads at fork and join, including the pointer
+//!   mapping mechanism and explicit stack-frame tracking used for stack
+//!   frame reconstruction.
+//! * [`GlobalMemory`] — a word-addressable shared main-memory arena
+//!   (the "global address space") built from relaxed atomics so that the
+//!   benign read/write races inherent to speculation are well defined.
+//! * [`AddressSpace`] — registration of static/heap/stack address ranges so
+//!   speculative accesses to unregistered addresses force a rollback.
+//!
+//! The crate is deliberately free of any threading policy: it only provides
+//! the data structures that `mutls-runtime` coordinates.
+
+#![warn(missing_docs)]
+
+pub mod address_space;
+pub mod error;
+pub mod global_buffer;
+pub mod local_buffer;
+pub mod memory;
+pub mod wordmap;
+
+pub use address_space::AddressSpace;
+pub use error::{BufferError, SpecFailure};
+pub use global_buffer::{BufferConfig, BufferStats, GlobalBuffer};
+pub use local_buffer::{LocalBuffer, LocalBufferConfig, RegisterValue};
+pub use memory::{Addr, GPtr, GlobalMemory, MainMemory, WORD_BYTES};
+pub use wordmap::{WordEntry, WordMap};

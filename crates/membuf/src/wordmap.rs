@@ -1,0 +1,345 @@
+//! The static-memory, word-granular hash map of MUTLS (paper §IV-G2).
+//!
+//! The paper avoids dynamically growing hash maps (whose rehashing cost
+//! would land on the speculative fast path) by using three statically sized
+//! arrays:
+//!
+//! * `buffer`    — one data word per slot,
+//! * `addresses` — the word-aligned address occupying a slot (0 = empty),
+//! * `offsets`   — a stack of used slot indices so that validation, commit
+//!   and finalization of threads touching little data stay proportional to
+//!   the amount of data actually touched, not the capacity,
+//!
+//! plus a per-byte `mark` array recording which bytes of a buffered word
+//! have actually been written (needed for sub-word stores), and a small
+//! *temporary overflow buffer* used when two distinct addresses hash to the
+//! same slot.  When the overflow buffer is used the thread should stop at
+//! the next check point and wait to be joined; when it is full the thread
+//! rolls back.
+
+use crate::error::BufferError;
+use crate::memory::{Addr, WORD_BYTES};
+
+/// One buffered word: its address, data and per-byte write mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordEntry {
+    /// Word-aligned byte address in the global address space.
+    pub addr: Addr,
+    /// Buffered data for the whole word.
+    pub data: u64,
+    /// Byte mask: every byte equal to `0xFF` marks a byte actually written
+    /// (for the write-set) or read (for the read-set).
+    pub mask: u64,
+}
+
+/// Result of probing the direct-mapped array for an address.
+enum Probe {
+    /// Slot index is empty.
+    Empty(usize),
+    /// Slot index holds this very address.
+    Found(usize),
+    /// Slot index holds a *different* address (hash conflict).
+    Conflict,
+}
+
+/// Statically sized word-granular hash map with linear overflow area.
+#[derive(Debug)]
+pub struct WordMap {
+    capacity: usize,
+    slot_mask: u64,
+    data: Vec<u64>,
+    marks: Vec<u64>,
+    addresses: Vec<Addr>,
+    /// Stack of used slot indices ("offsets" in the paper).
+    used: Vec<u32>,
+    overflow: Vec<WordEntry>,
+    overflow_capacity: usize,
+    /// True once the overflow area has been used at least once since the
+    /// last clear; the runtime uses this to stall the thread at its next
+    /// check point.
+    overflow_pending: bool,
+}
+
+impl WordMap {
+    /// Create a map with `capacity_words` direct-mapped slots (rounded up
+    /// to the next power of two) and `overflow_capacity` overflow entries.
+    pub fn new(capacity_words: usize, overflow_capacity: usize) -> Self {
+        let capacity = capacity_words.max(8).next_power_of_two();
+        WordMap {
+            capacity,
+            slot_mask: (capacity as u64) - 1,
+            data: vec![0; capacity],
+            marks: vec![0; capacity],
+            addresses: vec![0; capacity],
+            used: Vec::with_capacity(capacity.min(1024)),
+            overflow: Vec::with_capacity(overflow_capacity.min(64)),
+            overflow_capacity,
+            overflow_pending: false,
+        }
+    }
+
+    /// Number of direct-mapped slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct words currently buffered (direct + overflow).
+    pub fn len(&self) -> usize {
+        self.used.len() + self.overflow.len()
+    }
+
+    /// True when no word is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once a hash conflict has pushed an entry into the overflow
+    /// area since the last [`clear`](Self::clear).
+    pub fn overflow_pending(&self) -> bool {
+        self.overflow_pending
+    }
+
+    /// Number of entries currently sitting in the overflow area.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    fn slot_of(&self, addr: Addr) -> usize {
+        ((addr / WORD_BYTES) & self.slot_mask) as usize
+    }
+
+    fn probe(&self, addr: Addr) -> Probe {
+        let slot = self.slot_of(addr);
+        let occupant = self.addresses[slot];
+        if occupant == 0 {
+            Probe::Empty(slot)
+        } else if occupant == addr {
+            Probe::Found(slot)
+        } else {
+            Probe::Conflict
+        }
+    }
+
+    /// Look up the buffered word for `addr` (word aligned).
+    pub fn get(&self, addr: Addr) -> Option<WordEntry> {
+        debug_assert_eq!(addr % WORD_BYTES, 0);
+        match self.probe(addr) {
+            Probe::Found(slot) => Some(WordEntry {
+                addr,
+                data: self.data[slot],
+                mask: self.marks[slot],
+            }),
+            Probe::Empty(_) => self.overflow.iter().find(|e| e.addr == addr).copied(),
+            Probe::Conflict => self.overflow.iter().find(|e| e.addr == addr).copied(),
+        }
+    }
+
+    /// Merge `value` under byte-mask `mask` into the word buffered for
+    /// `addr`, inserting the word if it is not present.
+    ///
+    /// Returns [`BufferError::OverflowPending`] when the insert had to use
+    /// the overflow area (the data *is* recorded) and
+    /// [`BufferError::OverflowFull`] when it could not be recorded at all.
+    pub fn merge(&mut self, addr: Addr, value: u64, mask: u64) -> Result<(), BufferError> {
+        debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned word address {addr:#x}");
+        match self.probe(addr) {
+            Probe::Found(slot) => {
+                self.data[slot] = (self.data[slot] & !mask) | (value & mask);
+                self.marks[slot] |= mask;
+                Ok(())
+            }
+            Probe::Empty(slot) => {
+                self.addresses[slot] = addr;
+                self.data[slot] = value & mask;
+                self.marks[slot] = mask;
+                self.used.push(slot as u32);
+                Ok(())
+            }
+            Probe::Conflict => {
+                if let Some(e) = self.overflow.iter_mut().find(|e| e.addr == addr) {
+                    e.data = (e.data & !mask) | (value & mask);
+                    e.mask |= mask;
+                    self.overflow_pending = true;
+                    return Err(BufferError::OverflowPending);
+                }
+                if self.overflow.len() >= self.overflow_capacity {
+                    return Err(BufferError::OverflowFull);
+                }
+                self.overflow.push(WordEntry {
+                    addr,
+                    data: value & mask,
+                    mask,
+                });
+                self.overflow_pending = true;
+                Err(BufferError::OverflowPending)
+            }
+        }
+    }
+
+    /// Insert a whole word (mask = all bytes).  Convenience for the
+    /// read-set, which always records complete words.
+    pub fn insert_word(&mut self, addr: Addr, value: u64) -> Result<(), BufferError> {
+        self.merge(addr, value, u64::MAX)
+    }
+
+    /// Iterate over every buffered word (direct-mapped entries in
+    /// insertion order, then overflow entries).
+    pub fn iter(&self) -> impl Iterator<Item = WordEntry> + '_ {
+        self.used
+            .iter()
+            .map(move |&slot| WordEntry {
+                addr: self.addresses[slot as usize],
+                data: self.data[slot as usize],
+                mask: self.marks[slot as usize],
+            })
+            .chain(self.overflow.iter().copied())
+    }
+
+    /// Remove every entry, touching only the slots that were used
+    /// (finalization cost is proportional to the data accessed).
+    pub fn clear(&mut self) {
+        for &slot in &self.used {
+            self.addresses[slot as usize] = 0;
+            self.data[slot as usize] = 0;
+            self.marks[slot as usize] = 0;
+        }
+        self.used.clear();
+        self.overflow.clear();
+        self.overflow_pending = false;
+    }
+}
+
+/// Build a byte mask covering `size` bytes starting at byte offset
+/// `offset_in_word` of a word, e.g. `byte_mask(2, 4) == 0x0000_FFFF_FFFF_0000`
+/// on a little-endian layout.
+///
+/// `size` must be 1, 2, 4 or 8 and the access must not straddle the word.
+pub fn byte_mask(offset_in_word: u64, size: u64) -> Result<u64, BufferError> {
+    if !matches!(size, 1 | 2 | 4 | 8) {
+        return Err(BufferError::UnsupportedSize);
+    }
+    if offset_in_word % size != 0 || offset_in_word + size > WORD_BYTES {
+        return Err(BufferError::Misaligned);
+    }
+    let base: u64 = if size == 8 {
+        u64::MAX
+    } else {
+        (1u64 << (size * 8)) - 1
+    };
+    Ok(base << (offset_in_word * 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut m = WordMap::new(64, 8);
+        assert!(m.is_empty());
+        m.insert_word(0x100, 42).unwrap();
+        m.insert_word(0x108, 7).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(0x100).unwrap().data, 42);
+        assert_eq!(m.get(0x108).unwrap().data, 7);
+        assert!(m.get(0x110).is_none());
+    }
+
+    #[test]
+    fn merge_partial_bytes_accumulates_mask() {
+        let mut m = WordMap::new(16, 4);
+        let lo = byte_mask(0, 4).unwrap();
+        let hi = byte_mask(4, 4).unwrap();
+        m.merge(0x200, 0x0000_0000_1111_2222, lo).unwrap();
+        m.merge(0x200, 0x3333_4444_0000_0000, hi).unwrap();
+        let e = m.get(0x200).unwrap();
+        assert_eq!(e.data, 0x3333_4444_1111_2222);
+        assert_eq!(e.mask, u64::MAX);
+    }
+
+    #[test]
+    fn hash_conflict_goes_to_overflow() {
+        let mut m = WordMap::new(8, 2);
+        // capacity rounds to 8 slots; addresses 8 words apart collide.
+        let a = 0x80;
+        let b = a + 8 * WORD_BYTES;
+        m.insert_word(a, 1).unwrap();
+        let err = m.insert_word(b, 2).unwrap_err();
+        assert_eq!(err, BufferError::OverflowPending);
+        assert!(m.overflow_pending());
+        assert_eq!(m.get(b).unwrap().data, 2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overflow_exhaustion_reports_full() {
+        let mut m = WordMap::new(8, 1);
+        let a = 0x80;
+        m.insert_word(a, 1).unwrap();
+        assert_eq!(
+            m.insert_word(a + 8 * WORD_BYTES, 2).unwrap_err(),
+            BufferError::OverflowPending
+        );
+        assert_eq!(
+            m.insert_word(a + 16 * WORD_BYTES, 3).unwrap_err(),
+            BufferError::OverflowFull
+        );
+    }
+
+    #[test]
+    fn overflow_entry_can_be_updated_in_place() {
+        let mut m = WordMap::new(8, 2);
+        let a = 0x80;
+        let b = a + 8 * WORD_BYTES;
+        m.insert_word(a, 1).unwrap();
+        assert_eq!(m.insert_word(b, 2).unwrap_err(), BufferError::OverflowPending);
+        assert_eq!(m.insert_word(b, 9).unwrap_err(), BufferError::OverflowPending);
+        assert_eq!(m.get(b).unwrap().data, 9);
+        assert_eq!(m.overflow_len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = WordMap::new(8, 2);
+        m.insert_word(0x80, 1).unwrap();
+        let _ = m.insert_word(0x80 + 8 * WORD_BYTES, 2);
+        m.clear();
+        assert!(m.is_empty());
+        assert!(!m.overflow_pending());
+        assert!(m.get(0x80).is_none());
+        // slot is reusable afterwards
+        m.insert_word(0x80, 5).unwrap();
+        assert_eq!(m.get(0x80).unwrap().data, 5);
+    }
+
+    #[test]
+    fn iter_visits_direct_then_overflow() {
+        let mut m = WordMap::new(8, 2);
+        let a = 0x80;
+        let b = a + 8 * WORD_BYTES;
+        m.insert_word(a, 1).unwrap();
+        let _ = m.insert_word(b, 2);
+        let collected: Vec<_> = m.iter().collect();
+        assert_eq!(collected.len(), 2);
+        assert_eq!(collected[0].addr, a);
+        assert_eq!(collected[1].addr, b);
+    }
+
+    #[test]
+    fn byte_mask_validation() {
+        assert_eq!(byte_mask(0, 8).unwrap(), u64::MAX);
+        assert_eq!(byte_mask(0, 1).unwrap(), 0xFF);
+        assert_eq!(byte_mask(6, 2).unwrap(), 0xFFFF_0000_0000_0000);
+        assert_eq!(byte_mask(3, 2).unwrap_err(), BufferError::Misaligned);
+        assert_eq!(byte_mask(0, 3).unwrap_err(), BufferError::UnsupportedSize);
+        assert_eq!(byte_mask(6, 4).unwrap_err(), BufferError::Misaligned);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let m = WordMap::new(100, 4);
+        assert_eq!(m.capacity(), 128);
+        let m2 = WordMap::new(1, 4);
+        assert_eq!(m2.capacity(), 8);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the buffering layer: the word-granular hash
+//! map and the read/write-set buffer must behave exactly like simple
+//! model implementations for arbitrary operation sequences.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use mutls_membuf::{
+    AddressSpace, BufferConfig, GlobalBuffer, GlobalMemory, MainMemory, WordMap, WORD_BYTES,
+};
+
+/// Arbitrary word-aligned address within a small arena.
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    (1u64..512).prop_map(|i| i * WORD_BYTES)
+}
+
+proptest! {
+    /// The WordMap behaves like a HashMap for whole-word inserts as long
+    /// as its overflow area is not exhausted.
+    #[test]
+    fn wordmap_matches_hashmap_model(ops in proptest::collection::vec((addr_strategy(), any::<u64>()), 1..200)) {
+        let mut map = WordMap::new(1024, 1024);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (addr, value) in ops {
+            // Overflow never triggers because capacity ≥ distinct addresses.
+            let _ = map.insert_word(addr, value);
+            model.insert(addr, value);
+        }
+        prop_assert_eq!(map.len(), model.len());
+        for (addr, value) in &model {
+            prop_assert_eq!(map.get(*addr).map(|e| e.data), Some(*value));
+        }
+    }
+
+    /// Speculative load/store through a GlobalBuffer followed by a commit
+    /// is equivalent to applying the stores directly to memory, and loads
+    /// always observe the thread's own writes.
+    #[test]
+    fn buffered_stores_commit_like_direct_stores(
+        ops in proptest::collection::vec((addr_strategy(), any::<u64>(), any::<bool>()), 1..200)
+    ) {
+        let mem = GlobalMemory::new(1 << 16);
+        let shadow = GlobalMemory::new(1 << 16);
+        // Seed both memories identically.
+        for i in 1..512u64 {
+            mem.write_word(i * WORD_BYTES, i.wrapping_mul(0x9E37));
+            shadow.write_word(i * WORD_BYTES, i.wrapping_mul(0x9E37));
+        }
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let mut local: HashMap<u64, u64> = HashMap::new();
+        for (addr, value, is_store) in ops {
+            if is_store {
+                buf.store(addr, value, WORD_BYTES).unwrap();
+                shadow.write_word(addr, value);
+                local.insert(addr, value);
+            } else {
+                let got = buf.load(&mem, addr, WORD_BYTES).unwrap();
+                let want = local.get(&addr).copied().unwrap_or_else(|| mem.read_word(addr));
+                prop_assert_eq!(got, want, "load at {:#x}", addr);
+            }
+        }
+        // No interfering writes happened, so validation must succeed and the
+        // commit must make main memory equal to the shadow memory.
+        prop_assert!(buf.validate(&mem));
+        buf.commit(&mem);
+        for i in 1..512u64 {
+            let a = i * WORD_BYTES;
+            prop_assert_eq!(mem.read_word(a), shadow.read_word(a), "word {:#x}", a);
+        }
+    }
+
+    /// Validation fails exactly when main memory changed under an address
+    /// in the read-set.
+    #[test]
+    fn validation_detects_interfering_writes(
+        read_addr in addr_strategy(),
+        write_addr in addr_strategy(),
+        new_value in any::<u64>(),
+    ) {
+        let mem = GlobalMemory::new(1 << 16);
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let original = mem.read_word(read_addr);
+        let _ = buf.load(&mem, read_addr, WORD_BYTES).unwrap();
+        mem.write_word(write_addr, new_value);
+        let expect_valid = write_addr != read_addr || new_value == original;
+        prop_assert_eq!(buf.validate(&mem), expect_valid);
+    }
+
+    /// Address-space registration: an address is contained iff it falls in
+    /// a registered range that has not been unregistered.
+    #[test]
+    fn address_space_registration_model(
+        ranges in proptest::collection::vec((1u64..2000, 1u64..64), 1..20),
+        probe in 1u64..2100,
+    ) {
+        let mut space = AddressSpace::new();
+        for (start, len) in &ranges {
+            space.register(*start, *len);
+        }
+        let expected = ranges.iter().any(|(s, l)| probe >= *s && probe < s + l);
+        prop_assert_eq!(space.contains(probe, 1), expected);
+    }
+}

@@ -1,0 +1,112 @@
+//! Runtime configuration.
+
+use crate::fork_model::ForkModel;
+use mutls_membuf::{BufferConfig, LocalBufferConfig};
+
+/// Configuration of a [`Runtime`](crate::Runtime) instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of *speculative* virtual CPUs (ranks 1..=num_cpus).  The
+    /// non-speculative thread (rank 0) always exists in addition.
+    pub num_cpus: usize,
+    /// Forking model applied to forks that do not specify one explicitly.
+    pub fork_model: ForkModel,
+    /// Capacity of every speculative thread's global buffer.
+    pub buffer: BufferConfig,
+    /// Capacity of every speculative thread's local buffer.
+    pub local_buffer: LocalBufferConfig,
+    /// Probability in `[0, 1]` that a join is forced to roll back even when
+    /// validation succeeds (the paper's §V-D rollback-sensitivity knob).
+    pub rollback_probability: f64,
+    /// Seed for the rollback-injection RNG, so experiments are repeatable.
+    pub seed: u64,
+    /// Size of the shared [`GlobalMemory`](mutls_membuf::GlobalMemory)
+    /// arena in bytes.
+    pub memory_bytes: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            num_cpus: 4,
+            fork_model: ForkModel::Mixed,
+            buffer: BufferConfig::default(),
+            local_buffer: LocalBufferConfig::default(),
+            rollback_probability: 0.0,
+            seed: 0x5EED_CA0,
+            memory_bytes: 64 << 20,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Convenience constructor: `n` speculative CPUs, everything else
+    /// default.
+    pub fn with_cpus(n: usize) -> Self {
+        RuntimeConfig {
+            num_cpus: n,
+            ..Default::default()
+        }
+    }
+
+    /// Set the default forking model (builder style).
+    pub fn fork_model(mut self, model: ForkModel) -> Self {
+        self.fork_model = model;
+        self
+    }
+
+    /// Set the injected rollback probability (builder style).
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn rollback_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.rollback_probability = p;
+        self
+    }
+
+    /// Set the shared memory arena size in bytes (builder style).
+    pub fn memory_bytes(mut self, bytes: u64) -> Self {
+        self.memory_bytes = bytes;
+        self
+    }
+
+    /// Set the RNG seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sensible() {
+        let c = RuntimeConfig::default();
+        assert!(c.num_cpus >= 1);
+        assert_eq!(c.fork_model, ForkModel::Mixed);
+        assert_eq!(c.rollback_probability, 0.0);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = RuntimeConfig::with_cpus(8)
+            .fork_model(ForkModel::InOrder)
+            .rollback_probability(0.05)
+            .memory_bytes(1 << 20)
+            .seed(7);
+        assert_eq!(c.num_cpus, 8);
+        assert_eq!(c.fork_model, ForkModel::InOrder);
+        assert_eq!(c.rollback_probability, 0.05);
+        assert_eq!(c.memory_bytes, 1 << 20);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = RuntimeConfig::default().rollback_probability(1.5);
+    }
+}

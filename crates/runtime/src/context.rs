@@ -1,0 +1,432 @@
+//! [`SpecContext`] — the execution context handed to speculative and
+//! non-speculative code in the native runtime.
+//!
+//! It plays the role of the instrumented code produced by the speculator
+//! pass plus the per-thread runtime state: loads and stores are redirected
+//! through the thread's [`GlobalBuffer`](mutls_membuf::GlobalBuffer) when
+//! speculative, forks acquire a virtual CPU and dispatch the continuation,
+//! and joins perform the synchronize/validate/commit-or-rollback protocol
+//! of paper §IV-E/F.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mutls_membuf::{
+    Addr, BufferError, GPtr, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory, RegisterValue,
+    SpecFailure, WORD_BYTES,
+};
+
+use crate::fork_model::ForkModel;
+use crate::manager::{SpecOutcome, SpecRequest, ThreadBuffers, ThreadManager};
+use crate::stats::{Phase, ThreadStats};
+use crate::task::{
+    failure, JoinOutcome, Rank, SpecAbort, SpecResult, TaskRef, TaskStatus, TlsContext, Word,
+};
+
+/// How often speculative memory operations poll the abort flag.
+const ABORT_POLL_INTERVAL: u32 = 256;
+
+/// Handle returned by a fork point and consumed by the matching join point.
+pub struct SpecHandle {
+    point: u32,
+    task: TaskRef<SpecContext>,
+    child: Option<Rank>,
+}
+
+impl SpecHandle {
+    /// Fork/join point id this handle belongs to.
+    pub fn point(&self) -> u32 {
+        self.point
+    }
+
+    /// True if a speculative thread was actually launched.
+    pub fn speculated(&self) -> bool {
+        self.child.is_some()
+    }
+}
+
+/// Per-thread execution context of the native runtime.
+pub struct SpecContext {
+    mgr: Arc<ThreadManager>,
+    rank: Rank,
+    /// Global buffer — present only for speculative contexts; the
+    /// non-speculative thread writes main memory directly.
+    global: Option<GlobalBuffer>,
+    /// Local (register/stack) buffer; present for every context so the
+    /// regvar transfer API is uniform.
+    local: LocalBuffer,
+    children: Vec<Rank>,
+    stats: ThreadStats,
+    last_mark: Instant,
+    op_counter: u32,
+}
+
+impl SpecContext {
+    /// Create the non-speculative (rank 0) context.
+    pub(crate) fn non_speculative(mgr: Arc<ThreadManager>) -> Self {
+        let local = LocalBuffer::new(mgr.config().local_buffer);
+        SpecContext {
+            mgr,
+            rank: 0,
+            global: None,
+            local,
+            children: Vec::new(),
+            stats: ThreadStats::new(),
+            last_mark: Instant::now(),
+            op_counter: 0,
+        }
+    }
+
+    /// Create a speculative context for virtual CPU `rank`, installing the
+    /// register variables transferred from the parent.
+    pub(crate) fn speculative(
+        mgr: Arc<ThreadManager>,
+        rank: Rank,
+        regvars: Vec<(usize, RegisterValue)>,
+    ) -> Self {
+        let buffers = mgr.make_buffers();
+        let mut local = buffers.local;
+        for (offset, value) in regvars {
+            // Offsets were validated on the parent side; ignore overflow.
+            let _ = local.set_regvar(offset, value);
+        }
+        SpecContext {
+            mgr,
+            rank,
+            global: Some(buffers.global),
+            local,
+            children: Vec::new(),
+            stats: ThreadStats::new(),
+            last_mark: Instant::now(),
+            op_counter: 0,
+        }
+    }
+
+    /// Consume the context into the outcome deposited for the joiner.
+    pub(crate) fn into_outcome(mut self, status: TaskStatus, started: Instant) -> SpecOutcome {
+        let total = started.elapsed().as_nanos() as u64;
+        let overhead = self.stats.total();
+        self.stats.add(Phase::Work, total.saturating_sub(overhead));
+        SpecOutcome {
+            status,
+            buffers: ThreadBuffers {
+                global: self.global.unwrap_or_else(|| {
+                    GlobalBuffer::new(self.mgr.config().buffer)
+                }),
+                local: self.local,
+            },
+            children: self.children,
+            stats: self.stats,
+            finished_at: Instant::now(),
+        }
+    }
+
+    /// Finish the non-speculative root context: drain any unjoined
+    /// children and return the critical-path statistics.
+    pub(crate) fn finish(mut self, started: Instant) -> (ThreadStats, Vec<Rank>) {
+        let total = started.elapsed().as_nanos() as u64;
+        let overhead = self.stats.total();
+        self.stats.add(Phase::Work, total.saturating_sub(overhead));
+        (self.stats, std::mem::take(&mut self.children))
+    }
+
+    /// Shared memory arena.
+    pub fn memory(&self) -> Arc<GlobalMemory> {
+        Arc::clone(self.mgr.memory())
+    }
+
+    /// Allocate `count` elements of `T` from the shared arena and register
+    /// the range in the global address space.
+    ///
+    /// # Panics
+    /// Panics when called from a speculative context: speculative threads
+    /// may not allocate memory (paper §IV-G1).
+    pub fn alloc<T: Word>(&mut self, count: usize) -> GPtr<T> {
+        assert!(
+            self.rank == 0,
+            "speculative threads may not allocate memory"
+        );
+        let ptr = self.mgr.memory().alloc::<T>(count);
+        self.mgr
+            .register_range(ptr.base_addr(), (count as u64) * WORD_BYTES);
+        ptr
+    }
+
+    /// Store a register variable in the current frame so it is transferred
+    /// to children forked from this point on (`MUTLS_set_regvar_*`).
+    pub fn set_regvar(&mut self, offset: usize, value: RegisterValue) -> SpecResult<()> {
+        self.local
+            .set_regvar(offset, value)
+            .map_err(|_| failure(SpecFailure::LocalBufferOverflow))
+    }
+
+    /// Fetch a register variable transferred from the parent
+    /// (`MUTLS_get_regvar_*`).
+    pub fn get_regvar(&self, offset: usize) -> Option<RegisterValue> {
+        self.local.get_regvar(offset)
+    }
+
+    /// Per-thread statistics gathered so far (primarily for tests).
+    pub fn stats(&self) -> &ThreadStats {
+        &self.stats
+    }
+
+    /// Ranks of children forked but not yet joined.
+    pub fn pending_children(&self) -> &[Rank] {
+        &self.children
+    }
+
+    // ----- internal helpers -------------------------------------------
+
+    /// Charge the time since the last phase boundary to `Work` and return
+    /// the instant at which the overhead phase starts.
+    fn begin_overhead(&mut self) -> Instant {
+        let now = Instant::now();
+        let nanos = now.duration_since(self.last_mark).as_nanos() as u64;
+        self.stats.add(Phase::Work, nanos);
+        now
+    }
+
+    /// Charge the overhead phase and reset the work marker.
+    fn end_overhead(&mut self, phase: Phase, started: Instant) {
+        let now = Instant::now();
+        self.stats
+            .add(phase, now.duration_since(started).as_nanos() as u64);
+        self.last_mark = now;
+    }
+
+    fn check_abort(&mut self) -> SpecResult<()> {
+        if self.rank != 0 && self.mgr.abort_requested(self.rank) {
+            return Err(failure(SpecFailure::Cascaded));
+        }
+        Ok(())
+    }
+
+    fn poll_abort(&mut self) -> SpecResult<()> {
+        self.op_counter = self.op_counter.wrapping_add(1);
+        if self.op_counter % ABORT_POLL_INTERVAL == 0 {
+            self.check_abort()?;
+        }
+        Ok(())
+    }
+
+    fn map_buffer_error(err: BufferError) -> SpecAbort {
+        match err {
+            BufferError::OverflowFull => failure(SpecFailure::BufferOverflow),
+            BufferError::LocalBufferFull => failure(SpecFailure::LocalBufferOverflow),
+            BufferError::UnregisteredAddress => failure(SpecFailure::UnregisteredAddress),
+            // OverflowPending is handled inside the buffer; alignment and
+            // size problems indicate a misuse of the typed API and map to
+            // a rollback so the parent re-executes safely.
+            BufferError::OverflowPending | BufferError::Misaligned | BufferError::UnsupportedSize => {
+                failure(SpecFailure::BufferOverflow)
+            }
+        }
+    }
+
+    /// Execute a task inline (the parent running the continuation itself).
+    fn run_inline(&mut self, task: &TaskRef<SpecContext>) -> SpecResult<()> {
+        match task(self) {
+            Ok(()) | Err(SpecAbort::BarrierReached) => Ok(()),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Join a speculative child: synchronize, validate, commit or roll
+    /// back, and release its CPU.  Returns the decision.
+    fn join_child(&mut self, child: Rank) -> Result<(), SpecFailure> {
+        // Children-stack discipline (paper §IV-F): pop until the expected
+        // child is found; anything popped in between violated the
+        // mixed-model ordering assumption and is discarded (NOSYNC).
+        loop {
+            match self.children.pop() {
+                Some(rank) if rank == child => break,
+                Some(other) => self.mgr.reap_subtree(other),
+                None => {
+                    // The child was already discarded (e.g. by a cascading
+                    // rollback); treat as a rollback so the caller
+                    // re-executes inline.
+                    return Err(SpecFailure::NoSync);
+                }
+            }
+        }
+
+        // Wait for the child to stop (its closure completed, reached a
+        // barrier or failed); this is idle time on the joining thread.
+        let wait_started = Instant::now();
+        let mut outcome = self.mgr.wait_outcome(child);
+        self.stats
+            .add(Phase::Idle, wait_started.elapsed().as_nanos() as u64);
+        // Time the child spent waiting to be joined is speculative idle.
+        outcome.stats.add(
+            Phase::Idle,
+            Instant::now()
+                .duration_since(outcome.finished_at)
+                .as_nanos() as u64,
+        );
+
+        let verdict = self
+            .mgr
+            .validate_and_commit(&mut outcome, self.global.as_mut());
+
+        // Finalize the child's buffers (clearing cost is charged to the
+        // speculative path, as in the paper's breakdown).
+        let finalize_started = Instant::now();
+        outcome.buffers.global.clear();
+        outcome
+            .stats
+            .add(Phase::Finalize, finalize_started.elapsed().as_nanos() as u64);
+
+        // This reproduction discards (rather than adopts) the unjoined
+        // children of a finished child; see DESIGN.md §5.
+        for grandchild in std::mem::take(&mut outcome.children) {
+            self.mgr.reap_subtree(grandchild);
+        }
+
+        let committed = verdict.is_ok();
+        if !committed {
+            outcome.stats.mark_work_wasted();
+        }
+        self.mgr.record_speculative(&outcome.stats, committed);
+        self.mgr.release_cpu(child, self.rank);
+        verdict
+    }
+}
+
+impl TlsContext for SpecContext {
+    type Handle = SpecHandle;
+
+    fn work(&mut self, _units: u64) -> SpecResult<()> {
+        // Real time is measured directly; this is only a poll opportunity.
+        self.poll_abort()
+    }
+
+    fn load_word(&mut self, addr: Addr) -> SpecResult<u64> {
+        self.stats.counters.loads += 1;
+        self.poll_abort()?;
+        match self.global.as_mut() {
+            None => Ok(self.mgr.memory().read_word(addr)),
+            Some(buffer) => {
+                if !self.mgr.range_registered(addr, WORD_BYTES) {
+                    return Err(failure(SpecFailure::UnregisteredAddress));
+                }
+                buffer
+                    .load(self.mgr.memory().as_ref(), addr, WORD_BYTES)
+                    .map_err(Self::map_buffer_error)
+            }
+        }
+    }
+
+    fn store_word(&mut self, addr: Addr, value: u64) -> SpecResult<()> {
+        self.stats.counters.stores += 1;
+        self.poll_abort()?;
+        match self.global.as_mut() {
+            None => {
+                self.mgr.memory().write_word(addr, value);
+                Ok(())
+            }
+            Some(buffer) => {
+                if !self.mgr.range_registered(addr, WORD_BYTES) {
+                    return Err(failure(SpecFailure::UnregisteredAddress));
+                }
+                buffer
+                    .store(addr, value, WORD_BYTES)
+                    .map_err(Self::map_buffer_error)
+            }
+        }
+    }
+
+    fn fork(&mut self, point: u32, task: TaskRef<Self>) -> SpecResult<SpecHandle> {
+        self.fork_with_model(point, self.mgr.config().fork_model, task)
+    }
+
+    fn fork_with_model(
+        &mut self,
+        point: u32,
+        model: ForkModel,
+        task: TaskRef<Self>,
+    ) -> SpecResult<SpecHandle> {
+        self.check_abort()?;
+        let find_started = self.begin_overhead();
+        let child = self.mgr.try_acquire_cpu(self.rank, model);
+        self.end_overhead(Phase::FindCpu, find_started);
+
+        let Some(child) = child else {
+            self.stats.counters.failed_forks += 1;
+            return Ok(SpecHandle {
+                point,
+                task,
+                child: None,
+            });
+        };
+
+        let fork_started = self.begin_overhead();
+        // Transfer the current frame's register variables to the child
+        // (MUTLS_save_local / set_regvar on the parent side).
+        let regvars: Vec<(usize, RegisterValue)> =
+            self.local.current_frame().registers.iter().collect();
+        self.mgr.dispatch(
+            child,
+            SpecRequest {
+                task: Arc::clone(&task),
+                regvars,
+            },
+        );
+        self.children.push(child);
+        self.stats.counters.forks += 1;
+        self.end_overhead(Phase::Fork, fork_started);
+
+        Ok(SpecHandle {
+            point,
+            task,
+            child: Some(child),
+        })
+    }
+
+    fn join(&mut self, handle: SpecHandle) -> SpecResult<JoinOutcome> {
+        self.check_abort()?;
+        let SpecHandle { task, child, .. } = handle;
+
+        let Some(child) = child else {
+            // Speculation never happened: execute the continuation inline.
+            self.run_inline(&task)?;
+            return Ok(JoinOutcome::NotSpeculated);
+        };
+
+        let join_started = self.begin_overhead();
+        let verdict = self.join_child(child);
+        self.end_overhead(Phase::Join, join_started);
+
+        match verdict {
+            Ok(()) => {
+                self.stats.counters.commits += 1;
+                Ok(JoinOutcome::Committed)
+            }
+            Err(reason) => {
+                self.stats.counters.rollbacks += 1;
+                // Rollback: the parent re-executes the continuation.
+                self.run_inline(&task)?;
+                Ok(JoinOutcome::RolledBack(reason))
+            }
+        }
+    }
+
+    fn barrier(&mut self) -> SpecResult<()> {
+        // Everything up to here is valid; stop executing the closure on
+        // both the speculative and the inline path so the code after the
+        // barrier runs exactly once (in the parent, after its join).
+        Err(SpecAbort::BarrierReached)
+    }
+
+    fn check_point(&mut self) -> SpecResult<()> {
+        self.check_abort()
+    }
+
+    fn is_speculative(&self) -> bool {
+        self.rank != 0
+    }
+
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+}

@@ -1,0 +1,140 @@
+//! [`DirectContext`] — a no-speculation implementation of [`TlsContext`].
+//!
+//! Every fork is denied and every task closure is executed inline at its
+//! join point; loads and stores go straight to the shared memory arena.
+//! This is the *sequential baseline* of every experiment: running the same
+//! speculative source through a `DirectContext` performs exactly the same
+//! arithmetic in exactly the same order as the original sequential
+//! program, so its results are the reference the speculative versions are
+//! validated against, and its runtime is the `T_s` of every speedup.
+
+use std::sync::Arc;
+
+use mutls_membuf::{Addr, GlobalMemory, MainMemory};
+
+use crate::fork_model::ForkModel;
+use crate::task::{JoinOutcome, Rank, SpecAbort, SpecResult, TaskRef, TlsContext};
+
+/// Handle type of [`DirectContext`]: simply carries the continuation for
+/// inline execution at the join point.
+pub struct DirectHandle {
+    task: TaskRef<DirectContext>,
+}
+
+/// Sequential, non-speculative execution context.
+pub struct DirectContext {
+    memory: Arc<GlobalMemory>,
+    work_units: u64,
+    loads: u64,
+    stores: u64,
+}
+
+impl DirectContext {
+    /// Create a direct context over `memory`.
+    pub fn new(memory: Arc<GlobalMemory>) -> Self {
+        DirectContext {
+            memory,
+            work_units: 0,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// The shared memory arena.
+    pub fn memory(&self) -> &Arc<GlobalMemory> {
+        &self.memory
+    }
+
+    /// Total abstract work units charged so far.
+    pub fn work_units(&self) -> u64 {
+        self.work_units
+    }
+
+    /// Total loads and stores issued so far.
+    pub fn memory_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+impl TlsContext for DirectContext {
+    type Handle = DirectHandle;
+
+    fn work(&mut self, units: u64) -> SpecResult<()> {
+        self.work_units += units;
+        Ok(())
+    }
+
+    fn load_word(&mut self, addr: Addr) -> SpecResult<u64> {
+        self.loads += 1;
+        Ok(self.memory.read_word(addr))
+    }
+
+    fn store_word(&mut self, addr: Addr, value: u64) -> SpecResult<()> {
+        self.stores += 1;
+        self.memory.write_word(addr, value);
+        Ok(())
+    }
+
+    fn fork(&mut self, _point: u32, task: TaskRef<Self>) -> SpecResult<DirectHandle> {
+        Ok(DirectHandle { task })
+    }
+
+    fn fork_with_model(
+        &mut self,
+        point: u32,
+        _model: ForkModel,
+        task: TaskRef<Self>,
+    ) -> SpecResult<DirectHandle> {
+        self.fork(point, task)
+    }
+
+    fn join(&mut self, handle: DirectHandle) -> SpecResult<JoinOutcome> {
+        match (handle.task)(self) {
+            Ok(()) | Err(SpecAbort::BarrierReached) => Ok(JoinOutcome::NotSpeculated),
+            Err(other) => Err(other),
+        }
+    }
+
+    fn barrier(&mut self) -> SpecResult<()> {
+        Err(SpecAbort::BarrierReached)
+    }
+
+    fn check_point(&mut self) -> SpecResult<()> {
+        Ok(())
+    }
+
+    fn is_speculative(&self) -> bool {
+        false
+    }
+
+    fn rank(&self) -> Rank {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::task;
+
+    #[test]
+    fn direct_context_runs_everything_inline() {
+        let memory = Arc::new(GlobalMemory::new(1 << 12));
+        let cells = memory.alloc::<i64>(2);
+        let mut ctx = DirectContext::new(Arc::clone(&memory));
+        let cont = task(move |ctx: &mut DirectContext| {
+            ctx.store(&cells, 1, 2)?;
+            ctx.barrier()
+        });
+        let h = ctx.fork(0, cont).unwrap();
+        ctx.store(&cells, 0, 1).unwrap();
+        ctx.work(10).unwrap();
+        assert_eq!(ctx.join(h).unwrap(), JoinOutcome::NotSpeculated);
+        assert_eq!(memory.get(&cells, 0), 1);
+        assert_eq!(memory.get(&cells, 1), 2);
+        assert_eq!(ctx.work_units(), 10);
+        assert_eq!(ctx.memory_ops(), 2);
+        assert!(!ctx.is_speculative());
+        assert_eq!(ctx.rank(), 0);
+    }
+}

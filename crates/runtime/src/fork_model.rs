@@ -1,0 +1,125 @@
+//! Forking models (paper §II).
+//!
+//! A forking model decides *which* threads are allowed to launch further
+//! speculative threads:
+//!
+//! * **In-order** — only the most recently speculated (most speculative)
+//!   thread may fork.  Natural for loop-level speculation; N threads can
+//!   parallelize a loop of N iterations, but a rollback cascades into every
+//!   later thread.
+//! * **Out-of-order** — only the non-speculative thread may fork.  Natural
+//!   for method-level speculation, but loop parallelism is bounded by two
+//!   threads because speculative threads cannot speculate further.
+//! * **Mixed (tree)** — every thread may fork, forming a tree of threads;
+//!   children of one thread follow out-of-order order among themselves and
+//!   each subtree covers a contiguous interval of sequential execution.
+//!   Rollback cascades are confined to the offending subtree.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which threads may fork new speculative threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ForkModel {
+    /// Only the most speculative thread may fork.
+    InOrder,
+    /// Only the non-speculative thread may fork.
+    OutOfOrder,
+    /// Every thread may fork (tree-form mixed model, the paper's default).
+    #[default]
+    Mixed,
+}
+
+impl ForkModel {
+    /// All models, in the order used by the paper's figure 10.
+    pub const ALL: [ForkModel; 3] = [ForkModel::InOrder, ForkModel::OutOfOrder, ForkModel::Mixed];
+
+    /// Decide whether a thread may fork under this model.
+    ///
+    /// * `forker_is_speculative` — whether the requesting thread is itself
+    ///   speculative.
+    /// * `forker_is_most_speculative` — whether the requesting thread is
+    ///   the most recently speculated thread still in flight (vacuously
+    ///   true for the non-speculative thread when nothing is in flight).
+    pub fn allows_fork(
+        self,
+        forker_is_speculative: bool,
+        forker_is_most_speculative: bool,
+    ) -> bool {
+        match self {
+            ForkModel::Mixed => true,
+            ForkModel::OutOfOrder => !forker_is_speculative,
+            ForkModel::InOrder => forker_is_most_speculative,
+        }
+    }
+
+    /// Short label used in experiment output (matches the paper's figure
+    /// legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            ForkModel::InOrder => "inorder",
+            ForkModel::OutOfOrder => "outoforder",
+            ForkModel::Mixed => "mixed",
+        }
+    }
+}
+
+impl fmt::Display for ForkModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ForkModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "inorder" | "in-order" | "in_order" => Ok(ForkModel::InOrder),
+            "outoforder" | "out-of-order" | "out_of_order" => Ok(ForkModel::OutOfOrder),
+            "mixed" | "tree" => Ok(ForkModel::Mixed),
+            other => Err(format!("unknown fork model: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_allows_everyone() {
+        assert!(ForkModel::Mixed.allows_fork(false, true));
+        assert!(ForkModel::Mixed.allows_fork(true, false));
+        assert!(ForkModel::Mixed.allows_fork(true, true));
+    }
+
+    #[test]
+    fn out_of_order_only_nonspeculative() {
+        assert!(ForkModel::OutOfOrder.allows_fork(false, true));
+        assert!(ForkModel::OutOfOrder.allows_fork(false, false));
+        assert!(!ForkModel::OutOfOrder.allows_fork(true, true));
+    }
+
+    #[test]
+    fn in_order_only_most_speculative() {
+        assert!(ForkModel::InOrder.allows_fork(false, true));
+        assert!(ForkModel::InOrder.allows_fork(true, true));
+        assert!(!ForkModel::InOrder.allows_fork(true, false));
+        assert!(!ForkModel::InOrder.allows_fork(false, false));
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for m in ForkModel::ALL {
+            assert_eq!(m.label().parse::<ForkModel>().unwrap(), m);
+        }
+        assert!("bogus".parse::<ForkModel>().is_err());
+        assert_eq!("tree".parse::<ForkModel>().unwrap(), ForkModel::Mixed);
+    }
+
+    #[test]
+    fn default_is_mixed() {
+        assert_eq!(ForkModel::default(), ForkModel::Mixed);
+    }
+}

@@ -1,0 +1,596 @@
+//! The `ThreadManager` (paper §IV-B): virtual CPUs, speculative thread
+//! dispatch, the join/validation/commit protocol and the tree-form mixed
+//! forking model bookkeeping.
+//!
+//! Each virtual CPU (rank 1..=N) is backed by one worker OS thread and owns
+//! a *slot* holding its dispatch channel, status flags and — once its task
+//! finishes — the resulting buffers, statistics and list of unjoined
+//! children.  Rank 0 is the non-speculative thread (the caller).
+//!
+//! The synchronization protocol mirrors the paper's flag-based barrier:
+//! the joining thread signals the child (`sync_status` ≙ the `abort` /
+//! result handshake here) and then waits for the child's outcome
+//! (`valid_status` ≙ the deposited [`SpecOutcome`]), after which validation
+//! and commit/rollback are performed and charged to the speculative
+//! thread's statistics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mutls_membuf::{
+    Addr, AddressSpace, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory, SpecFailure,
+};
+
+use crate::config::RuntimeConfig;
+use crate::context::SpecContext;
+use crate::fork_model::ForkModel;
+use crate::stats::{Phase, ThreadStats};
+use crate::task::{Rank, SpecAbort, TaskRef, TaskStatus};
+
+/// Buffers owned by one speculative thread.
+#[derive(Debug)]
+pub struct ThreadBuffers {
+    /// Buffered global (static/heap) accesses.
+    pub global: GlobalBuffer,
+    /// Buffered local (register/stack) variables and frame chain.
+    pub local: LocalBuffer,
+}
+
+/// Everything a finished speculative task deposits for its joiner.
+pub struct SpecOutcome {
+    /// How the task stopped.
+    pub status: TaskStatus,
+    /// The task's buffers (taken by the joiner for validation/commit).
+    pub buffers: ThreadBuffers,
+    /// Ranks of children the task forked but never joined.
+    pub children: Vec<Rank>,
+    /// The task's accumulated statistics.
+    pub stats: ThreadStats,
+    /// When the task stopped (used to charge the waiting-to-be-joined time
+    /// as speculative idle).
+    pub finished_at: Instant,
+}
+
+/// Message sent to a worker thread.
+pub enum WorkerMsg {
+    /// Run a speculative task.
+    Run(SpecRequest),
+    /// Shut the worker down.
+    Shutdown,
+}
+
+/// A dispatch request for a speculative task.
+pub struct SpecRequest {
+    /// The continuation closure to execute.
+    pub task: TaskRef<SpecContext>,
+    /// Register variables transferred from the parent at fork time
+    /// (offset, raw value), installed in the child's bottom frame.
+    pub regvars: Vec<(usize, mutls_membuf::RegisterValue)>,
+}
+
+const CPU_IDLE: u8 = 0;
+const CPU_RUNNING: u8 = 1;
+
+/// Per-virtual-CPU slot.
+pub(crate) struct Slot {
+    state: std::sync::atomic::AtomicU8,
+    /// Set when the thread (or its subtree root) must abandon its work.
+    abort: AtomicBool,
+    /// Set when nobody will ever join this thread; the worker cleans up
+    /// after itself in that case.
+    orphaned: AtomicBool,
+    sender: Sender<WorkerMsg>,
+    result: Mutex<Option<SpecOutcome>>,
+    result_cv: Condvar,
+}
+
+impl Slot {
+    fn new(sender: Sender<WorkerMsg>) -> Self {
+        Slot {
+            state: std::sync::atomic::AtomicU8::new(CPU_IDLE),
+            abort: AtomicBool::new(false),
+            orphaned: AtomicBool::new(false),
+            sender,
+            result: Mutex::new(None),
+            result_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Accumulators for one speculative region run.
+#[derive(Default)]
+struct RunAccumulators {
+    speculative: ThreadStats,
+    committed_threads: u64,
+    rolled_back_threads: u64,
+}
+
+/// Central coordinator shared by every context and worker.
+pub struct ThreadManager {
+    config: RuntimeConfig,
+    memory: Arc<GlobalMemory>,
+    address_space: RwLock<AddressSpace>,
+    slots: Vec<Slot>,
+    /// Rank of the most recently speculated thread still in flight
+    /// (0 = none); used by the in-order forking model.
+    most_speculative: AtomicUsize,
+    /// Number of speculative threads currently in flight.
+    active: AtomicUsize,
+    accum: Mutex<RunAccumulators>,
+    rng: Mutex<SmallRng>,
+    /// Monotone counter of speculation events (diagnostics).
+    speculations: AtomicU64,
+}
+
+impl ThreadManager {
+    /// Create the manager plus the receivers its workers will consume.
+    pub fn new(config: RuntimeConfig) -> (Arc<Self>, Vec<Receiver<WorkerMsg>>) {
+        let memory = Arc::new(GlobalMemory::new(config.memory_bytes));
+        let mut slots = Vec::with_capacity(config.num_cpus);
+        let mut receivers = Vec::with_capacity(config.num_cpus);
+        for _ in 0..config.num_cpus {
+            let (tx, rx) = unbounded();
+            slots.push(Slot::new(tx));
+            receivers.push(rx);
+        }
+        let mut space = AddressSpace::new();
+        // The whole arena below the allocation cursor grows as the program
+        // allocates; individual allocations register themselves.
+        space.register(GlobalMemory::BASE_ADDR, 0);
+        let mgr = Arc::new(ThreadManager {
+            config,
+            memory,
+            address_space: RwLock::new(space),
+            slots,
+            most_speculative: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            accum: Mutex::new(RunAccumulators::default()),
+            rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
+            speculations: AtomicU64::new(0),
+        });
+        (mgr, receivers)
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Shared main memory arena.
+    pub fn memory(&self) -> &Arc<GlobalMemory> {
+        &self.memory
+    }
+
+    /// Register `[addr, addr+len)` as valid global data.
+    pub fn register_range(&self, addr: Addr, len: u64) {
+        self.address_space.write().register(addr, len);
+    }
+
+    /// Unregister a range (object deallocation).
+    pub fn unregister_range(&self, addr: Addr, len: u64) {
+        self.address_space.write().unregister(addr, len);
+    }
+
+    /// Whether an access is inside the registered global address space.
+    ///
+    /// Anything handed out by the arena's bump allocator is implicitly
+    /// registered (allocation *is* registration, as in §IV-G1 where heap
+    /// allocation calls are intercepted); explicitly registered ranges are
+    /// honoured in addition.
+    pub fn range_registered(&self, addr: Addr, len: u64) -> bool {
+        if addr >= GlobalMemory::BASE_ADDR && addr + len <= self.memory.allocated_bytes() {
+            return true;
+        }
+        self.address_space.read().contains(addr, len)
+    }
+
+    /// Total number of speculation events since construction.
+    pub fn total_speculations(&self) -> u64 {
+        self.speculations.load(Ordering::Relaxed)
+    }
+
+    /// Number of speculative threads currently in flight.
+    pub fn active_speculations(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    // ----- fork path -------------------------------------------------
+
+    /// Try to acquire an idle virtual CPU for a fork requested by
+    /// `forker` under `model` (paper: `MUTLS_get_CPU`).
+    pub fn try_acquire_cpu(&self, forker: Rank, model: ForkModel) -> Option<Rank> {
+        let forker_is_spec = forker != 0;
+        let most = self.most_speculative.load(Ordering::Acquire);
+        let is_most = if self.active.load(Ordering::Acquire) == 0 {
+            !forker_is_spec
+        } else {
+            forker == most
+        };
+        if !model.allows_fork(forker_is_spec, is_most) {
+            return None;
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot
+                .state
+                .compare_exchange(CPU_IDLE, CPU_RUNNING, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                let rank = i + 1;
+                slot.abort.store(false, Ordering::Release);
+                slot.orphaned.store(false, Ordering::Release);
+                *slot.result.lock() = None;
+                self.active.fetch_add(1, Ordering::AcqRel);
+                self.most_speculative.store(rank, Ordering::Release);
+                self.speculations.fetch_add(1, Ordering::Relaxed);
+                return Some(rank);
+            }
+        }
+        None
+    }
+
+    /// Dispatch a speculative task to an acquired CPU.
+    pub fn dispatch(&self, rank: Rank, request: SpecRequest) {
+        let slot = &self.slots[rank - 1];
+        slot.sender
+            .send(WorkerMsg::Run(request))
+            .expect("worker thread alive");
+    }
+
+    /// Signal every worker to shut down (used by `Runtime::drop`).
+    pub fn shutdown_workers(&self) {
+        for slot in &self.slots {
+            let _ = slot.sender.send(WorkerMsg::Shutdown);
+        }
+    }
+
+    // ----- join path -------------------------------------------------
+
+    /// True if the speculative thread `rank` has been asked to abort.
+    pub fn abort_requested(&self, rank: Rank) -> bool {
+        rank != 0 && self.slots[rank - 1].abort.load(Ordering::Relaxed)
+    }
+
+    /// Block until the speculative thread `rank` deposits its outcome, then
+    /// take it.
+    pub fn wait_outcome(&self, rank: Rank) -> SpecOutcome {
+        let slot = &self.slots[rank - 1];
+        let mut guard = slot.result.lock();
+        while guard.is_none() {
+            slot.result_cv.wait(&mut guard);
+        }
+        guard.take().expect("outcome present")
+    }
+
+    /// Deposit the outcome of a finished speculative task.  Returns `true`
+    /// if someone will join it, `false` if it was orphaned and the worker
+    /// must clean up after itself.
+    pub fn deposit_outcome(&self, rank: Rank, outcome: SpecOutcome) -> bool {
+        let slot = &self.slots[rank - 1];
+        {
+            let mut guard = slot.result.lock();
+            *guard = Some(outcome);
+        }
+        slot.result_cv.notify_all();
+        if slot.orphaned.load(Ordering::Acquire) {
+            // Re-take it; if the canceller got there first we are done.
+            let taken = slot.result.lock().take();
+            if let Some(outcome) = taken {
+                self.finish_discarded(rank, outcome, SpecFailure::Cascaded);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Release a virtual CPU after its outcome has been consumed.
+    pub fn release_cpu(&self, rank: Rank, joiner: Rank) {
+        let slot = &self.slots[rank - 1];
+        slot.state.store(CPU_IDLE, Ordering::Release);
+        self.active.fetch_sub(1, Ordering::AcqRel);
+        let _ = self.most_speculative.compare_exchange(
+            rank,
+            joiner,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Record a discarded (rolled back / orphaned) speculative thread.
+    fn finish_discarded(&self, rank: Rank, outcome: SpecOutcome, _reason: SpecFailure) {
+        // Cascade into the subtree first.
+        for child in &outcome.children {
+            self.reap_subtree(*child);
+        }
+        let mut stats = outcome.stats;
+        stats.mark_work_wasted();
+        {
+            let mut accum = self.accum.lock();
+            accum.speculative.merge(&stats);
+            accum.rolled_back_threads += 1;
+        }
+        self.release_cpu(rank, 0);
+    }
+
+    /// Abort and *synchronously* drain a speculative subtree: waits for
+    /// every thread in the subtree to stop, accounts their work as wasted
+    /// and reclaims their CPUs.  Used when a speculative region ends with
+    /// children still unjoined.
+    pub fn drain_subtree(&self, rank: Rank) {
+        let slot = &self.slots[rank - 1];
+        slot.abort.store(true, Ordering::Release);
+        let outcome = self.wait_outcome(rank);
+        for child in &outcome.children {
+            self.drain_subtree(*child);
+        }
+        let mut stats = outcome.stats;
+        stats.mark_work_wasted();
+        {
+            let mut accum = self.accum.lock();
+            accum.speculative.merge(&stats);
+            accum.rolled_back_threads += 1;
+        }
+        self.release_cpu(rank, 0);
+    }
+
+    /// Abort an entire speculative subtree rooted at `rank` (paper §IV-F:
+    /// cascading rollbacks are confined to the subtree).
+    pub fn reap_subtree(&self, rank: Rank) {
+        let slot = &self.slots[rank - 1];
+        slot.abort.store(true, Ordering::Release);
+        slot.orphaned.store(true, Ordering::Release);
+        // If the outcome is already there, clean up now; otherwise the
+        // worker will observe `orphaned` when it deposits.
+        let taken = slot.result.lock().take();
+        if let Some(outcome) = taken {
+            self.finish_discarded(rank, outcome, SpecFailure::Cascaded);
+        }
+    }
+
+    /// Validate a finished child and either publish or discard its buffers.
+    ///
+    /// `parent_buffer` is `Some` when the joiner is itself speculative; in
+    /// that case a valid child is *absorbed* into the parent's buffers
+    /// instead of being committed to main memory.
+    ///
+    /// Returns `Ok(phase timings…)` on commit and `Err(reason)` on
+    /// rollback.  Validation/commit/finalize time is charged to `stats`
+    /// (the child's statistics), matching the paper's attribution of those
+    /// phases to the speculative path.
+    pub fn validate_and_commit(
+        &self,
+        outcome: &mut SpecOutcome,
+        parent_buffer: Option<&mut GlobalBuffer>,
+    ) -> Result<(), SpecFailure> {
+        let started = Instant::now();
+        let mem: &GlobalMemory = &self.memory;
+
+        let failure = match outcome.status {
+            TaskStatus::Failed(reason) => Some(reason),
+            TaskStatus::Completed | TaskStatus::Barrier => None,
+        };
+        if let Some(reason) = failure {
+            outcome.stats.add(Phase::Validation, elapsed_ns(started));
+            return Err(reason);
+        }
+
+        // Read-set validation, against main memory or the parent overlay.
+        let valid = match &parent_buffer {
+            None => outcome.buffers.global.validate(mem),
+            Some(parent) => {
+                let view = |addr: Addr| match parent.write_entries().find(|e| e.addr == addr) {
+                    Some(e) if e.mask == u64::MAX => e.data,
+                    Some(e) => (mem.read_word(addr) & !e.mask) | (e.data & e.mask),
+                    None => mem.read_word(addr),
+                };
+                outcome.buffers.global.validate_view(view)
+            }
+        };
+        outcome.stats.add(Phase::Validation, elapsed_ns(started));
+        if !valid {
+            return Err(SpecFailure::ReadConflict);
+        }
+
+        // Injected rollback (paper §V-D).
+        if self.draw_injected_rollback() {
+            return Err(SpecFailure::Injected);
+        }
+
+        // Commit.
+        let commit_started = Instant::now();
+        let commit_result = match parent_buffer {
+            None => {
+                outcome.buffers.global.commit(mem);
+                Ok(())
+            }
+            Some(parent) => parent.absorb(&outcome.buffers.global),
+        };
+        outcome.stats.add(Phase::Commit, elapsed_ns(commit_started));
+        match commit_result {
+            Ok(()) => Ok(()),
+            // The parent could not hold the child's data; discard the child.
+            Err(_) => Err(SpecFailure::BufferOverflow),
+        }
+    }
+
+    /// Draw from the rollback-injection distribution.
+    pub fn draw_injected_rollback(&self) -> bool {
+        let p = self.config.rollback_probability;
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.rng.lock().gen_bool(p)
+    }
+
+    /// Fold a finished speculative thread's statistics into the current
+    /// run's accumulators.
+    pub fn record_speculative(&self, stats: &ThreadStats, committed: bool) {
+        let mut accum = self.accum.lock();
+        accum.speculative.merge(stats);
+        if committed {
+            accum.committed_threads += 1;
+        } else {
+            accum.rolled_back_threads += 1;
+        }
+    }
+
+    /// Reset the per-run accumulators (called at the start of
+    /// `Runtime::run`).
+    pub fn reset_run(&self) {
+        *self.accum.lock() = RunAccumulators::default();
+    }
+
+    /// Take a snapshot of the per-run accumulators.
+    pub fn run_snapshot(&self) -> (ThreadStats, u64, u64) {
+        let accum = self.accum.lock();
+        (
+            accum.speculative.clone(),
+            accum.committed_threads,
+            accum.rolled_back_threads,
+        )
+    }
+
+    /// Build the buffers for a new speculative thread.
+    pub fn make_buffers(&self) -> ThreadBuffers {
+        ThreadBuffers {
+            global: GlobalBuffer::new(self.config.buffer),
+            local: LocalBuffer::new(self.config.local_buffer),
+        }
+    }
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+
+/// Worker loop executed by each virtual CPU's OS thread.
+pub fn worker_loop(mgr: Arc<ThreadManager>, rank: Rank, rx: Receiver<WorkerMsg>) {
+    while let Ok(msg) = rx.recv() {
+        let request = match msg {
+            WorkerMsg::Run(request) => request,
+            WorkerMsg::Shutdown => break,
+        };
+        let mut ctx = SpecContext::speculative(Arc::clone(&mgr), rank, request.regvars);
+        let started = Instant::now();
+        let result = (request.task)(&mut ctx);
+        let status = match result {
+            Ok(()) => TaskStatus::Completed,
+            Err(SpecAbort::BarrierReached) => TaskStatus::Barrier,
+            Err(SpecAbort::Failed(reason)) => TaskStatus::Failed(reason),
+        };
+        let outcome = ctx.into_outcome(status, started);
+        mgr.deposit_outcome(rank, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr(cpus: usize) -> Arc<ThreadManager> {
+        let (m, _rx) = ThreadManager::new(RuntimeConfig::with_cpus(cpus).memory_bytes(1 << 16));
+        m
+    }
+
+    #[test]
+    fn acquire_respects_cpu_count() {
+        let m = mgr(2);
+        let a = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let b = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        assert_ne!(a, b);
+        assert!(m.try_acquire_cpu(0, ForkModel::Mixed).is_none());
+        m.release_cpu(a, 0);
+        assert!(m.try_acquire_cpu(0, ForkModel::Mixed).is_some());
+    }
+
+    #[test]
+    fn out_of_order_denies_speculative_forkers() {
+        let m = mgr(4);
+        let child = m.try_acquire_cpu(0, ForkModel::OutOfOrder).unwrap();
+        // The speculative child may not fork under out-of-order.
+        assert!(m.try_acquire_cpu(child, ForkModel::OutOfOrder).is_none());
+        // But the non-speculative thread may keep forking.
+        assert!(m.try_acquire_cpu(0, ForkModel::OutOfOrder).is_some());
+    }
+
+    #[test]
+    fn in_order_only_most_speculative_forks() {
+        let m = mgr(4);
+        let first = m.try_acquire_cpu(0, ForkModel::InOrder).unwrap();
+        // Non-speculative thread is no longer the most speculative.
+        assert!(m.try_acquire_cpu(0, ForkModel::InOrder).is_none());
+        let second = m.try_acquire_cpu(first, ForkModel::InOrder).unwrap();
+        assert!(m.try_acquire_cpu(first, ForkModel::InOrder).is_none());
+        assert!(m.try_acquire_cpu(second, ForkModel::InOrder).is_some());
+    }
+
+    #[test]
+    fn mixed_allows_any_forker() {
+        let m = mgr(4);
+        let a = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let b = m.try_acquire_cpu(a, ForkModel::Mixed).unwrap();
+        assert!(m.try_acquire_cpu(b, ForkModel::Mixed).is_some());
+        assert!(m.try_acquire_cpu(0, ForkModel::Mixed).is_some());
+        assert_eq!(m.active_speculations(), 4);
+    }
+
+    #[test]
+    fn release_restores_most_speculative_to_joiner() {
+        let m = mgr(2);
+        let a = m.try_acquire_cpu(0, ForkModel::InOrder).unwrap();
+        m.release_cpu(a, 0);
+        // After the join the non-speculative thread can speculate again.
+        assert!(m.try_acquire_cpu(0, ForkModel::InOrder).is_some());
+    }
+
+    #[test]
+    fn rollback_injection_extremes() {
+        let (m, _rx) = ThreadManager::new(
+            RuntimeConfig::with_cpus(1)
+                .memory_bytes(1 << 12)
+                .rollback_probability(0.0),
+        );
+        assert!(!m.draw_injected_rollback());
+        let (m, _rx) = ThreadManager::new(
+            RuntimeConfig::with_cpus(1)
+                .memory_bytes(1 << 12)
+                .rollback_probability(1.0),
+        );
+        assert!(m.draw_injected_rollback());
+    }
+
+    #[test]
+    fn address_registration_flows_through() {
+        let m = mgr(1);
+        m.register_range(0x100, 0x40);
+        assert!(m.range_registered(0x100, 8));
+        assert!(!m.range_registered(0x200, 8));
+        m.unregister_range(0x100, 0x40);
+        assert!(!m.range_registered(0x100, 8));
+    }
+
+    #[test]
+    fn run_accumulators_reset_and_snapshot() {
+        let m = mgr(1);
+        let mut stats = ThreadStats::new();
+        stats.add(Phase::Work, 10);
+        m.record_speculative(&stats, true);
+        m.record_speculative(&stats, false);
+        let (agg, committed, rolled) = m.run_snapshot();
+        assert_eq!(agg.get(Phase::Work), 20);
+        assert_eq!(committed, 1);
+        assert_eq!(rolled, 1);
+        m.reset_run();
+        let (agg, committed, rolled) = m.run_snapshot();
+        assert_eq!(agg.total(), 0);
+        assert_eq!(committed + rolled, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The [`Runtime`] facade: owns the virtual CPUs (worker threads), the
+//! shared memory arena and the speculative region entry point.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mutls_membuf::{GPtr, GlobalMemory, WORD_BYTES};
+
+use crate::config::RuntimeConfig;
+use crate::context::SpecContext;
+use crate::manager::{worker_loop, ThreadManager};
+use crate::stats::RunReport;
+use crate::task::{SpecResult, Word};
+
+/// A native MUTLS runtime instance.
+///
+/// ```
+/// use mutls_runtime::{Runtime, RuntimeConfig, SpecContext, TlsContext, task, JoinOutcome};
+///
+/// let rt = Runtime::new(RuntimeConfig::with_cpus(2).memory_bytes(1 << 16));
+/// let data = rt.alloc::<i64>(8);
+/// let mem = rt.memory();
+/// for i in 0..8 {
+///     mem.set(&data, i, i as i64);
+/// }
+/// let (sum, report) = rt.run(|ctx| {
+///     let continuation = task(move |ctx: &mut SpecContext| {
+///         let mut acc = 0;
+///         for i in 4..8 {
+///             acc += ctx.load(&data, i)?;
+///         }
+///         ctx.store(&data, 7, acc)?;
+///         ctx.barrier()
+///     });
+///     let handle = ctx.fork(0, continuation)?;
+///     let mut acc = 0;
+///     for i in 0..4 {
+///         acc += ctx.load(&data, i)?;
+///     }
+///     let _ = ctx.join(handle)?;
+///     acc += ctx.load(&data, 7)?;
+///     Ok(acc)
+/// });
+/// assert_eq!(sum, 0 + 1 + 2 + 3 + (4 + 5 + 6 + 7));
+/// assert!(report.runtime > 0);
+/// ```
+pub struct Runtime {
+    mgr: Arc<ThreadManager>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Create a runtime with `config.num_cpus` speculative virtual CPUs,
+    /// each backed by a worker OS thread.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let (mgr, receivers) = ThreadManager::new(config);
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let mgr = Arc::clone(&mgr);
+                std::thread::Builder::new()
+                    .name(format!("mutls-cpu-{}", i + 1))
+                    .spawn(move || worker_loop(mgr, i + 1, rx))
+                    .expect("spawn virtual CPU worker")
+            })
+            .collect();
+        Runtime { mgr, workers }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        self.mgr.config()
+    }
+
+    /// Shared main memory arena.
+    pub fn memory(&self) -> Arc<GlobalMemory> {
+        Arc::clone(self.mgr.memory())
+    }
+
+    /// Low-level access to the thread manager (used by the IR interpreter
+    /// and advanced integrations).
+    pub fn manager(&self) -> &Arc<ThreadManager> {
+        &self.mgr
+    }
+
+    /// Allocate `count` elements of `T` in the shared arena and register
+    /// the range in the global address space.
+    pub fn alloc<T: Word>(&self, count: usize) -> GPtr<T> {
+        let ptr = self.mgr.memory().alloc::<T>(count);
+        self.mgr
+            .register_range(ptr.base_addr(), (count as u64) * WORD_BYTES);
+        ptr
+    }
+
+    /// Execute a speculative region on the calling thread (rank 0) and
+    /// return its value together with the run report.
+    ///
+    /// # Panics
+    /// Panics if the root closure itself aborts (e.g. calls
+    /// [`TlsContext::barrier`](crate::TlsContext::barrier) at rank 0),
+    /// which indicates a program structure error.
+    pub fn run<R>(&self, f: impl FnOnce(&mut SpecContext) -> SpecResult<R>) -> (R, RunReport) {
+        let (result, report) = self.try_run(f);
+        match result {
+            Ok(value) => (value, report),
+            Err(abort) => panic!("non-speculative region aborted: {abort:?}"),
+        }
+    }
+
+    /// Like [`run`](Self::run) but surfaces an abort of the root closure
+    /// instead of panicking.
+    pub fn try_run<R>(
+        &self,
+        f: impl FnOnce(&mut SpecContext) -> SpecResult<R>,
+    ) -> (SpecResult<R>, RunReport) {
+        self.mgr.reset_run();
+        let started = Instant::now();
+        let mut ctx = SpecContext::non_speculative(Arc::clone(&self.mgr));
+        let result = f(&mut ctx);
+        let (critical, unjoined) = ctx.finish(started);
+        // Anything never joined is drained so its CPU is reclaimed and its
+        // (wasted) work is accounted for.
+        for child in unjoined {
+            self.mgr.drain_subtree(child);
+        }
+        let runtime = started.elapsed().as_nanos() as u64;
+        let (speculative, committed_threads, rolled_back_threads) = self.mgr.run_snapshot();
+        let report = RunReport {
+            critical,
+            speculative,
+            committed_threads,
+            rolled_back_threads,
+            runtime,
+        };
+        (result, report)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.mgr.shutdown_workers();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Execution statistics: per-thread phase breakdowns and run-level metrics.
+//!
+//! The paper's evaluation (§V-B) splits execution time of the
+//! *critical path* (the non-speculative thread) into
+//! `work / join / idle / fork / find CPU`, and of the *speculative path*
+//! into `wasted work / finalize / commit / validation / overflow / idle /
+//! fork / find CPU` (plus useful work).  [`Phase`] enumerates those
+//! categories and [`ThreadStats`] accumulates time per category, for both
+//! the native runtime (nanoseconds) and the discrete-event simulator
+//! (virtual cycles) — the unit is opaque to this module.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution-time category, matching the paper's breakdown figures 8 and 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Useful work performed by the thread.
+    Work,
+    /// Work that was discarded because the thread rolled back.
+    WastedWork,
+    /// Scanning for an idle virtual CPU at a fork point.
+    FindCpu,
+    /// Setting up a speculative thread (saving locals, dispatch).
+    Fork,
+    /// Waiting: the non-speculative thread waiting at a join point, or a
+    /// speculative thread waiting to be joined (barrier / completion).
+    Idle,
+    /// Synchronization bookkeeping at join points.
+    Join,
+    /// Read-set validation.
+    Validation,
+    /// Write-set commit (to memory or into the parent's buffers).
+    Commit,
+    /// Buffer finalization (clearing) after commit or rollback.
+    Finalize,
+    /// Time lost to buffer-overflow stalls.
+    Overflow,
+}
+
+impl Phase {
+    /// All phases in presentation order.
+    pub const ALL: [Phase; 10] = [
+        Phase::Work,
+        Phase::WastedWork,
+        Phase::FindCpu,
+        Phase::Fork,
+        Phase::Idle,
+        Phase::Join,
+        Phase::Validation,
+        Phase::Commit,
+        Phase::Finalize,
+        Phase::Overflow,
+    ];
+
+    /// Human-readable label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Work => "work",
+            Phase::WastedWork => "wasted work",
+            Phase::FindCpu => "find CPU",
+            Phase::Fork => "fork",
+            Phase::Idle => "idle",
+            Phase::Join => "join",
+            Phase::Validation => "validation",
+            Phase::Commit => "commit",
+            Phase::Finalize => "finalize",
+            Phase::Overflow => "overflow",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Event counters of one thread.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadCounters {
+    /// Speculative threads forked by this thread.
+    pub forks: u64,
+    /// Fork attempts that found no idle CPU or were denied by the model.
+    pub failed_forks: u64,
+    /// Joins that committed.
+    pub commits: u64,
+    /// Joins that rolled back.
+    pub rollbacks: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+}
+
+/// Per-thread accumulated statistics.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ThreadStats {
+    phases: BTreeMap<Phase, u64>,
+    /// Event counters.
+    pub counters: ThreadCounters,
+}
+
+impl ThreadStats {
+    /// New, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `amount` time units to `phase`.
+    pub fn add(&mut self, phase: Phase, amount: u64) {
+        *self.phases.entry(phase).or_insert(0) += amount;
+    }
+
+    /// Time accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        self.phases.get(&phase).copied().unwrap_or(0)
+    }
+
+    /// Total time across all phases (the thread's runtime).
+    pub fn total(&self) -> u64 {
+        self.phases.values().sum()
+    }
+
+    /// Reclassify all useful work as wasted work (called when the thread
+    /// rolls back).
+    pub fn mark_work_wasted(&mut self) {
+        let w = self.get(Phase::Work);
+        if w > 0 {
+            self.phases.insert(Phase::Work, 0);
+            self.add(Phase::WastedWork, w);
+        }
+    }
+
+    /// Merge another thread's statistics into this one.
+    pub fn merge(&mut self, other: &ThreadStats) {
+        for (phase, amount) in &other.phases {
+            self.add(*phase, *amount);
+        }
+        self.counters.forks += other.counters.forks;
+        self.counters.failed_forks += other.counters.failed_forks;
+        self.counters.commits += other.counters.commits;
+        self.counters.rollbacks += other.counters.rollbacks;
+        self.counters.loads += other.counters.loads;
+        self.counters.stores += other.counters.stores;
+    }
+
+    /// Fraction of this thread's runtime spent in `phase` (0 when the
+    /// thread has no recorded time).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregated result of one speculative run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Statistics of the non-speculative thread (the critical path).
+    pub critical: ThreadStats,
+    /// Combined statistics of every speculative thread (the speculative
+    /// path).
+    pub speculative: ThreadStats,
+    /// Number of speculative threads that committed.
+    pub committed_threads: u64,
+    /// Number of speculative threads that rolled back (any reason).
+    pub rolled_back_threads: u64,
+    /// Wall-clock (or virtual) runtime of the whole region.
+    pub runtime: u64,
+}
+
+impl RunReport {
+    /// Critical path efficiency `η_crit = T_work_nonspec / T_runtime_nonspec`.
+    pub fn critical_path_efficiency(&self) -> f64 {
+        let total = self.critical.total();
+        if total == 0 {
+            return 1.0;
+        }
+        self.critical.get(Phase::Work) as f64 / total as f64
+    }
+
+    /// Speculative path efficiency `η_sp = Σ T_work_sp / Σ T_runtime_sp`.
+    pub fn speculative_path_efficiency(&self) -> f64 {
+        let total = self.speculative.total();
+        if total == 0 {
+            return 1.0;
+        }
+        self.speculative.get(Phase::Work) as f64 / total as f64
+    }
+
+    /// Parallel execution coverage `C = Σ T_runtime_sp / T_runtime_nonspec`.
+    pub fn coverage(&self) -> f64 {
+        let crit = self.critical.total();
+        if crit == 0 {
+            return 0.0;
+        }
+        self.speculative.total() as f64 / crit as f64
+    }
+
+    /// Power efficiency `η_power = T_s / (T_runtime_nonspec + Σ T_runtime_sp)`
+    /// given the sequential runtime `sequential` in the same units.
+    pub fn power_efficiency(&self, sequential: u64) -> f64 {
+        let busy = self.critical.total() + self.speculative.total();
+        if busy == 0 {
+            return 1.0;
+        }
+        sequential as f64 / busy as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut s = ThreadStats::new();
+        s.add(Phase::Work, 70);
+        s.add(Phase::Idle, 20);
+        s.add(Phase::Work, 10);
+        assert_eq!(s.get(Phase::Work), 80);
+        assert_eq!(s.get(Phase::Join), 0);
+        assert_eq!(s.total(), 100);
+        assert!((s.fraction(Phase::Work) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mark_work_wasted_moves_everything() {
+        let mut s = ThreadStats::new();
+        s.add(Phase::Work, 50);
+        s.add(Phase::Validation, 5);
+        s.mark_work_wasted();
+        assert_eq!(s.get(Phase::Work), 0);
+        assert_eq!(s.get(Phase::WastedWork), 50);
+        assert_eq!(s.total(), 55);
+    }
+
+    #[test]
+    fn merge_accumulates_phases_and_counters() {
+        let mut a = ThreadStats::new();
+        a.add(Phase::Work, 10);
+        a.counters.forks = 1;
+        let mut b = ThreadStats::new();
+        b.add(Phase::Work, 5);
+        b.add(Phase::Commit, 2);
+        b.counters.forks = 2;
+        b.counters.rollbacks = 1;
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Work), 15);
+        assert_eq!(a.get(Phase::Commit), 2);
+        assert_eq!(a.counters.forks, 3);
+        assert_eq!(a.counters.rollbacks, 1);
+    }
+
+    #[test]
+    fn report_metrics() {
+        let mut report = RunReport::default();
+        report.critical.add(Phase::Work, 90);
+        report.critical.add(Phase::Idle, 10);
+        report.speculative.add(Phase::Work, 150);
+        report.speculative.add(Phase::Validation, 25);
+        report.speculative.add(Phase::WastedWork, 25);
+        assert!((report.critical_path_efficiency() - 0.9).abs() < 1e-12);
+        assert!((report.speculative_path_efficiency() - 0.75).abs() < 1e-12);
+        assert!((report.coverage() - 2.0).abs() < 1e-12);
+        assert!((report.power_efficiency(150) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report = RunReport::default();
+        assert_eq!(report.critical_path_efficiency(), 1.0);
+        assert_eq!(report.speculative_path_efficiency(), 1.0);
+        assert_eq!(report.coverage(), 0.0);
+        assert_eq!(report.power_efficiency(100), 1.0);
+    }
+
+    #[test]
+    fn fraction_of_empty_stats_is_zero() {
+        let s = ThreadStats::new();
+        assert_eq!(s.fraction(Phase::Work), 0.0);
+    }
+
+    #[test]
+    fn phase_labels_unique() {
+        let labels: std::collections::HashSet<_> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), Phase::ALL.len());
+    }
+}

@@ -1,0 +1,115 @@
+//! Cost model of the discrete-event multicore simulator.
+//!
+//! The simulator charges *virtual cycles* for work, memory operations and
+//! every runtime phase the paper's breakdown figures report (find CPU,
+//! fork, join, validation, commit, finalize).  Absolute values are not
+//! meant to match the authors' AMD Opteron testbed; they are chosen so
+//! that the *relative* behaviour — computation- vs. memory-intensive
+//! scaling, speculative-path overhead composition, fork-model crossovers —
+//! reproduces the shape of the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation virtual-cycle costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles per abstract work unit charged via `TlsContext::work`.
+    pub work_unit: u64,
+    /// Cycles per load on the non-speculative thread.
+    pub load: u64,
+    /// Cycles per store on the non-speculative thread.
+    pub store: u64,
+    /// Extra cycles per load/store when executed speculatively (software
+    /// buffering overhead: hashing into the word map).
+    pub buffered_access_overhead: u64,
+    /// Cycles to scan for an idle CPU at a fork point.
+    pub find_cpu: u64,
+    /// Cycles to set up and dispatch a speculative thread (saving live
+    /// locals, initializing `ThreadData`).
+    pub fork: u64,
+    /// Fixed cycles of synchronization bookkeeping at a join point.
+    pub join: u64,
+    /// Cycles per read-set word during validation.
+    pub validate_per_word: u64,
+    /// Cycles per write-set word during commit.
+    pub commit_per_word: u64,
+    /// Cycles per buffered word during finalization (buffer clearing).
+    pub finalize_per_word: u64,
+    /// Cycles a speculative thread needs from creation until it starts
+    /// useful work (thread wake-up latency).
+    pub spawn_latency: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            work_unit: 1,
+            load: 2,
+            store: 2,
+            buffered_access_overhead: 6,
+            find_cpu: 60,
+            fork: 400,
+            join: 200,
+            validate_per_word: 4,
+            commit_per_word: 4,
+            finalize_per_word: 1,
+            spawn_latency: 300,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cycles for a segment executed non-speculatively.
+    pub fn segment_cycles(&self, work: u64, loads: u64, stores: u64) -> u64 {
+        work * self.work_unit + loads * self.load + stores * self.store
+    }
+
+    /// Cycles for a segment executed speculatively (buffered accesses).
+    pub fn segment_cycles_speculative(&self, work: u64, loads: u64, stores: u64) -> u64 {
+        self.segment_cycles(work, loads, stores)
+            + (loads + stores) * self.buffered_access_overhead
+    }
+
+    /// Validation cost for a read-set of `words` entries.
+    pub fn validation_cycles(&self, words: u64) -> u64 {
+        self.join / 2 + words * self.validate_per_word
+    }
+
+    /// Commit cost for a write-set of `words` entries.
+    pub fn commit_cycles(&self, words: u64) -> u64 {
+        words * self.commit_per_word
+    }
+
+    /// Finalization cost for `words` buffered entries.
+    pub fn finalize_cycles(&self, words: u64) -> u64 {
+        words * self.finalize_per_word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speculative_segments_cost_more() {
+        let c = CostModel::default();
+        assert!(c.segment_cycles_speculative(10, 5, 5) > c.segment_cycles(10, 5, 5));
+        assert_eq!(c.segment_cycles(10, 0, 0), 10 * c.work_unit);
+    }
+
+    #[test]
+    fn buffer_costs_scale_with_words() {
+        let c = CostModel::default();
+        assert!(c.validation_cycles(100) > c.validation_cycles(10));
+        assert_eq!(c.commit_cycles(0), 0);
+        assert_eq!(c.finalize_cycles(3), 3 * c.finalize_per_word);
+    }
+
+    #[test]
+    fn default_serializes() {
+        let c = CostModel::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CostModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

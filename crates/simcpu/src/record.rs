@@ -1,0 +1,426 @@
+//! Speculation-trace recording.
+//!
+//! The simulator first executes the workload *once, sequentially*, through
+//! a [`RecordContext`] (an implementation of
+//! [`TlsContext`](mutls_runtime::TlsContext)).  The recording captures the
+//! task tree the fork/join annotations induce — per task: work segments
+//! with their read/write address sets, fork and join events, and whether
+//! the task ended at a barrier.  Program results are always computed
+//! correctly (the recording *is* a sequential execution); speculation
+//! success or failure only affects the simulated timing, which is exactly
+//! the property a performance simulator needs.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use mutls_membuf::{Addr, GlobalMemory, MainMemory};
+use mutls_runtime::{ForkModel, JoinOutcome, Rank, SpecResult, TaskRef, TlsContext};
+
+/// Index of a task node within a [`Recording`].
+pub type NodeId = usize;
+
+/// A contiguous stretch of execution between two speculation events.
+#[derive(Debug, Default, Clone)]
+pub struct Segment {
+    /// Abstract work units charged via `work()`.
+    pub work: u64,
+    /// Number of loads issued in this segment.
+    pub loads: u64,
+    /// Number of stores issued in this segment.
+    pub stores: u64,
+    /// Word addresses read (before being written) in this segment.
+    pub reads: HashSet<Addr>,
+    /// Word addresses written in this segment.
+    pub writes: HashSet<Addr>,
+}
+
+impl Segment {
+    fn is_empty(&self) -> bool {
+        self.work == 0 && self.loads == 0 && self.stores == 0
+    }
+}
+
+/// One element of a task's timeline.
+#[derive(Debug, Clone)]
+pub enum SimEvent {
+    /// Execute a segment of straight-line work.
+    Seg(Segment),
+    /// A fork point speculating `child` under the given model.
+    Fork {
+        /// The child task.
+        child: NodeId,
+        /// Forking model requested at this fork point.
+        model: ForkModel,
+        /// Fork/join point id (for diagnostics).
+        point: u32,
+    },
+    /// The matching join point for `child`.
+    Join {
+        /// The child task being joined.
+        child: NodeId,
+    },
+}
+
+/// One task (speculative-thread candidate) of the recording.
+#[derive(Debug, Default, Clone)]
+pub struct TaskNode {
+    /// Timeline of segments and speculation events.
+    pub events: Vec<SimEvent>,
+    /// Word addresses this task read before writing them (its read
+    /// dependences), aggregated over all segments.
+    pub read_set: HashSet<Addr>,
+    /// Word addresses this task wrote, aggregated over all segments.
+    pub write_set: HashSet<Addr>,
+    /// True when the task closure ended at a barrier point.
+    pub barrier: bool,
+    /// Sequential order index (preorder position of the task's region in
+    /// the original program order).
+    pub seq: usize,
+}
+
+impl TaskNode {
+    /// Total work units in this task's own segments (excluding children).
+    pub fn own_work(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SimEvent::Seg(s) => s.work,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total loads + stores in this task's own segments.
+    pub fn own_memory_ops(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                SimEvent::Seg(s) => s.loads + s.stores,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// A recorded speculation trace: the task tree plus the shared memory
+/// arena used while recording.
+pub struct Recording {
+    /// All task nodes; index 0 is the root (non-speculative) task.
+    pub nodes: Vec<TaskNode>,
+    /// The memory arena the recording executed against.
+    pub memory: Arc<GlobalMemory>,
+}
+
+impl Recording {
+    /// The root task.
+    pub fn root(&self) -> &TaskNode {
+        &self.nodes[0]
+    }
+
+    /// Number of tasks (1 root + one per fork point executed).
+    pub fn task_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total work units across every task: the *sequential* execution time
+    /// in work units (memory costs are added by the scheduler's cost
+    /// model).
+    pub fn total_work(&self) -> u64 {
+        self.nodes.iter().map(|n| n.own_work()).sum()
+    }
+
+    /// Total loads and stores across every task.
+    pub fn total_memory_ops(&self) -> u64 {
+        self.nodes.iter().map(|n| n.own_memory_ops()).sum()
+    }
+
+    /// Memory-access density `ρ = N_rw / work` (the paper's
+    /// computation-vs-memory-intensive criterion from Table II).
+    pub fn memory_density(&self) -> f64 {
+        let work = self.total_work().max(1);
+        self.total_memory_ops() as f64 / work as f64
+    }
+}
+
+/// Handle returned by [`RecordContext::fork`].
+pub struct RecordHandle {
+    child: NodeId,
+    task: TaskRef<RecordContext>,
+}
+
+/// Sequential recording context implementing [`TlsContext`].
+pub struct RecordContext {
+    memory: Arc<GlobalMemory>,
+    nodes: Vec<TaskNode>,
+    /// Stack of nodes currently being recorded (innermost last); the
+    /// current segment under construction sits alongside each.
+    stack: Vec<NodeId>,
+    current: Segment,
+    seq_counter: usize,
+}
+
+impl RecordContext {
+    /// Start a recording against a fresh arena of `memory_bytes` bytes.
+    pub fn new(memory: Arc<GlobalMemory>) -> Self {
+        let root = TaskNode {
+            seq: 0,
+            ..TaskNode::default()
+        };
+        RecordContext {
+            memory,
+            nodes: vec![root],
+            stack: vec![0],
+            current: Segment::default(),
+            seq_counter: 1,
+        }
+    }
+
+    /// The shared memory arena.
+    pub fn memory(&self) -> &Arc<GlobalMemory> {
+        &self.memory
+    }
+
+    fn current_node(&mut self) -> &mut TaskNode {
+        let id = *self.stack.last().expect("node stack never empty");
+        &mut self.nodes[id]
+    }
+
+    fn flush_segment(&mut self) {
+        if self.current.is_empty() {
+            return;
+        }
+        let seg = std::mem::take(&mut self.current);
+        let node = self.current_node();
+        node.read_set.extend(seg.reads.iter().copied());
+        node.write_set.extend(seg.writes.iter().copied());
+        node.events.push(SimEvent::Seg(seg));
+    }
+
+    /// Finish recording and produce the [`Recording`].
+    pub fn finish(mut self) -> Recording {
+        self.flush_segment();
+        assert_eq!(self.stack.len(), 1, "unbalanced fork/join recording");
+        Recording {
+            nodes: self.nodes,
+            memory: self.memory,
+        }
+    }
+}
+
+impl TlsContext for RecordContext {
+    type Handle = RecordHandle;
+
+    fn work(&mut self, units: u64) -> SpecResult<()> {
+        self.current.work += units;
+        Ok(())
+    }
+
+    fn load_word(&mut self, addr: Addr) -> SpecResult<u64> {
+        self.current.loads += 1;
+        if !self.current.writes.contains(&addr) {
+            self.current.reads.insert(addr);
+        }
+        Ok(self.memory.read_word(addr))
+    }
+
+    fn store_word(&mut self, addr: Addr, value: u64) -> SpecResult<()> {
+        self.current.stores += 1;
+        self.current.writes.insert(addr);
+        self.memory.write_word(addr, value);
+        Ok(())
+    }
+
+    fn fork(&mut self, point: u32, task: TaskRef<Self>) -> SpecResult<RecordHandle> {
+        self.fork_with_model(point, ForkModel::Mixed, task)
+    }
+
+    fn fork_with_model(
+        &mut self,
+        point: u32,
+        model: ForkModel,
+        task: TaskRef<Self>,
+    ) -> SpecResult<RecordHandle> {
+        self.flush_segment();
+        let child = self.nodes.len();
+        self.nodes.push(TaskNode {
+            seq: self.seq_counter,
+            ..TaskNode::default()
+        });
+        self.seq_counter += 1;
+        self.current_node()
+            .events
+            .push(SimEvent::Fork { child, model, point });
+        Ok(RecordHandle { child, task })
+    }
+
+    fn join(&mut self, handle: RecordHandle) -> SpecResult<JoinOutcome> {
+        // The continuation executes here, at its sequential program
+        // position, recording into the child node.
+        self.flush_segment();
+        self.stack.push(handle.child);
+        let result = (handle.task)(self);
+        self.flush_segment();
+        match result {
+            Ok(()) => {}
+            Err(mutls_runtime::SpecAbort::BarrierReached) => {
+                let id = *self.stack.last().unwrap();
+                self.nodes[id].barrier = true;
+            }
+            Err(other) => {
+                self.stack.pop();
+                return Err(other);
+            }
+        }
+        self.stack.pop();
+        self.current_node()
+            .events
+            .push(SimEvent::Join { child: handle.child });
+        Ok(JoinOutcome::Committed)
+    }
+
+    fn barrier(&mut self) -> SpecResult<()> {
+        Err(mutls_runtime::SpecAbort::BarrierReached)
+    }
+
+    fn check_point(&mut self) -> SpecResult<()> {
+        Ok(())
+    }
+
+    fn is_speculative(&self) -> bool {
+        // During recording every task runs "as if speculative" except the
+        // root region.
+        self.stack.len() > 1
+    }
+
+    fn rank(&self) -> Rank {
+        self.stack.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutls_runtime::task;
+
+    fn arena() -> Arc<GlobalMemory> {
+        Arc::new(GlobalMemory::new(1 << 16))
+    }
+
+    #[test]
+    fn simple_fork_join_builds_two_nodes() {
+        let mem = arena();
+        let data = mem.alloc::<i64>(8);
+        let mut ctx = RecordContext::new(Arc::clone(&mem));
+        ctx.work(10).unwrap();
+        let child = task(move |ctx: &mut RecordContext| {
+            ctx.work(5)?;
+            ctx.store(&data, 0, 42)?;
+            ctx.barrier()
+        });
+        let h = ctx.fork(0, child).unwrap();
+        ctx.work(20).unwrap();
+        ctx.join(h).unwrap();
+        let rec = ctx.finish();
+        assert_eq!(rec.task_count(), 2);
+        assert_eq!(rec.total_work(), 35);
+        assert!(rec.nodes[1].barrier);
+        assert_eq!(rec.nodes[1].write_set.len(), 1);
+        // The store really happened (sequential correctness).
+        assert_eq!(mem.get(&data, 0), 42);
+    }
+
+    #[test]
+    fn read_before_write_is_a_read_dependence_but_not_after() {
+        let mem = arena();
+        let data = mem.alloc::<i64>(4);
+        mem.set(&data, 0, 7);
+        let mut ctx = RecordContext::new(Arc::clone(&mem));
+        let child = task(move |ctx: &mut RecordContext| {
+            let v = ctx.load(&data, 0)?; // read dependence
+            ctx.store(&data, 1, v * 2)?;
+            let _ = ctx.load(&data, 1)?; // own write: no dependence
+            Ok(())
+        });
+        let h = ctx.fork(0, child).unwrap();
+        ctx.join(h).unwrap();
+        let rec = ctx.finish();
+        assert!(rec.nodes[1].read_set.contains(&data.addr_of(0)));
+        assert!(!rec.nodes[1].read_set.contains(&data.addr_of(1)));
+        assert_eq!(mem.get(&data, 1), 14);
+    }
+
+    #[test]
+    fn nested_forks_form_a_tree_in_sequential_order() {
+        let mem = arena();
+        let mut ctx = RecordContext::new(mem);
+        let grandchild = task(|ctx: &mut RecordContext| ctx.work(1));
+        let child = task(move |ctx: &mut RecordContext| {
+            let h = ctx.fork(1, grandchild.clone())?;
+            ctx.work(2)?;
+            ctx.join(h)?;
+            Ok(())
+        });
+        let h = ctx.fork(0, child).unwrap();
+        ctx.work(4).unwrap();
+        ctx.join(h).unwrap();
+        let rec = ctx.finish();
+        assert_eq!(rec.task_count(), 3);
+        // Sequence numbers follow fork order.
+        assert_eq!(rec.nodes[1].seq, 1);
+        assert_eq!(rec.nodes[2].seq, 2);
+        assert_eq!(rec.total_work(), 7);
+    }
+
+    #[test]
+    fn memory_density_distinguishes_workload_classes() {
+        let mem = arena();
+        let data = mem.alloc::<i64>(16);
+        let mut compute = RecordContext::new(Arc::clone(&mem));
+        compute.work(1000).unwrap();
+        let compute_rec = compute.finish();
+
+        let mut memy = RecordContext::new(Arc::clone(&mem));
+        for i in 0..16 {
+            let v = memy.load(&data, i).unwrap();
+            memy.store(&data, i, v + 1).unwrap();
+        }
+        memy.work(16).unwrap();
+        let mem_rec = memy.finish();
+
+        assert!(compute_rec.memory_density() < mem_rec.memory_density());
+    }
+
+    #[test]
+    fn segments_split_at_speculation_events() {
+        let mem = arena();
+        let mut ctx = RecordContext::new(mem);
+        ctx.work(1).unwrap();
+        let child = task(|ctx: &mut RecordContext| ctx.work(1));
+        let h = ctx.fork(0, child).unwrap();
+        ctx.work(2).unwrap();
+        ctx.join(h).unwrap();
+        ctx.work(3).unwrap();
+        let rec = ctx.finish();
+        let root = rec.root();
+        // Seg(1), Fork, Seg(2), Join, Seg(3)
+        assert_eq!(root.events.len(), 5);
+        assert!(matches!(root.events[1], SimEvent::Fork { .. }));
+        assert!(matches!(root.events[3], SimEvent::Join { .. }));
+    }
+
+    #[test]
+    fn rank_and_speculative_reflect_nesting() {
+        let mem = arena();
+        let mut ctx = RecordContext::new(mem);
+        assert!(!ctx.is_speculative());
+        assert_eq!(ctx.rank(), 0);
+        let child = task(|ctx: &mut RecordContext| {
+            assert!(ctx.is_speculative());
+            assert_eq!(ctx.rank(), 1);
+            Ok(())
+        });
+        let h = ctx.fork(0, child).unwrap();
+        ctx.join(h).unwrap();
+        let _ = ctx.finish();
+    }
+}

@@ -1,0 +1,702 @@
+//! Discrete-event scheduling of a recorded speculation trace on N virtual
+//! CPUs.
+//!
+//! The scheduler replays a [`Recording`] under a forking model and a
+//! [`CostModel`], producing the same metrics the paper reports: virtual
+//! runtime (hence speedup vs. the sequential cost of the trace), critical-
+//! and speculative-path phase breakdowns, commit/rollback counts, coverage
+//! and power efficiency.
+//!
+//! Two aspects of the MUTLS runtime are modelled faithfully because the
+//! evaluation depends on them:
+//!
+//! * **Early synchronization (check points).**  When a joining thread
+//!   reaches its join point before the speculative child has finished, the
+//!   child is stopped at its next check point (here: the end of its
+//!   in-flight segment), its partial work is validated and committed, and
+//!   the joiner *continues the child's remaining execution itself* — the
+//!   synchronization-table / stack-frame-reconstruction mechanism of paper
+//!   §IV-E/H.  This is what lets loop speculation recycle CPUs and scale
+//!   past `#chunks ≈ #CPUs`.
+//! * **Conflict detection.**  A speculative task is doomed when an address
+//!   it read is published (committed to main memory) by logically earlier
+//!   work while the task is in flight — the condition MUTLS read-set
+//!   validation detects.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mutls_membuf::{Addr, SpecFailure};
+use mutls_runtime::{ForkModel, Phase, RunReport, ThreadStats};
+
+use crate::cost::CostModel;
+use crate::record::{NodeId, Recording, SimEvent};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of speculative virtual CPUs.
+    pub num_cpus: usize,
+    /// When set, every fork point uses this model instead of the one the
+    /// workload requested (used by the forking-model comparison).
+    pub fork_model: Option<ForkModel>,
+    /// Probability of forcing a rollback at an otherwise valid join.
+    pub rollback_probability: f64,
+    /// RNG seed for rollback injection.
+    pub seed: u64,
+    /// Virtual-cycle cost model.
+    pub cost: CostModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_cpus: 4,
+            fork_model: None,
+            rollback_probability: 0.0,
+            seed: 0xC0FFEE,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience constructor for a CPU sweep point.
+    pub fn with_cpus(n: usize) -> Self {
+        SimConfig {
+            num_cpus: n,
+            ..Default::default()
+        }
+    }
+
+    /// Override the forking model (builder style).
+    pub fn fork_model(mut self, model: ForkModel) -> Self {
+        self.fork_model = Some(model);
+        self
+    }
+
+    /// Set the injected rollback probability (builder style).
+    pub fn rollback_probability(mut self, p: f64) -> Self {
+        self.rollback_probability = p;
+        self
+    }
+}
+
+/// Result of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Phase breakdowns and thread counts (times in virtual cycles).
+    pub report: RunReport,
+    /// Cost of executing the trace sequentially (no speculation, no
+    /// buffering overhead), in virtual cycles.
+    pub sequential_cycles: u64,
+    /// Virtual runtime of the speculative execution.
+    pub parallel_cycles: u64,
+    /// Number of tasks in the trace.
+    pub tasks: usize,
+}
+
+impl SimResult {
+    /// Absolute speedup `T_s / T_N`.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_cycles as f64 / self.parallel_cycles.max(1) as f64
+    }
+
+    /// Power efficiency `η_power` (paper §V-B).
+    pub fn power_efficiency(&self) -> f64 {
+        self.report.power_efficiency(self.sequential_cycles)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Frame {
+    node: NodeId,
+    ip: usize,
+}
+
+struct Fiber {
+    cpu: usize,
+    speculative: bool,
+    frames: Vec<Frame>,
+    time: u64,
+    start_time: u64,
+    segment_started: u64,
+    stats: ThreadStats,
+    reads: HashSet<Addr>,
+    writes: HashSet<Addr>,
+    doomed: Option<SpecFailure>,
+    /// Fiber waiting at a join for this fiber to stop.
+    waiter: Option<usize>,
+    blocked_since: u64,
+    finished: Option<u64>,
+    /// Set while a work segment is in flight (effects applied at its
+    /// completion time).
+    seg_in_flight: bool,
+    /// The joiner has requested this fiber to stop at its next check point.
+    stop_requested: bool,
+    /// Speculative fibers created (and not yet joined) by this fiber.
+    child_fibers: HashMap<NodeId, usize>,
+    /// Child fiber whose join this fiber is ready to process on resume.
+    pending_join: Option<usize>,
+    /// True once the fiber's outcome has been consumed by its joiner or it
+    /// was cancelled by a cascading rollback.
+    retired: bool,
+}
+
+impl Fiber {
+    fn new(cpu: usize, speculative: bool, node: NodeId, start_time: u64) -> Self {
+        Fiber {
+            cpu,
+            speculative,
+            frames: vec![Frame { node, ip: 0 }],
+            time: start_time,
+            start_time,
+            segment_started: start_time,
+            stats: ThreadStats::new(),
+            reads: HashSet::new(),
+            writes: HashSet::new(),
+            doomed: None,
+            waiter: None,
+            blocked_since: 0,
+            finished: None,
+            seg_in_flight: false,
+            stop_requested: false,
+            child_fibers: HashMap::new(),
+            pending_join: None,
+            retired: false,
+        }
+    }
+}
+
+/// Discrete-event scheduler.
+pub struct Scheduler<'a> {
+    recording: &'a Recording,
+    config: SimConfig,
+    fibers: Vec<Fiber>,
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    queue_seq: u64,
+    cpu_free: Vec<bool>,
+    most_speculative: Option<usize>,
+    active_speculative: usize,
+    rng: SmallRng,
+    spec_stats: ThreadStats,
+    committed: u64,
+    rolled_back: u64,
+    /// Log of (time, published writes) used for conflict detection.
+    publishes: Vec<(u64, HashSet<Addr>)>,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Create a scheduler for `recording` under `config`.
+    pub fn new(recording: &'a Recording, config: SimConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        let num_cpus = config.num_cpus;
+        Scheduler {
+            recording,
+            config,
+            fibers: Vec::new(),
+            queue: BinaryHeap::new(),
+            queue_seq: 0,
+            cpu_free: vec![true; num_cpus],
+            most_speculative: None,
+            active_speculative: 0,
+            rng,
+            spec_stats: ThreadStats::new(),
+            committed: 0,
+            rolled_back: 0,
+            publishes: Vec::new(),
+        }
+    }
+
+    /// Cost of executing the whole trace sequentially.
+    pub fn sequential_cycles(recording: &Recording, cost: &CostModel) -> u64 {
+        recording
+            .nodes
+            .iter()
+            .flat_map(|n| n.events.iter())
+            .map(|e| match e {
+                SimEvent::Seg(s) => cost.segment_cycles(s.work, s.loads, s.stores),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(mut self) -> SimResult {
+        let root = self.spawn_fiber(0, false, 0, 0);
+        self.schedule(root, 0);
+        while let Some(Reverse((time, _, fid))) = self.queue.pop() {
+            if self.fibers[fid].retired {
+                continue;
+            }
+            self.resume(fid, time);
+        }
+        let root_fiber = &self.fibers[root];
+        let runtime = root_fiber.finished.unwrap_or(root_fiber.time);
+        let report = RunReport {
+            critical: root_fiber.stats.clone(),
+            speculative: self.spec_stats.clone(),
+            committed_threads: self.committed,
+            rolled_back_threads: self.rolled_back,
+            runtime,
+        };
+        SimResult {
+            report,
+            sequential_cycles: Self::sequential_cycles(self.recording, &self.config.cost),
+            parallel_cycles: runtime,
+            tasks: self.recording.task_count(),
+        }
+    }
+
+    fn spawn_fiber(&mut self, node: NodeId, speculative: bool, cpu: usize, start: u64) -> usize {
+        let fiber = Fiber::new(cpu, speculative, node, start);
+        self.fibers.push(fiber);
+        self.fibers.len() - 1
+    }
+
+    fn schedule(&mut self, fid: usize, time: u64) {
+        self.queue_seq += 1;
+        self.queue.push(Reverse((time, self.queue_seq, fid)));
+    }
+
+    /// Publish a set of written addresses to main memory at `time`,
+    /// dooming any in-flight speculative fiber that already read one of
+    /// them.  The publish is also logged so that reads registered later
+    /// (at segment completion) can be checked against it.
+    fn publish(&mut self, writes: &HashSet<Addr>, time: u64, writer: usize) {
+        if writes.is_empty() {
+            return;
+        }
+        for (fid, fiber) in self.fibers.iter_mut().enumerate() {
+            if fid == writer || !fiber.speculative || fiber.retired || fiber.doomed.is_some() {
+                continue;
+            }
+            if fiber.start_time >= time {
+                continue;
+            }
+            if intersects(writes, &fiber.reads) {
+                fiber.doomed = Some(SpecFailure::ReadConflict);
+            }
+        }
+        self.publishes.push((time, writes.clone()));
+    }
+
+    fn fork_allowed(&self, forker: usize, model: ForkModel) -> bool {
+        let speculative = self.fibers[forker].speculative;
+        let is_most = if self.active_speculative == 0 {
+            !speculative
+        } else {
+            self.most_speculative == Some(forker)
+        };
+        model.allows_fork(speculative, is_most)
+    }
+
+    fn acquire_cpu(&mut self) -> Option<usize> {
+        for (i, free) in self.cpu_free.iter_mut().enumerate() {
+            if *free {
+                *free = false;
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+
+    fn release_cpu(&mut self, cpu: usize) {
+        self.cpu_free[cpu - 1] = true;
+    }
+
+    /// Advance fiber `fid` at global time `now`.
+    fn resume(&mut self, fid: usize, now: u64) {
+        if self.fibers[fid].time < now {
+            self.fibers[fid].time = now;
+        }
+
+        // A completed work segment: apply its effects.
+        if self.fibers[fid].seg_in_flight {
+            self.apply_segment_effects(fid);
+            if self.fibers[fid].stop_requested {
+                self.finish_fiber(fid);
+                return;
+            }
+        }
+
+        // A child we were blocked on has stopped: perform the join.
+        if let Some(child) = self.fibers[fid].pending_join.take() {
+            let idle = self.fibers[fid]
+                .time
+                .saturating_sub(self.fibers[fid].blocked_since);
+            self.fibers[fid].stats.add(Phase::Idle, idle);
+            if !self.process_join(fid, child) {
+                return;
+            }
+        }
+
+        loop {
+            if self.fibers[fid].speculative && self.fibers[fid].stop_requested {
+                self.finish_fiber(fid);
+                return;
+            }
+            let frame = *self.fibers[fid].frames.last().expect("frame present");
+            let events = &self.recording.nodes[frame.node].events;
+            if frame.ip >= events.len() {
+                if self.fibers[fid].frames.len() > 1 {
+                    self.fibers[fid].frames.pop();
+                    continue;
+                }
+                self.finish_fiber(fid);
+                return;
+            }
+            match events[frame.ip].clone() {
+                SimEvent::Seg(seg) => {
+                    let cost = &self.config.cost;
+                    let cycles = if self.fibers[fid].speculative {
+                        cost.segment_cycles_speculative(seg.work, seg.loads, seg.stores)
+                    } else {
+                        cost.segment_cycles(seg.work, seg.loads, seg.stores)
+                    };
+                    let start = self.fibers[fid].time;
+                    let end = start + cycles;
+                    self.fibers[fid].segment_started = start;
+                    self.fibers[fid].seg_in_flight = true;
+                    self.schedule(fid, end);
+                    return;
+                }
+                SimEvent::Fork { child, model, point: _ } => {
+                    self.process_fork(fid, child, model);
+                    self.bump_ip(fid);
+                }
+                SimEvent::Join { child } => {
+                    self.bump_ip(fid);
+                    let child_fiber = self.fibers[fid].child_fibers.remove(&child);
+                    match child_fiber {
+                        None => {
+                            // Not speculated: execute the child inline.
+                            self.fibers[fid].frames.push(Frame { node: child, ip: 0 });
+                        }
+                        Some(cf) => {
+                            if self.fibers[cf].finished.is_some() {
+                                if !self.process_join(fid, cf) {
+                                    return;
+                                }
+                            } else {
+                                // Early synchronization: ask the child to
+                                // stop at its next check point.
+                                let now = self.fibers[fid].time;
+                                self.fibers[fid].blocked_since = now;
+                                self.fibers[fid].pending_join = Some(cf);
+                                self.fibers[cf].waiter = Some(fid);
+                                self.request_stop(cf, now);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ask fiber `cf` to stop at its next check point.
+    fn request_stop(&mut self, cf: usize, now: u64) {
+        self.fibers[cf].stop_requested = true;
+        if self.fibers[cf].seg_in_flight {
+            // Stops when the in-flight segment (its next check point)
+            // completes; the completion event is already scheduled.
+            return;
+        }
+        if self.fibers[cf].pending_join.is_some() {
+            // The child is itself blocked waiting for a grandchild.  It
+            // stops right away; its joiner will inherit that pending join.
+            self.fibers[cf].time = self.fibers[cf].time.max(now);
+            self.finish_fiber(cf);
+            return;
+        }
+        if self.fibers[cf].finished.is_none() && self.fibers[cf].start_time > now {
+            // Not even started: it stops immediately with no work done.
+            self.fibers[cf].time = self.fibers[cf].start_time;
+            self.finish_fiber(cf);
+        }
+        // Otherwise the fiber has a queued resume and will observe the
+        // stop request at its next scheduling point.
+    }
+
+    fn bump_ip(&mut self, fid: usize) {
+        let frame = self.fibers[fid].frames.last_mut().expect("frame present");
+        frame.ip += 1;
+    }
+
+    fn apply_segment_effects(&mut self, fid: usize) {
+        let frame = *self.fibers[fid].frames.last().expect("frame present");
+        let node = &self.recording.nodes[frame.node];
+        if let SimEvent::Seg(seg) = &node.events[frame.ip] {
+            let cost = &self.config.cost;
+            let cycles = if self.fibers[fid].speculative {
+                cost.segment_cycles_speculative(seg.work, seg.loads, seg.stores)
+            } else {
+                cost.segment_cycles(seg.work, seg.loads, seg.stores)
+            };
+            let seg_reads: Vec<Addr> = seg.reads.iter().copied().collect();
+            let speculative = self.fibers[fid].speculative;
+            let seg_start = self.fibers[fid].segment_started;
+            {
+                let fiber = &mut self.fibers[fid];
+                fiber.stats.counters.loads += seg.loads;
+                fiber.stats.counters.stores += seg.stores;
+                fiber.stats.add(Phase::Work, cycles);
+                for addr in &seg_reads {
+                    if !fiber.writes.contains(addr) {
+                        fiber.reads.insert(*addr);
+                    }
+                }
+                fiber.writes.extend(seg.writes.iter().copied());
+            }
+            if speculative {
+                // Check the reads of this segment against anything that was
+                // published to main memory while the segment executed.
+                let doomed = self.publishes.iter().any(|(t, writes)| {
+                    *t > seg_start && seg_reads.iter().any(|a| writes.contains(a))
+                });
+                if doomed && self.fibers[fid].doomed.is_none() {
+                    self.fibers[fid].doomed = Some(SpecFailure::ReadConflict);
+                }
+            } else {
+                // Non-speculative writes reach main memory immediately.
+                let writes = seg.writes.clone();
+                let time = self.fibers[fid].time;
+                self.publish(&writes, time, fid);
+            }
+        }
+        self.fibers[fid].seg_in_flight = false;
+        self.bump_ip(fid);
+    }
+
+    fn process_fork(&mut self, fid: usize, child: NodeId, recorded_model: ForkModel) {
+        let model = self.config.fork_model.unwrap_or(recorded_model);
+        let cost = self.config.cost;
+        // Scanning for an idle CPU costs time on the forker.
+        self.fibers[fid].time += cost.find_cpu;
+        self.fibers[fid].stats.add(Phase::FindCpu, cost.find_cpu);
+
+        if !self.fork_allowed(fid, model) {
+            self.fibers[fid].stats.counters.failed_forks += 1;
+            return;
+        }
+        let Some(cpu) = self.acquire_cpu() else {
+            self.fibers[fid].stats.counters.failed_forks += 1;
+            return;
+        };
+        self.fibers[fid].time += cost.fork;
+        self.fibers[fid].stats.add(Phase::Fork, cost.fork);
+        self.fibers[fid].stats.counters.forks += 1;
+
+        let start = self.fibers[fid].time + cost.spawn_latency;
+        let child_fiber = self.spawn_fiber(child, true, cpu, start);
+        self.fibers[fid].child_fibers.insert(child, child_fiber);
+        self.most_speculative = Some(child_fiber);
+        self.active_speculative += 1;
+        self.schedule(child_fiber, start);
+    }
+
+    fn finish_fiber(&mut self, fid: usize) {
+        if self.fibers[fid].finished.is_some() {
+            return;
+        }
+        let time = self.fibers[fid].time;
+        self.fibers[fid].finished = Some(time);
+        if let Some(waiter) = self.fibers[fid].waiter {
+            if self.fibers[waiter].pending_join == Some(fid) {
+                self.schedule(waiter, time);
+            }
+        }
+    }
+
+    /// Whether fiber `cf` stopped before exhausting its own node's events.
+    fn stopped_early(&self, cf: usize) -> bool {
+        let fiber = &self.fibers[cf];
+        if fiber.frames.len() > 1 || fiber.pending_join.is_some() {
+            return true;
+        }
+        let frame = fiber.frames[0];
+        frame.ip < self.recording.nodes[frame.node].events.len()
+    }
+
+    /// Join child fiber `cf` into parent fiber `fid`.  Returns `false`
+    /// when the parent became blocked again (it inherited a pending join
+    /// from an early-stopped child) and must not continue executing now.
+    fn process_join(&mut self, fid: usize, cf: usize) -> bool {
+        let cost = self.config.cost;
+        let child_finish = self.fibers[cf].finished.expect("child stopped");
+        let mut now = self.fibers[fid].time.max(child_finish);
+
+        // Time the child spent waiting to be joined is speculative idle.
+        let child_idle = now.saturating_sub(child_finish);
+        self.fibers[cf].stats.add(Phase::Idle, child_idle);
+
+        // Fixed synchronization bookkeeping on the joining thread.
+        self.fibers[fid].stats.add(Phase::Join, cost.join);
+        now += cost.join;
+
+        // Validation (charged to the speculative path; the joiner idles).
+        let read_words = self.fibers[cf].reads.len() as u64;
+        let write_words = self.fibers[cf].writes.len() as u64;
+        let validation = cost.validation_cycles(read_words);
+        self.fibers[cf].stats.add(Phase::Validation, validation);
+        self.fibers[fid].stats.add(Phase::Idle, validation);
+        now += validation;
+
+        let injected = self.draw_injected();
+        let verdict: Result<(), SpecFailure> = if let Some(reason) = self.fibers[cf].doomed {
+            Err(reason)
+        } else if injected {
+            Err(SpecFailure::Injected)
+        } else {
+            Ok(())
+        };
+
+        let finalize = cost.finalize_cycles(read_words + write_words);
+        let mut blocked = false;
+        match verdict {
+            Ok(()) => {
+                let commit = cost.commit_cycles(write_words);
+                self.fibers[cf].stats.add(Phase::Commit, commit);
+                self.fibers[cf].stats.add(Phase::Finalize, finalize);
+                self.fibers[fid].stats.add(Phase::Idle, commit + finalize);
+                now += commit + finalize;
+
+                let child_reads: Vec<Addr> = self.fibers[cf].reads.iter().copied().collect();
+                let child_writes: HashSet<Addr> = self.fibers[cf].writes.clone();
+                if self.fibers[fid].speculative {
+                    // Absorb into the speculative parent.
+                    for addr in child_reads {
+                        if !self.fibers[fid].writes.contains(&addr) {
+                            self.fibers[fid].reads.insert(addr);
+                        }
+                    }
+                    self.fibers[fid].writes.extend(child_writes.iter().copied());
+                } else {
+                    self.publish(&child_writes, now, cf);
+                }
+                self.fibers[fid].stats.counters.commits += 1;
+                self.committed += 1;
+
+                let early = self.stopped_early(cf);
+                // Inherit the child's still-speculating children so their
+                // joins (in the inherited frames) find them.
+                let inherited: Vec<(NodeId, usize)> =
+                    self.fibers[cf].child_fibers.drain().collect();
+                self.fibers[fid].child_fibers.extend(inherited);
+
+                if early {
+                    // Stack frame reconstruction: the joiner continues the
+                    // child's remaining execution.
+                    let frames = self.fibers[cf].frames.clone();
+                    self.fibers[fid].frames.extend(frames);
+                    if let Some(gc) = self.fibers[cf].pending_join.take() {
+                        // The child was blocked on its own child; the
+                        // joiner takes over that join.
+                        if self.fibers[gc].finished.is_some() {
+                            self.fibers[fid].time = now;
+                            self.retire_fiber(cf, true);
+                            return self.process_join(fid, gc);
+                        }
+                        self.fibers[fid].blocked_since = now;
+                        self.fibers[fid].pending_join = Some(gc);
+                        self.fibers[gc].waiter = Some(fid);
+                        blocked = true;
+                    }
+                }
+                self.retire_fiber(cf, true);
+            }
+            Err(_reason) => {
+                self.fibers[cf].stats.add(Phase::Finalize, finalize);
+                self.fibers[fid].stats.add(Phase::Idle, finalize);
+                now += finalize;
+                self.fibers[fid].stats.counters.rollbacks += 1;
+                self.rolled_back += 1;
+                // Cascading rollback confined to the child's subtree: every
+                // speculative thread it spawned (and has not joined) is
+                // discarded too.
+                let grandchildren: Vec<usize> =
+                    self.fibers[cf].child_fibers.drain().map(|(_, f)| f).collect();
+                for gf in grandchildren {
+                    self.cancel_subtree(gf);
+                }
+                if let Some(gc) = self.fibers[cf].pending_join.take() {
+                    self.cancel_subtree(gc);
+                }
+                self.retire_fiber(cf, false);
+                // The parent re-executes the child's region inline from the
+                // beginning.
+                let child_node = self.fibers[cf].frames[0].node;
+                self.fibers[fid].frames.push(Frame {
+                    node: child_node,
+                    ip: 0,
+                });
+            }
+        }
+
+        self.fibers[fid].time = now;
+        !blocked
+    }
+
+    /// Cancel a speculative fiber and its whole subtree (cascading
+    /// rollback).  Their work is wasted and their CPUs are reclaimed.
+    fn cancel_subtree(&mut self, fid: usize) {
+        if self.fibers[fid].retired {
+            return;
+        }
+        let grandchildren: Vec<usize> =
+            self.fibers[fid].child_fibers.drain().map(|(_, f)| f).collect();
+        for gf in grandchildren {
+            self.cancel_subtree(gf);
+        }
+        if let Some(gc) = self.fibers[fid].pending_join.take() {
+            self.cancel_subtree(gc);
+        }
+        self.rolled_back += 1;
+        self.retire_fiber(fid, false);
+    }
+
+    fn retire_fiber(&mut self, cf: usize, committed: bool) {
+        if self.fibers[cf].retired {
+            return;
+        }
+        self.fibers[cf].retired = true;
+        if !committed {
+            self.fibers[cf].stats.mark_work_wasted();
+        }
+        let stats = self.fibers[cf].stats.clone();
+        self.spec_stats.merge(&stats);
+        let cpu = self.fibers[cf].cpu;
+        if cpu > 0 {
+            self.release_cpu(cpu);
+        }
+        self.active_speculative = self.active_speculative.saturating_sub(1);
+        if self.most_speculative == Some(cf) {
+            self.most_speculative = None;
+        }
+    }
+
+    fn draw_injected(&mut self) -> bool {
+        let p = self.config.rollback_probability;
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_bool(p)
+        }
+    }
+}
+
+fn intersects(a: &HashSet<Addr>, b: &HashSet<Addr>) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().any(|x| large.contains(x))
+}
+
+/// Simulate `recording` under `config`.
+pub fn simulate(recording: &Recording, config: SimConfig) -> SimResult {
+    Scheduler::new(recording, config).run()
+}

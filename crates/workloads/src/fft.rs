@@ -1,0 +1,241 @@
+//! The fft benchmark — recursive Fast Fourier Transform, memory intensive,
+//! divide-and-conquer pattern.
+//!
+//! A radix-2 Cooley–Tukey FFT over `n = 2^k` complex points stored in the
+//! shared arena (separate real/imaginary arrays plus ping-pong scratch).
+//! At every recursion level the second recursive call is speculated and a
+//! barrier placed right after it, exactly as the paper describes for its
+//! divide-and-conquer benchmarks.
+
+use mutls_membuf::{GPtr, GlobalMemory};
+use mutls_runtime::{task, SpecResult, TlsContext};
+
+/// Problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of complex points (must be a power of two).
+    pub n: usize,
+    /// Sub-problem size below which recursion stops speculating.
+    pub fork_threshold: usize,
+}
+
+impl Config {
+    /// Paper-scale problem: 2^20 doubles.
+    pub fn paper() -> Self {
+        Config {
+            n: 1 << 20,
+            fork_threshold: 1 << 14,
+        }
+    }
+
+    /// Scaled-down problem for simulation and native testing.
+    pub fn scaled() -> Self {
+        Config {
+            n: 1 << 12,
+            fork_threshold: 1 << 7,
+        }
+    }
+
+    /// Tiny problem for unit tests.
+    pub fn tiny() -> Self {
+        Config {
+            n: 64,
+            fork_threshold: 8,
+        }
+    }
+}
+
+/// Arena-resident data: signal and scratch buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct Data {
+    /// Real parts of the signal (input and output, in place).
+    pub re: GPtr<f64>,
+    /// Imaginary parts of the signal.
+    pub im: GPtr<f64>,
+    /// Scratch real parts (ping-pong buffer).
+    pub sre: GPtr<f64>,
+    /// Scratch imaginary parts.
+    pub sim: GPtr<f64>,
+}
+
+/// Allocate and initialize the input signal (a deterministic mix of
+/// sinusoids).
+pub fn setup(memory: &GlobalMemory, config: &Config) -> Data {
+    assert!(config.n.is_power_of_two(), "n must be a power of two");
+    let data = Data {
+        re: memory.alloc::<f64>(config.n),
+        im: memory.alloc::<f64>(config.n),
+        sre: memory.alloc::<f64>(config.n),
+        sim: memory.alloc::<f64>(config.n),
+    };
+    for i in 0..config.n {
+        let t = i as f64 / config.n as f64;
+        let v = (2.0 * std::f64::consts::PI * 3.0 * t).sin()
+            + 0.5 * (2.0 * std::f64::consts::PI * 17.0 * t).cos();
+        memory.set(&data.re, i, v);
+        memory.set(&data.im, i, 0.0);
+        memory.set(&data.sre, i, 0.0);
+        memory.set(&data.sim, i, 0.0);
+    }
+    data
+}
+
+/// Recursive FFT of `n` points starting at `off` of (`dre`,`dim`), using
+/// (`sre`,`sim`) as scratch.  The result is left in (`dre`,`dim`).
+#[allow(clippy::too_many_arguments)]
+fn fft_rec<C: TlsContext>(
+    ctx: &mut C,
+    dre: GPtr<f64>,
+    dim: GPtr<f64>,
+    sre: GPtr<f64>,
+    sim: GPtr<f64>,
+    off: usize,
+    n: usize,
+    fork_threshold: usize,
+) -> SpecResult<()> {
+    if n == 1 {
+        return Ok(());
+    }
+    let half = n / 2;
+    // Split even/odd indexed elements into the two halves of the scratch.
+    for i in 0..half {
+        let er = ctx.load(&dre, off + 2 * i)?;
+        let ei = ctx.load(&dim, off + 2 * i)?;
+        let or_ = ctx.load(&dre, off + 2 * i + 1)?;
+        let oi = ctx.load(&dim, off + 2 * i + 1)?;
+        ctx.store(&sre, off + i, er)?;
+        ctx.store(&sim, off + i, ei)?;
+        ctx.store(&sre, off + half + i, or_)?;
+        ctx.store(&sim, off + half + i, oi)?;
+        ctx.work(4)?;
+    }
+    // Recurse on the halves with the buffers swapped (ping-pong): the
+    // second half is speculated.
+    if n > fork_threshold {
+        let cont = task(move |ctx: &mut C| {
+            fft_rec(ctx, sre, sim, dre, dim, off + half, half, fork_threshold)?;
+            ctx.barrier()
+        });
+        let handle = ctx.fork(3, cont)?;
+        fft_rec(ctx, sre, sim, dre, dim, off, half, fork_threshold)?;
+        ctx.join(handle)?;
+    } else {
+        fft_rec(ctx, sre, sim, dre, dim, off, half, fork_threshold)?;
+        fft_rec(ctx, sre, sim, dre, dim, off + half, half, fork_threshold)?;
+    }
+    // Combine: butterflies from scratch back into the destination.
+    for i in 0..half {
+        let angle = -2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        let (wr, wi) = (angle.cos(), angle.sin());
+        let er = ctx.load(&sre, off + i)?;
+        let ei = ctx.load(&sim, off + i)?;
+        let or_ = ctx.load(&sre, off + half + i)?;
+        let oi = ctx.load(&sim, off + half + i)?;
+        let tr = wr * or_ - wi * oi;
+        let ti = wr * oi + wi * or_;
+        ctx.store(&dre, off + i, er + tr)?;
+        ctx.store(&dim, off + i, ei + ti)?;
+        ctx.store(&dre, off + half + i, er - tr)?;
+        ctx.store(&dim, off + half + i, ei - ti)?;
+        ctx.work(10)?;
+    }
+    Ok(())
+}
+
+/// The speculative region: the full FFT.
+pub fn run<C: TlsContext>(ctx: &mut C, data: Data, config: Config) -> SpecResult<()> {
+    fft_rec(
+        ctx,
+        data.re,
+        data.im,
+        data.sre,
+        data.sim,
+        0,
+        config.n,
+        config.fork_threshold,
+    )
+}
+
+/// Result extractor: quantized spectral energy.
+pub fn result(memory: &GlobalMemory, data: &Data, config: &Config) -> u64 {
+    let mut acc = 0i64;
+    for i in 0..config.n {
+        let re = memory.get(&data.re, i);
+        let im = memory.get(&data.im, i);
+        acc = acc.wrapping_add(((re * re + im * im) * 1e6).round() as i64);
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutls_runtime::DirectContext;
+    use std::sync::Arc;
+
+    /// O(n²) reference DFT for validation.
+    fn dft(re: &[f64], im: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let mut out_re = vec![0.0; n];
+        let mut out_im = vec![0.0; n];
+        for (k, (or_, oi)) in out_re.iter_mut().zip(out_im.iter_mut()).enumerate() {
+            for j in 0..n {
+                let angle = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                *or_ += re[j] * angle.cos() - im[j] * angle.sin();
+                *oi += re[j] * angle.sin() + im[j] * angle.cos();
+            }
+        }
+        (out_re, out_im)
+    }
+
+    #[test]
+    fn fft_matches_direct_dft() {
+        let config = Config::tiny();
+        let memory = Arc::new(GlobalMemory::new(1 << 20));
+        let data = setup(&memory, &config);
+        let input_re: Vec<f64> = (0..config.n).map(|i| memory.get(&data.re, i)).collect();
+        let input_im: Vec<f64> = (0..config.n).map(|i| memory.get(&data.im, i)).collect();
+        let mut ctx = DirectContext::new(Arc::clone(&memory));
+        run(&mut ctx, data, config).unwrap();
+        let (want_re, want_im) = dft(&input_re, &input_im);
+        for i in 0..config.n {
+            assert!(
+                (memory.get(&data.re, i) - want_re[i]).abs() < 1e-6,
+                "re[{i}] mismatch"
+            );
+            assert!(
+                (memory.get(&data.im, i) - want_im[i]).abs() < 1e-6,
+                "im[{i}] mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn spectrum_has_peaks_at_injected_frequencies() {
+        let config = Config { n: 128, fork_threshold: 16 };
+        let memory = Arc::new(GlobalMemory::new(1 << 20));
+        let data = setup(&memory, &config);
+        run(&mut DirectContext::new(Arc::clone(&memory)), data, config).unwrap();
+        let mag = |k: usize| {
+            let re = memory.get(&data.re, k);
+            let im = memory.get(&data.im, k);
+            (re * re + im * im).sqrt()
+        };
+        // The input is sin(2π·3t) + 0.5·cos(2π·17t): peaks at bins 3 and 17.
+        assert!(mag(3) > 10.0 * mag(5));
+        assert!(mag(17) > 10.0 * mag(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let memory = GlobalMemory::new(1 << 16);
+        let _ = setup(
+            &memory,
+            &Config {
+                n: 100,
+                fork_threshold: 8,
+            },
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! The matmult benchmark — block-based matrix multiplication, memory
+//! intensive, divide-and-conquer pattern.
+//!
+//! `C += A·B` on `n × n` matrices, recursively split into quadrants.
+//! Following the paper, the computation is split into 4 sub-tasks (one per
+//! `C` quadrant) and each sub-task's *second* product is speculated — the
+//! two products of a quadrant read and write the same `C` sub-matrix, so
+//! sub-sub-task speculation produces genuine read/write conflicts and
+//! rollbacks (matmult is the only benchmark in the paper that exhibits
+//! them).
+
+use mutls_membuf::{GPtr, GlobalMemory};
+use mutls_runtime::{task, SpecResult, TlsContext};
+
+/// Problem configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Matrix dimension (must be a power of two).
+    pub n: usize,
+    /// Block size at which recursion switches to the direct triple loop.
+    pub leaf: usize,
+}
+
+impl Config {
+    /// Paper-scale problem: 1024×1024 matrices.
+    pub fn paper() -> Self {
+        Config { n: 1024, leaf: 64 }
+    }
+
+    /// Scaled-down problem for simulation and native testing.
+    pub fn scaled() -> Self {
+        Config { n: 64, leaf: 16 }
+    }
+
+    /// Tiny problem for unit tests.
+    pub fn tiny() -> Self {
+        Config { n: 16, leaf: 4 }
+    }
+}
+
+/// Arena-resident matrices (row-major).
+#[derive(Debug, Clone, Copy)]
+pub struct Data {
+    /// Left operand.
+    pub a: GPtr<f64>,
+    /// Right operand.
+    pub b: GPtr<f64>,
+    /// Accumulated product.
+    pub c: GPtr<f64>,
+}
+
+/// Allocate and deterministically initialize the matrices.
+pub fn setup(memory: &GlobalMemory, config: &Config) -> Data {
+    assert!(config.n.is_power_of_two(), "n must be a power of two");
+    let n = config.n;
+    let data = Data {
+        a: memory.alloc::<f64>(n * n),
+        b: memory.alloc::<f64>(n * n),
+        c: memory.alloc::<f64>(n * n),
+    };
+    for i in 0..n {
+        for j in 0..n {
+            memory.set(&data.a, i * n + j, ((i * 7 + j * 3) % 11) as f64 - 5.0);
+            memory.set(&data.b, i * n + j, ((i * 5 + j * 13) % 7) as f64 - 3.0);
+            memory.set(&data.c, i * n + j, 0.0);
+        }
+    }
+    data
+}
+
+/// A quadrant of a matrix: top-left row/column and size.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    row: usize,
+    col: usize,
+    size: usize,
+}
+
+impl Block {
+    fn quadrant(&self, qr: usize, qc: usize) -> Block {
+        let half = self.size / 2;
+        Block {
+            row: self.row + qr * half,
+            col: self.col + qc * half,
+            size: half,
+        }
+    }
+}
+
+/// Direct `C += A·B` on a leaf block.
+fn leaf_multiply<C: TlsContext>(
+    ctx: &mut C,
+    data: Data,
+    n: usize,
+    a: Block,
+    b: Block,
+    c: Block,
+) -> SpecResult<()> {
+    for i in 0..c.size {
+        for j in 0..c.size {
+            let mut acc = ctx.load(&data.c, (c.row + i) * n + c.col + j)?;
+            for k in 0..a.size {
+                let av = ctx.load(&data.a, (a.row + i) * n + a.col + k)?;
+                let bv = ctx.load(&data.b, (b.row + k) * n + b.col + j)?;
+                acc += av * bv;
+                ctx.work(2)?;
+            }
+            ctx.store(&data.c, (c.row + i) * n + c.col + j, acc)?;
+        }
+    }
+    Ok(())
+}
+
+/// Recursive block multiply `C += A·B`.
+fn multiply<C: TlsContext>(
+    ctx: &mut C,
+    data: Data,
+    n: usize,
+    leaf: usize,
+    a: Block,
+    b: Block,
+    c: Block,
+) -> SpecResult<()> {
+    if c.size <= leaf {
+        return leaf_multiply(ctx, data, n, a, b, c);
+    }
+    // For each C quadrant: C_qr,qc += A_qr,0 · B_0,qc  +  A_qr,1 · B_1,qc.
+    // The three non-first quadrants are speculated (4 sub-tasks, as in the
+    // paper); within a quadrant the second product is also speculated,
+    // which conflicts with the first product on the same C block.
+    let mut handles = Vec::new();
+    for (qr, qc) in [(0, 1), (1, 0), (1, 1)] {
+        let cont = task(move |ctx: &mut C| {
+            quadrant(ctx, data, n, leaf, a, b, c, qr, qc)?;
+            ctx.barrier()
+        });
+        handles.push(ctx.fork(4, cont)?);
+    }
+    quadrant(ctx, data, n, leaf, a, b, c, 0, 0)?;
+    for handle in handles.into_iter().rev() {
+        ctx.join(handle)?;
+    }
+    Ok(())
+}
+
+/// Compute one quadrant of C: two block products accumulated into the same
+/// destination (the second is speculated and typically rolls back).
+#[allow(clippy::too_many_arguments)]
+fn quadrant<C: TlsContext>(
+    ctx: &mut C,
+    data: Data,
+    n: usize,
+    leaf: usize,
+    a: Block,
+    b: Block,
+    c: Block,
+    qr: usize,
+    qc: usize,
+) -> SpecResult<()> {
+    let cq = c.quadrant(qr, qc);
+    let a0 = a.quadrant(qr, 0);
+    let b0 = b.quadrant(0, qc);
+    let a1 = a.quadrant(qr, 1);
+    let b1 = b.quadrant(1, qc);
+    let cont = task(move |ctx: &mut C| {
+        multiply(ctx, data, n, leaf, a1, b1, cq)?;
+        ctx.barrier()
+    });
+    let handle = ctx.fork(5, cont)?;
+    multiply(ctx, data, n, leaf, a0, b0, cq)?;
+    ctx.join(handle)?;
+    Ok(())
+}
+
+/// The speculative region: the whole product.
+pub fn run<C: TlsContext>(ctx: &mut C, data: Data, config: Config) -> SpecResult<()> {
+    let whole = Block {
+        row: 0,
+        col: 0,
+        size: config.n,
+    };
+    multiply(ctx, data, config.n, config.leaf, whole, whole, whole)
+}
+
+/// Result extractor: quantized sum of C's entries.
+pub fn result(memory: &GlobalMemory, data: &Data, config: &Config) -> u64 {
+    let n = config.n;
+    let mut acc = 0i64;
+    for i in 0..n * n {
+        acc = acc.wrapping_add((memory.get(&data.c, i) * 1e3).round() as i64);
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mutls_runtime::DirectContext;
+    use std::sync::Arc;
+
+    #[test]
+    fn block_multiply_matches_naive_product() {
+        let config = Config::tiny();
+        let memory = Arc::new(GlobalMemory::new(1 << 22));
+        let data = setup(&memory, &config);
+        let n = config.n;
+        // Naive reference on host copies.
+        let a: Vec<f64> = (0..n * n).map(|i| memory.get(&data.a, i)).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| memory.get(&data.b, i)).collect();
+        let mut want = vec![0.0f64; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    want[i * n + j] += a[i * n + k] * b[k * n + j];
+                }
+            }
+        }
+        run(&mut DirectContext::new(Arc::clone(&memory)), data, config).unwrap();
+        for i in 0..n * n {
+            assert!(
+                (memory.get(&data.c, i) - want[i]).abs() < 1e-9,
+                "C[{i}] mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn quadrant_decomposition_covers_the_matrix() {
+        let b = Block {
+            row: 0,
+            col: 0,
+            size: 8,
+        };
+        let q11 = b.quadrant(1, 1);
+        assert_eq!((q11.row, q11.col, q11.size), (4, 4, 4));
+        let q01 = b.quadrant(0, 1);
+        assert_eq!((q01.row, q01.col, q01.size), (0, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let memory = GlobalMemory::new(1 << 16);
+        let _ = setup(&memory, &Config { n: 12, leaf: 4 });
+    }
+}

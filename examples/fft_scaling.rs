@@ -1,0 +1,50 @@
+//! Divide-and-conquer FFT on the multicore simulator: reproduces one
+//! series of the paper's Figure 4 (memory-intensive speedups) and the
+//! Figure 10 forking-model comparison for a single benchmark.
+//!
+//! Run with `cargo run --release --example fft_scaling`.
+
+use std::sync::Arc;
+
+use mutls_membuf::GlobalMemory;
+use mutls_runtime::ForkModel;
+use mutls_simcpu::{record_region, simulate, SimConfig};
+use mutls_workloads::fft;
+
+fn main() {
+    let config = fft::Config::scaled();
+    let memory = Arc::new(GlobalMemory::new(16 << 20));
+    let data = fft::setup(&memory, &config);
+
+    // Record the speculation trace once (this also computes the FFT).
+    let recording = record_region(Arc::clone(&memory), |ctx| fft::run(ctx, data, config));
+    println!(
+        "fft: n = {}, {} speculative tasks, memory density = {:.3}",
+        config.n,
+        recording.task_count() - 1,
+        recording.memory_density()
+    );
+
+    println!("\nspeedup vs number of CPUs (mixed forking model):");
+    for cpus in [1, 2, 4, 8, 16, 32, 64] {
+        let result = simulate(&recording, SimConfig::with_cpus(cpus));
+        println!(
+            "  {cpus:>3} CPUs: speedup {:6.2}   power efficiency {:5.2}   coverage {:6.2}",
+            result.speedup(),
+            result.power_efficiency(),
+            result.report.coverage()
+        );
+    }
+
+    println!("\nforking-model comparison at 32 CPUs (normalized to mixed):");
+    let mixed = simulate(&recording, SimConfig::with_cpus(32)).speedup();
+    for model in [ForkModel::InOrder, ForkModel::OutOfOrder, ForkModel::Mixed] {
+        let speedup = simulate(&recording, SimConfig::with_cpus(32).fork_model(model)).speedup();
+        println!(
+            "  {:<12} speedup {:6.2}   normalized {:4.2}",
+            model.label(),
+            speedup,
+            speedup / mixed
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Depth-first search (N-queens) on the *native* threaded runtime:
+//! verifies that the speculative execution produces exactly the
+//! sequential result and shows the per-path statistics, including a
+//! forced-rollback run (the paper's §V-D sensitivity knob).
+//!
+//! Run with `cargo run --release --example nqueen_native`.
+
+use mutls_runtime::{Runtime, RuntimeConfig};
+use mutls_workloads::{nqueen, reference_checksum, Scale, WorkloadKind};
+
+fn run_native(rollback_probability: f64) -> (u64, mutls_runtime::RunReport) {
+    let config = nqueen::Config::scaled();
+    let runtime = Runtime::new(
+        RuntimeConfig::with_cpus(4)
+            .memory_bytes(1 << 20)
+            .rollback_probability(rollback_probability),
+    );
+    let memory = runtime.memory();
+    let data = nqueen::setup(&memory, &config);
+    let (_, report) = runtime.run(|ctx| nqueen::run(ctx, data, config));
+    (nqueen::result(&memory, &data, &config), report)
+}
+
+fn main() {
+    let expected = reference_checksum(WorkloadKind::Nqueen, Scale::Scaled);
+    println!("sequential solution count          = {expected}");
+
+    let (solutions, report) = run_native(0.0);
+    assert_eq!(solutions, expected, "speculative result must match");
+    println!("speculative solution count         = {solutions}  (matches)");
+    println!(
+        "speculative threads                = {} committed, {} rolled back",
+        report.committed_threads, report.rolled_back_threads
+    );
+    println!(
+        "critical / speculative efficiency  = {:.2} / {:.2}",
+        report.critical_path_efficiency(),
+        report.speculative_path_efficiency()
+    );
+    println!("parallel coverage                  = {:.2}", report.coverage());
+
+    // Even with every validation forced to fail, the runtime stays safe:
+    // the parent re-executes each continuation and the answer is identical.
+    let (solutions, report) = run_native(1.0);
+    assert_eq!(solutions, expected, "rollbacks must never change results");
+    println!(
+        "with 100% injected rollbacks       = {solutions}  ({} rollbacks, still correct)",
+        report.rolled_back_threads
+    );
+}

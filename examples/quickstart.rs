@@ -1,0 +1,65 @@
+//! Quickstart: programmer-directed speculation with the native runtime.
+//!
+//! Mirrors Figure 1 of the paper: the parent forks a speculative thread to
+//! execute the continuation (`S2`, here: summing the second half of an
+//! array) while it executes `S1` (summing the first half), then joins.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mutls_runtime::{task, JoinOutcome, Runtime, RuntimeConfig, SpecContext, TlsContext};
+
+fn main() {
+    let runtime = Runtime::new(RuntimeConfig::with_cpus(2).memory_bytes(1 << 20));
+    let data = runtime.alloc::<i64>(1024);
+    let partial = runtime.alloc::<i64>(2);
+    let memory = runtime.memory();
+    for i in 0..data.len() {
+        memory.set(&data, i, i as i64);
+    }
+
+    let (outcome, report) = runtime.run(|ctx| {
+        let n = data.len();
+        // __builtin_MUTLS_fork(0): speculate on the continuation from the
+        // join point — the second half of the sum.
+        let continuation = task(move |ctx: &mut SpecContext| {
+            let mut sum = 0i64;
+            for i in n / 2..n {
+                sum += ctx.load(&data, i)?;
+            }
+            ctx.store(&partial, 1, sum)?;
+            // __builtin_MUTLS_barrier(0): stop here until joined.
+            ctx.barrier()
+        });
+        let handle = ctx.fork(0, continuation)?;
+
+        // S1: the parent sums the first half meanwhile.
+        let mut sum = 0i64;
+        for i in 0..n / 2 {
+            sum += ctx.load(&data, i)?;
+        }
+        ctx.store(&partial, 0, sum)?;
+
+        // __builtin_MUTLS_join(0): validate + commit, or run inline.
+        ctx.join(handle)
+    });
+
+    let total = memory.get(&partial, 0) + memory.get(&partial, 1);
+    let expected: i64 = (0..data.len() as i64).sum();
+    assert_eq!(total, expected);
+
+    println!("sum of 0..1024           = {total}");
+    println!("speculation outcome       = {outcome:?}");
+    println!(
+        "speculative threads       = {} committed, {} rolled back",
+        report.committed_threads, report.rolled_back_threads
+    );
+    println!(
+        "critical path efficiency  = {:.2}",
+        report.critical_path_efficiency()
+    );
+    match outcome {
+        JoinOutcome::Committed => println!("the continuation ran speculatively and committed"),
+        JoinOutcome::NotSpeculated => println!("no idle CPU: the parent ran the continuation"),
+        JoinOutcome::RolledBack(reason) => println!("rolled back ({reason}), re-executed inline"),
+    }
+}

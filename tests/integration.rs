@@ -1,0 +1,129 @@
+//! Integration tests spanning the whole workspace: the same workload code
+//! must produce identical results through the sequential baseline, the
+//! native threaded runtime and the multicore simulator's recorder, and the
+//! simulator must reproduce the qualitative behaviour the paper reports.
+
+use std::sync::Arc;
+
+use mutls::membuf::GlobalMemory;
+use mutls::runtime::{ForkModel, Runtime, RuntimeConfig};
+use mutls::simcpu::{record_region, simulate, SimConfig};
+use mutls::workloads::{
+    checksum, reference_checksum, run_speculative, setup, Scale, WorkloadKind,
+};
+
+/// Run a workload on the native runtime and return its checksum plus the
+/// run report.
+fn native_checksum(
+    kind: WorkloadKind,
+    cpus: usize,
+    rollback_probability: f64,
+    model: ForkModel,
+) -> (u64, mutls::runtime::RunReport) {
+    let runtime = Runtime::new(
+        RuntimeConfig::with_cpus(cpus)
+            .memory_bytes(mutls::workloads::arena_bytes(kind, Scale::Tiny))
+            .rollback_probability(rollback_probability)
+            .fork_model(model),
+    );
+    let memory = runtime.memory();
+    let data = setup(kind, Scale::Tiny, &memory);
+    let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
+    (checksum(&memory, &data), report)
+}
+
+#[test]
+fn native_runtime_matches_sequential_baseline_for_every_workload() {
+    for kind in WorkloadKind::ALL {
+        let expected = reference_checksum(kind, Scale::Tiny);
+        let (got, report) = native_checksum(kind, 3, 0.0, ForkModel::Mixed);
+        assert_eq!(got, expected, "{}: speculative result differs", kind.name());
+        assert_eq!(
+            report.committed_threads + report.rolled_back_threads,
+            report.committed_threads + report.rolled_back_threads,
+        );
+    }
+}
+
+#[test]
+fn native_runtime_is_correct_under_forced_rollbacks() {
+    for kind in [WorkloadKind::Nqueen, WorkloadKind::Fft, WorkloadKind::ThreeXPlusOne] {
+        let expected = reference_checksum(kind, Scale::Tiny);
+        let (got, report) = native_checksum(kind, 2, 1.0, ForkModel::Mixed);
+        assert_eq!(got, expected, "{}: rollback changed the result", kind.name());
+        assert!(report.rolled_back_threads > 0, "{}: no rollbacks injected", kind.name());
+    }
+}
+
+#[test]
+fn native_runtime_is_correct_under_every_forking_model() {
+    for model in ForkModel::ALL {
+        let expected = reference_checksum(WorkloadKind::Matmult, Scale::Tiny);
+        let (got, _) = native_checksum(WorkloadKind::Matmult, 3, 0.0, model);
+        assert_eq!(got, expected, "matmult under {model}");
+    }
+}
+
+#[test]
+fn recorder_matches_sequential_baseline_for_every_workload() {
+    for kind in WorkloadKind::ALL {
+        let expected = reference_checksum(kind, Scale::Tiny);
+        let memory = Arc::new(GlobalMemory::new(mutls::workloads::arena_bytes(
+            kind,
+            Scale::Tiny,
+        )));
+        let data = setup(kind, Scale::Tiny, &memory);
+        let recording = record_region(Arc::clone(&memory), |ctx| run_speculative(ctx, &data));
+        assert_eq!(
+            checksum(&memory, &data),
+            expected,
+            "{}: recording changed the result",
+            kind.name()
+        );
+        assert!(recording.task_count() > 1, "{}: no speculation recorded", kind.name());
+    }
+}
+
+#[test]
+fn simulated_speedups_reproduce_the_papers_shape() {
+    // Computation-intensive workloads scale much better than
+    // memory-intensive ones (paper figures 3 vs 4).
+    let speedup_at = |kind: WorkloadKind, cpus: usize| {
+        let memory = Arc::new(GlobalMemory::new(mutls::workloads::arena_bytes(
+            kind,
+            Scale::Scaled,
+        )));
+        let data = setup(kind, Scale::Scaled, &memory);
+        let recording = record_region(memory, |ctx| run_speculative(ctx, &data));
+        simulate(&recording, SimConfig::with_cpus(cpus)).speedup()
+    };
+    let compute = speedup_at(WorkloadKind::ThreeXPlusOne, 32);
+    let memory_bound = speedup_at(WorkloadKind::Fft, 32);
+    assert!(
+        compute > memory_bound,
+        "3x+1 ({compute:.1}) should outscale fft ({memory_bound:.1})"
+    );
+    assert!(compute > 8.0, "3x+1 at 32 CPUs should show real speedup, got {compute:.1}");
+    assert!(memory_bound > 1.2, "fft should still speed up, got {memory_bound:.1}");
+}
+
+#[test]
+fn mixed_model_beats_simple_models_on_tree_recursion_in_simulation() {
+    let kind = WorkloadKind::Nqueen;
+    let memory = Arc::new(GlobalMemory::new(mutls::workloads::arena_bytes(
+        kind,
+        Scale::Tiny,
+    )));
+    let data = setup(kind, Scale::Tiny, &memory);
+    let recording = record_region(memory, |ctx| run_speculative(ctx, &data));
+    let mixed = simulate(&recording, SimConfig::with_cpus(16)).speedup();
+    let ooo = simulate(
+        &recording,
+        SimConfig::with_cpus(16).fork_model(ForkModel::OutOfOrder),
+    )
+    .speedup();
+    assert!(
+        mixed >= ooo,
+        "mixed ({mixed:.2}) should not lose to out-of-order ({ooo:.2})"
+    );
+}
