@@ -53,6 +53,16 @@ impl ForkModel {
         }
     }
 
+    /// Index of this model within [`ForkModel::ALL`] (used by per-site
+    /// per-model statistics in the adaptive governor).
+    pub fn index(self) -> usize {
+        match self {
+            ForkModel::InOrder => 0,
+            ForkModel::OutOfOrder => 1,
+            ForkModel::Mixed => 2,
+        }
+    }
+
     /// Short label used in experiment output (matches the paper's figure
     /// legends).
     pub fn label(self) -> &'static str {

@@ -1,0 +1,218 @@
+//! The [`Governor`]: the profiler and the configured policy behind one
+//! thread-safe facade the runtime and the simulator both consult.
+
+use mutls_membuf::SpecFailure;
+
+use crate::fork_model::ForkModel;
+use crate::policy::{build_policy, ForkDecision, GovernorConfig, GovernorPolicy};
+use crate::site::{SiteId, SiteProfile, SiteProfiler};
+
+/// Everything the runtime reports back about one joined (or discarded)
+/// speculative child.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteOutcome {
+    /// True when the child validated and committed.
+    pub committed: bool,
+    /// Failure reason when the child rolled back.
+    pub failure: Option<SpecFailure>,
+    /// Useful work the child contributed (ns native / cycles simulated).
+    pub work: u64,
+    /// Work discarded by the rollback.
+    pub wasted_work: u64,
+    /// Idle/stall time of the child.
+    pub stall: u64,
+    /// Forking model the child was launched under.
+    pub model: ForkModel,
+}
+
+impl SiteOutcome {
+    /// A committed child.
+    pub fn committed(work: u64, stall: u64, model: ForkModel) -> Self {
+        SiteOutcome {
+            committed: true,
+            failure: None,
+            work,
+            wasted_work: 0,
+            stall,
+            model,
+        }
+    }
+
+    /// A rolled-back child.
+    pub fn rolled_back(reason: SpecFailure, wasted: u64, stall: u64, model: ForkModel) -> Self {
+        SiteOutcome {
+            committed: false,
+            failure: Some(reason),
+            work: 0,
+            wasted_work: wasted,
+            stall,
+            model,
+        }
+    }
+
+    fn overflowed(&self) -> bool {
+        matches!(
+            self.failure,
+            Some(SpecFailure::BufferOverflow | SpecFailure::LocalBufferOverflow)
+        )
+    }
+}
+
+/// The adaptive speculation governor.
+pub struct Governor {
+    config: GovernorConfig,
+    profiler: SiteProfiler,
+    policy: Box<dyn GovernorPolicy>,
+}
+
+impl std::fmt::Debug for Governor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Governor")
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("sites", &self.profiler.len())
+            .finish()
+    }
+}
+
+impl Governor {
+    /// Build a governor running the policy named in `config`.
+    pub fn new(config: GovernorConfig) -> Self {
+        Governor {
+            policy: build_policy(config.policy),
+            profiler: SiteProfiler::new(),
+            config,
+        }
+    }
+
+    /// The governor's configuration.
+    pub fn config(&self) -> &GovernorConfig {
+        &self.config
+    }
+
+    /// Name of the active policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Decide whether fork-site `site` may speculate right now, and under
+    /// which model.  A denial is recorded in the site's profile.
+    pub fn decide(&self, site: SiteId, default_model: ForkModel) -> ForkDecision {
+        self.profiler.with_site(site, |record| {
+            let decision = self.policy.decide(record, &self.config, default_model);
+            if !decision.allowed() {
+                record.throttled += 1;
+            }
+            decision
+        })
+    }
+
+    /// Record that a speculative thread was actually launched from `site`.
+    pub fn record_fork(&self, site: SiteId, model: ForkModel) {
+        self.profiler.with_site(site, |record| {
+            record.forks += 1;
+            record.per_model[model.index()].forks += 1;
+        });
+    }
+
+    /// Record the outcome of a child launched from `site`.
+    pub fn record_outcome(&self, site: SiteId, outcome: &SiteOutcome) {
+        let decay = self.config.decay;
+        self.profiler.with_site(site, |record| {
+            record.absorb(
+                outcome.committed,
+                outcome.overflowed(),
+                outcome.work,
+                outcome.wasted_work,
+                outcome.stall,
+                outcome.model,
+                decay,
+            );
+        });
+    }
+
+    /// Snapshot every profiled site, sorted by site ID.
+    pub fn snapshot(&self) -> Vec<SiteProfile> {
+        self.profiler.snapshot()
+    }
+
+    /// Forget all profiles (start of a new speculative region run).
+    pub fn reset(&self) {
+        self.profiler.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn drive(governor: &Governor, site: SiteId, committed: bool, rounds: usize) -> (u64, u64) {
+        let mut allowed = 0;
+        let mut denied = 0;
+        for _ in 0..rounds {
+            match governor.decide(site, ForkModel::Mixed) {
+                ForkDecision::Allow(model) => {
+                    allowed += 1;
+                    governor.record_fork(site, model);
+                    let outcome = if committed {
+                        SiteOutcome::committed(100, 5, model)
+                    } else {
+                        SiteOutcome::rolled_back(SpecFailure::ReadConflict, 100, 5, model)
+                    };
+                    governor.record_outcome(site, &outcome);
+                }
+                ForkDecision::Deny => denied += 1,
+            }
+        }
+        (allowed, denied)
+    }
+
+    #[test]
+    fn static_governor_never_denies() {
+        let governor = Governor::new(GovernorConfig::default());
+        let (allowed, denied) = drive(&governor, 1, false, 100);
+        assert_eq!((allowed, denied), (100, 0));
+        let profile = &governor.snapshot()[0];
+        assert_eq!(profile.rollbacks, 100);
+        assert_eq!(profile.throttled, 0);
+    }
+
+    #[test]
+    fn throttle_governor_suppresses_bad_site_but_not_good_site() {
+        let governor = Governor::new(GovernorConfig::with_policy(PolicyKind::Throttle));
+        let (bad_allowed, bad_denied) = drive(&governor, 1, false, 100);
+        let (good_allowed, good_denied) = drive(&governor, 2, true, 100);
+        assert!(
+            bad_denied > bad_allowed * 5,
+            "bad site: {bad_allowed} allowed, {bad_denied} denied"
+        );
+        assert_eq!((good_allowed, good_denied), (100, 0));
+        let rows = governor.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].throttled > 0);
+        assert_eq!(rows[1].throttled, 0);
+        assert!(
+            rows[0].wasted_work < 100 * 100,
+            "throttling caps wasted work"
+        );
+    }
+
+    #[test]
+    fn outcomes_accumulate_work_and_stall() {
+        let governor = Governor::new(GovernorConfig::default());
+        governor.record_fork(9, ForkModel::InOrder);
+        governor.record_outcome(9, &SiteOutcome::committed(40, 7, ForkModel::InOrder));
+        governor.record_outcome(
+            9,
+            &SiteOutcome::rolled_back(SpecFailure::BufferOverflow, 13, 2, ForkModel::InOrder),
+        );
+        let p = &governor.snapshot()[0];
+        assert_eq!(p.committed_work, 40);
+        assert_eq!(p.wasted_work, 13);
+        assert_eq!(p.stall, 9);
+        assert_eq!(p.overflows, 1);
+        governor.reset();
+        assert!(governor.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,520 @@
+//! Governor policies: how per-site profiles turn into fork decisions.
+//!
+//! * [`StaticPolicy`] — always allow, always the configured model: exactly
+//!   the seed runtime's unconditional speculation.
+//! * [`ThrottlePolicy`] — suppress speculation at sites whose
+//!   recency-weighted rollback or overflow rate crosses a threshold.
+//!   Exponential decay plus periodic *probe* forks let a suppressed site
+//!   re-earn speculation when its behaviour improves (cf. Prophet's
+//!   profile-guided speculation filtering).
+//! * [`ModelSelectPolicy`] — pick the forking model *per site* instead of
+//!   one global `ForkModel`: a short round-robin warm-up tries all three
+//!   models, then the site sticks with the one that wasted the least work,
+//!   still exploring periodically.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::fork_model::ForkModel;
+use crate::site::{ModelStats, SiteRecord};
+
+/// Which governor policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// Unconditional speculation with the configured model (seed behavior).
+    #[default]
+    Static,
+    /// Suppress speculation at unprofitable sites.
+    Throttle,
+    /// Choose the forking model per site.
+    ModelSelect,
+}
+
+impl PolicyKind {
+    /// All policies, for sweeps.
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::Static,
+        PolicyKind::Throttle,
+        PolicyKind::ModelSelect,
+    ];
+
+    /// Short label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::Throttle => "throttle",
+            PolicyKind::ModelSelect => "modelselect",
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PolicyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "static" => Ok(PolicyKind::Static),
+            "throttle" => Ok(PolicyKind::Throttle),
+            "modelselect" | "model-select" | "model_select" => Ok(PolicyKind::ModelSelect),
+            other => Err(format!("unknown governor policy: {other}")),
+        }
+    }
+}
+
+/// Configuration of the adaptive governor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorConfig {
+    /// The policy to run.
+    pub policy: PolicyKind,
+    /// Rollback-rate threshold above which Throttle suppresses a site.
+    pub rollback_threshold: f64,
+    /// Overflow-rate threshold above which Throttle suppresses a site.
+    pub overflow_threshold: f64,
+    /// Joined samples a site must have before Throttle may suppress it,
+    /// and forks each model receives during ModelSelect warm-up.
+    pub min_samples: u64,
+    /// Exponential forgetting factor in `(0, 1]` applied per outcome to
+    /// the recency-weighted counters (1.0 = never forget).
+    pub decay: f64,
+    /// While a site is suppressed, every `probe_interval`-th fork request
+    /// is allowed through as a probe so the site can re-earn speculation;
+    /// ModelSelect re-explores models at the same cadence.
+    pub probe_interval: u64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            policy: PolicyKind::Static,
+            rollback_threshold: 0.5,
+            overflow_threshold: 0.5,
+            min_samples: 4,
+            decay: 0.9,
+            probe_interval: 16,
+        }
+    }
+}
+
+impl GovernorConfig {
+    /// Convenience constructor for a policy with default tuning.
+    pub fn with_policy(policy: PolicyKind) -> Self {
+        GovernorConfig {
+            policy,
+            ..Default::default()
+        }
+    }
+
+    /// Set the rollback-rate threshold (builder style).
+    ///
+    /// # Panics
+    /// Panics if `t` is not within `[0, 1]`.
+    pub fn rollback_threshold(mut self, t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "threshold must be in [0,1]");
+        self.rollback_threshold = t;
+        self
+    }
+
+    /// Set the overflow-rate threshold (builder style).
+    ///
+    /// # Panics
+    /// Panics if `t` is not within `[0, 1]`.
+    pub fn overflow_threshold(mut self, t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "threshold must be in [0,1]");
+        self.overflow_threshold = t;
+        self
+    }
+
+    /// Set the warm-up sample count (builder style).
+    pub fn min_samples(mut self, n: u64) -> Self {
+        self.min_samples = n;
+        self
+    }
+
+    /// Set the exponential forgetting factor (builder style).
+    ///
+    /// # Panics
+    /// Panics if `d` is not within `(0, 1]`.
+    pub fn decay(mut self, d: f64) -> Self {
+        assert!(d > 0.0 && d <= 1.0, "decay must be in (0,1]");
+        self.decay = d;
+        self
+    }
+
+    /// Set the probe interval (builder style).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn probe_interval(mut self, n: u64) -> Self {
+        assert!(n > 0, "probe interval must be positive");
+        self.probe_interval = n;
+        self
+    }
+}
+
+/// The governor's answer to "may this site speculate right now?".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForkDecision {
+    /// Speculate, using the given forking model.
+    Allow(ForkModel),
+    /// Do not speculate; the parent will run the continuation inline.
+    Deny,
+}
+
+impl ForkDecision {
+    /// True when speculation was allowed.
+    pub fn allowed(&self) -> bool {
+        matches!(self, ForkDecision::Allow(_))
+    }
+}
+
+/// A pluggable fork-decision policy.
+///
+/// Policies receive exclusive access to the site's record, so they may
+/// keep per-site policy state (probe streaks, decision counters) in it.
+pub trait GovernorPolicy: Send + Sync {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decide whether (and under which model) the site may speculate.
+    fn decide(
+        &self,
+        record: &mut SiteRecord,
+        config: &GovernorConfig,
+        default_model: ForkModel,
+    ) -> ForkDecision;
+}
+
+/// Seed behaviour: always allow, always the configured default model.
+#[derive(Debug, Default)]
+pub struct StaticPolicy;
+
+impl GovernorPolicy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(
+        &self,
+        record: &mut SiteRecord,
+        _config: &GovernorConfig,
+        default_model: ForkModel,
+    ) -> ForkDecision {
+        record.decisions += 1;
+        ForkDecision::Allow(default_model)
+    }
+}
+
+/// Suppress speculation at sites that keep rolling back or overflowing.
+#[derive(Debug, Default)]
+pub struct ThrottlePolicy;
+
+impl GovernorPolicy for ThrottlePolicy {
+    fn name(&self) -> &'static str {
+        "throttle"
+    }
+
+    fn decide(
+        &self,
+        record: &mut SiteRecord,
+        config: &GovernorConfig,
+        default_model: ForkModel,
+    ) -> ForkDecision {
+        record.decisions += 1;
+        if record.samples() < config.min_samples {
+            return ForkDecision::Allow(default_model);
+        }
+        let unprofitable = record.rollback_rate() > config.rollback_threshold
+            || record.overflow_rate() > config.overflow_threshold;
+        if !unprofitable {
+            record.denied_streak = 0;
+            return ForkDecision::Allow(default_model);
+        }
+        record.denied_streak += 1;
+        if record.denied_streak >= config.probe_interval {
+            // Probe: let one fork through so the decayed rates can recover
+            // if the site's behaviour changed.
+            record.denied_streak = 0;
+            return ForkDecision::Allow(default_model);
+        }
+        ForkDecision::Deny
+    }
+}
+
+/// Choose the forking model per site from observed per-model efficiency.
+#[derive(Debug, Default)]
+pub struct ModelSelectPolicy;
+
+impl ModelSelectPolicy {
+    /// Score a model by work committed (and joins committed) *per
+    /// attempt*.  Dividing by attempts — not launches — makes a model
+    /// that keeps being chosen but can never actually fork at this site
+    /// (e.g. in-order at a never-most-speculative forker) score zero
+    /// instead of looking untried-and-optimistic.
+    fn score(stats: &ModelStats) -> (f64, f64) {
+        let attempts = stats.attempts.max(1) as f64;
+        (
+            stats.committed_work as f64 / attempts,
+            stats.commits as f64 / attempts,
+        )
+    }
+
+    fn best_model(record: &SiteRecord) -> ForkModel {
+        let mut best = ForkModel::Mixed;
+        let mut best_score = (f64::MIN, f64::MIN);
+        // Iterate in ALL order; ties prefer the later (Mixed) model, the
+        // paper's most general default.
+        for model in ForkModel::ALL {
+            let score = Self::score(&record.per_model[model.index()]);
+            if score >= best_score {
+                best_score = score;
+                best = model;
+            }
+        }
+        best
+    }
+}
+
+impl GovernorPolicy for ModelSelectPolicy {
+    fn name(&self) -> &'static str {
+        "modelselect"
+    }
+
+    fn decide(
+        &self,
+        record: &mut SiteRecord,
+        config: &GovernorConfig,
+        _default_model: ForkModel,
+    ) -> ForkDecision {
+        record.decisions += 1;
+        // Warm-up: give every model `min_samples` *attempts*, least-tried
+        // first.  Counting attempts (not successful launches) guarantees
+        // the warm-up always advances, even for a model the forking rules
+        // never let launch at this site.
+        let chosen = if let Some(model) = ForkModel::ALL
+            .into_iter()
+            .filter(|m| record.per_model[m.index()].attempts < config.min_samples)
+            .min_by_key(|m| record.per_model[m.index()].attempts)
+        {
+            model
+        } else if record.decisions.is_multiple_of(config.probe_interval) {
+            // Periodic exploration so a model that got unlucky early can
+            // recover; otherwise exploit the best-scoring model.
+            let idx = (record.decisions / config.probe_interval) as usize % ForkModel::ALL.len();
+            ForkModel::ALL[idx]
+        } else {
+            Self::best_model(record)
+        };
+        record.per_model[chosen.index()].attempts += 1;
+        ForkDecision::Allow(chosen)
+    }
+}
+
+/// Build the policy object configured in `config`.
+pub fn build_policy(kind: PolicyKind) -> Box<dyn GovernorPolicy> {
+    match kind {
+        PolicyKind::Static => Box::new(StaticPolicy),
+        PolicyKind::Throttle => Box::new(ThrottlePolicy),
+        PolicyKind::ModelSelect => Box::new(ModelSelectPolicy),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rollback_heavy(record: &mut SiteRecord, n: usize, decay: f64) {
+        for _ in 0..n {
+            record.absorb(false, false, 0, 50, 0, ForkModel::Mixed, decay);
+        }
+    }
+
+    #[test]
+    fn static_policy_always_allows_default() {
+        let mut r = SiteRecord::default();
+        rollback_heavy(&mut r, 50, 0.9);
+        let cfg = GovernorConfig::default();
+        for _ in 0..10 {
+            assert_eq!(
+                StaticPolicy.decide(&mut r, &cfg, ForkModel::InOrder),
+                ForkDecision::Allow(ForkModel::InOrder)
+            );
+        }
+    }
+
+    #[test]
+    fn throttle_allows_during_warmup_then_denies() {
+        let mut r = SiteRecord::default();
+        let cfg = GovernorConfig::with_policy(PolicyKind::Throttle);
+        assert!(ThrottlePolicy
+            .decide(&mut r, &cfg, ForkModel::Mixed)
+            .allowed());
+        rollback_heavy(&mut r, cfg.min_samples as usize, cfg.decay);
+        assert_eq!(
+            ThrottlePolicy.decide(&mut r, &cfg, ForkModel::Mixed),
+            ForkDecision::Deny
+        );
+    }
+
+    #[test]
+    fn throttle_probes_every_interval() {
+        let mut r = SiteRecord::default();
+        let cfg = GovernorConfig::with_policy(PolicyKind::Throttle).probe_interval(4);
+        rollback_heavy(&mut r, 8, cfg.decay);
+        let decisions: Vec<bool> = (0..8)
+            .map(|_| {
+                ThrottlePolicy
+                    .decide(&mut r, &cfg, ForkModel::Mixed)
+                    .allowed()
+            })
+            .collect();
+        // Deny, deny, deny, probe, deny, deny, deny, probe.
+        assert_eq!(
+            decisions,
+            vec![false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn throttled_site_re_earns_speculation_after_commits() {
+        let mut r = SiteRecord::default();
+        let cfg = GovernorConfig::with_policy(PolicyKind::Throttle)
+            .probe_interval(2)
+            .decay(0.5);
+        rollback_heavy(&mut r, 6, cfg.decay);
+        assert!(!ThrottlePolicy
+            .decide(&mut r, &cfg, ForkModel::Mixed)
+            .allowed());
+        // The site's behaviour flips to always-commit; probes feed the
+        // decayed counters until the rate crosses back under the threshold.
+        for _ in 0..6 {
+            r.absorb(true, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+        }
+        assert!(
+            ThrottlePolicy
+                .decide(&mut r, &cfg, ForkModel::Mixed)
+                .allowed(),
+            "rate {} should be back under {}",
+            r.rollback_rate(),
+            cfg.rollback_threshold
+        );
+    }
+
+    #[test]
+    fn throttle_reacts_to_overflow_rate_too() {
+        let mut r = SiteRecord::default();
+        let cfg = GovernorConfig::with_policy(PolicyKind::Throttle)
+            .rollback_threshold(1.0) // only overflows can trip it
+            .overflow_threshold(0.3);
+        for _ in 0..4 {
+            r.absorb(false, true, 0, 10, 0, ForkModel::Mixed, cfg.decay);
+        }
+        assert_eq!(
+            ThrottlePolicy.decide(&mut r, &cfg, ForkModel::Mixed),
+            ForkDecision::Deny
+        );
+    }
+
+    #[test]
+    fn model_select_warms_up_all_models_then_exploits_the_best() {
+        let mut r = SiteRecord::default();
+        let cfg = GovernorConfig::with_policy(PolicyKind::ModelSelect).min_samples(2);
+        // Warm-up: 2 attempts per model, least-tried first.
+        let mut warmup = Vec::new();
+        for _ in 0..6 {
+            let ForkDecision::Allow(model) =
+                ModelSelectPolicy.decide(&mut r, &cfg, ForkModel::Mixed)
+            else {
+                panic!("model select never denies");
+            };
+            r.per_model[model.index()].forks += 1;
+            warmup.push(model);
+        }
+        for model in ForkModel::ALL {
+            assert_eq!(warmup.iter().filter(|m| **m == model).count(), 2, "{model}");
+            assert_eq!(r.per_model[model.index()].attempts, 2, "{model}");
+        }
+        // InOrder committed everything; the others wasted everything.
+        r.per_model[ForkModel::InOrder.index()].commits = 2;
+        r.per_model[ForkModel::InOrder.index()].committed_work = 100;
+        for model in [ForkModel::OutOfOrder, ForkModel::Mixed] {
+            r.per_model[model.index()].rollbacks = 2;
+            r.per_model[model.index()].wasted_work = 100;
+        }
+        let mut exploit = 0;
+        for _ in 0..cfg.probe_interval - 1 {
+            if ModelSelectPolicy.decide(&mut r, &cfg, ForkModel::Mixed)
+                == ForkDecision::Allow(ForkModel::InOrder)
+            {
+                exploit += 1;
+            }
+        }
+        assert!(
+            exploit >= (cfg.probe_interval - 2) as usize,
+            "exploit = {exploit}"
+        );
+    }
+
+    #[test]
+    fn model_select_does_not_livelock_on_a_model_that_never_launches() {
+        // Regression: at a site where in-order and out-of-order can never
+        // actually fork (the forking rules reject them), the warm-up must
+        // still advance and exploitation must settle on the model that
+        // does launch — the site must not be starved of speculation.
+        let mut r = SiteRecord::default();
+        let cfg = GovernorConfig::with_policy(PolicyKind::ModelSelect)
+            .min_samples(2)
+            .probe_interval(16);
+        let mut mixed_launches = 0u64;
+        let mut decisions_after_warmup = 0u64;
+        let mut mixed_after_warmup = 0u64;
+        for i in 0..70 {
+            let ForkDecision::Allow(model) =
+                ModelSelectPolicy.decide(&mut r, &cfg, ForkModel::Mixed)
+            else {
+                panic!("model select never denies");
+            };
+            // Only Mixed ever launches at this site; the other models'
+            // forks are rejected downstream, so no fork/outcome is ever
+            // recorded for them.
+            if model == ForkModel::Mixed {
+                r.per_model[model.index()].forks += 1;
+                r.absorb(true, false, 100, 0, 0, model, cfg.decay);
+                mixed_launches += 1;
+            }
+            if i >= 6 {
+                decisions_after_warmup += 1;
+                if model == ForkModel::Mixed {
+                    mixed_after_warmup += 1;
+                }
+            }
+        }
+        assert!(mixed_launches > 0, "site was starved of speculation");
+        // Post-warm-up, the launching model dominates (periodic probes of
+        // the dead models are allowed, but they must stay probes).
+        assert!(
+            mixed_after_warmup * 10 >= decisions_after_warmup * 8,
+            "mixed chosen {mixed_after_warmup}/{decisions_after_warmup} post-warm-up"
+        );
+    }
+
+    #[test]
+    fn policy_kind_parses_and_builds() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.label().parse::<PolicyKind>().unwrap(), kind);
+            assert_eq!(build_policy(kind).name(), kind.label());
+        }
+        assert!("nope".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_panics() {
+        let _ = GovernorConfig::default().rollback_threshold(1.5);
+    }
+}

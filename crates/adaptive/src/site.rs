@@ -1,0 +1,367 @@
+//! Per-fork-site profiling: a lock-striped registry of speculation
+//! statistics keyed by fork-site ID.
+//!
+//! Every fork point in a workload carries a stable 32-bit *site ID* (the
+//! `point` argument of `TlsContext::fork`).  The [`SiteProfiler`]
+//! accumulates, per site, how speculation at that site actually went —
+//! commits, rollbacks, buffer overflows, committed vs. wasted work and
+//! stall time — so a [`GovernorPolicy`](crate::GovernorPolicy) can adapt
+//! future fork decisions.
+//!
+//! The registry is sharded dashmap-style: the site ID hashes to one of
+//! [`SHARD_COUNT`] shards, each an independently locked map, so
+//! concurrent threads profiling different sites rarely contend.  Each
+//! site's record sits behind its own mutex (reached through an `Arc`), so
+//! the shard lock is held only for the map lookup, never while a record
+//! is updated.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::fork_model::ForkModel;
+
+/// Identifier of one fork point (the `point` of `TlsContext::fork`).
+pub type SiteId = u32;
+
+/// Number of lock stripes; a power of two so the shard index is a mask.
+pub const SHARD_COUNT: usize = 16;
+
+/// Per-model accumulators used by the model-selection policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Decisions that selected this model (whether or not the fork then
+    /// launched); maintained by the model-selection policy.
+    pub attempts: u64,
+    /// Speculative threads launched under this model.
+    pub forks: u64,
+    /// Joins that committed.
+    pub commits: u64,
+    /// Joins that rolled back.
+    pub rollbacks: u64,
+    /// Work that committed (time units of the recording runtime).
+    pub committed_work: u64,
+    /// Work that was discarded.
+    pub wasted_work: u64,
+}
+
+impl ModelStats {
+    /// Fraction of this model's work that committed (1.0 with no samples,
+    /// so untried models look optimistic rather than hopeless).
+    pub fn efficiency(&self) -> f64 {
+        let total = self.committed_work + self.wasted_work;
+        if total == 0 {
+            return 1.0;
+        }
+        self.committed_work as f64 / total as f64
+    }
+
+    /// Fraction of joins that committed (1.0 with no samples).
+    pub fn commit_rate(&self) -> f64 {
+        let joins = self.commits + self.rollbacks;
+        if joins == 0 {
+            return 1.0;
+        }
+        self.commits as f64 / joins as f64
+    }
+}
+
+/// Mutable per-site accumulator handed to policies.
+#[derive(Debug, Clone, Default)]
+pub struct SiteRecord {
+    /// Speculative threads actually launched from this site.
+    pub forks: u64,
+    /// Fork requests suppressed by the governor.
+    pub throttled: u64,
+    /// Children that validated and committed.
+    pub commits: u64,
+    /// Children that rolled back (any reason).
+    pub rollbacks: u64,
+    /// Rollbacks whose reason was a buffer overflow.
+    pub overflows: u64,
+    /// Work (ns native / cycles simulated) that committed.
+    pub committed_work: u64,
+    /// Work that was rolled back and discarded.
+    pub wasted_work: u64,
+    /// Stall (idle) time attributed to this site's children.
+    pub stall: u64,
+    /// Exponentially decayed commit count (recency-weighted).
+    pub hot_commits: f64,
+    /// Exponentially decayed rollback count.
+    pub hot_rollbacks: f64,
+    /// Exponentially decayed overflow count.
+    pub hot_overflows: f64,
+    /// Per-fork-model accumulators, indexed by [`ForkModel::index`].
+    pub per_model: [ModelStats; 3],
+    /// Consecutive throttle denials since the last probe (throttle policy).
+    pub denied_streak: u64,
+    /// Monotone count of governor decisions at this site.
+    pub decisions: u64,
+}
+
+impl SiteRecord {
+    /// Joined children so far (commits + rollbacks).
+    pub fn samples(&self) -> u64 {
+        self.commits + self.rollbacks
+    }
+
+    /// Recency-weighted rollback rate in `[0, 1]` (0 with no samples).
+    pub fn rollback_rate(&self) -> f64 {
+        let total = self.hot_commits + self.hot_rollbacks;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.hot_rollbacks / total
+    }
+
+    /// Recency-weighted buffer-overflow rate in `[0, 1]`.
+    pub fn overflow_rate(&self) -> f64 {
+        let total = self.hot_commits + self.hot_rollbacks;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.hot_overflows / total
+    }
+
+    /// Fold one join outcome into the record.  `decay` is the exponential
+    /// forgetting factor applied to the recency-weighted counters before
+    /// the new sample is added, so old behaviour fades and a throttled
+    /// site can re-earn speculation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn absorb(
+        &mut self,
+        committed: bool,
+        overflowed: bool,
+        work: u64,
+        wasted: u64,
+        stall: u64,
+        model: ForkModel,
+        decay: f64,
+    ) {
+        self.hot_commits *= decay;
+        self.hot_rollbacks *= decay;
+        self.hot_overflows *= decay;
+        let m = &mut self.per_model[model.index()];
+        if committed {
+            self.commits += 1;
+            self.hot_commits += 1.0;
+            self.committed_work += work;
+            m.commits += 1;
+            m.committed_work += work;
+        } else {
+            self.rollbacks += 1;
+            self.hot_rollbacks += 1.0;
+            self.wasted_work += wasted;
+            m.rollbacks += 1;
+            m.wasted_work += wasted;
+            if overflowed {
+                self.overflows += 1;
+                self.hot_overflows += 1.0;
+            }
+        }
+        self.stall += stall;
+    }
+}
+
+/// Immutable snapshot of one site, exposed in `RunReport` tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SiteProfile {
+    /// The fork-site ID.
+    pub site: SiteId,
+    /// Speculative threads launched.
+    pub forks: u64,
+    /// Fork requests suppressed by the governor.
+    pub throttled: u64,
+    /// Committed children.
+    pub commits: u64,
+    /// Rolled-back children.
+    pub rollbacks: u64,
+    /// Buffer-overflow rollbacks.
+    pub overflows: u64,
+    /// Committed work.
+    pub committed_work: u64,
+    /// Discarded work.
+    pub wasted_work: u64,
+    /// Stall time of this site's children.
+    pub stall: u64,
+    /// Recency-weighted rollback rate at snapshot time.
+    pub rollback_rate: f64,
+}
+
+impl SiteProfile {
+    fn from_record(site: SiteId, record: &SiteRecord) -> Self {
+        SiteProfile {
+            site,
+            forks: record.forks,
+            throttled: record.throttled,
+            commits: record.commits,
+            rollbacks: record.rollbacks,
+            overflows: record.overflows,
+            committed_work: record.committed_work,
+            wasted_work: record.wasted_work,
+            stall: record.stall,
+            rollback_rate: record.rollback_rate(),
+        }
+    }
+}
+
+/// Lock-striped registry of [`SiteRecord`]s.
+#[derive(Debug, Default)]
+pub struct SiteProfiler {
+    shards: [RwLock<HashMap<SiteId, Arc<Mutex<SiteRecord>>>>; SHARD_COUNT],
+}
+
+/// Fibonacci-hash the site ID into a shard index.
+fn shard_of(site: SiteId) -> usize {
+    let h = (site as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 60) as usize & (SHARD_COUNT - 1)
+}
+
+impl SiteProfiler {
+    /// Create an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(&self, site: SiteId) -> Arc<Mutex<SiteRecord>> {
+        let shard = &self.shards[shard_of(site)];
+        if let Some(cell) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&site) {
+            return Arc::clone(cell);
+        }
+        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(site).or_default())
+    }
+
+    /// Run `f` with exclusive access to the site's record, creating the
+    /// record on first touch.
+    pub fn with_site<R>(&self, site: SiteId, f: impl FnOnce(&mut SiteRecord) -> R) -> R {
+        let cell = self.cell(site);
+        let mut record = cell.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut record)
+    }
+
+    /// Number of sites profiled so far.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// True when no site has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot every site, sorted by site ID.
+    pub fn snapshot(&self) -> Vec<SiteProfile> {
+        let mut rows: Vec<SiteProfile> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                let map = shard.read().unwrap_or_else(|e| e.into_inner());
+                map.iter()
+                    .map(|(site, cell)| {
+                        let record = cell.lock().unwrap_or_else(|e| e.into_inner());
+                        SiteProfile::from_record(*site, &record)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        rows.sort_by_key(|p| p.site);
+        rows
+    }
+
+    /// Drop every record (start of a new run).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_created_on_first_touch() {
+        let p = SiteProfiler::new();
+        assert!(p.is_empty());
+        p.with_site(7, |r| r.forks += 1);
+        p.with_site(7, |r| r.forks += 1);
+        p.with_site(9, |r| r.forks += 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.with_site(7, |r| r.forks), 2);
+    }
+
+    #[test]
+    fn absorb_tracks_rates_and_decay() {
+        let mut r = SiteRecord::default();
+        for _ in 0..4 {
+            r.absorb(false, false, 0, 100, 0, ForkModel::Mixed, 0.5);
+        }
+        assert_eq!(r.rollbacks, 4);
+        assert_eq!(r.wasted_work, 400);
+        assert!(r.rollback_rate() > 0.99);
+        // Commits push the decayed rate down geometrically.
+        for _ in 0..4 {
+            r.absorb(true, false, 100, 0, 0, ForkModel::Mixed, 0.5);
+        }
+        assert!(r.rollback_rate() < 0.1, "rate = {}", r.rollback_rate());
+        assert_eq!(r.samples(), 8);
+    }
+
+    #[test]
+    fn overflow_rollbacks_are_counted_separately() {
+        let mut r = SiteRecord::default();
+        r.absorb(false, true, 0, 10, 0, ForkModel::InOrder, 0.9);
+        r.absorb(false, false, 0, 10, 0, ForkModel::InOrder, 0.9);
+        assert_eq!(r.overflows, 1);
+        assert_eq!(r.rollbacks, 2);
+        assert!(r.overflow_rate() > 0.0 && r.overflow_rate() < r.rollback_rate() + 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let p = SiteProfiler::new();
+        for site in [44u32, 2, 17, 300] {
+            p.with_site(site, |r| {
+                r.forks = site as u64;
+                r.absorb(true, false, 5, 0, 1, ForkModel::Mixed, 0.9);
+            });
+        }
+        let rows = p.snapshot();
+        assert_eq!(rows.len(), 4);
+        let sites: Vec<u32> = rows.iter().map(|r| r.site).collect();
+        assert_eq!(sites, vec![2, 17, 44, 300]);
+        assert!(rows.iter().all(|r| r.commits == 1 && r.stall == 1));
+        p.reset();
+        assert!(p.snapshot().is_empty());
+    }
+
+    #[test]
+    fn profiler_is_safe_under_concurrent_updates() {
+        let p = std::sync::Arc::new(SiteProfiler::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let p = std::sync::Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    p.with_site(i % 13 + t % 2, |r| r.forks += 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = p.snapshot().iter().map(|r| r.forks).sum();
+        assert_eq!(total, 8 * 1000);
+    }
+
+    #[test]
+    fn model_stats_rates_default_optimistic() {
+        let m = ModelStats::default();
+        assert_eq!(m.efficiency(), 1.0);
+        assert_eq!(m.commit_rate(), 1.0);
+    }
+}

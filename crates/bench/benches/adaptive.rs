@@ -1,0 +1,97 @@
+//! Adaptive-vs-static governor benchmarks.
+//!
+//! Two questions for the perf trajectory:
+//!
+//! 1. **Governor overhead** — how much slower is a clean (no-rollback)
+//!    simulation when every fork consults the Throttle/ModelSelect policy
+//!    instead of Static?
+//! 2. **Wasted-work reduction** — on a rollback-heavy workload, how much
+//!    discarded work does the throttle policy save?  The measured cycle
+//!    numbers are printed once so `cargo bench` output records them.
+
+use std::sync::Arc;
+use std::sync::Once;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mutls_adaptive::{GovernorConfig, PolicyKind};
+use mutls_membuf::GlobalMemory;
+use mutls_simcpu::{record_region, simulate, Recording, SimConfig};
+use mutls_workloads::{arena_bytes, run_speculative, setup, Scale, WorkloadKind};
+
+const CPUS: usize = 16;
+const HEAVY_ROLLBACK_P: f64 = 0.4;
+
+fn record(kind: WorkloadKind, scale: Scale) -> Recording {
+    let memory = Arc::new(GlobalMemory::new(arena_bytes(kind, scale)));
+    let data = setup(kind, scale, &memory);
+    record_region(Arc::clone(&memory), |ctx| run_speculative(ctx, &data))
+}
+
+fn config(policy: PolicyKind, rollback_probability: f64) -> SimConfig {
+    SimConfig {
+        num_cpus: CPUS,
+        fork_model: None,
+        rollback_probability,
+        seed: 0xAB5C155A,
+        cost: Default::default(),
+        governor: GovernorConfig::with_policy(policy),
+    }
+}
+
+static PRINT_SAVINGS: Once = Once::new();
+
+/// Record the wasted-work reduction once per bench run.
+fn print_savings_once() {
+    PRINT_SAVINGS.call_once(|| {
+        for kind in [WorkloadKind::Tsp, WorkloadKind::Bh, WorkloadKind::Md] {
+            let recording = record(kind, Scale::Scaled);
+            let stat = simulate(&recording, config(PolicyKind::Static, HEAVY_ROLLBACK_P));
+            let thr = simulate(&recording, config(PolicyKind::Throttle, HEAVY_ROLLBACK_P));
+            eprintln!(
+                "adaptive: {} @ {CPUS} CPUs, {HEAVY_ROLLBACK_P} injected rollbacks: \
+                 wasted work static={} throttle={} ({} rolled back -> {})",
+                kind.name(),
+                stat.report.wasted_work(),
+                thr.report.wasted_work(),
+                stat.report.rolled_back_threads,
+                thr.report.rolled_back_threads,
+            );
+        }
+    });
+}
+
+/// Overhead of consulting the governor on a clean workload.
+fn bench_governor_overhead(c: &mut Criterion) {
+    print_savings_once();
+    let recording = record(WorkloadKind::Fft, Scale::Tiny);
+    let mut group = c.benchmark_group("adaptive_governor_overhead");
+    group.sample_size(10);
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_clean", policy.label()),
+            &recording,
+            |b, rec| b.iter(|| simulate(rec, config(policy, 0.0)).speedup()),
+        );
+    }
+    group.finish();
+}
+
+/// Static vs throttle on a rollback-heavy workload.
+fn bench_rollback_heavy(c: &mut Criterion) {
+    print_savings_once();
+    let recording = record(WorkloadKind::Tsp, Scale::Tiny);
+    let mut group = c.benchmark_group("adaptive_rollback_heavy");
+    group.sample_size(10);
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_tsp", policy.label()),
+            &recording,
+            |b, rec| b.iter(|| simulate(rec, config(policy, HEAVY_ROLLBACK_P)).speedup()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_governor_overhead, bench_rollback_heavy);
+criterion_main!(benches);

@@ -53,9 +53,11 @@ fn bench_workload_simulation(c: &mut Criterion) {
         let memory = Arc::new(GlobalMemory::new(arena_bytes(kind, Scale::Tiny)));
         let data = setup(kind, Scale::Tiny, &memory);
         let recording = record_region(Arc::clone(&memory), |ctx| run_speculative(ctx, &data));
-        group.bench_with_input(BenchmarkId::new("simulate_16cpu", kind.name()), &recording, |b, rec| {
-            b.iter(|| simulate(rec, SimConfig::with_cpus(16)).speedup())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("simulate_16cpu", kind.name()),
+            &recording,
+            |b, rec| b.iter(|| simulate(rec, SimConfig::with_cpus(16)).speedup()),
+        );
     }
     group.finish();
 }
@@ -86,8 +88,12 @@ fn bench_fig5to7_efficiencies(c: &mut Criterion) {
     let config = bench_config();
     let mut group = c.benchmark_group("fig5_6_7_efficiencies");
     group.sample_size(10);
-    group.bench_function("fig5_critical_path", |b| b.iter(|| figure5(&config).0.len()));
-    group.bench_function("fig6_speculative_path", |b| b.iter(|| figure6(&config).0.len()));
+    group.bench_function("fig5_critical_path", |b| {
+        b.iter(|| figure5(&config).0.len())
+    });
+    group.bench_function("fig6_speculative_path", |b| {
+        b.iter(|| figure6(&config).0.len())
+    });
     group.bench_function("fig7_power", |b| b.iter(|| figure7(&config).0.len()));
     group.finish();
 }
@@ -98,8 +104,12 @@ fn bench_fig8to9_breakdowns(c: &mut Criterion) {
     let config = bench_config();
     let mut group = c.benchmark_group("fig8_9_breakdowns");
     group.sample_size(10);
-    group.bench_function("fig8_critical_breakdown", |b| b.iter(|| figure8(&config).0.len()));
-    group.bench_function("fig9_speculative_breakdown", |b| b.iter(|| figure9(&config).0.len()));
+    group.bench_function("fig8_critical_breakdown", |b| {
+        b.iter(|| figure8(&config).0.len())
+    });
+    group.bench_function("fig9_speculative_breakdown", |b| {
+        b.iter(|| figure9(&config).0.len())
+    });
     group.finish();
 }
 

@@ -5,10 +5,13 @@ use std::sync::Arc;
 
 use serde::Serialize;
 
+use mutls_adaptive::{GovernorConfig, PolicyKind};
 use mutls_membuf::GlobalMemory;
-use mutls_runtime::{ForkModel, Phase};
+use mutls_runtime::{ForkModel, Phase, RunReport};
 use mutls_simcpu::{record_region, simulate, Recording, SimConfig, SimResult};
-use mutls_workloads::{arena_bytes, descriptor, run_speculative, setup, Scale, WorkloadKind};
+use mutls_workloads::{
+    arena_bytes, descriptor, run_speculative, setup, site_label, Scale, WorkloadKind,
+};
 
 use crate::report::{format_breakdown_table, format_sweep_table, Table};
 
@@ -111,6 +114,7 @@ fn simulate_point(recording: &Recording, cpus: usize, seed: u64) -> SimResult {
         rollback_probability: 0.0,
         seed,
         cost: Default::default(),
+        governor: Default::default(),
     };
     simulate(recording, config)
 }
@@ -277,7 +281,10 @@ pub fn figure8(config: &ExperimentConfig) -> (Vec<BreakdownRow>, String) {
     let mut rows = breakdown(WorkloadKind::Fft, config, &cpus, false);
     let fft_text = breakdown_text("Figure 8a — Critical Path Breakdown: FFT", &rows);
     let md_rows = breakdown(WorkloadKind::Md, config, &cpus, false);
-    let md_text = breakdown_text("Figure 8b — Critical Path Breakdown: Molecular Dynamics", &md_rows);
+    let md_text = breakdown_text(
+        "Figure 8b — Critical Path Breakdown: Molecular Dynamics",
+        &md_rows,
+    );
     rows.extend(md_rows);
     (rows, format!("{fft_text}\n{md_text}"))
 }
@@ -316,11 +323,16 @@ pub fn figure10(config: &ExperimentConfig) -> (Vec<(String, usize, f64)>, String
                         rollback_probability: 0.0,
                         seed: config.seed,
                         cost: Default::default(),
+                        governor: Default::default(),
                     },
                 )
                 .speedup();
                 let normalized = other / mixed.max(f64::MIN_POSITIVE);
-                rows.push((format!("{} {}", kind.name(), model.label()), cpus, normalized));
+                rows.push((
+                    format!("{} {}", kind.name(), model.label()),
+                    cpus,
+                    normalized,
+                ));
                 values.push(normalized);
             }
             series.push((format!("{} {}", kind.name(), model.label()), values));
@@ -365,6 +377,7 @@ pub fn figure11(config: &ExperimentConfig) -> (Vec<(String, f64, f64)>, String) 
                     rollback_probability: p,
                     seed: config.seed,
                     cost: Default::default(),
+                    governor: Default::default(),
                 },
             )
             .speedup();
@@ -375,6 +388,162 @@ pub fn figure11(config: &ExperimentConfig) -> (Vec<(String, f64, f64)>, String) 
         table.push_row(row);
     }
     (rows, table.render())
+}
+
+/// Injected rollback probability applied to the rollback-heavy workloads
+/// (`tsp`, `bh`, `md`) in the adaptive-governor sweep, modelling the
+/// conflict-heavy regime where throttling pays off.
+pub const ADAPTIVE_ROLLBACK_PROBABILITY: f64 = 0.4;
+
+/// The rollback-heavy workloads of the adaptive sweep.
+pub const ROLLBACK_HEAVY: [WorkloadKind; 3] =
+    [WorkloadKind::Tsp, WorkloadKind::Bh, WorkloadKind::Md];
+
+/// One row of the adaptive-governor sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdaptiveRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Governor policy label.
+    pub policy: String,
+    /// Injected rollback probability for this run.
+    pub rollback_probability: f64,
+    /// Absolute speedup `T_s / T_N`.
+    pub speedup: f64,
+    /// Committed speculative threads.
+    pub committed: u64,
+    /// Rolled-back speculative threads.
+    pub rolled_back: u64,
+    /// Work discarded by rollbacks (virtual cycles).
+    pub wasted_work: u64,
+    /// Fork requests suppressed by the governor.
+    pub throttled_forks: u64,
+}
+
+/// Render a `RunReport`'s per-site governor profile as a table.
+pub fn format_site_table(title: &str, report: &RunReport) -> String {
+    let mut table = Table::new(
+        title,
+        &[
+            "site",
+            "forks",
+            "throttled",
+            "commits",
+            "rollbacks",
+            "overflows",
+            "rollback rate",
+            "wasted work",
+        ],
+    );
+    for profile in &report.sites {
+        let name = site_label(profile.site)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("site {}", profile.site));
+        table.push_row(vec![
+            name,
+            profile.forks.to_string(),
+            profile.throttled.to_string(),
+            profile.commits.to_string(),
+            profile.rollbacks.to_string(),
+            profile.overflows.to_string(),
+            format!("{:.2}", profile.rollback_rate),
+            profile.wasted_work.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Simulate `recording` under a governor policy.
+fn simulate_governed(
+    recording: &Recording,
+    cpus: usize,
+    seed: u64,
+    rollback_probability: f64,
+    policy: PolicyKind,
+) -> SimResult {
+    simulate(
+        recording,
+        SimConfig {
+            num_cpus: cpus,
+            fork_model: None,
+            rollback_probability,
+            seed,
+            cost: Default::default(),
+            governor: GovernorConfig::with_policy(policy),
+        },
+    )
+}
+
+/// Adaptive-governor sweep: Static vs Throttle vs ModelSelect across the
+/// rollback-heavy workloads (run with injected rollbacks) plus the
+/// remaining figure workloads (run clean), at the largest configured CPU
+/// count.  Appends the per-site profile tables of the rollback-heavy
+/// workloads under the throttle policy, showing which sites were
+/// suppressed.
+pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
+    let cpus = config.cpus.iter().copied().max().unwrap_or(16);
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Adaptive Governor Sweep at {cpus} CPUs (per-site throttling and model selection)"),
+        &[
+            "workload",
+            "policy",
+            "inj. rollback",
+            "speedup",
+            "committed",
+            "rolled back",
+            "wasted work",
+            "throttled",
+        ],
+    );
+    let mut site_tables = String::new();
+    for kind in WorkloadKind::ALL {
+        let heavy = ROLLBACK_HEAVY.contains(&kind);
+        let p = if heavy {
+            ADAPTIVE_ROLLBACK_PROBABILITY
+        } else {
+            0.0
+        };
+        let recording = record_workload(kind, config.scale);
+        for policy in PolicyKind::ALL {
+            let result = simulate_governed(&recording, cpus, config.seed, p, policy);
+            let report = &result.report;
+            let row = AdaptiveRow {
+                workload: kind.name().to_string(),
+                policy: policy.label().to_string(),
+                rollback_probability: p,
+                speedup: result.speedup(),
+                committed: report.committed_threads,
+                rolled_back: report.rolled_back_threads,
+                wasted_work: report.wasted_work(),
+                throttled_forks: report.throttled_forks(),
+            };
+            table.push_row(vec![
+                row.workload.clone(),
+                row.policy.clone(),
+                format!("{:.0}%", p * 100.0),
+                format!("{:.2}", row.speedup),
+                row.committed.to_string(),
+                row.rolled_back.to_string(),
+                row.wasted_work.to_string(),
+                row.throttled_forks.to_string(),
+            ]);
+            if heavy && policy == PolicyKind::Throttle {
+                site_tables.push_str(&format_site_table(
+                    &format!(
+                        "Per-site profile — {} under throttle ({}% injected rollbacks)",
+                        kind.name(),
+                        p * 100.0
+                    ),
+                    report,
+                ));
+                site_tables.push('\n');
+            }
+            rows.push(row);
+        }
+    }
+    let text = format!("{}\n{site_tables}", table.render());
+    (rows, text)
 }
 
 /// Table II: the benchmark suite, with the measured memory-access density
@@ -499,6 +668,25 @@ mod tests {
             compute_max < memory_min,
             "computation-intensive density {compute_max} should be below memory-intensive {memory_min}"
         );
+    }
+
+    #[test]
+    fn adaptive_sweep_covers_all_workloads_and_policies() {
+        let (rows, text) = adaptive_sweep(&quick());
+        assert!(text.contains("Adaptive Governor Sweep"));
+        assert!(text.contains("Per-site profile"));
+        assert_eq!(rows.len(), WorkloadKind::ALL.len() * PolicyKind::ALL.len());
+        // The rollback-heavy workloads run with injected rollbacks.
+        for kind in ROLLBACK_HEAVY {
+            assert!(rows
+                .iter()
+                .any(|r| r.workload == kind.name() && r.rollback_probability > 0.0));
+        }
+        // The static policy never throttles (seed behaviour).
+        assert!(rows
+            .iter()
+            .filter(|r| r.policy == "static")
+            .all(|r| r.throttled_forks == 0));
     }
 
     #[test]

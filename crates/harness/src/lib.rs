@@ -15,6 +15,7 @@
 //! | Fig. 9 (speculative path breakdown)     | [`figure9`] |
 //! | Fig. 10 (forking model comparison)      | [`figure10`] |
 //! | Fig. 11 (rollback sensitivity)          | [`figure11`] |
+//! | Adaptive governor sweep (this repo)     | [`adaptive_sweep`] |
 //!
 //! The `mutls-experiments` binary wraps these functions; the Criterion
 //! benches in `crates/bench` regenerate the same rows under `cargo bench`.
@@ -29,7 +30,9 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    breakdown, figure10, figure11, figure3, figure4, figure5, figure6, figure7, figure8, figure9,
-    record_workload, speedup_sweep, table2, BreakdownRow, ExperimentConfig, MetricKind, SweepRow,
+    adaptive_sweep, breakdown, figure10, figure11, figure3, figure4, figure5, figure6, figure7,
+    figure8, figure9, format_site_table, record_workload, speedup_sweep, table2, AdaptiveRow,
+    BreakdownRow, ExperimentConfig, MetricKind, SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY,
+    ROLLBACK_HEAVY,
 };
 pub use report::{format_breakdown_table, format_sweep_table, Table};

@@ -49,7 +49,11 @@ impl Table {
             .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
             .collect();
         let _ = writeln!(out, "{}", header.join("  "));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -64,11 +68,7 @@ impl Table {
 
 /// Render a speedup/efficiency sweep as a table: one row per CPU count and
 /// one column per workload.
-pub fn format_sweep_table(
-    title: &str,
-    cpus: &[usize],
-    series: &[(String, Vec<f64>)],
-) -> String {
+pub fn format_sweep_table(title: &str, cpus: &[usize], series: &[(String, Vec<f64>)]) -> String {
     let mut headers = vec!["CPUs".to_string()];
     headers.extend(series.iter().map(|(name, _)| name.clone()));
     let mut table = Table {
@@ -139,12 +139,8 @@ mod tests {
 
     #[test]
     fn breakdown_table_formats_percentages() {
-        let text = format_breakdown_table(
-            "breakdown",
-            &[2],
-            &["work", "idle"],
-            &[vec![0.75, 0.25]],
-        );
+        let text =
+            format_breakdown_table("breakdown", &[2], &["work", "idle"], &[vec![0.75, 0.25]]);
         assert!(text.contains("75.0%"));
         assert!(text.contains("25.0%"));
     }

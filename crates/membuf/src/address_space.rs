@@ -76,7 +76,10 @@ impl AddressSpace {
                 });
             }
             if r.end > end {
-                out.push(Range { start: end, end: r.end });
+                out.push(Range {
+                    start: end,
+                    end: r.end,
+                });
             }
         }
         self.ranges = out;

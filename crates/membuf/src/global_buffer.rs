@@ -107,10 +107,10 @@ impl GlobalBuffer {
     }
 
     fn split(addr: Addr, size: u64) -> Result<(Addr, u64), BufferError> {
-        if size == 0 || (size < WORD_BYTES && WORD_BYTES % size != 0) {
+        if size == 0 || (size < WORD_BYTES && !WORD_BYTES.is_multiple_of(size)) {
             return Err(BufferError::UnsupportedSize);
         }
-        if addr % size.min(WORD_BYTES) != 0 {
+        if !addr.is_multiple_of(size.min(WORD_BYTES)) {
             return Err(BufferError::Misaligned);
         }
         let word_addr = addr & !(WORD_BYTES - 1);
@@ -391,7 +391,10 @@ mod tests {
     fn misaligned_and_bad_sizes_are_rejected() {
         let (mem, mut buf) = setup();
         assert_eq!(buf.load(&mem, 9, 8).unwrap_err(), BufferError::Misaligned);
-        assert_eq!(buf.load(&mem, 8, 3).unwrap_err(), BufferError::UnsupportedSize);
+        assert_eq!(
+            buf.load(&mem, 8, 3).unwrap_err(),
+            BufferError::UnsupportedSize
+        );
         assert_eq!(buf.store(10, 0, 4).unwrap_err(), BufferError::Misaligned);
     }
 

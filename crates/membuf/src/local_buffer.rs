@@ -359,7 +359,10 @@ mod tests {
         let mut b = lb();
         b.push_frame(1, 1).unwrap();
         b.push_frame(2, 2).unwrap();
-        assert_eq!(b.push_frame(3, 3).unwrap_err(), BufferError::LocalBufferFull);
+        assert_eq!(
+            b.push_frame(3, 3).unwrap_err(),
+            BufferError::LocalBufferFull
+        );
         assert_eq!(b.frame_count(), 3);
     }
 

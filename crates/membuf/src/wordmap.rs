@@ -218,7 +218,7 @@ pub fn byte_mask(offset_in_word: u64, size: u64) -> Result<u64, BufferError> {
     if !matches!(size, 1 | 2 | 4 | 8) {
         return Err(BufferError::UnsupportedSize);
     }
-    if offset_in_word % size != 0 || offset_in_word + size > WORD_BYTES {
+    if !offset_in_word.is_multiple_of(size) || offset_in_word + size > WORD_BYTES {
         return Err(BufferError::Misaligned);
     }
     let base: u64 = if size == 8 {
@@ -292,8 +292,14 @@ mod tests {
         let a = 0x80;
         let b = a + 8 * WORD_BYTES;
         m.insert_word(a, 1).unwrap();
-        assert_eq!(m.insert_word(b, 2).unwrap_err(), BufferError::OverflowPending);
-        assert_eq!(m.insert_word(b, 9).unwrap_err(), BufferError::OverflowPending);
+        assert_eq!(
+            m.insert_word(b, 2).unwrap_err(),
+            BufferError::OverflowPending
+        );
+        assert_eq!(
+            m.insert_word(b, 9).unwrap_err(),
+            BufferError::OverflowPending
+        );
         assert_eq!(m.get(b).unwrap().data, 9);
         assert_eq!(m.overflow_len(), 1);
     }

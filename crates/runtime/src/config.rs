@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use crate::fork_model::ForkModel;
+use mutls_adaptive::{GovernorConfig, PolicyKind};
 use mutls_membuf::{BufferConfig, LocalBufferConfig};
 
 /// Configuration of a [`Runtime`](crate::Runtime) instance.
@@ -23,6 +24,10 @@ pub struct RuntimeConfig {
     /// Size of the shared [`GlobalMemory`](mutls_membuf::GlobalMemory)
     /// arena in bytes.
     pub memory_bytes: u64,
+    /// Adaptive speculation governor: per-fork-site profiling plus the
+    /// fork-throttling / model-selection policy (default: `Static`, the
+    /// unconditional behaviour of the original runtime).
+    pub governor: GovernorConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -33,8 +38,9 @@ impl Default for RuntimeConfig {
             buffer: BufferConfig::default(),
             local_buffer: LocalBufferConfig::default(),
             rollback_probability: 0.0,
-            seed: 0x5EED_CA0,
+            seed: 0x05EE_DCA0,
             memory_bytes: 64 << 20,
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -76,6 +82,18 @@ impl RuntimeConfig {
         self.seed = seed;
         self
     }
+
+    /// Set the full governor configuration (builder style).
+    pub fn governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = governor;
+        self
+    }
+
+    /// Select a governor policy with default tuning (builder style).
+    pub fn governor_policy(mut self, policy: PolicyKind) -> Self {
+        self.governor.policy = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +106,16 @@ mod tests {
         assert!(c.num_cpus >= 1);
         assert_eq!(c.fork_model, ForkModel::Mixed);
         assert_eq!(c.rollback_probability, 0.0);
+        assert_eq!(c.governor.policy, PolicyKind::Static);
+    }
+
+    #[test]
+    fn governor_builders_select_policy() {
+        let c = RuntimeConfig::default().governor_policy(PolicyKind::Throttle);
+        assert_eq!(c.governor.policy, PolicyKind::Throttle);
+        let g = GovernorConfig::with_policy(PolicyKind::ModelSelect).min_samples(2);
+        let c = RuntimeConfig::default().governor(g);
+        assert_eq!(c.governor, g);
     }
 
     #[test]

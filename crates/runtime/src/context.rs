@@ -16,6 +16,8 @@ use mutls_membuf::{
     SpecFailure, WORD_BYTES,
 };
 
+use mutls_adaptive::{ForkDecision, SiteOutcome};
+
 use crate::fork_model::ForkModel;
 use crate::manager::{SpecOutcome, SpecRequest, ThreadBuffers, ThreadManager};
 use crate::stats::{Phase, ThreadStats};
@@ -31,6 +33,10 @@ pub struct SpecHandle {
     point: u32,
     task: TaskRef<SpecContext>,
     child: Option<Rank>,
+    /// Forking model the child was launched under (governor feedback).
+    model: ForkModel,
+    /// True when the governor suppressed speculation at this fork point.
+    throttled: bool,
 }
 
 impl SpecHandle {
@@ -42,6 +48,11 @@ impl SpecHandle {
     /// True if a speculative thread was actually launched.
     pub fn speculated(&self) -> bool {
         self.child.is_some()
+    }
+
+    /// True if the adaptive governor suppressed speculation here.
+    pub fn throttled(&self) -> bool {
+        self.throttled
     }
 }
 
@@ -110,9 +121,9 @@ impl SpecContext {
         SpecOutcome {
             status,
             buffers: ThreadBuffers {
-                global: self.global.unwrap_or_else(|| {
-                    GlobalBuffer::new(self.mgr.config().buffer)
-                }),
+                global: self
+                    .global
+                    .unwrap_or_else(|| GlobalBuffer::new(self.mgr.config().buffer)),
                 local: self.local,
             },
             children: self.children,
@@ -204,7 +215,7 @@ impl SpecContext {
 
     fn poll_abort(&mut self) -> SpecResult<()> {
         self.op_counter = self.op_counter.wrapping_add(1);
-        if self.op_counter % ABORT_POLL_INTERVAL == 0 {
+        if self.op_counter.is_multiple_of(ABORT_POLL_INTERVAL) {
             self.check_abort()?;
         }
         Ok(())
@@ -218,9 +229,9 @@ impl SpecContext {
             // OverflowPending is handled inside the buffer; alignment and
             // size problems indicate a misuse of the typed API and map to
             // a rollback so the parent re-executes safely.
-            BufferError::OverflowPending | BufferError::Misaligned | BufferError::UnsupportedSize => {
-                failure(SpecFailure::BufferOverflow)
-            }
+            BufferError::OverflowPending
+            | BufferError::Misaligned
+            | BufferError::UnsupportedSize => failure(SpecFailure::BufferOverflow),
         }
     }
 
@@ -233,8 +244,9 @@ impl SpecContext {
     }
 
     /// Join a speculative child: synchronize, validate, commit or roll
-    /// back, and release its CPU.  Returns the decision.
-    fn join_child(&mut self, child: Rank) -> Result<(), SpecFailure> {
+    /// back, and release its CPU.  Returns the decision.  `site` and
+    /// `model` identify the fork point for governor feedback.
+    fn join_child(&mut self, child: Rank, site: u32, model: ForkModel) -> Result<(), SpecFailure> {
         // Children-stack discipline (paper §IV-F): pop until the expected
         // child is found; anything popped in between violated the
         // mixed-model ordering assumption and is discarded (NOSYNC).
@@ -273,9 +285,10 @@ impl SpecContext {
         // speculative path, as in the paper's breakdown).
         let finalize_started = Instant::now();
         outcome.buffers.global.clear();
-        outcome
-            .stats
-            .add(Phase::Finalize, finalize_started.elapsed().as_nanos() as u64);
+        outcome.stats.add(
+            Phase::Finalize,
+            finalize_started.elapsed().as_nanos() as u64,
+        );
 
         // This reproduction discards (rather than adopts) the unjoined
         // children of a finished child; see DESIGN.md §5.
@@ -287,6 +300,21 @@ impl SpecContext {
         if !committed {
             outcome.stats.mark_work_wasted();
         }
+        // Feed the join outcome back into the governor's site profile.
+        let site_outcome = match verdict {
+            Ok(()) => SiteOutcome::committed(
+                outcome.stats.get(Phase::Work),
+                outcome.stats.get(Phase::Idle),
+                model,
+            ),
+            Err(reason) => SiteOutcome::rolled_back(
+                reason,
+                outcome.stats.get(Phase::WastedWork),
+                outcome.stats.get(Phase::Idle),
+                model,
+            ),
+        };
+        self.mgr.governor().record_outcome(site, &site_outcome);
         self.mgr.record_speculative(&outcome.stats, committed);
         self.mgr.release_cpu(child, self.rank);
         verdict
@@ -347,6 +375,23 @@ impl TlsContext for SpecContext {
         task: TaskRef<Self>,
     ) -> SpecResult<SpecHandle> {
         self.check_abort()?;
+
+        // Ask the adaptive governor whether this fork site may speculate
+        // (and under which model) before spending any fork overhead.
+        let model = match self.mgr.governor().decide(point, model) {
+            ForkDecision::Allow(chosen) => chosen,
+            ForkDecision::Deny => {
+                self.stats.counters.throttled_forks += 1;
+                return Ok(SpecHandle {
+                    point,
+                    task,
+                    child: None,
+                    model,
+                    throttled: true,
+                });
+            }
+        };
+
         let find_started = self.begin_overhead();
         let child = self.mgr.try_acquire_cpu(self.rank, model);
         self.end_overhead(Phase::FindCpu, find_started);
@@ -357,6 +402,8 @@ impl TlsContext for SpecContext {
                 point,
                 task,
                 child: None,
+                model,
+                throttled: false,
             });
         };
 
@@ -367,6 +414,8 @@ impl TlsContext for SpecContext {
             self.local.current_frame().registers.iter().collect();
         self.mgr.dispatch(
             child,
+            point,
+            model,
             SpecRequest {
                 task: Arc::clone(&task),
                 regvars,
@@ -380,12 +429,20 @@ impl TlsContext for SpecContext {
             point,
             task,
             child: Some(child),
+            model,
+            throttled: false,
         })
     }
 
     fn join(&mut self, handle: SpecHandle) -> SpecResult<JoinOutcome> {
         self.check_abort()?;
-        let SpecHandle { task, child, .. } = handle;
+        let SpecHandle {
+            point,
+            task,
+            child,
+            model,
+            ..
+        } = handle;
 
         let Some(child) = child else {
             // Speculation never happened: execute the continuation inline.
@@ -394,7 +451,7 @@ impl TlsContext for SpecContext {
         };
 
         let join_started = self.begin_overhead();
-        let verdict = self.join_child(child);
+        let verdict = self.join_child(child, point, model);
         self.end_overhead(Phase::Join, join_started);
 
         match verdict {

@@ -40,11 +40,15 @@
 pub mod config;
 pub mod context;
 pub mod direct;
-pub mod fork_model;
 pub mod manager;
 pub mod runtime;
 pub mod stats;
 pub mod task;
+
+// The forking models and the adaptive speculation governor live in
+// `mutls-adaptive` (so policies can choose models without a dependency
+// cycle); re-export them under the historical paths.
+pub use mutls_adaptive::fork_model;
 
 pub use config::RuntimeConfig;
 pub use context::{SpecContext, SpecHandle};
@@ -55,6 +59,12 @@ pub use runtime::Runtime;
 pub use stats::{Phase, RunReport, ThreadCounters, ThreadStats};
 pub use task::{
     failure, task, JoinOutcome, Rank, SpecAbort, SpecResult, TaskRef, TaskStatus, TlsContext, Word,
+};
+
+// Re-export the adaptive governor layer for downstream convenience.
+pub use mutls_adaptive as adaptive;
+pub use mutls_adaptive::{
+    ForkDecision, Governor, GovernorConfig, PolicyKind, SiteId, SiteOutcome, SiteProfile,
 };
 
 // Re-export the buffering layer for downstream convenience.

@@ -14,7 +14,7 @@
 //! and commit/rollback are performed and charged to the speculative
 //! thread's statistics.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,6 +23,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use mutls_adaptive::{Governor, SiteId, SiteOutcome};
 use mutls_membuf::{
     Addr, AddressSpace, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory, SpecFailure,
 };
@@ -85,6 +86,10 @@ pub(crate) struct Slot {
     /// Set when nobody will ever join this thread; the worker cleans up
     /// after itself in that case.
     orphaned: AtomicBool,
+    /// Fork-site ID the running task was launched from (governor key).
+    site: AtomicU32,
+    /// `ForkModel::index()` of the model the task was launched under.
+    model: AtomicU8,
     sender: Sender<WorkerMsg>,
     result: Mutex<Option<SpecOutcome>>,
     result_cv: Condvar,
@@ -93,13 +98,22 @@ pub(crate) struct Slot {
 impl Slot {
     fn new(sender: Sender<WorkerMsg>) -> Self {
         Slot {
-            state: std::sync::atomic::AtomicU8::new(CPU_IDLE),
+            state: AtomicU8::new(CPU_IDLE),
             abort: AtomicBool::new(false),
             orphaned: AtomicBool::new(false),
+            site: AtomicU32::new(0),
+            model: AtomicU8::new(ForkModel::Mixed.index() as u8),
             sender,
             result: Mutex::new(None),
             result_cv: Condvar::new(),
         }
+    }
+
+    /// The (site, model) the current task was dispatched with.
+    fn launch_info(&self) -> (SiteId, ForkModel) {
+        let site = self.site.load(Ordering::Relaxed);
+        let model = ForkModel::ALL[self.model.load(Ordering::Relaxed) as usize];
+        (site, model)
     }
 }
 
@@ -126,6 +140,9 @@ pub struct ThreadManager {
     rng: Mutex<SmallRng>,
     /// Monotone counter of speculation events (diagnostics).
     speculations: AtomicU64,
+    /// Adaptive speculation governor: consulted before a fork is granted a
+    /// CPU, fed with per-site join outcomes.
+    governor: Governor,
 }
 
 impl ThreadManager {
@@ -153,8 +170,14 @@ impl ThreadManager {
             accum: Mutex::new(RunAccumulators::default()),
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
             speculations: AtomicU64::new(0),
+            governor: Governor::new(config.governor),
         });
         (mgr, receivers)
+    }
+
+    /// The adaptive speculation governor.
+    pub fn governor(&self) -> &Governor {
+        &self.governor
     }
 
     /// The runtime configuration.
@@ -234,9 +257,13 @@ impl ThreadManager {
         None
     }
 
-    /// Dispatch a speculative task to an acquired CPU.
-    pub fn dispatch(&self, rank: Rank, request: SpecRequest) {
+    /// Dispatch a speculative task to an acquired CPU.  `site` and `model`
+    /// identify the fork point and forking model for governor feedback.
+    pub fn dispatch(&self, rank: Rank, site: SiteId, model: ForkModel, request: SpecRequest) {
         let slot = &self.slots[rank - 1];
+        slot.site.store(site, Ordering::Relaxed);
+        slot.model.store(model.index() as u8, Ordering::Relaxed);
+        self.governor.record_fork(site, model);
         slot.sender
             .send(WorkerMsg::Run(request))
             .expect("worker thread alive");
@@ -302,19 +329,34 @@ impl ThreadManager {
     }
 
     /// Record a discarded (rolled back / orphaned) speculative thread.
-    fn finish_discarded(&self, rank: Rank, outcome: SpecOutcome, _reason: SpecFailure) {
+    fn finish_discarded(&self, rank: Rank, outcome: SpecOutcome, reason: SpecFailure) {
         // Cascade into the subtree first.
         for child in &outcome.children {
             self.reap_subtree(*child);
         }
         let mut stats = outcome.stats;
         stats.mark_work_wasted();
+        self.report_discard_to_governor(rank, &stats, reason);
         {
             let mut accum = self.accum.lock();
             accum.speculative.merge(&stats);
             accum.rolled_back_threads += 1;
         }
         self.release_cpu(rank, 0);
+    }
+
+    /// Feed a discarded thread's outcome into the governor's site profile.
+    fn report_discard_to_governor(&self, rank: Rank, stats: &ThreadStats, reason: SpecFailure) {
+        let (site, model) = self.slots[rank - 1].launch_info();
+        self.governor.record_outcome(
+            site,
+            &SiteOutcome::rolled_back(
+                reason,
+                stats.get(Phase::WastedWork),
+                stats.get(Phase::Idle),
+                model,
+            ),
+        );
     }
 
     /// Abort and *synchronously* drain a speculative subtree: waits for
@@ -330,6 +372,7 @@ impl ThreadManager {
         }
         let mut stats = outcome.stats;
         stats.mark_work_wasted();
+        self.report_discard_to_governor(rank, &stats, SpecFailure::Cascaded);
         {
             let mut accum = self.accum.lock();
             accum.speculative.merge(&stats);
@@ -442,10 +485,11 @@ impl ThreadManager {
         }
     }
 
-    /// Reset the per-run accumulators (called at the start of
-    /// `Runtime::run`).
+    /// Reset the per-run accumulators and the governor's site profiles
+    /// (called at the start of `Runtime::run`).
     pub fn reset_run(&self) {
         *self.accum.lock() = RunAccumulators::default();
+        self.governor.reset();
     }
 
     /// Take a snapshot of the per-run accumulators.

@@ -133,6 +133,7 @@ impl Runtime {
             committed_threads,
             rolled_back_threads,
             runtime,
+            sites: self.mgr.governor().snapshot(),
         };
         (result, report)
     }

@@ -12,6 +12,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mutls_adaptive::SiteProfile;
+
 /// Execution-time category, matching the paper's breakdown figures 8 and 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
@@ -83,6 +85,8 @@ pub struct ThreadCounters {
     pub forks: u64,
     /// Fork attempts that found no idle CPU or were denied by the model.
     pub failed_forks: u64,
+    /// Fork attempts suppressed by the adaptive speculation governor.
+    pub throttled_forks: u64,
     /// Joins that committed.
     pub commits: u64,
     /// Joins that rolled back.
@@ -139,6 +143,7 @@ impl ThreadStats {
         }
         self.counters.forks += other.counters.forks;
         self.counters.failed_forks += other.counters.failed_forks;
+        self.counters.throttled_forks += other.counters.throttled_forks;
         self.counters.commits += other.counters.commits;
         self.counters.rollbacks += other.counters.rollbacks;
         self.counters.loads += other.counters.loads;
@@ -171,6 +176,9 @@ pub struct RunReport {
     pub rolled_back_threads: u64,
     /// Wall-clock (or virtual) runtime of the whole region.
     pub runtime: u64,
+    /// Per-fork-site profile table gathered by the adaptive governor,
+    /// sorted by site ID (empty when no fork point was reached).
+    pub sites: Vec<SiteProfile>,
 }
 
 impl RunReport {
@@ -199,6 +207,16 @@ impl RunReport {
             return 0.0;
         }
         self.speculative.total() as f64 / crit as f64
+    }
+
+    /// Total work discarded by rollbacks on the speculative path.
+    pub fn wasted_work(&self) -> u64 {
+        self.speculative.get(Phase::WastedWork)
+    }
+
+    /// Total fork requests suppressed by the governor, over all sites.
+    pub fn throttled_forks(&self) -> u64 {
+        self.sites.iter().map(|s| s.throttled).sum()
     }
 
     /// Power efficiency `η_power = T_s / (T_runtime_nonspec + Σ T_runtime_sp)`

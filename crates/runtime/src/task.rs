@@ -170,13 +170,21 @@ pub trait TlsContext: Sized {
 
     /// Typed load from a [`GPtr`] allocation.
     fn load<T: Word>(&mut self, ptr: &GPtr<T>, index: usize) -> SpecResult<T> {
-        assert!(index < ptr.len(), "index {index} out of bounds {}", ptr.len());
+        assert!(
+            index < ptr.len(),
+            "index {index} out of bounds {}",
+            ptr.len()
+        );
         Ok(T::from_word(self.load_word(ptr.addr_of(index))?))
     }
 
     /// Typed store into a [`GPtr`] allocation.
     fn store<T: Word>(&mut self, ptr: &GPtr<T>, index: usize, value: T) -> SpecResult<()> {
-        assert!(index < ptr.len(), "index {index} out of bounds {}", ptr.len());
+        assert!(
+            index < ptr.len(),
+            "index {index} out of bounds {}",
+            ptr.len()
+        );
         self.store_word(ptr.addr_of(index), value.to_word())
     }
 }

@@ -66,8 +66,7 @@ impl CostModel {
 
     /// Cycles for a segment executed speculatively (buffered accesses).
     pub fn segment_cycles_speculative(&self, work: u64, loads: u64, stores: u64) -> u64 {
-        self.segment_cycles(work, loads, stores)
-            + (loads + stores) * self.buffered_access_overhead
+        self.segment_cycles(work, loads, stores) + (loads + stores) * self.buffered_access_overhead
     }
 
     /// Validation cost for a read-set of `words` entries.

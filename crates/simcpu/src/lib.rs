@@ -159,7 +159,10 @@ mod tests {
         )
         .speedup();
         let mixed = simulate(&chain, SimConfig::with_cpus(16)).speedup();
-        assert!((in_order / mixed) > 0.8, "in-order {in_order} vs mixed {mixed}");
+        assert!(
+            (in_order / mixed) > 0.8,
+            "in-order {in_order} vs mixed {mixed}"
+        );
 
         let tree = tree_recording(6, 20_000);
         let in_order_tree = simulate(

@@ -247,9 +247,11 @@ impl TlsContext for RecordContext {
             ..TaskNode::default()
         });
         self.seq_counter += 1;
-        self.current_node()
-            .events
-            .push(SimEvent::Fork { child, model, point });
+        self.current_node().events.push(SimEvent::Fork {
+            child,
+            model,
+            point,
+        });
         Ok(RecordHandle { child, task })
     }
 
@@ -272,9 +274,9 @@ impl TlsContext for RecordContext {
             }
         }
         self.stack.pop();
-        self.current_node()
-            .events
-            .push(SimEvent::Join { child: handle.child });
+        self.current_node().events.push(SimEvent::Join {
+            child: handle.child,
+        });
         Ok(JoinOutcome::Committed)
     }
 

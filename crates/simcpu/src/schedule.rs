@@ -29,6 +29,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use mutls_adaptive::{ForkDecision, Governor, GovernorConfig, SiteOutcome};
 use mutls_membuf::{Addr, SpecFailure};
 use mutls_runtime::{ForkModel, Phase, RunReport, ThreadStats};
 
@@ -49,6 +50,9 @@ pub struct SimConfig {
     pub seed: u64,
     /// Virtual-cycle cost model.
     pub cost: CostModel,
+    /// Adaptive speculation governor consulted at every simulated fork
+    /// point (default: `Static`, i.e. the unconditional seed behaviour).
+    pub governor: GovernorConfig,
 }
 
 impl Default for SimConfig {
@@ -59,6 +63,7 @@ impl Default for SimConfig {
             rollback_probability: 0.0,
             seed: 0xC0FFEE,
             cost: CostModel::default(),
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -81,6 +86,12 @@ impl SimConfig {
     /// Set the injected rollback probability (builder style).
     pub fn rollback_probability(mut self, p: f64) -> Self {
         self.rollback_probability = p;
+        self
+    }
+
+    /// Set the governor configuration (builder style).
+    pub fn governor(mut self, governor: GovernorConfig) -> Self {
+        self.governor = governor;
         self
     }
 }
@@ -120,6 +131,10 @@ struct Frame {
 struct Fiber {
     cpu: usize,
     speculative: bool,
+    /// Fork-site ID this fiber was speculated from (0 for the root).
+    site: u32,
+    /// Forking model the fiber was launched under.
+    model: ForkModel,
     frames: Vec<Frame>,
     time: u64,
     start_time: u64,
@@ -147,10 +162,19 @@ struct Fiber {
 }
 
 impl Fiber {
-    fn new(cpu: usize, speculative: bool, node: NodeId, start_time: u64) -> Self {
+    fn new(
+        cpu: usize,
+        speculative: bool,
+        node: NodeId,
+        start_time: u64,
+        site: u32,
+        model: ForkModel,
+    ) -> Self {
         Fiber {
             cpu,
             speculative,
+            site,
+            model,
             frames: vec![Frame { node, ip: 0 }],
             time: start_time,
             start_time,
@@ -187,6 +211,8 @@ pub struct Scheduler<'a> {
     rolled_back: u64,
     /// Log of (time, published writes) used for conflict detection.
     publishes: Vec<(u64, HashSet<Addr>)>,
+    /// Adaptive speculation governor (per-site profiling + fork policy).
+    governor: Governor,
 }
 
 impl<'a> Scheduler<'a> {
@@ -194,6 +220,7 @@ impl<'a> Scheduler<'a> {
     pub fn new(recording: &'a Recording, config: SimConfig) -> Self {
         let rng = SmallRng::seed_from_u64(config.seed);
         let num_cpus = config.num_cpus;
+        let governor = Governor::new(config.governor);
         Scheduler {
             recording,
             config,
@@ -208,6 +235,7 @@ impl<'a> Scheduler<'a> {
             committed: 0,
             rolled_back: 0,
             publishes: Vec::new(),
+            governor,
         }
     }
 
@@ -226,7 +254,7 @@ impl<'a> Scheduler<'a> {
 
     /// Run the simulation to completion.
     pub fn run(mut self) -> SimResult {
-        let root = self.spawn_fiber(0, false, 0, 0);
+        let root = self.spawn_fiber(0, false, 0, 0, 0, ForkModel::Mixed);
         self.schedule(root, 0);
         while let Some(Reverse((time, _, fid))) = self.queue.pop() {
             if self.fibers[fid].retired {
@@ -242,6 +270,7 @@ impl<'a> Scheduler<'a> {
             committed_threads: self.committed,
             rolled_back_threads: self.rolled_back,
             runtime,
+            sites: self.governor.snapshot(),
         };
         SimResult {
             report,
@@ -251,8 +280,16 @@ impl<'a> Scheduler<'a> {
         }
     }
 
-    fn spawn_fiber(&mut self, node: NodeId, speculative: bool, cpu: usize, start: u64) -> usize {
-        let fiber = Fiber::new(cpu, speculative, node, start);
+    fn spawn_fiber(
+        &mut self,
+        node: NodeId,
+        speculative: bool,
+        cpu: usize,
+        start: u64,
+        site: u32,
+        model: ForkModel,
+    ) -> usize {
+        let fiber = Fiber::new(cpu, speculative, node, start, site, model);
         self.fibers.push(fiber);
         self.fibers.len() - 1
     }
@@ -364,8 +401,12 @@ impl<'a> Scheduler<'a> {
                     self.schedule(fid, end);
                     return;
                 }
-                SimEvent::Fork { child, model, point: _ } => {
-                    self.process_fork(fid, child, model);
+                SimEvent::Fork {
+                    child,
+                    model,
+                    point,
+                } => {
+                    self.process_fork(fid, child, model, point);
                     self.bump_ip(fid);
                 }
                 SimEvent::Join { child } => {
@@ -472,9 +513,21 @@ impl<'a> Scheduler<'a> {
         self.bump_ip(fid);
     }
 
-    fn process_fork(&mut self, fid: usize, child: NodeId, recorded_model: ForkModel) {
-        let model = self.config.fork_model.unwrap_or(recorded_model);
+    fn process_fork(&mut self, fid: usize, child: NodeId, recorded_model: ForkModel, point: u32) {
+        let requested = self.config.fork_model.unwrap_or(recorded_model);
         let cost = self.config.cost;
+
+        // The governor may suppress the fork or pick a per-site model; a
+        // denial is decided before any fork overhead is spent, exactly as
+        // in the native runtime.
+        let model = match self.governor.decide(point, requested) {
+            ForkDecision::Allow(model) => model,
+            ForkDecision::Deny => {
+                self.fibers[fid].stats.counters.throttled_forks += 1;
+                return;
+            }
+        };
+
         // Scanning for an idle CPU costs time on the forker.
         self.fibers[fid].time += cost.find_cpu;
         self.fibers[fid].stats.add(Phase::FindCpu, cost.find_cpu);
@@ -492,7 +545,8 @@ impl<'a> Scheduler<'a> {
         self.fibers[fid].stats.counters.forks += 1;
 
         let start = self.fibers[fid].time + cost.spawn_latency;
-        let child_fiber = self.spawn_fiber(child, true, cpu, start);
+        let child_fiber = self.spawn_fiber(child, true, cpu, start, point, model);
+        self.governor.record_fork(point, model);
         self.fibers[fid].child_fibers.insert(child, child_fiber);
         self.most_speculative = Some(child_fiber);
         self.active_speculative += 1;
@@ -609,7 +663,9 @@ impl<'a> Scheduler<'a> {
                 }
                 self.retire_fiber(cf, true);
             }
-            Err(_reason) => {
+            Err(reason) => {
+                // Remember why, for the governor's per-site profile.
+                let _ = self.fibers[cf].doomed.get_or_insert(reason);
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, finalize);
                 now += finalize;
@@ -618,8 +674,11 @@ impl<'a> Scheduler<'a> {
                 // Cascading rollback confined to the child's subtree: every
                 // speculative thread it spawned (and has not joined) is
                 // discarded too.
-                let grandchildren: Vec<usize> =
-                    self.fibers[cf].child_fibers.drain().map(|(_, f)| f).collect();
+                let grandchildren: Vec<usize> = self.fibers[cf]
+                    .child_fibers
+                    .drain()
+                    .map(|(_, f)| f)
+                    .collect();
                 for gf in grandchildren {
                     self.cancel_subtree(gf);
                 }
@@ -647,8 +706,11 @@ impl<'a> Scheduler<'a> {
         if self.fibers[fid].retired {
             return;
         }
-        let grandchildren: Vec<usize> =
-            self.fibers[fid].child_fibers.drain().map(|(_, f)| f).collect();
+        let grandchildren: Vec<usize> = self.fibers[fid]
+            .child_fibers
+            .drain()
+            .map(|(_, f)| f)
+            .collect();
         for gf in grandchildren {
             self.cancel_subtree(gf);
         }
@@ -666,6 +728,24 @@ impl<'a> Scheduler<'a> {
         self.fibers[cf].retired = true;
         if !committed {
             self.fibers[cf].stats.mark_work_wasted();
+        }
+        if self.fibers[cf].speculative {
+            let fiber = &self.fibers[cf];
+            let outcome = if committed {
+                SiteOutcome::committed(
+                    fiber.stats.get(Phase::Work),
+                    fiber.stats.get(Phase::Idle),
+                    fiber.model,
+                )
+            } else {
+                SiteOutcome::rolled_back(
+                    fiber.doomed.unwrap_or(SpecFailure::Cascaded),
+                    fiber.stats.get(Phase::WastedWork),
+                    fiber.stats.get(Phase::Idle),
+                    fiber.model,
+                )
+            };
+            self.governor.record_outcome(fiber.site, &outcome);
         }
         let stats = self.fibers[cf].stats.clone();
         self.spec_stats.merge(&stats);

@@ -163,7 +163,11 @@ fn build_tree<C: TlsContext>(ctx: &mut C, data: Data, config: Config) -> SpecRes
     let n = config.bodies;
     let mut bodies = Vec::with_capacity(n);
     for i in 0..n {
-        bodies.push((ctx.load(&data.x, i)?, ctx.load(&data.y, i)?, ctx.load(&data.mass, i)?));
+        bodies.push((
+            ctx.load(&data.x, i)?,
+            ctx.load(&data.y, i)?,
+            ctx.load(&data.mass, i)?,
+        ));
     }
     let half = 600.0;
     let mut nodes = vec![BuildNode::new(500.0, 500.0, half)];
@@ -307,6 +311,8 @@ fn force_chunk<C: TlsContext>(
     Ok(())
 }
 
+/// Fork-site ID of the force-phase body-chunk continuation speculation.
+pub const SITE_FORCE_CHUNK: u32 = 13;
 fn force_phase_from<C: TlsContext>(
     ctx: &mut C,
     data: Data,
@@ -315,7 +321,7 @@ fn force_phase_from<C: TlsContext>(
 ) -> SpecResult<()> {
     if chunk + 1 < config.chunks {
         let cont = task(move |ctx: &mut C| force_phase_from(ctx, data, config, chunk + 1));
-        let handle = ctx.fork(8, cont)?;
+        let handle = ctx.fork(SITE_FORCE_CHUNK, cont)?;
         force_chunk(ctx, data, config, chunk)?;
         ctx.join(handle)?;
     } else {

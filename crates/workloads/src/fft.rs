@@ -80,6 +80,8 @@ pub fn setup(memory: &GlobalMemory, config: &Config) -> Data {
     data
 }
 
+/// Fork-site ID of the second-half recursion speculation.
+pub const SITE_SPLIT: u32 = 14;
 /// Recursive FFT of `n` points starting at `off` of (`dre`,`dim`), using
 /// (`sre`,`sim`) as scratch.  The result is left in (`dre`,`dim`).
 #[allow(clippy::too_many_arguments)]
@@ -116,7 +118,7 @@ fn fft_rec<C: TlsContext>(
             fft_rec(ctx, sre, sim, dre, dim, off + half, half, fork_threshold)?;
             ctx.barrier()
         });
-        let handle = ctx.fork(3, cont)?;
+        let handle = ctx.fork(SITE_SPLIT, cont)?;
         fft_rec(ctx, sre, sim, dre, dim, off, half, fork_threshold)?;
         ctx.join(handle)?;
     } else {
@@ -212,7 +214,10 @@ mod tests {
 
     #[test]
     fn spectrum_has_peaks_at_injected_frequencies() {
-        let config = Config { n: 128, fork_threshold: 16 };
+        let config = Config {
+            n: 128,
+            fork_threshold: 16,
+        };
         let memory = Arc::new(GlobalMemory::new(1 << 20));
         let data = setup(&memory, &config);
         run(&mut DirectContext::new(Arc::clone(&memory)), data, config).unwrap();

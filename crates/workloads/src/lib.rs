@@ -38,6 +38,6 @@ pub mod threex1;
 pub mod tsp;
 
 pub use registry::{
-    arena_bytes, checksum, descriptor, reference_checksum, run_speculative, setup, Scale,
-    WorkloadClass, WorkloadData, WorkloadDescriptor, WorkloadKind,
+    arena_bytes, checksum, descriptor, reference_checksum, run_speculative, setup, site_label,
+    Scale, WorkloadClass, WorkloadData, WorkloadDescriptor, WorkloadKind,
 };

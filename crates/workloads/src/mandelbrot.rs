@@ -99,10 +99,13 @@ fn chunk_body<C: TlsContext>(ctx: &mut C, data: Data, config: Config, i: usize) 
     Ok(())
 }
 
+/// Fork-site ID of the row-chunk continuation speculation.
+pub const SITE_CHUNK: u32 = 11;
+
 fn run_from<C: TlsContext>(ctx: &mut C, data: Data, config: Config, i: usize) -> SpecResult<()> {
     if i + 1 < config.chunks {
         let cont = task(move |ctx: &mut C| run_from(ctx, data, config, i + 1));
-        let handle = ctx.fork(1, cont)?;
+        let handle = ctx.fork(SITE_CHUNK, cont)?;
         chunk_body(ctx, data, config, i)?;
         ctx.join(handle)?;
     } else {

@@ -76,6 +76,12 @@ struct Block {
     size: usize,
 }
 
+/// Fork-site ID of the three speculated quadrant tasks.
+pub const SITE_QUADRANT: u32 = 15;
+
+/// Fork-site ID of the speculated second partial product.
+pub const SITE_PARTIAL: u32 = 16;
+
 impl Block {
     fn quadrant(&self, qr: usize, qc: usize) -> Block {
         let half = self.size / 2;
@@ -134,7 +140,7 @@ fn multiply<C: TlsContext>(
             quadrant(ctx, data, n, leaf, a, b, c, qr, qc)?;
             ctx.barrier()
         });
-        handles.push(ctx.fork(4, cont)?);
+        handles.push(ctx.fork(SITE_QUADRANT, cont)?);
     }
     quadrant(ctx, data, n, leaf, a, b, c, 0, 0)?;
     for handle in handles.into_iter().rev() {
@@ -166,7 +172,7 @@ fn quadrant<C: TlsContext>(
         multiply(ctx, data, n, leaf, a1, b1, cq)?;
         ctx.barrier()
     });
-    let handle = ctx.fork(5, cont)?;
+    let handle = ctx.fork(SITE_PARTIAL, cont)?;
     multiply(ctx, data, n, leaf, a0, b0, cq)?;
     ctx.join(handle)?;
     Ok(())

@@ -127,6 +127,8 @@ fn force_chunk<C: TlsContext>(
     Ok(())
 }
 
+/// Fork-site ID of the force-phase chunk continuation speculation.
+pub const SITE_FORCE_CHUNK: u32 = 12;
 /// Chain speculation over force chunks within one step.
 fn force_phase_from<C: TlsContext>(
     ctx: &mut C,
@@ -136,7 +138,7 @@ fn force_phase_from<C: TlsContext>(
 ) -> SpecResult<()> {
     if chunk + 1 < config.chunks {
         let cont = task(move |ctx: &mut C| force_phase_from(ctx, data, config, chunk + 1));
-        let handle = ctx.fork(2, cont)?;
+        let handle = ctx.fork(SITE_FORCE_CHUNK, cont)?;
         force_chunk(ctx, data, config, chunk)?;
         ctx.join(handle)?;
     } else {

@@ -88,6 +88,8 @@ fn subtree<C: TlsContext>(ctx: &mut C, data: Data, config: Config, c: usize) -> 
     ctx.store(&data.counts, c, count)
 }
 
+/// Fork-site ID of the first-row column continuation speculation.
+pub const SITE_COLUMN: u32 = 17;
 /// DFS over first-row choices: each choice forks the continuation that
 /// explores the remaining choices.
 fn explore_from<C: TlsContext>(
@@ -98,7 +100,7 @@ fn explore_from<C: TlsContext>(
 ) -> SpecResult<()> {
     if c + 1 < config.n {
         let cont = task(move |ctx: &mut C| explore_from(ctx, data, config, c + 1));
-        let handle = ctx.fork(6, cont)?;
+        let handle = ctx.fork(SITE_COLUMN, cont)?;
         subtree(ctx, data, config, c)?;
         ctx.join(handle)?;
     } else {

@@ -197,6 +197,23 @@ pub fn descriptor(kind: WorkloadKind) -> WorkloadDescriptor {
     }
 }
 
+/// Human-readable label of a workload fork-site ID (the `point` passed to
+/// `TlsContext::fork`), for per-site governor profile tables.
+pub fn site_label(site: u32) -> Option<&'static str> {
+    match site {
+        threex1::SITE_CHUNK => Some("3x+1/chunk"),
+        mandelbrot::SITE_CHUNK => Some("mandelbrot/chunk"),
+        md::SITE_FORCE_CHUNK => Some("md/force-chunk"),
+        bh::SITE_FORCE_CHUNK => Some("bh/force-chunk"),
+        fft::SITE_SPLIT => Some("fft/split"),
+        matmult::SITE_QUADRANT => Some("matmult/quadrant"),
+        matmult::SITE_PARTIAL => Some("matmult/partial"),
+        nqueen::SITE_COLUMN => Some("nqueen/column"),
+        tsp::SITE_SECOND_CITY => Some("tsp/second-city"),
+        _ => None,
+    }
+}
+
 /// Problem-size presets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
@@ -383,8 +400,12 @@ mod tests {
 
     #[test]
     fn descriptors_have_paper_data_sizes() {
-        assert!(descriptor(WorkloadKind::Fft).amount_of_data.contains("2^20"));
-        assert!(descriptor(WorkloadKind::Nqueen).amount_of_data.contains("14"));
+        assert!(descriptor(WorkloadKind::Fft)
+            .amount_of_data
+            .contains("2^20"));
+        assert!(descriptor(WorkloadKind::Nqueen)
+            .amount_of_data
+            .contains("14"));
         assert_eq!(WorkloadKind::ALL.len(), 8);
     }
 }

@@ -59,7 +59,11 @@ pub fn setup(memory: &GlobalMemory, config: &Config) -> Data {
 fn collatz_steps(mut x: u64) -> u64 {
     let mut steps = 0;
     while x != 1 {
-        x = if x % 2 == 0 { x / 2 } else { 3 * x + 1 };
+        x = if x.is_multiple_of(2) {
+            x / 2
+        } else {
+            3 * x + 1
+        };
         steps += 1;
     }
     steps
@@ -84,12 +88,15 @@ fn chunk_body<C: TlsContext>(ctx: &mut C, data: Data, config: Config, i: usize) 
     ctx.store(&data.partial, i, sum)
 }
 
+/// Fork-site ID of the chunk-loop continuation speculation.
+pub const SITE_CHUNK: u32 = 10;
+
 /// Chain speculation over chunks: each task forks the continuation
 /// (the remaining chunks) and then processes its own chunk.
 fn run_from<C: TlsContext>(ctx: &mut C, data: Data, config: Config, i: usize) -> SpecResult<()> {
     if i + 1 < config.chunks {
         let cont = task(move |ctx: &mut C| run_from(ctx, data, config, i + 1));
-        let handle = ctx.fork(1, cont)?;
+        let handle = ctx.fork(SITE_CHUNK, cont)?;
         chunk_body(ctx, data, config, i)?;
         ctx.join(handle)?;
     } else {

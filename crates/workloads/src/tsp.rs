@@ -115,7 +115,12 @@ fn search<C: TlsContext>(
 }
 
 /// Explore the subtree whose second city is `second`.
-fn subtree<C: TlsContext>(ctx: &mut C, data: Data, config: Config, second: usize) -> SpecResult<()> {
+fn subtree<C: TlsContext>(
+    ctx: &mut C,
+    data: Data,
+    config: Config,
+    second: usize,
+) -> SpecResult<()> {
     let n = config.cities;
     let first_leg = ctx.load(&data.dist, second)?;
     let mut best = u64::MAX;
@@ -131,6 +136,8 @@ fn subtree<C: TlsContext>(ctx: &mut C, data: Data, config: Config, second: usize
     ctx.store(&data.best, second, best)
 }
 
+/// Fork-site ID of the second-city continuation speculation.
+pub const SITE_SECOND_CITY: u32 = 18;
 /// DFS over second-city choices with speculated continuations.
 fn explore_from<C: TlsContext>(
     ctx: &mut C,
@@ -140,7 +147,7 @@ fn explore_from<C: TlsContext>(
 ) -> SpecResult<()> {
     if second + 1 < config.cities {
         let cont = task(move |ctx: &mut C| explore_from(ctx, data, config, second + 1));
-        let handle = ctx.fork(7, cont)?;
+        let handle = ctx.fork(SITE_SECOND_CITY, cont)?;
         subtree(ctx, data, config, second)?;
         ctx.join(handle)?;
     } else {

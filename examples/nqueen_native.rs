@@ -37,7 +37,10 @@ fn main() {
         report.critical_path_efficiency(),
         report.speculative_path_efficiency()
     );
-    println!("parallel coverage                  = {:.2}", report.coverage());
+    println!(
+        "parallel coverage                  = {:.2}",
+        report.coverage()
+    );
 
     // Even with every validation forced to fail, the runtime stays safe:
     // the parent re-executes each continuation and the answer is identical.

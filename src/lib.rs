@@ -4,6 +4,8 @@
 //!
 //! * [`membuf`] — speculative memory buffering (read/write sets, local
 //!   buffers, address spaces, the shared [`membuf::GlobalMemory`] arena).
+//! * [`adaptive`] — the adaptive speculation governor: per-fork-site
+//!   profiling plus fork-throttling and per-site model-selection policies.
 //! * [`runtime`] — the native TLS runtime: virtual CPUs, fork models
 //!   (in-order, out-of-order, tree-form mixed), speculation, validation,
 //!   commit, rollback and per-thread statistics.
@@ -17,6 +19,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system
 //! inventory and per-experiment index.
 
+pub use mutls_adaptive as adaptive;
 pub use mutls_harness as harness;
 pub use mutls_membuf as membuf;
 pub use mutls_runtime as runtime;
@@ -26,6 +29,7 @@ pub use mutls_workloads as workloads;
 /// Commonly used items for writing speculative programs against the native
 /// runtime.
 pub mod prelude {
+    pub use mutls_adaptive::{ForkDecision, Governor, GovernorConfig, PolicyKind, SiteProfile};
     pub use mutls_membuf::{GPtr, GlobalMemory};
     pub use mutls_runtime::{ForkModel, Runtime, RuntimeConfig, SpecContext};
     pub use mutls_workloads::WorkloadKind;

@@ -8,9 +8,7 @@ use std::sync::Arc;
 use mutls::membuf::GlobalMemory;
 use mutls::runtime::{ForkModel, Runtime, RuntimeConfig};
 use mutls::simcpu::{record_region, simulate, SimConfig};
-use mutls::workloads::{
-    checksum, reference_checksum, run_speculative, setup, Scale, WorkloadKind,
-};
+use mutls::workloads::{checksum, reference_checksum, run_speculative, setup, Scale, WorkloadKind};
 
 /// Run a workload on the native runtime and return its checksum plus the
 /// run report.
@@ -47,11 +45,24 @@ fn native_runtime_matches_sequential_baseline_for_every_workload() {
 
 #[test]
 fn native_runtime_is_correct_under_forced_rollbacks() {
-    for kind in [WorkloadKind::Nqueen, WorkloadKind::Fft, WorkloadKind::ThreeXPlusOne] {
+    for kind in [
+        WorkloadKind::Nqueen,
+        WorkloadKind::Fft,
+        WorkloadKind::ThreeXPlusOne,
+    ] {
         let expected = reference_checksum(kind, Scale::Tiny);
         let (got, report) = native_checksum(kind, 2, 1.0, ForkModel::Mixed);
-        assert_eq!(got, expected, "{}: rollback changed the result", kind.name());
-        assert!(report.rolled_back_threads > 0, "{}: no rollbacks injected", kind.name());
+        assert_eq!(
+            got,
+            expected,
+            "{}: rollback changed the result",
+            kind.name()
+        );
+        assert!(
+            report.rolled_back_threads > 0,
+            "{}: no rollbacks injected",
+            kind.name()
+        );
     }
 }
 
@@ -80,7 +91,11 @@ fn recorder_matches_sequential_baseline_for_every_workload() {
             "{}: recording changed the result",
             kind.name()
         );
-        assert!(recording.task_count() > 1, "{}: no speculation recorded", kind.name());
+        assert!(
+            recording.task_count() > 1,
+            "{}: no speculation recorded",
+            kind.name()
+        );
     }
 }
 
@@ -103,8 +118,14 @@ fn simulated_speedups_reproduce_the_papers_shape() {
         compute > memory_bound,
         "3x+1 ({compute:.1}) should outscale fft ({memory_bound:.1})"
     );
-    assert!(compute > 8.0, "3x+1 at 32 CPUs should show real speedup, got {compute:.1}");
-    assert!(memory_bound > 1.2, "fft should still speed up, got {memory_bound:.1}");
+    assert!(
+        compute > 8.0,
+        "3x+1 at 32 CPUs should show real speedup, got {compute:.1}"
+    );
+    assert!(
+        memory_bound > 1.2,
+        "fft should still speed up, got {memory_bound:.1}"
+    );
 }
 
 #[test]

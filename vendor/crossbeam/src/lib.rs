@@ -1,0 +1,93 @@
+//! Offline shim of the `crossbeam` crate: only the unbounded MPSC channel
+//! surface the runtime uses, implemented over `std::sync::mpsc` (whose
+//! `Sender` has been `Sync` since Rust 1.72, which is all the
+//! `ThreadManager` slots need).
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crossbeam, `Debug` does not require `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; fails only when the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; fails when all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let (tx, rx) = unbounded();
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..10 {
+            sum += rx.recv().unwrap();
+        }
+        handle.join().unwrap();
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn recv_fails_after_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

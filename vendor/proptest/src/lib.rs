@@ -1,0 +1,249 @@
+//! Offline shim of `proptest`: deterministic pseudo-random property
+//! testing covering the DSL subset this workspace's tests use —
+//! `proptest! { fn f(x in strategy) {...} }`, `any::<T>()`, ranges as
+//! strategies, `prop_map`, tuple strategies, `collection::vec`, and the
+//! `prop_assert*` macros.  Each property runs a fixed number of
+//! deterministic cases (no shrinking).
+
+/// Number of cases each property is executed with.
+pub const CASES: u64 = 96;
+
+/// Deterministic generator driving all strategies.
+pub mod test_runner {
+    /// splitmix64-based generator.
+    #[derive(Debug, Clone)]
+    pub struct Gen(u64);
+
+    impl Gen {
+        /// Create a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            Gen(seed)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::Gen;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, g: &mut Gen) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, g: &mut Gen) -> O {
+            (self.f)(self.inner.generate(g))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, g: &mut Gen) -> $t {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty range strategy");
+                    self.start + g.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u64, u32, usize);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(g: &mut Gen) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(g: &mut Gen) -> u64 {
+            g.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(g: &mut Gen) -> u32 {
+            g.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(g: &mut Gen) -> bool {
+            g.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`](super::prelude::any).
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, g: &mut Gen) -> T {
+            T::arbitrary(g)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, g: &mut Gen) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(g),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::Gen;
+
+    /// Strategy for `Vec`s with lengths drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, g: &mut Gen) -> Vec<S::Value> {
+            let span = (self.sizes.end - self.sizes.start).max(1) as u64;
+            let len = self.sizes.start + g.below(span) as usize;
+            (0..len).map(|_| self.element.generate(g)).collect()
+        }
+    }
+
+    /// Generate vectors of `element` values with a length in `sizes`.
+    pub fn vec<S: Strategy>(element: S, sizes: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::test_runner::Gen;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any::default()
+    }
+}
+
+/// Assert inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define deterministic property tests:
+/// `proptest! { #[test] fn f(x in strategy, ...) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut gen = $crate::test_runner::Gen::new(0xC0DE ^ stringify!($name).len() as u64);
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut gen);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10) {
+            prop_assert!((5..10).contains(&x));
+        }
+
+        #[test]
+        fn map_and_tuples_compose(pair in (1u64..4, any::<bool>()), v in collection::vec(0u64..3, 1..5)) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 4);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn properties_run() {
+        ranges_stay_in_bounds();
+        map_and_tuples_compose();
+    }
+}

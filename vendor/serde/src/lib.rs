@@ -1,0 +1,259 @@
+//! Offline shim of `serde`: a JSON-only serialization pair of traits plus
+//! re-exported derive macros, enough for the workspace's experiment rows
+//! and the simulator's cost-model round-trip.  The derive macros (see
+//! `vendor/serde_derive`) support non-generic structs with named fields —
+//! exactly what this codebase derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed JSON value (shared with the `serde_json` shim).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; exact for |x| ≤ 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Append this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Types that can be rebuilt from a parsed [`JsonValue`].
+pub trait Deserialize: Sized {
+    /// Rebuild a value, or explain why the JSON does not fit.
+    fn deserialize(value: &JsonValue) -> Result<Self, String>;
+}
+
+/// Append one `"name": value` object member (derive-generated code).
+pub fn ser_field<T: Serialize + ?Sized>(out: &mut String, name: &str, value: &T, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    ser_str(out, name);
+    out.push(':');
+    value.serialize_json(out);
+}
+
+/// Look up an object member (derive-generated code).
+pub fn obj_get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn ser_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &JsonValue) -> Result<Self, String> {
+                match value {
+                    JsonValue::Num(n) => Ok(*n as $t),
+                    other => Err(format!("expected number, got {other:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        match value {
+            JsonValue::Num(n) => Ok(*n),
+            JsonValue::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        match value {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        ser_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser_str(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        match value {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        match value {
+            JsonValue::Arr(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        match value {
+            JsonValue::Arr(items) if items.len() == 2 => {
+                Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+            }
+            other => Err(format!("expected 2-element array, got {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        let mut out = String::new();
+        42u64.serialize_json(&mut out);
+        out.push(' ');
+        true.serialize_json(&mut out);
+        out.push(' ');
+        "a\"b".serialize_json(&mut out);
+        assert_eq!(out, r#"42 true "a\"b""#);
+    }
+
+    #[test]
+    fn vec_and_tuple_serialize() {
+        let mut out = String::new();
+        vec![("x".to_string(), 0.5f64)].serialize_json(&mut out);
+        assert_eq!(out, r#"[["x",0.5]]"#);
+    }
+
+    #[test]
+    fn obj_get_reports_missing_fields() {
+        let obj = vec![("a".to_string(), JsonValue::Num(1.0))];
+        assert!(obj_get(&obj, "a").is_ok());
+        assert!(obj_get(&obj, "b").unwrap_err().contains("`b`"));
+    }
+}

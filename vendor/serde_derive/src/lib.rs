@@ -1,0 +1,126 @@
+//! Offline shim of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for **non-generic structs with named fields**
+//! (the only shapes this workspace derives), written against the compiler's
+//! own `proc_macro` API so no syn/quote download is needed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extract `(struct_name, field_names)` from a struct item token stream.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+
+    // Find `struct <Name>`, skipping visibility and outer attributes.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Ident(ref ident) if ident.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("derive target must be a struct");
+
+    // The first brace group after the name holds the named fields.
+    let body = tokens
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive supports only structs with named fields");
+
+    let mut fields = Vec::new();
+    let mut inner = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments included) and visibility.
+        match inner.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                inner.next();
+                inner.next(); // the [...] group
+                continue;
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                inner.next();
+                // Skip `(crate)`-style restrictions.
+                if let Some(TokenTree::Group(g)) = inner.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        inner.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name.
+        match inner.next() {
+            Some(TokenTree::Ident(ident)) => fields.push(ident.to_string()),
+            Some(other) => panic!("unexpected token in struct body: {other}"),
+            None => break,
+        }
+        // Skip `: <type>` up to the next top-level comma, tracking angle
+        // bracket depth (commas inside `<...>` belong to the type).
+        let mut angle_depth = 0i32;
+        for tt in inner.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, fields)
+}
+
+/// Derive the workspace-shim `serde::Serialize` (JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut body = String::new();
+    for field in &fields {
+        body.push_str(&format!(
+            "::serde::ser_field(out, \"{field}\", &self.{field}, &mut first);\n"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n\
+                 out.push('{{');\n\
+                 let mut first = true;\n\
+                 let _ = &mut first;\n\
+                 {body}\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    );
+    code.parse().expect("generated impl parses")
+}
+
+/// Derive the workspace-shim `serde::Deserialize` (from parsed JSON).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut body = String::new();
+    for field in &fields {
+        body.push_str(&format!(
+            "{field}: ::serde::Deserialize::deserialize(::serde::obj_get(obj, \"{field}\")?)?,\n"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::JsonValue) -> ::std::result::Result<Self, String> {{\n\
+                 let obj = value.as_object().ok_or_else(|| \"expected object\".to_string())?;\n\
+                 Ok({name} {{\n\
+                     {body}\
+                 }})\n\
+             }}\n\
+         }}"
+    );
+    code.parse().expect("generated impl parses")
+}
