@@ -1,7 +1,7 @@
 //! The [`Governor`]: the profiler and the configured policy behind one
 //! thread-safe facade the runtime and the simulator both consult.
 
-use mutls_membuf::SpecFailure;
+use mutls_membuf::{RollbackReason, SpecFailure};
 
 use crate::fork_model::ForkModel;
 use crate::policy::{build_policy, ForkDecision, GovernorConfig, GovernorPolicy};
@@ -50,11 +50,9 @@ impl SiteOutcome {
         }
     }
 
-    fn overflowed(&self) -> bool {
-        matches!(
-            self.failure,
-            Some(SpecFailure::BufferOverflow | SpecFailure::LocalBufferOverflow)
-        )
+    /// The coarse cause class of this outcome (`None` = committed).
+    pub fn reason(&self) -> Option<RollbackReason> {
+        self.failure.map(RollbackReason::from)
     }
 }
 
@@ -120,8 +118,7 @@ impl Governor {
         let decay = self.config.decay;
         self.profiler.with_site(site, |record| {
             record.absorb(
-                outcome.committed,
-                outcome.overflowed(),
+                outcome.reason(),
                 outcome.work,
                 outcome.wasted_work,
                 outcome.stall,
@@ -207,11 +204,17 @@ mod tests {
             9,
             &SiteOutcome::rolled_back(SpecFailure::BufferOverflow, 13, 2, ForkModel::InOrder),
         );
+        governor.record_outcome(
+            9,
+            &SiteOutcome::rolled_back(SpecFailure::ReadConflict, 4, 1, ForkModel::InOrder),
+        );
         let p = &governor.snapshot()[0];
         assert_eq!(p.committed_work, 40);
-        assert_eq!(p.wasted_work, 13);
-        assert_eq!(p.stall, 9);
+        assert_eq!(p.wasted_work, 17);
+        assert_eq!(p.stall, 10);
         assert_eq!(p.overflows, 1);
+        assert_eq!(p.conflicts, 1);
+        assert_eq!(p.injected, 0);
         governor.reset();
         assert!(governor.snapshot().is_empty());
     }

@@ -330,7 +330,14 @@ mod tests {
 
     fn rollback_heavy(record: &mut SiteRecord, n: usize, decay: f64) {
         for _ in 0..n {
-            record.absorb(false, false, 0, 50, 0, ForkModel::Mixed, decay);
+            record.absorb(
+                Some(mutls_membuf::RollbackReason::Conflict),
+                0,
+                50,
+                0,
+                ForkModel::Mixed,
+                decay,
+            );
         }
     }
 
@@ -393,7 +400,7 @@ mod tests {
         // The site's behaviour flips to always-commit; probes feed the
         // decayed counters until the rate crosses back under the threshold.
         for _ in 0..6 {
-            r.absorb(true, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+            r.absorb(None, 50, 0, 0, ForkModel::Mixed, cfg.decay);
         }
         assert!(
             ThrottlePolicy
@@ -412,7 +419,14 @@ mod tests {
             .rollback_threshold(1.0) // only overflows can trip it
             .overflow_threshold(0.3);
         for _ in 0..4 {
-            r.absorb(false, true, 0, 10, 0, ForkModel::Mixed, cfg.decay);
+            r.absorb(
+                Some(mutls_membuf::RollbackReason::Overflow),
+                0,
+                10,
+                0,
+                ForkModel::Mixed,
+                cfg.decay,
+            );
         }
         assert_eq!(
             ThrottlePolicy.decide(&mut r, &cfg, ForkModel::Mixed),
@@ -484,7 +498,7 @@ mod tests {
             // recorded for them.
             if model == ForkModel::Mixed {
                 r.per_model[model.index()].forks += 1;
-                r.absorb(true, false, 100, 0, 0, model, cfg.decay);
+                r.absorb(None, 100, 0, 0, model, cfg.decay);
                 mixed_launches += 1;
             }
             if i >= 6 {

@@ -18,6 +18,8 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
+use mutls_membuf::RollbackReason;
+
 use crate::fork_model::ForkModel;
 
 /// Identifier of one fork point (the `point` of `TlsContext::fork`).
@@ -78,6 +80,10 @@ pub struct SiteRecord {
     pub rollbacks: u64,
     /// Rollbacks whose reason was a buffer overflow.
     pub overflows: u64,
+    /// Rollbacks caused by a real cross-thread dependence violation.
+    pub conflicts: u64,
+    /// Rollbacks injected by the sensitivity experiment.
+    pub injected: u64,
     /// Work (ns native / cycles simulated) that committed.
     pub committed_work: u64,
     /// Work that was rolled back and discarded.
@@ -122,15 +128,15 @@ impl SiteRecord {
         self.hot_overflows / total
     }
 
-    /// Fold one join outcome into the record.  `decay` is the exponential
-    /// forgetting factor applied to the recency-weighted counters before
-    /// the new sample is added, so old behaviour fades and a throttled
-    /// site can re-earn speculation.
+    /// Fold one join outcome into the record.  `reason` carries the cause
+    /// when the child rolled back (`None` = committed).  `decay` is the
+    /// exponential forgetting factor applied to the recency-weighted
+    /// counters before the new sample is added, so old behaviour fades and
+    /// a throttled site can re-earn speculation.
     #[allow(clippy::too_many_arguments)]
     pub fn absorb(
         &mut self,
-        committed: bool,
-        overflowed: bool,
+        reason: Option<RollbackReason>,
         work: u64,
         wasted: u64,
         stall: u64,
@@ -141,21 +147,29 @@ impl SiteRecord {
         self.hot_rollbacks *= decay;
         self.hot_overflows *= decay;
         let m = &mut self.per_model[model.index()];
-        if committed {
-            self.commits += 1;
-            self.hot_commits += 1.0;
-            self.committed_work += work;
-            m.commits += 1;
-            m.committed_work += work;
-        } else {
-            self.rollbacks += 1;
-            self.hot_rollbacks += 1.0;
-            self.wasted_work += wasted;
-            m.rollbacks += 1;
-            m.wasted_work += wasted;
-            if overflowed {
-                self.overflows += 1;
-                self.hot_overflows += 1.0;
+        match reason {
+            None => {
+                self.commits += 1;
+                self.hot_commits += 1.0;
+                self.committed_work += work;
+                m.commits += 1;
+                m.committed_work += work;
+            }
+            Some(reason) => {
+                self.rollbacks += 1;
+                self.hot_rollbacks += 1.0;
+                self.wasted_work += wasted;
+                m.rollbacks += 1;
+                m.wasted_work += wasted;
+                match reason {
+                    RollbackReason::Overflow => {
+                        self.overflows += 1;
+                        self.hot_overflows += 1.0;
+                    }
+                    RollbackReason::Conflict => self.conflicts += 1,
+                    RollbackReason::Injected => self.injected += 1,
+                    RollbackReason::Other => {}
+                }
             }
         }
         self.stall += stall;
@@ -177,6 +191,10 @@ pub struct SiteProfile {
     pub rollbacks: u64,
     /// Buffer-overflow rollbacks.
     pub overflows: u64,
+    /// Real dependence-violation rollbacks.
+    pub conflicts: u64,
+    /// Injected (sensitivity-mode) rollbacks.
+    pub injected: u64,
     /// Committed work.
     pub committed_work: u64,
     /// Discarded work.
@@ -196,6 +214,8 @@ impl SiteProfile {
             commits: record.commits,
             rollbacks: record.rollbacks,
             overflows: record.overflows,
+            conflicts: record.conflicts,
+            injected: record.injected,
             committed_work: record.committed_work,
             wasted_work: record.wasted_work,
             stall: record.stall,
@@ -298,26 +318,58 @@ mod tests {
     fn absorb_tracks_rates_and_decay() {
         let mut r = SiteRecord::default();
         for _ in 0..4 {
-            r.absorb(false, false, 0, 100, 0, ForkModel::Mixed, 0.5);
+            r.absorb(
+                Some(RollbackReason::Conflict),
+                0,
+                100,
+                0,
+                ForkModel::Mixed,
+                0.5,
+            );
         }
         assert_eq!(r.rollbacks, 4);
+        assert_eq!(r.conflicts, 4);
         assert_eq!(r.wasted_work, 400);
         assert!(r.rollback_rate() > 0.99);
         // Commits push the decayed rate down geometrically.
         for _ in 0..4 {
-            r.absorb(true, false, 100, 0, 0, ForkModel::Mixed, 0.5);
+            r.absorb(None, 100, 0, 0, ForkModel::Mixed, 0.5);
         }
         assert!(r.rollback_rate() < 0.1, "rate = {}", r.rollback_rate());
         assert_eq!(r.samples(), 8);
     }
 
     #[test]
-    fn overflow_rollbacks_are_counted_separately() {
+    fn rollback_reasons_are_counted_separately() {
         let mut r = SiteRecord::default();
-        r.absorb(false, true, 0, 10, 0, ForkModel::InOrder, 0.9);
-        r.absorb(false, false, 0, 10, 0, ForkModel::InOrder, 0.9);
+        r.absorb(
+            Some(RollbackReason::Overflow),
+            0,
+            10,
+            0,
+            ForkModel::InOrder,
+            0.9,
+        );
+        r.absorb(
+            Some(RollbackReason::Conflict),
+            0,
+            10,
+            0,
+            ForkModel::InOrder,
+            0.9,
+        );
+        r.absorb(
+            Some(RollbackReason::Injected),
+            0,
+            10,
+            0,
+            ForkModel::InOrder,
+            0.9,
+        );
         assert_eq!(r.overflows, 1);
-        assert_eq!(r.rollbacks, 2);
+        assert_eq!(r.conflicts, 1);
+        assert_eq!(r.injected, 1);
+        assert_eq!(r.rollbacks, 3);
         assert!(r.overflow_rate() > 0.0 && r.overflow_rate() < r.rollback_rate() + 1e-12);
     }
 
@@ -327,7 +379,7 @@ mod tests {
         for site in [44u32, 2, 17, 300] {
             p.with_site(site, |r| {
                 r.forks = site as u64;
-                r.absorb(true, false, 5, 0, 1, ForkModel::Mixed, 0.9);
+                r.absorb(None, 5, 0, 1, ForkModel::Mixed, 0.9);
             });
         }
         let rows = p.snapshot();

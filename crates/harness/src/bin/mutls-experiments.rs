@@ -1,14 +1,15 @@
 //! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
 //!
 //! ```text
-//! mutls-experiments <fig3|...|fig11|table2|adaptive|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...]
+//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|all> \
+//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...]
 //! ```
 
 use std::process::ExitCode;
 
 use mutls_harness::{
-    adaptive_sweep, figure10, figure11, figure3, figure4, figure5, figure6, figure7, figure8,
-    figure9, table2, ExperimentConfig,
+    adaptive_sweep, conflict_sweep, figure10, figure11, figure3, figure4, figure5, figure6,
+    figure7, figure8, figure9, overflow_sweep, table2, ExperimentConfig,
 };
 use mutls_workloads::Scale;
 
@@ -61,10 +62,12 @@ fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), String> {
         "fig10" => println!("{}", figure10(config).1),
         "fig11" => println!("{}", figure11(config).1),
         "adaptive" => println!("{}", adaptive_sweep(config).1),
+        "conflict" => println!("{}", conflict_sweep(config).1),
+        "overflow" => println!("{}", overflow_sweep(config).1),
         "all" => {
             for exp in [
                 "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "adaptive",
+                "adaptive", "conflict", "overflow",
             ] {
                 run_one(exp, config)?;
             }
@@ -80,7 +83,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: mutls-experiments <fig3..fig11|table2|adaptive|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N]"
+                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N]"
             );
             return ExitCode::FAILURE;
         }

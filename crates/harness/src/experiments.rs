@@ -1,19 +1,61 @@
-//! Experiment definitions, one per table/figure of the paper's evaluation.
+//! Experiment definitions, one per table/figure of the paper's evaluation,
+//! plus the native-runtime conflict and buffer-overflow sweeps that
+//! validate the adaptive governor on *real* rollback causes.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 
 use mutls_adaptive::{GovernorConfig, PolicyKind};
-use mutls_membuf::GlobalMemory;
-use mutls_runtime::{ForkModel, Phase, RunReport};
+use mutls_membuf::{BufferConfig, GlobalMemory, RollbackReason};
+use mutls_runtime::{ForkModel, Phase, RunReport, Runtime, RuntimeConfig};
 use mutls_simcpu::{record_region, simulate, Recording, SimConfig, SimResult};
 use mutls_workloads::{
-    arena_bytes, descriptor, run_speculative, setup, site_label, Scale, WorkloadKind,
+    arena_bytes, conflict, descriptor, reference_checksum, run_speculative, setup, site_label,
+    Scale, WorkloadKind,
 };
 
-use crate::report::{format_breakdown_table, format_sweep_table, Table};
+use crate::report::{format_breakdown_table, format_rollback_cell, format_sweep_table, Table};
+
+/// Map `f` over `items` across host threads, preserving input order in the
+/// result.  The discrete-event simulator is single-threaded, so the
+/// independent points of a sweep (workload × CPU count × policy) scale
+/// with host cores; output stays deterministic because each result lands
+/// in its input slot.
+fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(&items[i]);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every slot filled")
+        })
+        .collect()
+}
 
 /// CPU counts used by the paper's breakdown figures 8 and 9.
 pub const BREAKDOWN_CPUS: [usize; 15] = [1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 15, 20, 32, 48, 64];
@@ -133,17 +175,18 @@ fn sweep_row(kind: WorkloadKind, cpus: usize, result: &SimResult) -> SweepRow {
     }
 }
 
-/// Sweep a set of workloads over the configured CPU counts.
+/// Sweep a set of workloads over the configured CPU counts.  Recordings
+/// and the independent simulation points both fan out across host
+/// threads; row order is deterministic regardless.
 pub fn speedup_sweep(kinds: &[WorkloadKind], config: &ExperimentConfig) -> Vec<SweepRow> {
-    let mut rows = Vec::new();
-    for &kind in kinds {
-        let recording = record_workload(kind, config.scale);
-        for &cpus in &config.cpus {
-            let result = simulate_point(&recording, cpus, config.seed);
-            rows.push(sweep_row(kind, cpus, &result));
-        }
-    }
-    rows
+    let recordings = par_map(kinds, |&kind| record_workload(kind, config.scale));
+    let points: Vec<(usize, usize)> = (0..kinds.len())
+        .flat_map(|ki| config.cpus.iter().map(move |&cpus| (ki, cpus)))
+        .collect();
+    par_map(&points, |&(ki, cpus)| {
+        let result = simulate_point(&recordings[ki], cpus, config.seed);
+        sweep_row(kinds[ki], cpus, &result)
+    })
 }
 
 fn metric_table(
@@ -364,24 +407,33 @@ pub fn figure11(config: &ExperimentConfig) -> (Vec<(String, f64, f64)>, String) 
         format!("Figure 11 — Rollback Sensitivity at {cpus} CPUs (fraction of non-rollback speedup preserved)"),
         &["workload", "1%", "5%", "10%", "20%", "50%", "100%"],
     );
-    for kind in kinds {
+    // One parallel task per workload: record, baseline, probability sweep.
+    let per_kind = par_map(&kinds, |&kind| {
         let recording = record_workload(kind, config.scale);
         let baseline = simulate_point(&recording, cpus, config.seed).speedup();
+        let sensitivities: Vec<(f64, f64)> = ROLLBACK_PROBABILITIES
+            .iter()
+            .map(|&p| {
+                let degraded = simulate(
+                    &recording,
+                    SimConfig {
+                        num_cpus: cpus,
+                        fork_model: None,
+                        rollback_probability: p,
+                        seed: config.seed,
+                        cost: Default::default(),
+                        governor: Default::default(),
+                    },
+                )
+                .speedup();
+                (p, degraded / baseline.max(f64::MIN_POSITIVE))
+            })
+            .collect();
+        (kind, sensitivities)
+    });
+    for (kind, sensitivities) in per_kind {
         let mut row = vec![kind.name().to_string()];
-        for &p in &ROLLBACK_PROBABILITIES {
-            let degraded = simulate(
-                &recording,
-                SimConfig {
-                    num_cpus: cpus,
-                    fork_model: None,
-                    rollback_probability: p,
-                    seed: config.seed,
-                    cost: Default::default(),
-                    governor: Default::default(),
-                },
-            )
-            .speedup();
-            let sensitivity = degraded / baseline.max(f64::MIN_POSITIVE);
+        for (p, sensitivity) in sensitivities {
             rows.push((kind.name().to_string(), p, sensitivity));
             row.push(format!("{sensitivity:.2}"));
         }
@@ -414,13 +466,17 @@ pub struct AdaptiveRow {
     pub committed: u64,
     /// Rolled-back speculative threads.
     pub rolled_back: u64,
+    /// Rollbacks split by cause, indexed by
+    /// [`RollbackReason::index`](mutls_membuf::RollbackReason::index).
+    pub rollback_reasons: [u64; RollbackReason::COUNT],
     /// Work discarded by rollbacks (virtual cycles).
     pub wasted_work: u64,
     /// Fork requests suppressed by the governor.
     pub throttled_forks: u64,
 }
 
-/// Render a `RunReport`'s per-site governor profile as a table.
+/// Render a `RunReport`'s per-site governor profile as a table, with the
+/// rollback-cause split (conflicts / overflows / injected) per site.
 pub fn format_site_table(title: &str, report: &RunReport) -> String {
     let mut table = Table::new(
         title,
@@ -430,7 +486,9 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             "throttled",
             "commits",
             "rollbacks",
+            "conflicts",
             "overflows",
+            "injected",
             "rollback rate",
             "wasted work",
         ],
@@ -445,7 +503,9 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             profile.throttled.to_string(),
             profile.commits.to_string(),
             profile.rollbacks.to_string(),
+            profile.conflicts.to_string(),
             profile.overflows.to_string(),
+            profile.injected.to_string(),
             format!("{:.2}", profile.rollback_rate),
             profile.wasted_work.to_string(),
         ]);
@@ -491,13 +551,13 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
             "inj. rollback",
             "speedup",
             "committed",
-            "rolled back",
+            "rolled back (C/O/I/X)",
             "wasted work",
             "throttled",
         ],
     );
-    let mut site_tables = String::new();
-    for kind in WorkloadKind::ALL {
+    // One parallel task per workload; assembly below keeps input order.
+    let per_kind = par_map(&WorkloadKind::ALL, |&kind| {
         let heavy = ROLLBACK_HEAVY.contains(&kind);
         let p = if heavy {
             ADAPTIVE_ROLLBACK_PROBABILITY
@@ -505,29 +565,22 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
             0.0
         };
         let recording = record_workload(kind, config.scale);
+        let mut kind_rows = Vec::new();
+        let mut site_tables = String::new();
         for policy in PolicyKind::ALL {
             let result = simulate_governed(&recording, cpus, config.seed, p, policy);
             let report = &result.report;
-            let row = AdaptiveRow {
+            kind_rows.push(AdaptiveRow {
                 workload: kind.name().to_string(),
                 policy: policy.label().to_string(),
                 rollback_probability: p,
                 speedup: result.speedup(),
                 committed: report.committed_threads,
                 rolled_back: report.rolled_back_threads,
+                rollback_reasons: report.rollback_reasons,
                 wasted_work: report.wasted_work(),
                 throttled_forks: report.throttled_forks(),
-            };
-            table.push_row(vec![
-                row.workload.clone(),
-                row.policy.clone(),
-                format!("{:.0}%", p * 100.0),
-                format!("{:.2}", row.speedup),
-                row.committed.to_string(),
-                row.rolled_back.to_string(),
-                row.wasted_work.to_string(),
-                row.throttled_forks.to_string(),
-            ]);
+            });
             if heavy && policy == PolicyKind::Throttle {
                 site_tables.push_str(&format_site_table(
                     &format!(
@@ -539,10 +592,250 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
                 ));
                 site_tables.push('\n');
             }
+        }
+        (kind_rows, site_tables)
+    });
+    let mut site_tables = String::new();
+    for (kind_rows, kind_tables) in per_kind {
+        for row in kind_rows {
+            table.push_row(vec![
+                row.workload.clone(),
+                row.policy.clone(),
+                format!("{:.0}%", row.rollback_probability * 100.0),
+                format!("{:.2}", row.speedup),
+                row.committed.to_string(),
+                format_rollback_cell(row.rolled_back, &row.rollback_reasons),
+                row.wasted_work.to_string(),
+                row.throttled_forks.to_string(),
+            ]);
+            rows.push(row);
+        }
+        site_tables.push_str(&kind_tables);
+    }
+    let text = format!("{}\n{site_tables}", table.render());
+    (rows, text)
+}
+
+/// True-sharing rates (permille) swept by the conflict experiment.
+pub const CONFLICT_SHARING_PERMILLE: [u32; 4] = [0, 250, 500, 1000];
+
+/// The governor policies compared by the native-runtime sweeps.
+pub const NATIVE_POLICIES: [PolicyKind; 2] = [PolicyKind::Static, PolicyKind::Throttle];
+
+/// One row of a native-runtime sweep (conflict or buffer-overflow): the
+/// rollback counts are *real* — no injection is configured — and split by
+/// cause.
+#[derive(Debug, Clone, Serialize)]
+pub struct NativeRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Governor policy label.
+    pub policy: String,
+    /// True-sharing rate in `[0, 1]` (conflict sweep; 0 for overflow rows).
+    pub sharing: f64,
+    /// Committed speculative threads.
+    pub committed: u64,
+    /// Rolled-back speculative threads.
+    pub rolled_back: u64,
+    /// Rollbacks split by cause, indexed by
+    /// [`RollbackReason::index`](mutls_membuf::RollbackReason::index).
+    pub rollback_reasons: [u64; RollbackReason::COUNT],
+    /// Work discarded by rollbacks (nanoseconds of native execution).
+    pub wasted_work_ns: u64,
+    /// Fork requests suppressed by the governor.
+    pub throttled_forks: u64,
+    /// Whether the final memory state matched the sequential reference.
+    pub checksum_ok: bool,
+}
+
+impl NativeRow {
+    fn from_report(
+        workload: &str,
+        policy: PolicyKind,
+        sharing: f64,
+        checksum_ok: bool,
+        report: &RunReport,
+    ) -> Self {
+        NativeRow {
+            workload: workload.to_string(),
+            policy: policy.label().to_string(),
+            sharing,
+            committed: report.committed_threads,
+            rolled_back: report.rolled_back_threads,
+            rollback_reasons: report.rollback_reasons,
+            wasted_work_ns: report.wasted_work(),
+            throttled_forks: report.throttled_forks(),
+            checksum_ok,
+        }
+    }
+
+    fn table_row(&self) -> Vec<String> {
+        vec![
+            self.workload.clone(),
+            format!("{:.0}%", self.sharing * 100.0),
+            self.policy.clone(),
+            self.committed.to_string(),
+            format_rollback_cell(self.rolled_back, &self.rollback_reasons),
+            format!("{:.1}", self.wasted_work_ns as f64 / 1_000.0),
+            self.throttled_forks.to_string(),
+            if self.checksum_ok { "ok" } else { "MISMATCH" }.to_string(),
+        ]
+    }
+}
+
+/// Number of speculative CPUs used by the native sweeps (real OS threads,
+/// so capped independently of the simulated CPU counts).
+fn native_cpus(config: &ExperimentConfig) -> usize {
+    config.cpus.iter().copied().max().unwrap_or(8).min(8)
+}
+
+/// One configured conflict-family case: resolves the per-kind config once
+/// so the sequential reference is computed once per (kind, sharing-rate)
+/// point and shared by every policy run.
+enum ConflictCase {
+    Chain(conflict::ChainConfig),
+    Hist(conflict::HistConfig),
+}
+
+impl ConflictCase {
+    fn new(kind: WorkloadKind, scale: Scale, permille: u32) -> Self {
+        match kind {
+            WorkloadKind::ConflictChain => ConflictCase::Chain(
+                conflict::ChainConfig::for_scale(scale).sharing_permille(permille),
+            ),
+            WorkloadKind::HistShared => ConflictCase::Hist(
+                conflict::HistConfig::for_scale(scale).sharing_permille(permille),
+            ),
+            other => unreachable!("{} is not a conflict-family workload", other.name()),
+        }
+    }
+
+    fn reference(&self) -> u64 {
+        match self {
+            ConflictCase::Chain(cfg) => conflict::chain_reference(*cfg),
+            ConflictCase::Hist(cfg) => conflict::hist_reference(*cfg),
+        }
+    }
+
+    fn native(&self, runtime_config: RuntimeConfig) -> (u64, RunReport) {
+        match self {
+            ConflictCase::Chain(cfg) => conflict::chain_native(*cfg, runtime_config),
+            ConflictCase::Hist(cfg) => conflict::hist_native(*cfg, runtime_config),
+        }
+    }
+}
+
+/// Native-runtime conflict sweep: the conflict-generating workloads across
+/// true-sharing rates, Static vs Throttle, with **no injected rollbacks**
+/// — every rollback in the table is a genuine dependence violation
+/// detected through the speculative buffers and the commit log.  The
+/// summary lines report Throttle's wasted-work reduction over Static at
+/// each sharing rate, which is the governor validated end-to-end on real
+/// conflicts.
+pub fn conflict_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
+    let cpus = native_cpus(config);
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!(
+            "Conflict Sweep at {cpus} CPUs (native runtime, real dependence validation, no injection)"
+        ),
+        &[
+            "workload",
+            "sharing",
+            "policy",
+            "committed",
+            "rolled back (C/O/I/X)",
+            "wasted work (µs)",
+            "throttled",
+            "checksum",
+        ],
+    );
+    let mut site_tables = String::new();
+    let mut summary = String::from("# Throttle wasted-work reduction vs Static (real conflicts)\n");
+    for kind in WorkloadKind::CONFLICT_FAMILY {
+        for permille in CONFLICT_SHARING_PERMILLE {
+            let sharing = permille as f64 / 1000.0;
+            let case = ConflictCase::new(kind, config.scale, permille);
+            let reference = case.reference();
+            let mut wasted = HashMap::new();
+            for policy in NATIVE_POLICIES {
+                let (sum, report) =
+                    case.native(RuntimeConfig::with_cpus(cpus).governor_policy(policy));
+                let row =
+                    NativeRow::from_report(kind.name(), policy, sharing, sum == reference, &report);
+                table.push_row(row.table_row());
+                wasted.insert(policy, row.wasted_work_ns);
+                if permille == 1000 && policy == PolicyKind::Throttle {
+                    site_tables.push_str(&format_site_table(
+                        &format!(
+                            "Per-site profile — {} under throttle (100% true sharing, rollbacks all real)",
+                            kind.name()
+                        ),
+                        &report,
+                    ));
+                    site_tables.push('\n');
+                }
+                rows.push(row);
+            }
+            if permille > 0 {
+                let stat = wasted[&PolicyKind::Static].max(1) as f64;
+                let thr = wasted[&PolicyKind::Throttle].max(1) as f64;
+                summary.push_str(&format!(
+                    "{} at {:.0}% sharing: {:.1}x less wasted work under throttle\n",
+                    kind.name(),
+                    sharing * 100.0,
+                    stat / thr,
+                ));
+            }
+        }
+    }
+    let text = format!("{}\n{site_tables}{summary}", table.render());
+    (rows, text)
+}
+
+/// Buffer-overflow pressure sweep: the memory-intensive benchmarks run on
+/// the native runtime with [`BufferConfig::tiny`] buffers, so speculative
+/// threads overflow and roll back with `RollbackReason::Overflow` — this
+/// exercises the governor's overflow-rate threshold rather than its
+/// rollback-rate one.
+pub fn overflow_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
+    let cpus = native_cpus(config);
+    let kinds = [WorkloadKind::Fft, WorkloadKind::Matmult, WorkloadKind::Bh];
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!(
+            "Buffer-Overflow Pressure Sweep at {cpus} CPUs (native runtime, BufferConfig::tiny)"
+        ),
+        &[
+            "workload",
+            "sharing",
+            "policy",
+            "committed",
+            "rolled back (C/O/I/X)",
+            "wasted work (µs)",
+            "throttled",
+            "checksum",
+        ],
+    );
+    for kind in kinds {
+        let reference = reference_checksum(kind, config.scale);
+        for policy in NATIVE_POLICIES {
+            let runtime = Runtime::new(
+                RuntimeConfig::with_cpus(cpus)
+                    .memory_bytes(arena_bytes(kind, config.scale))
+                    .buffer(BufferConfig::tiny())
+                    .governor_policy(policy),
+            );
+            let memory = runtime.memory();
+            let data = setup(kind, config.scale, &memory);
+            let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
+            let checksum_ok = mutls_workloads::checksum(&memory, &data) == reference;
+            let row = NativeRow::from_report(kind.name(), policy, 0.0, checksum_ok, &report);
+            table.push_row(row.table_row());
             rows.push(row);
         }
     }
-    let text = format!("{}\n{site_tables}", table.render());
+    let text = table.render();
     (rows, text)
 }
 
@@ -694,5 +987,76 @@ mod tests {
         let rows = breakdown(WorkloadKind::Fft, &quick(), &[4], false);
         let total: f64 = rows[0].fractions.iter().map(|(_, v)| v).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(par_map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn conflict_sweep_detects_real_conflicts_and_stays_correct() {
+        let (rows, text) = conflict_sweep(&quick());
+        assert!(text.contains("Conflict Sweep"));
+        assert!(text.contains("wasted-work reduction"));
+        assert_eq!(
+            rows.len(),
+            WorkloadKind::CONFLICT_FAMILY.len()
+                * CONFLICT_SHARING_PERMILLE.len()
+                * NATIVE_POLICIES.len()
+        );
+        let conflict_idx = RollbackReason::Conflict.index();
+        let injected_idx = RollbackReason::Injected.index();
+        for row in &rows {
+            // Correctness holds at every sharing rate and policy, and no
+            // rollback is ever injected.
+            assert!(row.checksum_ok, "{} {} diverged", row.workload, row.policy);
+            assert_eq!(
+                row.rollback_reasons[injected_idx], 0,
+                "{}: injected rollbacks without opting in",
+                row.workload
+            );
+            // Zero sharing → zero conflicts, structurally.
+            if row.sharing == 0.0 {
+                assert_eq!(
+                    row.rollback_reasons[conflict_idx], 0,
+                    "{} {}: conflicts without sharing",
+                    row.workload, row.policy
+                );
+            }
+        }
+        // Full sharing under the static policy produces genuine conflicts…
+        assert!(
+            rows.iter()
+                .filter(|r| r.sharing == 1.0 && r.policy == "static")
+                .any(|r| r.rollback_reasons[conflict_idx] > 0),
+            "no real conflicts detected at 100% sharing"
+        );
+        // …and the throttle governor reacts to them by suppressing forks.
+        assert!(
+            rows.iter()
+                .filter(|r| r.sharing == 1.0 && r.policy == "throttle")
+                .any(|r| r.throttled_forks > 0),
+            "throttle never engaged on real conflicts"
+        );
+    }
+
+    #[test]
+    fn overflow_sweep_exercises_overflow_rollbacks() {
+        let (rows, text) = overflow_sweep(&quick());
+        assert!(text.contains("Buffer-Overflow Pressure"));
+        let overflow_idx = RollbackReason::Overflow.index();
+        for row in &rows {
+            assert!(row.checksum_ok, "{} {} diverged", row.workload, row.policy);
+        }
+        assert!(
+            rows.iter()
+                .filter(|r| r.policy == "static")
+                .any(|r| r.rollback_reasons[overflow_idx] > 0),
+            "tiny buffers never overflowed"
+        );
     }
 }

@@ -16,13 +16,19 @@
 //! | Fig. 10 (forking model comparison)      | [`figure10`] |
 //! | Fig. 11 (rollback sensitivity)          | [`figure11`] |
 //! | Adaptive governor sweep (this repo)     | [`adaptive_sweep`] |
+//! | Conflict sweep, real rollbacks (this repo) | [`conflict_sweep`] |
+//! | Buffer-overflow pressure sweep (this repo) | [`overflow_sweep`] |
 //!
 //! The `mutls-experiments` binary wraps these functions; the Criterion
 //! benches in `crates/bench` regenerate the same rows under `cargo bench`.
 //!
-//! All experiments run on the deterministic multicore simulator
+//! The figure experiments run on the deterministic multicore simulator
 //! (`mutls-simcpu`), which substitutes for the paper's 64-core AMD Opteron
-//! testbed (see `DESIGN.md` §2), so they are reproducible on any host.
+//! testbed (see `DESIGN.md` §2), so they are reproducible on any host;
+//! independent sweep points fan out across host threads with
+//! deterministic output ordering.  The conflict and overflow sweeps run on
+//! the *native* runtime, because their whole point is exercising real
+//! dependence validation and buffer pressure end-to-end.
 
 #![warn(missing_docs)]
 
@@ -30,9 +36,10 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    adaptive_sweep, breakdown, figure10, figure11, figure3, figure4, figure5, figure6, figure7,
-    figure8, figure9, format_site_table, record_workload, speedup_sweep, table2, AdaptiveRow,
-    BreakdownRow, ExperimentConfig, MetricKind, SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY,
+    adaptive_sweep, breakdown, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
+    figure6, figure7, figure8, figure9, format_site_table, overflow_sweep, record_workload,
+    speedup_sweep, table2, AdaptiveRow, BreakdownRow, ExperimentConfig, MetricKind, NativeRow,
+    SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY, CONFLICT_SHARING_PERMILLE, NATIVE_POLICIES,
     ROLLBACK_HEAVY,
 };
-pub use report::{format_breakdown_table, format_sweep_table, Table};
+pub use report::{format_breakdown_table, format_rollback_cell, format_sweep_table, Table};

@@ -2,6 +2,8 @@
 
 use std::fmt::Write as _;
 
+use mutls_membuf::RollbackReason;
+
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -64,6 +66,20 @@ impl Table {
         }
         out
     }
+}
+
+/// Format a rolled-back thread count together with its per-reason
+/// breakdown (`total (C…/O…/I…/X…)` = conflict / overflow / injected /
+/// other), so tables surface *why* speculation failed instead of a single
+/// opaque rollback count.
+pub fn format_rollback_cell(total: u64, reasons: &[u64; RollbackReason::COUNT]) -> String {
+    format!(
+        "{total} (C{}/O{}/I{}/X{})",
+        reasons[RollbackReason::Conflict.index()],
+        reasons[RollbackReason::Overflow.index()],
+        reasons[RollbackReason::Injected.index()],
+        reasons[RollbackReason::Other.index()],
+    )
 }
 
 /// Render a speedup/efficiency sweep as a table: one row per CPU count and
@@ -135,6 +151,14 @@ mod tests {
         );
         assert_eq!(text.lines().count(), 3 + 3);
         assert!(text.contains("3.10"));
+    }
+
+    #[test]
+    fn rollback_cell_orders_reasons_stably() {
+        let mut reasons = [0u64; RollbackReason::COUNT];
+        reasons[RollbackReason::Conflict.index()] = 3;
+        reasons[RollbackReason::Injected.index()] = 2;
+        assert_eq!(format_rollback_cell(5, &reasons), "5 (C3/O0/I2/X0)");
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The shared commit log: the versioned view of main memory that makes
+//! cross-thread conflict detection *real* instead of injected.
+//!
+//! Every write that reaches main memory — a direct store by the
+//! non-speculative thread or a committed speculative write-set — is
+//! recorded here as one *commit batch* with a fresh, monotonically
+//! increasing version (the *epoch*).  A speculative read stamps its
+//! read-set entry with the epoch observed at read time; join-time
+//! validation then asks, per read entry, whether any logically earlier
+//! work committed a write to that address *after* the read
+//! ([`CommitLog::written_after`]).  This detects exactly the
+//! read-before-predecessor-write dependences MUTLS read-set validation is
+//! specified to catch (paper §IV-F), including the value-ABA case a pure
+//! value comparison would miss.
+//!
+//! Per-address versions live in a *dense* array covering the main-memory
+//! arena (one version word per data word, lock-free stamping and lookup),
+//! sized via [`CommitLog::with_dense_bytes`]; addresses beyond the dense
+//! range fall back to a sharded map, so the log also works standalone
+//! with arbitrary addresses.
+//!
+//! ## Memory-ordering protocol
+//!
+//! Soundness under concurrency relies on the order of operations:
+//!
+//! * **Committer** (always executing logically earlier work): write the
+//!   data words to main memory *first*, then call [`CommitLog::record`],
+//!   which — under a lock serializing committers — stamps every address
+//!   with the next version and only *then* publishes the new epoch
+//!   (release).
+//! * **Reader** (a speculative thread): sample [`CommitLog::epoch`]
+//!   (acquire) *before* loading the word from main memory.
+//!
+//! If the reader's sampled epoch is at least the committer's version, the
+//! acquire/release pair guarantees both the committed data *and its
+//! version stamps* were visible to the read — no conflict and no stale
+//! `version_of`.  If it is smaller, the read raced the commit and
+//! validation flags it; at worst this is a conservative false positive
+//! (the thread re-executes), never a missed conflict.  (Stamping before
+//! the epoch publish matters: were the epoch bumped first, a reader could
+//! stamp the *new* epoch while `version_of` still returned the old
+//! version, letting a stale read validate.)
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use crate::memory::{Addr, WORD_BYTES};
+
+/// Number of lock stripes in the sparse address → version map.
+const SHARD_COUNT: usize = 16;
+
+/// Monotone version assigned to a commit batch (0 = "never written").
+pub type CommitVersion = u64;
+
+/// Append-only versioned record of every write published to main memory.
+#[derive(Debug, Default)]
+pub struct CommitLog {
+    /// Version of the most recent *published* commit batch.
+    epoch: AtomicU64,
+    /// Serializes committers so stamps always precede the epoch publish.
+    commit_lock: Mutex<()>,
+    /// Dense per-word versions for addresses below
+    /// `dense.len() * WORD_BYTES` — the arena fast path: one atomic store
+    /// per stamped word, one atomic load per lookup, no allocation.
+    dense: Vec<AtomicU64>,
+    /// Sparse fallback for addresses beyond the dense range.
+    shards: [RwLock<HashMap<Addr, CommitVersion>>; SHARD_COUNT],
+}
+
+/// Fibonacci-hash a word address into a shard index.
+fn shard_of(addr: Addr) -> usize {
+    let h = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 60) as usize & (SHARD_COUNT - 1)
+}
+
+impl CommitLog {
+    /// Create an empty log with no dense range (every address goes through
+    /// the sharded map — fine for tests and small address sets).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a log whose dense fast path covers addresses
+    /// `[0, capacity_bytes)` — size it to the main-memory arena so the
+    /// whole program's traffic stamps lock-free with bounded memory (one
+    /// version word per arena word).
+    pub fn with_dense_bytes(capacity_bytes: u64) -> Self {
+        let words = capacity_bytes.div_ceil(WORD_BYTES) as usize;
+        let mut dense = Vec::with_capacity(words);
+        dense.resize_with(words, || AtomicU64::new(0));
+        CommitLog {
+            dense,
+            ..Self::default()
+        }
+    }
+
+    fn dense_index(&self, addr: Addr) -> Option<usize> {
+        let idx = (addr / WORD_BYTES) as usize;
+        (idx < self.dense.len()).then_some(idx)
+    }
+
+    fn stamp(&self, addr: Addr, version: CommitVersion) {
+        match self.dense_index(addr) {
+            Some(idx) => self.dense[idx].store(version, Ordering::Relaxed),
+            None => {
+                let mut shard = self.shards[shard_of(addr)]
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner());
+                shard.insert(addr, version);
+            }
+        }
+    }
+
+    /// The version of the most recent commit batch.
+    ///
+    /// Speculative readers sample this (acquire) *before* loading a word
+    /// from main memory and stamp the read-set entry with it.
+    pub fn epoch(&self) -> CommitVersion {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Record one commit batch covering `addrs` and return its version.
+    ///
+    /// The caller must have already written the data words to main memory
+    /// (see the module-level ordering protocol).  Committers are
+    /// serialized; every address is stamped before the new epoch becomes
+    /// visible.  An empty batch still bumps the epoch, which is harmless.
+    pub fn record<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> CommitVersion {
+        let _guard = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let version = self.epoch.load(Ordering::Relaxed) + 1;
+        for addr in addrs {
+            self.stamp(addr, version);
+        }
+        self.epoch.store(version, Ordering::Release);
+        version
+    }
+
+    /// Record a single-word commit (the non-speculative direct-store path).
+    pub fn record_word(&self, addr: Addr) -> CommitVersion {
+        self.record(std::iter::once(addr))
+    }
+
+    /// Version of the last commit that wrote `addr` (0 = never written
+    /// through the log).
+    pub fn version_of(&self, addr: Addr) -> CommitVersion {
+        match self.dense_index(addr) {
+            Some(idx) => self.dense[idx].load(Ordering::Acquire),
+            None => self.shards[shard_of(addr)]
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&addr)
+                .copied()
+                .unwrap_or(0),
+        }
+    }
+
+    /// True when a commit wrote `addr` *after* a read stamped with
+    /// `read_version` — the dependence-violation condition.
+    pub fn written_after(&self, addr: Addr, read_version: CommitVersion) -> bool {
+        self.version_of(addr) > read_version
+    }
+
+    /// Number of commit batches recorded so far.
+    pub fn commits(&self) -> u64 {
+        self.epoch()
+    }
+
+    /// Number of distinct word addresses currently carrying a stamp.
+    pub fn stamped_words(&self) -> usize {
+        let dense = self
+            .dense
+            .iter()
+            .filter(|v| v.load(Ordering::Relaxed) != 0)
+            .count();
+        let sparse: usize = self
+            .shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum();
+        dense + sparse
+    }
+
+    /// Forget everything (start of a new speculative region run).
+    pub fn clear(&self) {
+        let _guard = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        for v in &self.dense {
+            v.store(0, Ordering::Relaxed);
+        }
+        for shard in &self.shards {
+            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        self.epoch.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotone_per_batch() {
+        let log = CommitLog::new();
+        assert_eq!(log.epoch(), 0);
+        let v1 = log.record([8, 16]);
+        let v2 = log.record([24]);
+        assert!(v2 > v1);
+        assert_eq!(log.version_of(8), v1);
+        assert_eq!(log.version_of(16), v1);
+        assert_eq!(log.version_of(24), v2);
+        assert_eq!(log.version_of(32), 0);
+        assert_eq!(log.commits(), 2);
+        assert_eq!(log.stamped_words(), 3);
+    }
+
+    #[test]
+    fn written_after_flags_only_later_commits() {
+        let log = CommitLog::new();
+        let before = log.epoch();
+        log.record_word(64);
+        // A read stamped before the commit conflicts…
+        assert!(log.written_after(64, before));
+        // …a read stamped at (or after) the commit does not.
+        assert!(!log.written_after(64, log.epoch()));
+        // Untouched addresses never conflict.
+        assert!(!log.written_after(72, before));
+    }
+
+    #[test]
+    fn rewrite_bumps_the_version() {
+        let log = CommitLog::new();
+        let v1 = log.record_word(8);
+        let v2 = log.record_word(8);
+        assert!(v2 > v1);
+        assert!(log.written_after(8, v1));
+    }
+
+    #[test]
+    fn dense_range_and_sparse_fallback_agree() {
+        // Dense range covers the first 512 bytes (64 words); everything
+        // beyond falls back to the sharded map transparently.
+        let log = CommitLog::with_dense_bytes(512);
+        let v = log.record([8, 504, 512, 4096]);
+        for addr in [8, 504, 512, 4096] {
+            assert_eq!(log.version_of(addr), v, "addr {addr}");
+            assert!(log.written_after(addr, 0));
+        }
+        assert_eq!(log.stamped_words(), 4);
+        log.clear();
+        for addr in [8, 504, 512, 4096] {
+            assert_eq!(log.version_of(addr), 0, "addr {addr}");
+        }
+        assert_eq!(log.stamped_words(), 0);
+    }
+
+    #[test]
+    fn stamps_are_visible_before_the_epoch_publishes() {
+        // A reader that samples the post-commit epoch must never see a
+        // pre-commit version for a stamped address (the stale-version race
+        // validate_against relies on being impossible).
+        let log = std::sync::Arc::new(CommitLog::with_dense_bytes(1 << 12));
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        let writer = {
+            let log = std::sync::Arc::clone(&log);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    log.record([8, 16, 24]);
+                }
+                stop.store(1, Ordering::Release);
+            })
+        };
+        while stop.load(Ordering::Acquire) == 0 {
+            let epoch = log.epoch();
+            for addr in [8, 16, 24] {
+                // Every batch stamps these addresses before publishing its
+                // epoch, so an observed epoch implies at-least-that stamp.
+                assert!(
+                    log.version_of(addr) >= epoch,
+                    "stamp lagged the published epoch"
+                );
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(log.epoch(), 20_000);
+    }
+
+    #[test]
+    fn clear_resets_epoch_and_map() {
+        let log = CommitLog::new();
+        log.record([8, 16, 24]);
+        log.clear();
+        assert_eq!(log.epoch(), 0);
+        assert_eq!(log.version_of(8), 0);
+        assert_eq!(log.stamped_words(), 0);
+    }
+
+    #[test]
+    fn concurrent_commits_and_lookups_are_safe() {
+        let log = std::sync::Arc::new(CommitLog::with_dense_bytes(256));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let addr = ((t * 500 + i) % 64) * 8 + 8;
+                    log.record_word(addr);
+                    let _ = log.version_of(addr);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.commits(), 2000);
+    }
+}

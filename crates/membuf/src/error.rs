@@ -48,6 +48,81 @@ impl fmt::Display for BufferError {
 
 impl std::error::Error for BufferError {}
 
+/// Coarse cause taxonomy of a rollback, carried through thread statistics,
+/// run reports and the adaptive governor so policies can react to *why*
+/// speculation failed, not just that it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RollbackReason {
+    /// A genuine cross-thread dependence violation: a logically earlier
+    /// thread committed a write to an address in the read-set after it was
+    /// read (detected via the [`CommitLog`](crate::CommitLog)), or local
+    /// register validation failed.
+    Conflict,
+    /// The global or local speculative buffer ran out of capacity.
+    Overflow,
+    /// The rollback was injected by the §V-D sensitivity experiment.
+    Injected,
+    /// Everything else: cascading rollbacks, mixed-model order violations
+    /// (NOSYNC) and unregistered-address aborts.
+    Other,
+}
+
+impl RollbackReason {
+    /// Number of reason classes (array-index bound).
+    pub const COUNT: usize = 4;
+
+    /// All reasons in presentation order.
+    pub const ALL: [RollbackReason; Self::COUNT] = [
+        RollbackReason::Conflict,
+        RollbackReason::Overflow,
+        RollbackReason::Injected,
+        RollbackReason::Other,
+    ];
+
+    /// Stable array index of this reason.
+    pub fn index(self) -> usize {
+        match self {
+            RollbackReason::Conflict => 0,
+            RollbackReason::Overflow => 1,
+            RollbackReason::Injected => 2,
+            RollbackReason::Other => 3,
+        }
+    }
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RollbackReason::Conflict => "conflict",
+            RollbackReason::Overflow => "overflow",
+            RollbackReason::Injected => "injected",
+            RollbackReason::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for RollbackReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl From<SpecFailure> for RollbackReason {
+    fn from(failure: SpecFailure) -> Self {
+        match failure {
+            SpecFailure::ReadConflict | SpecFailure::LocalValidationFailed => {
+                RollbackReason::Conflict
+            }
+            SpecFailure::BufferOverflow | SpecFailure::LocalBufferOverflow => {
+                RollbackReason::Overflow
+            }
+            SpecFailure::Injected => RollbackReason::Injected,
+            SpecFailure::Cascaded | SpecFailure::NoSync | SpecFailure::UnregisteredAddress => {
+                RollbackReason::Other
+            }
+        }
+    }
+}
+
 /// Classification of why a speculative thread failed, used for statistics
 /// and for deciding cascading behaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,5 +178,37 @@ mod tests {
     fn buffer_error_is_std_error() {
         let e: Box<dyn std::error::Error> = Box::new(BufferError::Misaligned);
         assert!(e.to_string().contains("misaligned"));
+    }
+
+    #[test]
+    fn rollback_reasons_classify_every_failure() {
+        assert_eq!(
+            RollbackReason::from(SpecFailure::ReadConflict),
+            RollbackReason::Conflict
+        );
+        assert_eq!(
+            RollbackReason::from(SpecFailure::LocalValidationFailed),
+            RollbackReason::Conflict
+        );
+        assert_eq!(
+            RollbackReason::from(SpecFailure::BufferOverflow),
+            RollbackReason::Overflow
+        );
+        assert_eq!(
+            RollbackReason::from(SpecFailure::Injected),
+            RollbackReason::Injected
+        );
+        assert_eq!(
+            RollbackReason::from(SpecFailure::Cascaded),
+            RollbackReason::Other
+        );
+        // Indices are a dense, stable permutation of 0..COUNT.
+        let mut seen = [false; RollbackReason::COUNT];
+        for reason in RollbackReason::ALL {
+            assert!(!seen[reason.index()]);
+            seen[reason.index()] = true;
+            assert!(!reason.label().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 }

@@ -10,6 +10,7 @@
 //! read-set entry from main memory and compares; commit then publishes the
 //! write-set (masked by the bytes actually written).
 
+use crate::commit_log::CommitLog;
 use crate::error::BufferError;
 use crate::memory::{Addr, MainMemory, WORD_BYTES};
 use crate::wordmap::{byte_mask, WordMap};
@@ -120,17 +121,33 @@ impl GlobalBuffer {
 
     /// Speculatively load `size` bytes (1, 2, 4 or 8) at `addr`.
     ///
-    /// The value is returned in the low bits of the result.
+    /// The value is returned in the low bits of the result.  Read-set
+    /// entries are stamped with version 0; use
+    /// [`load_logged`](Self::load_logged) when join-time validation goes
+    /// through a [`CommitLog`].
     pub fn load(
         &mut self,
         mem: &dyn MainMemory,
         addr: Addr,
         size: u64,
     ) -> Result<u64, BufferError> {
+        self.load_logged(mem, None, addr, size)
+    }
+
+    /// Speculatively load `size` bytes at `addr`, stamping any new
+    /// read-set entry with the commit-log epoch observed *before* the
+    /// memory read (see the ordering protocol in [`CommitLog`]).
+    pub fn load_logged(
+        &mut self,
+        mem: &dyn MainMemory,
+        log: Option<&CommitLog>,
+        addr: Addr,
+        size: u64,
+    ) -> Result<u64, BufferError> {
         self.stats.loads += 1;
         let (word_addr, offset) = Self::split(addr, size)?;
         let mask = byte_mask(offset, size.min(WORD_BYTES))?;
-        let word = self.load_word(mem, word_addr)?;
+        let word = self.load_word(mem, log, word_addr)?;
         // Overlay any bytes the thread itself has written.
         let word = match self.write_set.get(word_addr) {
             Some(w) => (word & !w.mask) | (w.data & w.mask),
@@ -140,7 +157,12 @@ impl GlobalBuffer {
     }
 
     /// Load a full word, recording it in the read-set on first access.
-    fn load_word(&mut self, mem: &dyn MainMemory, word_addr: Addr) -> Result<u64, BufferError> {
+    fn load_word(
+        &mut self,
+        mem: &dyn MainMemory,
+        log: Option<&CommitLog>,
+        word_addr: Addr,
+    ) -> Result<u64, BufferError> {
         // A word fully covered by the thread's own writes carries no read
         // dependence; skip the read-set so no false conflict can arise.
         if let Some(w) = self.write_set.get(word_addr) {
@@ -152,8 +174,15 @@ impl GlobalBuffer {
             return Ok(r.data);
         }
         self.stats.memory_loads += 1;
+        // Sample the epoch BEFORE reading the word: a commit racing in
+        // between then stamps a higher version and validation flags the
+        // read (conservatively), never misses it.
+        let version = log.map(CommitLog::epoch).unwrap_or(0);
         let value = mem.read_word(word_addr);
-        match self.read_set.insert_word(word_addr, value) {
+        match self
+            .read_set
+            .insert_word_versioned(word_addr, value, version)
+        {
             Ok(()) => {}
             Err(BufferError::OverflowPending) => self.stats.overflow_events += 1,
             Err(e) => return Err(e),
@@ -235,6 +264,26 @@ impl GlobalBuffer {
         self.write_set.iter()
     }
 
+    /// Validate the read-set against the shared [`CommitLog`]: the thread
+    /// is valid iff **no** commit wrote any address in its read-set after
+    /// the read was taken (version comparison, not value comparison — so
+    /// the ABA case where a predecessor writes back the same value is
+    /// still flagged).
+    ///
+    /// This is the *real* dependence-violation check of paper §IV-F: the
+    /// log records exactly the writes published by logically earlier work,
+    /// so `version_of(addr) > read_version` means a logical predecessor
+    /// committed a write this thread should have observed.
+    pub fn validate_against(&mut self, log: &CommitLog) -> bool {
+        for entry in self.read_set.iter() {
+            self.stats.validated_words += 1;
+            if log.written_after(entry.addr, entry.version) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Validate the read-set against an arbitrary memory *view*.
     ///
     /// The view maps a word-aligned address to its current value; a
@@ -269,10 +318,23 @@ impl GlobalBuffer {
                 .get(entry.addr)
                 .map(|w| w.mask == u64::MAX)
                 .unwrap_or(false);
-            if fully_written || self.read_set.get(entry.addr).is_some() {
+            if fully_written {
                 continue;
             }
-            match self.read_set.insert_word(entry.addr, entry.data) {
+            if self.read_set.get(entry.addr).is_some() {
+                // Both threads read this word: keep the OLDEST snapshot
+                // version, since a commit between the two reads must still
+                // flag the subtree when it is eventually validated.
+                self.read_set.weaken_version(entry.addr, entry.version);
+                continue;
+            }
+            // Preserve the child's snapshot version: when this (absorbing)
+            // thread is itself validated later, the child's reads must be
+            // checked against commits made after the *child* read them.
+            match self
+                .read_set
+                .insert_word_versioned(entry.addr, entry.data, entry.version)
+            {
                 Ok(()) | Err(BufferError::OverflowPending) => {}
                 Err(e) => return Err(e),
             }
@@ -291,6 +353,7 @@ impl GlobalBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::commit_log::CommitLog;
     use crate::memory::GlobalMemory;
 
     fn setup() -> (GlobalMemory, GlobalBuffer) {
@@ -414,6 +477,80 @@ mod tests {
         assert_eq!(buf.load(&mem, p.addr_of(16), 8).unwrap(), 16);
         buf.commit(&mem);
         assert_eq!(mem.get(&p, 17), 17);
+    }
+
+    #[test]
+    fn validate_against_flags_commits_after_the_read() {
+        let (mem, mut buf) = setup();
+        let log = CommitLog::new();
+        let p = mem.alloc::<u64>(2);
+        mem.set(&p, 0, 10);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        assert!(buf.validate_against(&log));
+        // A disjoint commit does not conflict.
+        log.record_word(p.addr_of(1));
+        assert!(buf.validate_against(&log));
+        // A commit covering the read address does — even when the value is
+        // unchanged (the ABA case value comparison would miss).
+        mem.set(&p, 0, 10);
+        log.record_word(p.addr_of(0));
+        assert!(!buf.validate_against(&log));
+    }
+
+    #[test]
+    fn validate_against_ignores_commits_before_the_read() {
+        let (mem, mut buf) = setup();
+        let log = CommitLog::new();
+        let p = mem.alloc::<u64>(1);
+        mem.set(&p, 0, 5);
+        log.record_word(p.addr_of(0));
+        // Read AFTER the commit: the snapshot version covers it.
+        let v = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        assert_eq!(v, 5);
+        assert!(buf.validate_against(&log));
+    }
+
+    #[test]
+    fn absorb_preserves_child_read_versions() {
+        let (mem, mut parent) = setup();
+        let mut child = GlobalBuffer::new(BufferConfig::default());
+        let log = CommitLog::new();
+        let p = mem.alloc::<u64>(2);
+        // Child reads before any commit; child also writes a second word.
+        let _ = child
+            .load_logged(&mem, Some(&log), p.addr_of(0), 8)
+            .unwrap();
+        child.store(p.addr_of(1), 99, 8).unwrap();
+        parent.absorb(&child).unwrap();
+        // The absorbed write is visible through the parent's write-set.
+        assert_eq!(parent.load(&mem, p.addr_of(1), 8).unwrap(), 99);
+        // A commit after the child's read must still flag the parent.
+        log.record_word(p.addr_of(0));
+        assert!(!parent.validate_against(&log));
+    }
+
+    #[test]
+    fn absorb_weakens_to_the_childs_older_read_version() {
+        // Parent reads X *after* a commit, child read it *before*: the
+        // merged read-set must keep the child's older snapshot so that
+        // commit still flags the subtree at final validation.
+        let (mem, mut parent) = setup();
+        let mut child = GlobalBuffer::new(BufferConfig::default());
+        let log = CommitLog::new();
+        let p = mem.alloc::<u64>(1);
+        let _ = child
+            .load_logged(&mem, Some(&log), p.addr_of(0), 8)
+            .unwrap();
+        log.record_word(p.addr_of(0));
+        let _ = parent
+            .load_logged(&mem, Some(&log), p.addr_of(0), 8)
+            .unwrap();
+        assert!(parent.validate_against(&log), "parent's own read is fresh");
+        parent.absorb(&child).unwrap();
+        assert!(
+            !parent.validate_against(&log),
+            "child's stale read must survive the merge"
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   benign read/write races inherent to speculation are well defined.
 //! * [`AddressSpace`] — registration of static/heap/stack address ranges so
 //!   speculative accesses to unregistered addresses force a rollback.
+//! * [`CommitLog`] — the versioned record of every write published to main
+//!   memory; read-set entries are stamped with the epoch observed at read
+//!   time and join-time validation flags exactly the reads a logical
+//!   predecessor's commit invalidated (real conflict detection).
 //!
 //! The crate is deliberately free of any threading policy: it only provides
 //! the data structures that `mutls-runtime` coordinates.
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod address_space;
+pub mod commit_log;
 pub mod error;
 pub mod global_buffer;
 pub mod local_buffer;
@@ -34,7 +39,8 @@ pub mod memory;
 pub mod wordmap;
 
 pub use address_space::AddressSpace;
-pub use error::{BufferError, SpecFailure};
+pub use commit_log::{CommitLog, CommitVersion};
+pub use error::{BufferError, RollbackReason, SpecFailure};
 pub use global_buffer::{BufferConfig, BufferStats, GlobalBuffer};
 pub use local_buffer::{LocalBuffer, LocalBufferConfig, RegisterValue};
 pub use memory::{Addr, GPtr, GlobalMemory, MainMemory, WORD_BYTES};

@@ -9,7 +9,7 @@
 //!   `MUTLS_set_regvar_*` / `MUTLS_get_regvar_*` read and write it by
 //!   offset.  If the assigned offset exceeds the array size, speculation
 //!   fails ([`crate::BufferError::LocalBufferFull`]).
-//! * [`StackBuffer`] — per-frame records of stack variables (offset,
+//! * Stack buffering — per-frame records of stack variables (offset,
 //!   address, data) copied at fork/join.
 //! * Frame tracking for **stack frame reconstruction** (paper §IV-H):
 //!   `MUTLS_enter_point` pushes a frame as the speculative thread descends

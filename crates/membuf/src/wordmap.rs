@@ -20,7 +20,8 @@
 use crate::error::BufferError;
 use crate::memory::{Addr, WORD_BYTES};
 
-/// One buffered word: its address, data and per-byte write mask.
+/// One buffered word: its address, data, per-byte write mask and the
+/// commit-log version observed when the word was first buffered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WordEntry {
     /// Word-aligned byte address in the global address space.
@@ -30,6 +31,11 @@ pub struct WordEntry {
     /// Byte mask: every byte equal to `0xFF` marks a byte actually written
     /// (for the write-set) or read (for the read-set).
     pub mask: u64,
+    /// Commit-log epoch sampled when the entry was first inserted (0 when
+    /// the access was not versioned).  For read-set entries this is the
+    /// snapshot version that join-time dependence validation checks
+    /// against the [`CommitLog`](crate::CommitLog).
+    pub version: u64,
 }
 
 /// Result of probing the direct-mapped array for an address.
@@ -50,6 +56,8 @@ pub struct WordMap {
     data: Vec<u64>,
     marks: Vec<u64>,
     addresses: Vec<Addr>,
+    /// Commit-log version stamped at first insertion (read-set snapshot).
+    versions: Vec<u64>,
     /// Stack of used slot indices ("offsets" in the paper).
     used: Vec<u32>,
     overflow: Vec<WordEntry>,
@@ -71,6 +79,7 @@ impl WordMap {
             data: vec![0; capacity],
             marks: vec![0; capacity],
             addresses: vec![0; capacity],
+            versions: vec![0; capacity],
             used: Vec::with_capacity(capacity.min(1024)),
             overflow: Vec::with_capacity(overflow_capacity.min(64)),
             overflow_capacity,
@@ -128,6 +137,7 @@ impl WordMap {
                 addr,
                 data: self.data[slot],
                 mask: self.marks[slot],
+                version: self.versions[slot],
             }),
             Probe::Empty(_) => self.overflow.iter().find(|e| e.addr == addr).copied(),
             Probe::Conflict => self.overflow.iter().find(|e| e.addr == addr).copied(),
@@ -141,6 +151,21 @@ impl WordMap {
     /// the overflow area (the data *is* recorded) and
     /// [`BufferError::OverflowFull`] when it could not be recorded at all.
     pub fn merge(&mut self, addr: Addr, value: u64, mask: u64) -> Result<(), BufferError> {
+        self.merge_versioned(addr, value, mask, 0)
+    }
+
+    /// Like [`merge`](Self::merge), stamping a freshly inserted word with
+    /// `version` (the commit-log epoch observed at access time).  Updating
+    /// an existing entry keeps the *original* version: for the read-set,
+    /// the first read's snapshot is the one dependence validation must
+    /// check.
+    pub fn merge_versioned(
+        &mut self,
+        addr: Addr,
+        value: u64,
+        mask: u64,
+        version: u64,
+    ) -> Result<(), BufferError> {
         debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned word address {addr:#x}");
         match self.probe(addr) {
             Probe::Found(slot) => {
@@ -152,6 +177,7 @@ impl WordMap {
                 self.addresses[slot] = addr;
                 self.data[slot] = value & mask;
                 self.marks[slot] = mask;
+                self.versions[slot] = version;
                 self.used.push(slot as u32);
                 Ok(())
             }
@@ -169,6 +195,7 @@ impl WordMap {
                     addr,
                     data: value & mask,
                     mask,
+                    version,
                 });
                 self.overflow_pending = true;
                 Err(BufferError::OverflowPending)
@@ -182,6 +209,34 @@ impl WordMap {
         self.merge(addr, value, u64::MAX)
     }
 
+    /// Insert a whole word stamped with a commit-log version.
+    pub fn insert_word_versioned(
+        &mut self,
+        addr: Addr,
+        value: u64,
+        version: u64,
+    ) -> Result<(), BufferError> {
+        self.merge_versioned(addr, value, u64::MAX, version)
+    }
+
+    /// Lower the stored version of `addr` to `version` if the entry exists
+    /// and currently carries a newer stamp.  Used when two threads' read
+    /// sets are merged: the *oldest* snapshot is the one every later
+    /// commit must be checked against.
+    pub fn weaken_version(&mut self, addr: Addr, version: u64) {
+        if let Probe::Found(slot) = self.probe(addr) {
+            if self.versions[slot] > version {
+                self.versions[slot] = version;
+            }
+            return;
+        }
+        if let Some(e) = self.overflow.iter_mut().find(|e| e.addr == addr) {
+            if e.version > version {
+                e.version = version;
+            }
+        }
+    }
+
     /// Iterate over every buffered word (direct-mapped entries in
     /// insertion order, then overflow entries).
     pub fn iter(&self) -> impl Iterator<Item = WordEntry> + '_ {
@@ -191,6 +246,7 @@ impl WordMap {
                 addr: self.addresses[slot as usize],
                 data: self.data[slot as usize],
                 mask: self.marks[slot as usize],
+                version: self.versions[slot as usize],
             })
             .chain(self.overflow.iter().copied())
     }
@@ -202,6 +258,7 @@ impl WordMap {
             self.addresses[slot as usize] = 0;
             self.data[slot as usize] = 0;
             self.marks[slot as usize] = 0;
+            self.versions[slot as usize] = 0;
         }
         self.used.clear();
         self.overflow.clear();
@@ -339,6 +396,40 @@ mod tests {
         assert_eq!(byte_mask(3, 2).unwrap_err(), BufferError::Misaligned);
         assert_eq!(byte_mask(0, 3).unwrap_err(), BufferError::UnsupportedSize);
         assert_eq!(byte_mask(6, 4).unwrap_err(), BufferError::Misaligned);
+    }
+
+    #[test]
+    fn first_insertion_version_is_sticky() {
+        let mut m = WordMap::new(8, 2);
+        m.insert_word_versioned(0x100, 1, 7).unwrap();
+        // Later merges to the same word keep the first snapshot version.
+        m.merge_versioned(0x100, 2, u64::MAX, 9).unwrap();
+        assert_eq!(m.get(0x100).unwrap().version, 7);
+        assert_eq!(m.get(0x100).unwrap().data, 2);
+        // Unversioned inserts stamp 0.
+        m.insert_word(0x108, 3).unwrap();
+        assert_eq!(m.get(0x108).unwrap().version, 0);
+        // Overflow entries carry versions too.
+        let conflicting = 0x100 + 8 * WORD_BYTES;
+        let _ = m.insert_word_versioned(conflicting, 4, 11);
+        assert_eq!(m.get(conflicting).unwrap().version, 11);
+    }
+
+    #[test]
+    fn weaken_version_keeps_the_oldest_snapshot() {
+        let mut m = WordMap::new(8, 2);
+        m.insert_word_versioned(0x100, 1, 9).unwrap();
+        m.weaken_version(0x100, 4);
+        assert_eq!(m.get(0x100).unwrap().version, 4);
+        // Weakening never raises a version.
+        m.weaken_version(0x100, 7);
+        assert_eq!(m.get(0x100).unwrap().version, 4);
+        // Missing entries are a no-op; overflow entries are reachable.
+        m.weaken_version(0x900, 1);
+        let conflicting = 0x100 + 8 * WORD_BYTES;
+        let _ = m.insert_word_versioned(conflicting, 2, 9);
+        m.weaken_version(conflicting, 3);
+        assert_eq!(m.get(conflicting).unwrap().version, 3);
     }
 
     #[test]

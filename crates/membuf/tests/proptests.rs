@@ -7,7 +7,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use mutls_membuf::{
-    AddressSpace, BufferConfig, GlobalBuffer, GlobalMemory, MainMemory, WordMap, WORD_BYTES,
+    AddressSpace, BufferConfig, CommitLog, GlobalBuffer, GlobalMemory, MainMemory, WordMap,
+    WORD_BYTES,
 };
 
 /// Arbitrary word-aligned address within a small arena.
@@ -85,6 +86,77 @@ proptest! {
         mem.write_word(write_addr, new_value);
         let expect_valid = write_addr != read_addr || new_value == original;
         prop_assert_eq!(buf.validate(&mem), expect_valid);
+    }
+
+    /// Commit-log validation round-trip: a buffer that read a set of
+    /// addresses conflicts with a later commit batch iff the batch
+    /// overlaps its read-set — disjoint address sets never conflict,
+    /// overlapping write-after-read always flags (even for same-value
+    /// ABA writes, which is what distinguishes version validation from
+    /// value validation).
+    #[test]
+    fn commit_log_flags_exactly_the_overlapping_commits(
+        reads in proptest::collection::vec(addr_strategy(), 1..32),
+        commits in proptest::collection::vec(addr_strategy(), 0..32),
+    ) {
+        let reads: std::collections::HashSet<u64> = reads.into_iter().collect();
+        let commits: std::collections::HashSet<u64> = commits.into_iter().collect();
+        let mem = GlobalMemory::new(1 << 16);
+        let log = CommitLog::new();
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        for &addr in &reads {
+            let _ = buf.load_logged(&mem, Some(&log), addr, WORD_BYTES).unwrap();
+        }
+        prop_assert!(buf.validate_against(&log), "no commit yet, must be valid");
+        // One commit batch after every read; values unchanged (pure ABA).
+        log.record(commits.iter().copied());
+        let overlaps = commits.iter().any(|a| reads.contains(a));
+        prop_assert_eq!(
+            !buf.validate_against(&log),
+            overlaps,
+            "reads {:?} vs commits {:?}",
+            reads,
+            commits
+        );
+    }
+
+    /// Absorb round-trip: after a parent absorbs a validated child,
+    /// (a) every child write is visible through the parent's write-set
+    /// (so later joiners validate against it), and (b) every child read
+    /// keeps its snapshot version, so a commit that lands *after* the
+    /// absorb still flags the parent at its own validation.
+    #[test]
+    fn absorb_roundtrips_child_writes_and_read_versions(
+        child_reads in proptest::collection::vec(addr_strategy(), 1..24),
+        child_writes in proptest::collection::vec((addr_strategy(), any::<u64>()), 1..24),
+        late_commit in addr_strategy(),
+    ) {
+        let child_reads: std::collections::HashSet<u64> = child_reads.into_iter().collect();
+        let mem = GlobalMemory::new(1 << 16);
+        let log = CommitLog::new();
+        let mut parent = GlobalBuffer::new(BufferConfig::default());
+        let mut child = GlobalBuffer::new(BufferConfig::default());
+        for &addr in &child_reads {
+            let _ = child.load_logged(&mem, Some(&log), addr, WORD_BYTES).unwrap();
+        }
+        let mut last_written: HashMap<u64, u64> = HashMap::new();
+        for &(addr, value) in &child_writes {
+            child.store(addr, value, WORD_BYTES).unwrap();
+            last_written.insert(addr, value);
+        }
+        parent.absorb(&child).unwrap();
+        // (a) absorbed writes are visible through the parent.
+        for (&addr, &value) in &last_written {
+            prop_assert_eq!(parent.load(&mem, addr, WORD_BYTES).unwrap(), value);
+        }
+        prop_assert!(parent.validate_against(&log), "nothing committed yet");
+        // (b) a commit after the absorb conflicts iff it overlaps one of
+        // the child's reads.  All reads here happened before the child's
+        // own writes, so even a read-modify-write address carries a
+        // genuine dependence on the predecessor state.
+        log.record_word(late_commit);
+        let dependent = child_reads.contains(&late_commit);
+        prop_assert_eq!(!parent.validate_against(&log), dependent);
     }
 
     /// Address-space registration: an address is contained iff it falls in

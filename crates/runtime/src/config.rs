@@ -4,6 +4,25 @@ use crate::fork_model::ForkModel;
 use mutls_adaptive::{GovernorConfig, PolicyKind};
 use mutls_membuf::{BufferConfig, LocalBufferConfig};
 
+/// Where rollbacks come from.
+///
+/// The default is [`RollbackSource::Real`]: every rollback is the result of
+/// genuine dependence validation through the speculative buffers and the
+/// shared [`CommitLog`](mutls_membuf::CommitLog).  The paper's §V-D
+/// rollback-*sensitivity* experiment is still available, but only as an
+/// explicit opt-in: with [`RollbackSource::Injected`] the runtime
+/// additionally forces otherwise-valid joins to roll back with probability
+/// [`RuntimeConfig::rollback_probability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RollbackSource {
+    /// Only real validation failures (conflicts, overflows, …) roll back.
+    #[default]
+    Real,
+    /// Sensitivity mode: valid joins are additionally rolled back at
+    /// random with the configured probability.
+    Injected,
+}
+
 /// Configuration of a [`Runtime`](crate::Runtime) instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
@@ -16,8 +35,11 @@ pub struct RuntimeConfig {
     pub buffer: BufferConfig,
     /// Capacity of every speculative thread's local buffer.
     pub local_buffer: LocalBufferConfig,
+    /// Whether rollback injection (the §V-D sensitivity mode) is enabled.
+    pub rollback_source: RollbackSource,
     /// Probability in `[0, 1]` that a join is forced to roll back even when
-    /// validation succeeds (the paper's §V-D rollback-sensitivity knob).
+    /// validation succeeds.  Only consulted under
+    /// [`RollbackSource::Injected`].
     pub rollback_probability: f64,
     /// Seed for the rollback-injection RNG, so experiments are repeatable.
     pub seed: u64,
@@ -37,6 +59,7 @@ impl Default for RuntimeConfig {
             fork_model: ForkModel::Mixed,
             buffer: BufferConfig::default(),
             local_buffer: LocalBufferConfig::default(),
+            rollback_source: RollbackSource::Real,
             rollback_probability: 0.0,
             seed: 0x05EE_DCA0,
             memory_bytes: 64 << 20,
@@ -61,13 +84,34 @@ impl RuntimeConfig {
         self
     }
 
-    /// Set the injected rollback probability (builder style).
+    /// Set the injected rollback probability (builder style).  A non-zero
+    /// probability opts in to [`RollbackSource::Injected`]; zero returns
+    /// to real-conflicts-only behaviour.
     ///
     /// # Panics
     /// Panics if `p` is not within `[0, 1]`.
     pub fn rollback_probability(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         self.rollback_probability = p;
+        self.rollback_source = if p > 0.0 {
+            RollbackSource::Injected
+        } else {
+            RollbackSource::Real
+        };
+        self
+    }
+
+    /// Set the rollback source explicitly (builder style).
+    pub fn rollback_source(mut self, source: RollbackSource) -> Self {
+        self.rollback_source = source;
+        self
+    }
+
+    /// Set the global-buffer capacity of every speculative thread (builder
+    /// style); shrink with [`BufferConfig::tiny`] to exercise the
+    /// overflow-rollback paths.
+    pub fn buffer(mut self, buffer: BufferConfig) -> Self {
+        self.buffer = buffer;
         self
     }
 
@@ -106,7 +150,24 @@ mod tests {
         assert!(c.num_cpus >= 1);
         assert_eq!(c.fork_model, ForkModel::Mixed);
         assert_eq!(c.rollback_probability, 0.0);
+        assert_eq!(c.rollback_source, RollbackSource::Real);
         assert_eq!(c.governor.policy, PolicyKind::Static);
+    }
+
+    #[test]
+    fn rollback_probability_opts_into_injection() {
+        let c = RuntimeConfig::default().rollback_probability(0.3);
+        assert_eq!(c.rollback_source, RollbackSource::Injected);
+        let c = c.rollback_probability(0.0);
+        assert_eq!(c.rollback_source, RollbackSource::Real);
+        let c = c.rollback_source(RollbackSource::Injected);
+        assert_eq!(c.rollback_source, RollbackSource::Injected);
+    }
+
+    #[test]
+    fn buffer_builder_overrides_capacity() {
+        let c = RuntimeConfig::default().buffer(BufferConfig::tiny());
+        assert_eq!(c.buffer, BufferConfig::tiny());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! It plays the role of the instrumented code produced by the speculator
 //! pass plus the per-thread runtime state: loads and stores are redirected
-//! through the thread's [`GlobalBuffer`](mutls_membuf::GlobalBuffer) when
+//! through the thread's [`GlobalBuffer`] when
 //! speculative, forks acquire a virtual CPU and dispatch the continuation,
 //! and joins perform the synchronize/validate/commit-or-rollback protocol
 //! of paper §IV-E/F.
@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use mutls_membuf::{
     Addr, BufferError, GPtr, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory, RegisterValue,
-    SpecFailure, WORD_BYTES,
+    RollbackReason, SpecFailure, WORD_BYTES,
 };
 
 use mutls_adaptive::{ForkDecision, SiteOutcome};
@@ -182,6 +182,68 @@ impl SpecContext {
         &self.stats
     }
 
+    // ----- speculative memory routing ---------------------------------
+
+    /// Read one word of shared program data.
+    ///
+    /// This is the single entry point all workload memory traffic goes
+    /// through (the `MUTLS_load_*` call the speculator pass would emit).
+    /// Speculatively it redirects into the thread's [`GlobalBuffer`],
+    /// stamping new read-set entries with the commit-log epoch so
+    /// join-time validation can detect writes committed by logical
+    /// predecessors *after* this read; non-speculatively it reads main
+    /// memory directly.
+    pub fn spec_read(&mut self, addr: Addr) -> SpecResult<u64> {
+        self.stats.counters.loads += 1;
+        self.poll_abort()?;
+        match self.global.as_mut() {
+            None => Ok(self.mgr.memory().read_word(addr)),
+            Some(buffer) => {
+                if !self.mgr.range_registered(addr, WORD_BYTES) {
+                    return Err(failure(SpecFailure::UnregisteredAddress));
+                }
+                buffer
+                    .load_logged(
+                        self.mgr.memory().as_ref(),
+                        Some(self.mgr.commit_log()),
+                        addr,
+                        WORD_BYTES,
+                    )
+                    .map_err(Self::map_buffer_error)
+            }
+        }
+    }
+
+    /// Write one word of shared program data.
+    ///
+    /// Speculatively the store lands in the thread's write-set and stays
+    /// private until the join commits it; non-speculatively the store is
+    /// published immediately **and recorded in the commit log**, which is
+    /// what dooms any in-flight logical successor that already read the
+    /// address (the store is a commit by definition — the non-speculative
+    /// thread is always logically earliest).
+    pub fn spec_write(&mut self, addr: Addr, value: u64) -> SpecResult<()> {
+        self.stats.counters.stores += 1;
+        self.poll_abort()?;
+        match self.global.as_mut() {
+            None => {
+                // Memory first, then the version bump (see `CommitLog`'s
+                // ordering protocol).
+                self.mgr.memory().write_word(addr, value);
+                self.mgr.commit_log().record_word(addr);
+                Ok(())
+            }
+            Some(buffer) => {
+                if !self.mgr.range_registered(addr, WORD_BYTES) {
+                    return Err(failure(SpecFailure::UnregisteredAddress));
+                }
+                buffer
+                    .store(addr, value, WORD_BYTES)
+                    .map_err(Self::map_buffer_error)
+            }
+        }
+    }
+
     /// Ranks of children forked but not yet joined.
     pub fn pending_children(&self) -> &[Rank] {
         &self.children
@@ -315,7 +377,7 @@ impl SpecContext {
             ),
         };
         self.mgr.governor().record_outcome(site, &site_outcome);
-        self.mgr.record_speculative(&outcome.stats, committed);
+        self.mgr.record_speculative(&outcome.stats, verdict.err());
         self.mgr.release_cpu(child, self.rank);
         verdict
     }
@@ -330,38 +392,11 @@ impl TlsContext for SpecContext {
     }
 
     fn load_word(&mut self, addr: Addr) -> SpecResult<u64> {
-        self.stats.counters.loads += 1;
-        self.poll_abort()?;
-        match self.global.as_mut() {
-            None => Ok(self.mgr.memory().read_word(addr)),
-            Some(buffer) => {
-                if !self.mgr.range_registered(addr, WORD_BYTES) {
-                    return Err(failure(SpecFailure::UnregisteredAddress));
-                }
-                buffer
-                    .load(self.mgr.memory().as_ref(), addr, WORD_BYTES)
-                    .map_err(Self::map_buffer_error)
-            }
-        }
+        self.spec_read(addr)
     }
 
     fn store_word(&mut self, addr: Addr, value: u64) -> SpecResult<()> {
-        self.stats.counters.stores += 1;
-        self.poll_abort()?;
-        match self.global.as_mut() {
-            None => {
-                self.mgr.memory().write_word(addr, value);
-                Ok(())
-            }
-            Some(buffer) => {
-                if !self.mgr.range_registered(addr, WORD_BYTES) {
-                    return Err(failure(SpecFailure::UnregisteredAddress));
-                }
-                buffer
-                    .store(addr, value, WORD_BYTES)
-                    .map_err(Self::map_buffer_error)
-            }
-        }
+        self.spec_write(addr, value)
     }
 
     fn fork(&mut self, point: u32, task: TaskRef<Self>) -> SpecResult<SpecHandle> {
@@ -460,8 +495,12 @@ impl TlsContext for SpecContext {
                 Ok(JoinOutcome::Committed)
             }
             Err(reason) => {
-                self.stats.counters.rollbacks += 1;
-                // Rollback: the parent re-executes the continuation.
+                self.stats
+                    .counters
+                    .record_rollback(RollbackReason::from(reason));
+                // Rollback (squash): the parent re-executes the
+                // continuation inline; the squash already cascaded into
+                // the child's own speculative subtree above.
                 self.run_inline(&task)?;
                 Ok(JoinOutcome::RolledBack(reason))
             }

@@ -50,7 +50,7 @@ pub mod task;
 // cycle); re-export them under the historical paths.
 pub use mutls_adaptive::fork_model;
 
-pub use config::RuntimeConfig;
+pub use config::{RollbackSource, RuntimeConfig};
 pub use context::{SpecContext, SpecHandle};
 pub use direct::DirectContext;
 pub use fork_model::ForkModel;
@@ -69,4 +69,6 @@ pub use mutls_adaptive::{
 
 // Re-export the buffering layer for downstream convenience.
 pub use mutls_membuf as membuf;
-pub use mutls_membuf::{Addr, GPtr, GlobalMemory, RegisterValue, SpecFailure};
+pub use mutls_membuf::{
+    Addr, CommitLog, GPtr, GlobalMemory, RegisterValue, RollbackReason, SpecFailure,
+};

@@ -25,10 +25,11 @@ use rand::{Rng, SeedableRng};
 
 use mutls_adaptive::{Governor, SiteId, SiteOutcome};
 use mutls_membuf::{
-    Addr, AddressSpace, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory, SpecFailure,
+    Addr, AddressSpace, CommitLog, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory,
+    RollbackReason, SpecFailure,
 };
 
-use crate::config::RuntimeConfig;
+use crate::config::{RollbackSource, RuntimeConfig};
 use crate::context::SpecContext;
 use crate::fork_model::ForkModel;
 use crate::stats::{Phase, ThreadStats};
@@ -123,12 +124,16 @@ struct RunAccumulators {
     speculative: ThreadStats,
     committed_threads: u64,
     rolled_back_threads: u64,
+    rolled_back_by_reason: [u64; RollbackReason::COUNT],
 }
 
 /// Central coordinator shared by every context and worker.
 pub struct ThreadManager {
     config: RuntimeConfig,
     memory: Arc<GlobalMemory>,
+    /// Versioned record of every write published to main memory; the
+    /// substrate of real cross-thread conflict detection.
+    commit_log: CommitLog,
     address_space: RwLock<AddressSpace>,
     slots: Vec<Slot>,
     /// Rank of the most recently speculated thread still in flight
@@ -160,9 +165,13 @@ impl ThreadManager {
         // The whole arena below the allocation cursor grows as the program
         // allocates; individual allocations register themselves.
         space.register(GlobalMemory::BASE_ADDR, 0);
+        // Size the log's dense fast path to the arena so every stamp and
+        // lookup is a single atomic access with bounded memory.
+        let commit_log = CommitLog::with_dense_bytes(memory.size_bytes());
         let mgr = Arc::new(ThreadManager {
             config,
             memory,
+            commit_log,
             address_space: RwLock::new(space),
             slots,
             most_speculative: AtomicUsize::new(0),
@@ -188,6 +197,11 @@ impl ThreadManager {
     /// Shared main memory arena.
     pub fn memory(&self) -> &Arc<GlobalMemory> {
         &self.memory
+    }
+
+    /// The shared commit log every published write is recorded in.
+    pub fn commit_log(&self) -> &CommitLog {
+        &self.commit_log
     }
 
     /// Register `[addr, addr+len)` as valid global data.
@@ -341,6 +355,7 @@ impl ThreadManager {
             let mut accum = self.accum.lock();
             accum.speculative.merge(&stats);
             accum.rolled_back_threads += 1;
+            accum.rolled_back_by_reason[RollbackReason::from(reason).index()] += 1;
         }
         self.release_cpu(rank, 0);
     }
@@ -377,6 +392,7 @@ impl ThreadManager {
             let mut accum = self.accum.lock();
             accum.speculative.merge(&stats);
             accum.rolled_back_threads += 1;
+            accum.rolled_back_by_reason[RollbackReason::from(SpecFailure::Cascaded).index()] += 1;
         }
         self.release_cpu(rank, 0);
     }
@@ -401,10 +417,21 @@ impl ThreadManager {
     /// that case a valid child is *absorbed* into the parent's buffers
     /// instead of being committed to main memory.
     ///
-    /// Returns `Ok(phase timings…)` on commit and `Err(reason)` on
-    /// rollback.  Validation/commit/finalize time is charged to `stats`
-    /// (the child's statistics), matching the paper's attribution of those
-    /// phases to the speculative path.
+    /// Validation is the real dependence check of paper §IV-F: every
+    /// read-set entry is checked against the shared [`CommitLog`] — did a
+    /// logically earlier thread commit a write to this address *after* we
+    /// read it?  (Joins happen in logical order — speculative parents
+    /// absorb their children and only the non-speculative joiner publishes
+    /// to main memory — so every commit racing a child is by a logical
+    /// predecessor.)  When the joiner is itself speculative, the child's
+    /// reads are additionally compared against the parent's uncommitted
+    /// write-set overlay, since the child could not observe those
+    /// logically earlier writes at all.
+    ///
+    /// Returns `Ok(())` on commit and `Err(reason)` on rollback.
+    /// Validation/commit/finalize time is charged to the child's
+    /// statistics, matching the paper's attribution of those phases to the
+    /// speculative path.
     pub fn validate_and_commit(
         &self,
         outcome: &mut SpecOutcome,
@@ -422,16 +449,20 @@ impl ThreadManager {
             return Err(reason);
         }
 
-        // Read-set validation, against main memory or the parent overlay.
-        let valid = match &parent_buffer {
-            None => outcome.buffers.global.validate(mem),
-            Some(parent) => {
-                let view = |addr: Addr| match parent.write_entries().find(|e| e.addr == addr) {
-                    Some(e) if e.mask == u64::MAX => e.data,
-                    Some(e) => (mem.read_word(addr) & !e.mask) | (e.data & e.mask),
-                    None => mem.read_word(addr),
-                };
-                outcome.buffers.global.validate_view(view)
+        // Dependence validation against the commit log, plus the parent
+        // write-set overlay when the joiner is speculative.
+        let valid = {
+            let log_valid = outcome.buffers.global.validate_against(&self.commit_log);
+            match &parent_buffer {
+                None => log_valid,
+                Some(parent) => {
+                    let view = |addr: Addr| match parent.write_entries().find(|e| e.addr == addr) {
+                        Some(e) if e.mask == u64::MAX => e.data,
+                        Some(e) => (mem.read_word(addr) & !e.mask) | (e.data & e.mask),
+                        None => mem.read_word(addr),
+                    };
+                    log_valid && outcome.buffers.global.validate_view(view)
+                }
             }
         };
         outcome.stats.add(Phase::Validation, elapsed_ns(started));
@@ -439,16 +470,24 @@ impl ThreadManager {
             return Err(SpecFailure::ReadConflict);
         }
 
-        // Injected rollback (paper §V-D).
+        // Injected rollback — only under the opt-in sensitivity mode
+        // (`RollbackSource::Injected`, paper §V-D).
         if self.draw_injected_rollback() {
             return Err(SpecFailure::Injected);
         }
 
-        // Commit.
+        // Commit.  Publishing to main memory records the batch in the
+        // commit log (memory first, then the version bump — see the
+        // ordering protocol on `CommitLog`), which is what dooms any
+        // still-running logical successor that read stale values.
         let commit_started = Instant::now();
         let commit_result = match parent_buffer {
             None => {
                 outcome.buffers.global.commit(mem);
+                if outcome.buffers.global.write_set_len() > 0 {
+                    self.commit_log
+                        .record(outcome.buffers.global.write_addresses());
+                }
                 Ok(())
             }
             Some(parent) => parent.absorb(&outcome.buffers.global),
@@ -461,8 +500,13 @@ impl ThreadManager {
         }
     }
 
-    /// Draw from the rollback-injection distribution.
+    /// Draw from the rollback-injection distribution.  Always `false`
+    /// unless the sensitivity mode ([`RollbackSource::Injected`]) is
+    /// enabled — real conflicts are the default rollback source.
     pub fn draw_injected_rollback(&self) -> bool {
+        if self.config.rollback_source != RollbackSource::Injected {
+            return false;
+        }
         let p = self.config.rollback_probability;
         if p <= 0.0 {
             return false;
@@ -474,31 +518,38 @@ impl ThreadManager {
     }
 
     /// Fold a finished speculative thread's statistics into the current
-    /// run's accumulators.
-    pub fn record_speculative(&self, stats: &ThreadStats, committed: bool) {
+    /// run's accumulators.  `rollback` carries the failure when the thread
+    /// rolled back (`None` = committed).
+    pub fn record_speculative(&self, stats: &ThreadStats, rollback: Option<SpecFailure>) {
         let mut accum = self.accum.lock();
         accum.speculative.merge(stats);
-        if committed {
-            accum.committed_threads += 1;
-        } else {
-            accum.rolled_back_threads += 1;
+        match rollback {
+            None => accum.committed_threads += 1,
+            Some(reason) => {
+                accum.rolled_back_threads += 1;
+                accum.rolled_back_by_reason[RollbackReason::from(reason).index()] += 1;
+            }
         }
     }
 
-    /// Reset the per-run accumulators and the governor's site profiles
-    /// (called at the start of `Runtime::run`).
+    /// Reset the per-run accumulators, the commit log and the governor's
+    /// site profiles (called at the start of `Runtime::run`).
     pub fn reset_run(&self) {
         *self.accum.lock() = RunAccumulators::default();
+        self.commit_log.clear();
         self.governor.reset();
     }
 
-    /// Take a snapshot of the per-run accumulators.
-    pub fn run_snapshot(&self) -> (ThreadStats, u64, u64) {
+    /// Take a snapshot of the per-run accumulators: speculative-path
+    /// stats, committed threads, rolled-back threads and the per-reason
+    /// rollback breakdown.
+    pub fn run_snapshot(&self) -> (ThreadStats, u64, u64, [u64; RollbackReason::COUNT]) {
         let accum = self.accum.lock();
         (
             accum.speculative.clone(),
             accum.committed_threads,
             accum.rolled_back_threads,
+            accum.rolled_back_by_reason,
         )
     }
 
@@ -612,6 +663,73 @@ mod tests {
     }
 
     #[test]
+    fn injection_requires_the_sensitivity_mode() {
+        // A probability set without opting into RollbackSource::Injected
+        // (e.g. by direct field assignment) never injects: real conflicts
+        // are the only rollback source by default.
+        let mut config = RuntimeConfig::with_cpus(1).memory_bytes(1 << 12);
+        config.rollback_probability = 1.0;
+        assert_eq!(config.rollback_source, crate::RollbackSource::Real);
+        let (m, _rx) = ThreadManager::new(config);
+        assert!(!m.draw_injected_rollback());
+    }
+
+    #[test]
+    fn validate_and_commit_detects_a_real_predecessor_write() {
+        let m = mgr(1);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+        mem.set(&cell, 0, 7);
+
+        // A speculative child reads the cell…
+        let mut buffers = m.make_buffers();
+        let value = buffers
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        assert_eq!(value, 7);
+
+        // …then a logical predecessor commits a write to it.
+        mem.set(&cell, 0, 8);
+        m.commit_log().record_word(cell.addr_of(0));
+
+        let mut outcome = SpecOutcome {
+            status: TaskStatus::Completed,
+            buffers,
+            children: Vec::new(),
+            stats: ThreadStats::new(),
+            finished_at: Instant::now(),
+        };
+        assert_eq!(
+            m.validate_and_commit(&mut outcome, None),
+            Err(SpecFailure::ReadConflict)
+        );
+    }
+
+    #[test]
+    fn validate_and_commit_publishes_writes_into_the_log() {
+        let m = mgr(1);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+
+        let mut buffers = m.make_buffers();
+        buffers.global.store(cell.addr_of(0), 42, 8).unwrap();
+        let mut outcome = SpecOutcome {
+            status: TaskStatus::Completed,
+            buffers,
+            children: Vec::new(),
+            stats: ThreadStats::new(),
+            finished_at: Instant::now(),
+        };
+        let epoch_before = m.commit_log().epoch();
+        assert_eq!(m.validate_and_commit(&mut outcome, None), Ok(()));
+        assert_eq!(mem.get(&cell, 0), 42);
+        // The committed address is now stamped: a thread that read it
+        // before this commit will fail validation.
+        assert!(m.commit_log().written_after(cell.addr_of(0), epoch_before));
+    }
+
+    #[test]
     fn address_registration_flows_through() {
         let m = mgr(1);
         m.register_range(0x100, 0x40);
@@ -626,15 +744,21 @@ mod tests {
         let m = mgr(1);
         let mut stats = ThreadStats::new();
         stats.add(Phase::Work, 10);
-        m.record_speculative(&stats, true);
-        m.record_speculative(&stats, false);
-        let (agg, committed, rolled) = m.run_snapshot();
-        assert_eq!(agg.get(Phase::Work), 20);
+        m.record_speculative(&stats, None);
+        m.record_speculative(&stats, Some(SpecFailure::ReadConflict));
+        m.record_speculative(&stats, Some(SpecFailure::Injected));
+        let (agg, committed, rolled, by_reason) = m.run_snapshot();
+        assert_eq!(agg.get(Phase::Work), 30);
         assert_eq!(committed, 1);
-        assert_eq!(rolled, 1);
+        assert_eq!(rolled, 2);
+        assert_eq!(by_reason[RollbackReason::Conflict.index()], 1);
+        assert_eq!(by_reason[RollbackReason::Injected.index()], 1);
+        m.commit_log().record_word(64);
         m.reset_run();
-        let (agg, committed, rolled) = m.run_snapshot();
+        let (agg, committed, rolled, by_reason) = m.run_snapshot();
         assert_eq!(agg.total(), 0);
         assert_eq!(committed + rolled, 0);
+        assert_eq!(by_reason, [0; RollbackReason::COUNT]);
+        assert_eq!(m.commit_log().commits(), 0);
     }
 }

@@ -126,12 +126,14 @@ impl Runtime {
             self.mgr.drain_subtree(child);
         }
         let runtime = started.elapsed().as_nanos() as u64;
-        let (speculative, committed_threads, rolled_back_threads) = self.mgr.run_snapshot();
+        let (speculative, committed_threads, rolled_back_threads, rollback_reasons) =
+            self.mgr.run_snapshot();
         let report = RunReport {
             critical,
             speculative,
             committed_threads,
             rolled_back_threads,
+            rollback_reasons,
             runtime,
             sites: self.mgr.governor().snapshot(),
         };

@@ -11,8 +11,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 use mutls_adaptive::SiteProfile;
+use mutls_membuf::RollbackReason;
 
 /// Execution-time category, matching the paper's breakdown figures 8 and 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -91,10 +93,20 @@ pub struct ThreadCounters {
     pub commits: u64,
     /// Joins that rolled back.
     pub rollbacks: u64,
+    /// Rollbacks split by cause, indexed by [`RollbackReason::index`].
+    pub rollbacks_by_reason: [u64; RollbackReason::COUNT],
     /// Loads issued.
     pub loads: u64,
     /// Stores issued.
     pub stores: u64,
+}
+
+impl ThreadCounters {
+    /// Record one rollback of the given cause.
+    pub fn record_rollback(&mut self, reason: RollbackReason) {
+        self.rollbacks += 1;
+        self.rollbacks_by_reason[reason.index()] += 1;
+    }
 }
 
 /// Per-thread accumulated statistics.
@@ -146,6 +158,14 @@ impl ThreadStats {
         self.counters.throttled_forks += other.counters.throttled_forks;
         self.counters.commits += other.counters.commits;
         self.counters.rollbacks += other.counters.rollbacks;
+        for (mine, theirs) in self
+            .counters
+            .rollbacks_by_reason
+            .iter_mut()
+            .zip(other.counters.rollbacks_by_reason)
+        {
+            *mine += theirs;
+        }
         self.counters.loads += other.counters.loads;
         self.counters.stores += other.counters.stores;
     }
@@ -174,6 +194,9 @@ pub struct RunReport {
     pub committed_threads: u64,
     /// Number of speculative threads that rolled back (any reason).
     pub rolled_back_threads: u64,
+    /// Rolled-back threads split by cause, indexed by
+    /// [`RollbackReason::index`].
+    pub rollback_reasons: [u64; RollbackReason::COUNT],
     /// Wall-clock (or virtual) runtime of the whole region.
     pub runtime: u64,
     /// Per-fork-site profile table gathered by the adaptive governor,
@@ -212,6 +235,24 @@ impl RunReport {
     /// Total work discarded by rollbacks on the speculative path.
     pub fn wasted_work(&self) -> u64 {
         self.speculative.get(Phase::WastedWork)
+    }
+
+    /// Rolled-back threads whose cause was `reason`.
+    pub fn rollbacks_with(&self, reason: RollbackReason) -> u64 {
+        self.rollback_reasons[reason.index()]
+    }
+
+    /// Compact `conflict=N overflow=N injected=N other=N` breakdown of the
+    /// rolled-back thread count, for report tables and logs.
+    pub fn rollback_breakdown(&self) -> String {
+        let mut out = String::new();
+        for reason in RollbackReason::ALL {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}={}", reason.label(), self.rollbacks_with(reason));
+        }
+        out
     }
 
     /// Total fork requests suppressed by the governor, over all sites.
@@ -295,6 +336,28 @@ mod tests {
         assert_eq!(report.speculative_path_efficiency(), 1.0);
         assert_eq!(report.coverage(), 0.0);
         assert_eq!(report.power_efficiency(100), 1.0);
+    }
+
+    #[test]
+    fn rollback_reason_counters_merge_and_render() {
+        let mut a = ThreadStats::new();
+        a.counters.record_rollback(RollbackReason::Conflict);
+        let mut b = ThreadStats::new();
+        b.counters.record_rollback(RollbackReason::Conflict);
+        b.counters.record_rollback(RollbackReason::Injected);
+        a.merge(&b);
+        assert_eq!(a.counters.rollbacks, 3);
+        assert_eq!(
+            a.counters.rollbacks_by_reason[RollbackReason::Conflict.index()],
+            2
+        );
+        let mut report = RunReport::default();
+        report.rollback_reasons[RollbackReason::Overflow.index()] = 4;
+        assert_eq!(report.rollbacks_with(RollbackReason::Overflow), 4);
+        assert_eq!(
+            report.rollback_breakdown(),
+            "conflict=0 overflow=4 injected=0 other=0"
+        );
     }
 
     #[test]

@@ -29,8 +29,12 @@ pub struct CostModel {
     pub fork: u64,
     /// Fixed cycles of synchronization bookkeeping at a join point.
     pub join: u64,
-    /// Cycles per read-set word during validation.
+    /// Cycles per read-set word during validation (value comparison).
     pub validate_per_word: u64,
+    /// Cycles per read-set word spent probing the shared commit log for a
+    /// later-version stamp (the dependence-violation check that replaces
+    /// injected rollbacks with real conflict detection).
+    pub validate_log_lookup: u64,
     /// Cycles per write-set word during commit.
     pub commit_per_word: u64,
     /// Cycles per buffered word during finalization (buffer clearing).
@@ -51,6 +55,7 @@ impl Default for CostModel {
             fork: 400,
             join: 200,
             validate_per_word: 4,
+            validate_log_lookup: 2,
             commit_per_word: 4,
             finalize_per_word: 1,
             spawn_latency: 300,
@@ -69,9 +74,11 @@ impl CostModel {
         self.segment_cycles(work, loads, stores) + (loads + stores) * self.buffered_access_overhead
     }
 
-    /// Validation cost for a read-set of `words` entries.
+    /// Validation cost for a read-set of `words` entries: the fixed join
+    /// half-handshake plus, per word, the value comparison and the
+    /// commit-log version probe.
     pub fn validation_cycles(&self, words: u64) -> u64 {
-        self.join / 2 + words * self.validate_per_word
+        self.join / 2 + words * (self.validate_per_word + self.validate_log_lookup)
     }
 
     /// Commit cost for a write-set of `words` entries.
@@ -102,6 +109,18 @@ mod tests {
         assert!(c.validation_cycles(100) > c.validation_cycles(10));
         assert_eq!(c.commit_cycles(0), 0);
         assert_eq!(c.finalize_cycles(3), 3 * c.finalize_per_word);
+    }
+
+    #[test]
+    fn validation_charges_the_commit_log_probe() {
+        let mut cheap = CostModel::default();
+        cheap.validate_log_lookup = 0;
+        let mut probed = cheap;
+        probed.validate_log_lookup = 3;
+        assert_eq!(
+            probed.validation_cycles(10) - cheap.validation_cycles(10),
+            30
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The simulator first executes the workload *once, sequentially*, through
 //! a [`RecordContext`] (an implementation of
-//! [`TlsContext`](mutls_runtime::TlsContext)).  The recording captures the
+//! [`TlsContext`]).  The recording captures the
 //! task tree the fork/join annotations induce — per task: work segments
 //! with their read/write address sets, fork and join events, and whether
 //! the task ended at a barrier.  Program results are always computed

@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use mutls_adaptive::{ForkDecision, Governor, GovernorConfig, SiteOutcome};
-use mutls_membuf::{Addr, SpecFailure};
+use mutls_membuf::{Addr, RollbackReason, SpecFailure};
 use mutls_runtime::{ForkModel, Phase, RunReport, ThreadStats};
 
 use crate::cost::CostModel;
@@ -119,6 +119,13 @@ impl SimResult {
     /// Power efficiency `η_power` (paper §V-B).
     pub fn power_efficiency(&self) -> f64 {
         self.report.power_efficiency(self.sequential_cycles)
+    }
+
+    /// Rolled-back threads split by cause (conflict / overflow / injected
+    /// / other) — prefer this over the single
+    /// [`RunReport::rolled_back_threads`] count when reporting.
+    pub fn rollback_reasons(&self) -> [u64; mutls_membuf::RollbackReason::COUNT] {
+        self.report.rollback_reasons
     }
 }
 
@@ -209,6 +216,7 @@ pub struct Scheduler<'a> {
     spec_stats: ThreadStats,
     committed: u64,
     rolled_back: u64,
+    rolled_back_by_reason: [u64; RollbackReason::COUNT],
     /// Log of (time, published writes) used for conflict detection.
     publishes: Vec<(u64, HashSet<Addr>)>,
     /// Adaptive speculation governor (per-site profiling + fork policy).
@@ -234,6 +242,7 @@ impl<'a> Scheduler<'a> {
             spec_stats: ThreadStats::new(),
             committed: 0,
             rolled_back: 0,
+            rolled_back_by_reason: [0; RollbackReason::COUNT],
             publishes: Vec::new(),
             governor,
         }
@@ -269,6 +278,7 @@ impl<'a> Scheduler<'a> {
             speculative: self.spec_stats.clone(),
             committed_threads: self.committed,
             rolled_back_threads: self.rolled_back,
+            rollback_reasons: self.rolled_back_by_reason,
             runtime,
             sites: self.governor.snapshot(),
         };
@@ -669,8 +679,12 @@ impl<'a> Scheduler<'a> {
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, finalize);
                 now += finalize;
-                self.fibers[fid].stats.counters.rollbacks += 1;
+                self.fibers[fid]
+                    .stats
+                    .counters
+                    .record_rollback(RollbackReason::from(reason));
                 self.rolled_back += 1;
+                self.rolled_back_by_reason[RollbackReason::from(reason).index()] += 1;
                 // Cascading rollback confined to the child's subtree: every
                 // speculative thread it spawned (and has not joined) is
                 // discarded too.
@@ -718,6 +732,8 @@ impl<'a> Scheduler<'a> {
             self.cancel_subtree(gc);
         }
         self.rolled_back += 1;
+        let reason = self.fibers[fid].doomed.unwrap_or(SpecFailure::Cascaded);
+        self.rolled_back_by_reason[RollbackReason::from(reason).index()] += 1;
         self.retire_fiber(fid, false);
     }
 

@@ -24,10 +24,16 @@
 //! the divide-and-conquer and DFS benchmarks speculate on the second
 //! recursive call / the remaining choices — the tree-form recursion the
 //! mixed forking model targets.
+//!
+//! Beyond Table II, the [`conflict`] module adds a *conflict-generating*
+//! family (`conflict_chain`, `hist_shared`) with a tunable true-sharing
+//! rate, used to exercise the runtime's real dependence validation instead
+//! of injected rollbacks.
 
 #![warn(missing_docs)]
 
 pub mod bh;
+pub mod conflict;
 pub mod fft;
 pub mod mandelbrot;
 pub mod matmult;

@@ -7,9 +7,10 @@ use std::sync::Arc;
 use mutls_membuf::GlobalMemory;
 use mutls_runtime::{DirectContext, SpecResult, TlsContext};
 
-use crate::{bh, fft, mandelbrot, matmult, md, nqueen, threex1, tsp};
+use crate::{bh, conflict, fft, mandelbrot, matmult, md, nqueen, threex1, tsp};
 
-/// The eight benchmarks of the paper's Table II.
+/// The eight benchmarks of the paper's Table II, plus the
+/// conflict-generating family this repo adds on top.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// 3x+1 problem in number theory.
@@ -28,6 +29,10 @@ pub enum WorkloadKind {
     Nqueen,
     /// Travelling salesperson problem.
     Tsp,
+    /// Value chain with a tunable true-sharing rate (repo extension).
+    ConflictChain,
+    /// Shared histogram with a tunable true-sharing rate (repo extension).
+    HistShared,
 }
 
 impl WorkloadKind {
@@ -68,6 +73,13 @@ impl WorkloadKind {
         WorkloadKind::Tsp,
     ];
 
+    /// The conflict-generating family (repo extension): workloads with a
+    /// tunable true-sharing rate that produce *real* cross-thread
+    /// dependence violations, used to validate the governor without
+    /// injected rollbacks.
+    pub const CONFLICT_FAMILY: [WorkloadKind; 2] =
+        [WorkloadKind::ConflictChain, WorkloadKind::HistShared];
+
     /// Short name used in experiment output.
     pub fn name(&self) -> &'static str {
         match self {
@@ -79,6 +91,8 @@ impl WorkloadKind {
             WorkloadKind::Matmult => "matmult",
             WorkloadKind::Nqueen => "nqueen",
             WorkloadKind::Tsp => "tsp",
+            WorkloadKind::ConflictChain => "conflict_chain",
+            WorkloadKind::HistShared => "hist_shared",
         }
     }
 }
@@ -96,6 +110,10 @@ impl FromStr for WorkloadKind {
             "matmult" | "matmul" => Ok(WorkloadKind::Matmult),
             "nqueen" | "nqueens" => Ok(WorkloadKind::Nqueen),
             "tsp" => Ok(WorkloadKind::Tsp),
+            "conflict_chain" | "conflict-chain" | "conflictchain" => {
+                Ok(WorkloadKind::ConflictChain)
+            }
+            "hist_shared" | "hist-shared" | "histshared" => Ok(WorkloadKind::HistShared),
             other => Err(format!("unknown workload: {other}")),
         }
     }
@@ -194,6 +212,22 @@ pub fn descriptor(kind: WorkloadKind) -> WorkloadDescriptor {
             language: "C",
             class: WorkloadClass::MemoryIntensive,
         },
+        WorkloadKind::ConflictChain => WorkloadDescriptor {
+            name: "conflict_chain",
+            description: "value chain with tunable true sharing (repo extension)",
+            amount_of_data: "64 links, 50% shared",
+            pattern: "loop (loop-carried dependence)",
+            language: "Rust",
+            class: WorkloadClass::MemoryIntensive,
+        },
+        WorkloadKind::HistShared => WorkloadDescriptor {
+            name: "hist_shared",
+            description: "shared histogram with tunable true sharing (repo extension)",
+            amount_of_data: "4096 items, 16 shared bins",
+            pattern: "loop (read-modify-write races)",
+            language: "Rust",
+            class: WorkloadClass::MemoryIntensive,
+        },
     }
 }
 
@@ -210,6 +244,8 @@ pub fn site_label(site: u32) -> Option<&'static str> {
         matmult::SITE_PARTIAL => Some("matmult/partial"),
         nqueen::SITE_COLUMN => Some("nqueen/column"),
         tsp::SITE_SECOND_CITY => Some("tsp/second-city"),
+        conflict::SITE_CHAIN => Some("conflict_chain/link"),
+        conflict::SITE_HIST_CHUNK => Some("hist_shared/chunk"),
         _ => None,
     }
 }
@@ -245,6 +281,10 @@ pub enum WorkloadData {
     Nqueen(nqueen::Data, nqueen::Config),
     /// TSP data.
     Tsp(tsp::Data, tsp::Config),
+    /// Conflict-chain data.
+    ConflictChain(conflict::ChainData, conflict::ChainConfig),
+    /// Shared-histogram data.
+    HistShared(conflict::HistData, conflict::HistConfig),
 }
 
 /// Recommended arena size (bytes) for a benchmark at a scale.
@@ -253,6 +293,7 @@ pub fn arena_bytes(kind: WorkloadKind, scale: Scale) -> u64 {
         (WorkloadKind::Fft, Scale::Paper) => 256 << 20,
         (WorkloadKind::Matmult, Scale::Paper) => 128 << 20,
         (WorkloadKind::Bh, Scale::Paper) => 64 << 20,
+        (WorkloadKind::ConflictChain | WorkloadKind::HistShared, _) => conflict::ARENA_BYTES,
         (_, Scale::Paper) => 32 << 20,
         (_, Scale::Scaled) => 16 << 20,
         (_, Scale::Tiny) => 4 << 20,
@@ -326,6 +367,14 @@ pub fn setup(kind: WorkloadKind, scale: Scale, memory: &GlobalMemory) -> Workloa
             };
             WorkloadData::Tsp(tsp::setup(memory, &config), config)
         }
+        WorkloadKind::ConflictChain => {
+            let config = conflict::ChainConfig::for_scale(scale);
+            WorkloadData::ConflictChain(conflict::chain_setup(memory, &config), config)
+        }
+        WorkloadKind::HistShared => {
+            let config = conflict::HistConfig::for_scale(scale);
+            WorkloadData::HistShared(conflict::hist_setup(memory, &config), config)
+        }
     }
 }
 
@@ -340,6 +389,8 @@ pub fn run_speculative<C: TlsContext>(ctx: &mut C, data: &WorkloadData) -> SpecR
         WorkloadData::Matmult(d, c) => matmult::run(ctx, *d, *c),
         WorkloadData::Nqueen(d, c) => nqueen::run(ctx, *d, *c),
         WorkloadData::Tsp(d, c) => tsp::run(ctx, *d, *c),
+        WorkloadData::ConflictChain(d, c) => conflict::chain_run(ctx, *d, *c),
+        WorkloadData::HistShared(d, c) => conflict::hist_run(ctx, *d, *c),
     }
 }
 
@@ -354,6 +405,8 @@ pub fn checksum(memory: &GlobalMemory, data: &WorkloadData) -> u64 {
         WorkloadData::Matmult(d, c) => matmult::result(memory, d, c),
         WorkloadData::Nqueen(d, c) => nqueen::result(memory, d, c),
         WorkloadData::Tsp(d, c) => tsp::result(memory, d, c),
+        WorkloadData::ConflictChain(d, c) => conflict::chain_result(memory, d, c),
+        WorkloadData::HistShared(d, c) => conflict::hist_result(memory, d, c),
     }
 }
 
@@ -373,10 +426,29 @@ mod tests {
 
     #[test]
     fn names_parse_back() {
-        for kind in WorkloadKind::ALL {
-            assert_eq!(kind.name().parse::<WorkloadKind>().unwrap(), kind);
+        for kind in WorkloadKind::ALL
+            .iter()
+            .chain(&WorkloadKind::CONFLICT_FAMILY)
+        {
+            assert_eq!(kind.name().parse::<WorkloadKind>().unwrap(), *kind);
         }
         assert!("nope".parse::<WorkloadKind>().is_err());
+    }
+
+    #[test]
+    fn conflict_family_is_registered_end_to_end() {
+        for kind in WorkloadKind::CONFLICT_FAMILY {
+            let a = reference_checksum(kind, Scale::Tiny);
+            let b = reference_checksum(kind, Scale::Tiny);
+            assert_eq!(a, b, "{} not deterministic", kind.name());
+            assert_eq!(descriptor(kind).class, WorkloadClass::MemoryIntensive);
+        }
+        assert!(site_label(crate::conflict::SITE_CHAIN)
+            .unwrap()
+            .contains("conflict_chain"));
+        assert!(site_label(crate::conflict::SITE_HIST_CHUNK)
+            .unwrap()
+            .contains("hist_shared"));
     }
 
     #[test]

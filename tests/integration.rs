@@ -5,9 +5,12 @@
 
 use std::sync::Arc;
 
-use mutls::membuf::GlobalMemory;
+use mutls::membuf::{GlobalMemory, RollbackReason};
 use mutls::runtime::{ForkModel, Runtime, RuntimeConfig};
 use mutls::simcpu::{record_region, simulate, SimConfig};
+use mutls::workloads::conflict::{
+    chain_verify_native, hist_verify_native, ChainConfig, HistConfig,
+};
 use mutls::workloads::{checksum, reference_checksum, run_speculative, setup, Scale, WorkloadKind};
 
 /// Run a workload on the native runtime and return its checksum plus the
@@ -126,6 +129,81 @@ fn simulated_speedups_reproduce_the_papers_shape() {
         memory_bound > 1.2,
         "fft should still speed up, got {memory_bound:.1}"
     );
+}
+
+#[test]
+fn conflict_chain_real_conflicts_roll_back_and_preserve_sequential_state() {
+    // 100% true sharing, injection disabled (the default): every
+    // speculated link reads the cell its logical predecessor writes, so
+    // rollbacks must occur, every one must be classified as a *real*
+    // conflict, and the final memory state must equal the sequential run.
+    let config = ChainConfig::tiny().sharing_permille(1000);
+    let (state_ok, report) = chain_verify_native(config, RuntimeConfig::with_cpus(4));
+    assert!(state_ok, "real conflicts changed the final memory state");
+    assert!(
+        report.rollbacks_with(RollbackReason::Conflict) > 0,
+        "100% sharing produced no conflict rollbacks ({})",
+        report.rollback_breakdown()
+    );
+    assert_eq!(
+        report.rollbacks_with(RollbackReason::Injected),
+        0,
+        "injected rollbacks without opting in"
+    );
+
+    // 0% sharing: every link reads private data, so no conflict rollback
+    // can occur (structurally, not probabilistically).
+    let private = ChainConfig::tiny().sharing_permille(0);
+    let (state_ok, report) = chain_verify_native(private, RuntimeConfig::with_cpus(4));
+    assert!(state_ok);
+    assert_eq!(
+        report.rollbacks_with(RollbackReason::Conflict),
+        0,
+        "conflict rollbacks without any sharing ({})",
+        report.rollback_breakdown()
+    );
+}
+
+#[test]
+fn hist_shared_read_modify_write_races_are_detected_and_corrected() {
+    let config = HistConfig::tiny().sharing_permille(1000);
+    let (state_ok, report) = hist_verify_native(config, RuntimeConfig::with_cpus(4));
+    assert!(state_ok, "histogram diverged from the sequential run");
+    assert!(
+        report.rollbacks_with(RollbackReason::Conflict) > 0,
+        "shared-bin increments produced no conflicts ({})",
+        report.rollback_breakdown()
+    );
+    assert_eq!(report.rollbacks_with(RollbackReason::Injected), 0);
+}
+
+#[test]
+fn simulator_detects_real_conflicts_in_the_conflict_family() {
+    // The discrete-event simulator's publish-log conflict detection must
+    // agree qualitatively: full sharing → conflict rollbacks, zero
+    // sharing → none.  (Recordings execute sequentially, so this is fully
+    // deterministic.)
+    for kind in WorkloadKind::CONFLICT_FAMILY {
+        let memory = Arc::new(GlobalMemory::new(mutls::workloads::arena_bytes(
+            kind,
+            Scale::Tiny,
+        )));
+        let data = setup(kind, Scale::Tiny, &memory);
+        let recording = record_region(Arc::clone(&memory), |ctx| run_speculative(ctx, &data));
+        let result = simulate(&recording, SimConfig::with_cpus(8));
+        // The tiny presets use a 50% sharing rate: some conflicts, all real.
+        assert!(
+            result.rollback_reasons()[RollbackReason::Conflict.index()] > 0,
+            "{}: simulator saw no conflicts",
+            kind.name()
+        );
+        assert_eq!(
+            result.rollback_reasons()[RollbackReason::Injected.index()],
+            0,
+            "{}: simulator injected rollbacks",
+            kind.name()
+        );
+    }
 }
 
 #[test]

@@ -183,6 +183,12 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
 impl<T: Deserialize> Deserialize for Vec<T> {
     fn deserialize(value: &JsonValue) -> Result<Self, String> {
         match value {
