@@ -15,6 +15,9 @@ pub struct SiteOutcome {
     pub committed: bool,
     /// Failure reason when the child rolled back.
     pub failure: Option<SpecFailure>,
+    /// True when a conflict rollback was classified as suspected false
+    /// sharing (grain-induced, not genuine sharing).
+    pub false_sharing: bool,
     /// Useful work the child contributed (ns native / cycles simulated).
     pub work: u64,
     /// Work discarded by the rollback.
@@ -31,6 +34,7 @@ impl SiteOutcome {
         SiteOutcome {
             committed: true,
             failure: None,
+            false_sharing: false,
             work,
             wasted_work: 0,
             stall,
@@ -43,11 +47,19 @@ impl SiteOutcome {
         SiteOutcome {
             committed: false,
             failure: Some(reason),
+            false_sharing: false,
             work: 0,
             wasted_work: wasted,
             stall,
             model,
         }
+    }
+
+    /// Mark a rolled-back outcome as suspected false sharing (builder
+    /// style).
+    pub fn with_false_sharing(mut self, false_sharing: bool) -> Self {
+        self.false_sharing = false_sharing;
+        self
     }
 
     /// The coarse cause class of this outcome (`None` = committed).
@@ -119,6 +131,7 @@ impl Governor {
         self.profiler.with_site(site, |record| {
             record.absorb(
                 outcome.reason(),
+                outcome.false_sharing,
                 outcome.work,
                 outcome.wasted_work,
                 outcome.stall,

@@ -52,6 +52,6 @@ pub use fork_model::ForkModel;
 pub use governor::{Governor, SiteOutcome};
 pub use policy::{
     build_policy, ForkDecision, GovernorConfig, GovernorPolicy, ModelSelectPolicy, PolicyKind,
-    StaticPolicy, ThrottlePolicy,
+    StaticPolicy, ThrottlePolicy, FALSE_SHARING_DOMINANCE,
 };
 pub use site::{ModelStats, SiteId, SiteProfile, SiteProfiler, SiteRecord, SHARD_COUNT};

@@ -211,8 +211,20 @@ impl GovernorPolicy for StaticPolicy {
 }
 
 /// Suppress speculation at sites that keep rolling back or overflowing.
+///
+/// Conflict rollbacks classified as *suspected false sharing* (see
+/// `SiteRecord::false_sharing_fraction`) are treated more leniently: the
+/// right fix for a grain-induced conflict is a finer commit-log grain,
+/// not less parallelism, so when false sharing dominates a site's recent
+/// rollbacks the policy raises its deny threshold halfway toward 1 and
+/// probes twice as often — the site keeps most of its speculation while
+/// genuinely conflicting sites are still shut down hard.
 #[derive(Debug, Default)]
 pub struct ThrottlePolicy;
+
+/// Fraction of recent rollbacks that must be suspected false sharing
+/// before [`ThrottlePolicy`] switches to its lenient regime.
+pub const FALSE_SHARING_DOMINANCE: f64 = 0.5;
 
 impl GovernorPolicy for ThrottlePolicy {
     fn name(&self) -> &'static str {
@@ -229,14 +241,27 @@ impl GovernorPolicy for ThrottlePolicy {
         if record.samples() < config.min_samples {
             return ForkDecision::Allow(default_model);
         }
-        let unprofitable = record.rollback_rate() > config.rollback_threshold
+        let fs_dominated = record.false_sharing_fraction() > FALSE_SHARING_DOMINANCE;
+        let rollback_threshold = if fs_dominated {
+            // Halfway between the configured threshold and 1: suspected
+            // false sharing has to be far more severe before forks stop.
+            (config.rollback_threshold + 1.0) / 2.0
+        } else {
+            config.rollback_threshold
+        };
+        let unprofitable = record.rollback_rate() > rollback_threshold
             || record.overflow_rate() > config.overflow_threshold;
         if !unprofitable {
             record.denied_streak = 0;
             return ForkDecision::Allow(default_model);
         }
         record.denied_streak += 1;
-        if record.denied_streak >= config.probe_interval {
+        let probe_interval = if fs_dominated {
+            (config.probe_interval / 2).max(1)
+        } else {
+            config.probe_interval
+        };
+        if record.denied_streak >= probe_interval {
             // Probe: let one fork through so the decayed rates can recover
             // if the site's behaviour changed.
             record.denied_streak = 0;
@@ -332,6 +357,7 @@ mod tests {
         for _ in 0..n {
             record.absorb(
                 Some(mutls_membuf::RollbackReason::Conflict),
+                false,
                 0,
                 50,
                 0,
@@ -400,7 +426,7 @@ mod tests {
         // The site's behaviour flips to always-commit; probes feed the
         // decayed counters until the rate crosses back under the threshold.
         for _ in 0..6 {
-            r.absorb(None, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+            r.absorb(None, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
         }
         assert!(
             ThrottlePolicy
@@ -421,6 +447,7 @@ mod tests {
         for _ in 0..4 {
             r.absorb(
                 Some(mutls_membuf::RollbackReason::Overflow),
+                false,
                 0,
                 10,
                 0,
@@ -498,7 +525,7 @@ mod tests {
             // recorded for them.
             if model == ForkModel::Mixed {
                 r.per_model[model.index()].forks += 1;
-                r.absorb(None, 100, 0, 0, model, cfg.decay);
+                r.absorb(None, false, 100, 0, 0, model, cfg.decay);
                 mixed_launches += 1;
             }
             if i >= 6 {
@@ -515,6 +542,66 @@ mod tests {
             mixed_after_warmup * 10 >= decisions_after_warmup * 8,
             "mixed chosen {mixed_after_warmup}/{decisions_after_warmup} post-warm-up"
         );
+    }
+
+    #[test]
+    fn throttle_backs_off_leniently_on_suspected_false_sharing() {
+        let cfg = GovernorConfig::with_policy(PolicyKind::Throttle).probe_interval(8);
+        // Two sites with an identical 100% conflict-rollback history; at
+        // one of them every conflict is suspected false sharing.
+        let mut genuine = SiteRecord::default();
+        let mut false_shared = SiteRecord::default();
+        for _ in 0..8 {
+            genuine.absorb(
+                Some(mutls_membuf::RollbackReason::Conflict),
+                false,
+                0,
+                50,
+                0,
+                ForkModel::Mixed,
+                cfg.decay,
+            );
+            false_shared.absorb(
+                Some(mutls_membuf::RollbackReason::Conflict),
+                true,
+                0,
+                50,
+                0,
+                ForkModel::Mixed,
+                cfg.decay,
+            );
+        }
+        assert!(false_shared.false_sharing_fraction() > FALSE_SHARING_DOMINANCE);
+        let allows = |r: &mut SiteRecord| {
+            (0..16)
+                .filter(|_| ThrottlePolicy.decide(r, &cfg, ForkModel::Mixed).allowed())
+                .count()
+        };
+        let genuine_allows = allows(&mut genuine);
+        let fs_allows = allows(&mut false_shared);
+        // Both rollback rates are 1.0, above even the lenient threshold,
+        // so both deny — but the false-sharing site probes twice as often.
+        assert!(
+            fs_allows >= genuine_allows * 2,
+            "false-sharing site allowed {fs_allows}, genuine {genuine_allows}"
+        );
+        // Below the lenient threshold the false-sharing site flows freely
+        // while the genuinely conflicting site keeps getting denied.
+        for _ in 0..3 {
+            genuine.absorb(None, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+            false_shared.absorb(None, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+        }
+        assert!(
+            genuine.rollback_rate() > cfg.rollback_threshold,
+            "rate {} still above base threshold",
+            genuine.rollback_rate()
+        );
+        assert!(!ThrottlePolicy
+            .decide(&mut genuine, &cfg, ForkModel::Mixed)
+            .allowed());
+        assert!(ThrottlePolicy
+            .decide(&mut false_shared, &cfg, ForkModel::Mixed)
+            .allowed());
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub struct SiteRecord {
     pub overflows: u64,
     /// Rollbacks caused by a real cross-thread dependence violation.
     pub conflicts: u64,
+    /// Conflict rollbacks classified as suspected false sharing (the
+    /// tracking grain, not genuine sharing, most likely caused them).
+    pub false_sharing: u64,
     /// Rollbacks injected by the sensitivity experiment.
     pub injected: u64,
     /// Work (ns native / cycles simulated) that committed.
@@ -96,6 +99,8 @@ pub struct SiteRecord {
     pub hot_rollbacks: f64,
     /// Exponentially decayed overflow count.
     pub hot_overflows: f64,
+    /// Exponentially decayed suspected-false-sharing count.
+    pub hot_false_sharing: f64,
     /// Per-fork-model accumulators, indexed by [`ForkModel::index`].
     pub per_model: [ModelStats; 3],
     /// Consecutive throttle denials since the last probe (throttle policy).
@@ -128,15 +133,29 @@ impl SiteRecord {
         self.hot_overflows / total
     }
 
+    /// Recency-weighted fraction of rollbacks that were suspected false
+    /// sharing (0 with no rollbacks): when this dominates, the site's
+    /// problem is the commit-log grain, not genuine sharing, and the
+    /// throttle policy backs off more leniently.
+    pub fn false_sharing_fraction(&self) -> f64 {
+        if self.hot_rollbacks <= 0.0 {
+            return 0.0;
+        }
+        (self.hot_false_sharing / self.hot_rollbacks).min(1.0)
+    }
+
     /// Fold one join outcome into the record.  `reason` carries the cause
-    /// when the child rolled back (`None` = committed).  `decay` is the
-    /// exponential forgetting factor applied to the recency-weighted
-    /// counters before the new sample is added, so old behaviour fades and
-    /// a throttled site can re-earn speculation.
+    /// when the child rolled back (`None` = committed) and
+    /// `false_sharing` whether a conflict was classified as suspected
+    /// false sharing.  `decay` is the exponential forgetting factor
+    /// applied to the recency-weighted counters before the new sample is
+    /// added, so old behaviour fades and a throttled site can re-earn
+    /// speculation.
     #[allow(clippy::too_many_arguments)]
     pub fn absorb(
         &mut self,
         reason: Option<RollbackReason>,
+        false_sharing: bool,
         work: u64,
         wasted: u64,
         stall: u64,
@@ -146,6 +165,7 @@ impl SiteRecord {
         self.hot_commits *= decay;
         self.hot_rollbacks *= decay;
         self.hot_overflows *= decay;
+        self.hot_false_sharing *= decay;
         let m = &mut self.per_model[model.index()];
         match reason {
             None => {
@@ -166,7 +186,13 @@ impl SiteRecord {
                         self.overflows += 1;
                         self.hot_overflows += 1.0;
                     }
-                    RollbackReason::Conflict => self.conflicts += 1,
+                    RollbackReason::Conflict => {
+                        self.conflicts += 1;
+                        if false_sharing {
+                            self.false_sharing += 1;
+                            self.hot_false_sharing += 1.0;
+                        }
+                    }
                     RollbackReason::Injected => self.injected += 1,
                     RollbackReason::Other => {}
                 }
@@ -177,7 +203,7 @@ impl SiteRecord {
 }
 
 /// Immutable snapshot of one site, exposed in `RunReport` tables.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct SiteProfile {
     /// The fork-site ID.
     pub site: SiteId,
@@ -193,6 +219,8 @@ pub struct SiteProfile {
     pub overflows: u64,
     /// Real dependence-violation rollbacks.
     pub conflicts: u64,
+    /// Conflicts classified as suspected false sharing.
+    pub false_sharing: u64,
     /// Injected (sensitivity-mode) rollbacks.
     pub injected: u64,
     /// Committed work.
@@ -215,6 +243,7 @@ impl SiteProfile {
             rollbacks: record.rollbacks,
             overflows: record.overflows,
             conflicts: record.conflicts,
+            false_sharing: record.false_sharing,
             injected: record.injected,
             committed_work: record.committed_work,
             wasted_work: record.wasted_work,
@@ -320,6 +349,7 @@ mod tests {
         for _ in 0..4 {
             r.absorb(
                 Some(RollbackReason::Conflict),
+                false,
                 0,
                 100,
                 0,
@@ -333,7 +363,7 @@ mod tests {
         assert!(r.rollback_rate() > 0.99);
         // Commits push the decayed rate down geometrically.
         for _ in 0..4 {
-            r.absorb(None, 100, 0, 0, ForkModel::Mixed, 0.5);
+            r.absorb(None, false, 100, 0, 0, ForkModel::Mixed, 0.5);
         }
         assert!(r.rollback_rate() < 0.1, "rate = {}", r.rollback_rate());
         assert_eq!(r.samples(), 8);
@@ -344,6 +374,7 @@ mod tests {
         let mut r = SiteRecord::default();
         r.absorb(
             Some(RollbackReason::Overflow),
+            false,
             0,
             10,
             0,
@@ -352,6 +383,7 @@ mod tests {
         );
         r.absorb(
             Some(RollbackReason::Conflict),
+            false,
             0,
             10,
             0,
@@ -360,6 +392,7 @@ mod tests {
         );
         r.absorb(
             Some(RollbackReason::Injected),
+            false,
             0,
             10,
             0,
@@ -379,7 +412,7 @@ mod tests {
         for site in [44u32, 2, 17, 300] {
             p.with_site(site, |r| {
                 r.forks = site as u64;
-                r.absorb(None, 5, 0, 1, ForkModel::Mixed, 0.9);
+                r.absorb(None, false, 5, 0, 1, ForkModel::Mixed, 0.9);
             });
         }
         let rows = p.snapshot();

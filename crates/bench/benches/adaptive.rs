@@ -36,6 +36,7 @@ fn config(policy: PolicyKind, rollback_probability: f64) -> SimConfig {
         seed: 0xAB5C155A,
         cost: Default::default(),
         governor: GovernorConfig::with_policy(policy),
+        ..Default::default()
     }
 }
 

@@ -1,7 +1,7 @@
 //! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
 //!
 //! ```text
-//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|all> \
+//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|all> \
 //!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...]
 //! ```
 
@@ -9,7 +9,7 @@ use std::process::ExitCode;
 
 use mutls_harness::{
     adaptive_sweep, conflict_sweep, figure10, figure11, figure3, figure4, figure5, figure6,
-    figure7, figure8, figure9, overflow_sweep, table2, ExperimentConfig,
+    figure7, figure8, figure9, grain_sweep, overflow_sweep, table2, ExperimentConfig,
 };
 use mutls_workloads::Scale;
 
@@ -64,10 +64,11 @@ fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), String> {
         "adaptive" => println!("{}", adaptive_sweep(config).1),
         "conflict" => println!("{}", conflict_sweep(config).1),
         "overflow" => println!("{}", overflow_sweep(config).1),
+        "grain" => println!("{}", grain_sweep(config).1),
         "all" => {
             for exp in [
                 "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "adaptive", "conflict", "overflow",
+                "adaptive", "conflict", "overflow", "grain",
             ] {
                 run_one(exp, config)?;
             }
@@ -83,7 +84,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N]"
+                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|grain|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N]"
             );
             return ExitCode::FAILURE;
         }

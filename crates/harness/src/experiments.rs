@@ -9,7 +9,10 @@ use std::sync::{Arc, Mutex};
 use serde::Serialize;
 
 use mutls_adaptive::{GovernorConfig, PolicyKind};
-use mutls_membuf::{BufferConfig, GlobalMemory, RollbackReason};
+use mutls_membuf::{
+    BufferConfig, CommitLogConfig, GlobalMemory, RollbackReason, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2,
+    WORD_GRAIN_LOG2,
+};
 use mutls_runtime::{ForkModel, Phase, RunReport, Runtime, RuntimeConfig};
 use mutls_simcpu::{record_region, simulate, Recording, SimConfig, SimResult};
 use mutls_workloads::{
@@ -157,6 +160,7 @@ fn simulate_point(recording: &Recording, cpus: usize, seed: u64) -> SimResult {
         seed,
         cost: Default::default(),
         governor: Default::default(),
+        ..Default::default()
     };
     simulate(recording, config)
 }
@@ -367,6 +371,7 @@ pub fn figure10(config: &ExperimentConfig) -> (Vec<(String, usize, f64)>, String
                         seed: config.seed,
                         cost: Default::default(),
                         governor: Default::default(),
+                        ..Default::default()
                     },
                 )
                 .speedup();
@@ -423,6 +428,7 @@ pub fn figure11(config: &ExperimentConfig) -> (Vec<(String, f64, f64)>, String) 
                         seed: config.seed,
                         cost: Default::default(),
                         governor: Default::default(),
+                        ..Default::default()
                     },
                 )
                 .speedup();
@@ -487,6 +493,7 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             "commits",
             "rollbacks",
             "conflicts",
+            "false-share",
             "overflows",
             "injected",
             "rollback rate",
@@ -504,6 +511,7 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             profile.commits.to_string(),
             profile.rollbacks.to_string(),
             profile.conflicts.to_string(),
+            profile.false_sharing.to_string(),
             profile.overflows.to_string(),
             profile.injected.to_string(),
             format!("{:.2}", profile.rollback_rate),
@@ -530,6 +538,7 @@ fn simulate_governed(
             seed,
             cost: Default::default(),
             governor: GovernorConfig::with_policy(policy),
+            ..Default::default()
         },
     )
 }
@@ -732,6 +741,11 @@ impl ConflictCase {
 /// summary lines report Throttle's wasted-work reduction over Static at
 /// each sharing rate, which is the governor validated end-to-end on real
 /// conflicts.
+///
+/// Runs at **word grain** ([`CommitLogConfig::word_grain`]): this sweep
+/// measures *true* sharing, and only word-granular tracking makes "zero
+/// sharing ⇒ zero conflict rollbacks" structural — coarser grains add
+/// false sharing, which the `grain` sweep prices separately.
 pub fn conflict_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
     let cpus = native_cpus(config);
     let mut rows = Vec::new();
@@ -759,8 +773,11 @@ pub fn conflict_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
             let reference = case.reference();
             let mut wasted = HashMap::new();
             for policy in NATIVE_POLICIES {
-                let (sum, report) =
-                    case.native(RuntimeConfig::with_cpus(cpus).governor_policy(policy));
+                let (sum, report) = case.native(
+                    RuntimeConfig::with_cpus(cpus)
+                        .governor_policy(policy)
+                        .commit_log(CommitLogConfig::word_grain()),
+                );
                 let row =
                     NativeRow::from_report(kind.name(), policy, sharing, sum == reference, &report);
                 table.push_row(row.table_row());
@@ -833,6 +850,151 @@ pub fn overflow_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
             let row = NativeRow::from_report(kind.name(), policy, 0.0, checksum_ok, &report);
             table.push_row(row.table_row());
             rows.push(row);
+        }
+    }
+    let text = table.render();
+    (rows, text)
+}
+
+/// Commit-log grains swept by the `grain` experiment (log2 bytes):
+/// word, cache line, page.
+pub const GRAIN_SWEEP_GRAINS: [u32; 3] = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2];
+
+/// Commit-log shard counts swept by the `grain` experiment: a single
+/// shard (the old global commit lock) vs the sharded default.
+pub const GRAIN_SWEEP_SHARDS: [usize; 2] = [1, 8];
+
+/// Human label for a tracking grain.
+pub fn grain_label(grain_log2: u32) -> String {
+    match grain_log2 {
+        WORD_GRAIN_LOG2 => "word".to_string(),
+        LINE_GRAIN_LOG2 => "line".to_string(),
+        PAGE_GRAIN_LOG2 => "page".to_string(),
+        g => format!("2^{g}B"),
+    }
+}
+
+/// One row of the grain sweep: a native run at one (workload, grain,
+/// shard-count) point, with the commit-log cost columns the coarser
+/// grains and extra shards are meant to shrink.
+#[derive(Debug, Clone, Serialize)]
+pub struct GrainRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Commit-log tracking grain (log2 bytes).
+    pub grain_log2: u32,
+    /// Commit-log shard count.
+    pub shards: usize,
+    /// Committed speculative threads.
+    pub committed: u64,
+    /// Rolled-back speculative threads.
+    pub rolled_back: u64,
+    /// Rollbacks split by cause, indexed by
+    /// [`RollbackReason::index`](mutls_membuf::RollbackReason::index).
+    pub rollback_reasons: [u64; RollbackReason::COUNT],
+    /// Conflict rollbacks classified as suspected false sharing.
+    pub suspected_false_sharing: u64,
+    /// Work discarded by rollbacks (nanoseconds of native execution).
+    pub wasted_work_ns: u64,
+    /// Commit batches recorded in the log.
+    pub commits: u64,
+    /// Range stamps written across all batches (cumulative log traffic —
+    /// what a coarser grain shrinks).
+    pub stamp_writes: u64,
+    /// Estimated commit-serialization time (µs): waiting for plus
+    /// holding commit-log shard locks, sampled (see
+    /// `CommitLogStats::lock_ns`).
+    pub commit_lock_us: f64,
+    /// Commit throughput: batches per millisecond of lock time — higher
+    /// is better; coarser grains and more shards both raise it.
+    pub commit_throughput: f64,
+    /// Whether the final memory state matched the sequential reference.
+    pub checksum_ok: bool,
+}
+
+/// Native grain sweep: workload × tracking grain × shard count, Static
+/// policy, no injection.  Correctness must hold at every point (the
+/// differential oracle in `tests/differential.rs` asserts the same
+/// registry-wide); the commit-log columns show coarser grains stamping
+/// fewer ranges and spending less time under commit locks, while the
+/// rollback columns price the false sharing they introduce.
+pub fn grain_sweep(config: &ExperimentConfig) -> (Vec<GrainRow>, String) {
+    let cpus = native_cpus(config);
+    // mandelbrot writes disjoint rows (no cross-thread sharing at any
+    // grain): the clean commit-path signal.  matmult/fft genuinely share
+    // (partial-product accumulation), so coarser grains also buy
+    // false-sharing rollbacks there; conflict_chain's commit structure
+    // is deterministic, which the tests lean on.
+    let kinds = [
+        WorkloadKind::Mandelbrot,
+        WorkloadKind::Matmult,
+        WorkloadKind::Fft,
+        WorkloadKind::ConflictChain,
+    ];
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Commit-Log Grain Sweep at {cpus} CPUs (native runtime, static policy)"),
+        &[
+            "workload",
+            "grain",
+            "shards",
+            "committed",
+            "rolled back (C/O/I/X)",
+            "false-share",
+            "wasted (µs)",
+            "commits",
+            "stamps",
+            "lock w+h (µs)",
+            "commits/ms lock",
+            "checksum",
+        ],
+    );
+    for kind in kinds {
+        let reference = reference_checksum(kind, config.scale);
+        for grain_log2 in GRAIN_SWEEP_GRAINS {
+            for shards in GRAIN_SWEEP_SHARDS {
+                let runtime = Runtime::new(
+                    RuntimeConfig::with_cpus(cpus)
+                        .memory_bytes(arena_bytes(kind, config.scale))
+                        .commit_log(CommitLogConfig { grain_log2, shards }),
+                );
+                let memory = runtime.memory();
+                let data = setup(kind, config.scale, &memory);
+                let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
+                let checksum_ok = mutls_workloads::checksum(&memory, &data) == reference;
+                let log = report.commit_log;
+                let lock_ms = (log.lock_ns as f64 / 1e6).max(1e-6);
+                let row = GrainRow {
+                    workload: kind.name().to_string(),
+                    grain_log2,
+                    shards,
+                    committed: report.committed_threads,
+                    rolled_back: report.rolled_back_threads,
+                    rollback_reasons: report.rollback_reasons,
+                    suspected_false_sharing: report.suspected_false_sharing(),
+                    wasted_work_ns: report.wasted_work(),
+                    commits: log.commits,
+                    stamp_writes: log.stamp_writes,
+                    commit_lock_us: log.lock_ns as f64 / 1e3,
+                    commit_throughput: log.commits as f64 / lock_ms,
+                    checksum_ok,
+                };
+                table.push_row(vec![
+                    row.workload.clone(),
+                    grain_label(grain_log2),
+                    shards.to_string(),
+                    row.committed.to_string(),
+                    format_rollback_cell(row.rolled_back, &row.rollback_reasons),
+                    row.suspected_false_sharing.to_string(),
+                    format!("{:.1}", row.wasted_work_ns as f64 / 1e3),
+                    row.commits.to_string(),
+                    row.stamp_writes.to_string(),
+                    format!("{:.1}", row.commit_lock_us),
+                    format!("{:.0}", row.commit_throughput),
+                    if row.checksum_ok { "ok" } else { "MISMATCH" }.to_string(),
+                ]);
+                rows.push(row);
+            }
         }
     }
     let text = table.render();
@@ -1042,6 +1204,54 @@ mod tests {
                 .any(|r| r.throttled_forks > 0),
             "throttle never engaged on real conflicts"
         );
+    }
+
+    #[test]
+    fn grain_sweep_stays_correct_and_coarser_grains_stamp_less() {
+        let (rows, text) = grain_sweep(&quick());
+        assert!(text.contains("Grain Sweep"));
+        assert_eq!(
+            rows.len(),
+            4 * GRAIN_SWEEP_GRAINS.len() * GRAIN_SWEEP_SHARDS.len()
+        );
+        for row in &rows {
+            // False sharing may add rollbacks but never corrupts state.
+            assert!(
+                row.checksum_ok,
+                "{} at grain 2^{} x{} shards diverged",
+                row.workload, row.grain_log2, row.shards
+            );
+        }
+        let row_at = |kind: &str, grain: u32| {
+            rows.iter()
+                .find(|r| r.workload == kind && r.grain_log2 == grain && r.shards == 8)
+                .unwrap()
+        };
+        // Robust per-row sanity: every batch stamps at least one range.
+        for row in &rows {
+            assert!(
+                row.stamp_writes >= row.commits,
+                "{} at grain 2^{}: fewer stamps than batches",
+                row.workload,
+                row.grain_log2
+            );
+        }
+        // mandelbrot's speculative chunks only *store* (empty read sets),
+        // so validation can never fail: zero rollbacks at every grain is
+        // structural, not scheduling-dependent.
+        for grain in GRAIN_SWEEP_GRAINS {
+            assert_eq!(
+                row_at("mandelbrot", grain).rolled_back,
+                0,
+                "mandelbrot has no cross-thread reads to conflict on"
+            );
+        }
+        // The strict "coarser grain ⇒ fewer stamps per identical batch"
+        // guarantee is asserted deterministically in mutls-membuf's
+        // commit-log tests; the native sweep's batch structure depends on
+        // scheduling (rollback re-execution converts absorbed batches
+        // into rank-0 single-word commits), so no cross-run stamp-total
+        // ordering is asserted here.
     }
 
     #[test]

@@ -37,9 +37,10 @@ pub mod report;
 
 pub use experiments::{
     adaptive_sweep, breakdown, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
-    figure6, figure7, figure8, figure9, format_site_table, overflow_sweep, record_workload,
-    speedup_sweep, table2, AdaptiveRow, BreakdownRow, ExperimentConfig, MetricKind, NativeRow,
-    SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY, CONFLICT_SHARING_PERMILLE, NATIVE_POLICIES,
+    figure6, figure7, figure8, figure9, format_site_table, grain_label, grain_sweep,
+    overflow_sweep, record_workload, speedup_sweep, table2, AdaptiveRow, BreakdownRow,
+    ExperimentConfig, GrainRow, MetricKind, NativeRow, SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY,
+    CONFLICT_SHARING_PERMILLE, GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS, NATIVE_POLICIES,
     ROLLBACK_HEAVY,
 };
 pub use report::{format_breakdown_table, format_rollback_cell, format_sweep_table, Table};

@@ -3,194 +3,554 @@
 //!
 //! Every write that reaches main memory — a direct store by the
 //! non-speculative thread or a committed speculative write-set — is
-//! recorded here as one *commit batch* with a fresh, monotonically
-//! increasing version (the *epoch*).  A speculative read stamps its
-//! read-set entry with the epoch observed at read time; join-time
-//! validation then asks, per read entry, whether any logically earlier
-//! work committed a write to that address *after* the read
+//! recorded here as one *commit batch*.  A speculative read stamps its
+//! read-set entry with the version snapshot observed at read time;
+//! join-time validation then asks, per read entry, whether any logically
+//! earlier work committed a write covering that address *after* the read
 //! ([`CommitLog::written_after`]).  This detects exactly the
 //! read-before-predecessor-write dependences MUTLS read-set validation is
 //! specified to catch (paper §IV-F), including the value-ABA case a pure
 //! value comparison would miss.
 //!
-//! Per-address versions live in a *dense* array covering the main-memory
-//! arena (one version word per data word, lock-free stamping and lookup),
-//! sized via [`CommitLog::with_dense_bytes`]; addresses beyond the dense
-//! range fall back to a sharded map, so the log also works standalone
-//! with arbitrary addresses.
+//! ## Range granularity
 //!
-//! ## Memory-ordering protocol
+//! Versions are stamped per *range* of [`CommitLogConfig::grain_log2`]
+//! bytes (default: one 64-byte cache line, tunable down to a word or up
+//! to a page), not per word.  Coarsening the grain bounds log growth on
+//! long regions — a commit batch stamps one version per *range* touched,
+//! not one per word — at the cost of **false sharing**: a commit to any
+//! word of a range dooms a reader of any other word of the same range.
 //!
-//! Soundness under concurrency relies on the order of operations:
+//! The guarantee is one-sided by design:
+//!
+//! * **False sharing is allowed.**  A range-grain conflict may be
+//!   spurious (different words, same range).  The reader rolls back and
+//!   re-executes; the result is still correct, merely slower.
+//! * **Missed conflicts are impossible.**  Every word maps into exactly
+//!   one range, and a write to the word always advances that range's
+//!   version past every snapshot taken before the commit.  A genuine
+//!   dependence violation is therefore always flagged, at every grain.
+//!
+//! ## Sharding
+//!
+//! The version table is split across [`CommitLogConfig::shards`]
+//! independent shards, each with its own epoch counter, commit lock,
+//! dense version array and sparse fallback map.  A range maps to shard
+//! `range_id & (shards - 1)` — consecutive ranges interleave across
+//! shards, so concurrent committers touching different ranges rarely
+//! contend on the same commit lock, which is what bounds commit
+//! throughput on >64-CPU hosts (the single global lock of the previous
+//! design serialized *all* committers).
+//!
+//! Per-range versions live in a per-shard *dense* array covering the
+//! main-memory arena (one version word per range, lock-free stamping and
+//! lookup), sized via [`CommitLog::with_dense_bytes`]; the capacity is
+//! rounded **up** to whole ranges so a trailing partial word or range is
+//! still dense.  Ranges beyond the dense window fall back to a per-shard
+//! map, so the log also works standalone with arbitrary addresses.
+//!
+//! ## Memory-ordering protocol (per shard)
+//!
+//! Soundness under concurrency relies on the order of operations, applied
+//! independently per shard:
 //!
 //! * **Committer** (always executing logically earlier work): write the
 //!   data words to main memory *first*, then call [`CommitLog::record`],
-//!   which — under a lock serializing committers — stamps every address
-//!   with the next version and only *then* publishes the new epoch
-//!   (release).
-//! * **Reader** (a speculative thread): sample [`CommitLog::epoch`]
-//!   (acquire) *before* loading the word from main memory.
+//!   which — under the shard's commit lock — stamps every range of the
+//!   batch that maps to the shard with the shard's next version and only
+//!   *then* publishes the new shard epoch (release).
+//! * **Reader** (a speculative thread): sample
+//!   [`CommitLog::snapshot`]`(addr)` — the epoch of the shard owning the
+//!   address's range — with acquire *before* loading the word from main
+//!   memory.
 //!
-//! If the reader's sampled epoch is at least the committer's version, the
-//! acquire/release pair guarantees both the committed data *and its
-//! version stamps* were visible to the read — no conflict and no stale
-//! `version_of`.  If it is smaller, the read raced the commit and
+//! If the reader's sampled shard epoch is at least the committer's
+//! version, the acquire/release pair guarantees both the committed data
+//! *and its version stamps* were visible to the read — no conflict and no
+//! stale `version_of`.  If it is smaller, the read raced the commit and
 //! validation flags it; at worst this is a conservative false positive
 //! (the thread re-executes), never a missed conflict.  (Stamping before
 //! the epoch publish matters: were the epoch bumped first, a reader could
 //! stamp the *new* epoch while `version_of` still returned the old
 //! version, letting a stale read validate.)
+//!
+//! Shard epochs advance independently, so versions are only comparable
+//! *within* a shard.  That is safe because an address always maps to the
+//! same range and hence the same shard: a read snapshot and the commits
+//! that could invalidate it live on the same counter.  The global
+//! [`CommitLog::epoch`] (the max over shards) is a monotone diagnostic
+//! bound — it must **not** be used as a read snapshot, because a shard
+//! lagging the max would make its next commit version look old.
+//! Buffer-merge paths (`WordMap::weaken_version`, `GlobalBuffer::absorb`)
+//! compare two snapshots *of the same word*, which is always same-shard
+//! and therefore well-defined.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
+use std::time::Instant;
 
-use crate::memory::{Addr, WORD_BYTES};
+use crate::memory::Addr;
 
-/// Number of lock stripes in the sparse address → version map.
-const SHARD_COUNT: usize = 16;
-
-/// Monotone version assigned to a commit batch (0 = "never written").
+/// Monotone version assigned to a commit batch within a shard
+/// (0 = "never written").
 pub type CommitVersion = u64;
 
-/// Append-only versioned record of every write published to main memory.
-#[derive(Debug, Default)]
-pub struct CommitLog {
-    /// Version of the most recent *published* commit batch.
-    epoch: AtomicU64,
-    /// Serializes committers so stamps always precede the epoch publish.
-    commit_lock: Mutex<()>,
-    /// Dense per-word versions for addresses below
-    /// `dense.len() * WORD_BYTES` — the arena fast path: one atomic store
-    /// per stamped word, one atomic load per lookup, no allocation.
-    dense: Vec<AtomicU64>,
-    /// Sparse fallback for addresses beyond the dense range.
-    shards: [RwLock<HashMap<Addr, CommitVersion>>; SHARD_COUNT],
+/// Identifier of one version-tracking range: `addr >> grain_log2`.
+pub type RangeId = u64;
+
+/// `grain_log2` of word-granular tracking (8-byte ranges): the exact,
+/// false-sharing-free grain of the original design.
+pub const WORD_GRAIN_LOG2: u32 = 3;
+
+/// `grain_log2` of cache-line-granular tracking (64-byte ranges), the
+/// default.
+pub const LINE_GRAIN_LOG2: u32 = 6;
+
+/// `grain_log2` of page-granular tracking (4096-byte ranges) — the
+/// BOP-style coarse end of the spectrum.
+pub const PAGE_GRAIN_LOG2: u32 = 12;
+
+/// Log2 of the commit-lock timing sample rate: one batch in
+/// `2^LOCK_SAMPLE_LOG2` is wall-clock timed and its lock-hold duration
+/// scaled up into [`CommitLogStats::lock_ns`].
+pub const LOCK_SAMPLE_LOG2: u32 = 3;
+
+/// Granularity and sharding of the commit log's version table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitLogConfig {
+    /// Log2 of the range size in bytes; clamped to at least
+    /// [`WORD_GRAIN_LOG2`] (a range can never be smaller than a word).
+    pub grain_log2: u32,
+    /// Number of independent shards; rounded up to a power of two, at
+    /// least 1.
+    pub shards: usize,
 }
 
-/// Fibonacci-hash a word address into a shard index.
-fn shard_of(addr: Addr) -> usize {
-    let h = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    (h >> 60) as usize & (SHARD_COUNT - 1)
+impl Default for CommitLogConfig {
+    fn default() -> Self {
+        CommitLogConfig {
+            grain_log2: LINE_GRAIN_LOG2,
+            shards: 8,
+        }
+    }
 }
 
-impl CommitLog {
-    /// Create an empty log with no dense range (every address goes through
-    /// the sharded map — fine for tests and small address sets).
-    pub fn new() -> Self {
+impl CommitLogConfig {
+    /// Word-granular tracking (no false sharing) with the default shard
+    /// count.
+    pub fn word_grain() -> Self {
+        CommitLogConfig {
+            grain_log2: WORD_GRAIN_LOG2,
+            ..Default::default()
+        }
+    }
+
+    /// Cache-line-granular tracking (the default).
+    pub fn line_grain() -> Self {
         Self::default()
     }
 
-    /// Create a log whose dense fast path covers addresses
-    /// `[0, capacity_bytes)` — size it to the main-memory arena so the
-    /// whole program's traffic stamps lock-free with bounded memory (one
-    /// version word per arena word).
-    pub fn with_dense_bytes(capacity_bytes: u64) -> Self {
-        let words = capacity_bytes.div_ceil(WORD_BYTES) as usize;
-        let mut dense = Vec::with_capacity(words);
-        dense.resize_with(words, || AtomicU64::new(0));
-        CommitLog {
+    /// Page-granular tracking.
+    pub fn page_grain() -> Self {
+        CommitLogConfig {
+            grain_log2: PAGE_GRAIN_LOG2,
+            ..Default::default()
+        }
+    }
+
+    /// Set the range size as a log2 of bytes (builder style).
+    pub fn grain_log2(mut self, grain_log2: u32) -> Self {
+        self.grain_log2 = grain_log2;
+        self
+    }
+
+    /// Set the shard count (builder style).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Range size in bytes.
+    pub fn grain_bytes(&self) -> u64 {
+        1u64 << self.grain_log2.max(WORD_GRAIN_LOG2)
+    }
+
+    /// The config with degenerate values clamped: grain at least a word,
+    /// shard count a nonzero power of two.  [`CommitLog::with_config`]
+    /// applies this automatically; other consumers of the raw pub fields
+    /// (e.g. the simulator) should apply it too so one set of rules
+    /// governs every layer.
+    pub fn normalized(self) -> Self {
+        CommitLogConfig {
+            grain_log2: self.grain_log2.max(WORD_GRAIN_LOG2),
+            shards: self.shards.max(1).next_power_of_two(),
+        }
+    }
+}
+
+/// Aggregate commit-log activity counters, for throughput reporting
+/// (see the harness `grain` sweep).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct CommitLogStats {
+    /// Commit batches recorded (non-empty `record` calls).
+    pub commits: u64,
+    /// Range stamps *written* across all batches, cumulatively — the
+    /// actual log traffic; coarser grains stamp fewer ranges per batch.
+    /// (Distinct from [`CommitLog::stamped_ranges`], which counts ranges
+    /// *currently* carrying a stamp.)
+    pub stamp_writes: u64,
+    /// Estimated wall-clock nanoseconds of commit serialization —
+    /// *waiting for plus holding* shard commit locks (sampled: one batch
+    /// in `2^LOCK_SAMPLE_LOG2` is timed, scaled up).  Queueing is
+    /// included deliberately: lock contention is exactly what sharding
+    /// relieves, so the 1-vs-N-shard comparison needs it.  On
+    /// coarse-resolution clocks short sections may register as zero.
+    pub lock_ns: u64,
+    /// Configured range size (log2 bytes), echoed for reports.
+    pub grain_log2: u32,
+    /// Configured shard count, echoed for reports.
+    pub shards: usize,
+}
+
+/// One independent slice of the version table.
+#[derive(Debug)]
+struct Shard {
+    /// Version of this shard's most recent *published* commit batch.
+    epoch: AtomicU64,
+    /// Serializes committers touching this shard, so stamps always
+    /// precede the epoch publish.
+    commit_lock: Mutex<()>,
+    /// Dense per-range versions for this shard's slice of the arena:
+    /// range `r` (with `r & mask == shard index`) lives at local index
+    /// `r >> shard_bits`.
+    dense: Vec<AtomicU64>,
+    /// Sparse fallback for ranges beyond the dense window.
+    sparse: RwLock<HashMap<RangeId, CommitVersion>>,
+}
+
+impl Shard {
+    fn new(dense_ranges: usize) -> Self {
+        let mut dense = Vec::with_capacity(dense_ranges);
+        dense.resize_with(dense_ranges, || AtomicU64::new(0));
+        Shard {
+            epoch: AtomicU64::new(0),
+            commit_lock: Mutex::new(()),
             dense,
-            ..Self::default()
+            sparse: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+/// Append-only versioned record of every write published to main memory,
+/// range-granular and sharded (see the module docs for the protocol).
+#[derive(Debug)]
+pub struct CommitLog {
+    config: CommitLogConfig,
+    /// `shards.len() - 1`; shard of a range is `range & shard_mask`.
+    shard_mask: u64,
+    /// `log2(shards.len())`; local dense index is `range >> shard_bits`.
+    shard_bits: u32,
+    shards: Vec<Shard>,
+    /// Commit batches recorded (monotone; survives shard distribution).
+    commits: AtomicU64,
+    /// Range stamps written across all batches.
+    stamped: AtomicU64,
+    /// Estimated nanoseconds of commit serialization (lock wait + hold):
+    /// every `2^LOCK_SAMPLE_LOG2`-th batch is timed (two clock reads)
+    /// and its duration scaled up, so the commit-throughput reporting
+    /// the `grain` sweep is built on costs the hot publish path almost
+    /// nothing; all counters use relaxed atomics.
+    lock_ns: AtomicU64,
+    /// Monotone batch counter driving the lock-time sampling.
+    lock_samples: AtomicU64,
+}
+
+impl Default for CommitLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommitLog {
+    /// Create an empty log with the default config and no dense window
+    /// (every range goes through the sharded sparse maps — fine for tests
+    /// and small address sets).
+    pub fn new() -> Self {
+        Self::with_config(CommitLogConfig::default(), 0)
+    }
+
+    /// Create a log with the default grain/shard config whose dense fast
+    /// path covers addresses `[0, capacity_bytes)`.
+    pub fn with_dense_bytes(capacity_bytes: u64) -> Self {
+        Self::with_config(CommitLogConfig::default(), capacity_bytes)
+    }
+
+    /// Create a log with an explicit grain/shard config whose dense fast
+    /// path covers `[0, capacity_bytes)` — size it to the main-memory
+    /// arena so the whole program's traffic stamps lock-free with bounded
+    /// memory (one version word per range).  The capacity is rounded *up*
+    /// to whole ranges, so a trailing partial word or range is still
+    /// dense.
+    pub fn with_config(config: CommitLogConfig, capacity_bytes: u64) -> Self {
+        let config = config.normalized();
+        let shard_count = config.shards;
+        let dense_ranges = capacity_bytes.div_ceil(config.grain_bytes());
+        // Every shard covers ranges up to the next multiple of the shard
+        // count, so the last partial stripe is dense everywhere.
+        let per_shard = dense_ranges.div_ceil(shard_count as u64) as usize;
+        let shards = (0..shard_count)
+            .map(|_| Shard::new(if dense_ranges == 0 { 0 } else { per_shard }))
+            .collect();
+        CommitLog {
+            config,
+            shard_mask: (shard_count as u64) - 1,
+            shard_bits: shard_count.trailing_zeros(),
+            shards,
+            commits: AtomicU64::new(0),
+            stamped: AtomicU64::new(0),
+            lock_ns: AtomicU64::new(0),
+            lock_samples: AtomicU64::new(0),
         }
     }
 
-    fn dense_index(&self, addr: Addr) -> Option<usize> {
-        let idx = (addr / WORD_BYTES) as usize;
-        (idx < self.dense.len()).then_some(idx)
+    /// The grain/shard configuration this log runs with.
+    pub fn config(&self) -> CommitLogConfig {
+        self.config
     }
 
-    fn stamp(&self, addr: Addr, version: CommitVersion) {
-        match self.dense_index(addr) {
-            Some(idx) => self.dense[idx].store(version, Ordering::Relaxed),
-            None => {
-                let mut shard = self.shards[shard_of(addr)]
-                    .write()
-                    .unwrap_or_else(|e| e.into_inner());
-                shard.insert(addr, version);
-            }
+    /// The range covering `addr`.
+    pub fn range_of(&self, addr: Addr) -> RangeId {
+        addr >> self.config.grain_log2
+    }
+
+    fn shard_index(&self, range: RangeId) -> usize {
+        (range & self.shard_mask) as usize
+    }
+
+    fn local_index(&self, range: RangeId) -> usize {
+        (range >> self.shard_bits) as usize
+    }
+
+    /// Whether `addr` is covered by the dense (lock-free) version window.
+    pub fn dense_covers(&self, addr: Addr) -> bool {
+        let range = self.range_of(addr);
+        self.local_index(range) < self.shards[self.shard_index(range)].dense.len()
+    }
+
+    fn stamp(&self, shard_idx: usize, range: RangeId, version: CommitVersion) {
+        let shard = &self.shards[shard_idx];
+        let local = self.local_index(range);
+        if local < shard.dense.len() {
+            shard.dense[local].store(version, Ordering::Relaxed);
+        } else {
+            shard
+                .sparse
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(range, version);
         }
     }
 
-    /// The version of the most recent commit batch.
+    fn version_of_range(&self, range: RangeId) -> CommitVersion {
+        let shard = &self.shards[self.shard_index(range)];
+        let local = self.local_index(range);
+        if local < shard.dense.len() {
+            shard.dense[local].load(Ordering::Acquire)
+        } else {
+            shard
+                .sparse
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&range)
+                .copied()
+                .unwrap_or(0)
+        }
+    }
+
+    /// The read snapshot for `addr`: the current epoch of the shard
+    /// owning the address's range (acquire).
     ///
-    /// Speculative readers sample this (acquire) *before* loading a word
-    /// from main memory and stamp the read-set entry with it.
-    pub fn epoch(&self) -> CommitVersion {
-        self.epoch.load(Ordering::Acquire)
+    /// Speculative readers sample this *before* loading the word from
+    /// main memory and stamp the read-set entry with it; join-time
+    /// validation compares it against [`version_of`](Self::version_of) on
+    /// the same shard counter.
+    pub fn snapshot(&self, addr: Addr) -> CommitVersion {
+        self.shards[self.shard_index(self.range_of(addr))]
+            .epoch
+            .load(Ordering::Acquire)
     }
 
-    /// Record one commit batch covering `addrs` and return its version.
+    /// The maximum shard epoch (acquire per shard) — a monotone bound for
+    /// diagnostics.  **Not** a valid read snapshot: shard counters
+    /// advance independently, so use [`snapshot`](Self::snapshot) when
+    /// stamping reads.
+    pub fn epoch(&self) -> CommitVersion {
+        self.shards
+            .iter()
+            .map(|s| s.epoch.load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Record one commit batch covering `addrs` and return the largest
+    /// shard version the batch published (the current [`epoch`](Self::epoch)
+    /// for an empty batch, which records nothing).
     ///
     /// The caller must have already written the data words to main memory
-    /// (see the module-level ordering protocol).  Committers are
-    /// serialized; every address is stamped before the new epoch becomes
-    /// visible.  An empty batch still bumps the epoch, which is harmless.
+    /// (see the module-level ordering protocol).  The batch's addresses
+    /// are coarsened to ranges, deduplicated and grouped by shard; each
+    /// involved shard is then locked *one at a time* (never nested, so
+    /// committers cannot deadlock), its ranges stamped with its next
+    /// version, and the new shard epoch published (release).
     pub fn record<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> CommitVersion {
-        let _guard = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let version = self.epoch.load(Ordering::Relaxed) + 1;
-        for addr in addrs {
-            self.stamp(addr, version);
+        let mut iter = addrs.into_iter().map(|a| self.range_of(a));
+        let Some(first) = iter.next() else {
+            return self.epoch();
+        };
+        let mut ranges: Vec<RangeId> = iter.collect();
+        if ranges.is_empty() {
+            // Single-address batch: the non-speculative direct-store fast
+            // path — one shard, no grouping allocation.
+            return self.record_single(first);
         }
-        self.epoch.store(version, Ordering::Release);
+        ranges.push(first);
+        // Sorting by (shard, range) groups each shard's ranges into one
+        // contiguous run, so the lock loop below walks slices of this
+        // single Vec — no per-shard bucket allocation on the commit path.
+        ranges.sort_unstable_by_key(|r| (r & self.shard_mask, *r));
+        ranges.dedup();
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.stamped
+            .fetch_add(ranges.len() as u64, Ordering::Relaxed);
+        let sample = self.lock_time_sampled();
+        let mut max_version = 0;
+        let mut start = 0;
+        while start < ranges.len() {
+            let shard_idx = self.shard_index(ranges[start]);
+            let mut end = start + 1;
+            while end < ranges.len() && self.shard_index(ranges[end]) == shard_idx {
+                end += 1;
+            }
+            let shard = &self.shards[shard_idx];
+            let started = sample.then(Instant::now);
+            let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let version = shard.epoch.load(Ordering::Relaxed) + 1;
+            for &range in &ranges[start..end] {
+                self.stamp(shard_idx, range, version);
+            }
+            shard.epoch.store(version, Ordering::Release);
+            if let Some(started) = started {
+                self.lock_ns.fetch_add(
+                    (started.elapsed().as_nanos() as u64) << LOCK_SAMPLE_LOG2,
+                    Ordering::Relaxed,
+                );
+            }
+            max_version = max_version.max(version);
+            start = end;
+        }
+        max_version
+    }
+
+    /// Whether this batch's lock-hold time should be measured: every
+    /// `2^LOCK_SAMPLE_LOG2`-th batch is timed and its duration scaled up,
+    /// so the hot publish path (every non-speculative store goes through
+    /// [`record_word`](Self::record_word)) pays the two clock reads only
+    /// on a small fraction of commits.
+    fn lock_time_sampled(&self) -> bool {
+        self.lock_samples.fetch_add(1, Ordering::Relaxed) & ((1 << LOCK_SAMPLE_LOG2) - 1) == 0
+    }
+
+    fn record_single(&self, range: RangeId) -> CommitVersion {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.stamped.fetch_add(1, Ordering::Relaxed);
+        let sample = self.lock_time_sampled();
+        let shard_idx = self.shard_index(range);
+        let shard = &self.shards[shard_idx];
+        let started = sample.then(Instant::now);
+        let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let version = shard.epoch.load(Ordering::Relaxed) + 1;
+        self.stamp(shard_idx, range, version);
+        shard.epoch.store(version, Ordering::Release);
+        if let Some(started) = started {
+            self.lock_ns.fetch_add(
+                (started.elapsed().as_nanos() as u64) << LOCK_SAMPLE_LOG2,
+                Ordering::Relaxed,
+            );
+        }
         version
     }
 
     /// Record a single-word commit (the non-speculative direct-store path).
     pub fn record_word(&self, addr: Addr) -> CommitVersion {
-        self.record(std::iter::once(addr))
+        self.record_single(self.range_of(addr))
     }
 
-    /// Version of the last commit that wrote `addr` (0 = never written
-    /// through the log).
+    /// Version of the last commit that wrote any word of `addr`'s range
+    /// (0 = never written through the log).
     pub fn version_of(&self, addr: Addr) -> CommitVersion {
-        match self.dense_index(addr) {
-            Some(idx) => self.dense[idx].load(Ordering::Acquire),
-            None => self.shards[shard_of(addr)]
-                .read()
-                .unwrap_or_else(|e| e.into_inner())
-                .get(&addr)
-                .copied()
-                .unwrap_or(0),
-        }
+        self.version_of_range(self.range_of(addr))
     }
 
-    /// True when a commit wrote `addr` *after* a read stamped with
-    /// `read_version` — the dependence-violation condition.
+    /// True when a commit wrote `addr`'s *range* after a read of `addr`
+    /// stamped with `read_version` — the (range-conservative) dependence
+    /// violation condition.  May flag false sharing (a different word of
+    /// the same range); never misses a genuine conflict.
     pub fn written_after(&self, addr: Addr, read_version: CommitVersion) -> bool {
         self.version_of(addr) > read_version
     }
 
     /// Number of commit batches recorded so far.
     pub fn commits(&self) -> u64 {
-        self.epoch()
+        self.commits.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct word addresses currently carrying a stamp.
-    pub fn stamped_words(&self) -> usize {
-        let dense = self
-            .dense
+    /// Number of distinct ranges currently carrying a stamp.
+    pub fn stamped_ranges(&self) -> usize {
+        let dense: usize = self
+            .shards
             .iter()
+            .flat_map(|s| s.dense.iter())
             .filter(|v| v.load(Ordering::Relaxed) != 0)
             .count();
         let sparse: usize = self
             .shards
             .iter()
-            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .map(|s| s.sparse.read().unwrap_or_else(|e| e.into_inner()).len())
             .sum();
         dense + sparse
     }
 
+    /// Aggregate activity counters since construction or the last
+    /// [`clear`](Self::clear).
+    pub fn stats(&self) -> CommitLogStats {
+        CommitLogStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            stamp_writes: self.stamped.load(Ordering::Relaxed),
+            lock_ns: self.lock_ns.load(Ordering::Relaxed),
+            grain_log2: self.config.grain_log2,
+            shards: self.config.shards,
+        }
+    }
+
     /// Forget everything (start of a new speculative region run).
     pub fn clear(&self) {
-        let _guard = self.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
-        for v in &self.dense {
-            v.store(0, Ordering::Relaxed);
-        }
         for shard in &self.shards {
-            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
+            let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+            for v in &shard.dense {
+                v.store(0, Ordering::Relaxed);
+            }
+            shard
+                .sparse
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+            shard.epoch.store(0, Ordering::Release);
         }
-        self.epoch.store(0, Ordering::Release);
+        self.commits.store(0, Ordering::Relaxed);
+        self.stamped.store(0, Ordering::Relaxed);
+        self.lock_ns.store(0, Ordering::Relaxed);
+        self.lock_samples.store(0, Ordering::Relaxed);
     }
 }
 
@@ -198,9 +558,15 @@ impl CommitLog {
 mod tests {
     use super::*;
 
+    /// A word-granular, single-shard log behaves exactly like the old
+    /// design for these unit tests.
+    fn word_log() -> CommitLog {
+        CommitLog::with_config(CommitLogConfig::word_grain().shards(1), 0)
+    }
+
     #[test]
     fn versions_are_monotone_per_batch() {
-        let log = CommitLog::new();
+        let log = word_log();
         assert_eq!(log.epoch(), 0);
         let v1 = log.record([8, 16]);
         let v2 = log.record([24]);
@@ -210,25 +576,25 @@ mod tests {
         assert_eq!(log.version_of(24), v2);
         assert_eq!(log.version_of(32), 0);
         assert_eq!(log.commits(), 2);
-        assert_eq!(log.stamped_words(), 3);
+        assert_eq!(log.stamped_ranges(), 3);
     }
 
     #[test]
     fn written_after_flags_only_later_commits() {
-        let log = CommitLog::new();
-        let before = log.epoch();
+        let log = word_log();
+        let before = log.snapshot(64);
         log.record_word(64);
         // A read stamped before the commit conflicts…
         assert!(log.written_after(64, before));
         // …a read stamped at (or after) the commit does not.
-        assert!(!log.written_after(64, log.epoch()));
+        assert!(!log.written_after(64, log.snapshot(64)));
         // Untouched addresses never conflict.
         assert!(!log.written_after(72, before));
     }
 
     #[test]
     fn rewrite_bumps_the_version() {
-        let log = CommitLog::new();
+        let log = word_log();
         let v1 = log.record_word(8);
         let v2 = log.record_word(8);
         assert!(v2 > v1);
@@ -237,27 +603,96 @@ mod tests {
 
     #[test]
     fn dense_range_and_sparse_fallback_agree() {
-        // Dense range covers the first 512 bytes (64 words); everything
-        // beyond falls back to the sharded map transparently.
-        let log = CommitLog::with_dense_bytes(512);
-        let v = log.record([8, 504, 512, 4096]);
+        // Dense window covers the first 512 bytes (64 words at word
+        // grain); everything beyond falls back to the sparse maps
+        // transparently.
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 512);
+        assert!(log.dense_covers(504));
+        assert!(!log.dense_covers(1 << 20));
+        log.record([8, 504, 512, 4096]);
         for addr in [8, 504, 512, 4096] {
-            assert_eq!(log.version_of(addr), v, "addr {addr}");
+            assert!(log.version_of(addr) > 0, "addr {addr}");
             assert!(log.written_after(addr, 0));
         }
-        assert_eq!(log.stamped_words(), 4);
+        assert_eq!(log.stamped_ranges(), 4);
         log.clear();
         for addr in [8, 504, 512, 4096] {
             assert_eq!(log.version_of(addr), 0, "addr {addr}");
         }
-        assert_eq!(log.stamped_words(), 0);
+        assert_eq!(log.stamped_ranges(), 0);
+    }
+
+    #[test]
+    fn dense_capacity_rounds_up_to_whole_ranges() {
+        // Regression: a capacity that is not word- (or range-) aligned
+        // must still cover the trailing partial word densely — rounding
+        // down would push the hottest tail of the arena onto the sparse
+        // fallback.
+        let log = CommitLog::with_config(CommitLogConfig::word_grain().shards(1), 509);
+        // 509 bytes = 63 full words + 5 bytes: word 63 (bytes 504..512)
+        // is partial but must be dense.
+        assert!(log.dense_covers(504));
+        let log = CommitLog::with_config(CommitLogConfig::default(), 65);
+        // 65 bytes = one full line + 1 byte: line 1 must be dense.
+        assert!(log.dense_covers(64));
+    }
+
+    #[test]
+    fn range_grain_coarsens_conservatively() {
+        // At line grain, two words of the same 64-byte range share a
+        // version (false sharing allowed)…
+        let log = CommitLog::with_config(CommitLogConfig::line_grain(), 0);
+        let before = log.snapshot(8);
+        log.record_word(8);
+        assert!(log.written_after(8, before), "the written word conflicts");
+        assert!(
+            log.written_after(56, before),
+            "a neighbour in the same line conflicts too (false sharing)"
+        );
+        // …but a word in the next range does not (no missed conflicts is
+        // about ranges *covering* the write, not about spill-over).
+        assert!(!log.written_after(64, log.snapshot(64)));
+        assert_eq!(log.stamped_ranges(), 1, "one line, one stamp");
+    }
+
+    #[test]
+    fn shard_epochs_advance_independently() {
+        // Ranges 0 and 1 map to different shards with 2+ shards; each
+        // shard versions its own commits from 1.
+        let config = CommitLogConfig::word_grain().shards(2);
+        let log = CommitLog::with_config(config, 0);
+        let v_a = log.record_word(0); // range 0 → shard 0
+        let v_b = log.record_word(8); // range 1 → shard 1
+        assert_eq!(v_a, 1);
+        assert_eq!(v_b, 1, "second shard starts its own epoch");
+        assert_eq!(log.epoch(), 1, "global epoch is the max over shards");
+        let v_a2 = log.record_word(0);
+        assert_eq!(v_a2, 2);
+        assert_eq!(log.epoch(), 2);
+        assert_eq!(log.commits(), 3);
+    }
+
+    #[test]
+    fn multi_shard_batch_stamps_every_shard() {
+        let config = CommitLogConfig::word_grain().shards(4);
+        let log = CommitLog::with_config(config, 1 << 10);
+        let before: Vec<_> = [0u64, 8, 16, 24].iter().map(|&a| log.snapshot(a)).collect();
+        // One batch spanning all four shards.
+        log.record([0, 8, 16, 24]);
+        for (addr, before) in [0u64, 8, 16, 24].into_iter().zip(before) {
+            assert!(log.written_after(addr, before), "addr {addr}");
+        }
+        assert_eq!(log.commits(), 1);
+        assert_eq!(log.stamped_ranges(), 4);
+        assert_eq!(log.stats().stamp_writes, 4);
     }
 
     #[test]
     fn stamps_are_visible_before_the_epoch_publishes() {
-        // A reader that samples the post-commit epoch must never see a
-        // pre-commit version for a stamped address (the stale-version race
-        // validate_against relies on being impossible).
+        // A reader that samples a post-commit shard epoch must never see
+        // a pre-commit version for a stamped address (the stale-version
+        // race validate_against relies on being impossible) — now checked
+        // across a sharded, line-granular log.
         let log = std::sync::Arc::new(CommitLog::with_dense_bytes(1 << 12));
         let stop = std::sync::Arc::new(AtomicU64::new(0));
         let writer = {
@@ -265,34 +700,44 @@ mod tests {
             let stop = std::sync::Arc::clone(&stop);
             std::thread::spawn(move || {
                 for _ in 0..20_000 {
-                    log.record([8, 16, 24]);
+                    log.record([8, 256, 1024]);
                 }
                 stop.store(1, Ordering::Release);
             })
         };
         while stop.load(Ordering::Acquire) == 0 {
-            let epoch = log.epoch();
-            for addr in [8, 16, 24] {
-                // Every batch stamps these addresses before publishing its
-                // epoch, so an observed epoch implies at-least-that stamp.
+            for addr in [8u64, 256, 1024] {
+                let snapshot = log.snapshot(addr);
+                // Every batch stamps this address's range before
+                // publishing its shard epoch, so an observed epoch
+                // implies at-least-that stamp.
                 assert!(
-                    log.version_of(addr) >= epoch,
-                    "stamp lagged the published epoch"
+                    log.version_of(addr) >= snapshot,
+                    "stamp lagged the published shard epoch"
                 );
             }
         }
         writer.join().unwrap();
-        assert_eq!(log.epoch(), 20_000);
+        assert_eq!(log.commits(), 20_000);
     }
 
     #[test]
-    fn clear_resets_epoch_and_map() {
-        let log = CommitLog::new();
+    fn clear_resets_epochs_and_maps() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain().shards(4), 0);
         log.record([8, 16, 24]);
         log.clear();
         assert_eq!(log.epoch(), 0);
         assert_eq!(log.version_of(8), 0);
-        assert_eq!(log.stamped_words(), 0);
+        assert_eq!(log.stamped_ranges(), 0);
+        assert_eq!(log.commits(), 0);
+        assert_eq!(
+            log.stats(),
+            CommitLogStats {
+                grain_log2: WORD_GRAIN_LOG2,
+                shards: 4,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -313,5 +758,58 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(log.commits(), 2000);
+    }
+
+    #[test]
+    fn identical_batches_stamp_strictly_fewer_ranges_at_coarser_grain() {
+        // The deterministic form of the grain sweep's headline claim:
+        // one 64-word batch costs 64 stamps at word grain, 8 at line
+        // grain and 1 at page grain.  (The native sweep can't assert
+        // this strictly — its batch structure depends on scheduling.)
+        let batch: Vec<Addr> = (0..64u64).map(|i| i * 8).collect();
+        let stamps_at = |grain_log2: u32| {
+            let log =
+                CommitLog::with_config(CommitLogConfig::default().grain_log2(grain_log2), 1 << 12);
+            log.record(batch.iter().copied());
+            log.stats().stamp_writes
+        };
+        assert_eq!(stamps_at(WORD_GRAIN_LOG2), 64);
+        assert_eq!(stamps_at(LINE_GRAIN_LOG2), 8);
+        assert_eq!(stamps_at(PAGE_GRAIN_LOG2), 1);
+    }
+
+    #[test]
+    fn lock_time_is_sampled_but_counters_are_exact() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 0);
+        for i in 0..32u64 {
+            log.record_word(i * 8);
+        }
+        // The counters are exact regardless of sampling.  (lock_ns is
+        // not asserted non-zero: on coarse-resolution clocks a sampled
+        // tens-of-ns critical section can legitimately register as 0.)
+        assert_eq!(log.stats().commits, 32);
+        assert_eq!(log.stats().stamp_writes, 32);
+    }
+
+    #[test]
+    fn config_normalizes_degenerate_values() {
+        let log = CommitLog::with_config(
+            CommitLogConfig {
+                grain_log2: 0,
+                shards: 0,
+            },
+            128,
+        );
+        assert_eq!(log.config().grain_log2, WORD_GRAIN_LOG2);
+        assert_eq!(log.config().shards, 1);
+        let log = CommitLog::with_config(
+            CommitLogConfig {
+                grain_log2: 6,
+                shards: 3,
+            },
+            0,
+        );
+        assert_eq!(log.config().shards, 4, "shards round up to a power of two");
+        assert_eq!(CommitLogConfig::page_grain().grain_bytes(), 4096);
     }
 }

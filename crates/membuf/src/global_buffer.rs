@@ -15,6 +15,28 @@ use crate::error::BufferError;
 use crate::memory::{Addr, MainMemory, WORD_BYTES};
 use crate::wordmap::{byte_mask, WordMap};
 
+/// Outcome of a commit-log validation pass (see
+/// [`GlobalBuffer::validate_against_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validation {
+    /// No commit invalidated any read — the thread may commit.
+    Valid,
+    /// At least one read's range was committed after the read.
+    Conflict {
+        /// True when every conflicting word still holds its first-read
+        /// value — the conflict is most likely false sharing introduced
+        /// by a coarse tracking grain (or a value-identical ABA write).
+        suspected_false_sharing: bool,
+    },
+}
+
+impl Validation {
+    /// True when validation passed.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, Validation::Valid)
+    }
+}
+
 /// Capacity configuration of a speculative thread's buffers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BufferConfig {
@@ -174,10 +196,10 @@ impl GlobalBuffer {
             return Ok(r.data);
         }
         self.stats.memory_loads += 1;
-        // Sample the epoch BEFORE reading the word: a commit racing in
-        // between then stamps a higher version and validation flags the
-        // read (conservatively), never misses it.
-        let version = log.map(CommitLog::epoch).unwrap_or(0);
+        // Sample the owning shard's epoch BEFORE reading the word: a
+        // commit racing in between then stamps a higher version and
+        // validation flags the read (conservatively), never misses it.
+        let version = log.map(|l| l.snapshot(word_addr)).unwrap_or(0);
         let value = mem.read_word(word_addr);
         match self
             .read_set
@@ -265,15 +287,18 @@ impl GlobalBuffer {
     }
 
     /// Validate the read-set against the shared [`CommitLog`]: the thread
-    /// is valid iff **no** commit wrote any address in its read-set after
-    /// the read was taken (version comparison, not value comparison — so
-    /// the ABA case where a predecessor writes back the same value is
-    /// still flagged).
+    /// is valid iff **no** commit wrote any *range* covering an address in
+    /// its read-set after the read was taken (version comparison, not
+    /// value comparison — so the ABA case where a predecessor writes back
+    /// the same value is still flagged).
     ///
     /// This is the *real* dependence-violation check of paper §IV-F: the
     /// log records exactly the writes published by logically earlier work,
     /// so `version_of(addr) > read_version` means a logical predecessor
-    /// committed a write this thread should have observed.
+    /// committed a write this thread should have observed.  At grains
+    /// coarser than a word the check is conservative: a commit to a
+    /// *different* word of the same range also fails validation (false
+    /// sharing), but a genuine conflict is never missed.
     pub fn validate_against(&mut self, log: &CommitLog) -> bool {
         for entry in self.read_set.iter() {
             self.stats.validated_words += 1;
@@ -282,6 +307,46 @@ impl GlobalBuffer {
             }
         }
         true
+    }
+
+    /// Like [`validate_against`](Self::validate_against), additionally
+    /// classifying a conflict as *suspected false sharing*: every
+    /// conflicting read-set word still holds its first-read value in main
+    /// memory, so the commits that advanced the range versions most
+    /// likely wrote *neighbouring* words of the shared ranges.
+    ///
+    /// The classification is an estimate, not a proof — a predecessor
+    /// that wrote the same value back (ABA) is indistinguishable from a
+    /// neighbour write.  At *word* grain, where false sharing is
+    /// structurally impossible, the estimate is suppressed entirely so a
+    /// value-identical ABA conflict (a genuine dependence violation) is
+    /// never soft-pedalled.  It feeds the per-reason statistics and lets
+    /// the adaptive governor back off differently when a coarse grain,
+    /// rather than genuine sharing, is causing rollbacks.
+    pub fn validate_against_with(&mut self, log: &CommitLog, mem: &dyn MainMemory) -> Validation {
+        // Ranges of one word can only conflict on the word itself.
+        let grain_can_false_share = log.config().grain_log2 > crate::commit_log::WORD_GRAIN_LOG2;
+        let mut conflicted = false;
+        let mut values_unchanged = true;
+        for entry in self.read_set.iter() {
+            self.stats.validated_words += 1;
+            if log.written_after(entry.addr, entry.version) {
+                conflicted = true;
+                if !grain_can_false_share || mem.read_word(entry.addr) != entry.data {
+                    // A changed value (or a word-grain log) proves true
+                    // sharing; stop scanning.
+                    values_unchanged = false;
+                    break;
+                }
+            }
+        }
+        if !conflicted {
+            Validation::Valid
+        } else {
+            Validation::Conflict {
+                suspected_false_sharing: values_unchanged,
+            }
+        }
     }
 
     /// Validate the read-set against an arbitrary memory *view*.
@@ -353,13 +418,19 @@ impl GlobalBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::commit_log::CommitLog;
+    use crate::commit_log::{CommitLog, CommitLogConfig};
     use crate::memory::GlobalMemory;
 
     fn setup() -> (GlobalMemory, GlobalBuffer) {
         let mem = GlobalMemory::new(4096);
         let buf = GlobalBuffer::new(BufferConfig::default());
         (mem, buf)
+    }
+
+    /// Word-granular log: adjacent words are distinct ranges, as the
+    /// word-disjointness assertions below require.
+    fn word_log() -> CommitLog {
+        CommitLog::with_config(CommitLogConfig::word_grain(), 0)
     }
 
     #[test]
@@ -480,9 +551,54 @@ mod tests {
     }
 
     #[test]
+    fn false_sharing_classification_follows_the_grain() {
+        // At line grain, a value-unchanged conflict is suspected false
+        // sharing; at word grain false sharing is structurally
+        // impossible, so the same value-unchanged (ABA) conflict must be
+        // classified as genuine — Throttle must not soft-pedal it.
+        for (config, expect_false_sharing) in [
+            (CommitLogConfig::line_grain(), true),
+            (CommitLogConfig::word_grain(), false),
+        ] {
+            let mem = GlobalMemory::new(4096);
+            let log = CommitLog::with_config(config, 0);
+            let mut buf = GlobalBuffer::new(BufferConfig::default());
+            let p = mem.alloc::<u64>(1);
+            mem.set(&p, 0, 5);
+            let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+            // Value-identical commit to the very word that was read.
+            log.record_word(p.addr_of(0));
+            assert_eq!(
+                buf.validate_against_with(&log, &mem),
+                Validation::Conflict {
+                    suspected_false_sharing: expect_false_sharing
+                },
+                "grain_log2 {}",
+                config.grain_log2
+            );
+        }
+        // A genuine neighbour-only write at line grain stays classified
+        // as suspected false sharing, and value changes prove sharing.
+        let mem = GlobalMemory::new(4096);
+        let log = CommitLog::with_config(CommitLogConfig::line_grain(), 0);
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let p = mem.alloc::<u64>(2);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        mem.set(&p, 0, 9);
+        log.record_word(p.addr_of(1)); // same line, different word
+        assert_eq!(
+            buf.validate_against_with(&log, &mem),
+            Validation::Conflict {
+                suspected_false_sharing: false
+            },
+            "changed value proves true sharing even on a neighbour write"
+        );
+    }
+
+    #[test]
     fn validate_against_flags_commits_after_the_read() {
         let (mem, mut buf) = setup();
-        let log = CommitLog::new();
+        let log = word_log();
         let p = mem.alloc::<u64>(2);
         mem.set(&p, 0, 10);
         let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
@@ -500,7 +616,7 @@ mod tests {
     #[test]
     fn validate_against_ignores_commits_before_the_read() {
         let (mem, mut buf) = setup();
-        let log = CommitLog::new();
+        let log = word_log();
         let p = mem.alloc::<u64>(1);
         mem.set(&p, 0, 5);
         log.record_word(p.addr_of(0));
@@ -514,7 +630,7 @@ mod tests {
     fn absorb_preserves_child_read_versions() {
         let (mem, mut parent) = setup();
         let mut child = GlobalBuffer::new(BufferConfig::default());
-        let log = CommitLog::new();
+        let log = word_log();
         let p = mem.alloc::<u64>(2);
         // Child reads before any commit; child also writes a second word.
         let _ = child
@@ -536,7 +652,7 @@ mod tests {
         // commit still flags the subtree at final validation.
         let (mem, mut parent) = setup();
         let mut child = GlobalBuffer::new(BufferConfig::default());
-        let log = CommitLog::new();
+        let log = word_log();
         let p = mem.alloc::<u64>(1);
         let _ = child
             .load_logged(&mem, Some(&log), p.addr_of(0), 8)

@@ -20,10 +20,12 @@
 //!   benign read/write races inherent to speculation are well defined.
 //! * [`AddressSpace`] — registration of static/heap/stack address ranges so
 //!   speculative accesses to unregistered addresses force a rollback.
-//! * [`CommitLog`] — the versioned record of every write published to main
-//!   memory; read-set entries are stamped with the epoch observed at read
-//!   time and join-time validation flags exactly the reads a logical
-//!   predecessor's commit invalidated (real conflict detection).
+//! * [`CommitLog`] — the range-granular, sharded versioned record of every
+//!   write published to main memory; read-set entries are stamped with the
+//!   owning shard's epoch observed at read time and join-time validation
+//!   flags every read whose range a logical predecessor's commit
+//!   invalidated (real conflict detection; false sharing at coarse grains
+//!   is conservative, missed conflicts are impossible).
 //!
 //! The crate is deliberately free of any threading policy: it only provides
 //! the data structures that `mutls-runtime` coordinates.
@@ -39,9 +41,12 @@ pub mod memory;
 pub mod wordmap;
 
 pub use address_space::AddressSpace;
-pub use commit_log::{CommitLog, CommitVersion};
+pub use commit_log::{
+    CommitLog, CommitLogConfig, CommitLogStats, CommitVersion, RangeId, LINE_GRAIN_LOG2,
+    PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2,
+};
 pub use error::{BufferError, RollbackReason, SpecFailure};
-pub use global_buffer::{BufferConfig, BufferStats, GlobalBuffer};
+pub use global_buffer::{BufferConfig, BufferStats, GlobalBuffer, Validation};
 pub use local_buffer::{LocalBuffer, LocalBufferConfig, RegisterValue};
 pub use memory::{Addr, GPtr, GlobalMemory, MainMemory, WORD_BYTES};
 pub use wordmap::{WordEntry, WordMap};

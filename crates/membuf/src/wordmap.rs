@@ -31,10 +31,15 @@ pub struct WordEntry {
     /// Byte mask: every byte equal to `0xFF` marks a byte actually written
     /// (for the write-set) or read (for the read-set).
     pub mask: u64,
-    /// Commit-log epoch sampled when the entry was first inserted (0 when
-    /// the access was not versioned).  For read-set entries this is the
-    /// snapshot version that join-time dependence validation checks
-    /// against the [`CommitLog`](crate::CommitLog).
+    /// Commit-log snapshot sampled when the entry was first inserted (0
+    /// when the access was not versioned): the epoch of the log *shard*
+    /// owning the address's range (`CommitLog::snapshot`).  For read-set
+    /// entries this is the version join-time dependence validation
+    /// compares against the range's current stamp in the
+    /// [`CommitLog`](crate::CommitLog).  Versions of the same word are
+    /// always same-shard and therefore comparable — which is what lets
+    /// [`weaken_version`](WordMap::weaken_version) keep the oldest
+    /// snapshot when read sets merge.
     pub version: u64,
 }
 
@@ -155,10 +160,10 @@ impl WordMap {
     }
 
     /// Like [`merge`](Self::merge), stamping a freshly inserted word with
-    /// `version` (the commit-log epoch observed at access time).  Updating
-    /// an existing entry keeps the *original* version: for the read-set,
-    /// the first read's snapshot is the one dependence validation must
-    /// check.
+    /// `version` (the owning commit-log shard's epoch observed at access
+    /// time).  Updating an existing entry keeps the *original* version:
+    /// for the read-set, the first read's snapshot is the one dependence
+    /// validation must check.
     pub fn merge_versioned(
         &mut self,
         addr: Addr,

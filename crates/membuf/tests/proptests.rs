@@ -7,13 +7,24 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use mutls_membuf::{
-    AddressSpace, BufferConfig, CommitLog, GlobalBuffer, GlobalMemory, MainMemory, WordMap,
-    WORD_BYTES,
+    AddressSpace, BufferConfig, CommitLog, CommitLogConfig, GlobalBuffer, GlobalMemory, MainMemory,
+    WordMap, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2, WORD_BYTES, WORD_GRAIN_LOG2,
 };
 
 /// Arbitrary word-aligned address within a small arena.
 fn addr_strategy() -> impl Strategy<Value = u64> {
     (1u64..512).prop_map(|i| i * WORD_BYTES)
+}
+
+/// Arbitrary commit-log grain: word, cache line or page.
+fn grain_strategy() -> impl Strategy<Value = u32> {
+    (0u32..3).prop_map(|i| [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2][i as usize])
+}
+
+/// A word-granular log — adjacent words are distinct ranges, which the
+/// exactness properties below rely on.
+fn word_log() -> CommitLog {
+    CommitLog::with_config(CommitLogConfig::word_grain(), 0)
 }
 
 proptest! {
@@ -102,7 +113,7 @@ proptest! {
         let reads: std::collections::HashSet<u64> = reads.into_iter().collect();
         let commits: std::collections::HashSet<u64> = commits.into_iter().collect();
         let mem = GlobalMemory::new(1 << 16);
-        let log = CommitLog::new();
+        let log = word_log();
         let mut buf = GlobalBuffer::new(BufferConfig::default());
         for &addr in &reads {
             let _ = buf.load_logged(&mem, Some(&log), addr, WORD_BYTES).unwrap();
@@ -133,7 +144,7 @@ proptest! {
     ) {
         let child_reads: std::collections::HashSet<u64> = child_reads.into_iter().collect();
         let mem = GlobalMemory::new(1 << 16);
-        let log = CommitLog::new();
+        let log = word_log();
         let mut parent = GlobalBuffer::new(BufferConfig::default());
         let mut child = GlobalBuffer::new(BufferConfig::default());
         for &addr in &child_reads {
@@ -157,6 +168,131 @@ proptest! {
         log.record_word(late_commit);
         let dependent = child_reads.contains(&late_commit);
         prop_assert_eq!(!parent.validate_against(&log), dependent);
+    }
+
+    /// Range-granular validation is one-sided at every grain and shard
+    /// count: a commit overlapping a read at *word* level must always be
+    /// flagged (no missed conflicts), and a commit disjoint from every
+    /// read at *range* level must always validate (false sharing stays
+    /// confined to shared ranges).
+    #[test]
+    fn range_grain_flags_conservatively_never_misses(
+        grain_log2 in grain_strategy(),
+        shards in (0u32..4).prop_map(|i| [1usize, 2, 8, 16][i as usize]),
+        reads in proptest::collection::vec(addr_strategy(), 1..24),
+        commits in proptest::collection::vec(addr_strategy(), 0..24),
+    ) {
+        let reads: std::collections::HashSet<u64> = reads.into_iter().collect();
+        let commits: std::collections::HashSet<u64> = commits.into_iter().collect();
+        let mem = GlobalMemory::new(1 << 16);
+        let config = CommitLogConfig { grain_log2, shards };
+        let log = CommitLog::with_config(config, 1 << 15); // dense/sparse mix
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        for &addr in &reads {
+            let _ = buf.load_logged(&mem, Some(&log), addr, WORD_BYTES).unwrap();
+        }
+        prop_assert!(buf.validate_against(&log), "no commit yet, must be valid");
+        log.record(commits.iter().copied());
+        let word_overlap = commits.iter().any(|a| reads.contains(a));
+        let range_overlap = commits
+            .iter()
+            .any(|c| reads.iter().any(|r| c >> grain_log2 == r >> grain_log2));
+        let valid = buf.validate_against(&log);
+        if word_overlap {
+            prop_assert!(!valid, "missed a word-level conflict at grain {}", grain_log2);
+        }
+        if !range_overlap {
+            prop_assert!(valid, "false sharing across range boundary at grain {}", grain_log2);
+        }
+    }
+
+    /// Two words straddling a range edge never cross-conflict: the last
+    /// word of range k-1 and the first word of range k are tracked
+    /// independently at every grain and shard count.
+    #[test]
+    fn range_edge_straddlers_do_not_cross_conflict(
+        grain_log2 in grain_strategy(),
+        shards in (0u32..3).prop_map(|i| [1usize, 2, 8][i as usize]),
+        k in 1u64..64,
+    ) {
+        let config = CommitLogConfig { grain_log2, shards };
+        let log = CommitLog::with_config(config, 1 << 14);
+        let edge = k << grain_log2;
+        let below = edge - WORD_BYTES; // last word of range k-1
+        let above = edge;              // first word of range k
+        let snap_below = log.snapshot(below);
+        let snap_above = log.snapshot(above);
+        log.record_word(below);
+        prop_assert!(log.written_after(below, snap_below));
+        prop_assert!(
+            !log.written_after(above, log.snapshot(above)),
+            "write below the edge flagged the range above (grain {grain_log2}, k {k})"
+        );
+        log.record_word(above);
+        prop_assert!(log.written_after(above, snap_above));
+    }
+
+    /// The dense fast path and the sparse fallback agree: versions and
+    /// conflict answers are identical on both sides of the dense-window
+    /// crossover, including for a batch straddling it.
+    #[test]
+    fn dense_sparse_crossover_agrees(
+        grain_log2 in grain_strategy(),
+        dense_ranges in 1u64..16,
+        offsets in proptest::collection::vec(0u64..32, 1..16),
+    ) {
+        let config = CommitLogConfig { grain_log2, shards: 4 };
+        let grain = 1u64 << grain_log2;
+        // Dense window ends mid-address-space (and is not grain-aligned:
+        // the partial trailing range must round up to dense).
+        let log = CommitLog::with_config(config, dense_ranges * grain - 1);
+        let crossover = dense_ranges * grain;
+        prop_assert!(log.dense_covers(crossover - WORD_BYTES));
+        // A batch straddling the crossover stamps both sides.
+        let addrs: Vec<u64> = offsets
+            .iter()
+            .map(|o| crossover.saturating_sub(o * grain / 2) + o * grain)
+            .collect();
+        let snaps: Vec<u64> = addrs.iter().map(|&a| log.snapshot(a)).collect();
+        log.record(addrs.iter().copied());
+        for (&addr, &snap) in addrs.iter().zip(&snaps) {
+            prop_assert!(
+                log.written_after(addr, snap),
+                "addr {addr:#x} (dense: {}) lost its stamp",
+                log.dense_covers(addr)
+            );
+            prop_assert!(log.version_of(addr) > 0);
+        }
+    }
+
+    /// The global epoch is the max over the shard epochs: it bounds every
+    /// per-address snapshot, and after any batch at least one address's
+    /// snapshot equals it.
+    #[test]
+    fn global_epoch_is_the_max_over_shard_snapshots(
+        shards in (0u32..3).prop_map(|i| [2usize, 4, 8][i as usize]),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(addr_strategy(), 1..8), 1..8),
+    ) {
+        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards };
+        let log = CommitLog::with_config(config, 0);
+        let mut touched: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut last_epoch = 0;
+        for batch in &batches {
+            log.record(batch.iter().copied());
+            touched.extend(batch.iter().copied());
+            let epoch = log.epoch();
+            prop_assert!(epoch >= last_epoch, "global epoch went backwards");
+            last_epoch = epoch;
+        }
+        let snapshots: Vec<u64> = touched.iter().map(|&a| log.snapshot(a)).collect();
+        for &snap in &snapshots {
+            prop_assert!(snap <= log.epoch(), "snapshot above the global max");
+        }
+        prop_assert!(
+            snapshots.iter().any(|&s| s == log.epoch()),
+            "no shard carries the max epoch"
+        );
     }
 
     /// Address-space registration: an address is contained iff it falls in

@@ -2,7 +2,7 @@
 
 use crate::fork_model::ForkModel;
 use mutls_adaptive::{GovernorConfig, PolicyKind};
-use mutls_membuf::{BufferConfig, LocalBufferConfig};
+use mutls_membuf::{BufferConfig, CommitLogConfig, LocalBufferConfig};
 
 /// Where rollbacks come from.
 ///
@@ -50,6 +50,12 @@ pub struct RuntimeConfig {
     /// fork-throttling / model-selection policy (default: `Static`, the
     /// unconditional behaviour of the original runtime).
     pub governor: GovernorConfig,
+    /// Granularity and sharding of the shared commit log's version table
+    /// (default: 64-byte ranges across 8 shards).  Coarser grains bound
+    /// log growth and commit-lock time at the cost of false-sharing
+    /// rollbacks; word grain ([`CommitLogConfig::word_grain`]) restores
+    /// the exact per-word tracking of the original design.
+    pub commit_log: CommitLogConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -64,6 +70,7 @@ impl Default for RuntimeConfig {
             seed: 0x05EE_DCA0,
             memory_bytes: 64 << 20,
             governor: GovernorConfig::default(),
+            commit_log: CommitLogConfig::default(),
         }
     }
 }
@@ -138,6 +145,25 @@ impl RuntimeConfig {
         self.governor.policy = policy;
         self
     }
+
+    /// Set the full commit-log grain/shard configuration (builder style).
+    pub fn commit_log(mut self, commit_log: CommitLogConfig) -> Self {
+        self.commit_log = commit_log;
+        self
+    }
+
+    /// Set the commit-log tracking grain as a log2 of bytes (builder
+    /// style); 3 = word, 6 = cache line, 12 = page.
+    pub fn commit_grain_log2(mut self, grain_log2: u32) -> Self {
+        self.commit_log.grain_log2 = grain_log2;
+        self
+    }
+
+    /// Set the commit-log shard count (builder style).
+    pub fn commit_shards(mut self, shards: usize) -> Self {
+        self.commit_log.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +223,16 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_probability_panics() {
         let _ = RuntimeConfig::default().rollback_probability(1.5);
+    }
+
+    #[test]
+    fn commit_log_builders_set_grain_and_shards() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.commit_log, CommitLogConfig::default());
+        let c = c.commit_grain_log2(3).commit_shards(2);
+        assert_eq!(c.commit_log.grain_log2, 3);
+        assert_eq!(c.commit_log.shards, 2);
+        let c = c.commit_log(CommitLogConfig::page_grain());
+        assert_eq!(c.commit_log, CommitLogConfig::page_grain());
     }
 }

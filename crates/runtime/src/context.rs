@@ -362,7 +362,10 @@ impl SpecContext {
         if !committed {
             outcome.stats.mark_work_wasted();
         }
-        // Feed the join outcome back into the governor's site profile.
+        // Feed the join outcome back into the governor's site profile,
+        // carrying the false-sharing classification `validate_and_commit`
+        // recorded so Throttle can back off differently on grain-induced
+        // conflicts.
         let site_outcome = match verdict {
             Ok(()) => SiteOutcome::committed(
                 outcome.stats.get(Phase::Work),
@@ -374,7 +377,8 @@ impl SpecContext {
                 outcome.stats.get(Phase::WastedWork),
                 outcome.stats.get(Phase::Idle),
                 model,
-            ),
+            )
+            .with_false_sharing(outcome.stats.counters.false_sharing_suspects > 0),
         };
         self.mgr.governor().record_outcome(site, &site_outcome);
         self.mgr.record_speculative(&outcome.stats, verdict.err());

@@ -26,7 +26,7 @@ use rand::{Rng, SeedableRng};
 use mutls_adaptive::{Governor, SiteId, SiteOutcome};
 use mutls_membuf::{
     Addr, AddressSpace, CommitLog, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory,
-    RollbackReason, SpecFailure,
+    RollbackReason, SpecFailure, Validation,
 };
 
 use crate::config::{RollbackSource, RuntimeConfig};
@@ -166,8 +166,9 @@ impl ThreadManager {
         // allocates; individual allocations register themselves.
         space.register(GlobalMemory::BASE_ADDR, 0);
         // Size the log's dense fast path to the arena so every stamp and
-        // lookup is a single atomic access with bounded memory.
-        let commit_log = CommitLog::with_dense_bytes(memory.size_bytes());
+        // lookup is a single atomic access with bounded memory; grain and
+        // shard count come from the runtime configuration.
+        let commit_log = CommitLog::with_config(config.commit_log, memory.size_bytes());
         let mgr = Arc::new(ThreadManager {
             config,
             memory,
@@ -449,24 +450,37 @@ impl ThreadManager {
             return Err(reason);
         }
 
-        // Dependence validation against the commit log, plus the parent
-        // write-set overlay when the joiner is speculative.
-        let valid = {
-            let log_valid = outcome.buffers.global.validate_against(&self.commit_log);
-            match &parent_buffer {
-                None => log_valid,
+        // Dependence validation against the commit log (range grain,
+        // classifying suspected false sharing), plus the parent write-set
+        // overlay when the joiner is speculative.
+        let log_verdict = outcome
+            .buffers
+            .global
+            .validate_against_with(&self.commit_log, mem);
+        let valid = log_verdict.is_valid()
+            && match &parent_buffer {
+                None => true,
                 Some(parent) => {
                     let view = |addr: Addr| match parent.write_entries().find(|e| e.addr == addr) {
                         Some(e) if e.mask == u64::MAX => e.data,
                         Some(e) => (mem.read_word(addr) & !e.mask) | (e.data & e.mask),
                         None => mem.read_word(addr),
                     };
-                    log_valid && outcome.buffers.global.validate_view(view)
+                    outcome.buffers.global.validate_view(view)
                 }
-            }
-        };
+            };
         outcome.stats.add(Phase::Validation, elapsed_ns(started));
         if !valid {
+            if let Validation::Conflict {
+                suspected_false_sharing: true,
+            } = log_verdict
+            {
+                // Every conflicting word still held its first-read value:
+                // the rollback is most likely grain-induced false sharing
+                // (or a value-identical ABA write) — recorded so the
+                // governor and the reports can tell the regimes apart.
+                outcome.stats.counters.false_sharing_suspects += 1;
+            }
             return Err(SpecFailure::ReadConflict);
         }
 

@@ -136,6 +136,7 @@ impl Runtime {
             rollback_reasons,
             runtime,
             sites: self.mgr.governor().snapshot(),
+            commit_log: self.mgr.commit_log().stats(),
         };
         (result, report)
     }

@@ -14,7 +14,8 @@ use std::fmt;
 use std::fmt::Write as _;
 
 use mutls_adaptive::SiteProfile;
-use mutls_membuf::RollbackReason;
+use mutls_membuf::{CommitLogStats, RollbackReason};
+use serde::Serialize;
 
 /// Execution-time category, matching the paper's breakdown figures 8 and 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -80,8 +81,14 @@ impl fmt::Display for Phase {
     }
 }
 
+impl Serialize for Phase {
+    fn serialize_json(&self, out: &mut String) {
+        self.label().serialize_json(out);
+    }
+}
+
 /// Event counters of one thread.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct ThreadCounters {
     /// Speculative threads forked by this thread.
     pub forks: u64,
@@ -95,6 +102,11 @@ pub struct ThreadCounters {
     pub rollbacks: u64,
     /// Rollbacks split by cause, indexed by [`RollbackReason::index`].
     pub rollbacks_by_reason: [u64; RollbackReason::COUNT],
+    /// Conflict rollbacks whose conflicting words all still held their
+    /// first-read values — suspected *false sharing* introduced by a
+    /// commit-log grain coarser than a word (estimate; a value-identical
+    /// ABA write is indistinguishable).
+    pub false_sharing_suspects: u64,
     /// Loads issued.
     pub loads: u64,
     /// Stores issued.
@@ -110,8 +122,10 @@ impl ThreadCounters {
 }
 
 /// Per-thread accumulated statistics.
-#[derive(Debug, Default, Clone, PartialEq)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize)]
 pub struct ThreadStats {
+    /// Time per phase (only phases actually touched are present; the
+    /// BTreeMap keeps serialization order deterministic).
     phases: BTreeMap<Phase, u64>,
     /// Event counters.
     pub counters: ThreadCounters,
@@ -158,6 +172,7 @@ impl ThreadStats {
         self.counters.throttled_forks += other.counters.throttled_forks;
         self.counters.commits += other.counters.commits;
         self.counters.rollbacks += other.counters.rollbacks;
+        self.counters.false_sharing_suspects += other.counters.false_sharing_suspects;
         for (mine, theirs) in self
             .counters
             .rollbacks_by_reason
@@ -183,7 +198,11 @@ impl ThreadStats {
 }
 
 /// Aggregated result of one speculative run.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializes deterministically (`serde::Serialize`): two runs with the
+/// same seed and configuration on the simulator produce byte-identical
+/// JSON, which the determinism tests assert.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct RunReport {
     /// Statistics of the non-speculative thread (the critical path).
     pub critical: ThreadStats,
@@ -202,6 +221,10 @@ pub struct RunReport {
     /// Per-fork-site profile table gathered by the adaptive governor,
     /// sorted by site ID (empty when no fork point was reached).
     pub sites: Vec<SiteProfile>,
+    /// Commit-log activity (batches, range stamps, commit-lock time) —
+    /// the sharding/grain cost the `grain` sweep reports.  All zeros for
+    /// simulated runs, which model the log through the cost model instead.
+    pub commit_log: CommitLogStats,
 }
 
 impl RunReport {
@@ -258,6 +281,12 @@ impl RunReport {
     /// Total fork requests suppressed by the governor, over all sites.
     pub fn throttled_forks(&self) -> u64 {
         self.sites.iter().map(|s| s.throttled).sum()
+    }
+
+    /// Conflict rollbacks classified as suspected false sharing (see
+    /// [`ThreadCounters::false_sharing_suspects`]).
+    pub fn suspected_false_sharing(&self) -> u64 {
+        self.speculative.counters.false_sharing_suspects
     }
 
     /// Power efficiency `η_power = T_s / (T_runtime_nonspec + Σ T_runtime_sp)`
@@ -370,5 +399,38 @@ mod tests {
     fn phase_labels_unique() {
         let labels: std::collections::HashSet<_> = Phase::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn false_sharing_suspects_merge_and_surface() {
+        let mut a = ThreadStats::new();
+        a.counters.false_sharing_suspects = 2;
+        let mut b = ThreadStats::new();
+        b.counters.false_sharing_suspects = 3;
+        a.merge(&b);
+        assert_eq!(a.counters.false_sharing_suspects, 5);
+        let report = RunReport {
+            speculative: a,
+            ..Default::default()
+        };
+        assert_eq!(report.suspected_false_sharing(), 5);
+    }
+
+    #[test]
+    fn run_report_serializes_deterministically() {
+        let mut report = RunReport::default();
+        report.critical.add(Phase::Work, 90);
+        report.speculative.add(Phase::Validation, 7);
+        report.committed_threads = 3;
+        report.rollback_reasons[RollbackReason::Conflict.index()] = 1;
+        let ser = |r: &RunReport| {
+            let mut out = String::new();
+            r.serialize_json(&mut out);
+            out
+        };
+        let first = ser(&report);
+        assert_eq!(first, ser(&report.clone()), "serialization is stable");
+        assert!(first.contains("\"committed_threads\":3"));
+        assert!(first.contains("\"work\""), "phases serialize by label");
     }
 }

@@ -31,12 +31,19 @@ pub struct CostModel {
     pub join: u64,
     /// Cycles per read-set word during validation (value comparison).
     pub validate_per_word: u64,
-    /// Cycles per read-set word spent probing the shared commit log for a
-    /// later-version stamp (the dependence-violation check that replaces
-    /// injected rollbacks with real conflict detection).
+    /// Cycles per read-set *range* spent probing the shared commit log
+    /// for a later-version stamp (the dependence-violation check that
+    /// replaces injected rollbacks with real conflict detection).  The
+    /// log is range-granular, so coarser grains probe fewer entries —
+    /// this is the grain-dependent half of the validation cost.
     pub validate_log_lookup: u64,
     /// Cycles per write-set word during commit.
     pub commit_per_word: u64,
+    /// Cycles to acquire and release one commit-log shard lock while
+    /// publishing a write-set (charged per shard the batch touches);
+    /// models the per-shard lock contention the sharded log trades
+    /// against the old single global commit lock.
+    pub commit_lock: u64,
     /// Cycles per buffered word during finalization (buffer clearing).
     pub finalize_per_word: u64,
     /// Cycles a speculative thread needs from creation until it starts
@@ -57,6 +64,7 @@ impl Default for CostModel {
             validate_per_word: 4,
             validate_log_lookup: 2,
             commit_per_word: 4,
+            commit_lock: 20,
             finalize_per_word: 1,
             spawn_latency: 300,
         }
@@ -74,16 +82,29 @@ impl CostModel {
         self.segment_cycles(work, loads, stores) + (loads + stores) * self.buffered_access_overhead
     }
 
-    /// Validation cost for a read-set of `words` entries: the fixed join
-    /// half-handshake plus, per word, the value comparison and the
-    /// commit-log version probe.
+    /// Validation cost for a read-set of `words` entries tracked as
+    /// `ranges` distinct commit-log ranges: the fixed join half-handshake
+    /// plus, per word, the value comparison, plus, per *range*, the
+    /// commit-log version probe — coarser grains probe fewer ranges.
+    pub fn validation_cycles_grained(&self, words: u64, ranges: u64) -> u64 {
+        self.join / 2 + words * self.validate_per_word + ranges * self.validate_log_lookup
+    }
+
+    /// Validation cost at word grain (one range per word) — the exact
+    /// cost of the original per-word log.
     pub fn validation_cycles(&self, words: u64) -> u64 {
-        self.join / 2 + words * (self.validate_per_word + self.validate_log_lookup)
+        self.validation_cycles_grained(words, words)
     }
 
     /// Commit cost for a write-set of `words` entries.
     pub fn commit_cycles(&self, words: u64) -> u64 {
         words * self.commit_per_word
+    }
+
+    /// Commit-log locking cost for a batch touching `shards_touched`
+    /// shards of the sharded version table.
+    pub fn commit_lock_cycles(&self, shards_touched: u64) -> u64 {
+        shards_touched * self.commit_lock
     }
 
     /// Finalization cost for `words` buffered entries.
@@ -121,6 +142,25 @@ mod tests {
             probed.validation_cycles(10) - cheap.validation_cycles(10),
             30
         );
+    }
+
+    #[test]
+    fn grained_validation_charges_probes_per_range_not_per_word() {
+        let c = CostModel::default();
+        // 64 words collapsing into 8 ranges probe the log 8 times.
+        assert_eq!(
+            c.validation_cycles(64) - c.validation_cycles_grained(64, 8),
+            (64 - 8) * c.validate_log_lookup
+        );
+        // Word grain is the degenerate case.
+        assert_eq!(c.validation_cycles(64), c.validation_cycles_grained(64, 64));
+    }
+
+    #[test]
+    fn commit_lock_scales_with_shards_touched() {
+        let c = CostModel::default();
+        assert_eq!(c.commit_lock_cycles(0), 0);
+        assert_eq!(c.commit_lock_cycles(3), 3 * c.commit_lock);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use mutls_adaptive::{ForkDecision, Governor, GovernorConfig, SiteOutcome};
-use mutls_membuf::{Addr, RollbackReason, SpecFailure};
+use mutls_membuf::{Addr, CommitLogConfig, RollbackReason, SpecFailure, WORD_GRAIN_LOG2};
 use mutls_runtime::{ForkModel, Phase, RunReport, ThreadStats};
 
 use crate::cost::CostModel;
@@ -53,6 +53,18 @@ pub struct SimConfig {
     /// Adaptive speculation governor consulted at every simulated fork
     /// point (default: `Static`, i.e. the unconditional seed behaviour).
     pub governor: GovernorConfig,
+    /// Grain/shard configuration of the simulated commit log — the same
+    /// type the native runtime uses, so one normalization rule governs
+    /// both layers.  The simulator defaults to *word* grain and a
+    /// *single* shard: exact conflicts, and every publishing commit pays
+    /// exactly one `CostModel::commit_lock` — the old global-commit-lock
+    /// behaviour with its serialization now priced, keeping the figure
+    /// experiments within noise of their pre-sharding baselines.
+    /// Coarser grains model the range-granular log — fewer validation
+    /// probes and commit stamps, but conflicts coarsen to ranges, so
+    /// false sharing appears (conservative, never missed); more shards
+    /// spread a batch across up to `shards` lock acquisitions.
+    pub commit_log: CommitLogConfig,
 }
 
 impl Default for SimConfig {
@@ -64,6 +76,9 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             cost: CostModel::default(),
             governor: GovernorConfig::default(),
+            commit_log: CommitLogConfig::default()
+                .grain_log2(WORD_GRAIN_LOG2)
+                .shards(1),
         }
     }
 }
@@ -92,6 +107,18 @@ impl SimConfig {
     /// Set the governor configuration (builder style).
     pub fn governor(mut self, governor: GovernorConfig) -> Self {
         self.governor = governor;
+        self
+    }
+
+    /// Set the simulated commit-log grain (builder style).
+    pub fn grain_log2(mut self, grain_log2: u32) -> Self {
+        self.commit_log.grain_log2 = grain_log2;
+        self
+    }
+
+    /// Set the simulated commit-log shard count (builder style).
+    pub fn commit_shards(mut self, shards: usize) -> Self {
+        self.commit_log.shards = shards;
         self
     }
 }
@@ -149,7 +176,15 @@ struct Fiber {
     stats: ThreadStats,
     reads: HashSet<Addr>,
     writes: HashSet<Addr>,
+    /// Commit-log ranges (`addr >> grain_log2`) covering `reads` — the
+    /// grain conflicts are detected at.
+    read_ranges: HashSet<u64>,
+    /// Ranges covering `writes`.
+    write_ranges: HashSet<u64>,
     doomed: Option<SpecFailure>,
+    /// True when the dooming conflict was range-only (no word of the
+    /// published batch was actually read) — suspected false sharing.
+    doomed_false_sharing: bool,
     /// Fiber waiting at a join for this fiber to stop.
     waiter: Option<usize>,
     blocked_since: u64,
@@ -189,7 +224,10 @@ impl Fiber {
             stats: ThreadStats::new(),
             reads: HashSet::new(),
             writes: HashSet::new(),
+            read_ranges: HashSet::new(),
+            write_ranges: HashSet::new(),
             doomed: None,
+            doomed_false_sharing: false,
             waiter: None,
             blocked_since: 0,
             finished: None,
@@ -217,15 +255,20 @@ pub struct Scheduler<'a> {
     committed: u64,
     rolled_back: u64,
     rolled_back_by_reason: [u64; RollbackReason::COUNT],
-    /// Log of (time, published writes) used for conflict detection.
-    publishes: Vec<(u64, HashSet<Addr>)>,
+    /// Log of (time, published words, published ranges) used for
+    /// conflict detection at the configured grain.
+    publishes: Vec<(u64, HashSet<Addr>, HashSet<u64>)>,
     /// Adaptive speculation governor (per-site profiling + fork policy).
     governor: Governor,
 }
 
 impl<'a> Scheduler<'a> {
     /// Create a scheduler for `recording` under `config`.
-    pub fn new(recording: &'a Recording, config: SimConfig) -> Self {
+    pub fn new(recording: &'a Recording, mut config: SimConfig) -> Self {
+        // SimConfig's fields are pub and call sites use struct literals,
+        // so apply the commit log's own normalization rules here: the
+        // shard count is used as a bit mask and the grain as a shift.
+        config.commit_log = config.commit_log.normalized();
         let rng = SmallRng::seed_from_u64(config.seed);
         let num_cpus = config.num_cpus;
         let governor = Governor::new(config.governor);
@@ -281,6 +324,9 @@ impl<'a> Scheduler<'a> {
             rollback_reasons: self.rolled_back_by_reason,
             runtime,
             sites: self.governor.snapshot(),
+            // The simulator models the log through the cost model; the
+            // native counters stay zero.
+            commit_log: Default::default(),
         };
         SimResult {
             report,
@@ -310,25 +356,40 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Publish a set of written addresses to main memory at `time`,
-    /// dooming any in-flight speculative fiber that already read one of
-    /// them.  The publish is also logged so that reads registered later
-    /// (at segment completion) can be checked against it.
+    /// dooming any in-flight speculative fiber that already read a
+    /// commit-log *range* the batch stamps (at word grain this is exact;
+    /// coarser grains add false sharing but never miss a conflict).  The
+    /// publish is also logged so that reads registered later (at segment
+    /// completion) can be checked against it.
     fn publish(&mut self, writes: &HashSet<Addr>, time: u64, writer: usize) {
         if writes.is_empty() {
             return;
         }
+        let grain = self.config.commit_log.grain_log2;
+        let ranges: HashSet<u64> = writes.iter().map(|a| a >> grain).collect();
         for (fid, fiber) in self.fibers.iter_mut().enumerate() {
-            if fid == writer || !fiber.speculative || fiber.retired || fiber.doomed.is_some() {
+            if fid == writer || !fiber.speculative || fiber.retired {
                 continue;
             }
             if fiber.start_time >= time {
                 continue;
             }
-            if intersects(writes, &fiber.reads) {
+            if fiber.doomed.is_some() {
+                // Already doomed: a later publish that hits an actually
+                // read word upgrades a false-sharing classification to a
+                // genuine conflict, matching the native classifier (which
+                // re-checks every read value at join time).
+                if fiber.doomed_false_sharing && intersects(writes, &fiber.reads) {
+                    fiber.doomed_false_sharing = false;
+                }
+                continue;
+            }
+            if intersects(&ranges, &fiber.read_ranges) {
                 fiber.doomed = Some(SpecFailure::ReadConflict);
+                fiber.doomed_false_sharing = !intersects(writes, &fiber.reads);
             }
         }
-        self.publishes.push((time, writes.clone()));
+        self.publishes.push((time, writes.clone(), ranges));
     }
 
     fn fork_allowed(&self, forker: usize, model: ForkModel) -> bool {
@@ -491,6 +552,7 @@ impl<'a> Scheduler<'a> {
             let seg_reads: Vec<Addr> = seg.reads.iter().copied().collect();
             let speculative = self.fibers[fid].speculative;
             let seg_start = self.fibers[fid].segment_started;
+            let grain = self.config.commit_log.grain_log2;
             {
                 let fiber = &mut self.fibers[fid];
                 fiber.stats.counters.loads += seg.loads;
@@ -499,18 +561,35 @@ impl<'a> Scheduler<'a> {
                 for addr in &seg_reads {
                     if !fiber.writes.contains(addr) {
                         fiber.reads.insert(*addr);
+                        fiber.read_ranges.insert(addr >> grain);
                     }
                 }
                 fiber.writes.extend(seg.writes.iter().copied());
+                fiber
+                    .write_ranges
+                    .extend(seg.writes.iter().map(|a| a >> grain));
             }
             if speculative {
                 // Check the reads of this segment against anything that was
-                // published to main memory while the segment executed.
-                let doomed = self.publishes.iter().any(|(t, writes)| {
-                    *t > seg_start && seg_reads.iter().any(|a| writes.contains(a))
+                // published to main memory while the segment executed —
+                // range-grained, like the in-flight doom check.
+                let doomed = self.publishes.iter().any(|(t, _, ranges)| {
+                    *t > seg_start && seg_reads.iter().any(|a| ranges.contains(&(a >> grain)))
                 });
-                if doomed && self.fibers[fid].doomed.is_none() {
-                    self.fibers[fid].doomed = Some(SpecFailure::ReadConflict);
+                if doomed {
+                    let word_hit = self.publishes.iter().any(|(t, words, _)| {
+                        *t > seg_start && seg_reads.iter().any(|a| words.contains(a))
+                    });
+                    match self.fibers[fid].doomed {
+                        None => {
+                            self.fibers[fid].doomed = Some(SpecFailure::ReadConflict);
+                            self.fibers[fid].doomed_false_sharing = !word_hit;
+                        }
+                        // Upgrade an earlier false-sharing classification
+                        // when this segment's reads were genuinely hit.
+                        Some(_) if word_hit => self.fibers[fid].doomed_false_sharing = false,
+                        Some(_) => {}
+                    }
                 }
             } else {
                 // Non-speculative writes reach main memory immediately.
@@ -603,9 +682,12 @@ impl<'a> Scheduler<'a> {
         now += cost.join;
 
         // Validation (charged to the speculative path; the joiner idles).
+        // The value comparison is per word; the commit-log probe is per
+        // range, so coarser grains validate cheaper.
         let read_words = self.fibers[cf].reads.len() as u64;
+        let read_ranges = self.fibers[cf].read_ranges.len() as u64;
         let write_words = self.fibers[cf].writes.len() as u64;
-        let validation = cost.validation_cycles(read_words);
+        let validation = cost.validation_cycles_grained(read_words, read_ranges);
         self.fibers[cf].stats.add(Phase::Validation, validation);
         self.fibers[fid].stats.add(Phase::Idle, validation);
         now += validation;
@@ -623,12 +705,25 @@ impl<'a> Scheduler<'a> {
         let mut blocked = false;
         match verdict {
             Ok(()) => {
-                let commit = cost.commit_cycles(write_words);
+                // Publishing to main memory locks every commit-log shard
+                // the write-set touches; absorbing into a speculative
+                // parent records nothing in the log and pays no lock.
+                let shard_mask = (self.config.commit_log.shards as u64) - 1;
+                let shards_touched = if self.fibers[fid].speculative {
+                    0
+                } else {
+                    let mut shards: HashSet<u64> = HashSet::new();
+                    shards.extend(self.fibers[cf].write_ranges.iter().map(|r| r & shard_mask));
+                    shards.len() as u64
+                };
+                let commit =
+                    cost.commit_cycles(write_words) + cost.commit_lock_cycles(shards_touched);
                 self.fibers[cf].stats.add(Phase::Commit, commit);
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, commit + finalize);
                 now += commit + finalize;
 
+                let grain = self.config.commit_log.grain_log2;
                 let child_reads: Vec<Addr> = self.fibers[cf].reads.iter().copied().collect();
                 let child_writes: HashSet<Addr> = self.fibers[cf].writes.clone();
                 if self.fibers[fid].speculative {
@@ -636,9 +731,12 @@ impl<'a> Scheduler<'a> {
                     for addr in child_reads {
                         if !self.fibers[fid].writes.contains(&addr) {
                             self.fibers[fid].reads.insert(addr);
+                            self.fibers[fid].read_ranges.insert(addr >> grain);
                         }
                     }
                     self.fibers[fid].writes.extend(child_writes.iter().copied());
+                    let child_write_ranges = self.fibers[cf].write_ranges.clone();
+                    self.fibers[fid].write_ranges.extend(child_write_ranges);
                 } else {
                     self.publish(&child_writes, now, cf);
                 }
@@ -676,6 +774,9 @@ impl<'a> Scheduler<'a> {
             Err(reason) => {
                 // Remember why, for the governor's per-site profile.
                 let _ = self.fibers[cf].doomed.get_or_insert(reason);
+                if reason == SpecFailure::ReadConflict && self.fibers[cf].doomed_false_sharing {
+                    self.fibers[cf].stats.counters.false_sharing_suspects += 1;
+                }
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, finalize);
                 now += finalize;
@@ -760,6 +861,9 @@ impl<'a> Scheduler<'a> {
                     fiber.stats.get(Phase::Idle),
                     fiber.model,
                 )
+                .with_false_sharing(
+                    fiber.doomed == Some(SpecFailure::ReadConflict) && fiber.doomed_false_sharing,
+                )
             };
             self.governor.record_outcome(fiber.site, &outcome);
         }
@@ -795,4 +899,39 @@ fn intersects(a: &HashSet<Addr>, b: &HashSet<Addr>) -> bool {
 /// Simulate `recording` under `config`.
 pub fn simulate(recording: &Recording, config: SimConfig) -> SimResult {
     Scheduler::new(recording, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record_region;
+    use mutls_membuf::GlobalMemory;
+    use mutls_runtime::TlsContext;
+    use std::sync::Arc;
+
+    /// Degenerate pub-field configs (zero shards, sub-word grain) must be
+    /// normalized by the scheduler, not panic or mis-mask — SimConfig is
+    /// routinely built via struct literals.
+    #[test]
+    fn degenerate_grain_and_shard_configs_are_normalized() {
+        let memory = Arc::new(GlobalMemory::new(1 << 12));
+        let cell = memory.alloc::<u64>(4);
+        let recording = record_region(Arc::clone(&memory), |ctx| {
+            for i in 0..4 {
+                let v = ctx.load(&cell, i)?;
+                ctx.store(&cell, i, v + 1)?;
+            }
+            Ok(())
+        });
+        for (grain_log2, shards) in [(0u32, 0usize), (1, 3), (6, 1)] {
+            let result = simulate(
+                &recording,
+                SimConfig {
+                    commit_log: CommitLogConfig { grain_log2, shards },
+                    ..SimConfig::with_cpus(2)
+                },
+            );
+            assert!(result.parallel_cycles > 0);
+        }
+    }
 }

@@ -63,6 +63,7 @@ fn governed(policy: PolicyKind) -> SimConfig {
         seed: 11,
         cost: Default::default(),
         governor: GovernorConfig::with_policy(policy),
+        ..Default::default()
     }
 }
 
@@ -132,6 +133,7 @@ fn throttle_reduces_rolled_back_work_on_a_rollback_heavy_workload() {
                 seed: 0xAB5C155A,
                 cost: Default::default(),
                 governor: GovernorConfig::with_policy(policy),
+                ..Default::default()
             },
         )
     };

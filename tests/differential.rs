@@ -1,0 +1,185 @@
+//! Differential sequential-vs-speculative oracle.
+//!
+//! The range-granular commit log changes *what* validation compares
+//! (range versions instead of word versions), which is exactly the kind
+//! of change that can corrupt results silently: a missed conflict
+//! produces a wrong answer, not a crash.  This suite therefore runs
+//! **every** workload in the registry speculatively and sequentially and
+//! asserts the final memory states agree — across tracking grains (word,
+//! cache line, page) and, for the conflict family, across true-sharing
+//! rates.
+//!
+//! The guarantee under test is one-sided by design:
+//!
+//! * at every grain, speculative execution must equal the sequential
+//!   reference (false sharing may roll threads back, never corrupt);
+//! * at **word** grain, zero sharing must produce zero conflict
+//!   rollbacks *structurally* — coarser grains are exempt, since
+//!   adjacent private words may share a range.
+//!
+//! A proptest harness additionally fuzzes (grain, shards, CPUs, sharing
+//! rate, seed) on a fast chain kernel; CI pins `PROPTEST_CASES` low in
+//! its dedicated job, while local runs default to the full case count.
+
+use proptest::prelude::*;
+
+use mutls::membuf::{
+    CommitLogConfig, RollbackReason, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2,
+};
+use mutls::runtime::{RunReport, Runtime, RuntimeConfig};
+use mutls::workloads::conflict::{self, ChainConfig, HistConfig};
+use mutls::workloads::{
+    arena_bytes, checksum, reference_checksum, run_speculative, setup, Scale, WorkloadKind,
+};
+
+/// The grains the oracle sweeps.
+const GRAINS: [u32; 3] = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2];
+
+/// True-sharing rates (permille) swept for the conflict family.
+const SHARING_PERMILLE: [u32; 3] = [0, 250, 1000];
+
+/// Every workload the registry knows: the paper's Table II suite plus
+/// the conflict-generating family.
+fn registry() -> impl Iterator<Item = WorkloadKind> {
+    WorkloadKind::ALL
+        .into_iter()
+        .chain(WorkloadKind::CONFLICT_FAMILY)
+}
+
+/// Run `kind` on the native runtime at the given commit-log grain and
+/// return its checksum plus the run report.
+fn native_at_grain(kind: WorkloadKind, grain_log2: u32, cpus: usize) -> (u64, RunReport) {
+    let runtime = Runtime::new(
+        RuntimeConfig::with_cpus(cpus)
+            .memory_bytes(arena_bytes(kind, Scale::Tiny))
+            .commit_grain_log2(grain_log2),
+    );
+    let memory = runtime.memory();
+    let data = setup(kind, Scale::Tiny, &memory);
+    let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
+    (checksum(&memory, &data), report)
+}
+
+#[test]
+fn every_registry_workload_matches_sequential_at_every_grain() {
+    for kind in registry() {
+        let expected = reference_checksum(kind, Scale::Tiny);
+        for grain_log2 in GRAINS {
+            let (got, report) = native_at_grain(kind, grain_log2, 3);
+            assert_eq!(
+                got,
+                expected,
+                "{} diverged from the sequential reference at grain 2^{grain_log2}B \
+                 ({} rollbacks: {})",
+                kind.name(),
+                report.rolled_back_threads,
+                report.rollback_breakdown()
+            );
+            assert_eq!(
+                report.rollbacks_with(RollbackReason::Injected),
+                0,
+                "{}: injected rollbacks without opting in",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn conflict_family_matches_sequential_across_sharing_and_grain() {
+    for permille in SHARING_PERMILLE {
+        for grain_log2 in GRAINS {
+            let config = RuntimeConfig::with_cpus(4).commit_grain_log2(grain_log2);
+
+            let chain = ChainConfig::tiny().sharing_permille(permille);
+            let (state_ok, report) = conflict::chain_verify_native(chain, config);
+            assert!(
+                state_ok,
+                "conflict_chain diverged at {permille}‰ sharing, grain 2^{grain_log2}B"
+            );
+            assert_conflict_structure("conflict_chain", &report, permille, grain_log2);
+
+            let hist = HistConfig::tiny().sharing_permille(permille);
+            let (state_ok, report) = conflict::hist_verify_native(hist, config);
+            assert!(
+                state_ok,
+                "hist_shared diverged at {permille}‰ sharing, grain 2^{grain_log2}B"
+            );
+            assert_conflict_structure("hist_shared", &report, permille, grain_log2);
+        }
+    }
+}
+
+/// The structural assertions of the oracle: no injection ever; zero
+/// sharing at word grain means zero conflict rollbacks; full sharing at
+/// word grain means real conflicts were detected.
+fn assert_conflict_structure(name: &str, report: &RunReport, permille: u32, grain_log2: u32) {
+    assert_eq!(
+        report.rollbacks_with(RollbackReason::Injected),
+        0,
+        "{name}: injected rollbacks without opting in"
+    );
+    if grain_log2 == WORD_GRAIN_LOG2 {
+        if permille == 0 {
+            assert_eq!(
+                report.rollbacks_with(RollbackReason::Conflict),
+                0,
+                "{name}: conflict rollbacks with zero sharing at word grain ({})",
+                report.rollback_breakdown()
+            );
+        }
+        if permille == 1000 {
+            assert!(
+                report.rollbacks_with(RollbackReason::Conflict) > 0,
+                "{name}: full sharing produced no conflicts at word grain ({})",
+                report.rollback_breakdown()
+            );
+        }
+    }
+}
+
+/// Fast chain kernel for the fuzzing harness: small link count and a
+/// short mixing chain keep one case in the low milliseconds.
+fn fast_chain(permille: u32, seed: u64) -> ChainConfig {
+    ChainConfig {
+        chunks: 10,
+        work_per_chunk: 2_000,
+        sharing_permille: permille,
+        seed,
+    }
+}
+
+proptest! {
+    /// Randomized differential property: for arbitrary (grain, shards,
+    /// CPU count, sharing rate, seed), the speculative chain execution
+    /// equals the sequential reference and nothing is ever injected.
+    #[test]
+    fn randomized_chain_differential(
+        grain_i in 0u32..3,
+        shards in (0u32..3).prop_map(|i| [1usize, 4, 16][i as usize]),
+        cpus in 2usize..6,
+        permille in 0u32..1001,
+        seed in any::<u64>(),
+    ) {
+        let grain_log2 = GRAINS[grain_i as usize];
+        let chain = fast_chain(permille, seed);
+        let runtime_config = RuntimeConfig::with_cpus(cpus).commit_log(CommitLogConfig {
+            grain_log2,
+            shards,
+        });
+        let (state_ok, report) = conflict::chain_verify_native(chain, runtime_config);
+        prop_assert!(
+            state_ok,
+            "chain diverged: grain 2^{}B, {} shards, {} cpus, {}‰ sharing, seed {seed:#x} ({})",
+            grain_log2,
+            shards,
+            cpus,
+            permille,
+            report.rollback_breakdown()
+        );
+        prop_assert_eq!(report.rollbacks_with(RollbackReason::Injected), 0);
+        if permille == 0 && grain_log2 == WORD_GRAIN_LOG2 {
+            prop_assert_eq!(report.rollbacks_with(RollbackReason::Conflict), 0);
+        }
+    }
+}

@@ -5,8 +5,19 @@
 //! `prop_assert*` macros.  Each property runs a fixed number of
 //! deterministic cases (no shrinking).
 
-/// Number of cases each property is executed with.
+/// Default number of cases each property is executed with.
 pub const CASES: u64 = 96;
+
+/// Number of cases to run: the `PROPTEST_CASES` environment variable
+/// when set (as in real proptest), else [`CASES`].  CI pins this low for
+/// the heavyweight differential suites.
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(CASES)
+}
 
 /// Deterministic generator driving all strategies.
 pub mod test_runner {
@@ -214,7 +225,7 @@ macro_rules! proptest {
             $(#[$attr])*
             fn $name() {
                 let mut gen = $crate::test_runner::Gen::new(0xC0DE ^ stringify!($name).len() as u64);
-                for _case in 0..$crate::CASES {
+                for _case in 0..$crate::cases() {
                     $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut gen);)*
                     $body
                 }

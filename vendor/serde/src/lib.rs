@@ -198,6 +198,25 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        // Serialized as an array of `[key, value]` pairs so non-string
+        // keys work; BTreeMap ordering keeps the output deterministic.
+        out.push('[');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            k.serialize_json(out);
+            out.push(',');
+            v.serialize_json(out);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize_json(&self, out: &mut String) {
         match self {
