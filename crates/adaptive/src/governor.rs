@@ -18,6 +18,11 @@ pub struct SiteOutcome {
     /// True when a conflict rollback was classified as suspected false
     /// sharing (grain-induced, not genuine sharing).
     pub false_sharing: bool,
+    /// True when the child's conflict was repaired by value-predict-and-
+    /// retry: the join *committed* (`committed` is true) at the cost of a
+    /// re-validation pass instead of a re-execution.  Policies treat this
+    /// as a success, not a squash.
+    pub retried: bool,
     /// Useful work the child contributed (ns native / cycles simulated).
     pub work: u64,
     /// Work discarded by the rollback.
@@ -35,6 +40,7 @@ impl SiteOutcome {
             committed: true,
             failure: None,
             false_sharing: false,
+            retried: false,
             work,
             wasted_work: 0,
             stall,
@@ -48,6 +54,7 @@ impl SiteOutcome {
             committed: false,
             failure: Some(reason),
             false_sharing: false,
+            retried: false,
             work: 0,
             wasted_work: wasted,
             stall,
@@ -59,6 +66,12 @@ impl SiteOutcome {
     /// style).
     pub fn with_false_sharing(mut self, false_sharing: bool) -> Self {
         self.false_sharing = false_sharing;
+        self
+    }
+
+    /// Mark a committed outcome as a value-predict retry (builder style).
+    pub fn with_retry(mut self, retried: bool) -> Self {
+        self.retried = retried;
         self
     }
 
@@ -132,6 +145,7 @@ impl Governor {
             record.absorb(
                 outcome.reason(),
                 outcome.false_sharing,
+                outcome.retried,
                 outcome.work,
                 outcome.wasted_work,
                 outcome.stall,

@@ -219,6 +219,14 @@ impl GovernorPolicy for StaticPolicy {
 /// rollbacks the policy raises its deny threshold halfway toward 1 and
 /// probes twice as often — the site keeps most of its speculation while
 /// genuinely conflicting sites are still shut down hard.
+///
+/// Conflicts repaired by **value-predict-and-retry** never reach the
+/// rollback rate at all: a retried join is absorbed as a *commit* (plus a
+/// `hot_retries` sample), so a site whose conflicts are consistently
+/// repaired for the price of a re-validation pass keeps speculating,
+/// while a site whose conflicts force squash-and-re-execute is shut
+/// down — the policy prices a retried conflict as cheap and a squashed
+/// one as expensive, exactly the recovery engine's cost order.
 #[derive(Debug, Default)]
 pub struct ThrottlePolicy;
 
@@ -358,6 +366,7 @@ mod tests {
             record.absorb(
                 Some(mutls_membuf::RollbackReason::Conflict),
                 false,
+                false,
                 0,
                 50,
                 0,
@@ -426,7 +435,7 @@ mod tests {
         // The site's behaviour flips to always-commit; probes feed the
         // decayed counters until the rate crosses back under the threshold.
         for _ in 0..6 {
-            r.absorb(None, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+            r.absorb(None, false, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
         }
         assert!(
             ThrottlePolicy
@@ -447,6 +456,7 @@ mod tests {
         for _ in 0..4 {
             r.absorb(
                 Some(mutls_membuf::RollbackReason::Overflow),
+                false,
                 false,
                 0,
                 10,
@@ -525,7 +535,7 @@ mod tests {
             // recorded for them.
             if model == ForkModel::Mixed {
                 r.per_model[model.index()].forks += 1;
-                r.absorb(None, false, 100, 0, 0, model, cfg.decay);
+                r.absorb(None, false, false, 100, 0, 0, model, cfg.decay);
                 mixed_launches += 1;
             }
             if i >= 6 {
@@ -555,6 +565,7 @@ mod tests {
             genuine.absorb(
                 Some(mutls_membuf::RollbackReason::Conflict),
                 false,
+                false,
                 0,
                 50,
                 0,
@@ -564,6 +575,7 @@ mod tests {
             false_shared.absorb(
                 Some(mutls_membuf::RollbackReason::Conflict),
                 true,
+                false,
                 0,
                 50,
                 0,
@@ -588,8 +600,8 @@ mod tests {
         // Below the lenient threshold the false-sharing site flows freely
         // while the genuinely conflicting site keeps getting denied.
         for _ in 0..3 {
-            genuine.absorb(None, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
-            false_shared.absorb(None, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+            genuine.absorb(None, false, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+            false_shared.absorb(None, false, false, 50, 0, 0, ForkModel::Mixed, cfg.decay);
         }
         assert!(
             genuine.rollback_rate() > cfg.rollback_threshold,
@@ -601,6 +613,40 @@ mod tests {
             .allowed());
         assert!(ThrottlePolicy
             .decide(&mut false_shared, &cfg, ForkModel::Mixed)
+            .allowed());
+    }
+
+    #[test]
+    fn throttle_treats_retried_conflicts_as_cheaper_than_squashes() {
+        // Two sites that conflict on every single join.  At one of them
+        // the recovery engine repairs every conflict by value prediction
+        // (reason None + retried), at the other every conflict squashes.
+        let cfg = GovernorConfig::with_policy(PolicyKind::Throttle);
+        let mut retrying = SiteRecord::default();
+        let mut squashing = SiteRecord::default();
+        for _ in 0..8 {
+            retrying.absorb(None, false, true, 50, 0, 0, ForkModel::Mixed, cfg.decay);
+            squashing.absorb(
+                Some(mutls_membuf::RollbackReason::Conflict),
+                false,
+                false,
+                0,
+                50,
+                0,
+                ForkModel::Mixed,
+                cfg.decay,
+            );
+        }
+        assert!(retrying.retry_fraction() > 0.9);
+        assert_eq!(retrying.retries, 8);
+        assert_eq!(retrying.rollbacks, 0, "a retry is not a rollback");
+        // The retry-repaired site keeps speculating; the squashing site
+        // is shut down.
+        assert!(ThrottlePolicy
+            .decide(&mut retrying, &cfg, ForkModel::Mixed)
+            .allowed());
+        assert!(!ThrottlePolicy
+            .decide(&mut squashing, &cfg, ForkModel::Mixed)
             .allowed());
     }
 

@@ -85,6 +85,10 @@ pub struct SiteRecord {
     /// Conflict rollbacks classified as suspected false sharing (the
     /// tracking grain, not genuine sharing, most likely caused them).
     pub false_sharing: u64,
+    /// Commits repaired by value-predict-and-retry (a subset of
+    /// `commits`, never counted in `rollbacks`): the conflict cost one
+    /// re-validation pass instead of a squash-and-re-execute.
+    pub retries: u64,
     /// Rollbacks injected by the sensitivity experiment.
     pub injected: u64,
     /// Work (ns native / cycles simulated) that committed.
@@ -101,6 +105,9 @@ pub struct SiteRecord {
     pub hot_overflows: f64,
     /// Exponentially decayed suspected-false-sharing count.
     pub hot_false_sharing: f64,
+    /// Exponentially decayed retry count (retries also feed
+    /// `hot_commits`: a retried conflict is a success, not a squash).
+    pub hot_retries: f64,
     /// Per-fork-model accumulators, indexed by [`ForkModel::index`].
     pub per_model: [ModelStats; 3],
     /// Consecutive throttle denials since the last probe (throttle policy).
@@ -144,18 +151,32 @@ impl SiteRecord {
         (self.hot_false_sharing / self.hot_rollbacks).min(1.0)
     }
 
+    /// Recency-weighted fraction of *commits* that needed a value-predict
+    /// retry (0 with no commits).  A high fraction means the site keeps
+    /// conflicting but the conflicts are cheap — information for cost
+    /// models, not a reason to throttle.
+    pub fn retry_fraction(&self) -> f64 {
+        if self.hot_commits <= 0.0 {
+            return 0.0;
+        }
+        (self.hot_retries / self.hot_commits).min(1.0)
+    }
+
     /// Fold one join outcome into the record.  `reason` carries the cause
-    /// when the child rolled back (`None` = committed) and
-    /// `false_sharing` whether a conflict was classified as suspected
-    /// false sharing.  `decay` is the exponential forgetting factor
-    /// applied to the recency-weighted counters before the new sample is
-    /// added, so old behaviour fades and a throttled site can re-earn
-    /// speculation.
+    /// when the child rolled back (`None` = committed), `false_sharing`
+    /// whether a conflict was classified as suspected false sharing, and
+    /// `retried` whether a commit was repaired by value prediction (a
+    /// retried conflict counts as a *commit* — the policies must treat it
+    /// as far cheaper than a squash).  `decay` is the exponential
+    /// forgetting factor applied to the recency-weighted counters before
+    /// the new sample is added, so old behaviour fades and a throttled
+    /// site can re-earn speculation.
     #[allow(clippy::too_many_arguments)]
     pub fn absorb(
         &mut self,
         reason: Option<RollbackReason>,
         false_sharing: bool,
+        retried: bool,
         work: u64,
         wasted: u64,
         stall: u64,
@@ -166,12 +187,17 @@ impl SiteRecord {
         self.hot_rollbacks *= decay;
         self.hot_overflows *= decay;
         self.hot_false_sharing *= decay;
+        self.hot_retries *= decay;
         let m = &mut self.per_model[model.index()];
         match reason {
             None => {
                 self.commits += 1;
                 self.hot_commits += 1.0;
                 self.committed_work += work;
+                if retried {
+                    self.retries += 1;
+                    self.hot_retries += 1.0;
+                }
                 m.commits += 1;
                 m.committed_work += work;
             }
@@ -221,6 +247,8 @@ pub struct SiteProfile {
     pub conflicts: u64,
     /// Conflicts classified as suspected false sharing.
     pub false_sharing: u64,
+    /// Commits repaired by value-predict-and-retry.
+    pub retries: u64,
     /// Injected (sensitivity-mode) rollbacks.
     pub injected: u64,
     /// Committed work.
@@ -244,6 +272,7 @@ impl SiteProfile {
             overflows: record.overflows,
             conflicts: record.conflicts,
             false_sharing: record.false_sharing,
+            retries: record.retries,
             injected: record.injected,
             committed_work: record.committed_work,
             wasted_work: record.wasted_work,
@@ -302,20 +331,29 @@ impl SiteProfiler {
     }
 
     /// Snapshot every site, sorted by site ID.
+    ///
+    /// Lock discipline (the >64-CPU scale path): shard locks are taken
+    /// **one at a time** and held only long enough to clone the `Arc`s out
+    /// of the map — never while a record mutex is locked, and never more
+    /// than one shard at once.  Hot-path threads recording outcomes on
+    /// other shards (or on this shard's records, whose mutexes are
+    /// outside the shard lock) are therefore not serialized behind a
+    /// snapshot, which runs concurrently with profiling at every point.
     pub fn snapshot(&self) -> Vec<SiteProfile> {
-        let mut rows: Vec<SiteProfile> = self
-            .shards
-            .iter()
-            .flat_map(|shard| {
+        let mut rows: Vec<SiteProfile> = Vec::new();
+        for shard in &self.shards {
+            let cells: Vec<(SiteId, Arc<Mutex<SiteRecord>>)> = {
                 let map = shard.read().unwrap_or_else(|e| e.into_inner());
                 map.iter()
-                    .map(|(site, cell)| {
-                        let record = cell.lock().unwrap_or_else(|e| e.into_inner());
-                        SiteProfile::from_record(*site, &record)
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+                    .map(|(site, cell)| (*site, Arc::clone(cell)))
+                    .collect()
+            };
+            // Shard lock released: lock each record individually.
+            for (site, cell) in cells {
+                let record = cell.lock().unwrap_or_else(|e| e.into_inner());
+                rows.push(SiteProfile::from_record(site, &record));
+            }
+        }
         rows.sort_by_key(|p| p.site);
         rows
     }
@@ -350,6 +388,7 @@ mod tests {
             r.absorb(
                 Some(RollbackReason::Conflict),
                 false,
+                false,
                 0,
                 100,
                 0,
@@ -363,7 +402,7 @@ mod tests {
         assert!(r.rollback_rate() > 0.99);
         // Commits push the decayed rate down geometrically.
         for _ in 0..4 {
-            r.absorb(None, false, 100, 0, 0, ForkModel::Mixed, 0.5);
+            r.absorb(None, false, false, 100, 0, 0, ForkModel::Mixed, 0.5);
         }
         assert!(r.rollback_rate() < 0.1, "rate = {}", r.rollback_rate());
         assert_eq!(r.samples(), 8);
@@ -375,6 +414,7 @@ mod tests {
         r.absorb(
             Some(RollbackReason::Overflow),
             false,
+            false,
             0,
             10,
             0,
@@ -384,6 +424,7 @@ mod tests {
         r.absorb(
             Some(RollbackReason::Conflict),
             false,
+            false,
             0,
             10,
             0,
@@ -392,6 +433,7 @@ mod tests {
         );
         r.absorb(
             Some(RollbackReason::Injected),
+            false,
             false,
             0,
             10,
@@ -412,7 +454,7 @@ mod tests {
         for site in [44u32, 2, 17, 300] {
             p.with_site(site, |r| {
                 r.forks = site as u64;
-                r.absorb(None, false, 5, 0, 1, ForkModel::Mixed, 0.9);
+                r.absorb(None, false, false, 5, 0, 1, ForkModel::Mixed, 0.9);
             });
         }
         let rows = p.snapshot();

@@ -1,21 +1,66 @@
 //! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
 //!
 //! ```text
-//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|all> \
-//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...]
+//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|all> \
+//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--json <path>]
 //! ```
+//!
+//! With `--json <path>` the native sweeps (recovery, grain, conflict,
+//! overflow, adaptive) additionally write their per-point rows — wasted
+//! work, commit throughput, retry/doom counts — as one JSON document, so
+//! the perf trajectory can be tracked across PRs (e.g. `BENCH_PR4.json`).
 
 use std::process::ExitCode;
 
+use serde::Serialize;
+
 use mutls_harness::{
     adaptive_sweep, conflict_sweep, figure10, figure11, figure3, figure4, figure5, figure6,
-    figure7, figure8, figure9, grain_sweep, overflow_sweep, table2, ExperimentConfig,
+    figure7, figure8, figure9, grain_sweep, overflow_sweep, recovery_replay, recovery_sweep,
+    table2, ExperimentConfig,
 };
 use mutls_workloads::Scale;
 
-fn parse_args() -> Result<(Vec<String>, ExperimentConfig), String> {
+/// Collects the machine-readable rows of the experiments that produce
+/// them, keyed by experiment name (insertion order preserved).
+#[derive(Default)]
+struct JsonSink {
+    entries: Vec<(String, String)>,
+}
+
+impl JsonSink {
+    fn push<T: Serialize>(&mut self, name: &str, rows: &[T]) {
+        let mut out = String::new();
+        rows.serialize_json(&mut out);
+        // An experiment selected twice (e.g. `all recovery`) must not
+        // emit duplicate JSON keys; the latest rows win.
+        if let Some(entry) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            entry.1 = out;
+        } else {
+            self.entries.push((name.to_string(), out));
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from("{\"schema\":\"mutls-bench-v1\",\"experiments\":{");
+        for (i, (name, rows)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(name);
+            out.push_str("\":");
+            out.push_str(rows);
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+fn parse_args() -> Result<(Vec<String>, ExperimentConfig, Option<String>), String> {
     let mut config = ExperimentConfig::default();
     let mut selected = Vec::new();
+    let mut json_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,6 +84,9 @@ fn parse_args() -> Result<(Vec<String>, ExperimentConfig), String> {
                 let value = args.next().ok_or("--seed needs a value")?;
                 config.seed = value.parse().map_err(|_| "bad seed".to_string())?;
             }
+            "--json" => {
+                json_path = Some(args.next().ok_or("--json needs a path")?);
+            }
             other if !other.starts_with("--") => selected.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -46,10 +94,10 @@ fn parse_args() -> Result<(Vec<String>, ExperimentConfig), String> {
     if selected.is_empty() {
         selected.push("all".to_string());
     }
-    Ok((selected, config))
+    Ok((selected, config, json_path))
 }
 
-fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), String> {
+fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result<(), String> {
     match name {
         "table2" => println!("{}", table2(config).1),
         "fig3" => println!("{}", figure3(config).1),
@@ -61,16 +109,40 @@ fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), String> {
         "fig9" => println!("{}", figure9(config).1),
         "fig10" => println!("{}", figure10(config).1),
         "fig11" => println!("{}", figure11(config).1),
-        "adaptive" => println!("{}", adaptive_sweep(config).1),
-        "conflict" => println!("{}", conflict_sweep(config).1),
-        "overflow" => println!("{}", overflow_sweep(config).1),
-        "grain" => println!("{}", grain_sweep(config).1),
+        "adaptive" => {
+            let (rows, text) = adaptive_sweep(config);
+            sink.push("adaptive", &rows);
+            println!("{text}");
+        }
+        "conflict" => {
+            let (rows, text) = conflict_sweep(config);
+            sink.push("conflict", &rows);
+            println!("{text}");
+        }
+        "overflow" => {
+            let (rows, text) = overflow_sweep(config);
+            sink.push("overflow", &rows);
+            println!("{text}");
+        }
+        "grain" => {
+            let (rows, text) = grain_sweep(config);
+            sink.push("grain", &rows);
+            println!("{text}");
+        }
+        "recovery" => {
+            let (rows, text) = recovery_sweep(config);
+            sink.push("recovery", &rows);
+            println!("{text}");
+            let (sim_rows, sim_text) = recovery_replay(config);
+            sink.push("recovery_replay", &sim_rows);
+            println!("{sim_text}");
+        }
         "all" => {
             for exp in [
                 "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "adaptive", "conflict", "overflow", "grain",
+                "adaptive", "conflict", "overflow", "grain", "recovery",
             ] {
-                run_one(exp, config)?;
+                run_one(exp, config, sink)?;
             }
         }
         other => return Err(format!("unknown experiment: {other}")),
@@ -79,21 +151,29 @@ fn run_one(name: &str, config: &ExperimentConfig) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let (selected, config) = match parse_args() {
+    let (selected, config, json_path) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|grain|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N]"
+                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|grain|recovery|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N] [--json <path>]"
             );
             return ExitCode::FAILURE;
         }
     };
+    let mut sink = JsonSink::default();
     for name in &selected {
-        if let Err(e) = run_one(name, &config) {
+        if let Err(e) = run_one(name, &config, &mut sink) {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, sink.render()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote machine-readable rows to {path}");
     }
     ExitCode::SUCCESS
 }

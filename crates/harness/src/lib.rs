@@ -18,6 +18,12 @@
 //! | Adaptive governor sweep (this repo)     | [`adaptive_sweep`] |
 //! | Conflict sweep, real rollbacks (this repo) | [`conflict_sweep`] |
 //! | Buffer-overflow pressure sweep (this repo) | [`overflow_sweep`] |
+//! | Commit-log grain sweep (this repo)      | [`grain_sweep`] |
+//! | Recovery-engine sweep (this repo)       | [`recovery_sweep`] |
+//!
+//! `mutls-experiments --json <path>` additionally writes the sweep rows
+//! of the native experiments as machine-readable JSON, so per-point
+//! wasted-work and commit-throughput figures can be tracked across PRs.
 //!
 //! The `mutls-experiments` binary wraps these functions; the Criterion
 //! benches in `crates/bench` regenerate the same rows under `cargo bench`.
@@ -38,9 +44,10 @@ pub mod report;
 pub use experiments::{
     adaptive_sweep, breakdown, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
     figure6, figure7, figure8, figure9, format_site_table, grain_label, grain_sweep,
-    overflow_sweep, record_workload, speedup_sweep, table2, AdaptiveRow, BreakdownRow,
-    ExperimentConfig, GrainRow, MetricKind, NativeRow, SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY,
+    overflow_sweep, record_workload, recovery_replay, recovery_sweep, recovery_sweep_modes,
+    speedup_sweep, table2, AdaptiveRow, BreakdownRow, ExperimentConfig, GrainRow, MetricKind,
+    NativeRow, RecoveryRow, RecoverySimRow, SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY,
     CONFLICT_SHARING_PERMILLE, GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS, NATIVE_POLICIES,
-    ROLLBACK_HEAVY,
+    RECOVERY_SWEEP_GRAINS, RECOVERY_SWEEP_PERMILLE, RECOVERY_SWEEP_REPS, ROLLBACK_HEAVY,
 };
 pub use report::{format_breakdown_table, format_rollback_cell, format_sweep_table, Table};

@@ -84,6 +84,38 @@
 //! Buffer-merge paths (`WordMap::weaken_version`, `GlobalBuffer::absorb`)
 //! compare two snapshots *of the same word*, which is always same-shard
 //! and therefore well-defined.
+//!
+//! ## Reader registry
+//!
+//! Alongside each range's version the log keeps a *reader registry*: a
+//! bitmask of the thread ids (ranks `1..=`[`MAX_TRACKED_READERS`]) whose
+//! read sets currently cover the range.  A committing writer can
+//! [`take_readers`](CommitLog::take_readers) of the ranges it just
+//! stamped and doom exactly those threads (*targeted dooming*) instead of
+//! squashing every logical successor.  Ranks beyond the tracked window
+//! collapse into a sticky overflow marker, which forces the caller back
+//! to the conservative cascade.
+//!
+//! Registration stays **off the commit lock**: a reader ORs its bit into
+//! the range's mask with a single atomic RMW and then (re-)reads the
+//! shard epoch — a seqlock-style double-checked read, since a snapshot
+//! sampled *before* the registration could let a racing committer both
+//! miss the bit and stay below the snapshot.  With the registration
+//! sequenced first (all four operations `SeqCst`), a committer whose
+//! [`take_readers`](CommitLog::take_readers) misses the bit must have
+//! published its epoch before the reader's snapshot, so the reader's
+//! snapshot covers the commit and no conflict existed.  Hence:
+//!
+//! * **Missed reader ⇒ impossible** *to go uncorrected*: either the
+//!   committer enumerates the reader (eager doom), or the reader's
+//!   snapshot already covers the commit (no conflict) — and join-time
+//!   version validation remains the oracle regardless, so eager dooming
+//!   is purely an accelerator and can never mask a genuine conflict.
+//! * **Stale reader ⇒ spurious doom only**: a bit left behind by a
+//!   thread that already finished dooms whatever now runs on that rank;
+//!   the doomed thread rolls back and re-executes — slower, never wrong.
+//!   Staleness is bounded by clearing masks on enumeration and by the
+//!   runtime unregistering a thread's reads when it is joined.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -115,6 +147,70 @@ pub const PAGE_GRAIN_LOG2: u32 = 12;
 /// `2^LOCK_SAMPLE_LOG2` is wall-clock timed and its lock-hold duration
 /// scaled up into [`CommitLogStats::lock_ns`].
 pub const LOCK_SAMPLE_LOG2: u32 = 3;
+
+/// Highest thread rank the reader registry tracks individually; ranks
+/// beyond it collapse into the sticky overflow marker of a [`ReaderSet`]
+/// (the caller must then fall back to the conservative squash cascade).
+pub const MAX_TRACKED_READERS: usize = 63;
+
+/// Registry bit marking "a reader beyond [`MAX_TRACKED_READERS`] touched
+/// this range": its identity is unknown, so enumeration is incomplete.
+const READER_OVERFLOW_BIT: u64 = 1 << 63;
+
+/// Registry bit of thread rank `rank` (0 = the non-speculative thread,
+/// which never registers: it reads coherent main memory directly).
+fn reader_bit(rank: usize) -> u64 {
+    match rank {
+        0 => 0,
+        r if r <= MAX_TRACKED_READERS => 1 << (r - 1),
+        _ => READER_OVERFLOW_BIT,
+    }
+}
+
+/// The set of reader ranks enumerated from the registry for a batch of
+/// ranges (see [`CommitLog::take_readers`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReaderSet {
+    bits: u64,
+}
+
+impl ReaderSet {
+    /// True when an untracked (rank > [`MAX_TRACKED_READERS`]) reader
+    /// touched one of the ranges: the enumeration is incomplete and the
+    /// caller must fall back to the cascade.
+    pub fn overflowed(&self) -> bool {
+        self.bits & READER_OVERFLOW_BIT != 0
+    }
+
+    /// True when no reader (tracked or untracked) is registered.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of individually tracked reader ranks in the set.
+    pub fn len(&self) -> usize {
+        (self.bits & !READER_OVERFLOW_BIT).count_ones() as usize
+    }
+
+    /// Whether `rank` is in the set.
+    pub fn contains(&self, rank: usize) -> bool {
+        let bit = reader_bit(rank);
+        bit != READER_OVERFLOW_BIT && bit != 0 && self.bits & bit != 0
+    }
+
+    /// The tracked reader ranks, ascending.
+    pub fn ranks(&self) -> impl Iterator<Item = usize> + '_ {
+        let mut bits = self.bits & !READER_OVERFLOW_BIT;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let tz = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(tz + 1)
+        })
+    }
+}
 
 /// Granularity and sharding of the commit log's version table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,17 +323,26 @@ struct Shard {
     dense: Vec<AtomicU64>,
     /// Sparse fallback for ranges beyond the dense window.
     sparse: RwLock<HashMap<RangeId, CommitVersion>>,
+    /// Dense per-range reader bitmasks (same indexing as `dense`);
+    /// registration/enumeration are lock-free atomic RMWs.
+    readers_dense: Vec<AtomicU64>,
+    /// Sparse reader-bitmask fallback for ranges beyond the dense window.
+    readers_sparse: RwLock<HashMap<RangeId, u64>>,
 }
 
 impl Shard {
     fn new(dense_ranges: usize) -> Self {
         let mut dense = Vec::with_capacity(dense_ranges);
         dense.resize_with(dense_ranges, || AtomicU64::new(0));
+        let mut readers_dense = Vec::with_capacity(dense_ranges);
+        readers_dense.resize_with(dense_ranges, || AtomicU64::new(0));
         Shard {
             epoch: AtomicU64::new(0),
             commit_lock: Mutex::new(()),
             dense,
             sparse: RwLock::new(HashMap::new()),
+            readers_dense,
+            readers_sparse: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -381,6 +486,188 @@ impl CommitLog {
             .load(Ordering::Acquire)
     }
 
+    /// Register thread `rank` as a reader of `addr`'s range and return the
+    /// read snapshot to stamp the read-set entry with.
+    ///
+    /// This is the seqlock-style protocol of the module docs: the bit is
+    /// ORed in first (one `SeqCst` RMW, off the commit lock) and the shard
+    /// epoch is (re-)read *after* the registration is globally visible.  A
+    /// committer whose [`take_readers`](Self::take_readers) misses the bit
+    /// must therefore have published its epoch before this snapshot, so
+    /// the snapshot covers the commit and the read is not stale.  Rank 0
+    /// (the non-speculative thread) registers nothing; ranks beyond
+    /// [`MAX_TRACKED_READERS`] set the sticky overflow marker.
+    pub fn register_reader(&self, addr: Addr, rank: usize) -> CommitVersion {
+        let range = self.range_of(addr);
+        let shard = &self.shards[self.shard_index(range)];
+        let bit = reader_bit(rank);
+        if bit != 0 {
+            let local = self.local_index(range);
+            if local < shard.readers_dense.len() {
+                shard.readers_dense[local].fetch_or(bit, Ordering::SeqCst);
+            } else {
+                *shard
+                    .readers_sparse
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(range)
+                    .or_insert(0) |= bit;
+            }
+        }
+        shard.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Remove thread `rank` from the reader registry of every range
+    /// covering `addrs` (a joined thread's read set — committed or
+    /// squashed, its registrations are dead and would only cause spurious
+    /// dooms).  Untracked ranks (the overflow marker) cannot be removed
+    /// individually; the marker stays sticky until the next enumeration.
+    pub fn unregister_reader<I: IntoIterator<Item = Addr>>(&self, addrs: I, rank: usize) {
+        let bit = reader_bit(rank);
+        if bit == 0 || bit == READER_OVERFLOW_BIT {
+            return;
+        }
+        let mut last_range = None;
+        for addr in addrs {
+            let range = self.range_of(addr);
+            if last_range == Some(range) {
+                continue;
+            }
+            last_range = Some(range);
+            let shard = &self.shards[self.shard_index(range)];
+            let local = self.local_index(range);
+            if local < shard.readers_dense.len() {
+                shard.readers_dense[local].fetch_and(!bit, Ordering::SeqCst);
+            } else {
+                let mut sparse = shard
+                    .readers_sparse
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner());
+                if let Some(bits) = sparse.get_mut(&range) {
+                    *bits &= !bit;
+                    if *bits == 0 {
+                        sparse.remove(&range);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move the registrations for `addrs` from thread `from` to thread
+    /// `to` — a speculative parent absorbing its child's read set inherits
+    /// the child's dependences, so future commits to those ranges must
+    /// doom the *parent* now.
+    pub fn transfer_reader<I: IntoIterator<Item = Addr>>(&self, addrs: I, from: usize, to: usize) {
+        let from_bit = reader_bit(from);
+        let to_bit = reader_bit(to);
+        let mut last_range = None;
+        for addr in addrs {
+            let range = self.range_of(addr);
+            if last_range == Some(range) {
+                continue;
+            }
+            last_range = Some(range);
+            let shard = &self.shards[self.shard_index(range)];
+            let local = self.local_index(range);
+            if local < shard.readers_dense.len() {
+                if to_bit != 0 {
+                    shard.readers_dense[local].fetch_or(to_bit, Ordering::SeqCst);
+                }
+                if from_bit != 0 && from_bit != READER_OVERFLOW_BIT {
+                    shard.readers_dense[local].fetch_and(!from_bit, Ordering::SeqCst);
+                }
+            } else {
+                let mut sparse = shard
+                    .readers_sparse
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner());
+                let bits = sparse.entry(range).or_insert(0);
+                *bits |= to_bit;
+                if from_bit != READER_OVERFLOW_BIT {
+                    *bits &= !from_bit;
+                }
+                if *bits == 0 {
+                    sparse.remove(&range);
+                }
+            }
+        }
+    }
+
+    /// Enumerate *and clear* the registered readers of every range
+    /// covering `addrs` — called by a committing writer immediately after
+    /// [`record`](Self::record), so the returned set is exactly the
+    /// threads whose read sets overlap the just-stamped ranges (plus the
+    /// overflow marker when an untracked rank is among them).  Clearing on
+    /// enumeration bounds registry staleness: the returned readers are
+    /// about to be doomed and will re-register when they re-execute.
+    pub fn take_readers<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> ReaderSet {
+        let mut bits = 0u64;
+        let mut last_range = None;
+        for addr in addrs {
+            let range = self.range_of(addr);
+            if last_range == Some(range) {
+                continue;
+            }
+            last_range = Some(range);
+            let shard = &self.shards[self.shard_index(range)];
+            let local = self.local_index(range);
+            if local < shard.readers_dense.len() {
+                // Fast path: an unread range stays a single load — but it
+                // must be SeqCst, not relaxed, or it could miss a
+                // registration that precedes this enumeration in the SC
+                // order and break the missed-reader argument of the
+                // module docs (a relaxed load participates in no SC
+                // total order).
+                if shard.readers_dense[local].load(Ordering::SeqCst) != 0 {
+                    bits |= shard.readers_dense[local].swap(0, Ordering::SeqCst);
+                }
+            } else {
+                let occupied = !shard
+                    .readers_sparse
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .is_empty();
+                if occupied {
+                    if let Some(found) = shard
+                        .readers_sparse
+                        .write()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&range)
+                    {
+                        bits |= found;
+                    }
+                }
+            }
+        }
+        ReaderSet { bits }
+    }
+
+    /// Enumerate-and-clear the readers of a single word's range (the
+    /// non-speculative direct-store fast path).
+    pub fn take_readers_of_word(&self, addr: Addr) -> ReaderSet {
+        self.take_readers([addr])
+    }
+
+    /// The raw registered-reader bitmask of `addr`'s range (tests and
+    /// diagnostics; does not clear).
+    pub fn registered_readers(&self, addr: Addr) -> ReaderSet {
+        let range = self.range_of(addr);
+        let shard = &self.shards[self.shard_index(range)];
+        let local = self.local_index(range);
+        let bits = if local < shard.readers_dense.len() {
+            shard.readers_dense[local].load(Ordering::SeqCst)
+        } else {
+            shard
+                .readers_sparse
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&range)
+                .copied()
+                .unwrap_or(0)
+        };
+        ReaderSet { bits }
+    }
+
     /// The maximum shard epoch (acquire per shard) — a monotone bound for
     /// diagnostics.  **Not** a valid read snapshot: shard counters
     /// advance independently, so use [`snapshot`](Self::snapshot) when
@@ -439,7 +726,11 @@ impl CommitLog {
             for &range in &ranges[start..end] {
                 self.stamp(shard_idx, range, version);
             }
-            shard.epoch.store(version, Ordering::Release);
+            // SeqCst (a release store plus SC ordering): the reader
+            // registry's missed-reader argument needs the epoch publish
+            // and the subsequent `take_readers` swap to be totally
+            // ordered against registration (see the module docs).
+            shard.epoch.store(version, Ordering::SeqCst);
             if let Some(started) = started {
                 self.lock_ns.fetch_add(
                     (started.elapsed().as_nanos() as u64) << LOCK_SAMPLE_LOG2,
@@ -471,7 +762,8 @@ impl CommitLog {
         let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
         let version = shard.epoch.load(Ordering::Relaxed) + 1;
         self.stamp(shard_idx, range, version);
-        shard.epoch.store(version, Ordering::Release);
+        // SeqCst for the reader-registry ordering (see `record`).
+        shard.epoch.store(version, Ordering::SeqCst);
         if let Some(started) = started {
             self.lock_ns.fetch_add(
                 (started.elapsed().as_nanos() as u64) << LOCK_SAMPLE_LOG2,
@@ -542,6 +834,14 @@ impl CommitLog {
             }
             shard
                 .sparse
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+            for r in &shard.readers_dense {
+                r.store(0, Ordering::Relaxed);
+            }
+            shard
+                .readers_sparse
                 .write()
                 .unwrap_or_else(|e| e.into_inner())
                 .clear();
@@ -789,6 +1089,139 @@ mod tests {
         // tens-of-ns critical section can legitimately register as 0.)
         assert_eq!(log.stats().commits, 32);
         assert_eq!(log.stats().stamp_writes, 32);
+    }
+
+    #[test]
+    fn reader_registry_roundtrip_register_take_unregister() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain().shards(2), 256);
+        // Registration returns a snapshot usable exactly like snapshot().
+        let v = log.register_reader(8, 3);
+        assert_eq!(v, log.snapshot(8));
+        log.register_reader(8, 5);
+        log.register_reader(16, 7); // different range, untouched below
+        let set = log.registered_readers(8);
+        assert!(set.contains(3) && set.contains(5) && !set.contains(7));
+        assert_eq!(set.len(), 2);
+        // Enumeration returns exactly the overlapping readers and clears.
+        let taken = log.take_readers([8]);
+        assert_eq!(taken.ranks().collect::<Vec<_>>(), vec![3, 5]);
+        assert!(!taken.overflowed());
+        assert!(log.registered_readers(8).is_empty());
+        assert!(
+            log.registered_readers(16).contains(7),
+            "disjoint range kept"
+        );
+        // Unregister removes a single rank without touching others.
+        log.register_reader(16, 9);
+        log.unregister_reader([16], 7);
+        let set = log.registered_readers(16);
+        assert!(!set.contains(7) && set.contains(9));
+        // Rank 0 (non-speculative) never registers.
+        log.register_reader(24, 0);
+        assert!(log.registered_readers(24).is_empty());
+    }
+
+    #[test]
+    fn reader_registry_tracks_ranges_not_words() {
+        // At line grain two words of the same line share one reader mask,
+        // and a commit to either word enumerates the reader.
+        let log = CommitLog::with_config(CommitLogConfig::line_grain(), 0);
+        log.register_reader(8, 2);
+        assert!(log.registered_readers(56).contains(2), "same line");
+        assert!(!log.registered_readers(64).contains(2), "next line");
+        let taken = log.take_readers_of_word(48);
+        assert!(taken.contains(2));
+    }
+
+    #[test]
+    fn reader_registry_overflows_past_the_tracked_window() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 0);
+        log.register_reader(8, MAX_TRACKED_READERS);
+        log.register_reader(8, MAX_TRACKED_READERS + 1);
+        let set = log.take_readers([8]);
+        assert!(set.contains(MAX_TRACKED_READERS));
+        assert!(
+            set.overflowed(),
+            "untracked rank must force the cascade fallback"
+        );
+        assert_eq!(set.len(), 1, "overflow marker is not a rank");
+    }
+
+    #[test]
+    fn reader_transfer_moves_the_dependence_to_the_parent() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 512);
+        log.register_reader(8, 4);
+        log.register_reader(1 << 20, 4); // sparse range
+        log.transfer_reader([8, 1 << 20], 4, 2);
+        for addr in [8u64, 1 << 20] {
+            let set = log.registered_readers(addr);
+            assert!(set.contains(2), "parent registered at {addr}");
+            assert!(!set.contains(4), "child unregistered at {addr}");
+        }
+    }
+
+    #[test]
+    fn clear_resets_the_reader_registry() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 64);
+        log.register_reader(8, 1);
+        log.register_reader(1 << 16, 2); // sparse
+        log.clear();
+        assert!(log.registered_readers(8).is_empty());
+        assert!(log.registered_readers(1 << 16).is_empty());
+    }
+
+    #[test]
+    fn registered_reader_with_stale_snapshot_is_always_enumerated() {
+        // The deterministic half of the seqlock argument: a reader whose
+        // registration precedes a commit is enumerated by that commit's
+        // take_readers — the "doom exactly the stale readers" contract.
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 64);
+        let snapshot = log.register_reader(8, 7);
+        let version = log.record_word(8);
+        assert!(version > snapshot, "the read is stale");
+        let taken = log.take_readers_of_word(8);
+        assert!(taken.contains(7), "stale reader missed by enumeration");
+        // A second enumeration finds nothing (cleared on take).
+        assert!(log.take_readers_of_word(8).is_empty());
+    }
+
+    #[test]
+    fn concurrent_registration_and_enumeration_never_strands_a_stale_reader() {
+        // Concurrent hammer of the protocol: after a commit, a reader is
+        // either enumerated by some take_readers or its snapshot covers
+        // the commit (no conflict) — a reader can never be both stale and
+        // permanently invisible.  The reader thread checks its own half.
+        let log = std::sync::Arc::new(CommitLog::with_dense_bytes(64));
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        let enumerated = std::sync::Arc::new(AtomicU64::new(0));
+        let committer = {
+            let log = std::sync::Arc::clone(&log);
+            let stop = std::sync::Arc::clone(&stop);
+            let enumerated = std::sync::Arc::clone(&enumerated);
+            std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    log.record_word(8);
+                    if log.take_readers_of_word(8).contains(7) {
+                        enumerated.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                stop.store(1, Ordering::Release);
+            })
+        };
+        let mut covered = 0u64;
+        while stop.load(Ordering::Acquire) == 0 {
+            let snapshot = log.register_reader(8, 7);
+            if log.version_of(8) <= snapshot {
+                // Snapshot covers every commit so far: a take_readers
+                // that missed this registration missed nothing stale.
+                covered += 1;
+            }
+        }
+        committer.join().unwrap();
+        assert!(
+            covered > 0 || enumerated.load(Ordering::Relaxed) > 0,
+            "reader neither covered nor ever enumerated"
+        );
     }
 
     #[test]

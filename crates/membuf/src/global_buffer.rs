@@ -96,6 +96,9 @@ pub struct GlobalBuffer {
     read_set: WordMap,
     write_set: WordMap,
     stats: BufferStats,
+    /// Thread rank registered in the commit log's reader registry on every
+    /// first-touch read (0 = anonymous: snapshot without registering).
+    reader: usize,
 }
 
 impl GlobalBuffer {
@@ -105,7 +108,22 @@ impl GlobalBuffer {
             read_set: WordMap::new(config.read_capacity_words, config.overflow_capacity),
             write_set: WordMap::new(config.write_capacity_words, config.overflow_capacity),
             stats: BufferStats::default(),
+            reader: 0,
         }
+    }
+
+    /// Create a buffer whose first-touch reads register thread `rank` in
+    /// the commit log's reader registry (see `CommitLog::register_reader`),
+    /// so committing writers can doom this thread surgically.
+    pub fn for_reader(config: BufferConfig, rank: usize) -> Self {
+        let mut buffer = Self::new(config);
+        buffer.reader = rank;
+        buffer
+    }
+
+    /// The rank this buffer registers as a reader (0 = anonymous).
+    pub fn reader(&self) -> usize {
+        self.reader
     }
 
     /// Activity counters accumulated since the last [`clear`](Self::clear).
@@ -116,6 +134,16 @@ impl GlobalBuffer {
     /// Number of words currently buffered in the read-set.
     pub fn read_set_len(&self) -> usize {
         self.read_set.len()
+    }
+
+    /// Whether the word at `addr` is in the read-set — i.e. the thread
+    /// read it from shared state before (or without) writing it.  The
+    /// runtime uses this to tell a *blind* store (write-only word: any
+    /// registered reader is reading underneath this thread's overlay)
+    /// from a read-modify-write (registered readers may be logical
+    /// predecessors and must not be doomed at store time).
+    pub fn has_read(&self, addr: Addr) -> bool {
+        self.read_set.get(addr & !(WORD_BYTES - 1)).is_some()
     }
 
     /// Number of words currently buffered in the write-set.
@@ -199,7 +227,18 @@ impl GlobalBuffer {
         // Sample the owning shard's epoch BEFORE reading the word: a
         // commit racing in between then stamps a higher version and
         // validation flags the read (conservatively), never misses it.
-        let version = log.map(|l| l.snapshot(word_addr)).unwrap_or(0);
+        // With a reader identity, registration precedes the snapshot
+        // (CommitLog's seqlock protocol), so a committer that misses the
+        // registration is covered by the snapshot.
+        let version = log
+            .map(|l| {
+                if self.reader != 0 {
+                    l.register_reader(word_addr, self.reader)
+                } else {
+                    l.snapshot(word_addr)
+                }
+            })
+            .unwrap_or(0);
         let value = mem.read_word(word_addr);
         match self
             .read_set
@@ -347,6 +386,49 @@ impl GlobalBuffer {
                 suspected_false_sharing: values_unchanged,
             }
         }
+    }
+
+    /// Value-predict retry: re-validate every read whose *range* conflicts
+    /// under `log` by comparing its first-read **value** against main
+    /// memory right now.
+    ///
+    /// Returns `true` — and re-stamps the conflicting entries with fresh
+    /// snapshots — when every conflicting word still holds its first-read
+    /// value: the commits that advanced the range versions published the
+    /// very values this thread read (or only touched neighbouring words
+    /// of a coarse range), so the execution is equivalent to one that read
+    /// *after* those commits and the thread may commit without
+    /// re-executing.  This covers both grain-induced false sharing and
+    /// the value-identical ABA case, which is serializable for the same
+    /// reason (the seed runtime's value validation relied on exactly this).
+    ///
+    /// Each fresh snapshot is sampled *before* its value is re-read, so a
+    /// commit racing the retry stamps a higher version and a later
+    /// validation pass flags the entry again — conservative, never missed.
+    /// On `false` (some value changed: a genuine dependence violation)
+    /// nothing is re-stamped.
+    pub fn revalidate_by_value(&mut self, log: &CommitLog, mem: &dyn MainMemory) -> bool {
+        let mut refreshed: Vec<(Addr, u64)> = Vec::new();
+        for entry in self.read_set.iter() {
+            if !log.written_after(entry.addr, entry.version) {
+                continue;
+            }
+            self.stats.validated_words += 1;
+            // Snapshot first, then the value read (the standard ordering).
+            let fresh = if self.reader != 0 {
+                log.register_reader(entry.addr, self.reader)
+            } else {
+                log.snapshot(entry.addr)
+            };
+            if mem.read_word(entry.addr) != entry.data {
+                return false;
+            }
+            refreshed.push((entry.addr, fresh));
+        }
+        for (addr, version) in refreshed {
+            self.read_set.refresh_version(addr, version);
+        }
+        true
     }
 
     /// Validate the read-set against an arbitrary memory *view*.
@@ -593,6 +675,57 @@ mod tests {
             },
             "changed value proves true sharing even on a neighbour write"
         );
+    }
+
+    #[test]
+    fn reader_identity_registers_on_first_touch_only() {
+        let mem = GlobalMemory::new(4096);
+        let log = word_log();
+        let mut buf = GlobalBuffer::for_reader(BufferConfig::default(), 5);
+        assert_eq!(buf.reader(), 5);
+        let p = mem.alloc::<u64>(2);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        assert!(log.registered_readers(p.addr_of(0)).contains(5));
+        assert!(!log.registered_readers(p.addr_of(1)).contains(5));
+        // A word the thread fully wrote itself carries no registration.
+        buf.store(p.addr_of(1), 9, 8).unwrap();
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(1), 8).unwrap();
+        assert!(!log.registered_readers(p.addr_of(1)).contains(5));
+    }
+
+    #[test]
+    fn value_predict_retry_succeeds_on_unchanged_values_and_restamps() {
+        let mem = GlobalMemory::new(4096);
+        let log = word_log();
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let p = mem.alloc::<u64>(2);
+        mem.set(&p, 0, 5);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        // A value-identical (ABA) commit to the read word: version
+        // validation flags it, value prediction validates it.
+        mem.set(&p, 0, 5);
+        log.record_word(p.addr_of(0));
+        assert!(!buf.validate_against(&log));
+        assert!(buf.revalidate_by_value(&log, &mem));
+        // The entry was re-stamped: validation passes until a new commit.
+        assert!(buf.validate_against(&log));
+        log.record_word(p.addr_of(0));
+        assert!(!buf.validate_against(&log), "retry is not a free pass");
+    }
+
+    #[test]
+    fn value_predict_retry_fails_on_changed_values_without_restamping() {
+        let mem = GlobalMemory::new(4096);
+        let log = word_log();
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let p = mem.alloc::<u64>(1);
+        mem.set(&p, 0, 5);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        mem.set(&p, 0, 6);
+        log.record_word(p.addr_of(0));
+        assert!(!buf.revalidate_by_value(&log, &mem));
+        // Nothing was re-stamped: the conflict is still visible.
+        assert!(!buf.validate_against(&log));
     }
 
     #[test]

@@ -42,8 +42,8 @@ pub mod wordmap;
 
 pub use address_space::AddressSpace;
 pub use commit_log::{
-    CommitLog, CommitLogConfig, CommitLogStats, CommitVersion, RangeId, LINE_GRAIN_LOG2,
-    PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2,
+    CommitLog, CommitLogConfig, CommitLogStats, CommitVersion, RangeId, ReaderSet, LINE_GRAIN_LOG2,
+    MAX_TRACKED_READERS, PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2,
 };
 pub use error::{BufferError, RollbackReason, SpecFailure};
 pub use global_buffer::{BufferConfig, BufferStats, GlobalBuffer, Validation};

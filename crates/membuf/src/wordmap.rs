@@ -242,6 +242,26 @@ impl WordMap {
         }
     }
 
+    /// Raise the stored version of `addr` to `version` if the entry
+    /// exists and currently carries an older stamp.  Used by the
+    /// value-predict retry path: a read whose conflicting range was
+    /// re-validated by value is re-stamped with the snapshot observed at
+    /// re-validation time, so only commits *after* the retry can flag it
+    /// again.  (The dual of [`weaken_version`](Self::weaken_version).)
+    pub fn refresh_version(&mut self, addr: Addr, version: u64) {
+        if let Probe::Found(slot) = self.probe(addr) {
+            if self.versions[slot] < version {
+                self.versions[slot] = version;
+            }
+            return;
+        }
+        if let Some(e) = self.overflow.iter_mut().find(|e| e.addr == addr) {
+            if e.version < version {
+                e.version = version;
+            }
+        }
+    }
+
     /// Iterate over every buffered word (direct-mapped entries in
     /// insertion order, then overflow entries).
     pub fn iter(&self) -> impl Iterator<Item = WordEntry> + '_ {
@@ -435,6 +455,23 @@ mod tests {
         let _ = m.insert_word_versioned(conflicting, 2, 9);
         m.weaken_version(conflicting, 3);
         assert_eq!(m.get(conflicting).unwrap().version, 3);
+    }
+
+    #[test]
+    fn refresh_version_only_raises() {
+        let mut m = WordMap::new(8, 2);
+        m.insert_word_versioned(0x100, 1, 4).unwrap();
+        m.refresh_version(0x100, 9);
+        assert_eq!(m.get(0x100).unwrap().version, 9);
+        // Refreshing never lowers a version.
+        m.refresh_version(0x100, 2);
+        assert_eq!(m.get(0x100).unwrap().version, 9);
+        // Missing entries are a no-op; overflow entries are reachable.
+        m.refresh_version(0x900, 11);
+        let conflicting = 0x100 + 8 * WORD_BYTES;
+        let _ = m.insert_word_versioned(conflicting, 2, 3);
+        m.refresh_version(conflicting, 6);
+        assert_eq!(m.get(conflicting).unwrap().version, 6);
     }
 
     #[test]

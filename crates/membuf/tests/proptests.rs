@@ -295,6 +295,61 @@ proptest! {
         );
     }
 
+    /// Targeted dooming is *surgical*: for arbitrary reader
+    /// registrations and an arbitrary write batch, the enumerated doom
+    /// set is always a **subset of the threads the old squash cascade
+    /// would have discarded** (every registered — i.e. in-flight —
+    /// speculative reader), and it contains exactly the readers whose
+    /// registered ranges the batch overlaps: no bystander is ever
+    /// doomed, no overlapping reader is ever missed, and a second
+    /// enumeration finds nothing (cleared on take).
+    #[test]
+    fn doom_set_is_a_subset_of_the_cascades_victims(
+        grain_log2 in grain_strategy(),
+        shards in (0u32..3).prop_map(|i| [1usize, 4, 8][i as usize]),
+        registrations in proptest::collection::vec(
+            (1usize..17, addr_strategy()), 0..40),
+        writes in proptest::collection::vec(addr_strategy(), 1..16),
+    ) {
+        let config = CommitLogConfig { grain_log2, shards };
+        let log = CommitLog::with_config(config, 0);
+        for (rank, addr) in &registrations {
+            log.register_reader(*addr, *rank);
+        }
+        let cascade_victims: std::collections::HashSet<usize> =
+            registrations.iter().map(|(rank, _)| *rank).collect();
+        let overlapping: std::collections::HashSet<usize> = registrations
+            .iter()
+            .filter(|(_, addr)| {
+                writes
+                    .iter()
+                    .any(|w| w >> grain_log2 == addr >> grain_log2)
+            })
+            .map(|(rank, _)| *rank)
+            .collect();
+        let doomed: std::collections::HashSet<usize> =
+            log.take_readers(writes.iter().copied()).ranks().collect();
+        prop_assert!(
+            doomed.is_subset(&cascade_victims),
+            "doomed a thread the cascade would not have squashed: {doomed:?} vs {cascade_victims:?}"
+        );
+        prop_assert_eq!(
+            &doomed, &overlapping,
+            "doom set is not exactly the overlapping readers"
+        );
+        // Cleared on enumeration: nothing left to doom twice.
+        prop_assert!(log.take_readers(writes.iter().copied()).is_empty());
+        // Disjoint registrations survive untouched.
+        for (rank, addr) in &registrations {
+            if !overlapping.contains(rank) {
+                prop_assert!(
+                    log.registered_readers(*addr).contains(*rank),
+                    "bystander registration of rank {rank} was consumed"
+                );
+            }
+        }
+    }
+
     /// Address-space registration: an address is contained iff it falls in
     /// a registered range that has not been unregistered.
     #[test]

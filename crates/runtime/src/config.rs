@@ -23,6 +23,89 @@ pub enum RollbackSource {
     Injected,
 }
 
+/// How a join-time conflict is repaired (see the recovery engine in
+/// `ThreadManager::validate_and_commit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// The pre-registry behaviour: conflicts are discovered lazily at
+    /// join-time validation and repaired by discarding the child's whole
+    /// subtree and re-executing the continuation inline.
+    Cascade,
+    /// Targeted dooming: committing writers enumerate the per-range
+    /// reader registry and doom exactly the threads whose read sets
+    /// overlap the written ranges (falling back to the cascade when the
+    /// registry overflows).  Join-time validation remains the oracle, so
+    /// this only changes *when* a doomed thread stops, never whether a
+    /// conflict is caught.
+    #[default]
+    Targeted,
+}
+
+impl RecoveryMode {
+    /// Short label for sweep tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryMode::Cascade => "cascade",
+            RecoveryMode::Targeted => "targeted",
+        }
+    }
+}
+
+/// Configuration of the conflict-recovery engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Whether misspeculation is repaired by the squash cascade alone or
+    /// by registry-driven targeted dooming.
+    pub mode: RecoveryMode,
+    /// Value-predict-and-retry: a join whose conflicting reads all still
+    /// hold their first-read values re-validates in place (the entries
+    /// are re-stamped) and commits without re-execution.
+    pub value_predict: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            mode: RecoveryMode::Targeted,
+            value_predict: true,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// The pre-registry baseline: lazy conflict discovery, full squash
+    /// cascade, no value prediction.
+    pub fn cascade_only() -> Self {
+        RecoveryConfig {
+            mode: RecoveryMode::Cascade,
+            value_predict: false,
+        }
+    }
+
+    /// Targeted dooming without value prediction.
+    pub fn targeted() -> Self {
+        RecoveryConfig {
+            mode: RecoveryMode::Targeted,
+            value_predict: false,
+        }
+    }
+
+    /// Targeted dooming plus value-predict-and-retry (the default).
+    pub fn targeted_with_retry() -> Self {
+        Self::default()
+    }
+
+    /// Short label for sweep tables.
+    pub fn label(&self) -> &'static str {
+        match (self.mode, self.value_predict) {
+            (RecoveryMode::Cascade, false) => "cascade",
+            (RecoveryMode::Cascade, true) => "cascade+retry",
+            (RecoveryMode::Targeted, false) => "targeted",
+            (RecoveryMode::Targeted, true) => "targeted+retry",
+        }
+    }
+}
+
 /// Configuration of a [`Runtime`](crate::Runtime) instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
@@ -56,6 +139,10 @@ pub struct RuntimeConfig {
     /// rollbacks; word grain ([`CommitLogConfig::word_grain`]) restores
     /// the exact per-word tracking of the original design.
     pub commit_log: CommitLogConfig,
+    /// The conflict-recovery engine: targeted dooming through the
+    /// per-range reader registry plus value-predict-and-retry (default),
+    /// or the plain squash cascade ([`RecoveryConfig::cascade_only`]).
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -71,6 +158,7 @@ impl Default for RuntimeConfig {
             memory_bytes: 64 << 20,
             governor: GovernorConfig::default(),
             commit_log: CommitLogConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -164,6 +252,25 @@ impl RuntimeConfig {
         self.commit_log.shards = shards;
         self
     }
+
+    /// Set the full recovery-engine configuration (builder style).
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Set the recovery mode, keeping the value-predict setting (builder
+    /// style).
+    pub fn recovery_mode(mut self, mode: RecoveryMode) -> Self {
+        self.recovery.mode = mode;
+        self
+    }
+
+    /// Enable or disable value-predict-and-retry (builder style).
+    pub fn value_predict(mut self, enabled: bool) -> Self {
+        self.recovery.value_predict = enabled;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +330,22 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_probability_panics() {
         let _ = RuntimeConfig::default().rollback_probability(1.5);
+    }
+
+    #[test]
+    fn recovery_builders_and_labels() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.recovery, RecoveryConfig::targeted_with_retry());
+        assert_eq!(c.recovery.label(), "targeted+retry");
+        let c = c.recovery(RecoveryConfig::cascade_only());
+        assert_eq!(c.recovery.mode, RecoveryMode::Cascade);
+        assert!(!c.recovery.value_predict);
+        assert_eq!(c.recovery.label(), "cascade");
+        let c = c.recovery_mode(RecoveryMode::Targeted);
+        assert_eq!(c.recovery, RecoveryConfig::targeted());
+        assert_eq!(c.recovery.label(), "targeted");
+        let c = c.value_predict(true);
+        assert_eq!(c.recovery, RecoveryConfig::default());
     }
 
     #[test]

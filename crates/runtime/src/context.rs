@@ -70,6 +70,12 @@ pub struct SpecContext {
     stats: ThreadStats,
     last_mark: Instant,
     op_counter: u32,
+    /// Depth of rollback-triggered inline re-executions currently on the
+    /// stack.  While positive, this thread's *buffered* stores hard-doom
+    /// their registered readers: any child it re-forked that reads a
+    /// range this thread rewrites is doomed from birth (it reads main
+    /// memory underneath the uncommitted overlay) and should stop now.
+    reexec_depth: u32,
 }
 
 impl SpecContext {
@@ -85,6 +91,7 @@ impl SpecContext {
             stats: ThreadStats::new(),
             last_mark: Instant::now(),
             op_counter: 0,
+            reexec_depth: 0,
         }
     }
 
@@ -95,7 +102,7 @@ impl SpecContext {
         rank: Rank,
         regvars: Vec<(usize, RegisterValue)>,
     ) -> Self {
-        let buffers = mgr.make_buffers();
+        let buffers = mgr.make_buffers(rank);
         let mut local = buffers.local;
         for (offset, value) in regvars {
             // Offsets were validated on the parent side; ignore overflow.
@@ -110,6 +117,7 @@ impl SpecContext {
             stats: ThreadStats::new(),
             last_mark: Instant::now(),
             op_counter: 0,
+            reexec_depth: 0,
         }
     }
 
@@ -231,6 +239,13 @@ impl SpecContext {
                 // ordering protocol).
                 self.mgr.memory().write_word(addr, value);
                 self.mgr.commit_log().record_word(addr);
+                // The store is a commit by definition (rank 0 is always
+                // logically earliest): doom its registered readers now —
+                // surgically, instead of letting them burn their whole
+                // conflict window before failing validation.
+                let (doomed, fallback) = self.mgr.doom_readers([addr], self.rank);
+                self.stats.counters.targeted_dooms += doomed;
+                self.stats.counters.cascade_fallbacks += u64::from(fallback);
                 Ok(())
             }
             Some(buffer) => {
@@ -239,7 +254,34 @@ impl SpecContext {
                 }
                 buffer
                     .store(addr, value, WORD_BYTES)
-                    .map_err(Self::map_buffer_error)
+                    .map_err(Self::map_buffer_error)?;
+                // A *blind* store (the thread never read this word) made
+                // during a rollback re-execution: any registered reader
+                // of the word is reading main memory underneath this
+                // uncommitted overlay and can never validate against it
+                // — hard-doom it now, before it wastes its window.
+                // Three gates keep the doom surgical: it only fires
+                // while re-executing (`reexec_depth > 0`, where the
+                // registered readers are the doomed-from-birth threads
+                // that speculated past the rolled-back join — outside a
+                // re-execution a registered reader may be a logical
+                // *predecessor* whose read is perfectly valid, e.g. a
+                // thread that read the word and then forked this very
+                // continuation); RMW words (read before written) are
+                // skipped for the same predecessor reason; and only at
+                // **word** grain, where reader and writer provably touch
+                // the same word — at coarser grains a registered
+                // "reader" may only share the range (false sharing) and
+                // could still validate.
+                if self.reexec_depth > 0
+                    && self.mgr.commit_log().config().grain_log2 == mutls_membuf::WORD_GRAIN_LOG2
+                    && !buffer.has_read(addr)
+                {
+                    let (doomed, fallback) = self.mgr.doom_readers_hard([addr], self.rank);
+                    self.stats.counters.targeted_dooms += doomed;
+                    self.stats.counters.cascade_fallbacks += u64::from(fallback);
+                }
+                Ok(())
             }
         }
     }
@@ -269,8 +311,38 @@ impl SpecContext {
     }
 
     fn check_abort(&mut self) -> SpecResult<()> {
-        if self.rank != 0 && self.mgr.abort_requested(self.rank) {
-            return Err(failure(SpecFailure::Cascaded));
+        if self.rank != 0 {
+            if self.mgr.abort_requested(self.rank) {
+                return Err(failure(SpecFailure::Cascaded));
+            }
+            if self.mgr.hard_doom_requested(self.rank) {
+                // A speculative writer's *buffered* store overlaps this
+                // thread's reads: the conflicting value is invisible in
+                // main memory, so no revalidation can help — stop now.
+                return Err(failure(SpecFailure::ReadConflict));
+            }
+            if self.mgr.doom_requested(self.rank) {
+                // A committing writer found this thread in the reader
+                // registry: its reads are (range-conservatively) stale.
+                // In-flight value-predict retry first: the registry is
+                // range-granular, so the doom may be false sharing — if
+                // every conflicting word still holds its first-read
+                // value, re-stamp, shrug the doom off and keep running.
+                if self.mgr.config().recovery.value_predict {
+                    if let Some(buffer) = self.global.as_mut() {
+                        let memory = self.mgr.memory();
+                        if buffer.revalidate_by_value(self.mgr.commit_log(), memory.as_ref()) {
+                            self.mgr.clear_doom(self.rank);
+                            self.stats.counters.retries_succeeded += 1;
+                            return Ok(());
+                        }
+                    }
+                }
+                // Genuinely stale: stop now instead of burning the rest
+                // of the conflict window; the join classifies this as a
+                // conflict rollback.
+                return Err(failure(SpecFailure::ReadConflict));
+            }
         }
         Ok(())
     }
@@ -305,10 +377,16 @@ impl SpecContext {
         }
     }
 
-    /// Join a speculative child: synchronize, validate, commit or roll
-    /// back, and release its CPU.  Returns the decision.  `site` and
-    /// `model` identify the fork point for governor feedback.
-    fn join_child(&mut self, child: Rank, site: u32, model: ForkModel) -> Result<(), SpecFailure> {
+    /// Join a speculative child: synchronize, validate, commit (possibly
+    /// via value-predict retry) or roll back, and release its CPU.
+    /// Returns the decision.  `site` and `model` identify the fork point
+    /// for governor feedback.
+    fn join_child(
+        &mut self,
+        child: Rank,
+        site: u32,
+        model: ForkModel,
+    ) -> Result<crate::manager::CommitKind, SpecFailure> {
         // Children-stack discipline (paper §IV-F): pop until the expected
         // child is found; anything popped in between violated the
         // mixed-model ordering assumption and is discarded (NOSYNC).
@@ -327,10 +405,52 @@ impl SpecContext {
 
         // Wait for the child to stop (its closure completed, reached a
         // barrier or failed); this is idle time on the joining thread.
+        // A *speculative* joiner keeps watching its own doom flags while
+        // blocked: if a committing writer dooms it mid-wait, waiting out
+        // the child's (equally doomed) subtree would waste the whole
+        // window, so the join is abandoned and the subtree reaped now.
         let wait_started = Instant::now();
-        let mut outcome = self.mgr.wait_outcome(child);
+        let outcome = if self.rank == 0 {
+            Some(self.mgr.wait_outcome(child))
+        } else {
+            let mgr = Arc::clone(&self.mgr);
+            let rank = self.rank;
+            let global = &mut self.global;
+            let stats = &mut self.stats;
+            mgr.wait_outcome_where(child, || {
+                if mgr.abort_requested(rank) || mgr.hard_doom_requested(rank) {
+                    return true;
+                }
+                if !mgr.doom_requested(rank) {
+                    return false;
+                }
+                // In-flight value-predict retry, as in `check_abort`.
+                if mgr.config().recovery.value_predict {
+                    if let Some(buffer) = global.as_mut() {
+                        let memory = mgr.memory();
+                        if buffer.revalidate_by_value(mgr.commit_log(), memory.as_ref()) {
+                            mgr.clear_doom(rank);
+                            stats.counters.retries_succeeded += 1;
+                            return false;
+                        }
+                    }
+                }
+                true
+            })
+        };
         self.stats
             .add(Phase::Idle, wait_started.elapsed().as_nanos() as u64);
+        let Some(mut outcome) = outcome else {
+            // Doomed (or aborted) while blocked: reap the child's subtree
+            // and unwind; the joiner's own joiner re-executes.
+            self.mgr.reap_subtree(child);
+            let reason = if self.mgr.abort_requested(self.rank) {
+                SpecFailure::Cascaded
+            } else {
+                SpecFailure::ReadConflict
+            };
+            return Err(reason);
+        };
         // Time the child spent waiting to be joined is speculative idle.
         outcome.stats.add(
             Phase::Idle,
@@ -341,7 +461,7 @@ impl SpecContext {
 
         let verdict = self
             .mgr
-            .validate_and_commit(&mut outcome, self.global.as_mut());
+            .validate_and_commit(child, &mut outcome, self.global.as_mut());
 
         // Finalize the child's buffers (clearing cost is charged to the
         // speculative path, as in the paper's breakdown).
@@ -363,15 +483,17 @@ impl SpecContext {
             outcome.stats.mark_work_wasted();
         }
         // Feed the join outcome back into the governor's site profile,
-        // carrying the false-sharing classification `validate_and_commit`
-        // recorded so Throttle can back off differently on grain-induced
-        // conflicts.
+        // carrying the false-sharing classification and the retry verdict
+        // `validate_and_commit` recorded, so Throttle can back off
+        // differently on grain-induced conflicts and treat a retried
+        // conflict as the cheap repair it is.
         let site_outcome = match verdict {
-            Ok(()) => SiteOutcome::committed(
+            Ok(kind) => SiteOutcome::committed(
                 outcome.stats.get(Phase::Work),
                 outcome.stats.get(Phase::Idle),
                 model,
-            ),
+            )
+            .with_retry(kind.retried()),
             Err(reason) => SiteOutcome::rolled_back(
                 reason,
                 outcome.stats.get(Phase::WastedWork),
@@ -381,7 +503,13 @@ impl SpecContext {
             .with_false_sharing(outcome.stats.counters.false_sharing_suspects > 0),
         };
         self.mgr.governor().record_outcome(site, &site_outcome);
-        self.mgr.record_speculative(&outcome.stats, verdict.err());
+        self.mgr.record_speculative(
+            &outcome.stats,
+            verdict.err(),
+            verdict
+                .map(crate::manager::CommitKind::retried)
+                .unwrap_or(false),
+        );
         self.mgr.release_cpu(child, self.rank);
         verdict
     }
@@ -414,6 +542,26 @@ impl TlsContext for SpecContext {
         task: TaskRef<Self>,
     ) -> SpecResult<SpecHandle> {
         self.check_abort()?;
+
+        // A *speculative* parent re-executing a continuation after a
+        // rollback must not re-speculate: its accumulated write-set is
+        // invisible in main memory, so any child it forked would read
+        // stale values underneath the overlay and be doomed from birth —
+        // re-forking here is what turns one conflict into a cascade of
+        // garbage subtrees.  The re-execution is pinned inline instead.
+        // (Rank 0 re-executions keep forking: their stores publish
+        // immediately, so re-forked children read fresh values and the
+        // reader registry surgically dooms the genuinely stale ones.)
+        if self.rank != 0 && self.reexec_depth > 0 {
+            self.stats.counters.failed_forks += 1;
+            return Ok(SpecHandle {
+                point,
+                task,
+                child: None,
+                model,
+                throttled: false,
+            });
+        }
 
         // Ask the adaptive governor whether this fork site may speculate
         // (and under which model) before spending any fork overhead.
@@ -494,7 +642,7 @@ impl TlsContext for SpecContext {
         self.end_overhead(Phase::Join, join_started);
 
         match verdict {
-            Ok(()) => {
+            Ok(_kind) => {
                 self.stats.counters.commits += 1;
                 Ok(JoinOutcome::Committed)
             }
@@ -504,8 +652,13 @@ impl TlsContext for SpecContext {
                     .record_rollback(RollbackReason::from(reason));
                 // Rollback (squash): the parent re-executes the
                 // continuation inline; the squash already cascaded into
-                // the child's own speculative subtree above.
-                self.run_inline(&task)?;
+                // the child's own speculative subtree above.  While the
+                // re-execution runs, this thread's buffered stores
+                // hard-doom their registered readers (see `spec_write`).
+                self.reexec_depth += 1;
+                let inline_result = self.run_inline(&task);
+                self.reexec_depth -= 1;
+                inline_result?;
                 Ok(JoinOutcome::RolledBack(reason))
             }
         }

@@ -29,7 +29,7 @@ use mutls_membuf::{
     RollbackReason, SpecFailure, Validation,
 };
 
-use crate::config::{RollbackSource, RuntimeConfig};
+use crate::config::{RecoveryMode, RollbackSource, RuntimeConfig};
 use crate::context::SpecContext;
 use crate::fork_model::ForkModel;
 use crate::stats::{Phase, ThreadStats};
@@ -84,6 +84,19 @@ pub(crate) struct Slot {
     state: std::sync::atomic::AtomicU8,
     /// Set when the thread (or its subtree root) must abandon its work.
     abort: AtomicBool,
+    /// Set by a committing writer that found this thread in the per-range
+    /// reader registry: the thread's reads are (range-conservatively)
+    /// stale and it should stop burning cycles now instead of failing
+    /// validation at its join (targeted dooming).  The conflict is
+    /// *published*, so the victim may attempt an in-flight value-predict
+    /// retry against main memory before giving up.
+    doomed: AtomicBool,
+    /// Set by a speculative writer whose *buffered* store overlaps this
+    /// thread's registered reads — the classic doomed-from-birth child of
+    /// an inline re-execution.  The conflicting value lives in a private
+    /// write-set, so no value revalidation against main memory can clear
+    /// it: the victim must stop unconditionally.
+    doomed_hard: AtomicBool,
     /// Set when nobody will ever join this thread; the worker cleans up
     /// after itself in that case.
     orphaned: AtomicBool,
@@ -101,6 +114,8 @@ impl Slot {
         Slot {
             state: AtomicU8::new(CPU_IDLE),
             abort: AtomicBool::new(false),
+            doomed: AtomicBool::new(false),
+            doomed_hard: AtomicBool::new(false),
             orphaned: AtomicBool::new(false),
             site: AtomicU32::new(0),
             model: AtomicU8::new(ForkModel::Mixed.index() as u8),
@@ -124,7 +139,63 @@ struct RunAccumulators {
     speculative: ThreadStats,
     committed_threads: u64,
     rolled_back_threads: u64,
+    retried_threads: u64,
     rolled_back_by_reason: [u64; RollbackReason::COUNT],
+}
+
+/// Totals of one speculative region run (see
+/// [`ThreadManager::run_snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct RunTotals {
+    /// Combined statistics of every speculative thread.
+    pub speculative: ThreadStats,
+    /// Speculative threads that committed (including retried ones).
+    pub committed: u64,
+    /// Speculative threads that rolled back.
+    pub rolled_back: u64,
+    /// Committed threads whose conflict was repaired by
+    /// value-predict-and-retry (a subset of `committed`, never counted in
+    /// `rolled_back`).
+    pub retried: u64,
+    /// Rolled-back threads split by cause.
+    pub by_reason: [u64; RollbackReason::COUNT],
+}
+
+/// How a validated join finished (see
+/// [`ThreadManager::validate_and_commit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitKind {
+    /// Validation passed outright.
+    Committed,
+    /// Validation initially conflicted but value prediction re-validated
+    /// every conflicting read in place: the thread committed without
+    /// re-execution.
+    Retried,
+}
+
+impl CommitKind {
+    /// True for a value-predict retry.
+    pub fn retried(self) -> bool {
+        matches!(self, CommitKind::Retried)
+    }
+}
+
+/// The repair the recovery engine chose for one conflicting join — the
+/// cheapest *sound* option available (see the README's decision table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryPlan {
+    /// Every conflicting read still holds its first-read value: re-stamp
+    /// and commit in place, no re-execution, nobody else is disturbed.
+    Retry,
+    /// Re-execute the child inline and eagerly doom exactly these ranks —
+    /// the registered readers of the ranges the re-execution will rewrite.
+    /// Always a subset of the threads the squash cascade would discard
+    /// (every active speculative thread).
+    DoomSet(Vec<Rank>),
+    /// No registry answer (cascade mode, or an untracked rank read one of
+    /// the ranges): fall back to lazy join-time discovery — the original
+    /// squash-everything-younger behaviour.
+    SquashCascade,
 }
 
 /// Central coordinator shared by every context and worker.
@@ -261,6 +332,8 @@ impl ThreadManager {
             {
                 let rank = i + 1;
                 slot.abort.store(false, Ordering::Release);
+                slot.doomed.store(false, Ordering::Release);
+                slot.doomed_hard.store(false, Ordering::Release);
                 slot.orphaned.store(false, Ordering::Release);
                 *slot.result.lock() = None;
                 self.active.fetch_add(1, Ordering::AcqRel);
@@ -298,6 +371,129 @@ impl ThreadManager {
         rank != 0 && self.slots[rank - 1].abort.load(Ordering::Relaxed)
     }
 
+    /// True if the speculative thread `rank` was doomed surgically by a
+    /// committing writer (its registered reads are stale; an in-flight
+    /// value-predict retry may still clear it).
+    pub fn doom_requested(&self, rank: Rank) -> bool {
+        rank != 0 && self.slots[rank - 1].doomed.load(Ordering::Relaxed)
+    }
+
+    /// True if the speculative thread `rank` was doomed by a *buffered*
+    /// (uncommitted) write overlapping its reads — unconditional, no
+    /// value revalidation can clear it (the conflicting value is in a
+    /// private write-set, invisible in main memory).
+    pub fn hard_doom_requested(&self, rank: Rank) -> bool {
+        rank != 0 && self.slots[rank - 1].doomed_hard.load(Ordering::Relaxed)
+    }
+
+    /// Clear `rank`'s (soft) doom flag after an in-flight value-predict
+    /// retry re-validated (and re-stamped) every conflicting read: the
+    /// doom was range-induced false sharing (or a value-identical write)
+    /// and the thread may keep running.  A commit racing the retry
+    /// re-dooms or is caught by join-time validation against the fresh
+    /// stamps.  Hard dooms are never cleared.
+    pub fn clear_doom(&self, rank: Rank) {
+        if rank != 0 {
+            self.slots[rank - 1].doomed.store(false, Ordering::Release);
+        }
+    }
+
+    /// Doom exactly the threads registered as readers of the ranges
+    /// covering `addrs` — called by a committing writer right after the
+    /// ranges were stamped (or by a rollback about to re-execute them).
+    /// `exclude` (the finishing child, whose registrations are already
+    /// dead) is never doomed.  Returns `(doomed, fallback)`: how many
+    /// threads were doomed, and whether the registry overflowed so the
+    /// caller must rely on the lazy cascade instead.
+    ///
+    /// In [`RecoveryMode::Cascade`] the registry is never consulted and
+    /// nothing is doomed (conflicts surface at join-time validation, the
+    /// pre-registry behaviour).  Dooming is sound in every interleaving:
+    /// a doomed thread rolls back and re-executes, so a *spurious* doom
+    /// (stale registration, or a registration racing the commit) costs
+    /// time, never correctness — and join-time validation remains the
+    /// oracle for anything the registry missed.
+    pub fn doom_readers<I: IntoIterator<Item = Addr>>(
+        &self,
+        addrs: I,
+        exclude: Rank,
+    ) -> (u64, bool) {
+        self.doom_readers_with(addrs, exclude, false)
+    }
+
+    /// Like [`doom_readers`](Self::doom_readers), but the conflicting
+    /// write is *buffered* (a speculative writer's private write-set), so
+    /// the victims' doom is **hard**: no value revalidation against main
+    /// memory can clear it.  This is what stops the doomed-from-birth
+    /// children of an inline re-execution within one poll interval —
+    /// they read main memory underneath their (re-executing) parent's
+    /// uncommitted writes and can never validate.
+    pub fn doom_readers_hard<I: IntoIterator<Item = Addr>>(
+        &self,
+        addrs: I,
+        exclude: Rank,
+    ) -> (u64, bool) {
+        self.doom_readers_with(addrs, exclude, true)
+    }
+
+    fn doom_readers_with<I: IntoIterator<Item = Addr>>(
+        &self,
+        addrs: I,
+        exclude: Rank,
+        hard: bool,
+    ) -> (u64, bool) {
+        if self.config.recovery.mode != RecoveryMode::Targeted {
+            return (0, false);
+        }
+        let set = self.commit_log.take_readers(addrs);
+        if set.is_empty() {
+            return (0, false);
+        }
+        let mut doomed = 0;
+        for rank in set.ranks() {
+            if rank == exclude || rank > self.slots.len() {
+                continue;
+            }
+            let slot = &self.slots[rank - 1];
+            // Only running threads are doomed — the doom set is thereby a
+            // subset of what the cascade would squash (every active
+            // speculative thread); an idle slot's registration is stale.
+            if slot.state.load(Ordering::Acquire) == CPU_RUNNING {
+                if hard {
+                    slot.doomed_hard.store(true, Ordering::Release);
+                } else {
+                    slot.doomed.store(true, Ordering::Release);
+                }
+                doomed += 1;
+            }
+        }
+        (doomed, set.overflowed())
+    }
+
+    /// The recovery engine's choice for a join that failed dependence
+    /// validation and could not retry: surgically doom the registered
+    /// readers of the child's write ranges (the re-execution is about to
+    /// rewrite them), or fall back to the lazy squash cascade when the
+    /// registry cannot answer.  When the registry *partially* answers
+    /// (tracked readers plus the overflow marker), the tracked ranks are
+    /// still doomed — `take_readers` has already consumed their
+    /// registrations, so discarding them would silently strip their
+    /// eager-doom coverage; only the untracked remainder is left to lazy
+    /// join-time discovery.
+    pub fn plan_rollback_recovery(&self, child: Rank, outcome: &SpecOutcome) -> RecoveryPlan {
+        if self.config.recovery.mode != RecoveryMode::Targeted {
+            return RecoveryPlan::SquashCascade;
+        }
+        let set = self
+            .commit_log
+            .take_readers(outcome.buffers.global.write_addresses());
+        let ranks: Vec<Rank> = set.ranks().filter(|&r| r != child).collect();
+        if set.overflowed() && ranks.is_empty() {
+            return RecoveryPlan::SquashCascade;
+        }
+        RecoveryPlan::DoomSet(ranks)
+    }
+
     /// Block until the speculative thread `rank` deposits its outcome, then
     /// take it.
     pub fn wait_outcome(&self, rank: Rank) -> SpecOutcome {
@@ -307,6 +503,33 @@ impl ThreadManager {
             slot.result_cv.wait(&mut guard);
         }
         guard.take().expect("outcome present")
+    }
+
+    /// Like [`wait_outcome`](Self::wait_outcome), but the wait is
+    /// abandoned (returning `None`) when `abandon()` reports that the
+    /// *waiting* thread should stop — it was doomed or aborted while
+    /// blocked at the join.  Without this, a doomed speculative joiner
+    /// would sit out its child's entire (equally doomed) subtree before
+    /// noticing; with it, the doom unwinds the whole blocked chain within
+    /// the polling interval.  The abandoning caller still owns the child
+    /// and must reap it.
+    pub fn wait_outcome_where(
+        &self,
+        rank: Rank,
+        mut abandon: impl FnMut() -> bool,
+    ) -> Option<SpecOutcome> {
+        const DOOM_POLL: std::time::Duration = std::time::Duration::from_micros(100);
+        let slot = &self.slots[rank - 1];
+        let mut guard = slot.result.lock();
+        loop {
+            if let Some(outcome) = guard.take() {
+                return Some(outcome);
+            }
+            if abandon() {
+                return None;
+            }
+            let _ = slot.result_cv.wait_for(&mut guard, DOOM_POLL);
+        }
     }
 
     /// Deposit the outcome of a finished speculative task.  Returns `true`
@@ -349,6 +572,9 @@ impl ThreadManager {
         for child in &outcome.children {
             self.reap_subtree(*child);
         }
+        // Dead registrations only cause spurious dooms.
+        self.commit_log
+            .unregister_reader(outcome.buffers.global.read_addresses(), rank);
         let mut stats = outcome.stats;
         stats.mark_work_wasted();
         self.report_discard_to_governor(rank, &stats, reason);
@@ -386,6 +612,8 @@ impl ThreadManager {
         for child in &outcome.children {
             self.drain_subtree(*child);
         }
+        self.commit_log
+            .unregister_reader(outcome.buffers.global.read_addresses(), rank);
         let mut stats = outcome.stats;
         stats.mark_work_wasted();
         self.report_discard_to_governor(rank, &stats, SpecFailure::Cascaded);
@@ -412,11 +640,15 @@ impl ThreadManager {
         }
     }
 
-    /// Validate a finished child and either publish or discard its buffers.
+    /// Validate a finished child and either publish, retry or discard its
+    /// buffers — the join half of the **recovery engine**, which picks the
+    /// cheapest sound repair per conflict (see [`RecoveryPlan`]).
     ///
-    /// `parent_buffer` is `Some` when the joiner is itself speculative; in
-    /// that case a valid child is *absorbed* into the parent's buffers
-    /// instead of being committed to main memory.
+    /// `child` is the virtual CPU the task ran on (0 in unit tests that
+    /// drive the protocol by hand); `parent_buffer` is `Some` when the
+    /// joiner is itself speculative, in which case a valid child is
+    /// *absorbed* into the parent's buffers instead of being committed to
+    /// main memory.
     ///
     /// Validation is the real dependence check of paper §IV-F: every
     /// read-set entry is checked against the shared [`CommitLog`] — did a
@@ -429,15 +661,27 @@ impl ThreadManager {
     /// write-set overlay, since the child could not observe those
     /// logically earlier writes at all.
     ///
-    /// Returns `Ok(())` on commit and `Err(reason)` on rollback.
+    /// The recovery ladder on a conflict:
+    ///
+    /// 1. **Value-predict retry** (when enabled): if every conflicting
+    ///    read still holds its first-read value, re-stamp and commit in
+    ///    place — no re-execution, `Ok(CommitKind::Retried)`.
+    /// 2. **Targeted dooming**: otherwise enumerate the registered
+    ///    readers of the child's write ranges (the inline re-execution is
+    ///    about to rewrite them) and doom exactly those threads.
+    /// 3. **Squash cascade**: when the registry cannot answer (cascade
+    ///    mode or overflow), fall back to lazy join-time discovery.
+    ///
+    /// Returns `Ok(kind)` on commit and `Err(reason)` on rollback.
     /// Validation/commit/finalize time is charged to the child's
     /// statistics, matching the paper's attribution of those phases to the
     /// speculative path.
     pub fn validate_and_commit(
         &self,
+        child: Rank,
         outcome: &mut SpecOutcome,
         parent_buffer: Option<&mut GlobalBuffer>,
-    ) -> Result<(), SpecFailure> {
+    ) -> Result<CommitKind, SpecFailure> {
         let started = Instant::now();
         let mem: &GlobalMemory = &self.memory;
 
@@ -446,6 +690,10 @@ impl ThreadManager {
             TaskStatus::Completed | TaskStatus::Barrier => None,
         };
         if let Some(reason) = failure {
+            // The thread is dead either way: its registrations would only
+            // cause spurious dooms from here on.
+            self.commit_log
+                .unregister_reader(outcome.buffers.global.read_addresses(), child);
             outcome.stats.add(Phase::Validation, elapsed_ns(started));
             return Err(reason);
         }
@@ -457,7 +705,22 @@ impl ThreadManager {
             .buffers
             .global
             .validate_against_with(&self.commit_log, mem);
-        let valid = log_verdict.is_valid()
+        let mut retried = false;
+        let log_valid = match log_verdict {
+            Validation::Valid => true,
+            Validation::Conflict { .. } if self.config.recovery.value_predict => {
+                // Recovery rung 1 — value prediction: the current
+                // committed values validate the reads, so the execution
+                // is equivalent to one that read after those commits.
+                retried = outcome
+                    .buffers
+                    .global
+                    .revalidate_by_value(&self.commit_log, mem);
+                retried
+            }
+            Validation::Conflict { .. } => false,
+        };
+        let valid = log_valid
             && match &parent_buffer {
                 None => true,
                 Some(parent) => {
@@ -481,37 +744,107 @@ impl ThreadManager {
                 // governor and the reports can tell the regimes apart.
                 outcome.stats.counters.false_sharing_suspects += 1;
             }
+            self.commit_log
+                .unregister_reader(outcome.buffers.global.read_addresses(), child);
+            // Recovery rungs 2/3 — the re-execution will rewrite the
+            // child's write ranges; doom their registered readers now
+            // instead of letting them burn their whole conflict window.
+            match self.plan_rollback_recovery(child, outcome) {
+                RecoveryPlan::Retry => unreachable!("retry handled above"),
+                RecoveryPlan::DoomSet(ranks) => {
+                    outcome.stats.counters.targeted_dooms += self.doom_ranks(&ranks);
+                }
+                RecoveryPlan::SquashCascade => {
+                    outcome.stats.counters.cascade_fallbacks += 1;
+                }
+            }
             return Err(SpecFailure::ReadConflict);
         }
 
         // Injected rollback — only under the opt-in sensitivity mode
         // (`RollbackSource::Injected`, paper §V-D).
         if self.draw_injected_rollback() {
+            self.commit_log
+                .unregister_reader(outcome.buffers.global.read_addresses(), child);
             return Err(SpecFailure::Injected);
         }
 
         // Commit.  Publishing to main memory records the batch in the
         // commit log (memory first, then the version bump — see the
         // ordering protocol on `CommitLog`), which is what dooms any
-        // still-running logical successor that read stale values.
+        // still-running logical successor that read stale values — now
+        // surgically, through the reader registry.
         let commit_started = Instant::now();
         let commit_result = match parent_buffer {
             None => {
+                // The child's own registrations die before its writes
+                // publish, so an RMW thread never dooms itself.
+                self.commit_log
+                    .unregister_reader(outcome.buffers.global.read_addresses(), child);
                 outcome.buffers.global.commit(mem);
                 if outcome.buffers.global.write_set_len() > 0 {
                     self.commit_log
                         .record(outcome.buffers.global.write_addresses());
+                    let (doomed, fallback) =
+                        self.doom_readers(outcome.buffers.global.write_addresses(), child);
+                    outcome.stats.counters.targeted_dooms += doomed;
+                    outcome.stats.counters.cascade_fallbacks += u64::from(fallback);
                 }
                 Ok(())
             }
-            Some(parent) => parent.absorb(&outcome.buffers.global),
+            Some(parent) => {
+                let absorbed = parent.absorb(&outcome.buffers.global);
+                match absorbed {
+                    Ok(()) => {
+                        // The child's read dependences became the
+                        // parent's: future commits to those ranges must
+                        // doom the parent now.  Transferred only *after*
+                        // a successful absorb — on overflow the child is
+                        // discarded and the parent must not inherit
+                        // registrations for ranges it never read.
+                        self.commit_log.transfer_reader(
+                            outcome.buffers.global.read_addresses(),
+                            child,
+                            parent.reader(),
+                        );
+                    }
+                    Err(_) => {
+                        // The child is about to be discarded; its
+                        // registrations are dead.
+                        self.commit_log
+                            .unregister_reader(outcome.buffers.global.read_addresses(), child);
+                    }
+                }
+                absorbed
+            }
         };
         outcome.stats.add(Phase::Commit, elapsed_ns(commit_started));
         match commit_result {
-            Ok(()) => Ok(()),
+            Ok(()) if retried => {
+                outcome.stats.counters.retries_succeeded += 1;
+                Ok(CommitKind::Retried)
+            }
+            Ok(()) => Ok(CommitKind::Committed),
             // The parent could not hold the child's data; discard the child.
             Err(_) => Err(SpecFailure::BufferOverflow),
         }
+    }
+
+    /// Apply a [`RecoveryPlan::DoomSet`]: set the doom flag of every
+    /// listed rank that is still running.  Returns how many were doomed.
+    fn doom_ranks(&self, ranks: &[Rank]) -> u64 {
+        let mut doomed = 0;
+        for &rank in ranks {
+            if rank == 0 || rank > self.slots.len() {
+                continue;
+            }
+            let slot = &self.slots[rank - 1];
+            if slot.state.load(Ordering::Acquire) == CPU_RUNNING {
+                slot.doomed.store(true, Ordering::Release);
+                doomed += 1;
+            }
+        }
+        doomed
     }
 
     /// Draw from the rollback-injection distribution.  Always `false`
@@ -533,12 +866,22 @@ impl ThreadManager {
 
     /// Fold a finished speculative thread's statistics into the current
     /// run's accumulators.  `rollback` carries the failure when the thread
-    /// rolled back (`None` = committed).
-    pub fn record_speculative(&self, stats: &ThreadStats, rollback: Option<SpecFailure>) {
+    /// rolled back (`None` = committed); `retried` marks a commit that was
+    /// repaired by value prediction (counted as a commit *and* a retry —
+    /// never as a rollback).
+    pub fn record_speculative(
+        &self,
+        stats: &ThreadStats,
+        rollback: Option<SpecFailure>,
+        retried: bool,
+    ) {
         let mut accum = self.accum.lock();
         accum.speculative.merge(stats);
         match rollback {
-            None => accum.committed_threads += 1,
+            None => {
+                accum.committed_threads += 1;
+                accum.retried_threads += u64::from(retried);
+            }
             Some(reason) => {
                 accum.rolled_back_threads += 1;
                 accum.rolled_back_by_reason[RollbackReason::from(reason).index()] += 1;
@@ -555,22 +898,32 @@ impl ThreadManager {
     }
 
     /// Take a snapshot of the per-run accumulators: speculative-path
-    /// stats, committed threads, rolled-back threads and the per-reason
-    /// rollback breakdown.
-    pub fn run_snapshot(&self) -> (ThreadStats, u64, u64, [u64; RollbackReason::COUNT]) {
+    /// stats, committed / rolled-back / retried thread counts and the
+    /// per-reason rollback breakdown.
+    pub fn run_snapshot(&self) -> RunTotals {
         let accum = self.accum.lock();
-        (
-            accum.speculative.clone(),
-            accum.committed_threads,
-            accum.rolled_back_threads,
-            accum.rolled_back_by_reason,
-        )
+        RunTotals {
+            speculative: accum.speculative.clone(),
+            committed: accum.committed_threads,
+            rolled_back: accum.rolled_back_threads,
+            retried: accum.retried_threads,
+            by_reason: accum.rolled_back_by_reason,
+        }
     }
 
-    /// Build the buffers for a new speculative thread.
-    pub fn make_buffers(&self) -> ThreadBuffers {
+    /// Build the buffers for a new speculative thread running on virtual
+    /// CPU `rank`.  Under targeted recovery the global buffer registers
+    /// the rank in the commit log's reader registry on every first-touch
+    /// read; in cascade mode the registry is bypassed entirely (the true
+    /// pre-registry baseline, zero registration overhead).
+    pub fn make_buffers(&self, rank: Rank) -> ThreadBuffers {
+        let global = if self.config.recovery.mode == RecoveryMode::Targeted {
+            GlobalBuffer::for_reader(self.config.buffer, rank)
+        } else {
+            GlobalBuffer::new(self.config.buffer)
+        };
         ThreadBuffers {
-            global: GlobalBuffer::new(self.config.buffer),
+            global,
             local: LocalBuffer::new(self.config.local_buffer),
         }
     }
@@ -688,6 +1041,17 @@ mod tests {
         assert!(!m.draw_injected_rollback());
     }
 
+    /// A completed outcome wrapping `buffers`, ready for the join protocol.
+    fn completed(buffers: ThreadBuffers) -> SpecOutcome {
+        SpecOutcome {
+            status: TaskStatus::Completed,
+            buffers,
+            children: Vec::new(),
+            stats: ThreadStats::new(),
+            finished_at: Instant::now(),
+        }
+    }
+
     #[test]
     fn validate_and_commit_detects_a_real_predecessor_write() {
         let m = mgr(1);
@@ -696,28 +1060,24 @@ mod tests {
         mem.set(&cell, 0, 7);
 
         // A speculative child reads the cell…
-        let mut buffers = m.make_buffers();
+        let mut buffers = m.make_buffers(1);
         let value = buffers
             .global
             .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
             .unwrap();
         assert_eq!(value, 7);
 
-        // …then a logical predecessor commits a write to it.
+        // …then a logical predecessor commits a *different value* to it:
+        // value prediction cannot save this join.
         mem.set(&cell, 0, 8);
         m.commit_log().record_word(cell.addr_of(0));
 
-        let mut outcome = SpecOutcome {
-            status: TaskStatus::Completed,
-            buffers,
-            children: Vec::new(),
-            stats: ThreadStats::new(),
-            finished_at: Instant::now(),
-        };
+        let mut outcome = completed(buffers);
         assert_eq!(
-            m.validate_and_commit(&mut outcome, None),
+            m.validate_and_commit(1, &mut outcome, None),
             Err(SpecFailure::ReadConflict)
         );
+        assert_eq!(outcome.stats.counters.retries_succeeded, 0);
     }
 
     #[test]
@@ -726,21 +1086,175 @@ mod tests {
         let mem = Arc::clone(m.memory());
         let cell = mem.alloc::<u64>(1);
 
-        let mut buffers = m.make_buffers();
+        let mut buffers = m.make_buffers(1);
         buffers.global.store(cell.addr_of(0), 42, 8).unwrap();
-        let mut outcome = SpecOutcome {
-            status: TaskStatus::Completed,
-            buffers,
-            children: Vec::new(),
-            stats: ThreadStats::new(),
-            finished_at: Instant::now(),
-        };
+        let mut outcome = completed(buffers);
         let epoch_before = m.commit_log().epoch();
-        assert_eq!(m.validate_and_commit(&mut outcome, None), Ok(()));
+        assert_eq!(
+            m.validate_and_commit(1, &mut outcome, None),
+            Ok(CommitKind::Committed)
+        );
         assert_eq!(mem.get(&cell, 0), 42);
         // The committed address is now stamped: a thread that read it
         // before this commit will fail validation.
         assert!(m.commit_log().written_after(cell.addr_of(0), epoch_before));
+    }
+
+    #[test]
+    fn value_predict_retry_commits_without_reexecution() {
+        let m = mgr(1);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(2);
+        mem.set(&cell, 0, 7);
+
+        let mut buffers = m.make_buffers(1);
+        let _ = buffers
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        buffers.global.store(cell.addr_of(1), 9, 8).unwrap();
+
+        // A predecessor commits the *same* value (ABA / false sharing):
+        // version validation conflicts, value prediction repairs it.
+        mem.set(&cell, 0, 7);
+        m.commit_log().record_word(cell.addr_of(0));
+
+        let mut outcome = completed(buffers);
+        assert_eq!(
+            m.validate_and_commit(1, &mut outcome, None),
+            Ok(CommitKind::Retried)
+        );
+        assert_eq!(outcome.stats.counters.retries_succeeded, 1);
+        assert_eq!(mem.get(&cell, 1), 9, "the retried write-set committed");
+    }
+
+    #[test]
+    fn value_predict_can_be_disabled() {
+        let (m, _rx) = ThreadManager::new(
+            RuntimeConfig::with_cpus(1)
+                .memory_bytes(1 << 16)
+                .value_predict(false),
+        );
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+        mem.set(&cell, 0, 7);
+        let mut buffers = m.make_buffers(1);
+        let _ = buffers
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        mem.set(&cell, 0, 7);
+        m.commit_log().record_word(cell.addr_of(0));
+        let mut outcome = completed(buffers);
+        assert_eq!(
+            m.validate_and_commit(1, &mut outcome, None),
+            Err(SpecFailure::ReadConflict)
+        );
+    }
+
+    #[test]
+    fn commit_dooms_exactly_the_registered_readers() {
+        let m = mgr(3);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(64);
+        // Occupy two CPUs so their slots count as running.
+        let reader = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let bystander = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+
+        // `reader` reads word 0 (registering); `bystander` reads word 32 —
+        // far enough to be a different range even at line grain.
+        let mut reader_buf = m.make_buffers(reader);
+        let _ = reader_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        let mut bystander_buf = m.make_buffers(bystander);
+        let _ = bystander_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(32), 8)
+            .unwrap();
+
+        // A third thread commits a write covering word 0.
+        let mut writer = m.make_buffers(0);
+        writer.global.store(cell.addr_of(0), 5, 8).unwrap();
+        let mut outcome = completed(writer);
+        assert_eq!(
+            m.validate_and_commit(0, &mut outcome, None),
+            Ok(CommitKind::Committed)
+        );
+        assert_eq!(outcome.stats.counters.targeted_dooms, 1);
+        assert!(m.doom_requested(reader), "stale reader doomed");
+        assert!(!m.doom_requested(bystander), "bystander untouched");
+
+        // The doom set was a subset of the running threads (the cascade's
+        // victims) by construction; releasing clears the flag for reuse.
+        m.release_cpu(reader, 0);
+        let again = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        assert!(!m.doom_requested(again), "doom flag cleared on acquire");
+    }
+
+    #[test]
+    fn cascade_mode_never_registers_or_dooms() {
+        let (m, _rx) = ThreadManager::new(
+            RuntimeConfig::with_cpus(2)
+                .memory_bytes(1 << 16)
+                .recovery(crate::config::RecoveryConfig::cascade_only()),
+        );
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+        let reader = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let mut buf = m.make_buffers(reader);
+        let _ = buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        assert!(
+            m.commit_log()
+                .registered_readers(cell.addr_of(0))
+                .is_empty(),
+            "cascade mode must not register readers"
+        );
+        assert_eq!(m.doom_readers([cell.addr_of(0)], 0), (0, false));
+        assert!(!m.doom_requested(reader));
+    }
+
+    #[test]
+    fn rollback_recovery_dooms_readers_of_the_rewritten_ranges() {
+        let m = mgr(3);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(64);
+        mem.set(&cell, 0, 1);
+        let victim = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+
+        // The victim speculatively read the word the failing child wrote.
+        let mut victim_buf = m.make_buffers(victim);
+        let _ = victim_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(32), 8)
+            .unwrap();
+
+        // The child read word 0, then a predecessor committed a different
+        // value there: genuine conflict, no retry.  The child also wrote
+        // word 32 — which the victim read.
+        let mut child_buf = m.make_buffers(0);
+        let _ = child_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        child_buf.global.store(cell.addr_of(32), 9, 8).unwrap();
+        mem.set(&cell, 0, 2);
+        m.commit_log().record_word(cell.addr_of(0));
+
+        let mut outcome = completed(child_buf);
+        assert_eq!(
+            m.validate_and_commit(0, &mut outcome, None),
+            Err(SpecFailure::ReadConflict)
+        );
+        assert_eq!(outcome.stats.counters.targeted_dooms, 1);
+        assert!(
+            m.doom_requested(victim),
+            "reader of the to-be-rewritten range must be doomed"
+        );
     }
 
     #[test]
@@ -758,21 +1272,23 @@ mod tests {
         let m = mgr(1);
         let mut stats = ThreadStats::new();
         stats.add(Phase::Work, 10);
-        m.record_speculative(&stats, None);
-        m.record_speculative(&stats, Some(SpecFailure::ReadConflict));
-        m.record_speculative(&stats, Some(SpecFailure::Injected));
-        let (agg, committed, rolled, by_reason) = m.run_snapshot();
-        assert_eq!(agg.get(Phase::Work), 30);
-        assert_eq!(committed, 1);
-        assert_eq!(rolled, 2);
-        assert_eq!(by_reason[RollbackReason::Conflict.index()], 1);
-        assert_eq!(by_reason[RollbackReason::Injected.index()], 1);
+        m.record_speculative(&stats, None, false);
+        m.record_speculative(&stats, None, true);
+        m.record_speculative(&stats, Some(SpecFailure::ReadConflict), false);
+        m.record_speculative(&stats, Some(SpecFailure::Injected), false);
+        let totals = m.run_snapshot();
+        assert_eq!(totals.speculative.get(Phase::Work), 40);
+        assert_eq!(totals.committed, 2, "a retry is a commit");
+        assert_eq!(totals.retried, 1);
+        assert_eq!(totals.rolled_back, 2, "a retry is not a rollback");
+        assert_eq!(totals.by_reason[RollbackReason::Conflict.index()], 1);
+        assert_eq!(totals.by_reason[RollbackReason::Injected.index()], 1);
         m.commit_log().record_word(64);
         m.reset_run();
-        let (agg, committed, rolled, by_reason) = m.run_snapshot();
-        assert_eq!(agg.total(), 0);
-        assert_eq!(committed + rolled, 0);
-        assert_eq!(by_reason, [0; RollbackReason::COUNT]);
+        let totals = m.run_snapshot();
+        assert_eq!(totals.speculative.total(), 0);
+        assert_eq!(totals.committed + totals.rolled_back + totals.retried, 0);
+        assert_eq!(totals.by_reason, [0; RollbackReason::COUNT]);
         assert_eq!(m.commit_log().commits(), 0);
     }
 }

@@ -126,14 +126,14 @@ impl Runtime {
             self.mgr.drain_subtree(child);
         }
         let runtime = started.elapsed().as_nanos() as u64;
-        let (speculative, committed_threads, rolled_back_threads, rollback_reasons) =
-            self.mgr.run_snapshot();
+        let totals = self.mgr.run_snapshot();
         let report = RunReport {
             critical,
-            speculative,
-            committed_threads,
-            rolled_back_threads,
-            rollback_reasons,
+            speculative: totals.speculative,
+            committed_threads: totals.committed,
+            rolled_back_threads: totals.rolled_back,
+            retried_threads: totals.retried,
+            rollback_reasons: totals.by_reason,
             runtime,
             sites: self.mgr.governor().snapshot(),
             commit_log: self.mgr.commit_log().stats(),

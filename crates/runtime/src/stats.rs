@@ -107,6 +107,18 @@ pub struct ThreadCounters {
     /// commit-log grain coarser than a word (estimate; a value-identical
     /// ABA write is indistinguishable).
     pub false_sharing_suspects: u64,
+    /// Joins whose conflict was repaired by value-predict-and-retry: the
+    /// conflicting reads re-validated by value and the thread committed
+    /// without re-execution.  **Not** counted in `rollbacks`.
+    pub retries_succeeded: u64,
+    /// Threads doomed surgically through the per-range reader registry
+    /// (counted on the thread whose commit or rollback triggered the
+    /// dooming).
+    pub targeted_dooms: u64,
+    /// Conflict recoveries that fell back to the full squash cascade —
+    /// either because the recovery mode is `Cascade` or because the
+    /// reader registry overflowed (an untracked rank read the range).
+    pub cascade_fallbacks: u64,
     /// Loads issued.
     pub loads: u64,
     /// Stores issued.
@@ -173,6 +185,9 @@ impl ThreadStats {
         self.counters.commits += other.counters.commits;
         self.counters.rollbacks += other.counters.rollbacks;
         self.counters.false_sharing_suspects += other.counters.false_sharing_suspects;
+        self.counters.retries_succeeded += other.counters.retries_succeeded;
+        self.counters.targeted_dooms += other.counters.targeted_dooms;
+        self.counters.cascade_fallbacks += other.counters.cascade_fallbacks;
         for (mine, theirs) in self
             .counters
             .rollbacks_by_reason
@@ -213,6 +228,12 @@ pub struct RunReport {
     pub committed_threads: u64,
     /// Number of speculative threads that rolled back (any reason).
     pub rolled_back_threads: u64,
+    /// Number of speculative threads whose conflict was repaired by
+    /// value-predict-and-retry.  These threads **committed** — they are
+    /// included in `committed_threads` and deliberately *not* in
+    /// `rolled_back_threads` or `rollback_reasons` (a successful retry is
+    /// not a rollback).
+    pub retried_threads: u64,
     /// Rolled-back threads split by cause, indexed by
     /// [`RollbackReason::index`].
     pub rollback_reasons: [u64; RollbackReason::COUNT],
@@ -287,6 +308,24 @@ impl RunReport {
     /// [`ThreadCounters::false_sharing_suspects`]).
     pub fn suspected_false_sharing(&self) -> u64 {
         self.speculative.counters.false_sharing_suspects
+    }
+
+    /// Successful value-predict retries across both paths (see
+    /// [`ThreadCounters::retries_succeeded`]).
+    pub fn retries(&self) -> u64 {
+        self.critical.counters.retries_succeeded + self.speculative.counters.retries_succeeded
+    }
+
+    /// Threads doomed surgically through the reader registry, across both
+    /// paths (see [`ThreadCounters::targeted_dooms`]).
+    pub fn targeted_dooms(&self) -> u64 {
+        self.critical.counters.targeted_dooms + self.speculative.counters.targeted_dooms
+    }
+
+    /// Conflict recoveries that used the full squash cascade, across both
+    /// paths (see [`ThreadCounters::cascade_fallbacks`]).
+    pub fn cascade_fallbacks(&self) -> u64 {
+        self.critical.counters.cascade_fallbacks + self.speculative.counters.cascade_fallbacks
     }
 
     /// Power efficiency `η_power = T_s / (T_runtime_nonspec + Σ T_runtime_sp)`
@@ -414,6 +453,31 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(report.suspected_false_sharing(), 5);
+    }
+
+    #[test]
+    fn recovery_counters_merge_and_surface() {
+        let mut a = ThreadStats::new();
+        a.counters.retries_succeeded = 1;
+        a.counters.targeted_dooms = 2;
+        let mut b = ThreadStats::new();
+        b.counters.retries_succeeded = 3;
+        b.counters.cascade_fallbacks = 4;
+        a.merge(&b);
+        assert_eq!(a.counters.retries_succeeded, 4);
+        assert_eq!(a.counters.targeted_dooms, 2);
+        assert_eq!(a.counters.cascade_fallbacks, 4);
+        let mut report = RunReport {
+            speculative: a,
+            retried_threads: 4,
+            ..Default::default()
+        };
+        report.critical.counters.targeted_dooms = 5;
+        assert_eq!(report.retries(), 4);
+        assert_eq!(report.targeted_dooms(), 7);
+        assert_eq!(report.cascade_fallbacks(), 4);
+        // A retry is not a rollback.
+        assert_eq!(report.rolled_back_threads, 0);
     }
 
     #[test]

@@ -49,6 +49,18 @@ pub struct CostModel {
     /// Cycles a speculative thread needs from creation until it starts
     /// useful work (thread wake-up latency).
     pub spawn_latency: u64,
+    /// Cycles per read-set word of a value-predict **retry**: the second
+    /// validation pass that re-reads the conflicting words from main
+    /// memory and re-stamps them.  The retry's total cost replaces a full
+    /// squash-and-re-execute — the cheapest rung of the recovery ladder.
+    pub retry_per_word: u64,
+    /// Cycles a committing writer spends per thread it **dooms** through
+    /// the reader registry (enumerate the range's mask, set the doom
+    /// flag).  Buys back the doomed thread's remaining conflict-window
+    /// work, the middle rung of the recovery ladder; the top rung (the
+    /// squash cascade) costs nothing at commit time but wastes the whole
+    /// window.
+    pub doom_signal: u64,
 }
 
 impl Default for CostModel {
@@ -67,6 +79,8 @@ impl Default for CostModel {
             commit_lock: 20,
             finalize_per_word: 1,
             spawn_latency: 300,
+            retry_per_word: 3,
+            doom_signal: 30,
         }
     }
 }
@@ -110,6 +124,18 @@ impl CostModel {
     /// Finalization cost for `words` buffered entries.
     pub fn finalize_cycles(&self, words: u64) -> u64 {
         words * self.finalize_per_word
+    }
+
+    /// Value-predict retry cost for a read-set of `words` entries (the
+    /// second, value-comparing validation pass).
+    pub fn retry_cycles(&self, words: u64) -> u64 {
+        words * self.retry_per_word
+    }
+
+    /// Cost of surgically dooming `threads` registered readers at commit
+    /// time.
+    pub fn doom_cycles(&self, threads: u64) -> u64 {
+        threads * self.doom_signal
     }
 }
 
@@ -161,6 +187,17 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.commit_lock_cycles(0), 0);
         assert_eq!(c.commit_lock_cycles(3), 3 * c.commit_lock);
+    }
+
+    #[test]
+    fn recovery_costs_scale_and_stay_below_a_squash() {
+        let c = CostModel::default();
+        assert_eq!(c.retry_cycles(0), 0);
+        assert_eq!(c.retry_cycles(10), 10 * c.retry_per_word);
+        assert_eq!(c.doom_cycles(3), 3 * c.doom_signal);
+        // The recovery ladder's premise: retrying a 100-word read set is
+        // far cheaper than re-executing even a small segment.
+        assert!(c.retry_cycles(100) < c.segment_cycles(1000, 100, 100));
     }
 
     #[test]

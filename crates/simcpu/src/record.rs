@@ -285,6 +285,11 @@ impl TlsContext for RecordContext {
     }
 
     fn check_point(&mut self) -> SpecResult<()> {
+        // A check point is where the native runtime polls for aborts and
+        // dooms; splitting the segment here gives the scheduler the same
+        // opportunity (early synchronization and targeted-doom stops
+        // happen at segment boundaries).
+        self.flush_segment();
         Ok(())
     }
 

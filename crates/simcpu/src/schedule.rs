@@ -31,7 +31,7 @@ use rand::{Rng, SeedableRng};
 
 use mutls_adaptive::{ForkDecision, Governor, GovernorConfig, SiteOutcome};
 use mutls_membuf::{Addr, CommitLogConfig, RollbackReason, SpecFailure, WORD_GRAIN_LOG2};
-use mutls_runtime::{ForkModel, Phase, RunReport, ThreadStats};
+use mutls_runtime::{ForkModel, Phase, RecoveryConfig, RecoveryMode, RunReport, ThreadStats};
 
 use crate::cost::CostModel;
 use crate::record::{NodeId, Recording, SimEvent};
@@ -65,6 +65,15 @@ pub struct SimConfig {
     /// false sharing appears (conservative, never missed); more shards
     /// spread a batch across up to `shards` lock acquisitions.
     pub commit_log: CommitLogConfig,
+    /// The recovery engine mirrored from the native runtime (same type,
+    /// same default: targeted dooming + value-predict-and-retry).  Under
+    /// `Targeted`, a publish stops its doomed readers at their next check
+    /// point (charging `CostModel::doom_signal` per victim) instead of
+    /// letting them run to their join; with `value_predict`, a doomed
+    /// fiber whose conflict was range-only false sharing re-validates by
+    /// value at its join (`CostModel::retry_per_word`) and commits
+    /// without re-execution.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for SimConfig {
@@ -79,6 +88,7 @@ impl Default for SimConfig {
             commit_log: CommitLogConfig::default()
                 .grain_log2(WORD_GRAIN_LOG2)
                 .shards(1),
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -121,6 +131,12 @@ impl SimConfig {
         self.commit_log.shards = shards;
         self
     }
+
+    /// Set the recovery-engine configuration (builder style).
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
 }
 
 /// Result of one simulation.
@@ -160,6 +176,11 @@ impl SimResult {
 struct Frame {
     node: NodeId,
     ip: usize,
+    /// True when this frame is a rollback-triggered inline re-execution:
+    /// a *speculative* fiber may not fork out of such frames (mirroring
+    /// the native runtime, whose overlay-poisoned re-forks are pinned
+    /// inline).
+    reexec: bool,
 }
 
 struct Fiber {
@@ -185,6 +206,9 @@ struct Fiber {
     /// True when the dooming conflict was range-only (no word of the
     /// published batch was actually read) — suspected false sharing.
     doomed_false_sharing: bool,
+    /// True when the fiber's conflict was repaired by value-predict-and-
+    /// retry at its join (it committed without re-execution).
+    retried: bool,
     /// Fiber waiting at a join for this fiber to stop.
     waiter: Option<usize>,
     blocked_since: u64,
@@ -217,7 +241,11 @@ impl Fiber {
             speculative,
             site,
             model,
-            frames: vec![Frame { node, ip: 0 }],
+            frames: vec![Frame {
+                node,
+                ip: 0,
+                reexec: false,
+            }],
             time: start_time,
             start_time,
             segment_started: start_time,
@@ -228,6 +256,7 @@ impl Fiber {
             write_ranges: HashSet::new(),
             doomed: None,
             doomed_false_sharing: false,
+            retried: false,
             waiter: None,
             blocked_since: 0,
             finished: None,
@@ -254,6 +283,7 @@ pub struct Scheduler<'a> {
     spec_stats: ThreadStats,
     committed: u64,
     rolled_back: u64,
+    retried: u64,
     rolled_back_by_reason: [u64; RollbackReason::COUNT],
     /// Log of (time, published words, published ranges) used for
     /// conflict detection at the configured grain.
@@ -285,6 +315,7 @@ impl<'a> Scheduler<'a> {
             spec_stats: ThreadStats::new(),
             committed: 0,
             rolled_back: 0,
+            retried: 0,
             rolled_back_by_reason: [0; RollbackReason::COUNT],
             publishes: Vec::new(),
             governor,
@@ -321,6 +352,7 @@ impl<'a> Scheduler<'a> {
             speculative: self.spec_stats.clone(),
             committed_threads: self.committed,
             rolled_back_threads: self.rolled_back,
+            retried_threads: self.retried,
             rollback_reasons: self.rolled_back_by_reason,
             runtime,
             sites: self.governor.snapshot(),
@@ -361,12 +393,21 @@ impl<'a> Scheduler<'a> {
     /// coarser grains add false sharing but never miss a conflict).  The
     /// publish is also logged so that reads registered later (at segment
     /// completion) can be checked against it.
-    fn publish(&mut self, writes: &HashSet<Addr>, time: u64, writer: usize) {
+    ///
+    /// Under targeted recovery the newly doomed fibers (the registered
+    /// readers of the stamped ranges) are additionally asked to **stop at
+    /// their next check point** instead of burning their whole conflict
+    /// window; the returned cycles are the writer's doom-signalling cost
+    /// (`CostModel::doom_signal` per victim, 0 in cascade mode), which
+    /// the caller adds to the writer's clock.
+    fn publish(&mut self, writes: &HashSet<Addr>, time: u64, writer: usize) -> u64 {
         if writes.is_empty() {
-            return;
+            return 0;
         }
+        let targeted = self.config.recovery.mode == RecoveryMode::Targeted;
         let grain = self.config.commit_log.grain_log2;
         let ranges: HashSet<u64> = writes.iter().map(|a| a >> grain).collect();
+        let mut newly_doomed: Vec<usize> = Vec::new();
         for (fid, fiber) in self.fibers.iter_mut().enumerate() {
             if fid == writer || !fiber.speculative || fiber.retired {
                 continue;
@@ -387,9 +428,26 @@ impl<'a> Scheduler<'a> {
             if intersects(&ranges, &fiber.read_ranges) {
                 fiber.doomed = Some(SpecFailure::ReadConflict);
                 fiber.doomed_false_sharing = !intersects(writes, &fiber.reads);
+                // Mirror the native in-flight retry: a false-sharing
+                // victim under value prediction re-validates and keeps
+                // running (it retries at its join), so only genuinely
+                // stale readers are stopped early.
+                let survives_by_retry =
+                    self.config.recovery.value_predict && fiber.doomed_false_sharing;
+                if targeted && !survives_by_retry {
+                    newly_doomed.push(fid);
+                }
             }
         }
         self.publishes.push((time, writes.clone(), ranges));
+        let doom_cost = self.config.cost.doom_cycles(newly_doomed.len() as u64);
+        if !newly_doomed.is_empty() {
+            self.fibers[writer].stats.counters.targeted_dooms += newly_doomed.len() as u64;
+            for fid in newly_doomed {
+                self.request_stop(fid, time);
+            }
+        }
+        doom_cost
     }
 
     fn fork_allowed(&self, forker: usize, model: ForkModel) -> bool {
@@ -486,7 +544,11 @@ impl<'a> Scheduler<'a> {
                     match child_fiber {
                         None => {
                             // Not speculated: execute the child inline.
-                            self.fibers[fid].frames.push(Frame { node: child, ip: 0 });
+                            self.fibers[fid].frames.push(Frame {
+                                node: child,
+                                ip: 0,
+                                reexec: false,
+                            });
                         }
                         Some(cf) => {
                             if self.fibers[cf].finished.is_some() {
@@ -592,10 +654,12 @@ impl<'a> Scheduler<'a> {
                     }
                 }
             } else {
-                // Non-speculative writes reach main memory immediately.
+                // Non-speculative writes reach main memory immediately,
+                // surgically dooming their registered readers.
                 let writes = seg.writes.clone();
                 let time = self.fibers[fid].time;
-                self.publish(&writes, time, fid);
+                let doom_cost = self.publish(&writes, time, fid);
+                self.fibers[fid].time += doom_cost;
             }
         }
         self.fibers[fid].seg_in_flight = false;
@@ -603,6 +667,14 @@ impl<'a> Scheduler<'a> {
     }
 
     fn process_fork(&mut self, fid: usize, child: NodeId, recorded_model: ForkModel, point: u32) {
+        // Mirror the native recovery engine: a speculative fiber
+        // executing a rollback-inherited frame may not re-speculate (its
+        // children would read underneath the uncommitted overlay); the
+        // re-execution stays inline.
+        if self.fibers[fid].speculative && self.fibers[fid].frames.iter().any(|f| f.reexec) {
+            self.fibers[fid].stats.counters.failed_forks += 1;
+            return;
+        }
         let requested = self.config.fork_model.unwrap_or(recorded_model);
         let cost = self.config.cost;
 
@@ -694,7 +766,28 @@ impl<'a> Scheduler<'a> {
 
         let injected = self.draw_injected();
         let verdict: Result<(), SpecFailure> = if let Some(reason) = self.fibers[cf].doomed {
-            Err(reason)
+            // Recovery rung 1 — value-predict retry: a range-only
+            // (false-sharing) conflict means every word the fiber read
+            // still holds its first-read value, so a value re-validation
+            // pass repairs the join in place, no re-execution.
+            if reason == SpecFailure::ReadConflict
+                && self.fibers[cf].doomed_false_sharing
+                && self.config.recovery.value_predict
+                && !injected
+            {
+                let retry = cost.retry_cycles(read_words);
+                self.fibers[cf].stats.add(Phase::Validation, retry);
+                self.fibers[fid].stats.add(Phase::Idle, retry);
+                now += retry;
+                self.fibers[cf].stats.counters.retries_succeeded += 1;
+                self.fibers[cf].retried = true;
+                self.fibers[cf].doomed = None;
+                self.fibers[cf].doomed_false_sharing = false;
+                self.retried += 1;
+                Ok(())
+            } else {
+                Err(reason)
+            }
         } else if injected {
             Err(SpecFailure::Injected)
         } else {
@@ -738,7 +831,7 @@ impl<'a> Scheduler<'a> {
                     let child_write_ranges = self.fibers[cf].write_ranges.clone();
                     self.fibers[fid].write_ranges.extend(child_write_ranges);
                 } else {
-                    self.publish(&child_writes, now, cf);
+                    now += self.publish(&child_writes, now, cf);
                 }
                 self.fibers[fid].stats.counters.commits += 1;
                 self.committed += 1;
@@ -777,6 +870,15 @@ impl<'a> Scheduler<'a> {
                 if reason == SpecFailure::ReadConflict && self.fibers[cf].doomed_false_sharing {
                     self.fibers[cf].stats.counters.false_sharing_suspects += 1;
                 }
+                if reason == SpecFailure::ReadConflict
+                    && self.config.recovery.mode != RecoveryMode::Targeted
+                {
+                    // The conflict was repaired by the squash cascade
+                    // alone — the baseline the recovery sweep compares
+                    // against (in targeted mode the doom was counted at
+                    // publish time).
+                    self.fibers[cf].stats.counters.cascade_fallbacks += 1;
+                }
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, finalize);
                 now += finalize;
@@ -807,6 +909,7 @@ impl<'a> Scheduler<'a> {
                 self.fibers[fid].frames.push(Frame {
                     node: child_node,
                     ip: 0,
+                    reexec: true,
                 });
             }
         }
@@ -854,6 +957,7 @@ impl<'a> Scheduler<'a> {
                     fiber.stats.get(Phase::Idle),
                     fiber.model,
                 )
+                .with_retry(fiber.retried)
             } else {
                 SiteOutcome::rolled_back(
                     fiber.doomed.unwrap_or(SpecFailure::Cascaded),
@@ -905,9 +1009,72 @@ pub fn simulate(recording: &Recording, config: SimConfig) -> SimResult {
 mod tests {
     use super::*;
     use crate::record_region;
-    use mutls_membuf::GlobalMemory;
-    use mutls_runtime::TlsContext;
+    use mutls_membuf::{GlobalMemory, LINE_GRAIN_LOG2};
+    use mutls_runtime::{task, SpecResult, TlsContext};
     use std::sync::Arc;
+
+    /// A region whose child reads a word that *false-shares* a line with
+    /// the word the parent writes mid-flight: a range conflict at line
+    /// grain, never a word conflict.
+    fn false_sharing_recording() -> crate::Recording {
+        let memory = Arc::new(GlobalMemory::new(1 << 12));
+        let cells = memory.alloc::<u64>(16);
+        record_region(Arc::clone(&memory), move |ctx| {
+            fn region<C: TlsContext>(
+                ctx: &mut C,
+                cells: mutls_membuf::GPtr<u64>,
+            ) -> SpecResult<()> {
+                let cont = task(move |ctx: &mut C| {
+                    // Word 1 shares line 0 with word 0 below.
+                    let v = ctx.load(&cells, 1)?;
+                    ctx.work(20_000)?;
+                    ctx.store(&cells, 8, v + 1) // a different line
+                });
+                let handle = ctx.fork(1, cont)?;
+                // Long enough that the child is already in flight, short
+                // enough that it has not finished when this publishes.
+                ctx.work(5_000)?;
+                ctx.store(&cells, 0, 7)?;
+                ctx.work(5_000)?;
+                ctx.join(handle)?;
+                Ok(())
+            }
+            region(ctx, cells)
+        })
+    }
+
+    #[test]
+    fn false_sharing_retries_under_value_predict_and_squashes_under_cascade() {
+        let recording = false_sharing_recording();
+        let at = |recovery: RecoveryConfig| {
+            simulate(
+                &recording,
+                SimConfig::with_cpus(2)
+                    .grain_log2(LINE_GRAIN_LOG2)
+                    .recovery(recovery),
+            )
+        };
+        // Default engine: the conflict is range-only, value prediction
+        // repairs it — a retry, not a rollback.
+        let repaired = at(RecoveryConfig::default());
+        assert_eq!(repaired.report.retried_threads, 1);
+        assert_eq!(repaired.report.rolled_back_threads, 0);
+        assert_eq!(repaired.report.speculative.counters.retries_succeeded, 1);
+        // Cascade-only baseline: the same conflict squashes the child.
+        let squashed = at(RecoveryConfig::cascade_only());
+        assert_eq!(squashed.report.retried_threads, 0);
+        assert!(squashed.report.rolled_back_threads >= 1);
+        assert!(squashed.report.speculative.counters.cascade_fallbacks >= 1);
+        // The squash wastes work the retry keeps.
+        assert!(squashed.report.wasted_work() > repaired.report.wasted_work());
+        // At word grain the conflict does not exist at all.
+        let exact = simulate(
+            &recording,
+            SimConfig::with_cpus(2).recovery(RecoveryConfig::default()),
+        );
+        assert_eq!(exact.report.retried_threads, 0);
+        assert_eq!(exact.report.rolled_back_threads, 0);
+    }
 
     /// Degenerate pub-field configs (zero shards, sub-word grain) must be
     /// normalized by the scheduler, not panic or mis-mask — SimConfig is

@@ -55,6 +55,34 @@ fn mix_chain(seed: u64, rounds: u64) -> u64 {
     y
 }
 
+/// Check points inserted into one link's mixing chain.
+const MIX_SLICES: u64 = 16;
+
+/// [`mix_chain`] interleaved with runtime polls: the chain is cut into
+/// [`MIX_SLICES`] slices with a `work`/`check_point` pair after each, the
+/// way instrumented loop back-edges poll in a real TLS build.  This is
+/// what lets *targeted dooming* pay off — a thread doomed mid-window
+/// stops within one slice instead of finishing the whole chain.  The
+/// arithmetic is identical to running [`mix_chain`] in one piece, so the
+/// kernel's checksums don't depend on the slicing.
+fn mix_chain_polled<C: TlsContext>(ctx: &mut C, seed: u64, rounds: u64) -> SpecResult<u64> {
+    let mut y = seed | 1;
+    let slice = (rounds / MIX_SLICES).max(1);
+    let mut done = 0;
+    while done < rounds {
+        let n = slice.min(rounds - done);
+        for _ in 0..n {
+            y = y
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        done += n;
+        ctx.work(n)?;
+        ctx.check_point()?;
+    }
+    Ok(y)
+}
+
 // ---------------------------------------------------------------------
 // conflict_chain
 // ---------------------------------------------------------------------
@@ -95,10 +123,13 @@ impl ChainConfig {
         }
     }
 
-    /// Tiny preset for unit tests.
+    /// Tiny preset for unit tests.  Sized so the governor still sees
+    /// fork decisions after its warm-up samples even under the targeted
+    /// recovery engine (which resolves conflicts with far less re-fork
+    /// churn than the old cascade).
     pub fn tiny() -> Self {
         ChainConfig {
-            chunks: 12,
+            chunks: 16,
             work_per_chunk: 150_000,
             sharing_permille: 500,
             seed: 0xC0AF_11C7,
@@ -159,6 +190,18 @@ fn chain_shared(config: &ChainConfig, i: usize) -> bool {
     i > 0 && mix64(config.seed ^ 0xD1CE ^ (i as u64)) % 1000 < config.sharing_permille as u64
 }
 
+/// Mixing rounds of link `i`: heterogeneous per link, drawn
+/// deterministically from the seed in `[work/4, work*9/4)` (mean ≈
+/// `work_per_chunk`).  Real loop iterations vary in cost; the variance
+/// also matters mechanically — when a reader's window outlives its
+/// predecessor's, there is real work left for targeted dooming to save,
+/// whereas perfectly uniform windows always finish just as the doom
+/// arrives.
+fn chain_work(config: &ChainConfig, i: usize) -> u64 {
+    let base = config.work_per_chunk;
+    base / 4 + mix64(config.seed ^ 0xB10C ^ (i as u64)) % (base * 2).max(1)
+}
+
 /// One chain link: read the dependence, mix, publish.
 fn chain_body<C: TlsContext>(
     ctx: &mut C,
@@ -172,8 +215,10 @@ fn chain_body<C: TlsContext>(
     } else {
         ctx.load(&data.private, i)?
     };
-    let y = mix_chain(x, config.work_per_chunk);
-    ctx.work(config.work_per_chunk)?;
+    // The mixing chain polls at slice boundaries, so a thread doomed by a
+    // predecessor's commit stops mid-window instead of wasting it all;
+    // links have heterogeneous depths (see `chain_work`).
+    let y = mix_chain_polled(ctx, x, chain_work(&config, i))?;
     // Publish LAST: a speculative successor reading `cells[i]` before this
     // store commits has a genuine dependence violation.
     ctx.store(&data.cells, i, y)?;
@@ -270,11 +315,11 @@ impl HistConfig {
         }
     }
 
-    /// Tiny preset for unit tests.
+    /// Tiny preset for unit tests (see `ChainConfig::tiny` on sizing).
     pub fn tiny() -> Self {
         HistConfig {
-            items: 96,
-            chunks: 8,
+            items: 120,
+            chunks: 12,
             shared_bins: 4,
             private_bins: 4,
             sharing_permille: 500,

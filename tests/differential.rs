@@ -26,11 +26,21 @@ use proptest::prelude::*;
 use mutls::membuf::{
     CommitLogConfig, RollbackReason, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2,
 };
-use mutls::runtime::{RunReport, Runtime, RuntimeConfig};
+use mutls::runtime::{RecoveryConfig, RunReport, Runtime, RuntimeConfig};
 use mutls::workloads::conflict::{self, ChainConfig, HistConfig};
 use mutls::workloads::{
     arena_bytes, checksum, reference_checksum, run_speculative, setup, Scale, WorkloadKind,
 };
+
+/// The recovery engines the oracle sweeps (cascade baseline, targeted
+/// dooming, targeted dooming + value-predict-and-retry).
+fn recovery_engines() -> [RecoveryConfig; 3] {
+    [
+        RecoveryConfig::cascade_only(),
+        RecoveryConfig::targeted(),
+        RecoveryConfig::targeted_with_retry(),
+    ]
+}
 
 /// The grains the oracle sweeps.
 const GRAINS: [u32; 3] = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2];
@@ -62,6 +72,10 @@ fn native_at_grain(kind: WorkloadKind, grain_log2: u32, cpus: usize) -> (u64, Ru
 
 #[test]
 fn every_registry_workload_matches_sequential_at_every_grain() {
+    // The runtime default is the full recovery engine (targeted dooming
+    // + value-predict-and-retry), so this registry-wide pass exercises
+    // reader registration, surgical dooming and in-place retries at
+    // every grain — not just the cascade.
     for kind in registry() {
         let expected = reference_checksum(kind, Scale::Tiny);
         for grain_log2 in GRAINS {
@@ -81,6 +95,45 @@ fn every_registry_workload_matches_sequential_at_every_grain() {
                 "{}: injected rollbacks without opting in",
                 kind.name()
             );
+        }
+    }
+}
+
+#[test]
+fn conflict_family_matches_sequential_under_every_recovery_engine() {
+    // Recovery-equivalence oracle: cascade-only, targeted and
+    // targeted+retry must all converge to the sequential state at every
+    // grain — a doomed thread, an abandoned join or an in-place retry
+    // may change *when* work is discarded, never *what* commits.
+    for recovery in recovery_engines() {
+        for grain_log2 in GRAINS {
+            let config = RuntimeConfig::with_cpus(4)
+                .commit_grain_log2(grain_log2)
+                .recovery(recovery);
+
+            let chain = ChainConfig::tiny().sharing_permille(500);
+            let (state_ok, report) = conflict::chain_verify_native(chain, config);
+            assert!(
+                state_ok,
+                "conflict_chain diverged under {} at grain 2^{grain_log2}B ({})",
+                recovery.label(),
+                report.rollback_breakdown()
+            );
+
+            let hist = HistConfig::tiny().sharing_permille(500);
+            let (state_ok, report) = conflict::hist_verify_native(hist, config);
+            assert!(
+                state_ok,
+                "hist_shared diverged under {} at grain 2^{grain_log2}B ({})",
+                recovery.label(),
+                report.rollback_breakdown()
+            );
+
+            // The cascade baseline must never consult the registry.
+            if recovery == RecoveryConfig::cascade_only() {
+                assert_eq!(report.targeted_dooms(), 0, "cascade doomed surgically");
+                assert_eq!(report.retries(), 0, "cascade retried");
+            }
         }
     }
 }
@@ -151,30 +204,36 @@ fn fast_chain(permille: u32, seed: u64) -> ChainConfig {
 
 proptest! {
     /// Randomized differential property: for arbitrary (grain, shards,
-    /// CPU count, sharing rate, seed), the speculative chain execution
-    /// equals the sequential reference and nothing is ever injected.
+    /// CPU count, sharing rate, recovery engine, seed), the speculative
+    /// chain execution equals the sequential reference and nothing is
+    /// ever injected.
     #[test]
     fn randomized_chain_differential(
         grain_i in 0u32..3,
         shards in (0u32..3).prop_map(|i| [1usize, 4, 16][i as usize]),
         cpus in 2usize..6,
         permille in 0u32..1001,
+        recovery_i in 0usize..3,
         seed in any::<u64>(),
     ) {
         let grain_log2 = GRAINS[grain_i as usize];
+        let recovery = recovery_engines()[recovery_i];
         let chain = fast_chain(permille, seed);
-        let runtime_config = RuntimeConfig::with_cpus(cpus).commit_log(CommitLogConfig {
-            grain_log2,
-            shards,
-        });
+        let runtime_config = RuntimeConfig::with_cpus(cpus)
+            .commit_log(CommitLogConfig {
+                grain_log2,
+                shards,
+            })
+            .recovery(recovery);
         let (state_ok, report) = conflict::chain_verify_native(chain, runtime_config);
         prop_assert!(
             state_ok,
-            "chain diverged: grain 2^{}B, {} shards, {} cpus, {}‰ sharing, seed {seed:#x} ({})",
+            "chain diverged: grain 2^{}B, {} shards, {} cpus, {}‰ sharing, {}, seed {seed:#x} ({})",
             grain_log2,
             shards,
             cpus,
             permille,
+            recovery.label(),
             report.rollback_breakdown()
         );
         prop_assert_eq!(report.rollbacks_with(RollbackReason::Injected), 0);

@@ -60,6 +60,18 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    /// Block until notified or `timeout` elapses, releasing the guard
+    /// while waiting.  Returns `true` when the wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let std_guard = guard.inner.take().expect("guard present");
+        let (std_guard, result) = self
+            .0
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+        result.timed_out()
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.0.notify_one();
