@@ -31,6 +31,11 @@ pub struct SiteOutcome {
     pub stall: u64,
     /// Forking model the child was launched under.
     pub model: ForkModel,
+    /// Live commit-log grain (log2 bytes) the child's traffic ran at —
+    /// the grain of its conflicting (or, for commits, written) region at
+    /// join time; 0 = not observed.  Lets the per-site tables show what
+    /// the grain controller converged to for each site's data.
+    pub grain_log2: u32,
 }
 
 impl SiteOutcome {
@@ -45,6 +50,7 @@ impl SiteOutcome {
             wasted_work: 0,
             stall,
             model,
+            grain_log2: 0,
         }
     }
 
@@ -59,6 +65,7 @@ impl SiteOutcome {
             wasted_work: wasted,
             stall,
             model,
+            grain_log2: 0,
         }
     }
 
@@ -72,6 +79,12 @@ impl SiteOutcome {
     /// Mark a committed outcome as a value-predict retry (builder style).
     pub fn with_retry(mut self, retried: bool) -> Self {
         self.retried = retried;
+        self
+    }
+
+    /// Record the live grain the child's traffic ran at (builder style).
+    pub fn with_grain(mut self, grain_log2: u32) -> Self {
+        self.grain_log2 = grain_log2;
         self
     }
 
@@ -142,6 +155,9 @@ impl Governor {
     pub fn record_outcome(&self, site: SiteId, outcome: &SiteOutcome) {
         let decay = self.config.decay;
         self.profiler.with_site(site, |record| {
+            if outcome.grain_log2 != 0 {
+                record.grain_log2 = outcome.grain_log2;
+            }
             record.absorb(
                 outcome.reason(),
                 outcome.false_sharing,

@@ -1,7 +1,7 @@
 //! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
 //!
 //! ```text
-//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|all> \
+//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|all> \
 //!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--json <path>]
 //! ```
 //!
@@ -16,8 +16,8 @@ use serde::Serialize;
 
 use mutls_harness::{
     adaptive_sweep, conflict_sweep, figure10, figure11, figure3, figure4, figure5, figure6,
-    figure7, figure8, figure9, grain_sweep, overflow_sweep, recovery_replay, recovery_sweep,
-    table2, ExperimentConfig,
+    figure7, figure8, figure9, grain_sweep, graincontrol_replay, graincontrol_sweep,
+    overflow_sweep, recovery_replay, recovery_sweep, table2, ExperimentConfig,
 };
 use mutls_workloads::Scale;
 
@@ -137,10 +137,32 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
             sink.push("recovery_replay", &sim_rows);
             println!("{sim_text}");
         }
+        "graincontrol" => {
+            let (rows, text) = graincontrol_sweep(config);
+            sink.push("graincontrol", &rows);
+            println!("{text}");
+            let (sim_rows, sim_text) = graincontrol_replay(config);
+            sink.push("graincontrol_replay", &sim_rows);
+            println!("{sim_text}");
+        }
         "all" => {
             for exp in [
-                "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-                "adaptive", "conflict", "overflow", "grain", "recovery",
+                "table2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "adaptive",
+                "conflict",
+                "overflow",
+                "grain",
+                "recovery",
+                "graincontrol",
             ] {
                 run_one(exp, config, sink)?;
             }
@@ -156,7 +178,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|grain|recovery|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N] [--json <path>]"
+                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N] [--json <path>]"
             );
             return ExitCode::FAILURE;
         }

@@ -482,7 +482,10 @@ pub struct AdaptiveRow {
 }
 
 /// Render a `RunReport`'s per-site governor profile as a table, with the
-/// rollback-cause split (conflicts / overflows / injected) per site.
+/// rollback-cause split (conflicts / overflows / injected) per site and
+/// the live commit-log grain the site's traffic last ran at (the
+/// "grain" column shows what the adaptive-grain controller converged to
+/// for each site's data; "-" = never observed).
 pub fn format_site_table(title: &str, report: &RunReport) -> String {
     let mut table = Table::new(
         title,
@@ -499,6 +502,7 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             "injected",
             "rollback rate",
             "wasted work",
+            "grain",
         ],
     );
     for profile in &report.sites {
@@ -518,6 +522,11 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             profile.injected.to_string(),
             format!("{:.2}", profile.rollback_rate),
             profile.wasted_work.to_string(),
+            if profile.grain_log2 == 0 {
+                "-".to_string()
+            } else {
+                grain_label(profile.grain_log2)
+            },
         ]);
     }
     table.render()
@@ -1301,6 +1310,329 @@ pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, Strin
     (rows, table.render())
 }
 
+/// One grain configuration compared by the `graincontrol` sweep: a
+/// static grain (the PR 3 knob) or the online adaptive controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrainMode {
+    /// Static commit-log grain (log2 bytes), controller off.
+    Static(u32),
+    /// Word-grain floor, regions start at page, the controller re-splits
+    /// on false-sharing suspects and re-coarsens calm regions.
+    Adaptive,
+}
+
+impl GrainMode {
+    /// The grain modes the sweep compares, static ladder first.
+    pub fn all() -> [GrainMode; 4] {
+        [
+            GrainMode::Static(WORD_GRAIN_LOG2),
+            GrainMode::Static(LINE_GRAIN_LOG2),
+            GrainMode::Static(PAGE_GRAIN_LOG2),
+            GrainMode::Adaptive,
+        ]
+    }
+
+    /// Table label.
+    pub fn label(self) -> String {
+        match self {
+            GrainMode::Static(g) => grain_label(g),
+            GrainMode::Adaptive => "adaptive".to_string(),
+        }
+    }
+
+    fn grain_control(self) -> mutls_adaptive::GrainControlConfig {
+        match self {
+            GrainMode::Static(_) => mutls_adaptive::GrainControlConfig::default(),
+            // tick_commits(2): tiny/CI-scale runs only issue a handful of
+            // commit batches, so the controller must react within a
+            // couple of them.
+            GrainMode::Adaptive => mutls_adaptive::GrainControlConfig::adaptive().tick_commits(2),
+        }
+    }
+
+    fn runtime_config(self, cpus: usize) -> RuntimeConfig {
+        let base = RuntimeConfig::with_cpus(cpus);
+        match self {
+            GrainMode::Static(g) => base.commit_grain_log2(g),
+            GrainMode::Adaptive => base
+                .commit_grain_log2(WORD_GRAIN_LOG2)
+                .grain_control(self.grain_control()),
+        }
+    }
+
+    fn sim_config(self, cpus: usize, seed: u64) -> SimConfig {
+        let grain = match self {
+            GrainMode::Static(g) => g,
+            GrainMode::Adaptive => WORD_GRAIN_LOG2,
+        };
+        SimConfig {
+            num_cpus: cpus,
+            seed,
+            grain_control: self.grain_control(),
+            ..SimConfig::default()
+        }
+        .grain_log2(grain)
+    }
+}
+
+/// Render a run's final per-region grain census (`word:3 page:5`).
+fn census_label(census: &[(u32, u64)]) -> String {
+    if census.is_empty() {
+        return "-".to_string();
+    }
+    census
+        .iter()
+        .map(|&(grain, regions)| format!("{}:{}", grain_label(grain), regions))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// True-sharing rates (permille) the `graincontrol` sweep runs the
+/// conflict family at (mandelbrot has no sharing knob and runs once).
+pub const GRAINCONTROL_SHARING_PERMILLE: [u32; 2] = [0, 1000];
+
+/// Repetitions per native graincontrol point (median by wasted work, as
+/// in the recovery sweep).
+pub const GRAINCONTROL_REPS: usize = 3;
+
+/// One row of the native `graincontrol` sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct GrainControlRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Grain-mode label (`word`, `line`, `page`, `adaptive`).
+    pub mode: String,
+    /// True-sharing rate in `[0, 1]` (0 for workloads without the knob).
+    pub sharing: f64,
+    /// Committed speculative threads.
+    pub committed: u64,
+    /// Successful value-predict retries.
+    pub retries: u64,
+    /// Rolled-back speculative threads.
+    pub rolled_back: u64,
+    /// Rollbacks split by cause.
+    pub rollback_reasons: [u64; RollbackReason::COUNT],
+    /// Conflict rollbacks classified as suspected false sharing.
+    pub suspected_false_sharing: u64,
+    /// Range stamps written (the log-traffic column coarser grains and
+    /// the controller shrink).
+    pub stamp_writes: u64,
+    /// Regions the controller regrained at runtime.
+    pub regrains: u64,
+    /// Work discarded by rollbacks (nanoseconds, median run).
+    pub wasted_work_ns: u64,
+    /// Final per-region grain census (`(grain_log2, regions)` pairs).
+    pub region_grains: Vec<(u32, u64)>,
+    /// Whether every repetition matched the sequential reference.
+    pub checksum_ok: bool,
+}
+
+/// One row of the deterministic `graincontrol` replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct GrainControlSimRow {
+    /// Benchmark name.
+    pub workload: String,
+    /// Grain-mode label.
+    pub mode: String,
+    /// True-sharing rate in `[0, 1]`.
+    pub sharing: f64,
+    /// Committed speculative fibers.
+    pub committed: u64,
+    /// Fibers repaired by value-predict-and-retry.
+    pub retried: u64,
+    /// Rolled-back speculative fibers.
+    pub rolled_back: u64,
+    /// Simulated range stamps (deterministic — the acceptance column for
+    /// the stamp-traffic claim).
+    pub stamp_writes: u64,
+    /// Regions regrained by the simulated controller.
+    pub regrains: u64,
+    /// Work discarded by rollbacks (virtual cycles, deterministic — the
+    /// acceptance column for the wasted-work claim).
+    pub wasted_cycles: u64,
+    /// Absolute speedup over the sequential trace cost.
+    pub speedup: f64,
+    /// Final per-region grain census.
+    pub region_grains: Vec<(u32, u64)>,
+}
+
+/// The (workload, sharing permille) points of the graincontrol sweep:
+/// mandelbrot is the stamp-traffic workload (disjoint rows, no sharing
+/// knob), the conflict family prices false vs true sharing.
+fn graincontrol_points() -> Vec<(WorkloadKind, u32)> {
+    let mut points = vec![(WorkloadKind::Mandelbrot, 0)];
+    for kind in WorkloadKind::CONFLICT_FAMILY {
+        for permille in GRAINCONTROL_SHARING_PERMILLE {
+            points.push((kind, permille));
+        }
+    }
+    points
+}
+
+/// Native graincontrol sweep: workload × sharing × {static word, static
+/// line, static page, adaptive}.  The adaptive mode runs a word-grain
+/// floor with regions starting at page: calm dense-numeric regions keep
+/// page-grain stamp traffic while conflicting regions re-split toward
+/// word exactness — one binary serving both ends of the
+/// dense-vs-pointer-chasing spectrum in the same run, which is the
+/// mixed-model thesis applied to detection granularity.  Median of
+/// [`GRAINCONTROL_REPS`] by wasted work; correctness must hold in every
+/// repetition.  The quantitative adaptive-vs-static claims are asserted
+/// on the deterministic replay ([`graincontrol_replay`]).
+pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, String) {
+    let cpus = native_cpus(config);
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!(
+            "Adaptive Grain Control Sweep at {cpus} CPUs (native runtime, real conflicts, no injection)"
+        ),
+        &[
+            "workload",
+            "sharing",
+            "mode",
+            "committed",
+            "retries",
+            "rolled back (C/O/I/X)",
+            "false-share",
+            "stamps",
+            "regrains",
+            "wasted (µs)",
+            "final grains",
+            "checksum",
+        ],
+    );
+    for (kind, permille) in graincontrol_points() {
+        let sharing = permille as f64 / 1000.0;
+        for mode in GrainMode::all() {
+            let mut runs: Vec<(u64, bool, RunReport)> = (0..GRAINCONTROL_REPS)
+                .map(|_| {
+                    let runtime_config = mode.runtime_config(cpus);
+                    let (ok, report) = match kind {
+                        WorkloadKind::Mandelbrot => {
+                            let runtime = Runtime::new(
+                                runtime_config.memory_bytes(arena_bytes(kind, config.scale)),
+                            );
+                            let memory = runtime.memory();
+                            let data = setup(kind, config.scale, &memory);
+                            let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
+                            let ok = mutls_workloads::checksum(&memory, &data)
+                                == reference_checksum(kind, config.scale);
+                            (ok, report)
+                        }
+                        _ => {
+                            let case = ConflictCase::new(kind, config.scale, permille);
+                            let (sum, report) = case.native(runtime_config);
+                            (sum == case.reference(), report)
+                        }
+                    };
+                    (report.wasted_work(), ok, report)
+                })
+                .collect();
+            let every_rep_correct = runs.iter().all(|(_, ok, _)| *ok);
+            runs.sort_by_key(|(wasted, _, _)| *wasted);
+            let (_, _, report) = runs.swap_remove(runs.len() / 2);
+            let row = GrainControlRow {
+                workload: kind.name().to_string(),
+                mode: mode.label(),
+                sharing,
+                committed: report.committed_threads,
+                retries: report.retries(),
+                rolled_back: report.rolled_back_threads,
+                rollback_reasons: report.rollback_reasons,
+                suspected_false_sharing: report.suspected_false_sharing(),
+                stamp_writes: report.commit_log.stamp_writes,
+                regrains: report.commit_log.regrains,
+                wasted_work_ns: report.wasted_work(),
+                region_grains: report.region_grains.clone(),
+                checksum_ok: every_rep_correct,
+            };
+            table.push_row(vec![
+                row.workload.clone(),
+                format!("{:.0}%", sharing * 100.0),
+                row.mode.clone(),
+                row.committed.to_string(),
+                row.retries.to_string(),
+                format_rollback_cell(row.rolled_back, &row.rollback_reasons),
+                row.suspected_false_sharing.to_string(),
+                row.stamp_writes.to_string(),
+                row.regrains.to_string(),
+                format!("{:.1}", row.wasted_work_ns as f64 / 1e3),
+                census_label(&row.region_grains),
+                if row.checksum_ok { "ok" } else { "MISMATCH" }.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    (rows, table.render())
+}
+
+/// Deterministic graincontrol replay: the same workload × sharing ×
+/// grain-mode matrix on the discrete-event simulator — virtual cycles
+/// and simulated stamp counts, fully reproducible.  This is where the
+/// acceptance claims live: adaptive stamp traffic tracks the best static
+/// grain on the calm workload (mandelbrot ≈ page) while adaptive wasted
+/// work tracks the best static grain on the conflicting one
+/// (conflict_chain ≈ word), in the *same* configuration.
+pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow>, String) {
+    let cpus = native_cpus(config);
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Adaptive Grain Control Replay at {cpus} CPUs (deterministic simulation)"),
+        &[
+            "workload",
+            "sharing",
+            "mode",
+            "committed",
+            "retried",
+            "rolled back",
+            "stamps",
+            "regrains",
+            "wasted (cycles)",
+            "speedup",
+            "final grains",
+        ],
+    );
+    for (kind, permille) in graincontrol_points() {
+        let sharing = permille as f64 / 1000.0;
+        let recording = match kind {
+            WorkloadKind::Mandelbrot => record_workload(kind, config.scale),
+            _ => record_conflict(kind, config.scale, permille),
+        };
+        for mode in GrainMode::all() {
+            let result = simulate(&recording, mode.sim_config(cpus, config.seed));
+            let report = &result.report;
+            let row = GrainControlSimRow {
+                workload: kind.name().to_string(),
+                mode: mode.label(),
+                sharing,
+                committed: report.committed_threads,
+                retried: report.retried_threads,
+                rolled_back: report.rolled_back_threads,
+                stamp_writes: report.commit_log.stamp_writes,
+                regrains: report.commit_log.regrains,
+                wasted_cycles: report.wasted_work(),
+                speedup: result.speedup(),
+                region_grains: report.region_grains.clone(),
+            };
+            table.push_row(vec![
+                row.workload.clone(),
+                format!("{:.0}%", sharing * 100.0),
+                row.mode.clone(),
+                row.committed.to_string(),
+                row.retried.to_string(),
+                row.rolled_back.to_string(),
+                row.stamp_writes.to_string(),
+                row.regrains.to_string(),
+                row.wasted_cycles.to_string(),
+                format!("{:.2}", row.speedup),
+                census_label(&row.region_grains),
+            ]);
+            rows.push(row);
+        }
+    }
+    (rows, table.render())
+}
+
 /// Table II: the benchmark suite, with the measured memory-access density
 /// of each recording added as evidence for the computation/memory
 /// classification.
@@ -1661,6 +1993,118 @@ mod tests {
         assert!(
             rows.iter().map(key).eq(again.iter().map(key)),
             "recovery replay is nondeterministic"
+        );
+    }
+
+    #[test]
+    fn graincontrol_sweep_stays_correct_and_the_controller_engages() {
+        let (rows, text) = graincontrol_sweep(&quick());
+        assert!(text.contains("Adaptive Grain Control Sweep"));
+        assert_eq!(
+            rows.len(),
+            (1 + WorkloadKind::CONFLICT_FAMILY.len() * GRAINCONTROL_SHARING_PERMILLE.len())
+                * GrainMode::all().len()
+        );
+        for row in &rows {
+            assert!(
+                row.checksum_ok,
+                "{} {} at {:.0}% sharing diverged",
+                row.workload,
+                row.mode,
+                row.sharing * 100.0
+            );
+            // Static modes never regrain; their census is a single entry
+            // at the configured grain.
+            if row.mode != "adaptive" {
+                assert_eq!(row.regrains, 0, "{} {} regrained", row.workload, row.mode);
+            }
+        }
+        // The controller actually moves grains somewhere in the sweep
+        // (the conflict family at full sharing splits away from page).
+        assert!(
+            rows.iter()
+                .filter(|r| r.mode == "adaptive" && r.sharing >= 0.5)
+                .any(|r| r.regrains > 0),
+            "the adaptive controller never regrained a contended region"
+        );
+    }
+
+    #[test]
+    fn graincontrol_replay_adaptive_tracks_the_best_static_grain() {
+        // The PR's acceptance claims, on the deterministic simulator
+        // (virtual cycles and simulated stamp counts — exact and
+        // reproducible):
+        //
+        // 1. mandelbrot (disjoint rows, zero conflicts): adaptive stamp
+        //    traffic within 10% of the *page*-grain optimum — calm
+        //    regions keep the coarse grain.
+        // 2. conflict_chain at 100% sharing: adaptive wasted work within
+        //    10% of the *word*-grain optimum — contended regions re-split
+        //    to exactness.
+        //
+        // One configuration serving both ends of the spectrum is the
+        // mixed-model thesis applied to detection granularity.
+        let (rows, text) = graincontrol_replay(&quick());
+        assert!(text.contains("Adaptive Grain Control Replay"));
+        let row = |kind: &str, sharing: f64, mode: &str| {
+            rows.iter()
+                .find(|r| r.workload == kind && r.sharing == sharing && r.mode == mode)
+                .unwrap()
+        };
+        let mandel_adaptive = row("mandelbrot", 0.0, "adaptive");
+        let mandel_page = row("mandelbrot", 0.0, "page");
+        assert!(
+            mandel_adaptive.stamp_writes as f64 <= mandel_page.stamp_writes as f64 * 1.1,
+            "mandelbrot: adaptive stamps {} vs page {}",
+            mandel_adaptive.stamp_writes,
+            mandel_page.stamp_writes
+        );
+        assert!(
+            mandel_adaptive.stamp_writes * 2 < row("mandelbrot", 0.0, "word").stamp_writes,
+            "adaptive must stay far below word-grain stamp traffic"
+        );
+
+        let chain_adaptive = row("conflict_chain", 1.0, "adaptive");
+        let chain_word = row("conflict_chain", 1.0, "word");
+        assert!(
+            chain_adaptive.wasted_cycles as f64 <= chain_word.wasted_cycles as f64 * 1.1,
+            "conflict_chain: adaptive wasted {} vs word {}",
+            chain_adaptive.wasted_cycles,
+            chain_word.wasted_cycles
+        );
+        assert!(
+            chain_adaptive.regrains > 0
+                && chain_adaptive
+                    .region_grains
+                    .iter()
+                    .all(|&(grain, _)| grain == WORD_GRAIN_LOG2),
+            "the contended chain region must converge to word grain, got {:?}",
+            chain_adaptive.region_grains
+        );
+
+        // Bonus coverage: on the shared histogram (where the coarse
+        // grain genuinely costs wasted work in replay) adaptive must beat
+        // both coarse statics — it splits mid-run.
+        let hist_adaptive = row("hist_shared", 1.0, "adaptive");
+        for static_mode in ["line", "page"] {
+            let static_row = row("hist_shared", 1.0, static_mode);
+            if static_row.wasted_cycles > row("hist_shared", 1.0, "word").wasted_cycles {
+                assert!(
+                    hist_adaptive.wasted_cycles < static_row.wasted_cycles,
+                    "hist_shared: adaptive wasted {} vs {} {}",
+                    hist_adaptive.wasted_cycles,
+                    static_mode,
+                    static_row.wasted_cycles
+                );
+            }
+        }
+
+        // Determinism: the replay reproduces itself exactly.
+        let (again, _) = graincontrol_replay(&quick());
+        let key = |r: &GrainControlSimRow| (r.stamp_writes, r.wasted_cycles, r.regrains);
+        assert!(
+            rows.iter().map(key).eq(again.iter().map(key)),
+            "graincontrol replay is nondeterministic"
         );
     }
 

@@ -20,6 +20,7 @@
 //! | Buffer-overflow pressure sweep (this repo) | [`overflow_sweep`] |
 //! | Commit-log grain sweep (this repo)      | [`grain_sweep`] |
 //! | Recovery-engine sweep (this repo)       | [`recovery_sweep`] |
+//! | Adaptive grain-control sweep (this repo) | [`graincontrol_sweep`] |
 //!
 //! `mutls-experiments --json <path>` additionally writes the sweep rows
 //! of the native experiments as machine-readable JSON, so per-point
@@ -44,10 +45,12 @@ pub mod report;
 pub use experiments::{
     adaptive_sweep, breakdown, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
     figure6, figure7, figure8, figure9, format_site_table, grain_label, grain_sweep,
-    overflow_sweep, record_workload, recovery_replay, recovery_sweep, recovery_sweep_modes,
-    speedup_sweep, table2, AdaptiveRow, BreakdownRow, ExperimentConfig, GrainRow, MetricKind,
+    graincontrol_replay, graincontrol_sweep, overflow_sweep, record_workload, recovery_replay,
+    recovery_sweep, recovery_sweep_modes, speedup_sweep, table2, AdaptiveRow, BreakdownRow,
+    ExperimentConfig, GrainControlRow, GrainControlSimRow, GrainMode, GrainRow, MetricKind,
     NativeRow, RecoveryRow, RecoverySimRow, SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY,
-    CONFLICT_SHARING_PERMILLE, GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS, NATIVE_POLICIES,
-    RECOVERY_SWEEP_GRAINS, RECOVERY_SWEEP_PERMILLE, RECOVERY_SWEEP_REPS, ROLLBACK_HEAVY,
+    CONFLICT_SHARING_PERMILLE, GRAINCONTROL_REPS, GRAINCONTROL_SHARING_PERMILLE,
+    GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS, NATIVE_POLICIES, RECOVERY_SWEEP_GRAINS,
+    RECOVERY_SWEEP_PERMILLE, RECOVERY_SWEEP_REPS, ROLLBACK_HEAVY,
 };
 pub use report::{format_breakdown_table, format_rollback_cell, format_sweep_table, Table};

@@ -12,42 +12,60 @@
 //! specified to catch (paper §IV-F), including the value-ABA case a pure
 //! value comparison would miss.
 //!
-//! ## Range granularity
+//! ## Range granularity — now per region, live
 //!
-//! Versions are stamped per *range* of [`CommitLogConfig::grain_log2`]
-//! bytes (default: one 64-byte cache line, tunable down to a word or up
-//! to a page), not per word.  Coarsening the grain bounds log growth on
-//! long regions — a commit batch stamps one version per *range* touched,
-//! not one per word — at the cost of **false sharing**: a commit to any
-//! word of a range dooms a reader of any other word of the same range.
+//! Versions are stamped per *range* of bytes, not per word.  Coarsening
+//! the grain bounds log growth on long regions — a commit batch stamps
+//! one version per *range* touched, not one per word — at the cost of
+//! **false sharing**: a commit to any word of a range dooms a reader of
+//! any other word of the same range.
 //!
-//! The guarantee is one-sided by design:
+//! Since the grain-control subsystem landed, the grain is **no longer a
+//! single global constant**: the address space is divided into *regions*
+//! of `2^`[`CommitLog::region_log2`] bytes (at least one 4 KiB page) and
+//! every region carries its own live grain in
+//! `[`[`CommitLogConfig::grain_log2`]`, region_log2]`.  The configured
+//! grain is the *floor* (the finest grain the version table is allocated
+//! for); [`CommitLog::regrain`] moves one region's grain up (coarsen) or
+//! down (re-split) at runtime, so a dense-numeric region can run at page
+//! grain while a pointer-chasing region in the same program runs at word
+//! grain.
+//!
+//! The guarantee is one-sided by design, at every grain and across any
+//! regrain interleaving:
 //!
 //! * **False sharing is allowed.**  A range-grain conflict may be
 //!   spurious (different words, same range).  The reader rolls back and
-//!   re-executes; the result is still correct, merely slower.
+//!   re-executes (or value-predict-retries in place); the result is still
+//!   correct, merely slower.
 //! * **Missed conflicts are impossible.**  Every word maps into exactly
-//!   one range, and a write to the word always advances that range's
-//!   version past every snapshot taken before the commit.  A genuine
-//!   dependence violation is therefore always flagged, at every grain.
+//!   one range of its region's current grain, and a write to the word
+//!   always advances that range's version past every snapshot taken
+//!   before the commit.  A genuine dependence violation is therefore
+//!   always flagged.
 //!
-//! ## Sharding
+//! ## Sharding — by region
 //!
 //! The version table is split across [`CommitLogConfig::shards`]
 //! independent shards, each with its own epoch counter, commit lock,
-//! dense version array and sparse fallback map.  A range maps to shard
-//! `range_id & (shards - 1)` — consecutive ranges interleave across
-//! shards, so concurrent committers touching different ranges rarely
-//! contend on the same commit lock, which is what bounds commit
-//! throughput on >64-CPU hosts (the single global lock of the previous
-//! design serialized *all* committers).
+//! dense version array and sparse fallback map.  A region maps to shard
+//! `region_id & (shards - 1)` — consecutive regions interleave across
+//! shards.  Sharding *by region* (rather than by range, as before
+//! grain control) is what keeps the read-snapshot protocol sound under
+//! live regrains: an address's owning shard — and hence the epoch counter
+//! its snapshots and versions live on — never depends on the current
+//! grain, so a snapshot taken at one grain remains comparable to versions
+//! stamped at another.
 //!
 //! Per-range versions live in a per-shard *dense* array covering the
-//! main-memory arena (one version word per range, lock-free stamping and
-//! lookup), sized via [`CommitLog::with_dense_bytes`]; the capacity is
-//! rounded **up** to whole ranges so a trailing partial word or range is
-//! still dense.  Ranges beyond the dense window fall back to a per-shard
-//! map, so the log also works standalone with arbitrary addresses.
+//! main-memory arena, one slot per **floor-grain** range (lock-free
+//! stamping and lookup), sized via [`CommitLog::with_dense_bytes`]; the
+//! capacity is rounded **up** to whole regions.  A region running at a
+//! coarser grain uses a prefix of its slot block (slot
+//! `offset_in_region >> grain`).  Ranges beyond the dense window fall
+//! back to a per-shard map at the floor grain (out-of-window addresses
+//! are never regrained), so the log also works standalone with arbitrary
+//! addresses.
 //!
 //! ## Memory-ordering protocol (per shard)
 //!
@@ -56,27 +74,51 @@
 //!
 //! * **Committer** (always executing logically earlier work): write the
 //!   data words to main memory *first*, then call [`CommitLog::record`],
-//!   which — under the shard's commit lock — stamps every range of the
-//!   batch that maps to the shard with the shard's next version and only
-//!   *then* publishes the new shard epoch (release).
+//!   which — under the shard's commit lock — reads each touched region's
+//!   current grain, stamps every range of the batch that maps to the
+//!   shard with the shard's next version and only *then* publishes the
+//!   new shard epoch (release).  Reading the grain **inside** the lock
+//!   matters: regrains update it under the same lock, so a committer can
+//!   never stamp a slot the readers of the new grain no longer consult.
 //! * **Reader** (a speculative thread): sample
 //!   [`CommitLog::snapshot`]`(addr)` — the epoch of the shard owning the
-//!   address's range — with acquire *before* loading the word from main
-//!   memory.
+//!   address's *region* — with acquire *before* loading the word from
+//!   main memory.
 //!
 //! If the reader's sampled shard epoch is at least the committer's
 //! version, the acquire/release pair guarantees both the committed data
 //! *and its version stamps* were visible to the read — no conflict and no
 //! stale `version_of`.  If it is smaller, the read raced the commit and
 //! validation flags it; at worst this is a conservative false positive
-//! (the thread re-executes), never a missed conflict.  (Stamping before
-//! the epoch publish matters: were the epoch bumped first, a reader could
-//! stamp the *new* epoch while `version_of` still returned the old
-//! version, letting a stale read validate.)
+//! (the thread re-executes), never a missed conflict.
+//!
+//! ## Regrain protocol
+//!
+//! [`CommitLog::regrain`]`(region, new_grain_log2)` runs under the
+//! owning shard's commit lock:
+//!
+//! 1. take the next shard version `v`;
+//! 2. stamp **every floor-grain slot of the region** with `v` — not just
+//!    the slots of the new grain.  This is the step that makes any
+//!    regrain interleaving safe: whichever grain a concurrent reader
+//!    observed (arbitrarily stale), the slot it will consult holds at
+//!    least `v`, so every snapshot taken before the regrain conservatively
+//!    fails validation (false sharing allowed, missed conflicts
+//!    structurally impossible);
+//! 3. collect-and-clear the region's registered readers (the caller
+//!    dooms them eagerly — they are about to fail validation anyway,
+//!    and value-predict retry can re-stamp them in place);
+//! 4. publish the new grain (release), then the new epoch `v` (SeqCst).
+//!
+//! A reader that observes the new epoch observes the new grain (the
+//! publish order above); a reader that still sees the old grain reads a
+//! slot stamped `v` in step 2.  Either way the check is conservative.
+//! Committers serialize with regrains on the commit lock and read the
+//! grain inside it, so their stamps always land on live slots.
 //!
 //! Shard epochs advance independently, so versions are only comparable
 //! *within* a shard.  That is safe because an address always maps to the
-//! same range and hence the same shard: a read snapshot and the commits
+//! same region and hence the same shard: a read snapshot and the commits
 //! that could invalidate it live on the same counter.  The global
 //! [`CommitLog::epoch`] (the max over shards) is a monotone diagnostic
 //! bound — it must **not** be used as a read snapshot, because a shard
@@ -89,36 +131,56 @@
 //!
 //! Alongside each range's version the log keeps a *reader registry*: a
 //! bitmask of the thread ids (ranks `1..=`[`MAX_TRACKED_READERS`]) whose
-//! read sets currently cover the range.  A committing writer can
+//! read sets currently cover the range, plus — since the rank cap was
+//! lifted — a per-range **spill set** (a hash set behind the shard's
+//! lock stripe, dashmap-style) holding the ranks beyond the bitmask
+//! window.  A committing writer can
 //! [`take_readers`](CommitLog::take_readers) of the ranges it just
 //! stamped and doom exactly those threads (*targeted dooming*) instead of
-//! squashing every logical successor.  Ranks beyond the tracked window
-//! collapse into a sticky overflow marker, which forces the caller back
-//! to the conservative cascade.
+//! squashing every logical successor; enumeration is complete at any
+//! thread count, so the old cascade fallback for >63-rank sweeps is gone.
 //!
-//! Registration stays **off the commit lock**: a reader ORs its bit into
-//! the range's mask with a single atomic RMW and then (re-)reads the
-//! shard epoch — a seqlock-style double-checked read, since a snapshot
-//! sampled *before* the registration could let a racing committer both
-//! miss the bit and stay below the snapshot.  With the registration
-//! sequenced first (all four operations `SeqCst`), a committer whose
-//! [`take_readers`](CommitLog::take_readers) misses the bit must have
-//! published its epoch before the reader's snapshot, so the reader's
-//! snapshot covers the commit and no conflict existed.  Hence:
+//! Registration stays **off the commit lock**: a tracked reader ORs its
+//! bit into the range's mask with a single atomic RMW and then
+//! (re-)reads the shard epoch — a seqlock-style double-checked read,
+//! since a snapshot sampled *before* the registration could let a racing
+//! committer both miss the bit and stay below the snapshot.  With the
+//! registration sequenced first (all four operations `SeqCst`), a
+//! committer whose [`take_readers`](CommitLog::take_readers) misses the
+//! bit must have published its epoch before the reader's snapshot, so
+//! the reader's snapshot covers the commit and no conflict existed.  A
+//! spilled (rank > 63) reader inserts into the spill set *under its
+//! stripe lock* and sets the sticky spill-marker bit before re-reading
+//! the epoch; the lock's release/acquire edges plus the `SeqCst` epoch
+//! accesses give the same guarantee.  Hence:
 //!
 //! * **Missed reader ⇒ impossible** *to go uncorrected*: either the
 //!   committer enumerates the reader (eager doom), or the reader's
 //!   snapshot already covers the commit (no conflict) — and join-time
 //!   version validation remains the oracle regardless, so eager dooming
 //!   is purely an accelerator and can never mask a genuine conflict.
+//!   A regrain that re-indexes a range's registry slot can strand a
+//!   registration on the old slot; the regrain's whole-region stamp
+//!   guarantees that reader fails validation conservatively instead.
 //! * **Stale reader ⇒ spurious doom only**: a bit left behind by a
 //!   thread that already finished dooms whatever now runs on that rank;
 //!   the doomed thread rolls back and re-executes — slower, never wrong.
 //!   Staleness is bounded by clearing masks on enumeration and by the
 //!   runtime unregistering a thread's reads when it is joined.
+//!
+//! ## Per-region telemetry
+//!
+//! The log keeps per-region counters — range stamps, conflict
+//! attributions, suspected false sharing, value-predict retries — cheap
+//! relaxed atomics fed by the stamp loop and by
+//! [`note_conflict`](CommitLog::note_conflict) /
+//! [`note_retry`](CommitLog::note_retry).
+//! [`region_profiles`](CommitLog::region_profiles) snapshots them for the
+//! grain controller (`mutls-adaptive`), which turns them into
+//! [`regrain`](CommitLog::regrain) calls.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
@@ -128,8 +190,12 @@ use crate::memory::Addr;
 /// (0 = "never written").
 pub type CommitVersion = u64;
 
-/// Identifier of one version-tracking range: `addr >> grain_log2`.
+/// Identifier of one version-tracking range: `addr >> grain_log2` at the
+/// owning region's current grain.
 pub type RangeId = u64;
+
+/// Identifier of one grain-control region: `addr >> region_log2`.
+pub type RegionId = u64;
 
 /// `grain_log2` of word-granular tracking (8-byte ranges): the exact,
 /// false-sharing-free grain of the original design.
@@ -143,64 +209,91 @@ pub const LINE_GRAIN_LOG2: u32 = 6;
 /// BOP-style coarse end of the spectrum.
 pub const PAGE_GRAIN_LOG2: u32 = 12;
 
+/// Log2 of the minimum grain-control region size (one 4 KiB page).  The
+/// actual region size is `max(MIN_REGION_LOG2, grain_log2)` so a region
+/// always covers at least one floor-grain range.
+pub const MIN_REGION_LOG2: u32 = PAGE_GRAIN_LOG2;
+
+/// Region size (log2 bytes) used by a log whose floor grain is
+/// `grain_log2` — shared with the simulator so both layers coarsen
+/// addresses identically.
+pub fn region_log2_for_grain(grain_log2: u32) -> u32 {
+    grain_log2.max(MIN_REGION_LOG2)
+}
+
 /// Log2 of the commit-lock timing sample rate: one batch in
 /// `2^LOCK_SAMPLE_LOG2` is wall-clock timed and its lock-hold duration
 /// scaled up into [`CommitLogStats::lock_ns`].
 pub const LOCK_SAMPLE_LOG2: u32 = 3;
 
-/// Highest thread rank the reader registry tracks individually; ranks
-/// beyond it collapse into the sticky overflow marker of a [`ReaderSet`]
-/// (the caller must then fall back to the conservative squash cascade).
+/// Highest thread rank the reader registry tracks in the per-range
+/// bitmask; ranks beyond it land in the per-range spill set (enumeration
+/// stays complete — the pre-PR5 cascade fallback is gone).
 pub const MAX_TRACKED_READERS: usize = 63;
 
-/// Registry bit marking "a reader beyond [`MAX_TRACKED_READERS`] touched
-/// this range": its identity is unknown, so enumeration is incomplete.
-const READER_OVERFLOW_BIT: u64 = 1 << 63;
+/// Registry bit marking "a reader beyond [`MAX_TRACKED_READERS`] is in
+/// this range's spill set": enumeration must consult the spill map.
+const READER_SPILL_BIT: u64 = 1 << 63;
 
 /// Registry bit of thread rank `rank` (0 = the non-speculative thread,
-/// which never registers: it reads coherent main memory directly).
+/// which never registers: it reads coherent main memory directly; ranks
+/// past the bitmask window use the spill set, marked by
+/// [`READER_SPILL_BIT`]).
 fn reader_bit(rank: usize) -> u64 {
     match rank {
         0 => 0,
         r if r <= MAX_TRACKED_READERS => 1 << (r - 1),
-        _ => READER_OVERFLOW_BIT,
+        _ => READER_SPILL_BIT,
     }
 }
 
 /// The set of reader ranks enumerated from the registry for a batch of
-/// ranges (see [`CommitLog::take_readers`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// ranges (see [`CommitLog::take_readers`]): a bitmask for ranks
+/// `1..=`[`MAX_TRACKED_READERS`] plus an explicit (sorted) list of
+/// spilled ranks beyond the window.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ReaderSet {
     bits: u64,
+    /// Spilled ranks (> [`MAX_TRACKED_READERS`]), ascending, deduplicated.
+    spilled: Vec<usize>,
 }
 
 impl ReaderSet {
-    /// True when an untracked (rank > [`MAX_TRACKED_READERS`]) reader
-    /// touched one of the ranges: the enumeration is incomplete and the
-    /// caller must fall back to the cascade.
-    pub fn overflowed(&self) -> bool {
-        self.bits & READER_OVERFLOW_BIT != 0
+    fn from_parts(bits: u64, mut spilled: Vec<usize>) -> Self {
+        spilled.sort_unstable();
+        spilled.dedup();
+        ReaderSet {
+            bits: bits & !READER_SPILL_BIT,
+            spilled,
+        }
     }
 
-    /// True when no reader (tracked or untracked) is registered.
+    /// True when no reader is registered.
     pub fn is_empty(&self) -> bool {
-        self.bits == 0
+        self.bits == 0 && self.spilled.is_empty()
     }
 
-    /// Number of individually tracked reader ranks in the set.
+    /// Number of reader ranks in the set (tracked and spilled).
     pub fn len(&self) -> usize {
-        (self.bits & !READER_OVERFLOW_BIT).count_ones() as usize
+        self.bits.count_ones() as usize + self.spilled.len()
     }
 
     /// Whether `rank` is in the set.
     pub fn contains(&self, rank: usize) -> bool {
-        let bit = reader_bit(rank);
-        bit != READER_OVERFLOW_BIT && bit != 0 && self.bits & bit != 0
+        if rank == 0 {
+            return false;
+        }
+        if rank <= MAX_TRACKED_READERS {
+            self.bits & (1 << (rank - 1)) != 0
+        } else {
+            self.spilled.binary_search(&rank).is_ok()
+        }
     }
 
-    /// The tracked reader ranks, ascending.
+    /// The reader ranks, ascending: the bitmask window first, then the
+    /// spilled ranks.
     pub fn ranks(&self) -> impl Iterator<Item = usize> + '_ {
-        let mut bits = self.bits & !READER_OVERFLOW_BIT;
+        let mut bits = self.bits;
         std::iter::from_fn(move || {
             if bits == 0 {
                 return None;
@@ -209,14 +302,17 @@ impl ReaderSet {
             bits &= bits - 1;
             Some(tz + 1)
         })
+        .chain(self.spilled.iter().copied())
     }
 }
 
 /// Granularity and sharding of the commit log's version table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitLogConfig {
-    /// Log2 of the range size in bytes; clamped to at least
+    /// Log2 of the **floor** range size in bytes; clamped to at least
     /// [`WORD_GRAIN_LOG2`] (a range can never be smaller than a word).
+    /// The version table is allocated at this grain; per-region live
+    /// grains may only coarsen from it (see [`CommitLog::regrain`]).
     pub grain_log2: u32,
     /// Number of independent shards; rounded up to a power of two, at
     /// least 1.
@@ -267,7 +363,7 @@ impl CommitLogConfig {
         self
     }
 
-    /// Range size in bytes.
+    /// Floor range size in bytes.
     pub fn grain_bytes(&self) -> u64 {
         1u64 << self.grain_log2.max(WORD_GRAIN_LOG2)
     }
@@ -286,7 +382,7 @@ impl CommitLogConfig {
 }
 
 /// Aggregate commit-log activity counters, for throughput reporting
-/// (see the harness `grain` sweep).
+/// (see the harness `grain` / `graincontrol` sweeps).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct CommitLogStats {
     /// Commit batches recorded (non-empty `record` calls).
@@ -294,7 +390,8 @@ pub struct CommitLogStats {
     /// Range stamps *written* across all batches, cumulatively — the
     /// actual log traffic; coarser grains stamp fewer ranges per batch.
     /// (Distinct from [`CommitLog::stamped_ranges`], which counts ranges
-    /// *currently* carrying a stamp.)
+    /// *currently* carrying a stamp; regrain flushes are counted in
+    /// [`regrains`](Self::regrains), not here.)
     pub stamp_writes: u64,
     /// Estimated wall-clock nanoseconds of commit serialization —
     /// *waiting for plus holding* shard commit locks (sampled: one batch
@@ -303,64 +400,139 @@ pub struct CommitLogStats {
     /// relieves, so the 1-vs-N-shard comparison needs it.  On
     /// coarse-resolution clocks short sections may register as zero.
     pub lock_ns: u64,
-    /// Configured range size (log2 bytes), echoed for reports.
+    /// Regions whose grain the controller changed at runtime
+    /// ([`CommitLog::regrain`] calls that actually flipped a grain).
+    pub regrains: u64,
+    /// Configured floor range size (log2 bytes), echoed for reports.
     pub grain_log2: u32,
     /// Configured shard count, echoed for reports.
     pub shards: usize,
 }
 
-/// One independent slice of the version table.
+/// Per-region telemetry snapshot consumed by the grain controller (see
+/// [`CommitLog::region_profiles`]).  Counters are cumulative since the
+/// log was created or [`clear`](CommitLog::clear)ed; the controller
+/// differences successive snapshots itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct RegionProfile {
+    /// The region id (`addr >> region_log2`).
+    pub region: RegionId,
+    /// The region's current live grain (log2 bytes).
+    pub grain_log2: u32,
+    /// Range stamps written into this region (log traffic).
+    pub stamps: u64,
+    /// Conflicts attributed to this region's ranges
+    /// ([`note_conflict`](CommitLog::note_conflict)).
+    pub conflicts: u64,
+    /// Conflicts classified as suspected false sharing — the signal that
+    /// the region's grain, not genuine sharing, is dooming readers.
+    pub false_sharing: u64,
+    /// Value-predict retries that re-validated reads of this region
+    /// ([`note_retry`](CommitLog::note_retry)): conflicts the current
+    /// grain made cheap instead of fatal.
+    pub retries: u64,
+}
+
+/// Per-region telemetry accumulators (all relaxed; they feed policy, not
+/// correctness).
+#[derive(Debug, Default)]
+struct RegionCounters {
+    stamps: AtomicU64,
+    conflicts: AtomicU64,
+    false_sharing: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// One independent slice of the version table (one stripe of regions).
 #[derive(Debug)]
 struct Shard {
     /// Version of this shard's most recent *published* commit batch.
     epoch: AtomicU64,
-    /// Serializes committers touching this shard, so stamps always
-    /// precede the epoch publish.
+    /// Serializes committers (and regrains) touching this shard, so
+    /// stamps always precede the epoch publish and grain flips are
+    /// ordered against stamping.
     commit_lock: Mutex<()>,
-    /// Dense per-range versions for this shard's slice of the arena:
-    /// range `r` (with `r & mask == shard index`) lives at local index
-    /// `r >> shard_bits`.
+    /// Dense per-range versions for this shard's regions: region `r`
+    /// (with `r & mask == shard index`) owns the slot block
+    /// `[(r >> shard_bits) * slots_per_region, ..)`, one slot per
+    /// floor-grain range; a coarser live grain uses the block's prefix.
     dense: Vec<AtomicU64>,
-    /// Sparse fallback for ranges beyond the dense window.
+    /// Sparse fallback for ranges beyond the dense window (always at the
+    /// floor grain — out-of-window addresses are never regrained).
     sparse: RwLock<HashMap<RangeId, CommitVersion>>,
     /// Dense per-range reader bitmasks (same indexing as `dense`);
     /// registration/enumeration are lock-free atomic RMWs.
     readers_dense: Vec<AtomicU64>,
+    /// Spill sets for ranks past the bitmask window, keyed by dense slot
+    /// index (dashmap-style: the shard is the lock stripe).
+    readers_spill_dense: RwLock<HashMap<usize, HashSet<usize>>>,
     /// Sparse reader-bitmask fallback for ranges beyond the dense window.
     readers_sparse: RwLock<HashMap<RangeId, u64>>,
+    /// Spill sets for sparse ranges.
+    readers_spill_sparse: RwLock<HashMap<RangeId, HashSet<usize>>>,
 }
 
 impl Shard {
-    fn new(dense_ranges: usize) -> Self {
-        let mut dense = Vec::with_capacity(dense_ranges);
-        dense.resize_with(dense_ranges, || AtomicU64::new(0));
-        let mut readers_dense = Vec::with_capacity(dense_ranges);
-        readers_dense.resize_with(dense_ranges, || AtomicU64::new(0));
+    fn new(dense_slots: usize) -> Self {
+        let mut dense = Vec::with_capacity(dense_slots);
+        dense.resize_with(dense_slots, || AtomicU64::new(0));
+        let mut readers_dense = Vec::with_capacity(dense_slots);
+        readers_dense.resize_with(dense_slots, || AtomicU64::new(0));
         Shard {
             epoch: AtomicU64::new(0),
             commit_lock: Mutex::new(()),
             dense,
             sparse: RwLock::new(HashMap::new()),
             readers_dense,
+            readers_spill_dense: RwLock::new(HashMap::new()),
             readers_sparse: RwLock::new(HashMap::new()),
+            readers_spill_sparse: RwLock::new(HashMap::new()),
         }
     }
 }
 
+/// Where an address's version/registry entry lives right now.
+enum Slot {
+    /// Dense slot `local` of shard `shard` (the lock-free fast path).
+    Dense { shard: usize, local: usize },
+    /// Sparse floor-grain range of shard `shard`.
+    Sparse { shard: usize, range: RangeId },
+}
+
 /// Append-only versioned record of every write published to main memory,
-/// range-granular and sharded (see the module docs for the protocol).
+/// region-sharded with per-region live grains (see the module docs for
+/// the protocol).
 #[derive(Debug)]
 pub struct CommitLog {
     config: CommitLogConfig,
-    /// `shards.len() - 1`; shard of a range is `range & shard_mask`.
+    /// Log2 of the region size in bytes (`max(MIN_REGION_LOG2, grain)`).
+    region_log2: u32,
+    /// Floor-grain slots per region (`1 << (region_log2 - grain_log2)`).
+    slots_per_region: usize,
+    /// `shards.len() - 1`; shard of a region is `region & shard_mask`.
     shard_mask: u64,
-    /// `log2(shards.len())`; local dense index is `range >> shard_bits`.
+    /// `log2(shards.len())`; a shard's n-th region block is region
+    /// `region >> shard_bits`.
     shard_bits: u32,
+    /// Dense regions per shard (every shard allocates the same number of
+    /// region blocks, so the last stripe is dense everywhere).
+    regions_per_shard: u64,
     shards: Vec<Shard>,
+    /// Live grain of every dense region, indexed by region id.  Written
+    /// only under the owning shard's commit lock; read lock-free
+    /// (acquire) by snapshot/validation paths.
+    region_grains: Vec<AtomicU32>,
+    /// Per-region telemetry, same indexing as `region_grains`.
+    region_stats: Vec<RegionCounters>,
+    /// Grain every region starts at (and returns to on
+    /// [`clear`](Self::clear)); clamped to `[grain_log2, region_log2]`.
+    initial_grain: u32,
     /// Commit batches recorded (monotone; survives shard distribution).
     commits: AtomicU64,
     /// Range stamps written across all batches.
     stamped: AtomicU64,
+    /// Regions regrained (grain actually flipped).
+    regrains: AtomicU64,
     /// Estimated nanoseconds of commit serialization (lock wait + hold):
     /// every `2^LOCK_SAMPLE_LOG2`-th batch is timed (two clock reads)
     /// and its duration scaled up, so the commit-throughput reporting
@@ -394,278 +566,176 @@ impl CommitLog {
     /// Create a log with an explicit grain/shard config whose dense fast
     /// path covers `[0, capacity_bytes)` — size it to the main-memory
     /// arena so the whole program's traffic stamps lock-free with bounded
-    /// memory (one version word per range).  The capacity is rounded *up*
-    /// to whole ranges, so a trailing partial word or range is still
-    /// dense.
+    /// memory (one version word per floor-grain range).  The capacity is
+    /// rounded *up* to whole regions, so a trailing partial range or
+    /// region is still dense.
     pub fn with_config(config: CommitLogConfig, capacity_bytes: u64) -> Self {
+        let grain = config.normalized().grain_log2;
+        Self::with_initial_grain(config, capacity_bytes, grain)
+    }
+
+    /// Like [`with_config`](Self::with_config), but every dense region
+    /// starts at `initial_grain_log2` (clamped to
+    /// `[grain_log2, region_log2]`) instead of the floor grain — the
+    /// grain controller's optimistic-coarse starting point.
+    pub fn with_initial_grain(
+        config: CommitLogConfig,
+        capacity_bytes: u64,
+        initial_grain_log2: u32,
+    ) -> Self {
         let config = config.normalized();
         let shard_count = config.shards;
-        let dense_ranges = capacity_bytes.div_ceil(config.grain_bytes());
-        // Every shard covers ranges up to the next multiple of the shard
+        let region_log2 = region_log2_for_grain(config.grain_log2);
+        let slots_per_region = 1usize << (region_log2 - config.grain_log2);
+        let dense_regions = capacity_bytes.div_ceil(1u64 << region_log2);
+        // Every shard covers regions up to the next multiple of the shard
         // count, so the last partial stripe is dense everywhere.
-        let per_shard = dense_ranges.div_ceil(shard_count as u64) as usize;
-        let shards = (0..shard_count)
-            .map(|_| Shard::new(if dense_ranges == 0 { 0 } else { per_shard }))
-            .collect();
+        let regions_per_shard = dense_regions.div_ceil(shard_count as u64);
+        let dense_slots = if dense_regions == 0 {
+            0
+        } else {
+            regions_per_shard as usize * slots_per_region
+        };
+        let shards = (0..shard_count).map(|_| Shard::new(dense_slots)).collect();
+        let region_count = regions_per_shard as usize * shard_count;
+        let initial_grain = initial_grain_log2.clamp(config.grain_log2, region_log2);
+        let mut region_grains = Vec::with_capacity(region_count);
+        region_grains.resize_with(region_count, || AtomicU32::new(initial_grain));
+        let mut region_stats = Vec::with_capacity(region_count);
+        region_stats.resize_with(region_count, RegionCounters::default);
         CommitLog {
             config,
+            region_log2,
+            slots_per_region,
             shard_mask: (shard_count as u64) - 1,
             shard_bits: shard_count.trailing_zeros(),
+            regions_per_shard,
             shards,
+            region_grains,
+            region_stats,
+            initial_grain,
             commits: AtomicU64::new(0),
             stamped: AtomicU64::new(0),
+            regrains: AtomicU64::new(0),
             lock_ns: AtomicU64::new(0),
             lock_samples: AtomicU64::new(0),
         }
     }
 
-    /// The grain/shard configuration this log runs with.
+    /// The grain/shard configuration this log runs with (`grain_log2` is
+    /// the floor grain).
     pub fn config(&self) -> CommitLogConfig {
         self.config
     }
 
-    /// The range covering `addr`.
+    /// Log2 of the grain-control region size in bytes.
+    pub fn region_log2(&self) -> u32 {
+        self.region_log2
+    }
+
+    /// The region covering `addr`.
+    pub fn region_of(&self, addr: Addr) -> RegionId {
+        addr >> self.region_log2
+    }
+
+    /// The live grain (log2 bytes) of `region` — the configured floor
+    /// grain for regions beyond the dense window, which are never
+    /// regrained.
+    pub fn grain_of_region(&self, region: RegionId) -> u32 {
+        match usize::try_from(region) {
+            Ok(idx) if idx < self.region_grains.len() => {
+                self.region_grains[idx].load(Ordering::Acquire)
+            }
+            _ => self.config.grain_log2,
+        }
+    }
+
+    /// The live grain (log2 bytes) tracking `addr` right now.
+    pub fn grain_of(&self, addr: Addr) -> u32 {
+        self.grain_of_region(self.region_of(addr))
+    }
+
+    /// The range covering `addr` at its region's current grain.
     pub fn range_of(&self, addr: Addr) -> RangeId {
-        addr >> self.config.grain_log2
+        addr >> self.grain_of(addr)
     }
 
-    fn shard_index(&self, range: RangeId) -> usize {
-        (range & self.shard_mask) as usize
+    fn shard_of_region(&self, region: RegionId) -> usize {
+        (region & self.shard_mask) as usize
     }
 
-    fn local_index(&self, range: RangeId) -> usize {
-        (range >> self.shard_bits) as usize
+    /// Whether `region` is inside the dense (lock-free, regrainable)
+    /// window.
+    fn region_is_dense(&self, region: RegionId) -> bool {
+        (region >> self.shard_bits) < self.regions_per_shard
+    }
+
+    /// Locate `addr`'s slot at grain `grain_log2`.
+    fn slot_at(&self, addr: Addr, grain_log2: u32) -> Slot {
+        let region = self.region_of(addr);
+        let shard = self.shard_of_region(region);
+        if self.region_is_dense(region) {
+            let block = (region >> self.shard_bits) as usize * self.slots_per_region;
+            let offset = addr & ((1u64 << self.region_log2) - 1);
+            Slot::Dense {
+                shard,
+                local: block + (offset >> grain_log2) as usize,
+            }
+        } else {
+            Slot::Sparse {
+                shard,
+                range: addr >> self.config.grain_log2,
+            }
+        }
+    }
+
+    /// Locate `addr`'s slot at its region's current grain.
+    fn slot_of(&self, addr: Addr) -> Slot {
+        self.slot_at(addr, self.grain_of(addr))
     }
 
     /// Whether `addr` is covered by the dense (lock-free) version window.
     pub fn dense_covers(&self, addr: Addr) -> bool {
-        let range = self.range_of(addr);
-        self.local_index(range) < self.shards[self.shard_index(range)].dense.len()
-    }
-
-    fn stamp(&self, shard_idx: usize, range: RangeId, version: CommitVersion) {
-        let shard = &self.shards[shard_idx];
-        let local = self.local_index(range);
-        if local < shard.dense.len() {
-            shard.dense[local].store(version, Ordering::Relaxed);
-        } else {
-            shard
-                .sparse
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .insert(range, version);
-        }
-    }
-
-    fn version_of_range(&self, range: RangeId) -> CommitVersion {
-        let shard = &self.shards[self.shard_index(range)];
-        let local = self.local_index(range);
-        if local < shard.dense.len() {
-            shard.dense[local].load(Ordering::Acquire)
-        } else {
-            shard
-                .sparse
-                .read()
-                .unwrap_or_else(|e| e.into_inner())
-                .get(&range)
-                .copied()
-                .unwrap_or(0)
-        }
+        self.region_is_dense(self.region_of(addr))
     }
 
     /// The read snapshot for `addr`: the current epoch of the shard
-    /// owning the address's range (acquire).
+    /// owning the address's region (acquire).
     ///
     /// Speculative readers sample this *before* loading the word from
     /// main memory and stamp the read-set entry with it; join-time
     /// validation compares it against [`version_of`](Self::version_of) on
-    /// the same shard counter.
+    /// the same shard counter.  The shard is determined by the *region*,
+    /// never the grain, so snapshots survive regrains.
     pub fn snapshot(&self, addr: Addr) -> CommitVersion {
-        self.shards[self.shard_index(self.range_of(addr))]
+        self.shards[self.shard_of_region(self.region_of(addr))]
             .epoch
             .load(Ordering::Acquire)
     }
 
-    /// Register thread `rank` as a reader of `addr`'s range and return the
-    /// read snapshot to stamp the read-set entry with.
-    ///
-    /// This is the seqlock-style protocol of the module docs: the bit is
-    /// ORed in first (one `SeqCst` RMW, off the commit lock) and the shard
-    /// epoch is (re-)read *after* the registration is globally visible.  A
-    /// committer whose [`take_readers`](Self::take_readers) misses the bit
-    /// must therefore have published its epoch before this snapshot, so
-    /// the snapshot covers the commit and the read is not stale.  Rank 0
-    /// (the non-speculative thread) registers nothing; ranks beyond
-    /// [`MAX_TRACKED_READERS`] set the sticky overflow marker.
-    pub fn register_reader(&self, addr: Addr, rank: usize) -> CommitVersion {
-        let range = self.range_of(addr);
-        let shard = &self.shards[self.shard_index(range)];
-        let bit = reader_bit(rank);
-        if bit != 0 {
-            let local = self.local_index(range);
-            if local < shard.readers_dense.len() {
-                shard.readers_dense[local].fetch_or(bit, Ordering::SeqCst);
-            } else {
-                *shard
-                    .readers_sparse
-                    .write()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .entry(range)
-                    .or_insert(0) |= bit;
-            }
-        }
-        shard.epoch.load(Ordering::SeqCst)
-    }
-
-    /// Remove thread `rank` from the reader registry of every range
-    /// covering `addrs` (a joined thread's read set — committed or
-    /// squashed, its registrations are dead and would only cause spurious
-    /// dooms).  Untracked ranks (the overflow marker) cannot be removed
-    /// individually; the marker stays sticky until the next enumeration.
-    pub fn unregister_reader<I: IntoIterator<Item = Addr>>(&self, addrs: I, rank: usize) {
-        let bit = reader_bit(rank);
-        if bit == 0 || bit == READER_OVERFLOW_BIT {
-            return;
-        }
-        let mut last_range = None;
-        for addr in addrs {
-            let range = self.range_of(addr);
-            if last_range == Some(range) {
-                continue;
-            }
-            last_range = Some(range);
-            let shard = &self.shards[self.shard_index(range)];
-            let local = self.local_index(range);
-            if local < shard.readers_dense.len() {
-                shard.readers_dense[local].fetch_and(!bit, Ordering::SeqCst);
-            } else {
-                let mut sparse = shard
-                    .readers_sparse
-                    .write()
-                    .unwrap_or_else(|e| e.into_inner());
-                if let Some(bits) = sparse.get_mut(&range) {
-                    *bits &= !bit;
-                    if *bits == 0 {
-                        sparse.remove(&range);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Move the registrations for `addrs` from thread `from` to thread
-    /// `to` — a speculative parent absorbing its child's read set inherits
-    /// the child's dependences, so future commits to those ranges must
-    /// doom the *parent* now.
-    pub fn transfer_reader<I: IntoIterator<Item = Addr>>(&self, addrs: I, from: usize, to: usize) {
-        let from_bit = reader_bit(from);
-        let to_bit = reader_bit(to);
-        let mut last_range = None;
-        for addr in addrs {
-            let range = self.range_of(addr);
-            if last_range == Some(range) {
-                continue;
-            }
-            last_range = Some(range);
-            let shard = &self.shards[self.shard_index(range)];
-            let local = self.local_index(range);
-            if local < shard.readers_dense.len() {
-                if to_bit != 0 {
-                    shard.readers_dense[local].fetch_or(to_bit, Ordering::SeqCst);
-                }
-                if from_bit != 0 && from_bit != READER_OVERFLOW_BIT {
-                    shard.readers_dense[local].fetch_and(!from_bit, Ordering::SeqCst);
-                }
-            } else {
-                let mut sparse = shard
-                    .readers_sparse
-                    .write()
-                    .unwrap_or_else(|e| e.into_inner());
-                let bits = sparse.entry(range).or_insert(0);
-                *bits |= to_bit;
-                if from_bit != READER_OVERFLOW_BIT {
-                    *bits &= !from_bit;
-                }
-                if *bits == 0 {
-                    sparse.remove(&range);
-                }
-            }
-        }
-    }
-
-    /// Enumerate *and clear* the registered readers of every range
-    /// covering `addrs` — called by a committing writer immediately after
-    /// [`record`](Self::record), so the returned set is exactly the
-    /// threads whose read sets overlap the just-stamped ranges (plus the
-    /// overflow marker when an untracked rank is among them).  Clearing on
-    /// enumeration bounds registry staleness: the returned readers are
-    /// about to be doomed and will re-register when they re-execute.
-    pub fn take_readers<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> ReaderSet {
-        let mut bits = 0u64;
-        let mut last_range = None;
-        for addr in addrs {
-            let range = self.range_of(addr);
-            if last_range == Some(range) {
-                continue;
-            }
-            last_range = Some(range);
-            let shard = &self.shards[self.shard_index(range)];
-            let local = self.local_index(range);
-            if local < shard.readers_dense.len() {
-                // Fast path: an unread range stays a single load — but it
-                // must be SeqCst, not relaxed, or it could miss a
-                // registration that precedes this enumeration in the SC
-                // order and break the missed-reader argument of the
-                // module docs (a relaxed load participates in no SC
-                // total order).
-                if shard.readers_dense[local].load(Ordering::SeqCst) != 0 {
-                    bits |= shard.readers_dense[local].swap(0, Ordering::SeqCst);
-                }
-            } else {
-                let occupied = !shard
-                    .readers_sparse
-                    .read()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .is_empty();
-                if occupied {
-                    if let Some(found) = shard
-                        .readers_sparse
-                        .write()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .remove(&range)
-                    {
-                        bits |= found;
-                    }
-                }
-            }
-        }
-        ReaderSet { bits }
-    }
-
-    /// Enumerate-and-clear the readers of a single word's range (the
-    /// non-speculative direct-store fast path).
-    pub fn take_readers_of_word(&self, addr: Addr) -> ReaderSet {
-        self.take_readers([addr])
-    }
-
-    /// The raw registered-reader bitmask of `addr`'s range (tests and
-    /// diagnostics; does not clear).
-    pub fn registered_readers(&self, addr: Addr) -> ReaderSet {
-        let range = self.range_of(addr);
-        let shard = &self.shards[self.shard_index(range)];
-        let local = self.local_index(range);
-        let bits = if local < shard.readers_dense.len() {
-            shard.readers_dense[local].load(Ordering::SeqCst)
-        } else {
-            shard
-                .readers_sparse
+    /// Version of the last commit that wrote any word of `addr`'s range
+    /// (0 = never written through the log; a regrain of the region counts
+    /// as a conservative whole-region write).
+    pub fn version_of(&self, addr: Addr) -> CommitVersion {
+        match self.slot_of(addr) {
+            Slot::Dense { shard, local } => self.shards[shard].dense[local].load(Ordering::Acquire),
+            Slot::Sparse { shard, range } => self.shards[shard]
+                .sparse
                 .read()
                 .unwrap_or_else(|e| e.into_inner())
                 .get(&range)
                 .copied()
-                .unwrap_or(0)
-        };
-        ReaderSet { bits }
+                .unwrap_or(0),
+        }
+    }
+
+    /// True when a commit wrote `addr`'s *range* after a read of `addr`
+    /// stamped with `read_version` — the (range-conservative) dependence
+    /// violation condition.  May flag false sharing (a different word of
+    /// the same range, or a conservative regrain flush); never misses a
+    /// genuine conflict.
+    pub fn written_after(&self, addr: Addr, read_version: CommitVersion) -> bool {
+        self.version_of(addr) > read_version
     }
 
     /// The maximum shard epoch (acquire per shard) — a monotone bound for
@@ -680,52 +750,100 @@ impl CommitLog {
             .unwrap_or(0)
     }
 
+    // ----- commit path ------------------------------------------------
+
     /// Record one commit batch covering `addrs` and return the largest
     /// shard version the batch published (the current [`epoch`](Self::epoch)
     /// for an empty batch, which records nothing).
     ///
     /// The caller must have already written the data words to main memory
     /// (see the module-level ordering protocol).  The batch's addresses
-    /// are coarsened to ranges, deduplicated and grouped by shard; each
-    /// involved shard is then locked *one at a time* (never nested, so
-    /// committers cannot deadlock), its ranges stamped with its next
-    /// version, and the new shard epoch published (release).
+    /// are grouped by shard (a region-level property, independent of any
+    /// concurrent regrain); each involved shard is then locked *one at a
+    /// time* (never nested, so committers cannot deadlock), the touched
+    /// regions' **current** grains read under the lock, the coarsened
+    /// ranges stamped with the shard's next version, and the new shard
+    /// epoch published.
     pub fn record<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> CommitVersion {
-        let mut iter = addrs.into_iter().map(|a| self.range_of(a));
+        let mut iter = addrs.into_iter();
         let Some(first) = iter.next() else {
             return self.epoch();
         };
-        let mut ranges: Vec<RangeId> = iter.collect();
-        if ranges.is_empty() {
+        let mut addrs: Vec<Addr> = iter.collect();
+        if addrs.is_empty() {
             // Single-address batch: the non-speculative direct-store fast
             // path — one shard, no grouping allocation.
             return self.record_single(first);
         }
-        ranges.push(first);
-        // Sorting by (shard, range) groups each shard's ranges into one
+        addrs.push(first);
+        // Sorting by (shard, addr) groups each shard's addresses into one
         // contiguous run, so the lock loop below walks slices of this
         // single Vec — no per-shard bucket allocation on the commit path.
-        ranges.sort_unstable_by_key(|r| (r & self.shard_mask, *r));
-        ranges.dedup();
+        // Within a run addresses ascend, so equal ranges are adjacent and
+        // the in-lock walk can deduplicate by slot.
+        let region_log2 = self.region_log2;
+        let mask = self.shard_mask;
+        addrs.sort_unstable_by_key(|a| ((a >> region_log2) & mask, *a));
+        addrs.dedup();
         self.commits.fetch_add(1, Ordering::Relaxed);
-        self.stamped
-            .fetch_add(ranges.len() as u64, Ordering::Relaxed);
         let sample = self.lock_time_sampled();
         let mut max_version = 0;
         let mut start = 0;
-        while start < ranges.len() {
-            let shard_idx = self.shard_index(ranges[start]);
+        while start < addrs.len() {
+            let shard_idx = self.shard_of_region(self.region_of(addrs[start]));
             let mut end = start + 1;
-            while end < ranges.len() && self.shard_index(ranges[end]) == shard_idx {
+            while end < addrs.len() && self.shard_of_region(self.region_of(addrs[end])) == shard_idx
+            {
                 end += 1;
             }
             let shard = &self.shards[shard_idx];
             let started = sample.then(Instant::now);
             let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
             let version = shard.epoch.load(Ordering::Relaxed) + 1;
-            for &range in &ranges[start..end] {
-                self.stamp(shard_idx, range, version);
+            let mut stamped = 0u64;
+            // Dedup key: the concrete slot, not the numeric range id —
+            // range ids of *different regions at different grains* can
+            // collide numerically.
+            let mut last_dense: Option<usize> = None;
+            let mut last_sparse: Option<RangeId> = None;
+            let mut cached: Option<(RegionId, u32)> = None;
+            for &addr in &addrs[start..end] {
+                let region = self.region_of(addr);
+                let grain = match cached {
+                    Some((r, g)) if r == region => g,
+                    _ => {
+                        // Read the live grain inside the commit lock:
+                        // regrains flip it under this same lock, so the
+                        // stamp below always lands on a live slot.
+                        let g = self.grain_of_region(region);
+                        cached = Some((region, g));
+                        g
+                    }
+                };
+                match self.slot_at(addr, grain) {
+                    Slot::Dense { local, .. } => {
+                        if last_dense == Some(local) {
+                            continue;
+                        }
+                        last_dense = Some(local);
+                        shard.dense[local].store(version, Ordering::Relaxed);
+                        self.bump_region_stamps(region);
+                    }
+                    Slot::Sparse { range, .. } => {
+                        if last_sparse == Some(range) {
+                            continue;
+                        }
+                        last_sparse = Some(range);
+                        shard
+                            .sparse
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(range, version);
+                    }
+                }
+                stamped += 1;
             }
+            self.stamped.fetch_add(stamped, Ordering::Relaxed);
             // SeqCst (a release store plus SC ordering): the reader
             // registry's missed-reader argument needs the epoch publish
             // and the subsequent `take_readers` swap to be totally
@@ -752,16 +870,40 @@ impl CommitLog {
         self.lock_samples.fetch_add(1, Ordering::Relaxed) & ((1 << LOCK_SAMPLE_LOG2) - 1) == 0
     }
 
-    fn record_single(&self, range: RangeId) -> CommitVersion {
+    fn bump_region_stamps(&self, region: RegionId) {
+        if let Ok(idx) = usize::try_from(region) {
+            if idx < self.region_stats.len() {
+                self.region_stats[idx]
+                    .stamps
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn record_single(&self, addr: Addr) -> CommitVersion {
         self.commits.fetch_add(1, Ordering::Relaxed);
         self.stamped.fetch_add(1, Ordering::Relaxed);
         let sample = self.lock_time_sampled();
-        let shard_idx = self.shard_index(range);
+        let region = self.region_of(addr);
+        let shard_idx = self.shard_of_region(region);
         let shard = &self.shards[shard_idx];
         let started = sample.then(Instant::now);
         let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
         let version = shard.epoch.load(Ordering::Relaxed) + 1;
-        self.stamp(shard_idx, range, version);
+        // Grain read inside the lock (see `record`).
+        match self.slot_at(addr, self.grain_of_region(region)) {
+            Slot::Dense { local, .. } => {
+                shard.dense[local].store(version, Ordering::Relaxed);
+                self.bump_region_stamps(region);
+            }
+            Slot::Sparse { range, .. } => {
+                shard
+                    .sparse
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(range, version);
+            }
+        }
         // SeqCst for the reader-registry ordering (see `record`).
         shard.epoch.store(version, Ordering::SeqCst);
         if let Some(started) = started {
@@ -775,21 +917,431 @@ impl CommitLog {
 
     /// Record a single-word commit (the non-speculative direct-store path).
     pub fn record_word(&self, addr: Addr) -> CommitVersion {
-        self.record_single(self.range_of(addr))
+        self.record_single(addr)
     }
 
-    /// Version of the last commit that wrote any word of `addr`'s range
-    /// (0 = never written through the log).
-    pub fn version_of(&self, addr: Addr) -> CommitVersion {
-        self.version_of_range(self.range_of(addr))
+    // ----- regrain ----------------------------------------------------
+
+    /// Rebuild `region`'s slice of the version table at
+    /// `new_grain_log2` (clamped to `[grain_log2, region_log2]`), under
+    /// the owning shard's commit lock, with an epoch bump — the
+    /// grain-control *mechanism* (see the module-level regrain protocol).
+    ///
+    /// Every floor-grain slot of the region is stamped with the new
+    /// version, so **every** outstanding snapshot of the region
+    /// conservatively fails its next validation regardless of which grain
+    /// it was taken under: false sharing allowed, missed conflicts
+    /// structurally impossible, for any regrain interleaving.
+    ///
+    /// Returns the published version plus the region's registered readers
+    /// (collected-and-cleared): they are about to fail validation anyway,
+    /// so the caller should doom them eagerly — value-predict retry can
+    /// still re-stamp them in place.  Regions beyond the dense window are
+    /// not regrainable; the call is a no-op returning an empty set.
+    pub fn regrain(&self, region: RegionId, new_grain_log2: u32) -> (CommitVersion, ReaderSet) {
+        let new_grain = new_grain_log2.clamp(self.config.grain_log2, self.region_log2);
+        if !self.region_is_dense(region) {
+            return (0, ReaderSet::default());
+        }
+        let idx = region as usize;
+        let shard_idx = self.shard_of_region(region);
+        let shard = &self.shards[shard_idx];
+        let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if self.region_grains[idx].load(Ordering::Relaxed) == new_grain {
+            return (shard.epoch.load(Ordering::Relaxed), ReaderSet::default());
+        }
+        let version = shard.epoch.load(Ordering::Relaxed) + 1;
+        let block = (region >> self.shard_bits) as usize * self.slots_per_region;
+        let mut bits = 0u64;
+        for local in block..block + self.slots_per_region {
+            // Conservative whole-region flush: every slot any (however
+            // stale) grain observation could index now holds `version`.
+            shard.dense[local].store(version, Ordering::Relaxed);
+            bits |= shard.readers_dense[local].swap(0, Ordering::SeqCst);
+        }
+        let mut spilled = Vec::new();
+        if bits & READER_SPILL_BIT != 0 {
+            let mut spill = shard
+                .readers_spill_dense
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
+            for local in block..block + self.slots_per_region {
+                if let Some(set) = spill.remove(&local) {
+                    spilled.extend(set);
+                }
+            }
+        }
+        // Grain first (release), then the epoch (SeqCst): a reader that
+        // observes the new epoch observes the new grain; a reader on the
+        // old grain reads a slot stamped `version` above.
+        self.region_grains[idx].store(new_grain, Ordering::Release);
+        shard.epoch.store(version, Ordering::SeqCst);
+        self.regrains.fetch_add(1, Ordering::Relaxed);
+        (version, ReaderSet::from_parts(bits, spilled))
     }
 
-    /// True when a commit wrote `addr`'s *range* after a read of `addr`
-    /// stamped with `read_version` — the (range-conservative) dependence
-    /// violation condition.  May flag false sharing (a different word of
-    /// the same range); never misses a genuine conflict.
-    pub fn written_after(&self, addr: Addr, read_version: CommitVersion) -> bool {
-        self.version_of(addr) > read_version
+    // ----- reader registry --------------------------------------------
+
+    /// Register thread `rank` as a reader of `addr`'s range and return the
+    /// read snapshot to stamp the read-set entry with.
+    ///
+    /// This is the seqlock-style protocol of the module docs: the
+    /// registration lands first (one `SeqCst` RMW for tracked ranks, a
+    /// spill-set insert plus the sticky marker bit for ranks past the
+    /// window — both off the commit lock) and the shard epoch is
+    /// (re-)read *after* the registration is globally visible.  A
+    /// committer whose [`take_readers`](Self::take_readers) misses the
+    /// registration must therefore have published its epoch before this
+    /// snapshot, so the snapshot covers the commit and the read is not
+    /// stale.  Rank 0 (the non-speculative thread) registers nothing.
+    pub fn register_reader(&self, addr: Addr, rank: usize) -> CommitVersion {
+        let region = self.region_of(addr);
+        let shard = &self.shards[self.shard_of_region(region)];
+        let bit = reader_bit(rank);
+        if bit != 0 {
+            match self.slot_of(addr) {
+                Slot::Dense { local, .. } => {
+                    if bit == READER_SPILL_BIT {
+                        shard
+                            .readers_spill_dense
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .entry(local)
+                            .or_default()
+                            .insert(rank);
+                    }
+                    shard.readers_dense[local].fetch_or(bit, Ordering::SeqCst);
+                }
+                Slot::Sparse { range, .. } => {
+                    if bit == READER_SPILL_BIT {
+                        shard
+                            .readers_spill_sparse
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .entry(range)
+                            .or_default()
+                            .insert(rank);
+                    }
+                    *shard
+                        .readers_sparse
+                        .write()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .entry(range)
+                        .or_insert(0) |= bit;
+                }
+            }
+        }
+        shard.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Remove thread `rank` from the reader registry of every range
+    /// covering `addrs` (a joined thread's read set — committed or
+    /// squashed, its registrations are dead and would only cause spurious
+    /// dooms).  The spill marker stays sticky while other spilled ranks
+    /// remain; it is cleared when the last one leaves.
+    pub fn unregister_reader<I: IntoIterator<Item = Addr>>(&self, addrs: I, rank: usize) {
+        let bit = reader_bit(rank);
+        if bit == 0 {
+            return;
+        }
+        let mut last_dense: Option<(usize, usize)> = None;
+        let mut last_sparse: Option<(usize, RangeId)> = None;
+        for addr in addrs {
+            let shard_idx = self.shard_of_region(self.region_of(addr));
+            let shard = &self.shards[shard_idx];
+            match self.slot_of(addr) {
+                Slot::Dense { local, .. } => {
+                    if last_dense == Some((shard_idx, local)) {
+                        continue;
+                    }
+                    last_dense = Some((shard_idx, local));
+                    if bit == READER_SPILL_BIT {
+                        let mut spill = shard
+                            .readers_spill_dense
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner());
+                        if let Some(set) = spill.get_mut(&local) {
+                            set.remove(&rank);
+                            if set.is_empty() {
+                                spill.remove(&local);
+                                shard.readers_dense[local].fetch_and(!bit, Ordering::SeqCst);
+                            }
+                        }
+                    } else {
+                        shard.readers_dense[local].fetch_and(!bit, Ordering::SeqCst);
+                    }
+                }
+                Slot::Sparse { range, .. } => {
+                    if last_sparse == Some((shard_idx, range)) {
+                        continue;
+                    }
+                    last_sparse = Some((shard_idx, range));
+                    if bit == READER_SPILL_BIT {
+                        let mut spill = shard
+                            .readers_spill_sparse
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner());
+                        let emptied = match spill.get_mut(&range) {
+                            Some(set) => {
+                                set.remove(&rank);
+                                set.is_empty()
+                            }
+                            None => false,
+                        };
+                        if !emptied {
+                            continue;
+                        }
+                        spill.remove(&range);
+                    }
+                    let mut sparse = shard
+                        .readers_sparse
+                        .write()
+                        .unwrap_or_else(|e| e.into_inner());
+                    if let Some(bits) = sparse.get_mut(&range) {
+                        *bits &= !bit;
+                        if *bits == 0 {
+                            sparse.remove(&range);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move the registrations for `addrs` from thread `from` to thread
+    /// `to` — a speculative parent absorbing its child's read set inherits
+    /// the child's dependences, so future commits to those ranges must
+    /// doom the *parent* now.
+    pub fn transfer_reader<I: IntoIterator<Item = Addr>>(&self, addrs: I, from: usize, to: usize) {
+        let mut last: Option<Addr> = None;
+        let grain = self.config.grain_log2;
+        for addr in addrs {
+            // Conservative dedup at the floor grain (same floor range ⇒
+            // same slot at any live grain).
+            let floor = addr >> grain;
+            if last == Some(floor) {
+                continue;
+            }
+            last = Some(floor);
+            self.register_reader_as(addr, to);
+            self.unregister_reader([addr], from);
+        }
+    }
+
+    /// Registration half of [`transfer_reader`](Self::transfer_reader)
+    /// (no snapshot needed).
+    fn register_reader_as(&self, addr: Addr, rank: usize) {
+        if reader_bit(rank) == 0 {
+            return;
+        }
+        let _ = self.register_reader(addr, rank);
+    }
+
+    /// Enumerate *and clear* the registered readers of every range
+    /// covering `addrs` — called by a committing writer immediately after
+    /// [`record`](Self::record), so the returned set is exactly the
+    /// threads whose read sets overlap the just-stamped ranges (tracked
+    /// bitmask ranks plus every spilled rank; enumeration is complete at
+    /// any thread count).  Clearing on enumeration bounds registry
+    /// staleness: the returned readers are about to be doomed and will
+    /// re-register when they re-execute.
+    pub fn take_readers<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> ReaderSet {
+        let mut bits = 0u64;
+        let mut spilled: Vec<usize> = Vec::new();
+        let mut last_dense: Option<(usize, usize)> = None;
+        let mut last_sparse: Option<(usize, RangeId)> = None;
+        for addr in addrs {
+            let shard_idx = self.shard_of_region(self.region_of(addr));
+            let shard = &self.shards[shard_idx];
+            match self.slot_of(addr) {
+                Slot::Dense { local, .. } => {
+                    if last_dense == Some((shard_idx, local)) {
+                        continue;
+                    }
+                    last_dense = Some((shard_idx, local));
+                    // Fast path: an unread range stays a single load — but
+                    // it must be SeqCst, not relaxed, or it could miss a
+                    // registration that precedes this enumeration in the
+                    // SC order and break the missed-reader argument of the
+                    // module docs (a relaxed load participates in no SC
+                    // total order).
+                    if shard.readers_dense[local].load(Ordering::SeqCst) != 0 {
+                        let taken = shard.readers_dense[local].swap(0, Ordering::SeqCst);
+                        bits |= taken;
+                        if taken & READER_SPILL_BIT != 0 {
+                            if let Some(set) = shard
+                                .readers_spill_dense
+                                .write()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .remove(&local)
+                            {
+                                spilled.extend(set);
+                            }
+                        }
+                    }
+                }
+                Slot::Sparse { range, .. } => {
+                    if last_sparse == Some((shard_idx, range)) {
+                        continue;
+                    }
+                    last_sparse = Some((shard_idx, range));
+                    let occupied = !shard
+                        .readers_sparse
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .is_empty();
+                    if occupied {
+                        if let Some(found) = shard
+                            .readers_sparse
+                            .write()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&range)
+                        {
+                            bits |= found;
+                            if found & READER_SPILL_BIT != 0 {
+                                if let Some(set) = shard
+                                    .readers_spill_sparse
+                                    .write()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .remove(&range)
+                                {
+                                    spilled.extend(set);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ReaderSet::from_parts(bits, spilled)
+    }
+
+    /// Enumerate-and-clear the readers of a single word's range (the
+    /// non-speculative direct-store fast path).
+    pub fn take_readers_of_word(&self, addr: Addr) -> ReaderSet {
+        self.take_readers([addr])
+    }
+
+    /// The registered readers of `addr`'s range (tests and diagnostics;
+    /// does not clear).
+    pub fn registered_readers(&self, addr: Addr) -> ReaderSet {
+        let shard = &self.shards[self.shard_of_region(self.region_of(addr))];
+        let (bits, spilled) = match self.slot_of(addr) {
+            Slot::Dense { local, .. } => {
+                let bits = shard.readers_dense[local].load(Ordering::SeqCst);
+                let spilled = if bits & READER_SPILL_BIT != 0 {
+                    shard
+                        .readers_spill_dense
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get(&local)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                (bits, spilled)
+            }
+            Slot::Sparse { range, .. } => {
+                let bits = shard
+                    .readers_sparse
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .get(&range)
+                    .copied()
+                    .unwrap_or(0);
+                let spilled = if bits & READER_SPILL_BIT != 0 {
+                    shard
+                        .readers_spill_sparse
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get(&range)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                (bits, spilled)
+            }
+        };
+        ReaderSet::from_parts(bits, spilled)
+    }
+
+    // ----- telemetry --------------------------------------------------
+
+    /// Attribute one conflict to `addr`'s region (`suspected_false_sharing`
+    /// when the conflicting word still held its first-read value) — the
+    /// grain controller's split signal.  No-op outside the dense window.
+    pub fn note_conflict(&self, addr: Addr, suspected_false_sharing: bool) {
+        let region = self.region_of(addr);
+        if let Ok(idx) = usize::try_from(region) {
+            if idx < self.region_stats.len() {
+                self.region_stats[idx]
+                    .conflicts
+                    .fetch_add(1, Ordering::Relaxed);
+                if suspected_false_sharing {
+                    self.region_stats[idx]
+                        .false_sharing
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Attribute one successful value-predict retry to `addr`'s region —
+    /// a conflict the current grain made cheap instead of fatal.
+    pub fn note_retry(&self, addr: Addr) {
+        let region = self.region_of(addr);
+        if let Ok(idx) = usize::try_from(region) {
+            if idx < self.region_stats.len() {
+                self.region_stats[idx]
+                    .retries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot the per-region telemetry of every *touched* dense region
+    /// (any nonzero counter), ascending by region id — the grain
+    /// controller's input.
+    pub fn region_profiles(&self) -> Vec<RegionProfile> {
+        let mut rows = Vec::new();
+        for (idx, stats) in self.region_stats.iter().enumerate() {
+            let stamps = stats.stamps.load(Ordering::Relaxed);
+            let conflicts = stats.conflicts.load(Ordering::Relaxed);
+            let false_sharing = stats.false_sharing.load(Ordering::Relaxed);
+            let retries = stats.retries.load(Ordering::Relaxed);
+            if stamps == 0 && conflicts == 0 && retries == 0 {
+                continue;
+            }
+            rows.push(RegionProfile {
+                region: idx as RegionId,
+                grain_log2: self.region_grains[idx].load(Ordering::Acquire),
+                stamps,
+                conflicts,
+                false_sharing,
+                retries,
+            });
+        }
+        rows
+    }
+
+    /// Census of the live grains across touched dense regions:
+    /// `(grain_log2, regions)` pairs, ascending by grain — what the
+    /// controller converged to.
+    pub fn grain_census(&self) -> Vec<(u32, u64)> {
+        let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for (idx, stats) in self.region_stats.iter().enumerate() {
+            if stats.stamps.load(Ordering::Relaxed) == 0
+                && stats.conflicts.load(Ordering::Relaxed) == 0
+            {
+                continue;
+            }
+            *counts
+                .entry(self.region_grains[idx].load(Ordering::Acquire))
+                .or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
     }
 
     /// Number of commit batches recorded so far.
@@ -797,7 +1349,14 @@ impl CommitLog {
         self.commits.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct ranges currently carrying a stamp.
+    /// Number of regions whose grain was flipped at runtime.
+    pub fn regrains(&self) -> u64 {
+        self.regrains.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct ranges currently carrying a stamp.  (A regrain
+    /// conservatively stamps its whole region, so this is an upper bound
+    /// on commit-touched ranges once the controller is active.)
     pub fn stamped_ranges(&self) -> usize {
         let dense: usize = self
             .shards
@@ -820,12 +1379,15 @@ impl CommitLog {
             commits: self.commits.load(Ordering::Relaxed),
             stamp_writes: self.stamped.load(Ordering::Relaxed),
             lock_ns: self.lock_ns.load(Ordering::Relaxed),
+            regrains: self.regrains.load(Ordering::Relaxed),
             grain_log2: self.config.grain_log2,
             shards: self.config.shards,
         }
     }
 
-    /// Forget everything (start of a new speculative region run).
+    /// Forget everything (start of a new speculative region run): stamps,
+    /// registries, telemetry, and every region's grain back to the
+    /// initial grain.
     pub fn clear(&self) {
         for shard in &self.shards {
             let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -841,14 +1403,34 @@ impl CommitLog {
                 r.store(0, Ordering::Relaxed);
             }
             shard
+                .readers_spill_dense
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+            shard
                 .readers_sparse
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+            shard
+                .readers_spill_sparse
                 .write()
                 .unwrap_or_else(|e| e.into_inner())
                 .clear();
             shard.epoch.store(0, Ordering::Release);
         }
+        for grain in &self.region_grains {
+            grain.store(self.initial_grain, Ordering::Release);
+        }
+        for stats in &self.region_stats {
+            stats.stamps.store(0, Ordering::Relaxed);
+            stats.conflicts.store(0, Ordering::Relaxed);
+            stats.false_sharing.store(0, Ordering::Relaxed);
+            stats.retries.store(0, Ordering::Relaxed);
+        }
         self.commits.store(0, Ordering::Relaxed);
         self.stamped.store(0, Ordering::Relaxed);
+        self.regrains.store(0, Ordering::Relaxed);
         self.lock_ns.store(0, Ordering::Relaxed);
         self.lock_samples.store(0, Ordering::Relaxed);
     }
@@ -903,37 +1485,33 @@ mod tests {
 
     #[test]
     fn dense_range_and_sparse_fallback_agree() {
-        // Dense window covers the first 512 bytes (64 words at word
-        // grain); everything beyond falls back to the sparse maps
+        // Dense window covers the first 512 bytes (rounded up to a whole
+        // region); everything beyond falls back to the sparse maps
         // transparently.
         let log = CommitLog::with_config(CommitLogConfig::word_grain(), 512);
         assert!(log.dense_covers(504));
         assert!(!log.dense_covers(1 << 20));
-        log.record([8, 504, 512, 4096]);
-        for addr in [8, 504, 512, 4096] {
+        log.record([8, 504, 512, 1 << 20, (1 << 20) + 4096]);
+        for addr in [8, 504, 512, 1 << 20, (1 << 20) + 4096] {
             assert!(log.version_of(addr) > 0, "addr {addr}");
             assert!(log.written_after(addr, 0));
         }
-        assert_eq!(log.stamped_ranges(), 4);
+        assert_eq!(log.stamped_ranges(), 5);
         log.clear();
-        for addr in [8, 504, 512, 4096] {
+        for addr in [8, 504, 512, 1 << 20, (1 << 20) + 4096] {
             assert_eq!(log.version_of(addr), 0, "addr {addr}");
         }
         assert_eq!(log.stamped_ranges(), 0);
     }
 
     #[test]
-    fn dense_capacity_rounds_up_to_whole_ranges() {
+    fn dense_capacity_rounds_up_to_whole_regions() {
         // Regression: a capacity that is not word- (or range-) aligned
-        // must still cover the trailing partial word densely — rounding
-        // down would push the hottest tail of the arena onto the sparse
-        // fallback.
+        // must still cover the trailing partial word densely — the dense
+        // window now rounds up to whole grain-control regions.
         let log = CommitLog::with_config(CommitLogConfig::word_grain().shards(1), 509);
-        // 509 bytes = 63 full words + 5 bytes: word 63 (bytes 504..512)
-        // is partial but must be dense.
         assert!(log.dense_covers(504));
         let log = CommitLog::with_config(CommitLogConfig::default(), 65);
-        // 65 bytes = one full line + 1 byte: line 1 must be dense.
         assert!(log.dense_covers(64));
     }
 
@@ -957,12 +1535,15 @@ mod tests {
 
     #[test]
     fn shard_epochs_advance_independently() {
-        // Ranges 0 and 1 map to different shards with 2+ shards; each
-        // shard versions its own commits from 1.
+        // Consecutive *regions* (not ranges) interleave across shards
+        // since grain control landed: addresses one region apart map to
+        // different shards with 2+ shards; each shard versions its own
+        // commits from 1.
         let config = CommitLogConfig::word_grain().shards(2);
         let log = CommitLog::with_config(config, 0);
-        let v_a = log.record_word(0); // range 0 → shard 0
-        let v_b = log.record_word(8); // range 1 → shard 1
+        let region_bytes = 1u64 << log.region_log2();
+        let v_a = log.record_word(0); // region 0 → shard 0
+        let v_b = log.record_word(region_bytes); // region 1 → shard 1
         assert_eq!(v_a, 1);
         assert_eq!(v_b, 1, "second shard starts its own epoch");
         assert_eq!(log.epoch(), 1, "global epoch is the max over shards");
@@ -970,16 +1551,20 @@ mod tests {
         assert_eq!(v_a2, 2);
         assert_eq!(log.epoch(), 2);
         assert_eq!(log.commits(), 3);
+        // Same region ⇒ same shard, at any grain.
+        assert!(log.snapshot(0) == log.snapshot(8));
     }
 
     #[test]
     fn multi_shard_batch_stamps_every_shard() {
         let config = CommitLogConfig::word_grain().shards(4);
-        let log = CommitLog::with_config(config, 1 << 10);
-        let before: Vec<_> = [0u64, 8, 16, 24].iter().map(|&a| log.snapshot(a)).collect();
+        let log = CommitLog::with_config(config, 1 << 16);
+        let region = 1u64 << log.region_log2();
+        let batch = [0, region, 2 * region, 3 * region];
+        let before: Vec<_> = batch.iter().map(|&a| log.snapshot(a)).collect();
         // One batch spanning all four shards.
-        log.record([0, 8, 16, 24]);
-        for (addr, before) in [0u64, 8, 16, 24].into_iter().zip(before) {
+        log.record(batch);
+        for (addr, before) in batch.into_iter().zip(before) {
             assert!(log.written_after(addr, before), "addr {addr}");
         }
         assert_eq!(log.commits(), 1);
@@ -1105,7 +1690,6 @@ mod tests {
         // Enumeration returns exactly the overlapping readers and clears.
         let taken = log.take_readers([8]);
         assert_eq!(taken.ranks().collect::<Vec<_>>(), vec![3, 5]);
-        assert!(!taken.overflowed());
         assert!(log.registered_readers(8).is_empty());
         assert!(
             log.registered_readers(16).contains(7),
@@ -1134,17 +1718,36 @@ mod tests {
     }
 
     #[test]
-    fn reader_registry_overflows_past_the_tracked_window() {
+    fn reader_registry_spills_past_the_tracked_window() {
+        // Ranks beyond the bitmask window land in the per-range spill
+        // set and are still enumerated exactly — the pre-PR5 cascade
+        // fallback for >63-thread sweeps is gone.
         let log = CommitLog::with_config(CommitLogConfig::word_grain(), 0);
         log.register_reader(8, MAX_TRACKED_READERS);
         log.register_reader(8, MAX_TRACKED_READERS + 1);
+        log.register_reader(8, 200);
         let set = log.take_readers([8]);
         assert!(set.contains(MAX_TRACKED_READERS));
-        assert!(
-            set.overflowed(),
-            "untracked rank must force the cascade fallback"
+        assert!(set.contains(MAX_TRACKED_READERS + 1));
+        assert!(set.contains(200));
+        assert_eq!(set.len(), 3);
+        assert_eq!(
+            set.ranks().collect::<Vec<_>>(),
+            vec![MAX_TRACKED_READERS, MAX_TRACKED_READERS + 1, 200]
         );
-        assert_eq!(set.len(), 1, "overflow marker is not a rank");
+        // Cleared on take, spill set included.
+        assert!(log.take_readers([8]).is_empty());
+        // Unregister removes a single spilled rank; the other survives.
+        log.register_reader(16, 100);
+        log.register_reader(16, 101);
+        log.unregister_reader([16], 100);
+        let set = log.registered_readers(16);
+        assert!(!set.contains(100) && set.contains(101));
+        // Spilled ranks work on the sparse fallback too (no dense window
+        // here), and on dense windows alike.
+        let dense = CommitLog::with_config(CommitLogConfig::word_grain(), 1 << 12);
+        dense.register_reader(8, 77);
+        assert!(dense.take_readers([8]).contains(77));
     }
 
     #[test]
@@ -1152,18 +1755,23 @@ mod tests {
         let log = CommitLog::with_config(CommitLogConfig::word_grain(), 512);
         log.register_reader(8, 4);
         log.register_reader(1 << 20, 4); // sparse range
+        log.register_reader(16, 99); // spilled rank transfers too
         log.transfer_reader([8, 1 << 20], 4, 2);
         for addr in [8u64, 1 << 20] {
             let set = log.registered_readers(addr);
             assert!(set.contains(2), "parent registered at {addr}");
             assert!(!set.contains(4), "child unregistered at {addr}");
         }
+        log.transfer_reader([16], 99, 100);
+        let set = log.registered_readers(16);
+        assert!(set.contains(100) && !set.contains(99));
     }
 
     #[test]
     fn clear_resets_the_reader_registry() {
         let log = CommitLog::with_config(CommitLogConfig::word_grain(), 64);
         log.register_reader(8, 1);
+        log.register_reader(8, 150); // spilled
         log.register_reader(1 << 16, 2); // sparse
         log.clear();
         assert!(log.registered_readers(8).is_empty());
@@ -1191,37 +1799,44 @@ mod tests {
         // either enumerated by some take_readers or its snapshot covers
         // the commit (no conflict) — a reader can never be both stale and
         // permanently invisible.  The reader thread checks its own half.
-        let log = std::sync::Arc::new(CommitLog::with_dense_bytes(64));
-        let stop = std::sync::Arc::new(AtomicU64::new(0));
-        let enumerated = std::sync::Arc::new(AtomicU64::new(0));
-        let committer = {
-            let log = std::sync::Arc::clone(&log);
-            let stop = std::sync::Arc::clone(&stop);
-            let enumerated = std::sync::Arc::clone(&enumerated);
-            std::thread::spawn(move || {
-                for _ in 0..20_000 {
-                    log.record_word(8);
-                    if log.take_readers_of_word(8).contains(7) {
-                        enumerated.fetch_add(1, Ordering::Relaxed);
+        // Rank 77 exercises the spill-set path of the same argument.
+        // The committer runs until the reader has finished its quota, so
+        // the two sides always genuinely interleave (a fixed iteration
+        // count can finish before the reader thread is even scheduled
+        // under parallel test load).
+        for rank in [7usize, 77] {
+            let log = std::sync::Arc::new(CommitLog::with_dense_bytes(64));
+            let reader_done = std::sync::Arc::new(AtomicU64::new(0));
+            let enumerated = std::sync::Arc::new(AtomicU64::new(0));
+            let committer = {
+                let log = std::sync::Arc::clone(&log);
+                let reader_done = std::sync::Arc::clone(&reader_done);
+                let enumerated = std::sync::Arc::clone(&enumerated);
+                std::thread::spawn(move || {
+                    while reader_done.load(Ordering::Acquire) == 0 {
+                        log.record_word(8);
+                        if log.take_readers_of_word(8).contains(rank) {
+                            enumerated.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
+                })
+            };
+            let mut covered = 0u64;
+            for _ in 0..2_000 {
+                let snapshot = log.register_reader(8, rank);
+                if log.version_of(8) <= snapshot {
+                    // Snapshot covers every commit so far: a take_readers
+                    // that missed this registration missed nothing stale.
+                    covered += 1;
                 }
-                stop.store(1, Ordering::Release);
-            })
-        };
-        let mut covered = 0u64;
-        while stop.load(Ordering::Acquire) == 0 {
-            let snapshot = log.register_reader(8, 7);
-            if log.version_of(8) <= snapshot {
-                // Snapshot covers every commit so far: a take_readers
-                // that missed this registration missed nothing stale.
-                covered += 1;
             }
+            reader_done.store(1, Ordering::Release);
+            committer.join().unwrap();
+            assert!(
+                covered > 0 || enumerated.load(Ordering::Relaxed) > 0,
+                "rank {rank}: reader neither covered nor ever enumerated"
+            );
         }
-        committer.join().unwrap();
-        assert!(
-            covered > 0 || enumerated.load(Ordering::Relaxed) > 0,
-            "reader neither covered nor ever enumerated"
-        );
     }
 
     #[test]
@@ -1244,5 +1859,153 @@ mod tests {
         );
         assert_eq!(log.config().shards, 4, "shards round up to a power of two");
         assert_eq!(CommitLogConfig::page_grain().grain_bytes(), 4096);
+    }
+
+    // ----- regrain / grain control ------------------------------------
+
+    #[test]
+    fn regrain_coarsens_and_resplits_a_live_region() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain().shards(2), 1 << 14);
+        assert_eq!(log.grain_of(8), WORD_GRAIN_LOG2);
+        // Word grain: a write to word 0 does not flag word 8.
+        log.record_word(0);
+        assert!(!log.written_after(8, log.snapshot(8)));
+        // Coarsen region 0 to line grain.
+        let (v, _) = log.regrain(0, LINE_GRAIN_LOG2);
+        assert!(v > 0);
+        assert_eq!(log.grain_of(8), LINE_GRAIN_LOG2);
+        assert_eq!(log.regrains(), 1);
+        // Now a write to word 0 flags its line-mate word 8 (false
+        // sharing allowed)…
+        let snap = log.snapshot(8);
+        log.record_word(0);
+        assert!(log.written_after(8, snap));
+        // …and a re-split restores word exactness for post-split reads.
+        let (_, _) = log.regrain(0, WORD_GRAIN_LOG2);
+        assert_eq!(log.grain_of(8), WORD_GRAIN_LOG2);
+        let snap = log.snapshot(8);
+        log.record_word(0);
+        assert!(!log.written_after(8, snap));
+        // Other regions are untouched.
+        let region_bytes = 1u64 << log.region_log2();
+        assert_eq!(log.grain_of(region_bytes), WORD_GRAIN_LOG2);
+    }
+
+    #[test]
+    fn regrain_conservatively_invalidates_outstanding_snapshots() {
+        // The PR 3 one-sided guarantee across the regrain: any snapshot
+        // taken before the regrain fails validation for any address of
+        // the region afterwards (false sharing allowed), so a commit
+        // racing the grain flip can never slip under a stale snapshot.
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 1 << 13);
+        let snap = log.snapshot(8);
+        log.regrain(0, LINE_GRAIN_LOG2);
+        assert!(
+            log.written_after(8, snap),
+            "pre-regrain snapshot must conservatively conflict"
+        );
+        assert!(
+            log.written_after(2048, snap),
+            "…for every address of the region"
+        );
+        // A snapshot taken after the regrain validates until a commit.
+        let fresh = log.snapshot(8);
+        assert!(!log.written_after(8, fresh));
+        log.record_word(8);
+        assert!(log.written_after(8, fresh));
+    }
+
+    #[test]
+    fn regrain_never_misses_a_conflict_in_any_interleaving() {
+        // read → regrain → commit → regrain: the read must still be
+        // flagged (the stamp lives at whatever grain is current, the
+        // reader may consult either grain's slot — both hold a version
+        // above the stale snapshot).
+        for (g1, g2) in [
+            (LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2),
+            (PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2),
+            (LINE_GRAIN_LOG2, WORD_GRAIN_LOG2),
+        ] {
+            let log = CommitLog::with_config(CommitLogConfig::word_grain(), 1 << 13);
+            let snap = log.register_reader(8, 3);
+            log.regrain(0, g1);
+            log.record_word(8);
+            log.regrain(0, g2);
+            assert!(
+                log.written_after(8, snap),
+                "missed conflict across regrain {g1}→{g2}"
+            );
+        }
+    }
+
+    #[test]
+    fn regrain_collects_and_clears_the_regions_readers() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain().shards(2), 1 << 14);
+        log.register_reader(8, 3);
+        log.register_reader(512, 100); // spilled rank, same region
+        let region_bytes = 1u64 << log.region_log2();
+        log.register_reader(region_bytes, 5); // different region
+        let (_, readers) = log.regrain(0, LINE_GRAIN_LOG2);
+        assert!(readers.contains(3) && readers.contains(100));
+        assert!(!readers.contains(5), "other region's reader untouched");
+        assert!(log.registered_readers(8).is_empty(), "cleared on regrain");
+        assert!(log.registered_readers(region_bytes).contains(5));
+        // A no-op regrain (same grain) collects nothing.
+        let (_, readers) = log.regrain(0, LINE_GRAIN_LOG2);
+        assert!(readers.is_empty());
+    }
+
+    #[test]
+    fn initial_grain_and_clear_restore_it() {
+        let log =
+            CommitLog::with_initial_grain(CommitLogConfig::word_grain(), 1 << 13, PAGE_GRAIN_LOG2);
+        assert_eq!(log.grain_of(8), PAGE_GRAIN_LOG2, "starts coarse");
+        log.regrain(0, WORD_GRAIN_LOG2);
+        assert_eq!(log.grain_of(8), WORD_GRAIN_LOG2);
+        log.clear();
+        assert_eq!(log.grain_of(8), PAGE_GRAIN_LOG2, "clear restores initial");
+        assert_eq!(log.regrains(), 0, "clear resets the regrain count");
+        // The initial grain is clamped into [floor, region].
+        let log = CommitLog::with_initial_grain(CommitLogConfig::line_grain(), 1 << 13, 0);
+        assert_eq!(log.grain_of(8), LINE_GRAIN_LOG2, "clamped to the floor");
+    }
+
+    #[test]
+    fn region_telemetry_feeds_the_controller() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 1 << 14);
+        let region_bytes = 1u64 << log.region_log2();
+        log.record([8, 16, region_bytes]);
+        log.note_conflict(8, true);
+        log.note_conflict(8, false);
+        log.note_retry(region_bytes);
+        let profiles = log.region_profiles();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].region, 0);
+        assert_eq!(profiles[0].stamps, 2);
+        assert_eq!(profiles[0].conflicts, 2);
+        assert_eq!(profiles[0].false_sharing, 1);
+        assert_eq!(profiles[0].retries, 0);
+        assert_eq!(profiles[1].region, 1);
+        assert_eq!(profiles[1].retries, 1);
+        // The census reflects live grains of touched regions only.
+        assert_eq!(log.grain_census(), vec![(WORD_GRAIN_LOG2, 2)]);
+        log.regrain(0, PAGE_GRAIN_LOG2);
+        assert_eq!(
+            log.grain_census(),
+            vec![(WORD_GRAIN_LOG2, 1), (PAGE_GRAIN_LOG2, 1)]
+        );
+        log.clear();
+        assert!(log.region_profiles().is_empty());
+    }
+
+    #[test]
+    fn regrain_outside_the_dense_window_is_a_noop() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 64);
+        let far = 1u64 << 40;
+        let region = log.region_of(far);
+        let (v, readers) = log.regrain(region, PAGE_GRAIN_LOG2);
+        assert_eq!(v, 0);
+        assert!(readers.is_empty());
+        assert_eq!(log.grain_of(far), WORD_GRAIN_LOG2, "sparse stays at floor");
     }
 }

@@ -363,16 +363,19 @@ impl GlobalBuffer {
     /// the adaptive governor back off differently when a coarse grain,
     /// rather than genuine sharing, is causing rollbacks.
     pub fn validate_against_with(&mut self, log: &CommitLog, mem: &dyn MainMemory) -> Validation {
-        // Ranges of one word can only conflict on the word itself.
-        let grain_can_false_share = log.config().grain_log2 > crate::commit_log::WORD_GRAIN_LOG2;
         let mut conflicted = false;
         let mut values_unchanged = true;
         for entry in self.read_set.iter() {
             self.stats.validated_words += 1;
             if log.written_after(entry.addr, entry.version) {
                 conflicted = true;
+                // Ranges of one word can only conflict on the word
+                // itself; the grain is a live per-region property now, so
+                // the exactness check is per entry, not per log.
+                let grain_can_false_share =
+                    log.grain_of(entry.addr) > crate::commit_log::WORD_GRAIN_LOG2;
                 if !grain_can_false_share || mem.read_word(entry.addr) != entry.data {
-                    // A changed value (or a word-grain log) proves true
+                    // A changed value (or a word-grain range) proves true
                     // sharing; stop scanning.
                     values_unchanged = false;
                     break;
@@ -426,9 +429,39 @@ impl GlobalBuffer {
             refreshed.push((entry.addr, fresh));
         }
         for (addr, version) in refreshed {
+            // Per-region retry telemetry: a conflict the current grain
+            // made cheap — the grain controller's "keep this grain"
+            // signal.
+            log.note_retry(addr);
             self.read_set.refresh_version(addr, version);
         }
         true
+    }
+
+    /// Attribute this buffer's *currently conflicting* reads to their
+    /// commit-log regions ([`CommitLog::note_conflict`]) — called on the
+    /// rollback path so the grain controller sees which regions are
+    /// squashing threads, and whether the conflicts look like false
+    /// sharing (value unchanged at a coarser-than-word grain).
+    pub fn attribute_conflicts(&self, log: &CommitLog, mem: &dyn MainMemory) {
+        // Read-set iteration is in *insertion* (temporal) order, so a
+        // thread whose reads interleave regions would double-count with
+        // adjacent-only dedup; a real set keeps the attribution one per
+        // region.  Rollback path only — the allocation is off the hot
+        // path.
+        let mut seen: std::collections::HashSet<crate::commit_log::RegionId> =
+            std::collections::HashSet::new();
+        for entry in self.read_set.iter() {
+            if !log.written_after(entry.addr, entry.version) {
+                continue;
+            }
+            if !seen.insert(log.region_of(entry.addr)) {
+                continue;
+            }
+            let suspected = log.grain_of(entry.addr) > crate::commit_log::WORD_GRAIN_LOG2
+                && mem.read_word(entry.addr) == entry.data;
+            log.note_conflict(entry.addr, suspected);
+        }
     }
 
     /// Validate the read-set against an arbitrary memory *view*.

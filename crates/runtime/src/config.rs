@@ -1,7 +1,7 @@
 //! Runtime configuration.
 
 use crate::fork_model::ForkModel;
-use mutls_adaptive::{GovernorConfig, PolicyKind};
+use mutls_adaptive::{GovernorConfig, GrainControlConfig, PolicyKind};
 use mutls_membuf::{BufferConfig, CommitLogConfig, LocalBufferConfig};
 
 /// Where rollbacks come from.
@@ -143,6 +143,13 @@ pub struct RuntimeConfig {
     /// per-range reader registry plus value-predict-and-retry (default),
     /// or the plain squash cascade ([`RecoveryConfig::cascade_only`]).
     pub recovery: RecoveryConfig,
+    /// Online adaptive-grain control plane (default: disabled — the
+    /// static `commit_log` grain).  When enabled, `commit_log.grain_log2`
+    /// becomes the *floor* grain the version table is allocated at,
+    /// regions start at `grain_control.initial_grain_log2`, and a
+    /// [`GrainController`](mutls_adaptive::GrainController) regrains
+    /// regions live from the commit/validate paths.
+    pub grain_control: GrainControlConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -159,6 +166,7 @@ impl Default for RuntimeConfig {
             governor: GovernorConfig::default(),
             commit_log: CommitLogConfig::default(),
             recovery: RecoveryConfig::default(),
+            grain_control: GrainControlConfig::default(),
         }
     }
 }
@@ -271,6 +279,22 @@ impl RuntimeConfig {
         self.recovery.value_predict = enabled;
         self
     }
+
+    /// Set the full adaptive-grain control configuration (builder style).
+    pub fn grain_control(mut self, grain_control: GrainControlConfig) -> Self {
+        self.grain_control = grain_control;
+        self
+    }
+
+    /// Enable the adaptive-grain controller with default tuning
+    /// (optimistic page start, split on false-sharing suspects) over a
+    /// word-grain floor, so regions can re-split all the way to
+    /// exactness (builder style).
+    pub fn adaptive_grain(mut self) -> Self {
+        self.commit_log.grain_log2 = mutls_membuf::WORD_GRAIN_LOG2;
+        self.grain_control = GrainControlConfig::adaptive();
+        self
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +370,27 @@ mod tests {
         assert_eq!(c.recovery.label(), "targeted");
         let c = c.value_predict(true);
         assert_eq!(c.recovery, RecoveryConfig::default());
+    }
+
+    #[test]
+    fn grain_control_builders() {
+        let c = RuntimeConfig::default();
+        assert!(!c.grain_control.enabled, "grain control defaults off");
+        let c = c.adaptive_grain();
+        assert!(c.grain_control.enabled);
+        assert_eq!(
+            c.commit_log.grain_log2,
+            mutls_membuf::WORD_GRAIN_LOG2,
+            "adaptive grain floors the table at word exactness"
+        );
+        assert_eq!(
+            c.grain_control.initial_grain_log2,
+            mutls_membuf::PAGE_GRAIN_LOG2,
+            "regions start optimistically coarse"
+        );
+        let custom = GrainControlConfig::adaptive_from_floor(mutls_membuf::LINE_GRAIN_LOG2);
+        let c = RuntimeConfig::default().grain_control(custom);
+        assert_eq!(c.grain_control, custom);
     }
 
     #[test]

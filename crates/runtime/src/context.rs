@@ -243,9 +243,7 @@ impl SpecContext {
                 // logically earliest): doom its registered readers now —
                 // surgically, instead of letting them burn their whole
                 // conflict window before failing validation.
-                let (doomed, fallback) = self.mgr.doom_readers([addr], self.rank);
-                self.stats.counters.targeted_dooms += doomed;
-                self.stats.counters.cascade_fallbacks += u64::from(fallback);
+                self.stats.counters.targeted_dooms += self.mgr.doom_readers([addr], self.rank);
                 Ok(())
             }
             Some(buffer) => {
@@ -272,14 +270,16 @@ impl SpecContext {
                 // **word** grain, where reader and writer provably touch
                 // the same word — at coarser grains a registered
                 // "reader" may only share the range (false sharing) and
-                // could still validate.
+                // could still validate.  The grain is a live per-region
+                // property under the adaptive-grain controller, so the
+                // word-exactness gate asks the log for *this address's*
+                // current grain, not the static config.
                 if self.reexec_depth > 0
-                    && self.mgr.commit_log().config().grain_log2 == mutls_membuf::WORD_GRAIN_LOG2
+                    && self.mgr.commit_log().grain_of(addr) == mutls_membuf::WORD_GRAIN_LOG2
                     && !buffer.has_read(addr)
                 {
-                    let (doomed, fallback) = self.mgr.doom_readers_hard([addr], self.rank);
-                    self.stats.counters.targeted_dooms += doomed;
-                    self.stats.counters.cascade_fallbacks += u64::from(fallback);
+                    self.stats.counters.targeted_dooms +=
+                        self.mgr.doom_readers_hard([addr], self.rank);
                 }
                 Ok(())
             }
@@ -462,6 +462,9 @@ impl SpecContext {
         let verdict = self
             .mgr
             .validate_and_commit(child, &mut outcome, self.global.as_mut());
+        // Observed before the buffers are cleared: the live grain of the
+        // child's written/read region, for the per-site grain column.
+        let observed_grain = self.mgr.observed_grain(&outcome);
 
         // Finalize the child's buffers (clearing cost is charged to the
         // speculative path, as in the paper's breakdown).
@@ -493,14 +496,16 @@ impl SpecContext {
                 outcome.stats.get(Phase::Idle),
                 model,
             )
-            .with_retry(kind.retried()),
+            .with_retry(kind.retried())
+            .with_grain(observed_grain),
             Err(reason) => SiteOutcome::rolled_back(
                 reason,
                 outcome.stats.get(Phase::WastedWork),
                 outcome.stats.get(Phase::Idle),
                 model,
             )
-            .with_false_sharing(outcome.stats.counters.false_sharing_suspects > 0),
+            .with_false_sharing(outcome.stats.counters.false_sharing_suspects > 0)
+            .with_grain(observed_grain),
         };
         self.mgr.governor().record_outcome(site, &site_outcome);
         self.mgr.record_speculative(

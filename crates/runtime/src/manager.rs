@@ -23,7 +23,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use mutls_adaptive::{Governor, SiteId, SiteOutcome};
+use mutls_adaptive::{Governor, GrainController, SiteId, SiteOutcome};
 use mutls_membuf::{
     Addr, AddressSpace, CommitLog, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory,
     RollbackReason, SpecFailure, Validation,
@@ -219,6 +219,14 @@ pub struct ThreadManager {
     /// Adaptive speculation governor: consulted before a fork is granted a
     /// CPU, fed with per-site join outcomes.
     governor: Governor,
+    /// Online adaptive-grain controller (None when
+    /// `RuntimeConfig::grain_control` is disabled): ticked from the
+    /// commit/validate bookkeeping paths, it turns the commit log's
+    /// per-region telemetry into live [`CommitLog::regrain`] calls.
+    grain: Option<Mutex<GrainController>>,
+    /// Commit/validate events since the run started (drives the grain
+    /// controller's tick cadence).
+    grain_events: AtomicU64,
 }
 
 impl ThreadManager {
@@ -238,8 +246,25 @@ impl ThreadManager {
         space.register(GlobalMemory::BASE_ADDR, 0);
         // Size the log's dense fast path to the arena so every stamp and
         // lookup is a single atomic access with bounded memory; grain and
-        // shard count come from the runtime configuration.
-        let commit_log = CommitLog::with_config(config.commit_log, memory.size_bytes());
+        // shard count come from the runtime configuration.  Under grain
+        // control the configured grain is the floor the table is
+        // allocated at and regions start at the controller's (usually
+        // coarser) initial grain.
+        let commit_log = if config.grain_control.enabled {
+            CommitLog::with_initial_grain(
+                config.commit_log,
+                memory.size_bytes(),
+                config.grain_control.initial_grain_log2,
+            )
+        } else {
+            CommitLog::with_config(config.commit_log, memory.size_bytes())
+        };
+        let grain = config.grain_control.enabled.then(|| {
+            Mutex::new(GrainController::new(
+                config.grain_control,
+                commit_log.config().grain_log2,
+            ))
+        });
         let mgr = Arc::new(ThreadManager {
             config,
             memory,
@@ -252,6 +277,8 @@ impl ThreadManager {
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
             speculations: AtomicU64::new(0),
             governor: Governor::new(config.governor),
+            grain,
+            grain_events: AtomicU64::new(0),
         });
         (mgr, receivers)
     }
@@ -297,6 +324,55 @@ impl ThreadManager {
             return true;
         }
         self.address_space.read().contains(addr, len)
+    }
+
+    /// Count one commit/validate event and, every
+    /// [`GrainControlConfig::tick_commits`](mutls_adaptive::GrainControlConfig::tick_commits),
+    /// run an adaptive-grain controller tick: snapshot the commit log's
+    /// per-region telemetry, apply the resulting regrains and doom the
+    /// collected readers.  The doom is conservative recovery, not a
+    /// penalty: a regrained region's outstanding snapshots are about to
+    /// fail validation anyway, and a value-predict retry can still clear
+    /// the doom in place.  `try_lock` keeps ticking off the hot path —
+    /// if another thread is mid-tick, this event's tick is simply
+    /// skipped.
+    pub fn tick_grain_controller(&self) {
+        let Some(controller) = &self.grain else {
+            return;
+        };
+        let cadence = self.config.grain_control.tick_commits.max(1);
+        if !(self.grain_events.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(cadence) {
+            return;
+        }
+        let Some(mut controller) = controller.try_lock() else {
+            return;
+        };
+        let profiles = self.commit_log.region_profiles();
+        for action in controller.tick(&profiles) {
+            let (_, readers) = self
+                .commit_log
+                .regrain(action.region, action.new_grain_log2);
+            let ranks: Vec<Rank> = readers.ranks().collect();
+            self.doom_ranks(&ranks);
+        }
+    }
+
+    /// The live grain the finished thread's traffic ran at, for per-site
+    /// reporting: the static configured grain when the controller is
+    /// disabled, else the current grain of the thread's first written
+    /// (falling back to first read) region.
+    pub fn observed_grain(&self, outcome: &SpecOutcome) -> u32 {
+        if self.grain.is_none() {
+            return self.commit_log.config().grain_log2;
+        }
+        outcome
+            .buffers
+            .global
+            .write_addresses()
+            .next()
+            .or_else(|| outcome.buffers.global.read_addresses().next())
+            .map(|addr| self.commit_log.grain_of(addr))
+            .unwrap_or_else(|| self.commit_log.config().grain_log2)
     }
 
     /// Total number of speculation events since construction.
@@ -402,9 +478,10 @@ impl ThreadManager {
     /// covering `addrs` — called by a committing writer right after the
     /// ranges were stamped (or by a rollback about to re-execute them).
     /// `exclude` (the finishing child, whose registrations are already
-    /// dead) is never doomed.  Returns `(doomed, fallback)`: how many
-    /// threads were doomed, and whether the registry overflowed so the
-    /// caller must rely on the lazy cascade instead.
+    /// dead) is never doomed.  Returns how many threads were doomed.
+    /// Since the registry spills ranks past the bitmask window into
+    /// per-range hash sets, enumeration is complete at any thread count
+    /// — there is no overflow fallback any more.
     ///
     /// In [`RecoveryMode::Cascade`] the registry is never consulted and
     /// nothing is doomed (conflicts surface at join-time validation, the
@@ -413,11 +490,7 @@ impl ThreadManager {
     /// (stale registration, or a registration racing the commit) costs
     /// time, never correctness — and join-time validation remains the
     /// oracle for anything the registry missed.
-    pub fn doom_readers<I: IntoIterator<Item = Addr>>(
-        &self,
-        addrs: I,
-        exclude: Rank,
-    ) -> (u64, bool) {
+    pub fn doom_readers<I: IntoIterator<Item = Addr>>(&self, addrs: I, exclude: Rank) -> u64 {
         self.doom_readers_with(addrs, exclude, false)
     }
 
@@ -428,11 +501,7 @@ impl ThreadManager {
     /// children of an inline re-execution within one poll interval —
     /// they read main memory underneath their (re-executing) parent's
     /// uncommitted writes and can never validate.
-    pub fn doom_readers_hard<I: IntoIterator<Item = Addr>>(
-        &self,
-        addrs: I,
-        exclude: Rank,
-    ) -> (u64, bool) {
+    pub fn doom_readers_hard<I: IntoIterator<Item = Addr>>(&self, addrs: I, exclude: Rank) -> u64 {
         self.doom_readers_with(addrs, exclude, true)
     }
 
@@ -441,13 +510,13 @@ impl ThreadManager {
         addrs: I,
         exclude: Rank,
         hard: bool,
-    ) -> (u64, bool) {
+    ) -> u64 {
         if self.config.recovery.mode != RecoveryMode::Targeted {
-            return (0, false);
+            return 0;
         }
         let set = self.commit_log.take_readers(addrs);
         if set.is_empty() {
-            return (0, false);
+            return 0;
         }
         let mut doomed = 0;
         for rank in set.ranks() {
@@ -467,19 +536,17 @@ impl ThreadManager {
                 doomed += 1;
             }
         }
-        (doomed, set.overflowed())
+        doomed
     }
 
     /// The recovery engine's choice for a join that failed dependence
     /// validation and could not retry: surgically doom the registered
     /// readers of the child's write ranges (the re-execution is about to
     /// rewrite them), or fall back to the lazy squash cascade when the
-    /// registry cannot answer.  When the registry *partially* answers
-    /// (tracked readers plus the overflow marker), the tracked ranks are
-    /// still doomed — `take_readers` has already consumed their
-    /// registrations, so discarding them would silently strip their
-    /// eager-doom coverage; only the untracked remainder is left to lazy
-    /// join-time discovery.
+    /// registry is not in use ([`RecoveryMode::Cascade`]).  Registry
+    /// enumeration is complete at any thread count since ranks past the
+    /// bitmask window spill into per-range hash sets, so overflow no
+    /// longer forces the cascade.
     pub fn plan_rollback_recovery(&self, child: Rank, outcome: &SpecOutcome) -> RecoveryPlan {
         if self.config.recovery.mode != RecoveryMode::Targeted {
             return RecoveryPlan::SquashCascade;
@@ -487,11 +554,7 @@ impl ThreadManager {
         let set = self
             .commit_log
             .take_readers(outcome.buffers.global.write_addresses());
-        let ranks: Vec<Rank> = set.ranks().filter(|&r| r != child).collect();
-        if set.overflowed() && ranks.is_empty() {
-            return RecoveryPlan::SquashCascade;
-        }
-        RecoveryPlan::DoomSet(ranks)
+        RecoveryPlan::DoomSet(set.ranks().filter(|&r| r != child).collect())
     }
 
     /// Block until the speculative thread `rank` deposits its outcome, then
@@ -690,6 +753,17 @@ impl ThreadManager {
             TaskStatus::Completed | TaskStatus::Barrier => None,
         };
         if let Some(reason) = failure {
+            if reason == SpecFailure::ReadConflict && self.grain.is_some() {
+                // An eagerly doomed thread never reaches join-time
+                // validation, but its read set still holds the stale
+                // entries: attribute them so the grain controller sees
+                // contended regions regardless of *when* the conflict
+                // surfaced.
+                outcome
+                    .buffers
+                    .global
+                    .attribute_conflicts(&self.commit_log, mem);
+            }
             // The thread is dead either way: its registrations would only
             // cause spurious dooms from here on.
             self.commit_log
@@ -720,20 +794,56 @@ impl ThreadManager {
             }
             Validation::Conflict { .. } => false,
         };
+        // The joining parent's view of a word: its own uncommitted
+        // write-set overlaid on main memory.  Shared by overlay
+        // validation and (on its failure) the per-region conflict
+        // attribution, so the mask-merge semantics cannot drift apart.
+        let overlay_view = |parent: &GlobalBuffer, addr: Addr| match parent
+            .write_entries()
+            .find(|e| e.addr == addr)
+        {
+            Some(e) if e.mask == u64::MAX => e.data,
+            Some(e) => (mem.read_word(addr) & !e.mask) | (e.data & e.mask),
+            None => mem.read_word(addr),
+        };
         let valid = log_valid
             && match &parent_buffer {
                 None => true,
-                Some(parent) => {
-                    let view = |addr: Addr| match parent.write_entries().find(|e| e.addr == addr) {
-                        Some(e) if e.mask == u64::MAX => e.data,
-                        Some(e) => (mem.read_word(addr) & !e.mask) | (e.data & e.mask),
-                        None => mem.read_word(addr),
-                    };
-                    outcome.buffers.global.validate_view(view)
-                }
+                Some(parent) => outcome
+                    .buffers
+                    .global
+                    .validate_view(|addr| overlay_view(parent, addr)),
             };
         outcome.stats.add(Phase::Validation, elapsed_ns(started));
         if !valid {
+            if self.grain.is_some() {
+                // Per-region conflict attribution — the grain
+                // controller's split signal (only the extra read-set scan
+                // is gated; the counters themselves are always-on).
+                if !log_valid {
+                    outcome
+                        .buffers
+                        .global
+                        .attribute_conflicts(&self.commit_log, mem);
+                } else if let Some(parent) = &parent_buffer {
+                    // The conflict lives in the speculative parent's
+                    // uncommitted overlay, invisible to the commit log;
+                    // attribute the mismatching words' regions directly
+                    // (true sharing by construction — the values differ).
+                    // Dedup with a real set: read-set order is temporal,
+                    // so interleaved regions are not adjacent.
+                    let mut seen: std::collections::HashSet<mutls_membuf::RegionId> =
+                        std::collections::HashSet::new();
+                    for entry in outcome.buffers.global.read_entries() {
+                        if overlay_view(parent, entry.addr) == entry.data {
+                            continue;
+                        }
+                        if seen.insert(self.commit_log.region_of(entry.addr)) {
+                            self.commit_log.note_conflict(entry.addr, false);
+                        }
+                    }
+                }
+            }
             if let Validation::Conflict {
                 suspected_false_sharing: true,
             } = log_verdict
@@ -785,10 +895,8 @@ impl ThreadManager {
                 if outcome.buffers.global.write_set_len() > 0 {
                     self.commit_log
                         .record(outcome.buffers.global.write_addresses());
-                    let (doomed, fallback) =
+                    outcome.stats.counters.targeted_dooms +=
                         self.doom_readers(outcome.buffers.global.write_addresses(), child);
-                    outcome.stats.counters.targeted_dooms += doomed;
-                    outcome.stats.counters.cascade_fallbacks += u64::from(fallback);
                 }
                 Ok(())
             }
@@ -875,6 +983,9 @@ impl ThreadManager {
         rollback: Option<SpecFailure>,
         retried: bool,
     ) {
+        // Every joined thread is one commit/validate event on the grain
+        // controller's clock.
+        self.tick_grain_controller();
         let mut accum = self.accum.lock();
         accum.speculative.merge(stats);
         match rollback {
@@ -895,6 +1006,10 @@ impl ThreadManager {
         *self.accum.lock() = RunAccumulators::default();
         self.commit_log.clear();
         self.governor.reset();
+        if let Some(controller) = &self.grain {
+            controller.lock().reset();
+        }
+        self.grain_events.store(0, Ordering::Relaxed);
     }
 
     /// Take a snapshot of the per-run accumulators: speculative-path
@@ -1214,7 +1329,7 @@ mod tests {
                 .is_empty(),
             "cascade mode must not register readers"
         );
-        assert_eq!(m.doom_readers([cell.addr_of(0)], 0), (0, false));
+        assert_eq!(m.doom_readers([cell.addr_of(0)], 0), 0);
         assert!(!m.doom_requested(reader));
     }
 
@@ -1255,6 +1370,73 @@ mod tests {
             m.doom_requested(victim),
             "reader of the to-be-rewritten range must be doomed"
         );
+    }
+
+    #[test]
+    fn grain_controller_ticks_regrain_and_doom_outstanding_readers() {
+        use mutls_adaptive::GrainControlConfig;
+        use mutls_membuf::{PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2};
+        let (m, _rx) = ThreadManager::new(
+            RuntimeConfig::with_cpus(2)
+                .memory_bytes(1 << 16)
+                .adaptive_grain()
+                .grain_control(
+                    GrainControlConfig::adaptive()
+                        .tick_commits(1)
+                        .initial_grain_log2(PAGE_GRAIN_LOG2),
+                ),
+        );
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1024);
+        assert_eq!(
+            m.commit_log().grain_of(cell.addr_of(0)),
+            PAGE_GRAIN_LOG2,
+            "regions start at the controller's initial grain"
+        );
+
+        // A speculative reader registers, then keeps conflicting with
+        // false-sharing suspects: the word it read never changes value,
+        // but its page-grain range is committed by a neighbour write.
+        let reader = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        for _ in 0..4 {
+            let mut buf = m.make_buffers(reader);
+            let _ = buf
+                .global
+                .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+                .unwrap();
+            // Neighbour word of the same page commits → range conflict,
+            // value unchanged ⇒ suspected false sharing.
+            mem.set(&cell, 8, 1);
+            m.commit_log().record_word(cell.addr_of(8));
+            let mut outcome = completed(buf);
+            // value_predict is on by default, so this is a Retried
+            // commit; the retry feeds the controller's split evidence.
+            let _ = m.validate_and_commit(reader, &mut outcome, None);
+            m.record_speculative(&outcome.stats, None, true);
+        }
+        assert!(
+            m.commit_log().grain_of(cell.addr_of(0)) < PAGE_GRAIN_LOG2,
+            "suspect spikes must re-split the region (grain now {})",
+            m.commit_log().grain_of(cell.addr_of(0))
+        );
+        assert!(m.commit_log().regrains() > 0);
+
+        // reset_run restores the initial grain and controller state.
+        m.reset_run();
+        assert_eq!(m.commit_log().grain_of(cell.addr_of(0)), PAGE_GRAIN_LOG2);
+        assert_eq!(m.commit_log().regrains(), 0);
+        let _ = WORD_GRAIN_LOG2;
+    }
+
+    #[test]
+    fn observed_grain_reports_static_grain_without_the_controller() {
+        let m = mgr(1);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+        let mut buf = m.make_buffers(1);
+        buf.global.store(cell.addr_of(0), 1, 8).unwrap();
+        let outcome = completed(buf);
+        assert_eq!(m.observed_grain(&outcome), m.config().commit_log.grain_log2);
     }
 
     #[test]

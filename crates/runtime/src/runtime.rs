@@ -137,6 +137,7 @@ impl Runtime {
             runtime,
             sites: self.mgr.governor().snapshot(),
             commit_log: self.mgr.commit_log().stats(),
+            region_grains: self.mgr.commit_log().grain_census(),
         };
         (result, report)
     }

@@ -243,9 +243,15 @@ pub struct RunReport {
     /// sorted by site ID (empty when no fork point was reached).
     pub sites: Vec<SiteProfile>,
     /// Commit-log activity (batches, range stamps, commit-lock time) —
-    /// the sharding/grain cost the `grain` sweep reports.  All zeros for
-    /// simulated runs, which model the log through the cost model instead.
+    /// the sharding/grain cost the `grain` sweep reports.  Simulated runs
+    /// fill the batch/stamp counters from their publish model and leave
+    /// the wall-clock lock time zero.
     pub commit_log: CommitLogStats,
+    /// Census of the live per-region grains at the end of the run:
+    /// `(grain_log2, regions)` pairs over touched regions, ascending by
+    /// grain — what the adaptive-grain controller converged to (a single
+    /// entry at the configured grain when the controller is disabled).
+    pub region_grains: Vec<(u32, u64)>,
 }
 
 impl RunReport {

@@ -29,8 +29,13 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use mutls_adaptive::{ForkDecision, Governor, GovernorConfig, SiteOutcome};
-use mutls_membuf::{Addr, CommitLogConfig, RollbackReason, SpecFailure, WORD_GRAIN_LOG2};
+use mutls_adaptive::{
+    ForkDecision, Governor, GovernorConfig, GrainControlConfig, GrainController, SiteOutcome,
+};
+use mutls_membuf::{
+    region_log2_for_grain, Addr, CommitLogConfig, CommitLogStats, RegionProfile, RollbackReason,
+    SpecFailure, WORD_GRAIN_LOG2,
+};
 use mutls_runtime::{ForkModel, Phase, RecoveryConfig, RecoveryMode, RunReport, ThreadStats};
 
 use crate::cost::CostModel;
@@ -74,6 +79,16 @@ pub struct SimConfig {
     /// value at its join (`CostModel::retry_per_word`) and commits
     /// without re-execution.
     pub recovery: RecoveryConfig,
+    /// Adaptive-grain control mirrored from the native runtime (same
+    /// policy type, same defaults: disabled).  When enabled,
+    /// `commit_log.grain_log2` is the floor grain, regions (of
+    /// `region_log2_for_grain(floor)` bytes) start at the controller's
+    /// initial grain, and a deterministic controller tick every
+    /// `tick_commits` publishes regrains regions — charging
+    /// `CostModel::regrain_per_slot` per flushed slot and
+    /// `CostModel::doom_signal` per conservatively doomed reader, so the
+    /// replay prices regrains exactly and reproducibly.
+    pub grain_control: GrainControlConfig,
 }
 
 impl Default for SimConfig {
@@ -89,6 +104,7 @@ impl Default for SimConfig {
                 .grain_log2(WORD_GRAIN_LOG2)
                 .shards(1),
             recovery: RecoveryConfig::default(),
+            grain_control: GrainControlConfig::default(),
         }
     }
 }
@@ -135,6 +151,12 @@ impl SimConfig {
     /// Set the recovery-engine configuration (builder style).
     pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Set the adaptive-grain control configuration (builder style).
+    pub fn grain_control(mut self, grain_control: GrainControlConfig) -> Self {
+        self.grain_control = grain_control;
         self
     }
 }
@@ -197,15 +219,16 @@ struct Fiber {
     stats: ThreadStats,
     reads: HashSet<Addr>,
     writes: HashSet<Addr>,
-    /// Commit-log ranges (`addr >> grain_log2`) covering `reads` — the
-    /// grain conflicts are detected at.
+    /// Region-prefixed commit-log range ids covering `reads` (see
+    /// `Scheduler::range_at`) — the grain conflicts are detected at.
     read_ranges: HashSet<u64>,
-    /// Ranges covering `writes`.
-    write_ranges: HashSet<u64>,
     doomed: Option<SpecFailure>,
     /// True when the dooming conflict was range-only (no word of the
     /// published batch was actually read) — suspected false sharing.
     doomed_false_sharing: bool,
+    /// Region of the first conflicting read (grain-control telemetry:
+    /// conflicts and retries are attributed here at the join).
+    conflict_region: Option<u64>,
     /// True when the fiber's conflict was repaired by value-predict-and-
     /// retry at its join (it committed without re-execution).
     retried: bool,
@@ -253,9 +276,9 @@ impl Fiber {
             reads: HashSet::new(),
             writes: HashSet::new(),
             read_ranges: HashSet::new(),
-            write_ranges: HashSet::new(),
             doomed: None,
             doomed_false_sharing: false,
+            conflict_region: None,
             retried: false,
             waiter: None,
             blocked_since: 0,
@@ -286,10 +309,31 @@ pub struct Scheduler<'a> {
     retried: u64,
     rolled_back_by_reason: [u64; RollbackReason::COUNT],
     /// Log of (time, published words, published ranges) used for
-    /// conflict detection at the configured grain.
+    /// conflict detection.  Ranges are computed at the publisher's
+    /// current per-region grain; word-level overlap is always checked in
+    /// addition, so a true conflict is never missed even when a regrain
+    /// lands between the publish and the reader's check.
     publishes: Vec<(u64, HashSet<Addr>, HashSet<u64>)>,
     /// Adaptive speculation governor (per-site profiling + fork policy).
     governor: Governor,
+    /// Log2 of the grain-control region size (mirrors the native log).
+    region_log2: u32,
+    /// Live grain per region; regions absent from the map run at the
+    /// controller's initial grain (or the floor grain when control is
+    /// disabled).
+    region_grain: HashMap<u64, u32>,
+    /// Per-region telemetry: (stamps, conflicts, false sharing, retries),
+    /// cumulative — the controller differences ticks itself.
+    region_telemetry: HashMap<u64, [u64; 4]>,
+    /// The deterministic grain controller (None when disabled).
+    grain_controller: Option<GrainController>,
+    /// Publishes since the run started (the controller's tick clock).
+    publish_count: u64,
+    /// Simulated commit-log traffic for the report: batches and range
+    /// stamps (the grain sweep's headline columns), plus regrains.
+    sim_commits: u64,
+    sim_stamps: u64,
+    sim_regrains: u64,
 }
 
 impl<'a> Scheduler<'a> {
@@ -302,6 +346,11 @@ impl<'a> Scheduler<'a> {
         let rng = SmallRng::seed_from_u64(config.seed);
         let num_cpus = config.num_cpus;
         let governor = Governor::new(config.governor);
+        let region_log2 = region_log2_for_grain(config.commit_log.grain_log2);
+        let grain_controller = config
+            .grain_control
+            .enabled
+            .then(|| GrainController::new(config.grain_control, config.commit_log.grain_log2));
         Scheduler {
             recording,
             config,
@@ -319,7 +368,50 @@ impl<'a> Scheduler<'a> {
             rolled_back_by_reason: [0; RollbackReason::COUNT],
             publishes: Vec::new(),
             governor,
+            region_log2,
+            region_grain: HashMap::new(),
+            region_telemetry: HashMap::new(),
+            grain_controller,
+            publish_count: 0,
+            sim_commits: 0,
+            sim_stamps: 0,
+            sim_regrains: 0,
         }
+    }
+
+    /// The live grain of `region`: the per-region map, falling back to
+    /// the controller's initial grain (control enabled) or the
+    /// configured grain (disabled).
+    fn grain_of_region(&self, region: u64) -> u32 {
+        let floor = self.config.commit_log.grain_log2;
+        let default = if self.config.grain_control.enabled {
+            self.config
+                .grain_control
+                .initial_grain_log2
+                .clamp(floor, self.region_log2)
+        } else {
+            floor
+        };
+        *self.region_grain.get(&region).unwrap_or(&default)
+    }
+
+    /// The live grain tracking `addr` right now.
+    fn grain_at(&self, addr: Addr) -> u32 {
+        self.grain_of_region(addr >> self.region_log2)
+    }
+
+    /// `addr`'s conflict-detection range id at its region's current
+    /// grain, **prefixed with the region id**: numeric `addr >> grain`
+    /// ids of different regions at different live grains collide (the
+    /// native log dedups by concrete slot for the same reason), and a
+    /// collision here would manufacture phantom cross-region conflicts
+    /// in the replay.  The suffix is the offset-range within the region,
+    /// which fits in `region_log2 - floor` bits at any live grain.
+    fn range_at(&self, addr: Addr) -> u64 {
+        let region = addr >> self.region_log2;
+        let offset = addr & ((1u64 << self.region_log2) - 1);
+        (region << (self.region_log2 - self.config.commit_log.grain_log2))
+            | (offset >> self.grain_at(addr))
     }
 
     /// Cost of executing the whole trace sequentially.
@@ -347,6 +439,12 @@ impl<'a> Scheduler<'a> {
         }
         let root_fiber = &self.fibers[root];
         let runtime = root_fiber.finished.unwrap_or(root_fiber.time);
+        // Census of the live per-region grains over touched regions —
+        // what the (simulated) grain controller converged to.
+        let mut census: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for &region in self.region_telemetry.keys() {
+            *census.entry(self.grain_of_region(region)).or_insert(0) += 1;
+        }
         let report = RunReport {
             critical: root_fiber.stats.clone(),
             speculative: self.spec_stats.clone(),
@@ -356,9 +454,19 @@ impl<'a> Scheduler<'a> {
             rollback_reasons: self.rolled_back_by_reason,
             runtime,
             sites: self.governor.snapshot(),
-            // The simulator models the log through the cost model; the
-            // native counters stay zero.
-            commit_log: Default::default(),
+            // Simulated log traffic: publish batches, range stamps at the
+            // live per-region grains, and controller regrains.  Lock time
+            // is a wall-clock quantity and stays zero; the lock *cost* is
+            // charged in virtual cycles through the cost model instead.
+            commit_log: CommitLogStats {
+                commits: self.sim_commits,
+                stamp_writes: self.sim_stamps,
+                lock_ns: 0,
+                regrains: self.sim_regrains,
+                grain_log2: self.config.commit_log.grain_log2,
+                shards: self.config.commit_log.shards,
+            },
+            region_grains: census.into_iter().collect(),
         };
         SimResult {
             report,
@@ -405,8 +513,21 @@ impl<'a> Scheduler<'a> {
             return 0;
         }
         let targeted = self.config.recovery.mode == RecoveryMode::Targeted;
-        let grain = self.config.commit_log.grain_log2;
-        let ranges: HashSet<u64> = writes.iter().map(|a| a >> grain).collect();
+        // Coarsen at each write's *current per-region* grain, counting the
+        // simulated stamp traffic (one stamp per distinct range — the
+        // column a coarser grain shrinks) and the per-region telemetry
+        // the grain controller runs on.
+        let mut ranges: HashSet<u64> = HashSet::new();
+        let mut write_info: Vec<(Addr, u64, u64)> = Vec::with_capacity(writes.len());
+        self.sim_commits += 1;
+        for &w in writes {
+            let (range, region) = (self.range_at(w), w >> self.region_log2);
+            write_info.push((w, range, region));
+            if ranges.insert(range) {
+                self.sim_stamps += 1;
+                self.region_telemetry.entry(region).or_default()[0] += 1;
+            }
+        }
         let mut newly_doomed: Vec<usize> = Vec::new();
         for (fid, fiber) in self.fibers.iter_mut().enumerate() {
             if fid == writer || !fiber.speculative || fiber.retired {
@@ -425,9 +546,23 @@ impl<'a> Scheduler<'a> {
                 }
                 continue;
             }
-            if intersects(&ranges, &fiber.read_ranges) {
+            // Word overlap is checked in addition to range overlap so a
+            // true conflict is never missed even if a regrain re-indexed
+            // the ranges between the read and this publish.
+            let word_hit = intersects(writes, &fiber.reads);
+            if word_hit || intersects(&ranges, &fiber.read_ranges) {
                 fiber.doomed = Some(SpecFailure::ReadConflict);
-                fiber.doomed_false_sharing = !intersects(writes, &fiber.reads);
+                fiber.doomed_false_sharing = !word_hit;
+                // Lowest qualifying region, not "first": write_info is
+                // built from a HashSet, whose order must never leak into
+                // the deterministic replay.
+                fiber.conflict_region = write_info
+                    .iter()
+                    .filter(|(w, range, _)| {
+                        fiber.reads.contains(w) || fiber.read_ranges.contains(range)
+                    })
+                    .map(|(_, _, region)| *region)
+                    .min();
                 // Mirror the native in-flight retry: a false-sharing
                 // victim under value prediction re-validates and keeps
                 // running (it retries at its join), so only genuinely
@@ -440,14 +575,94 @@ impl<'a> Scheduler<'a> {
             }
         }
         self.publishes.push((time, writes.clone(), ranges));
-        let doom_cost = self.config.cost.doom_cycles(newly_doomed.len() as u64);
+        let mut cost = self.config.cost.doom_cycles(newly_doomed.len() as u64);
         if !newly_doomed.is_empty() {
             self.fibers[writer].stats.counters.targeted_dooms += newly_doomed.len() as u64;
             for fid in newly_doomed {
                 self.request_stop(fid, time);
             }
         }
-        doom_cost
+        self.publish_count += 1;
+        cost += self.tick_grain_controller(time);
+        cost
+    }
+
+    /// Every `tick_commits` publishes, run one deterministic grain
+    /// controller tick: snapshot the per-region telemetry (ascending by
+    /// region), apply the regrains to the region-grain map, and
+    /// conservatively doom every in-flight reader of a regrained region
+    /// (mirroring the native whole-region flush — value prediction
+    /// retries them at their joins).  Returns the cycles charged to the
+    /// publishing fiber: `regrain_per_slot` per flushed floor-grain slot
+    /// plus `doom_signal` per doomed reader.
+    fn tick_grain_controller(&mut self, time: u64) -> u64 {
+        let Some(controller) = self.grain_controller.as_mut() else {
+            return 0;
+        };
+        if !self
+            .publish_count
+            .is_multiple_of(self.config.grain_control.tick_commits.max(1))
+        {
+            return 0;
+        }
+        let mut profiles: Vec<RegionProfile> = Vec::new();
+        let floor = self.config.commit_log.grain_log2;
+        let default = self
+            .config
+            .grain_control
+            .initial_grain_log2
+            .clamp(floor, self.region_log2);
+        let mut regions: Vec<u64> = self.region_telemetry.keys().copied().collect();
+        regions.sort_unstable();
+        for region in regions {
+            let [stamps, conflicts, false_sharing, retries] = self.region_telemetry[&region];
+            profiles.push(RegionProfile {
+                region,
+                grain_log2: *self.region_grain.get(&region).unwrap_or(&default),
+                stamps,
+                conflicts,
+                false_sharing,
+                retries,
+            });
+        }
+        let actions = controller.tick(&profiles);
+        if actions.is_empty() {
+            return 0;
+        }
+        let slots_per_region = 1u64 << (self.region_log2 - floor);
+        let mut cost = 0;
+        let mut doomed = 0u64;
+        for action in actions {
+            self.region_grain
+                .insert(action.region, action.new_grain_log2);
+            self.sim_regrains += 1;
+            cost += self.config.cost.regrain_cycles(slots_per_region);
+            // The native regrain stamps the whole region and dooms its
+            // registered readers; mirror it by dooming every in-flight
+            // speculative fiber with a read in the region.  The doom is
+            // range-induced (no word was actually written), so value
+            // prediction clears it at the join.
+            for fiber in self.fibers.iter_mut() {
+                if !fiber.speculative
+                    || fiber.retired
+                    || fiber.doomed.is_some()
+                    || fiber.start_time >= time
+                {
+                    continue;
+                }
+                if fiber
+                    .reads
+                    .iter()
+                    .any(|a| a >> self.region_log2 == action.region)
+                {
+                    fiber.doomed = Some(SpecFailure::ReadConflict);
+                    fiber.doomed_false_sharing = true;
+                    fiber.conflict_region = Some(action.region);
+                    doomed += 1;
+                }
+            }
+        }
+        cost + self.config.cost.doom_cycles(doomed)
     }
 
     fn fork_allowed(&self, forker: usize, model: ForkModel) -> bool {
@@ -614,38 +829,56 @@ impl<'a> Scheduler<'a> {
             let seg_reads: Vec<Addr> = seg.reads.iter().copied().collect();
             let speculative = self.fibers[fid].speculative;
             let seg_start = self.fibers[fid].segment_started;
-            let grain = self.config.commit_log.grain_log2;
+            // Coarsen at the current per-region grains (precomputed so
+            // the fiber borrow below stays disjoint).
+            let seg_read_ranges: Vec<(Addr, u64)> =
+                seg_reads.iter().map(|&a| (a, self.range_at(a))).collect();
             {
                 let fiber = &mut self.fibers[fid];
                 fiber.stats.counters.loads += seg.loads;
                 fiber.stats.counters.stores += seg.stores;
                 fiber.stats.add(Phase::Work, cycles);
-                for addr in &seg_reads {
+                for (addr, range) in &seg_read_ranges {
                     if !fiber.writes.contains(addr) {
                         fiber.reads.insert(*addr);
-                        fiber.read_ranges.insert(addr >> grain);
+                        fiber.read_ranges.insert(*range);
                     }
                 }
                 fiber.writes.extend(seg.writes.iter().copied());
-                fiber
-                    .write_ranges
-                    .extend(seg.writes.iter().map(|a| a >> grain));
             }
             if speculative {
-                // Check the reads of this segment against anything that was
-                // published to main memory while the segment executed —
-                // range-grained, like the in-flight doom check.
-                let doomed = self.publishes.iter().any(|(t, _, ranges)| {
-                    *t > seg_start && seg_reads.iter().any(|a| ranges.contains(&(a >> grain)))
+                // Check the reads of this segment against anything that
+                // was published to main memory while the segment executed
+                // — range-grained like the in-flight doom check, with the
+                // word-level overlap checked too so a regrain between the
+                // publish and this check can never hide a true conflict.
+                let doomed = self.publishes.iter().any(|(t, words, ranges)| {
+                    *t > seg_start
+                        && seg_read_ranges
+                            .iter()
+                            .any(|(a, r)| words.contains(a) || ranges.contains(r))
                 });
                 if doomed {
                     let word_hit = self.publishes.iter().any(|(t, words, _)| {
                         *t > seg_start && seg_reads.iter().any(|a| words.contains(a))
                     });
+                    // Lowest qualifying region, not "first": seg.reads is
+                    // a HashSet, whose order must never leak into the
+                    // deterministic replay.
+                    let region = seg_read_ranges
+                        .iter()
+                        .filter(|(a, r)| {
+                            self.publishes.iter().any(|(t, words, ranges)| {
+                                *t > seg_start && (words.contains(a) || ranges.contains(r))
+                            })
+                        })
+                        .map(|(a, _)| a >> self.region_log2)
+                        .min();
                     match self.fibers[fid].doomed {
                         None => {
                             self.fibers[fid].doomed = Some(SpecFailure::ReadConflict);
                             self.fibers[fid].doomed_false_sharing = !word_hit;
+                            self.fibers[fid].conflict_region = region;
                         }
                         // Upgrade an earlier false-sharing classification
                         // when this segment's reads were genuinely hit.
@@ -783,6 +1016,11 @@ impl<'a> Scheduler<'a> {
                 self.fibers[cf].retried = true;
                 self.fibers[cf].doomed = None;
                 self.fibers[cf].doomed_false_sharing = false;
+                // Grain-control telemetry: a retry is a conflict the
+                // current grain made cheap — split evidence.
+                if let Some(region) = self.fibers[cf].conflict_region.take() {
+                    self.region_telemetry.entry(region).or_default()[3] += 1;
+                }
                 self.retried += 1;
                 Ok(())
             } else {
@@ -805,8 +1043,15 @@ impl<'a> Scheduler<'a> {
                 let shards_touched = if self.fibers[fid].speculative {
                     0
                 } else {
+                    // Shards stripe *regions* (grain-independent), as in
+                    // the native log since grain control landed.
                     let mut shards: HashSet<u64> = HashSet::new();
-                    shards.extend(self.fibers[cf].write_ranges.iter().map(|r| r & shard_mask));
+                    shards.extend(
+                        self.fibers[cf]
+                            .writes
+                            .iter()
+                            .map(|w| (w >> self.region_log2) & shard_mask),
+                    );
                     shards.len() as u64
                 };
                 let commit =
@@ -816,20 +1061,21 @@ impl<'a> Scheduler<'a> {
                 self.fibers[fid].stats.add(Phase::Idle, commit + finalize);
                 now += commit + finalize;
 
-                let grain = self.config.commit_log.grain_log2;
-                let child_reads: Vec<Addr> = self.fibers[cf].reads.iter().copied().collect();
+                let child_reads: Vec<(Addr, u64)> = self.fibers[cf]
+                    .reads
+                    .iter()
+                    .map(|&a| (a, self.range_at(a)))
+                    .collect();
                 let child_writes: HashSet<Addr> = self.fibers[cf].writes.clone();
                 if self.fibers[fid].speculative {
                     // Absorb into the speculative parent.
-                    for addr in child_reads {
+                    for (addr, range) in child_reads {
                         if !self.fibers[fid].writes.contains(&addr) {
                             self.fibers[fid].reads.insert(addr);
-                            self.fibers[fid].read_ranges.insert(addr >> grain);
+                            self.fibers[fid].read_ranges.insert(range);
                         }
                     }
                     self.fibers[fid].writes.extend(child_writes.iter().copied());
-                    let child_write_ranges = self.fibers[cf].write_ranges.clone();
-                    self.fibers[fid].write_ranges.extend(child_write_ranges);
                 } else {
                     now += self.publish(&child_writes, now, cf);
                 }
@@ -869,6 +1115,19 @@ impl<'a> Scheduler<'a> {
                 let _ = self.fibers[cf].doomed.get_or_insert(reason);
                 if reason == SpecFailure::ReadConflict && self.fibers[cf].doomed_false_sharing {
                     self.fibers[cf].stats.counters.false_sharing_suspects += 1;
+                }
+                if reason == SpecFailure::ReadConflict {
+                    // Grain-control telemetry: attribute the squash to the
+                    // conflicting region (false-sharing flagged so the
+                    // controller can split the grain out of the way).
+                    let fs = self.fibers[cf].doomed_false_sharing;
+                    if let Some(region) = self.fibers[cf].conflict_region.take() {
+                        let counters = self.region_telemetry.entry(region).or_default();
+                        counters[1] += 1;
+                        if fs {
+                            counters[2] += 1;
+                        }
+                    }
                 }
                 if reason == SpecFailure::ReadConflict
                     && self.config.recovery.mode != RecoveryMode::Targeted
@@ -951,6 +1210,16 @@ impl<'a> Scheduler<'a> {
         }
         if self.fibers[cf].speculative {
             let fiber = &self.fibers[cf];
+            // Live grain of the fiber's traffic for the per-site grain
+            // column (lowest written — else read — address, so HashSet
+            // order cannot leak into the deterministic replay).
+            let observed_grain = fiber
+                .writes
+                .iter()
+                .min()
+                .or_else(|| fiber.reads.iter().min())
+                .map(|&a| self.grain_at(a))
+                .unwrap_or(self.config.commit_log.grain_log2);
             let outcome = if committed {
                 SiteOutcome::committed(
                     fiber.stats.get(Phase::Work),
@@ -958,6 +1227,7 @@ impl<'a> Scheduler<'a> {
                     fiber.model,
                 )
                 .with_retry(fiber.retried)
+                .with_grain(observed_grain)
             } else {
                 SiteOutcome::rolled_back(
                     fiber.doomed.unwrap_or(SpecFailure::Cascaded),
@@ -968,6 +1238,7 @@ impl<'a> Scheduler<'a> {
                 .with_false_sharing(
                     fiber.doomed == Some(SpecFailure::ReadConflict) && fiber.doomed_false_sharing,
                 )
+                .with_grain(observed_grain)
             };
             self.governor.record_outcome(fiber.site, &outcome);
         }
@@ -1074,6 +1345,46 @@ mod tests {
         );
         assert_eq!(exact.report.retried_threads, 0);
         assert_eq!(exact.report.rolled_back_threads, 0);
+    }
+
+    #[test]
+    fn grain_control_replay_splits_a_false_sharing_region_deterministically() {
+        // Adaptive mode: word floor, regions start at page.  The
+        // false-sharing recording keeps retrying at page grain, so the
+        // controller must re-split the region — and the whole run must
+        // stay byte-deterministic.
+        let recording = false_sharing_recording();
+        let config = || SimConfig {
+            grain_control: GrainControlConfig::adaptive().tick_commits(1),
+            ..SimConfig::with_cpus(2)
+        };
+        let result = simulate(&recording, config());
+        assert!(
+            result.report.commit_log.regrains > 0,
+            "suspect spikes must trigger a re-split"
+        );
+        assert!(
+            result
+                .report
+                .region_grains
+                .iter()
+                .any(|&(grain, _)| grain < mutls_membuf::PAGE_GRAIN_LOG2),
+            "some region must have left page grain: {:?}",
+            result.report.region_grains
+        );
+        // Stamps are counted in replay now (the graincontrol sweep's
+        // acceptance column).
+        assert!(result.report.commit_log.commits > 0);
+        assert!(result.report.commit_log.stamp_writes >= result.report.commit_log.commits);
+        // Determinism survives the controller.
+        let again = simulate(&recording, config());
+        let ser = |r: &RunReport| {
+            let mut out = String::new();
+            use serde::Serialize;
+            r.serialize_json(&mut out);
+            out
+        };
+        assert_eq!(ser(&result.report), ser(&again.report));
     }
 
     /// Degenerate pub-field configs (zero shards, sub-word grain) must be

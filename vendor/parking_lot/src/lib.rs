@@ -28,6 +28,18 @@ impl<T: ?Sized> Mutex<T> {
         let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
         MutexGuard { inner: Some(guard) }
     }
+
+    /// Acquire the lock if it is free right now (`None` when contended),
+    /// ignoring poisoning.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
