@@ -233,7 +233,7 @@ impl SiteRecord {
 }
 
 /// Immutable snapshot of one site, exposed in `RunReport` tables.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SiteProfile {
     /// The fork-site ID.
     pub site: SiteId,

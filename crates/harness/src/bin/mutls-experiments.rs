@@ -1,14 +1,18 @@
 //! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
 //!
 //! ```text
-//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|all> \
-//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--json <path>]
+//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|trace|all> \
+//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--json <path>] [--trace <path>]
 //! ```
 //!
 //! With `--json <path>` the native sweeps (recovery, grain, conflict,
-//! overflow, adaptive) additionally write their per-point rows — wasted
-//! work, commit throughput, retry/doom counts — as one JSON document, so
-//! the perf trajectory can be tracked across PRs (e.g. `BENCH_PR4.json`).
+//! overflow, adaptive, trace) additionally write their per-point rows —
+//! wasted work, commit throughput, retry/doom counts, latency quantiles —
+//! as one JSON document, so the perf trajectory can be tracked across PRs
+//! (e.g. `BENCH_PR4.json`).  With `--trace <path>` the sweeps enable the
+//! speculation flight recorder and the drained lifecycle events of every
+//! run are exported as one Chrome trace-event document (open it at
+//! <https://ui.perfetto.dev>).
 
 use std::process::ExitCode;
 
@@ -17,7 +21,8 @@ use serde::Serialize;
 use mutls_harness::{
     adaptive_sweep, conflict_sweep, figure10, figure11, figure3, figure4, figure5, figure6,
     figure7, figure8, figure9, grain_sweep, graincontrol_replay, graincontrol_sweep,
-    overflow_sweep, recovery_replay, recovery_sweep, table2, ExperimentConfig,
+    overflow_sweep, recovery_replay, recovery_sweep, table2, trace_scenario, ExperimentConfig,
+    TraceSink, BENCH_SCHEMA_VERSION,
 };
 use mutls_workloads::Scale;
 
@@ -42,7 +47,9 @@ impl JsonSink {
     }
 
     fn render(&self) -> String {
-        let mut out = String::from("{\"schema\":\"mutls-bench-v1\",\"experiments\":{");
+        let mut out = format!(
+            "{{\"schema\":\"mutls-bench-v{BENCH_SCHEMA_VERSION}\",\"schema_version\":{BENCH_SCHEMA_VERSION},\"experiments\":{{"
+        );
         for (i, (name, rows)) in self.entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -57,10 +64,20 @@ impl JsonSink {
     }
 }
 
-fn parse_args() -> Result<(Vec<String>, ExperimentConfig, Option<String>), String> {
+/// Parsed command line: experiments to run, shared config, `--json` path,
+/// `--trace` path.
+type ParsedArgs = (
+    Vec<String>,
+    ExperimentConfig,
+    Option<String>,
+    Option<String>,
+);
+
+fn parse_args() -> Result<ParsedArgs, String> {
     let mut config = ExperimentConfig::default();
     let mut selected = Vec::new();
     let mut json_path = None;
+    let mut trace_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -87,14 +104,14 @@ fn parse_args() -> Result<(Vec<String>, ExperimentConfig, Option<String>), Strin
             "--json" => {
                 json_path = Some(args.next().ok_or("--json needs a path")?);
             }
+            "--trace" => {
+                trace_path = Some(args.next().ok_or("--trace needs a path")?);
+            }
             other if !other.starts_with("--") => selected.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    if selected.is_empty() {
-        selected.push("all".to_string());
-    }
-    Ok((selected, config, json_path))
+    Ok((selected, config, json_path, trace_path))
 }
 
 fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result<(), String> {
@@ -145,6 +162,11 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
             sink.push("graincontrol_replay", &sim_rows);
             println!("{sim_text}");
         }
+        "trace" => {
+            let (rows, text) = trace_scenario(config);
+            sink.push("trace", &rows);
+            println!("{text}");
+        }
         "all" => {
             for exp in [
                 "table2",
@@ -163,6 +185,7 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
                 "grain",
                 "recovery",
                 "graincontrol",
+                "trace",
             ] {
                 run_one(exp, config, sink)?;
             }
@@ -172,21 +195,55 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
     Ok(())
 }
 
+fn usage() {
+    eprintln!(
+        "usage: mutls-experiments <experiment> [<experiment> ...] [options]\n\
+         \n\
+         experiments:\n\
+         \x20 table2          benchmark suite with measured memory densities\n\
+         \x20 fig3..fig11     the paper's evaluation figures (simulator)\n\
+         \x20 adaptive        governor policy sweep (simulator)\n\
+         \x20 conflict        native conflict sweep, real dependence validation\n\
+         \x20 overflow        native buffer-overflow pressure sweep\n\
+         \x20 grain           native commit-log grain x shard sweep\n\
+         \x20 recovery        native recovery-engine sweep + deterministic replay\n\
+         \x20 graincontrol    adaptive grain-control sweep + deterministic replay\n\
+         \x20 trace           flight-recorder scenario: event census + latency tables\n\
+         \x20 all             everything above\n\
+         \n\
+         options:\n\
+         \x20 --scale tiny|scaled|paper   problem-size preset (default scaled)\n\
+         \x20 --cpus 1,2,4,...            CPU counts for the sweep figures\n\
+         \x20 --seed N                    RNG seed (rollback injection)\n\
+         \x20 --json <path>               write machine-readable rows (schema v{BENCH_SCHEMA_VERSION})\n\
+         \x20 --trace <path>              enable the flight recorder and export\n\
+         \x20                             Chrome trace-event JSON (Perfetto)"
+    );
+}
+
 fn main() -> ExitCode {
-    let (selected, config, json_path) = match parse_args() {
+    let (selected, mut config, json_path, trace_path) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!(
-                "usage: mutls-experiments <fig3..fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|all> [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--seed N] [--json <path>]"
-            );
+            usage();
             return ExitCode::FAILURE;
         }
     };
+    if selected.is_empty() {
+        eprintln!("error: no experiment selected");
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let trace_sink = trace_path.as_ref().map(|_| TraceSink::new());
+    if let Some(sink) = &trace_sink {
+        config = config.with_trace(sink.clone());
+    }
     let mut sink = JsonSink::default();
     for name in &selected {
         if let Err(e) = run_one(name, &config, &mut sink) {
             eprintln!("error: {e}");
+            usage();
             return ExitCode::FAILURE;
         }
     }
@@ -196,6 +253,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote machine-readable rows to {path}");
+    }
+    if let (Some(path), Some(trace)) = (trace_path, trace_sink) {
+        if let Err(e) = std::fs::write(&path, trace.chrome_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {} traced runs to {path} (open at https://ui.perfetto.dev)",
+            trace.len()
+        );
     }
     ExitCode::SUCCESS
 }

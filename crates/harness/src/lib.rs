@@ -21,10 +21,14 @@
 //! | Commit-log grain sweep (this repo)      | [`grain_sweep`] |
 //! | Recovery-engine sweep (this repo)       | [`recovery_sweep`] |
 //! | Adaptive grain-control sweep (this repo) | [`graincontrol_sweep`] |
+//! | Flight-recorder scenario (this repo)    | [`trace_scenario`] |
 //!
 //! `mutls-experiments --json <path>` additionally writes the sweep rows
-//! of the native experiments as machine-readable JSON, so per-point
-//! wasted-work and commit-throughput figures can be tracked across PRs.
+//! of the native experiments as machine-readable JSON (schema
+//! [`BENCH_SCHEMA_VERSION`]), so per-point wasted-work, latency-quantile
+//! and commit-throughput figures can be tracked across PRs, and
+//! `--trace <path>` exports every traced run of the selected experiments
+//! as one Chrome trace-event document (open it in Perfetto).
 //!
 //! The `mutls-experiments` binary wraps these functions; the Criterion
 //! benches in `crates/bench` regenerate the same rows under `cargo bench`.
@@ -46,11 +50,14 @@ pub use experiments::{
     adaptive_sweep, breakdown, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
     figure6, figure7, figure8, figure9, format_site_table, grain_label, grain_sweep,
     graincontrol_replay, graincontrol_sweep, overflow_sweep, record_workload, recovery_replay,
-    recovery_sweep, recovery_sweep_modes, speedup_sweep, table2, AdaptiveRow, BreakdownRow,
-    ExperimentConfig, GrainControlRow, GrainControlSimRow, GrainMode, GrainRow, MetricKind,
-    NativeRow, RecoveryRow, RecoverySimRow, SweepRow, ADAPTIVE_ROLLBACK_PROBABILITY,
-    CONFLICT_SHARING_PERMILLE, GRAINCONTROL_REPS, GRAINCONTROL_SHARING_PERMILLE,
-    GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS, NATIVE_POLICIES, RECOVERY_SWEEP_GRAINS,
-    RECOVERY_SWEEP_PERMILLE, RECOVERY_SWEEP_REPS, ROLLBACK_HEAVY,
+    recovery_sweep, recovery_sweep_modes, speedup_sweep, table2, trace_scenario, AdaptiveRow,
+    BreakdownRow, ExperimentConfig, GrainControlRow, GrainControlSimRow, GrainMode, GrainRow,
+    MetricKind, NativeRow, RecoveryRow, RecoverySimRow, SweepRow, TraceScenarioRow, TraceSink,
+    ADAPTIVE_ROLLBACK_PROBABILITY, BENCH_SCHEMA_VERSION, CONFLICT_SHARING_PERMILLE,
+    GRAINCONTROL_REPS, GRAINCONTROL_SHARING_PERMILLE, GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS,
+    NATIVE_POLICIES, RECOVERY_SWEEP_GRAINS, RECOVERY_SWEEP_PERMILLE, RECOVERY_SWEEP_REPS,
+    ROLLBACK_HEAVY,
 };
-pub use report::{format_breakdown_table, format_rollback_cell, format_sweep_table, Table};
+pub use report::{
+    format_breakdown_table, format_latency_table, format_rollback_cell, format_sweep_table, Table,
+};

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use mutls_membuf::RollbackReason;
+use mutls_trace::LatencyReport;
 
 /// A simple column-aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -123,6 +124,25 @@ pub fn format_breakdown_table(
             row.push(format!("{:5.1}%", value * 100.0));
         }
         table.push_row(row);
+    }
+    table.render()
+}
+
+/// Render a [`LatencyReport`] as a table: one row per lifecycle phase
+/// with the sample count and log2-bucket p50/p99/p999 quantile floors.
+/// Values are in the run's native unit — nanoseconds for the native
+/// runtime, virtual cycles for the simulator — so the caller should say
+/// which in `title`.
+pub fn format_latency_table(title: &str, report: &LatencyReport) -> String {
+    let mut table = Table::new(title, &["phase", "samples", "p50", "p99", "p999"]);
+    for row in &report.phases {
+        table.push_row(vec![
+            row.phase.clone(),
+            row.count.to_string(),
+            row.p50.to_string(),
+            row.p99.to_string(),
+            row.p999.to_string(),
+        ]);
     }
     table.render()
 }

@@ -383,7 +383,7 @@ impl CommitLogConfig {
 
 /// Aggregate commit-log activity counters, for throughput reporting
 /// (see the harness `grain` / `graincontrol` sweeps).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CommitLogStats {
     /// Commit batches recorded (non-empty `record` calls).
     pub commits: u64,
@@ -403,6 +403,12 @@ pub struct CommitLogStats {
     /// Regions whose grain the controller changed at runtime
     /// ([`CommitLog::regrain`] calls that actually flipped a grain).
     pub regrains: u64,
+    /// Reader registrations that landed past the bitmask window and
+    /// spilled into the per-range hash sets (each spill pays a shard
+    /// `RwLock` write instead of one `fetch_or`) — the registry's slow
+    /// path, surfaced so capacity pressure on
+    /// [`MAX_TRACKED_READERS`] is visible in reports.
+    pub reader_spills: u64,
     /// Configured floor range size (log2 bytes), echoed for reports.
     pub grain_log2: u32,
     /// Configured shard count, echoed for reports.
@@ -541,6 +547,8 @@ pub struct CommitLog {
     lock_ns: AtomicU64,
     /// Monotone batch counter driving the lock-time sampling.
     lock_samples: AtomicU64,
+    /// Reader registrations that spilled past the bitmask window.
+    reader_spills: AtomicU64,
 }
 
 impl Default for CommitLog {
@@ -619,6 +627,7 @@ impl CommitLog {
             regrains: AtomicU64::new(0),
             lock_ns: AtomicU64::new(0),
             lock_samples: AtomicU64::new(0),
+            reader_spills: AtomicU64::new(0),
         }
     }
 
@@ -999,6 +1008,9 @@ impl CommitLog {
         let shard = &self.shards[self.shard_of_region(region)];
         let bit = reader_bit(rank);
         if bit != 0 {
+            if bit == READER_SPILL_BIT {
+                self.reader_spills.fetch_add(1, Ordering::Relaxed);
+            }
             match self.slot_of(addr) {
                 Slot::Dense { local, .. } => {
                     if bit == READER_SPILL_BIT {
@@ -1380,6 +1392,7 @@ impl CommitLog {
             stamp_writes: self.stamped.load(Ordering::Relaxed),
             lock_ns: self.lock_ns.load(Ordering::Relaxed),
             regrains: self.regrains.load(Ordering::Relaxed),
+            reader_spills: self.reader_spills.load(Ordering::Relaxed),
             grain_log2: self.config.grain_log2,
             shards: self.config.shards,
         }
@@ -1433,6 +1446,7 @@ impl CommitLog {
         self.regrains.store(0, Ordering::Relaxed);
         self.lock_ns.store(0, Ordering::Relaxed);
         self.lock_samples.store(0, Ordering::Relaxed);
+        self.reader_spills.store(0, Ordering::Relaxed);
     }
 }
 
@@ -1748,6 +1762,18 @@ mod tests {
         let dense = CommitLog::with_config(CommitLogConfig::word_grain(), 1 << 12);
         dense.register_reader(8, 77);
         assert!(dense.take_readers([8]).contains(77));
+    }
+
+    #[test]
+    fn reader_spills_are_counted_in_stats() {
+        let log = CommitLog::with_config(CommitLogConfig::word_grain(), 1 << 12);
+        log.register_reader(8, 1); // in-window: no spill
+        assert_eq!(log.stats().reader_spills, 0);
+        log.register_reader(8, MAX_TRACKED_READERS + 1);
+        log.register_reader(1 << 20, 200); // sparse fallback spills too
+        assert_eq!(log.stats().reader_spills, 2);
+        log.clear();
+        assert_eq!(log.stats().reader_spills, 0, "clear resets the counter");
     }
 
     #[test]

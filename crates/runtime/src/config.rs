@@ -3,6 +3,7 @@
 use crate::fork_model::ForkModel;
 use mutls_adaptive::{GovernorConfig, GrainControlConfig, PolicyKind};
 use mutls_membuf::{BufferConfig, CommitLogConfig, LocalBufferConfig};
+use mutls_trace::TraceConfig;
 
 /// Where rollbacks come from.
 ///
@@ -150,6 +151,12 @@ pub struct RuntimeConfig {
     /// [`GrainController`](mutls_adaptive::GrainController) regrains
     /// regions live from the commit/validate paths.
     pub grain_control: GrainControlConfig,
+    /// The speculation flight recorder (default: lifecycle event tracing
+    /// off).  The per-phase latency histograms behind
+    /// `RunReport.latency` are always on; this knob only controls whether
+    /// lifecycle events are captured into the per-rank rings for export
+    /// as a Chrome/Perfetto trace.
+    pub trace: TraceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -167,6 +174,7 @@ impl Default for RuntimeConfig {
             commit_log: CommitLogConfig::default(),
             recovery: RecoveryConfig::default(),
             grain_control: GrainControlConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -286,6 +294,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the full flight-recorder configuration (builder style).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Enable lifecycle event tracing at the default ring capacity
+    /// (builder style).
+    pub fn trace_events(mut self) -> Self {
+        self.trace = TraceConfig::enabled();
+        self
+    }
+
     /// Enable the adaptive-grain controller with default tuning
     /// (optimistic page start, split on false-sharing suspects) over a
     /// word-grain floor, so regions can re-split all the way to
@@ -391,6 +412,16 @@ mod tests {
         let custom = GrainControlConfig::adaptive_from_floor(mutls_membuf::LINE_GRAIN_LOG2);
         let c = RuntimeConfig::default().grain_control(custom);
         assert_eq!(c.grain_control, custom);
+    }
+
+    #[test]
+    fn trace_builders() {
+        let c = RuntimeConfig::default();
+        assert!(!c.trace.events, "event tracing defaults off");
+        let c = c.trace_events();
+        assert!(c.trace.events);
+        let c = RuntimeConfig::default().trace(TraceConfig::enabled().ring_capacity(64));
+        assert_eq!(c.trace.ring_capacity, 64);
     }
 
     #[test]

@@ -17,7 +17,9 @@ use mutls_membuf::{
 };
 
 use mutls_adaptive::{ForkDecision, SiteOutcome};
+use mutls_trace::{DenyPolicy, DoomSource, EventKind, LatencyPhase};
 
+use crate::config::RecoveryMode;
 use crate::fork_model::ForkModel;
 use crate::manager::{SpecOutcome, SpecRequest, ThreadBuffers, ThreadManager};
 use crate::stats::{Phase, ThreadStats};
@@ -278,8 +280,17 @@ impl SpecContext {
                     && self.mgr.commit_log().grain_of(addr) == mutls_membuf::WORD_GRAIN_LOG2
                     && !buffer.has_read(addr)
                 {
-                    self.stats.counters.targeted_dooms +=
-                        self.mgr.doom_readers_hard([addr], self.rank);
+                    let doomed = self.mgr.doom_readers_hard([addr], self.rank);
+                    self.stats.counters.targeted_dooms += doomed;
+                    if doomed > 0 {
+                        self.mgr.trace_event(
+                            self.rank,
+                            0,
+                            EventKind::Doom {
+                                source: DoomSource::Buffered,
+                            },
+                        );
+                    }
                 }
                 Ok(())
             }
@@ -331,9 +342,15 @@ impl SpecContext {
                 if self.mgr.config().recovery.value_predict {
                     if let Some(buffer) = self.global.as_mut() {
                         let memory = self.mgr.memory();
+                        let retry_started = Instant::now();
                         if buffer.revalidate_by_value(self.mgr.commit_log(), memory.as_ref()) {
                             self.mgr.clear_doom(self.rank);
                             self.stats.counters.retries_succeeded += 1;
+                            self.mgr.recorder().latency().record(
+                                LatencyPhase::RepairRetry,
+                                retry_started.elapsed().as_nanos() as u64,
+                            );
+                            self.mgr.trace_event(self.rank, 0, EventKind::RetryInFlight);
                             return Ok(());
                         }
                     }
@@ -428,9 +445,15 @@ impl SpecContext {
                 if mgr.config().recovery.value_predict {
                     if let Some(buffer) = global.as_mut() {
                         let memory = mgr.memory();
+                        let retry_started = Instant::now();
                         if buffer.revalidate_by_value(mgr.commit_log(), memory.as_ref()) {
                             mgr.clear_doom(rank);
                             stats.counters.retries_succeeded += 1;
+                            mgr.recorder().latency().record(
+                                LatencyPhase::RepairRetry,
+                                retry_started.elapsed().as_nanos() as u64,
+                            );
+                            mgr.trace_event(rank, 0, EventKind::RetryInFlight);
                             return false;
                         }
                     }
@@ -547,6 +570,8 @@ impl TlsContext for SpecContext {
         task: TaskRef<Self>,
     ) -> SpecResult<SpecHandle> {
         self.check_abort()?;
+        self.mgr
+            .trace_event(self.rank, point, EventKind::ForkAttempt);
 
         // A *speculative* parent re-executing a continuation after a
         // rollback must not re-speculate: its accumulated write-set is
@@ -559,6 +584,13 @@ impl TlsContext for SpecContext {
         // reader registry surgically dooms the genuinely stale ones.)
         if self.rank != 0 && self.reexec_depth > 0 {
             self.stats.counters.failed_forks += 1;
+            self.mgr.trace_event(
+                self.rank,
+                point,
+                EventKind::ForkDenied {
+                    policy: DenyPolicy::Reexec,
+                },
+            );
             return Ok(SpecHandle {
                 point,
                 task,
@@ -571,9 +603,28 @@ impl TlsContext for SpecContext {
         // Ask the adaptive governor whether this fork site may speculate
         // (and under which model) before spending any fork overhead.
         let model = match self.mgr.governor().decide(point, model) {
-            ForkDecision::Allow(chosen) => chosen,
+            ForkDecision::Allow(chosen) => {
+                self.mgr.trace_event(
+                    self.rank,
+                    point,
+                    EventKind::GovernorDecision { allowed: true },
+                );
+                chosen
+            }
             ForkDecision::Deny => {
                 self.stats.counters.throttled_forks += 1;
+                self.mgr.trace_event(
+                    self.rank,
+                    point,
+                    EventKind::GovernorDecision { allowed: false },
+                );
+                self.mgr.trace_event(
+                    self.rank,
+                    point,
+                    EventKind::ForkDenied {
+                        policy: DenyPolicy::Governor,
+                    },
+                );
                 return Ok(SpecHandle {
                     point,
                     task,
@@ -590,6 +641,13 @@ impl TlsContext for SpecContext {
 
         let Some(child) = child else {
             self.stats.counters.failed_forks += 1;
+            let policy = if self.mgr.model_allows_fork(self.rank, model) {
+                DenyPolicy::NoCpu
+            } else {
+                DenyPolicy::Model
+            };
+            self.mgr
+                .trace_event(self.rank, point, EventKind::ForkDenied { policy });
             return Ok(SpecHandle {
                 point,
                 task,
@@ -604,6 +662,16 @@ impl TlsContext for SpecContext {
         // (MUTLS_save_local / set_regvar on the parent side).
         let regvars: Vec<(usize, RegisterValue)> =
             self.local.current_frame().registers.iter().collect();
+        // Emitted on the child's lane *before* the dispatch: the channel
+        // send orders this write before anything the child emits, keeping
+        // the ring single-producer.
+        self.mgr.trace_event(
+            child,
+            point,
+            EventKind::SpecStart {
+                parent: self.rank as u32,
+            },
+        );
         self.mgr.dispatch(
             child,
             point,
@@ -661,7 +729,17 @@ impl TlsContext for SpecContext {
                 // re-execution runs, this thread's buffered stores
                 // hard-doom their registered readers (see `spec_write`).
                 self.reexec_depth += 1;
+                let repair_started = Instant::now();
                 let inline_result = self.run_inline(&task);
+                let phase = if self.mgr.config().recovery.mode == RecoveryMode::Targeted {
+                    LatencyPhase::RepairDoomSet
+                } else {
+                    LatencyPhase::RepairCascade
+                };
+                self.mgr
+                    .recorder()
+                    .latency()
+                    .record(phase, repair_started.elapsed().as_nanos() as u64);
                 self.reexec_depth -= 1;
                 inline_result?;
                 Ok(JoinOutcome::RolledBack(reason))

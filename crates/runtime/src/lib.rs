@@ -73,3 +73,11 @@ pub use mutls_membuf as membuf;
 pub use mutls_membuf::{
     Addr, CommitLog, GPtr, GlobalMemory, RegisterValue, RollbackReason, SpecFailure,
 };
+
+// Re-export the flight recorder so harnesses can configure tracing and
+// consume drained events without naming the leaf crate.
+pub use mutls_trace as trace;
+pub use mutls_trace::{
+    DenyPolicy, DoomSource, EventKind, LatencyPhase, LatencyReport, LatencyRow, PlanArm, Recorder,
+    RollbackCause, TraceConfig, TraceEvent, ValidateOutcome,
+};

@@ -28,6 +28,10 @@ use mutls_membuf::{
     Addr, AddressSpace, CommitLog, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory,
     RollbackReason, SpecFailure, Validation,
 };
+use mutls_trace::{
+    DoomSource, EventKind, LatencyPhase, PlanArm, Recorder, RollbackCause, TraceEvent,
+    ValidateOutcome,
+};
 
 use crate::config::{RecoveryMode, RollbackSource, RuntimeConfig};
 use crate::context::SpecContext;
@@ -104,6 +108,8 @@ pub(crate) struct Slot {
     site: AtomicU32,
     /// `ForkModel::index()` of the model the task was launched under.
     model: AtomicU8,
+    /// Recorder timestamp of the task's dispatch (fork-to-commit latency).
+    forked_ns: AtomicU64,
     sender: Sender<WorkerMsg>,
     result: Mutex<Option<SpecOutcome>>,
     result_cv: Condvar,
@@ -119,6 +125,7 @@ impl Slot {
             orphaned: AtomicBool::new(false),
             site: AtomicU32::new(0),
             model: AtomicU8::new(ForkModel::Mixed.index() as u8),
+            forked_ns: AtomicU64::new(0),
             sender,
             result: Mutex::new(None),
             result_cv: Condvar::new(),
@@ -227,6 +234,14 @@ pub struct ThreadManager {
     /// Commit/validate events since the run started (drives the grain
     /// controller's tick cadence).
     grain_events: AtomicU64,
+    /// The speculation flight recorder: per-lane lifecycle event rings
+    /// (when `RuntimeConfig::trace.events` is on) plus the always-on
+    /// phase-latency histograms.  Lanes 0..=num_cpus belong to the
+    /// threads; lane num_cpus+1 is the control plane (grain-controller
+    /// ticks), serialized by the controller lock.
+    recorder: Recorder,
+    /// Zero point of recorder timestamps.
+    trace_origin: Instant,
 }
 
 impl ThreadManager {
@@ -279,6 +294,8 @@ impl ThreadManager {
             governor: Governor::new(config.governor),
             grain,
             grain_events: AtomicU64::new(0),
+            recorder: Recorder::new(config.trace, config.num_cpus + 2),
+            trace_origin: Instant::now(),
         });
         (mgr, receivers)
     }
@@ -286,6 +303,50 @@ impl ThreadManager {
     /// The adaptive speculation governor.
     pub fn governor(&self) -> &Governor {
         &self.governor
+    }
+
+    /// The speculation flight recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Nanoseconds since the recorder's origin (the event/latency clock).
+    #[inline]
+    pub fn trace_now_ns(&self) -> u64 {
+        self.trace_origin.elapsed().as_nanos() as u64
+    }
+
+    /// Emit one lifecycle event on `rank`'s lane, stamped with the current
+    /// recorder clock and commit-log epoch.  A single branch when event
+    /// tracing is off.
+    #[inline]
+    pub fn trace_event(&self, rank: Rank, site: SiteId, kind: EventKind) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.emit(TraceEvent {
+            ts: self.trace_now_ns(),
+            rank: rank as u32,
+            site,
+            epoch: self.commit_log.epoch(),
+            kind,
+        });
+    }
+
+    /// The control-plane event lane (grain-controller ticks): one past the
+    /// last thread rank, so its events never race a thread's SPSC ring.
+    fn control_lane(&self) -> Rank {
+        self.slots.len() + 1
+    }
+
+    /// The fork-site id `rank`'s current task was launched from (0 for the
+    /// non-speculative thread).
+    fn site_of(&self, rank: Rank) -> SiteId {
+        if rank == 0 || rank > self.slots.len() {
+            0
+        } else {
+            self.slots[rank - 1].site.load(Ordering::Relaxed)
+        }
     }
 
     /// The runtime configuration.
@@ -348,13 +409,35 @@ impl ThreadManager {
             return;
         };
         let profiles = self.commit_log.region_profiles();
+        let lane = self.control_lane();
+        let mut actions = 0u32;
         for action in controller.tick(&profiles) {
+            let from = self.commit_log.grain_of_region(action.region);
             let (_, readers) = self
                 .commit_log
                 .regrain(action.region, action.new_grain_log2);
+            self.trace_event(
+                lane,
+                0,
+                EventKind::Regrain {
+                    region: action.region,
+                    from,
+                    to: action.new_grain_log2,
+                },
+            );
             let ranks: Vec<Rank> = readers.ranks().collect();
-            self.doom_ranks(&ranks);
+            if self.doom_ranks(&ranks) > 0 {
+                self.trace_event(
+                    lane,
+                    0,
+                    EventKind::Doom {
+                        source: DoomSource::Regrain,
+                    },
+                );
+            }
+            actions += 1;
         }
+        self.trace_event(lane, 0, EventKind::GrainTick { actions });
     }
 
     /// The live grain the finished thread's traffic ran at, for per-site
@@ -386,6 +469,22 @@ impl ThreadManager {
     }
 
     // ----- fork path -------------------------------------------------
+
+    /// Whether `model` permits `forker` to fork right now — the ordering
+    /// half of [`try_acquire_cpu`](Self::try_acquire_cpu), exposed so the
+    /// fork path can distinguish a model denial from CPU exhaustion in
+    /// the trace (racy against concurrent joins, which is fine for
+    /// attribution).
+    pub fn model_allows_fork(&self, forker: Rank, model: ForkModel) -> bool {
+        let forker_is_spec = forker != 0;
+        let most = self.most_speculative.load(Ordering::Acquire);
+        let is_most = if self.active.load(Ordering::Acquire) == 0 {
+            !forker_is_spec
+        } else {
+            forker == most
+        };
+        model.allows_fork(forker_is_spec, is_most)
+    }
 
     /// Try to acquire an idle virtual CPU for a fork requested by
     /// `forker` under `model` (paper: `MUTLS_get_CPU`).
@@ -427,6 +526,7 @@ impl ThreadManager {
         let slot = &self.slots[rank - 1];
         slot.site.store(site, Ordering::Relaxed);
         slot.model.store(model.index() as u8, Ordering::Relaxed);
+        slot.forked_ns.store(self.trace_now_ns(), Ordering::Relaxed);
         self.governor.record_fork(site, model);
         slot.sender
             .send(WorkerMsg::Run(request))
@@ -747,6 +847,14 @@ impl ThreadManager {
     ) -> Result<CommitKind, SpecFailure> {
         let started = Instant::now();
         let mem: &GlobalMemory = &self.memory;
+        let site = self.site_of(child);
+        self.trace_event(
+            child,
+            site,
+            EventKind::ValidateBegin {
+                ranges: outcome.buffers.global.read_set_len() as u32,
+            },
+        );
 
         let failure = match outcome.status {
             TaskStatus::Failed(reason) => Some(reason),
@@ -768,7 +876,26 @@ impl ThreadManager {
             // cause spurious dooms from here on.
             self.commit_log
                 .unregister_reader(outcome.buffers.global.read_addresses(), child);
-            outcome.stats.add(Phase::Validation, elapsed_ns(started));
+            let validate_ns = elapsed_ns(started);
+            outcome.stats.add(Phase::Validation, validate_ns);
+            self.recorder
+                .latency()
+                .record(LatencyPhase::Validation, validate_ns);
+            self.trace_event(
+                child,
+                site,
+                EventKind::ValidateEnd {
+                    outcome: ValidateOutcome::Failed,
+                },
+            );
+            self.trace_event(
+                child,
+                site,
+                EventKind::Rollback {
+                    reason: rollback_cause(reason),
+                    plan: PlanArm::None,
+                },
+            );
             return Err(reason);
         }
 
@@ -814,7 +941,30 @@ impl ThreadManager {
                     .global
                     .validate_view(|addr| overlay_view(parent, addr)),
             };
-        outcome.stats.add(Phase::Validation, elapsed_ns(started));
+        let validate_ns = elapsed_ns(started);
+        outcome.stats.add(Phase::Validation, validate_ns);
+        self.recorder
+            .latency()
+            .record(LatencyPhase::Validation, validate_ns);
+        if retried {
+            // The in-place re-stamp is the whole repair for this arm.
+            self.recorder
+                .latency()
+                .record(LatencyPhase::RepairRetry, validate_ns);
+        }
+        self.trace_event(
+            child,
+            site,
+            EventKind::ValidateEnd {
+                outcome: if !valid {
+                    ValidateOutcome::Conflict
+                } else if retried {
+                    ValidateOutcome::Retried
+                } else {
+                    ValidateOutcome::Clean
+                },
+            },
+        );
         if !valid {
             if self.grain.is_some() {
                 // Per-region conflict attribution — the grain
@@ -859,15 +1009,35 @@ impl ThreadManager {
             // Recovery rungs 2/3 — the re-execution will rewrite the
             // child's write ranges; doom their registered readers now
             // instead of letting them burn their whole conflict window.
-            match self.plan_rollback_recovery(child, outcome) {
+            let plan_arm = match self.plan_rollback_recovery(child, outcome) {
                 RecoveryPlan::Retry => unreachable!("retry handled above"),
                 RecoveryPlan::DoomSet(ranks) => {
-                    outcome.stats.counters.targeted_dooms += self.doom_ranks(&ranks);
+                    let doomed = self.doom_ranks(&ranks);
+                    outcome.stats.counters.targeted_dooms += doomed;
+                    if doomed > 0 {
+                        self.trace_event(
+                            child,
+                            site,
+                            EventKind::Doom {
+                                source: DoomSource::Rollback,
+                            },
+                        );
+                    }
+                    PlanArm::DoomSet
                 }
                 RecoveryPlan::SquashCascade => {
                     outcome.stats.counters.cascade_fallbacks += 1;
+                    PlanArm::Cascade
                 }
-            }
+            };
+            self.trace_event(
+                child,
+                site,
+                EventKind::Rollback {
+                    reason: RollbackCause::Conflict,
+                    plan: plan_arm,
+                },
+            );
             return Err(SpecFailure::ReadConflict);
         }
 
@@ -876,6 +1046,14 @@ impl ThreadManager {
         if self.draw_injected_rollback() {
             self.commit_log
                 .unregister_reader(outcome.buffers.global.read_addresses(), child);
+            self.trace_event(
+                child,
+                site,
+                EventKind::Rollback {
+                    reason: RollbackCause::Injected,
+                    plan: PlanArm::None,
+                },
+            );
             return Err(SpecFailure::Injected);
         }
 
@@ -893,10 +1071,25 @@ impl ThreadManager {
                     .unregister_reader(outcome.buffers.global.read_addresses(), child);
                 outcome.buffers.global.commit(mem);
                 if outcome.buffers.global.write_set_len() > 0 {
+                    let lock_started = Instant::now();
                     self.commit_log
                         .record(outcome.buffers.global.write_addresses());
-                    outcome.stats.counters.targeted_dooms +=
-                        self.doom_readers(outcome.buffers.global.write_addresses(), child);
+                    let lock_ns = elapsed_ns(lock_started);
+                    self.recorder
+                        .latency()
+                        .record(LatencyPhase::CommitLockWait, lock_ns);
+                    self.trace_event(child, site, EventKind::CommitLockWait { ns: lock_ns });
+                    let doomed = self.doom_readers(outcome.buffers.global.write_addresses(), child);
+                    outcome.stats.counters.targeted_dooms += doomed;
+                    if doomed > 0 {
+                        self.trace_event(
+                            child,
+                            site,
+                            EventKind::Doom {
+                                source: DoomSource::Commit,
+                            },
+                        );
+                    }
                 }
                 Ok(())
             }
@@ -927,6 +1120,25 @@ impl ThreadManager {
             }
         };
         outcome.stats.add(Phase::Commit, elapsed_ns(commit_started));
+        if commit_result.is_ok() {
+            self.trace_event(child, site, EventKind::Commit);
+            if child != 0 {
+                let forked = self.slots[child - 1].forked_ns.load(Ordering::Relaxed);
+                self.recorder.latency().record(
+                    LatencyPhase::ForkToCommit,
+                    self.trace_now_ns().saturating_sub(forked),
+                );
+            }
+        } else {
+            self.trace_event(
+                child,
+                site,
+                EventKind::Rollback {
+                    reason: RollbackCause::Overflow,
+                    plan: PlanArm::None,
+                },
+            );
+        }
         match commit_result {
             Ok(()) if retried => {
                 outcome.stats.counters.retries_succeeded += 1;
@@ -1010,6 +1222,7 @@ impl ThreadManager {
             controller.lock().reset();
         }
         self.grain_events.store(0, Ordering::Relaxed);
+        self.recorder.reset();
     }
 
     /// Take a snapshot of the per-run accumulators: speculative-path
@@ -1046,6 +1259,18 @@ impl ThreadManager {
 
 fn elapsed_ns(since: Instant) -> u64 {
     since.elapsed().as_nanos() as u64
+}
+
+/// Map the runtime's failure vocabulary onto the recorder's export enum.
+pub(crate) fn rollback_cause(reason: SpecFailure) -> RollbackCause {
+    match reason {
+        SpecFailure::ReadConflict | SpecFailure::LocalValidationFailed => RollbackCause::Conflict,
+        SpecFailure::BufferOverflow | SpecFailure::LocalBufferOverflow => RollbackCause::Overflow,
+        SpecFailure::Injected => RollbackCause::Injected,
+        SpecFailure::UnregisteredAddress | SpecFailure::Cascaded | SpecFailure::NoSync => {
+            RollbackCause::Other
+        }
+    }
 }
 
 /// Worker loop executed by each virtual CPU's OS thread.

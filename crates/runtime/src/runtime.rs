@@ -138,8 +138,23 @@ impl Runtime {
             sites: self.mgr.governor().snapshot(),
             commit_log: self.mgr.commit_log().stats(),
             region_grains: self.mgr.commit_log().grain_census(),
+            latency: self.mgr.recorder().latency_report(),
         };
         (result, report)
+    }
+
+    /// Drain the flight recorder's buffered lifecycle events (merged
+    /// across all lanes, ordered by timestamp).  Empty unless
+    /// [`RuntimeConfig::trace`] enabled event tracing.  Call between
+    /// runs — the recorder requires quiescence to drain.
+    pub fn drain_trace_events(&self) -> Vec<mutls_trace::TraceEvent> {
+        self.mgr.recorder().drain_events()
+    }
+
+    /// Events overwritten in the recorder's rings before they could be
+    /// drained (ring-capacity pressure).
+    pub fn trace_dropped(&self) -> u64 {
+        self.mgr.recorder().dropped()
     }
 }
 

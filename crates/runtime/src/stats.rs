@@ -15,7 +15,8 @@ use std::fmt::Write as _;
 
 use mutls_adaptive::SiteProfile;
 use mutls_membuf::{CommitLogStats, RollbackReason};
-use serde::Serialize;
+use mutls_trace::LatencyReport;
+use serde::{Deserialize, JsonValue, Serialize};
 
 /// Execution-time category, matching the paper's breakdown figures 8 and 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -87,8 +88,18 @@ impl Serialize for Phase {
     }
 }
 
+impl Deserialize for Phase {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        let label = String::deserialize(value)?;
+        Phase::ALL
+            .into_iter()
+            .find(|p| p.label() == label)
+            .ok_or_else(|| format!("unknown phase label `{label}`"))
+    }
+}
+
 /// Event counters of one thread.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreadCounters {
     /// Speculative threads forked by this thread.
     pub forks: u64,
@@ -134,7 +145,7 @@ impl ThreadCounters {
 }
 
 /// Per-thread accumulated statistics.
-#[derive(Debug, Default, Clone, PartialEq, Serialize)]
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThreadStats {
     /// Time per phase (only phases actually touched are present; the
     /// BTreeMap keeps serialization order deterministic).
@@ -217,7 +228,7 @@ impl ThreadStats {
 /// Serializes deterministically (`serde::Serialize`): two runs with the
 /// same seed and configuration on the simulator produce byte-identical
 /// JSON, which the determinism tests assert.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Statistics of the non-speculative thread (the critical path).
     pub critical: ThreadStats,
@@ -252,6 +263,12 @@ pub struct RunReport {
     /// grain — what the adaptive-grain controller converged to (a single
     /// entry at the configured grain when the controller is disabled).
     pub region_grains: Vec<(u32, u64)>,
+    /// Per-phase latency quantiles (p50/p99/p999 per log2-bucket
+    /// histogram): fork-to-commit, validation, commit-lock wait and the
+    /// rollback-repair arms.  Nanoseconds native, virtual cycles
+    /// simulated.  Always populated — the histograms stay on even with
+    /// event tracing disabled.
+    pub latency: LatencyReport,
 }
 
 impl RunReport {
@@ -502,5 +519,70 @@ mod tests {
         assert_eq!(first, ser(&report.clone()), "serialization is stable");
         assert!(first.contains("\"committed_threads\":3"));
         assert!(first.contains("\"work\""), "phases serialize by label");
+    }
+
+    #[test]
+    fn phase_deserializes_from_its_label() {
+        for phase in Phase::ALL {
+            let mut json = String::new();
+            phase.serialize_json(&mut json);
+            assert_eq!(serde_json::from_str::<Phase>(&json).unwrap(), phase);
+        }
+        assert!(serde_json::from_str::<Phase>("\"nonsense\"").is_err());
+    }
+
+    #[test]
+    fn run_report_round_trips_through_json() {
+        let recorder = mutls_trace::LatencyRecorder::new();
+        recorder.record(mutls_trace::LatencyPhase::ForkToCommit, 4096);
+        recorder.record(mutls_trace::LatencyPhase::Validation, 100);
+        recorder.record(mutls_trace::LatencyPhase::Validation, 90);
+        let mut report = RunReport {
+            committed_threads: 5,
+            rolled_back_threads: 2,
+            retried_threads: 1,
+            runtime: 123_456,
+            sites: vec![SiteProfile {
+                site: 7,
+                forks: 9,
+                rollback_rate: 0.25,
+                grain_log2: 4,
+                ..SiteProfile::default()
+            }],
+            commit_log: CommitLogStats {
+                commits: 11,
+                stamp_writes: 40,
+                regrains: 2,
+                reader_spills: 3,
+                grain_log2: 3,
+                shards: 8,
+                ..CommitLogStats::default()
+            },
+            region_grains: vec![(3, 12), (6, 2)],
+            latency: recorder.report(),
+            ..RunReport::default()
+        };
+        report.critical.add(Phase::Work, 90);
+        report.critical.add(Phase::Join, 4);
+        report.critical.counters.forks = 5;
+        report.speculative.add(Phase::Validation, 7);
+        report
+            .speculative
+            .counters
+            .record_rollback(RollbackReason::Conflict);
+        report.rollback_reasons[RollbackReason::Conflict.index()] = 2;
+
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.latency.total_samples(), 3);
+        assert_eq!(
+            back.latency
+                .row(mutls_trace::LatencyPhase::Validation)
+                .unwrap()
+                .count,
+            2
+        );
+        assert_eq!(back.critical.get(Phase::Work), 90);
     }
 }

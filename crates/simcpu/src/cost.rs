@@ -176,8 +176,10 @@ mod tests {
 
     #[test]
     fn validation_charges_the_commit_log_probe() {
-        let mut cheap = CostModel::default();
-        cheap.validate_log_lookup = 0;
+        let cheap = CostModel {
+            validate_log_lookup: 0,
+            ..CostModel::default()
+        };
         let mut probed = cheap;
         probed.validate_log_lookup = 3;
         assert_eq!(

@@ -224,6 +224,78 @@ mod tests {
     }
 
     #[test]
+    fn trace_event_stream_is_deterministic_and_causal() {
+        use mutls_trace::EventKind;
+        use serde::Serialize;
+
+        let rec = chain_recording(16, 20_000);
+        let config = || {
+            SimConfig::with_cpus(4)
+                .rollback_probability(0.25)
+                .trace(true)
+        };
+        let a = simulate(&rec, config());
+        let b = simulate(&rec, config());
+        assert!(!a.events.is_empty(), "tracing on records events");
+
+        // Byte-identical streams across two identical runs: the flight
+        // recorder must never leak host state or hash order into the
+        // deterministic replay.
+        let json = |events: &[mutls_trace::TraceEvent]| {
+            let mut out = String::new();
+            for event in events {
+                event.serialize_json(&mut out);
+                out.push('\n');
+            }
+            out
+        };
+        assert_eq!(json(&a.events), json(&b.events));
+
+        // The causal chain is present: forks start threads, validations
+        // bracket joins, and the injected rollbacks surface as events.
+        let count =
+            |pred: fn(&EventKind) -> bool| a.events.iter().filter(|e| pred(&e.kind)).count();
+        assert!(count(|k| matches!(k, EventKind::SpecStart { .. })) > 0);
+        assert!(count(|k| matches!(k, EventKind::Commit)) > 0);
+        assert!(count(|k| matches!(k, EventKind::Rollback { .. })) > 0);
+        assert_eq!(
+            count(|k| matches!(k, EventKind::ValidateBegin { .. })),
+            count(|k| matches!(k, EventKind::ValidateEnd { .. })),
+        );
+        // Timestamps are monotone within each lane (virtual time).
+        for rank in a
+            .events
+            .iter()
+            .map(|e| e.rank)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            let lane: Vec<u64> = a
+                .events
+                .iter()
+                .filter(|e| e.rank == rank)
+                .map(|e| e.ts)
+                .collect();
+            assert!(
+                lane.windows(2).all(|w| w[0] <= w[1]),
+                "lane {rank} monotone"
+            );
+        }
+
+        // The histograms are always on — even an untraced run reports
+        // validation latency — while the event stream stays empty.
+        let untraced = simulate(&rec, SimConfig::with_cpus(4));
+        assert!(untraced.events.is_empty());
+        let validation = untraced
+            .report
+            .latency
+            .phases
+            .iter()
+            .find(|row| row.phase == "validation")
+            .expect("validation row");
+        assert!(validation.count > 0);
+    }
+
+    #[test]
     fn report_phases_cover_runtime() {
         let rec = tree_recording(5, 10_000);
         let result = simulate(&rec, SimConfig::with_cpus(8));

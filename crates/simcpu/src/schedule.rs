@@ -37,6 +37,10 @@ use mutls_membuf::{
     SpecFailure, WORD_GRAIN_LOG2,
 };
 use mutls_runtime::{ForkModel, Phase, RecoveryConfig, RecoveryMode, RunReport, ThreadStats};
+use mutls_trace::{
+    DenyPolicy, DoomSource, EventKind, LatencyPhase, LatencyRecorder, PlanArm, RollbackCause,
+    TraceEvent, ValidateOutcome,
+};
 
 use crate::cost::CostModel;
 use crate::record::{NodeId, Recording, SimEvent};
@@ -89,6 +93,11 @@ pub struct SimConfig {
     /// `CostModel::doom_signal` per conservatively doomed reader, so the
     /// replay prices regrains exactly and reproducibly.
     pub grain_control: GrainControlConfig,
+    /// Record lifecycle [`TraceEvent`]s in **virtual time** into
+    /// [`SimResult::events`].  Deterministic: two runs with the same
+    /// recording and config produce byte-identical event streams.  The
+    /// phase-latency histograms behind `RunReport.latency` are always on.
+    pub trace: bool,
 }
 
 impl Default for SimConfig {
@@ -105,6 +114,7 @@ impl Default for SimConfig {
                 .shards(1),
             recovery: RecoveryConfig::default(),
             grain_control: GrainControlConfig::default(),
+            trace: false,
         }
     }
 }
@@ -159,6 +169,12 @@ impl SimConfig {
         self.grain_control = grain_control;
         self
     }
+
+    /// Enable virtual-time lifecycle event tracing (builder style).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
 }
 
 /// Result of one simulation.
@@ -173,6 +189,9 @@ pub struct SimResult {
     pub parallel_cycles: u64,
     /// Number of tasks in the trace.
     pub tasks: usize,
+    /// Lifecycle events in virtual time, in emission order (empty unless
+    /// [`SimConfig::trace`] is on).  Deterministic across identical runs.
+    pub events: Vec<TraceEvent>,
 }
 
 impl SimResult {
@@ -334,6 +353,10 @@ pub struct Scheduler<'a> {
     sim_commits: u64,
     sim_stamps: u64,
     sim_regrains: u64,
+    /// Lifecycle events in virtual time (only filled when tracing is on).
+    events: Vec<TraceEvent>,
+    /// Always-on phase-latency histograms (virtual cycles as "ns").
+    latency: LatencyRecorder,
 }
 
 impl<'a> Scheduler<'a> {
@@ -376,7 +399,25 @@ impl<'a> Scheduler<'a> {
             sim_commits: 0,
             sim_stamps: 0,
             sim_regrains: 0,
+            events: Vec::new(),
+            latency: LatencyRecorder::new(),
         }
+    }
+
+    /// Record one lifecycle event in virtual time.  The epoch stamp is the
+    /// simulated commit count — the same causal clock the native recorder
+    /// reads off the commit log.
+    fn emit(&mut self, rank: u32, site: u32, ts: u64, kind: EventKind) {
+        if !self.config.trace {
+            return;
+        }
+        self.events.push(TraceEvent {
+            ts,
+            rank,
+            site,
+            epoch: self.sim_commits,
+            kind,
+        });
     }
 
     /// The live grain of `region`: the per-region map, falling back to
@@ -463,16 +504,21 @@ impl<'a> Scheduler<'a> {
                 stamp_writes: self.sim_stamps,
                 lock_ns: 0,
                 regrains: self.sim_regrains,
+                // The simulator models reader tracking abstractly and
+                // never spills past the bitmask window.
+                reader_spills: 0,
                 grain_log2: self.config.commit_log.grain_log2,
                 shards: self.config.commit_log.shards,
             },
             region_grains: census.into_iter().collect(),
+            latency: self.latency.report(),
         };
         SimResult {
             report,
             sequential_cycles: Self::sequential_cycles(self.recording, &self.config.cost),
             parallel_cycles: runtime,
             tasks: self.recording.task_count(),
+            events: self.events,
         }
     }
 
@@ -578,6 +624,16 @@ impl<'a> Scheduler<'a> {
         let mut cost = self.config.cost.doom_cycles(newly_doomed.len() as u64);
         if !newly_doomed.is_empty() {
             self.fibers[writer].stats.counters.targeted_dooms += newly_doomed.len() as u64;
+            let writer_rank = self.fibers[writer].cpu as u32;
+            let writer_site = self.fibers[writer].site;
+            self.emit(
+                writer_rank,
+                writer_site,
+                time,
+                EventKind::Doom {
+                    source: DoomSource::Commit,
+                },
+            );
             for fid in newly_doomed {
                 self.request_stop(fid, time);
             }
@@ -629,19 +685,35 @@ impl<'a> Scheduler<'a> {
         if actions.is_empty() {
             return 0;
         }
+        // Control-plane events use the lane past the last CPU, like the
+        // native recorder's dedicated grain-controller lane.
+        let control_lane = (self.config.num_cpus + 1) as u32;
+        let action_count = actions.len() as u32;
         let slots_per_region = 1u64 << (self.region_log2 - floor);
         let mut cost = 0;
         let mut doomed = 0u64;
         for action in actions {
+            let from = self.grain_of_region(action.region);
             self.region_grain
                 .insert(action.region, action.new_grain_log2);
             self.sim_regrains += 1;
             cost += self.config.cost.regrain_cycles(slots_per_region);
+            self.emit(
+                control_lane,
+                0,
+                time,
+                EventKind::Regrain {
+                    region: action.region,
+                    from,
+                    to: action.new_grain_log2,
+                },
+            );
             // The native regrain stamps the whole region and dooms its
             // registered readers; mirror it by dooming every in-flight
             // speculative fiber with a read in the region.  The doom is
             // range-induced (no word was actually written), so value
             // prediction clears it at the join.
+            let mut doomed_here = 0u64;
             for fiber in self.fibers.iter_mut() {
                 if !fiber.speculative
                     || fiber.retired
@@ -658,10 +730,29 @@ impl<'a> Scheduler<'a> {
                     fiber.doomed = Some(SpecFailure::ReadConflict);
                     fiber.doomed_false_sharing = true;
                     fiber.conflict_region = Some(action.region);
-                    doomed += 1;
+                    doomed_here += 1;
                 }
             }
+            doomed += doomed_here;
+            if doomed_here > 0 {
+                self.emit(
+                    control_lane,
+                    0,
+                    time,
+                    EventKind::Doom {
+                        source: DoomSource::Regrain,
+                    },
+                );
+            }
         }
+        self.emit(
+            control_lane,
+            0,
+            time,
+            EventKind::GrainTick {
+                actions: action_count,
+            },
+        );
         cost + self.config.cost.doom_cycles(doomed)
     }
 
@@ -900,12 +991,23 @@ impl<'a> Scheduler<'a> {
     }
 
     fn process_fork(&mut self, fid: usize, child: NodeId, recorded_model: ForkModel, point: u32) {
+        let forker_rank = self.fibers[fid].cpu as u32;
+        let now = self.fibers[fid].time;
+        self.emit(forker_rank, point, now, EventKind::ForkAttempt);
         // Mirror the native recovery engine: a speculative fiber
         // executing a rollback-inherited frame may not re-speculate (its
         // children would read underneath the uncommitted overlay); the
         // re-execution stays inline.
         if self.fibers[fid].speculative && self.fibers[fid].frames.iter().any(|f| f.reexec) {
             self.fibers[fid].stats.counters.failed_forks += 1;
+            self.emit(
+                forker_rank,
+                point,
+                now,
+                EventKind::ForkDenied {
+                    policy: DenyPolicy::Reexec,
+                },
+            );
             return;
         }
         let requested = self.config.fork_model.unwrap_or(recorded_model);
@@ -915,9 +1017,31 @@ impl<'a> Scheduler<'a> {
         // denial is decided before any fork overhead is spent, exactly as
         // in the native runtime.
         let model = match self.governor.decide(point, requested) {
-            ForkDecision::Allow(model) => model,
+            ForkDecision::Allow(model) => {
+                self.emit(
+                    forker_rank,
+                    point,
+                    now,
+                    EventKind::GovernorDecision { allowed: true },
+                );
+                model
+            }
             ForkDecision::Deny => {
                 self.fibers[fid].stats.counters.throttled_forks += 1;
+                self.emit(
+                    forker_rank,
+                    point,
+                    now,
+                    EventKind::GovernorDecision { allowed: false },
+                );
+                self.emit(
+                    forker_rank,
+                    point,
+                    now,
+                    EventKind::ForkDenied {
+                        policy: DenyPolicy::Governor,
+                    },
+                );
                 return;
             }
         };
@@ -928,10 +1052,28 @@ impl<'a> Scheduler<'a> {
 
         if !self.fork_allowed(fid, model) {
             self.fibers[fid].stats.counters.failed_forks += 1;
+            let now = self.fibers[fid].time;
+            self.emit(
+                forker_rank,
+                point,
+                now,
+                EventKind::ForkDenied {
+                    policy: DenyPolicy::Model,
+                },
+            );
             return;
         }
         let Some(cpu) = self.acquire_cpu() else {
             self.fibers[fid].stats.counters.failed_forks += 1;
+            let now = self.fibers[fid].time;
+            self.emit(
+                forker_rank,
+                point,
+                now,
+                EventKind::ForkDenied {
+                    policy: DenyPolicy::NoCpu,
+                },
+            );
             return;
         };
         self.fibers[fid].time += cost.fork;
@@ -940,6 +1082,14 @@ impl<'a> Scheduler<'a> {
 
         let start = self.fibers[fid].time + cost.spawn_latency;
         let child_fiber = self.spawn_fiber(child, true, cpu, start, point, model);
+        self.emit(
+            cpu as u32,
+            point,
+            start,
+            EventKind::SpecStart {
+                parent: forker_rank,
+            },
+        );
         self.governor.record_fork(point, model);
         self.fibers[fid].child_fibers.insert(child, child_fiber);
         self.most_speculative = Some(child_fiber);
@@ -992,10 +1142,21 @@ impl<'a> Scheduler<'a> {
         let read_words = self.fibers[cf].reads.len() as u64;
         let read_ranges = self.fibers[cf].read_ranges.len() as u64;
         let write_words = self.fibers[cf].writes.len() as u64;
+        let child_rank = self.fibers[cf].cpu as u32;
+        let child_site = self.fibers[cf].site;
+        self.emit(
+            child_rank,
+            child_site,
+            now,
+            EventKind::ValidateBegin {
+                ranges: read_ranges as u32,
+            },
+        );
         let validation = cost.validation_cycles_grained(read_words, read_ranges);
         self.fibers[cf].stats.add(Phase::Validation, validation);
         self.fibers[fid].stats.add(Phase::Idle, validation);
         now += validation;
+        self.latency.record(LatencyPhase::Validation, validation);
 
         let injected = self.draw_injected();
         let verdict: Result<(), SpecFailure> = if let Some(reason) = self.fibers[cf].doomed {
@@ -1012,6 +1173,7 @@ impl<'a> Scheduler<'a> {
                 self.fibers[cf].stats.add(Phase::Validation, retry);
                 self.fibers[fid].stats.add(Phase::Idle, retry);
                 now += retry;
+                self.latency.record(LatencyPhase::RepairRetry, retry);
                 self.fibers[cf].stats.counters.retries_succeeded += 1;
                 self.fibers[cf].retried = true;
                 self.fibers[cf].doomed = None;
@@ -1031,6 +1193,21 @@ impl<'a> Scheduler<'a> {
         } else {
             Ok(())
         };
+
+        let outcome = match &verdict {
+            Ok(()) if self.fibers[cf].retried => ValidateOutcome::Retried,
+            Ok(()) => ValidateOutcome::Clean,
+            Err(SpecFailure::ReadConflict) | Err(SpecFailure::LocalValidationFailed) => {
+                ValidateOutcome::Conflict
+            }
+            Err(_) => ValidateOutcome::Failed,
+        };
+        self.emit(
+            child_rank,
+            child_site,
+            now,
+            EventKind::ValidateEnd { outcome },
+        );
 
         let finalize = cost.finalize_cycles(read_words + write_words);
         let mut blocked = false;
@@ -1054,8 +1231,17 @@ impl<'a> Scheduler<'a> {
                     );
                     shards.len() as u64
                 };
-                let commit =
-                    cost.commit_cycles(write_words) + cost.commit_lock_cycles(shards_touched);
+                let lock_wait = cost.commit_lock_cycles(shards_touched);
+                if shards_touched > 0 {
+                    self.latency.record(LatencyPhase::CommitLockWait, lock_wait);
+                    self.emit(
+                        child_rank,
+                        child_site,
+                        now,
+                        EventKind::CommitLockWait { ns: lock_wait },
+                    );
+                }
+                let commit = cost.commit_cycles(write_words) + lock_wait;
                 self.fibers[cf].stats.add(Phase::Commit, commit);
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, commit + finalize);
@@ -1079,6 +1265,11 @@ impl<'a> Scheduler<'a> {
                 } else {
                     now += self.publish(&child_writes, now, cf);
                 }
+                self.emit(child_rank, child_site, now, EventKind::Commit);
+                self.latency.record(
+                    LatencyPhase::ForkToCommit,
+                    now.saturating_sub(self.fibers[cf].start_time),
+                );
                 self.fibers[fid].stats.counters.commits += 1;
                 self.committed += 1;
 
@@ -1141,6 +1332,35 @@ impl<'a> Scheduler<'a> {
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, finalize);
                 now += finalize;
+                let targeted = self.config.recovery.mode == RecoveryMode::Targeted;
+                let plan = if reason == SpecFailure::ReadConflict {
+                    if targeted {
+                        PlanArm::DoomSet
+                    } else {
+                        PlanArm::Cascade
+                    }
+                } else {
+                    PlanArm::None
+                };
+                // The join-side repair work is the buffer discard plus the
+                // re-execution frame push, both priced by `finalize`.
+                self.latency.record(
+                    if targeted {
+                        LatencyPhase::RepairDoomSet
+                    } else {
+                        LatencyPhase::RepairCascade
+                    },
+                    finalize,
+                );
+                self.emit(
+                    child_rank,
+                    child_site,
+                    now,
+                    EventKind::Rollback {
+                        reason: rollback_cause(reason),
+                        plan,
+                    },
+                );
                 self.fibers[fid]
                     .stats
                     .counters
@@ -1262,6 +1482,19 @@ impl<'a> Scheduler<'a> {
             true
         } else {
             self.rng.gen_bool(p)
+        }
+    }
+}
+
+/// Map a simulated failure onto the trace vocabulary (same mapping the
+/// native runtime uses).
+fn rollback_cause(reason: SpecFailure) -> RollbackCause {
+    match reason {
+        SpecFailure::ReadConflict | SpecFailure::LocalValidationFailed => RollbackCause::Conflict,
+        SpecFailure::BufferOverflow | SpecFailure::LocalBufferOverflow => RollbackCause::Overflow,
+        SpecFailure::Injected => RollbackCause::Injected,
+        SpecFailure::UnregisteredAddress | SpecFailure::Cascaded | SpecFailure::NoSync => {
+            RollbackCause::Other
         }
     }
 }

@@ -1,0 +1,182 @@
+//! Chrome trace-event JSON export (the `traceEvents` array format),
+//! loadable in Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`.
+//!
+//! Each traced run becomes one *process* (`pid`), each thread rank one
+//! *track* (`tid`).  `ValidateBegin`/`ValidateEnd` pairs are emitted as
+//! duration (`"B"`/`"E"`) events so validation shows up as spans; every
+//! other lifecycle event is an instant (`"i"`, thread-scoped).  Timestamps
+//! are microseconds with nanosecond precision kept in the fractional part.
+
+use serde::Serialize;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// One traced run: a labelled, ordered event stream plus its drop count.
+#[derive(Debug, Clone)]
+pub struct TraceRun {
+    /// Display label (becomes the Perfetto process name).
+    pub label: String,
+    /// Events in timestamp order.
+    pub events: Vec<TraceEvent>,
+    /// Events the rings overwrote before they were drained.
+    pub dropped: u64,
+}
+
+/// Append `ts` nanoseconds as a microsecond timestamp with three decimals.
+fn push_ts(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1000, ns % 1000));
+}
+
+fn push_common(out: &mut String, pid: usize, ev: &TraceEvent) {
+    out.push_str(",\"ts\":");
+    push_ts(out, ev.ts);
+    out.push_str(&format!(",\"pid\":{},\"tid\":{}", pid, ev.rank));
+}
+
+fn push_args(out: &mut String, ev: &TraceEvent) {
+    out.push_str(",\"args\":{");
+    out.push_str(&format!("\"site\":{},\"epoch\":{}", ev.site, ev.epoch));
+    let mut first = false;
+    ev.kind.write_payload(out, &mut first);
+    out.push('}');
+}
+
+/// Render `runs` as a complete Chrome trace-event JSON document.
+pub fn chrome_trace_json(runs: &[TraceRun]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&body);
+    };
+    for (pid, run) in runs.iter().enumerate() {
+        // Process metadata: name the run.
+        let mut name = String::new();
+        run.label.serialize_json(&mut name);
+        push_event(
+            &mut out,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":{name}}}}}"
+            ),
+        );
+        if run.dropped > 0 {
+            // Surface the drop count where a human will see it.
+            push_event(
+                &mut out,
+                format!(
+                    "{{\"name\":\"dropped_events\",\"ph\":\"i\",\"s\":\"p\",\"ts\":0.000,\
+                     \"pid\":{pid},\"tid\":0,\"args\":{{\"count\":{}}}}}",
+                    run.dropped
+                ),
+            );
+        }
+        for ev in &run.events {
+            let mut body = String::new();
+            match ev.kind {
+                EventKind::ValidateBegin { .. } => {
+                    body.push_str("{\"name\":\"Validate\",\"ph\":\"B\"");
+                    push_common(&mut body, pid, ev);
+                    push_args(&mut body, ev);
+                    body.push('}');
+                }
+                EventKind::ValidateEnd { .. } => {
+                    body.push_str("{\"name\":\"Validate\",\"ph\":\"E\"");
+                    push_common(&mut body, pid, ev);
+                    push_args(&mut body, ev);
+                    body.push('}');
+                }
+                _ => {
+                    body.push_str(&format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\"",
+                        ev.kind.name()
+                    ));
+                    push_common(&mut body, pid, ev);
+                    push_args(&mut body, ev);
+                    body.push('}');
+                }
+            }
+            push_event(&mut out, body);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ValidateOutcome;
+    use serde::JsonValue;
+
+    fn ev(ts: u64, rank: u32, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts,
+            rank,
+            site: 1,
+            epoch: 2,
+            kind,
+        }
+    }
+
+    #[test]
+    fn export_parses_and_pairs_validate_spans() {
+        let runs = [TraceRun {
+            label: "conflict cpus=4".to_string(),
+            events: vec![
+                ev(1000, 1, EventKind::ForkAttempt),
+                ev(2000, 2, EventKind::ValidateBegin { ranges: 3 }),
+                ev(
+                    2500,
+                    2,
+                    EventKind::ValidateEnd {
+                        outcome: ValidateOutcome::Clean,
+                    },
+                ),
+                ev(2600, 2, EventKind::Commit),
+            ],
+            dropped: 1,
+        }];
+        let json = chrome_trace_json(&runs);
+        let value = serde_json::parse(&json).expect("valid JSON");
+        let JsonValue::Obj(entries) = &value else {
+            panic!("top level must be an object");
+        };
+        let (_, events) = entries
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .expect("traceEvents key");
+        let JsonValue::Arr(events) = events else {
+            panic!("traceEvents must be an array");
+        };
+        // metadata + dropped marker + 4 events
+        assert_eq!(events.len(), 6);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.as_object())
+            .filter_map(|o| o.iter().find(|(k, _)| k == "ph"))
+            .filter_map(|(_, v)| match v {
+                JsonValue::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases, vec!["M", "i", "i", "B", "E", "i"]);
+        assert!(json.contains("\"ts\":2.500"), "ns precision kept: {json}");
+        assert!(json.contains("\"dropped_events\""));
+    }
+
+    #[test]
+    fn runs_map_to_distinct_pids() {
+        let run = |label: &str| TraceRun {
+            label: label.to_string(),
+            events: vec![ev(0, 0, EventKind::Commit)],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&[run("a"), run("b")]);
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains("\"pid\":1"));
+    }
+}

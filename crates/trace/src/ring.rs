@@ -1,0 +1,194 @@
+//! Bounded single-producer/single-consumer event ring with drop-oldest
+//! overflow semantics.
+//!
+//! Each speculative thread (rank) owns exactly one ring and is its only
+//! producer, so pushes are wait-free: one relaxed load pair, one slot
+//! write, one release store — no CAS, no locks.  When the ring is full the
+//! *oldest* undrained event is overwritten and a dropped-events counter is
+//! bumped, so a long run degrades to "most recent window" instead of
+//! stalling the speculation hot path.
+//!
+//! Draining is only safe at quiescence (no speculative thread running),
+//! which is when the harness collects traces anyway — between runs.  The
+//! recorder documents and enforces this by only exposing drains through
+//! end-of-run paths.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::TraceEvent;
+
+/// One rank's lock-free SPSC event ring.
+pub struct EventRing {
+    buf: Box<[UnsafeCell<TraceEvent>]>,
+    /// Index of the oldest undrained event (monotone, wraps via `% cap`).
+    head: AtomicU64,
+    /// Index one past the newest event (monotone).
+    tail: AtomicU64,
+    /// Events overwritten before they were drained.
+    dropped: AtomicU64,
+}
+
+// SAFETY: the slot array is only written by the single producer thread
+// (push) and only read by a consumer at quiescence (drain), when no
+// producer is running; the head/tail indices are atomics.
+unsafe impl Sync for EventRing {}
+unsafe impl Send for EventRing {}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventRing {
+            buf: (0..cap)
+                .map(|_| UnsafeCell::new(TraceEvent::EMPTY))
+                .collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one event (single producer only).  Never blocks; on a full
+    /// ring the oldest event is overwritten and counted as dropped.
+    pub fn push(&self, ev: TraceEvent) {
+        let cap = self.buf.len() as u64;
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Relaxed);
+        if tail - head >= cap {
+            // Drop-oldest: advance head past the slot we are about to
+            // overwrite.  Only the producer moves head while running (the
+            // consumer only drains at quiescence), so a plain store works.
+            self.head.store(head + 1, Ordering::Relaxed);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: single producer; the consumer only reads at quiescence.
+        unsafe {
+            *self.buf[(tail % cap) as usize].get() = ev;
+        }
+        self.tail.store(tail + 1, Ordering::Release);
+    }
+
+    /// Number of undrained events.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        (tail - head) as usize
+    }
+
+    /// True when no undrained events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten before they could be drained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Take every buffered event in emission order.  **Quiescence only**:
+    /// the producer thread must not be pushing concurrently.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.buf.len() as u64;
+        let mut out = Vec::with_capacity((tail - head) as usize);
+        for i in head..tail {
+            // SAFETY: quiescent — no producer is writing these slots.
+            out.push(unsafe { *self.buf[(i % cap) as usize].get() });
+        }
+        self.head.store(tail, Ordering::Release);
+        out
+    }
+
+    /// Discard all buffered events and zero the dropped counter.
+    pub fn reset(&self) {
+        let tail = self.tail.load(Ordering::Acquire);
+        self.head.store(tail, Ordering::Release);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts,
+            ..TraceEvent::EMPTY
+        }
+    }
+
+    #[test]
+    fn push_then_drain_preserves_order() {
+        let ring = EventRing::new(8);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 5);
+        let drained = ring.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let ring = EventRing::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.dropped(), 6, "six oldest events were overwritten");
+        let drained = ring.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "the most recent window survives"
+        );
+    }
+
+    #[test]
+    fn drain_resets_for_reuse() {
+        let ring = EventRing::new(2);
+        ring.push(ev(1));
+        let _ = ring.drain();
+        ring.push(ev(2));
+        ring.push(ev(3));
+        assert_eq!(ring.dropped(), 0, "a drained ring has room again");
+        assert_eq!(ring.drain().len(), 2);
+    }
+
+    #[test]
+    fn reset_discards_and_clears_dropped() {
+        let ring = EventRing::new(2);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        assert!(ring.dropped() > 0);
+        ring.reset();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let ring = std::sync::Arc::new(EventRing::new(1024));
+        let producer = {
+            let ring = std::sync::Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..1000 {
+                    ring.push(ev(i));
+                }
+            })
+        };
+        producer.join().unwrap();
+        // Quiescent now: drain from this thread.
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 1000);
+        assert!(drained.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+}

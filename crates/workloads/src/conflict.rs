@@ -25,6 +25,7 @@ use std::sync::Arc;
 use mutls_membuf::{GPtr, GlobalMemory};
 use mutls_runtime::{
     task, DirectContext, RunReport, Runtime, RuntimeConfig, SpecContext, SpecResult, TlsContext,
+    TraceEvent,
 };
 
 /// Fork-site ID of the chain-continuation speculation.
@@ -468,11 +469,26 @@ fn native_run_of<Cfg: Copy, D: Copy + Send + Sync + 'static>(
     run_spec: fn(&mut SpecContext, D, Cfg) -> SpecResult<()>,
     result: fn(&GlobalMemory, &D, &Cfg) -> u64,
 ) -> (u64, RunReport) {
+    let (sum, report, _) = native_traced_run_of(config, runtime_config, setup, run_spec, result);
+    (sum, report)
+}
+
+/// Like [`native_run_of`] but also drains the runtime's flight recorder:
+/// the third element is the run's (events, dropped-count) capture, empty
+/// unless `runtime_config` enabled event tracing.
+fn native_traced_run_of<Cfg: Copy, D: Copy + Send + Sync + 'static>(
+    config: Cfg,
+    runtime_config: RuntimeConfig,
+    setup: fn(&GlobalMemory, &Cfg) -> D,
+    run_spec: fn(&mut SpecContext, D, Cfg) -> SpecResult<()>,
+    result: fn(&GlobalMemory, &D, &Cfg) -> u64,
+) -> (u64, RunReport, (Vec<TraceEvent>, u64)) {
     let runtime = Runtime::new(runtime_config.memory_bytes(ARENA_BYTES));
     let memory = runtime.memory();
     let data = setup(&memory, &config);
     let (_, report) = runtime.run(|ctx| run_spec(ctx, data, config));
-    (result(&memory, &data, &config), report)
+    let capture = (runtime.drain_trace_events(), runtime.trace_dropped());
+    (result(&memory, &data, &config), report, capture)
 }
 
 /// Sequential reference checksum of `conflict_chain` for `config`.
@@ -491,6 +507,21 @@ pub fn chain_reference(config: ChainConfig) -> u64 {
 /// (compare with [`chain_reference`]) and the run report.
 pub fn chain_native(config: ChainConfig, runtime_config: RuntimeConfig) -> (u64, RunReport) {
     native_run_of(
+        config,
+        runtime_config,
+        chain_setup,
+        chain_run::<SpecContext>,
+        chain_result,
+    )
+}
+
+/// Like [`chain_native`] but also returns the run's drained flight-recorder
+/// events and drop count (empty unless tracing was enabled).
+pub fn chain_native_traced(
+    config: ChainConfig,
+    runtime_config: RuntimeConfig,
+) -> (u64, RunReport, (Vec<TraceEvent>, u64)) {
+    native_traced_run_of(
         config,
         runtime_config,
         chain_setup,
@@ -519,6 +550,21 @@ pub fn hist_reference(config: HistConfig) -> u64 {
 /// (compare with [`hist_reference`]) and the run report.
 pub fn hist_native(config: HistConfig, runtime_config: RuntimeConfig) -> (u64, RunReport) {
     native_run_of(
+        config,
+        runtime_config,
+        hist_setup,
+        hist_run::<SpecContext>,
+        hist_result,
+    )
+}
+
+/// Like [`hist_native`] but also returns the run's drained flight-recorder
+/// events and drop count (empty unless tracing was enabled).
+pub fn hist_native_traced(
+    config: HistConfig,
+    runtime_config: RuntimeConfig,
+) -> (u64, RunReport, (Vec<TraceEvent>, u64)) {
+    native_traced_run_of(
         config,
         runtime_config,
         hist_setup,

@@ -222,9 +222,9 @@ mod tests {
             }
         }
         run(&mut DirectContext::new(Arc::clone(&memory)), data, config).unwrap();
-        for i in 0..n * n {
+        for (i, expect) in want.iter().enumerate() {
             assert!(
-                (memory.get(&data.c, i) - want[i]).abs() < 1e-9,
+                (memory.get(&data.c, i) - expect).abs() < 1e-9,
                 "C[{i}] mismatch"
             );
         }

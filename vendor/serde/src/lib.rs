@@ -198,6 +198,16 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        let items: Vec<T> = Vec::deserialize(value)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected {N}-element array, got {got}"))
+    }
+}
+
 impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
     fn serialize_json(&self, out: &mut String) {
         // Serialized as an array of `[key, value]` pairs so non-string
@@ -214,6 +224,14 @@ impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> 
             out.push(']');
         }
         out.push(']');
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(value: &JsonValue) -> Result<Self, String> {
+        // Mirrors the array-of-`[key, value]`-pairs encoding above.
+        let pairs: Vec<(K, V)> = Vec::deserialize(value)?;
+        Ok(pairs.into_iter().collect())
     }
 }
 
@@ -273,6 +291,26 @@ mod tests {
         let mut out = String::new();
         vec![("x".to_string(), 0.5f64)].serialize_json(&mut out);
         assert_eq!(out, r#"[["x",0.5]]"#);
+    }
+
+    #[test]
+    fn arrays_and_maps_round_trip() {
+        let arr = JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)]);
+        assert_eq!(<[u64; 2]>::deserialize(&arr).unwrap(), [1, 2]);
+        assert!(<[u64; 3]>::deserialize(&arr).unwrap_err().contains("3"));
+
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("b".to_string(), 2u64);
+        map.insert("a".to_string(), 1u64);
+        let mut out = String::new();
+        map.serialize_json(&mut out);
+        assert_eq!(out, r#"[["a",1],["b",2]]"#);
+        let parsed = JsonValue::Arr(vec![
+            JsonValue::Arr(vec![JsonValue::Str("a".into()), JsonValue::Num(1.0)]),
+            JsonValue::Arr(vec![JsonValue::Str("b".into()), JsonValue::Num(2.0)]),
+        ]);
+        let back = std::collections::BTreeMap::<String, u64>::deserialize(&parsed).unwrap();
+        assert_eq!(back, map);
     }
 
     #[test]

@@ -32,10 +32,17 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     T::deserialize(&value).map_err(Error)
 }
 
+/// Parse a JSON string into the raw [`JsonValue`] tree (for callers that
+/// want to inspect a document structurally rather than deserialize it
+/// into a known type — e.g. validating an exported trace file).
+pub fn parse(s: &str) -> Result<JsonValue, Error> {
+    parse_value(s)
+}
+
 fn parse_value(s: &str) -> Result<JsonValue, Error> {
     let bytes = s.as_bytes();
     let mut pos = 0;
-    let value = parse(bytes, &mut pos)?;
+    let value = parse_any(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(Error(format!("trailing data at byte {pos}")));
@@ -62,7 +69,7 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
     }
 }
 
-fn parse(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, Error> {
+fn parse_any(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, Error> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(Error("unexpected end of input".into())),
@@ -79,7 +86,7 @@ fn parse(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, Error> {
                 return Ok(JsonValue::Arr(items));
             }
             loop {
-                items.push(parse(bytes, pos)?);
+                items.push(parse_any(bytes, pos)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -109,7 +116,7 @@ fn parse(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, Error> {
                 let key = parse_string(bytes, pos)?;
                 skip_ws(bytes, pos);
                 expect(bytes, pos, b':')?;
-                let value = parse(bytes, pos)?;
+                let value = parse_any(bytes, pos)?;
                 entries.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -227,7 +234,7 @@ mod tests {
     #[test]
     fn roundtrip_scalars() {
         assert_eq!(from_str::<u64>("42").unwrap(), 42);
-        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert!(from_str::<bool>("true").unwrap());
         assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
         assert_eq!(to_string(&7u32).unwrap(), "7");
     }
