@@ -16,7 +16,9 @@
 //! is updated.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
 
 use mutls_membuf::RollbackReason;
 
@@ -311,10 +313,10 @@ impl SiteProfiler {
 
     fn cell(&self, site: SiteId) -> Arc<Mutex<SiteRecord>> {
         let shard = &self.shards[shard_of(site)];
-        if let Some(cell) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&site) {
+        if let Some(cell) = shard.read().get(&site) {
             return Arc::clone(cell);
         }
-        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        let mut map = shard.write();
         Arc::clone(map.entry(site).or_default())
     }
 
@@ -322,16 +324,13 @@ impl SiteProfiler {
     /// record on first touch.
     pub fn with_site<R>(&self, site: SiteId, f: impl FnOnce(&mut SiteRecord) -> R) -> R {
         let cell = self.cell(site);
-        let mut record = cell.lock().unwrap_or_else(|e| e.into_inner());
+        let mut record = cell.lock();
         f(&mut record)
     }
 
     /// Number of sites profiled so far.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
-            .sum()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when no site has been touched.
@@ -352,14 +351,14 @@ impl SiteProfiler {
         let mut rows: Vec<SiteProfile> = Vec::new();
         for shard in &self.shards {
             let cells: Vec<(SiteId, Arc<Mutex<SiteRecord>>)> = {
-                let map = shard.read().unwrap_or_else(|e| e.into_inner());
+                let map = shard.read();
                 map.iter()
                     .map(|(site, cell)| (*site, Arc::clone(cell)))
                     .collect()
             };
             // Shard lock released: lock each record individually.
             for (site, cell) in cells {
-                let record = cell.lock().unwrap_or_else(|e| e.into_inner());
+                let record = cell.lock();
                 rows.push(SiteProfile::from_record(site, &record));
             }
         }
@@ -370,7 +369,7 @@ impl SiteProfiler {
     /// Drop every record (start of a new run).
     pub fn reset(&self) {
         for shard in &self.shards {
-            shard.write().unwrap_or_else(|e| e.into_inner()).clear();
+            shard.write().clear();
         }
     }
 }

@@ -19,8 +19,8 @@ use std::process::ExitCode;
 use serde::Serialize;
 
 use mutls_harness::{
-    adaptive_sweep, conflict_sweep, figure10, figure11, figure3, figure4, figure5, figure6,
-    figure7, figure8, figure9, grain_sweep, graincontrol_replay, graincontrol_sweep,
+    adaptive_sweep, commitbench, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
+    figure6, figure7, figure8, figure9, grain_sweep, graincontrol_replay, graincontrol_sweep,
     overflow_sweep, recovery_replay, recovery_sweep, table2, trace_scenario, ExperimentConfig,
     TraceSink, BENCH_SCHEMA_VERSION,
 };
@@ -167,6 +167,11 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
             sink.push("trace", &rows);
             println!("{text}");
         }
+        "commitbench" => {
+            let (rows, text) = commitbench(config);
+            sink.push("commitbench", &rows);
+            println!("{text}");
+        }
         "all" => {
             for exp in [
                 "table2",
@@ -186,6 +191,7 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
                 "recovery",
                 "graincontrol",
                 "trace",
+                "commitbench",
             ] {
                 run_one(exp, config, sink)?;
             }
@@ -209,6 +215,8 @@ fn usage() {
          \x20 recovery        native recovery-engine sweep + deterministic replay\n\
          \x20 graincontrol    adaptive grain-control sweep + deterministic replay\n\
          \x20 trace           flight-recorder scenario: event census + latency tables\n\
+         \x20 commitbench     commit-path stress: locked vs lock-free scaling\n\
+         \x20                 (cap the thread sweep with COMMITBENCH_THREADS=N)\n\
          \x20 all             everything above\n\
          \n\
          options:\n\

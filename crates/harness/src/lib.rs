@@ -22,6 +22,7 @@
 //! | Recovery-engine sweep (this repo)       | [`recovery_sweep`] |
 //! | Adaptive grain-control sweep (this repo) | [`graincontrol_sweep`] |
 //! | Flight-recorder scenario (this repo)    | [`trace_scenario`] |
+//! | Commit-path stress, locked vs lock-free (this repo) | [`commitbench`] |
 //!
 //! `mutls-experiments --json <path>` additionally writes the sweep rows
 //! of the native experiments as machine-readable JSON (schema
@@ -47,13 +48,14 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    adaptive_sweep, breakdown, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
-    figure6, figure7, figure8, figure9, format_site_table, grain_label, grain_sweep,
-    graincontrol_replay, graincontrol_sweep, overflow_sweep, record_workload, recovery_replay,
-    recovery_sweep, recovery_sweep_modes, speedup_sweep, table2, trace_scenario, AdaptiveRow,
-    BreakdownRow, ExperimentConfig, GrainControlRow, GrainControlSimRow, GrainMode, GrainRow,
-    MetricKind, NativeRow, RecoveryRow, RecoverySimRow, SweepRow, TraceScenarioRow, TraceSink,
-    ADAPTIVE_ROLLBACK_PROBABILITY, BENCH_SCHEMA_VERSION, CONFLICT_SHARING_PERMILLE,
+    adaptive_sweep, breakdown, commitbench, commitbench_with, conflict_sweep, figure10, figure11,
+    figure3, figure4, figure5, figure6, figure7, figure8, figure9, format_site_table, grain_label,
+    grain_sweep, graincontrol_replay, graincontrol_sweep, overflow_sweep, record_workload,
+    recovery_replay, recovery_sweep, recovery_sweep_modes, speedup_sweep, table2, trace_scenario,
+    AdaptiveRow, BreakdownRow, CommitBenchRow, ExperimentConfig, GrainControlRow,
+    GrainControlSimRow, GrainMode, GrainRow, MetricKind, NativeRow, RecoveryRow, RecoverySimRow,
+    SweepRow, TraceScenarioRow, TraceSink, ADAPTIVE_ROLLBACK_PROBABILITY, BENCH_SCHEMA_VERSION,
+    COMMITBENCH_MIXES, COMMITBENCH_THREADS, COMMITBENCH_THREADS_ENV, CONFLICT_SHARING_PERMILLE,
     GRAINCONTROL_REPS, GRAINCONTROL_SHARING_PERMILLE, GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS,
     NATIVE_POLICIES, RECOVERY_SWEEP_GRAINS, RECOVERY_SWEEP_PERMILLE, RECOVERY_SWEEP_REPS,
     ROLLBACK_HEAVY,

@@ -67,54 +67,100 @@
 //! are never regrained), so the log also works standalone with arbitrary
 //! addresses.
 //!
+//! ## Lock-free commit path (the default)
+//!
+//! Since PR 7 the dense fast path publishes **without any lock**.  Per
+//! shard:
+//!
+//! * **Version reservation = epoch publish.**  A committer reserves its
+//!   version with one `SeqCst` `fetch_add` on the shard epoch.  The RMW
+//!   chain on the epoch word forms a release sequence, so a reader whose
+//!   [`snapshot`](CommitLog::snapshot) observes epoch `>= v`
+//!   synchronizes with committer `v`'s reservation — and the committer
+//!   wrote its data words to main memory *before* calling
+//!   [`record`](CommitLog::record) — hence the reader's subsequent data
+//!   loads see commit `v`'s values.  Contrapositive: a reader that read
+//!   *stale* data has a snapshot `< v`.
+//! * **CAS-published slots.**  Each touched range's dense slot is then
+//!   raised to `v` with a monotone `load → check → compare_exchange`
+//!   loop ([`stamp_writes`](CommitLogStats::stamp_writes) counts the
+//!   slots, [`cas_retries`](CommitLogStats::cas_retries) the loop
+//!   retries): if the slot already holds a version `>= v` a concurrent
+//!   later commit owns it and the stamp is free.  Committers stamping
+//!   **disjoint** ranges never contend; same-slot races cost a bounded
+//!   retry, never a wait.  Join-time validation reads the slot *after*
+//!   the relevant commit's `record` returned (the runtime's join
+//!   ordering), so the slot is `>= v` and any reader with a stale
+//!   snapshot `s < v` is flagged: missed conflicts stay structurally
+//!   impossible.
+//! * **Seqlock grain probing.**  Every dense region carries a sequence
+//!   word ([`CommitLog::regrain`] holds it *odd* while rebuilding the
+//!   region).  The fast path double-checks it around the stamp loop:
+//!   read the sequence (spin while odd), read the region's live grain,
+//!   CAS the slots, re-read the sequence — if it moved, a regrain raced
+//!   the stamps and the committer simply re-stamps at the now-current
+//!   grain.  Fast-path committers only *observe* the word; they never
+//!   take the slow-path lock.
+//!
+//! The sparse fallback map, the reader-registry spill sets, `regrain`
+//! and [`clear`](CommitLog::clear) stay under the per-shard slow-path
+//! lock (a striped `parking_lot` mutex) — they are the cold paths.
+//! [`CommitLogConfig::locked`] keeps the pre-PR 7 mutex protocol
+//! available for A/B comparison (the `commitbench` sweep): there the
+//! shard lock serializes committers, stamps precede the epoch publish,
+//! and the epoch is stored (not `fetch_add`ed) under the lock.
+//!
 //! ## Memory-ordering protocol (per shard)
 //!
 //! Soundness under concurrency relies on the order of operations, applied
 //! independently per shard:
 //!
 //! * **Committer** (always executing logically earlier work): write the
-//!   data words to main memory *first*, then call [`CommitLog::record`],
-//!   which — under the shard's commit lock — reads each touched region's
-//!   current grain, stamps every range of the batch that maps to the
-//!   shard with the shard's next version and only *then* publishes the
-//!   new shard epoch (release).  Reading the grain **inside** the lock
-//!   matters: regrains update it under the same lock, so a committer can
-//!   never stamp a slot the readers of the new grain no longer consult.
+//!   data words to main memory *first*, then call [`CommitLog::record`].
+//!   Lock-free mode reserves-and-publishes the shard version with the
+//!   `SeqCst` epoch `fetch_add` *before* CAS-stamping the touched slots;
+//!   locked mode stamps under the shard lock first and publishes the
+//!   epoch after.  Both orders keep the invariant that matters: **a
+//!   snapshot at least the committer's version implies the committer's
+//!   data is visible**, and **a stale read implies a snapshot below the
+//!   version the validation-time slot carries**.
 //! * **Reader** (a speculative thread): sample
 //!   [`CommitLog::snapshot`]`(addr)` — the epoch of the shard owning the
 //!   address's *region* — with acquire *before* loading the word from
 //!   main memory.
 //!
 //! If the reader's sampled shard epoch is at least the committer's
-//! version, the acquire/release pair guarantees both the committed data
-//! *and its version stamps* were visible to the read — no conflict and no
-//! stale `version_of`.  If it is smaller, the read raced the commit and
+//! version, the acquire edge (to the epoch store or the epoch RMW's
+//! release sequence) guarantees the committed data was visible to the
+//! read — no conflict.  If it is smaller, the read raced the commit and
 //! validation flags it; at worst this is a conservative false positive
 //! (the thread re-executes), never a missed conflict.
 //!
 //! ## Regrain protocol
 //!
 //! [`CommitLog::regrain`]`(region, new_grain_log2)` runs under the
-//! owning shard's commit lock:
+//! owning shard's slow-path lock.  In lock-free mode:
 //!
-//! 1. take the next shard version `v`;
-//! 2. stamp **every floor-grain slot of the region** with `v` — not just
-//!    the slots of the new grain.  This is the step that makes any
-//!    regrain interleaving safe: whichever grain a concurrent reader
-//!    observed (arbitrarily stale), the slot it will consult holds at
-//!    least `v`, so every snapshot taken before the regrain conservatively
-//!    fails validation (false sharing allowed, missed conflicts
-//!    structurally impossible);
-//! 3. collect-and-clear the region's registered readers (the caller
+//! 1. flip the region's sequence word to **odd** (`SeqCst`) — in-flight
+//!    fast-path committers will observe the change after their CAS pass
+//!    and re-stamp; new ones hold off;
+//! 2. publish the new grain (release) and only *then* reserve the
+//!    regrain version `v` from the epoch (`SeqCst` `fetch_add`): a
+//!    reader whose snapshot observes `>= v` therefore also observes the
+//!    new grain and consults the right slot;
+//! 3. raise **every floor-grain slot of the region** to at least `v`
+//!    (`fetch_max` — never lowering a racing committer's newer stamp).
+//!    Whichever grain a concurrent reader observed, arbitrarily stale,
+//!    the slot it consults holds at least `v`, so every snapshot taken
+//!    before the regrain conservatively fails validation (false sharing
+//!    allowed, missed conflicts structurally impossible);
+//! 4. collect-and-clear the region's registered readers (the caller
 //!    dooms them eagerly — they are about to fail validation anyway,
 //!    and value-predict retry can re-stamp them in place);
-//! 4. publish the new grain (release), then the new epoch `v` (SeqCst).
+//! 5. flip the sequence word back to **even**, releasing the fast path.
 //!
-//! A reader that observes the new epoch observes the new grain (the
-//! publish order above); a reader that still sees the old grain reads a
-//! slot stamped `v` in step 2.  Either way the check is conservative.
-//! Committers serialize with regrains on the commit lock and read the
-//! grain inside it, so their stamps always land on live slots.
+//! Locked mode keeps the pre-PR 7 order (stamp, collect, grain, epoch)
+//! under the shard lock that also serializes its committers.
 //!
 //! Shard epochs advance independently, so versions are only comparable
 //! *within* a shard.  That is safe because an address always maps to the
@@ -181,8 +227,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
 use std::time::Instant;
+
+use parking_lot::{Mutex, RwLock};
 
 use crate::memory::Addr;
 
@@ -317,6 +364,11 @@ pub struct CommitLogConfig {
     /// Number of independent shards; rounded up to a power of two, at
     /// least 1.
     pub shards: usize,
+    /// Whether commits publish through the lock-free CAS fast path
+    /// (the default) or serialize on the per-shard lock (the pre-PR 7
+    /// protocol, kept for A/B comparison — see the `commitbench`
+    /// sweep and the module docs for both protocols).
+    pub lock_free: bool,
 }
 
 impl Default for CommitLogConfig {
@@ -324,6 +376,7 @@ impl Default for CommitLogConfig {
         CommitLogConfig {
             grain_log2: LINE_GRAIN_LOG2,
             shards: 8,
+            lock_free: true,
         }
     }
 }
@@ -363,6 +416,23 @@ impl CommitLogConfig {
         self
     }
 
+    /// Serialize commits on the per-shard lock instead of the CAS fast
+    /// path (builder style) — the pre-PR 7 protocol, kept for A/B
+    /// throughput comparison and for the simulator's replay-stable cost
+    /// model.
+    pub fn locked(mut self) -> Self {
+        self.lock_free = false;
+        self
+    }
+
+    /// Set the commit-path mode explicitly (builder style): `true` for
+    /// the lock-free CAS fast path (the default), `false` for the
+    /// locked protocol.
+    pub fn lock_free(mut self, lock_free: bool) -> Self {
+        self.lock_free = lock_free;
+        self
+    }
+
     /// Floor range size in bytes.
     pub fn grain_bytes(&self) -> u64 {
         1u64 << self.grain_log2.max(WORD_GRAIN_LOG2)
@@ -377,6 +447,7 @@ impl CommitLogConfig {
         CommitLogConfig {
             grain_log2: self.grain_log2.max(WORD_GRAIN_LOG2),
             shards: self.shards.max(1).next_power_of_two(),
+            lock_free: self.lock_free,
         }
     }
 }
@@ -393,13 +464,21 @@ pub struct CommitLogStats {
     /// *currently* carrying a stamp; regrain flushes are counted in
     /// [`regrains`](Self::regrains), not here.)
     pub stamp_writes: u64,
-    /// Estimated wall-clock nanoseconds of commit serialization —
-    /// *waiting for plus holding* shard commit locks (sampled: one batch
-    /// in `2^LOCK_SAMPLE_LOG2` is timed, scaled up).  Queueing is
-    /// included deliberately: lock contention is exactly what sharding
-    /// relieves, so the 1-vs-N-shard comparison needs it.  On
-    /// coarse-resolution clocks short sections may register as zero.
+    /// Estimated wall-clock nanoseconds of commit serialization
+    /// (sampled: one batch in `2^LOCK_SAMPLE_LOG2` is timed, scaled
+    /// up).  Locked mode: *waiting for plus holding* shard commit locks
+    /// — queueing included deliberately, since lock contention is
+    /// exactly what sharding relieves.  Lock-free mode: the
+    /// reservation-plus-stamp section (same sampling), so the two modes
+    /// stay comparable in the `commitbench` A/B.  On coarse-resolution
+    /// clocks short sections may register as zero.
     pub lock_ns: u64,
+    /// CAS retries on the lock-free stamp path, cumulative: same-slot
+    /// `compare_exchange` losses plus whole-group re-stamps forced by a
+    /// racing regrain's seqlock word.  Always 0 in locked mode.  The
+    /// contention analogue of [`lock_ns`](Self::lock_ns): disjoint-range
+    /// committers should keep it near zero at any thread count.
+    pub cas_retries: u64,
     /// Regions whose grain the controller changed at runtime
     /// ([`CommitLog::regrain`] calls that actually flipped a grain).
     pub regrains: u64,
@@ -453,18 +532,27 @@ struct RegionCounters {
 #[derive(Debug)]
 struct Shard {
     /// Version of this shard's most recent *published* commit batch.
+    /// Locked mode stores it under the lock after stamping; lock-free
+    /// mode `fetch_add`s it to reserve-and-publish in one `SeqCst` RMW
+    /// (the release sequence readers synchronize with).
     epoch: AtomicU64,
-    /// Serializes committers (and regrains) touching this shard, so
-    /// stamps always precede the epoch publish and grain flips are
-    /// ordered against stamping.
-    commit_lock: Mutex<()>,
+    /// The striped **slow-path** lock: serializes `regrain`, `clear`
+    /// and the other cold mutators against each other.  Lock-free
+    /// committers never take it (they only observe the per-region
+    /// sequence words); in locked mode it doubles as the old commit
+    /// lock serializing every committer of the shard.
+    slow_lock: Mutex<()>,
     /// Dense per-range versions for this shard's regions: region `r`
     /// (with `r & mask == shard index`) owns the slot block
     /// `[(r >> shard_bits) * slots_per_region, ..)`, one slot per
     /// floor-grain range; a coarser live grain uses the block's prefix.
+    /// Lock-free mode raises slots monotonically via CAS; locked mode
+    /// stores under the lock.
     dense: Vec<AtomicU64>,
     /// Sparse fallback for ranges beyond the dense window (always at the
     /// floor grain — out-of-window addresses are never regrained).
+    /// Stamped with max-insert under the write lock: a slow path by
+    /// construction, in both modes.
     sparse: RwLock<HashMap<RangeId, CommitVersion>>,
     /// Dense per-range reader bitmasks (same indexing as `dense`);
     /// registration/enumeration are lock-free atomic RMWs.
@@ -472,8 +560,11 @@ struct Shard {
     /// Spill sets for ranks past the bitmask window, keyed by dense slot
     /// index (dashmap-style: the shard is the lock stripe).
     readers_spill_dense: RwLock<HashMap<usize, HashSet<usize>>>,
-    /// Sparse reader-bitmask fallback for ranges beyond the dense window.
-    readers_sparse: RwLock<HashMap<RangeId, u64>>,
+    /// Sparse reader-bitmask fallback for ranges beyond the dense
+    /// window.  The values are atomics so registration is a `fetch_or`
+    /// under the *read* lock — the write lock is only taken to insert a
+    /// missing entry or to remove one.
+    readers_sparse: RwLock<HashMap<RangeId, AtomicU64>>,
     /// Spill sets for sparse ranges.
     readers_spill_sparse: RwLock<HashMap<RangeId, HashSet<usize>>>,
 }
@@ -486,7 +577,7 @@ impl Shard {
         readers_dense.resize_with(dense_slots, || AtomicU64::new(0));
         Shard {
             epoch: AtomicU64::new(0),
-            commit_lock: Mutex::new(()),
+            slow_lock: Mutex::new(()),
             dense,
             sparse: RwLock::new(HashMap::new()),
             readers_dense,
@@ -494,6 +585,15 @@ impl Shard {
             readers_sparse: RwLock::new(HashMap::new()),
             readers_spill_sparse: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Raise a sparse range's version to at least `version` (never
+    /// lower it — concurrent lock-free committers can reach the map out
+    /// of reservation order).
+    fn stamp_sparse_max(&self, range: RangeId, version: CommitVersion) {
+        let mut sparse = self.sparse.write();
+        let slot = sparse.entry(range).or_insert(0);
+        *slot = (*slot).max(version);
     }
 }
 
@@ -525,9 +625,16 @@ pub struct CommitLog {
     regions_per_shard: u64,
     shards: Vec<Shard>,
     /// Live grain of every dense region, indexed by region id.  Written
-    /// only under the owning shard's commit lock; read lock-free
-    /// (acquire) by snapshot/validation paths.
+    /// only under the owning shard's slow-path lock; read lock-free
+    /// (acquire) by snapshot/validation paths and — bracketed by the
+    /// region's sequence word — by lock-free committers.
     region_grains: Vec<AtomicU32>,
+    /// Per-region seqlock words guarding grain flips against lock-free
+    /// committers (same indexing as `region_grains`): a regrain holds
+    /// the word **odd** while it rebuilds the region; fast-path
+    /// committers read it before and after their CAS pass and re-stamp
+    /// on any movement.  They only observe it, never take the slow lock.
+    region_seqs: Vec<AtomicU32>,
     /// Per-region telemetry, same indexing as `region_grains`.
     region_stats: Vec<RegionCounters>,
     /// Grain every region starts at (and returns to on
@@ -549,6 +656,9 @@ pub struct CommitLog {
     lock_samples: AtomicU64,
     /// Reader registrations that spilled past the bitmask window.
     reader_spills: AtomicU64,
+    /// CAS retries on the lock-free stamp path (same-slot losses plus
+    /// seqlock-forced re-stamps); relaxed, telemetry only.
+    cas_retries: AtomicU64,
 }
 
 impl Default for CommitLog {
@@ -609,6 +719,8 @@ impl CommitLog {
         let initial_grain = initial_grain_log2.clamp(config.grain_log2, region_log2);
         let mut region_grains = Vec::with_capacity(region_count);
         region_grains.resize_with(region_count, || AtomicU32::new(initial_grain));
+        let mut region_seqs = Vec::with_capacity(region_count);
+        region_seqs.resize_with(region_count, || AtomicU32::new(0));
         let mut region_stats = Vec::with_capacity(region_count);
         region_stats.resize_with(region_count, RegionCounters::default);
         CommitLog {
@@ -620,6 +732,7 @@ impl CommitLog {
             regions_per_shard,
             shards,
             region_grains,
+            region_seqs,
             region_stats,
             initial_grain,
             commits: AtomicU64::new(0),
@@ -628,6 +741,7 @@ impl CommitLog {
             lock_ns: AtomicU64::new(0),
             lock_samples: AtomicU64::new(0),
             reader_spills: AtomicU64::new(0),
+            cas_retries: AtomicU64::new(0),
         }
     }
 
@@ -731,7 +845,6 @@ impl CommitLog {
             Slot::Sparse { shard, range } => self.shards[shard]
                 .sparse
                 .read()
-                .unwrap_or_else(|e| e.into_inner())
                 .get(&range)
                 .copied()
                 .unwrap_or(0),
@@ -768,15 +881,25 @@ impl CommitLog {
     /// The caller must have already written the data words to main memory
     /// (see the module-level ordering protocol).  The batch's addresses
     /// are grouped by shard (a region-level property, independent of any
-    /// concurrent regrain); each involved shard is then locked *one at a
-    /// time* (never nested, so committers cannot deadlock), the touched
-    /// regions' **current** grains read under the lock, the coarsened
-    /// ranges stamped with the shard's next version, and the new shard
-    /// epoch published.
+    /// concurrent regrain).  In lock-free mode each shard's version is
+    /// reserved-and-published with one `SeqCst` `fetch_add` and the
+    /// touched slots raised by CAS under the per-region seqlock words;
+    /// in locked mode each involved shard is locked *one at a time*
+    /// (never nested, so committers cannot deadlock), stamped, and its
+    /// epoch published under the lock.
     pub fn record<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> CommitVersion {
+        self.record_counted(addrs).0
+    }
+
+    /// Like [`record`](Self::record), but also return the number of CAS
+    /// retries this batch paid on the lock-free stamp path (same-slot
+    /// `compare_exchange` losses plus seqlock-forced re-stamps; always 0
+    /// in locked mode) — the runtime surfaces it per commit as a
+    /// `CommitCasRetry` trace event.
+    pub fn record_counted<I: IntoIterator<Item = Addr>>(&self, addrs: I) -> (CommitVersion, u64) {
         let mut iter = addrs.into_iter();
         let Some(first) = iter.next() else {
-            return self.epoch();
+            return (self.epoch(), 0);
         };
         let mut addrs: Vec<Addr> = iter.collect();
         if addrs.is_empty() {
@@ -786,10 +909,10 @@ impl CommitLog {
         }
         addrs.push(first);
         // Sorting by (shard, addr) groups each shard's addresses into one
-        // contiguous run, so the lock loop below walks slices of this
+        // contiguous run, so the publish loop below walks slices of this
         // single Vec — no per-shard bucket allocation on the commit path.
         // Within a run addresses ascend, so equal ranges are adjacent and
-        // the in-lock walk can deduplicate by slot.
+        // the stamp walk can deduplicate by slot.
         let region_log2 = self.region_log2;
         let mask = self.shard_mask;
         addrs.sort_unstable_by_key(|a| ((a >> region_log2) & mask, *a));
@@ -797,6 +920,7 @@ impl CommitLog {
         self.commits.fetch_add(1, Ordering::Relaxed);
         let sample = self.lock_time_sampled();
         let mut max_version = 0;
+        let mut retries = 0u64;
         let mut start = 0;
         while start < addrs.len() {
             let shard_idx = self.shard_of_region(self.region_of(addrs[start]));
@@ -807,57 +931,11 @@ impl CommitLog {
             }
             let shard = &self.shards[shard_idx];
             let started = sample.then(Instant::now);
-            let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
-            let version = shard.epoch.load(Ordering::Relaxed) + 1;
-            let mut stamped = 0u64;
-            // Dedup key: the concrete slot, not the numeric range id —
-            // range ids of *different regions at different grains* can
-            // collide numerically.
-            let mut last_dense: Option<usize> = None;
-            let mut last_sparse: Option<RangeId> = None;
-            let mut cached: Option<(RegionId, u32)> = None;
-            for &addr in &addrs[start..end] {
-                let region = self.region_of(addr);
-                let grain = match cached {
-                    Some((r, g)) if r == region => g,
-                    _ => {
-                        // Read the live grain inside the commit lock:
-                        // regrains flip it under this same lock, so the
-                        // stamp below always lands on a live slot.
-                        let g = self.grain_of_region(region);
-                        cached = Some((region, g));
-                        g
-                    }
-                };
-                match self.slot_at(addr, grain) {
-                    Slot::Dense { local, .. } => {
-                        if last_dense == Some(local) {
-                            continue;
-                        }
-                        last_dense = Some(local);
-                        shard.dense[local].store(version, Ordering::Relaxed);
-                        self.bump_region_stamps(region);
-                    }
-                    Slot::Sparse { range, .. } => {
-                        if last_sparse == Some(range) {
-                            continue;
-                        }
-                        last_sparse = Some(range);
-                        shard
-                            .sparse
-                            .write()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .insert(range, version);
-                    }
-                }
-                stamped += 1;
-            }
-            self.stamped.fetch_add(stamped, Ordering::Relaxed);
-            // SeqCst (a release store plus SC ordering): the reader
-            // registry's missed-reader argument needs the epoch publish
-            // and the subsequent `take_readers` swap to be totally
-            // ordered against registration (see the module docs).
-            shard.epoch.store(version, Ordering::SeqCst);
+            let version = if self.config.lock_free {
+                self.publish_run_lock_free(shard, &addrs[start..end], &mut retries)
+            } else {
+                self.publish_run_locked(shard, &addrs[start..end])
+            };
             if let Some(started) = started {
                 self.lock_ns.fetch_add(
                     (started.elapsed().as_nanos() as u64) << LOCK_SAMPLE_LOG2,
@@ -867,7 +945,184 @@ impl CommitLog {
             max_version = max_version.max(version);
             start = end;
         }
-        max_version
+        if retries > 0 {
+            self.cas_retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        (max_version, retries)
+    }
+
+    /// Locked-mode publish of one shard's (sorted, deduplicated) address
+    /// run: stamp under the shard lock, then publish the epoch — the
+    /// pre-PR 7 protocol, kept behind [`CommitLogConfig::locked`].
+    fn publish_run_locked(&self, shard: &Shard, run: &[Addr]) -> CommitVersion {
+        let _guard = shard.slow_lock.lock();
+        let version = shard.epoch.load(Ordering::Relaxed) + 1;
+        let mut stamped = 0u64;
+        // Dedup key: the concrete slot, not the numeric range id —
+        // range ids of *different regions at different grains* can
+        // collide numerically.
+        let mut last_dense: Option<usize> = None;
+        let mut last_sparse: Option<RangeId> = None;
+        let mut cached: Option<(RegionId, u32)> = None;
+        for &addr in run {
+            let region = self.region_of(addr);
+            let grain = match cached {
+                Some((r, g)) if r == region => g,
+                _ => {
+                    // Read the live grain inside the commit lock:
+                    // regrains flip it under this same lock, so the
+                    // stamp below always lands on a live slot.
+                    let g = self.grain_of_region(region);
+                    cached = Some((region, g));
+                    g
+                }
+            };
+            match self.slot_at(addr, grain) {
+                Slot::Dense { local, .. } => {
+                    if last_dense == Some(local) {
+                        continue;
+                    }
+                    last_dense = Some(local);
+                    shard.dense[local].store(version, Ordering::Relaxed);
+                    self.bump_region_stamps(region);
+                }
+                Slot::Sparse { range, .. } => {
+                    if last_sparse == Some(range) {
+                        continue;
+                    }
+                    last_sparse = Some(range);
+                    shard.stamp_sparse_max(range, version);
+                }
+            }
+            stamped += 1;
+        }
+        self.stamped.fetch_add(stamped, Ordering::Relaxed);
+        // SeqCst (a release store plus SC ordering): the reader
+        // registry's missed-reader argument needs the epoch publish
+        // and the subsequent `take_readers` swap to be totally
+        // ordered against registration (see the module docs).
+        shard.epoch.store(version, Ordering::SeqCst);
+        version
+    }
+
+    /// Lock-free publish of one shard's (sorted, deduplicated) address
+    /// run.  Reserve-and-publish the version with one `SeqCst`
+    /// `fetch_add`, then raise each touched slot by CAS, bracketing
+    /// every region's stamps with its seqlock word so a racing regrain
+    /// forces a re-stamp at the then-current grain (see the module
+    /// docs for why each step is sound).
+    fn publish_run_lock_free(
+        &self,
+        shard: &Shard,
+        run: &[Addr],
+        retries: &mut u64,
+    ) -> CommitVersion {
+        let version = shard.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut stamped = 0u64;
+        // Addresses ascend within the run, so each region's addresses
+        // form one contiguous subgroup — the unit the seqlock check
+        // brackets (a regrain rebuilds exactly one region).
+        let mut start = 0;
+        while start < run.len() {
+            let region = self.region_of(run[start]);
+            let mut end = start + 1;
+            while end < run.len() && self.region_of(run[end]) == region {
+                end += 1;
+            }
+            stamped +=
+                self.stamp_region_group_cas(shard, region, &run[start..end], version, retries);
+            start = end;
+        }
+        self.stamped.fetch_add(stamped, Ordering::Relaxed);
+        version
+    }
+
+    /// CAS-stamp one region's (sorted, deduplicated) addresses with
+    /// `version` under the region's seqlock word; returns the number of
+    /// distinct slots stamped.  Spins while a regrain holds the word
+    /// odd, re-stamps if it moved across the pass.
+    fn stamp_region_group_cas(
+        &self,
+        shard: &Shard,
+        region: RegionId,
+        group: &[Addr],
+        version: CommitVersion,
+        retries: &mut u64,
+    ) -> u64 {
+        if !self.region_is_dense(region) {
+            // Sparse fallback: never regrained, no seqlock word — a
+            // max-insert under the stripe's write lock (the slow path
+            // by design).
+            let mut stamped = 0u64;
+            let mut last: Option<RangeId> = None;
+            for &addr in group {
+                let range = addr >> self.config.grain_log2;
+                if last == Some(range) {
+                    continue;
+                }
+                last = Some(range);
+                shard.stamp_sparse_max(range, version);
+                stamped += 1;
+            }
+            return stamped;
+        }
+        let seq = &self.region_seqs[region as usize];
+        loop {
+            let before = seq.load(Ordering::SeqCst);
+            if before & 1 == 1 {
+                // A regrain is rebuilding this region: wait it out
+                // (observe only — fast-path committers never take the
+                // slow lock).
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            }
+            // The grain read is guarded by the seqlock bracket, not a
+            // lock: if a regrain flips it mid-pass the re-check below
+            // fails and the pass redoes at the then-current grain.
+            let grain = self.grain_of_region(region);
+            let mut stamped = 0u64;
+            let mut last: Option<usize> = None;
+            for &addr in group {
+                let Slot::Dense { local, .. } = self.slot_at(addr, grain) else {
+                    unreachable!("dense region resolved to a sparse slot");
+                };
+                if last == Some(local) {
+                    continue;
+                }
+                last = Some(local);
+                // Monotone CAS-max: a slot already at or above `version`
+                // was raised by a concurrent later commit (or a regrain
+                // flush) — the stamp is free, never lowered.
+                let slot = &shard.dense[local];
+                let mut cur = slot.load(Ordering::Relaxed);
+                while cur < version {
+                    match slot.compare_exchange_weak(
+                        cur,
+                        version,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(actual) => {
+                            *retries += 1;
+                            cur = actual;
+                        }
+                    }
+                }
+                stamped += 1;
+            }
+            if seq.load(Ordering::SeqCst) == before {
+                // No regrain raced the pass: every stamp landed on a
+                // live slot of the observed grain.
+                self.bump_region_stamps_by(region, stamped);
+                return stamped;
+            }
+            // A regrain moved the grain under the pass: its flush
+            // already raised every floor slot, but our stamps may sit
+            // on dead slots — redo at the new grain.
+            *retries += 1;
+        }
     }
 
     /// Whether this batch's lock-hold time should be measured: every
@@ -880,16 +1135,23 @@ impl CommitLog {
     }
 
     fn bump_region_stamps(&self, region: RegionId) {
+        self.bump_region_stamps_by(region, 1);
+    }
+
+    fn bump_region_stamps_by(&self, region: RegionId, n: u64) {
+        if n == 0 {
+            return;
+        }
         if let Ok(idx) = usize::try_from(region) {
             if idx < self.region_stats.len() {
                 self.region_stats[idx]
                     .stamps
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(n, Ordering::Relaxed);
             }
         }
     }
 
-    fn record_single(&self, addr: Addr) -> CommitVersion {
+    fn record_single(&self, addr: Addr) -> (CommitVersion, u64) {
         self.commits.fetch_add(1, Ordering::Relaxed);
         self.stamped.fetch_add(1, Ordering::Relaxed);
         let sample = self.lock_time_sampled();
@@ -897,43 +1159,54 @@ impl CommitLog {
         let shard_idx = self.shard_of_region(region);
         let shard = &self.shards[shard_idx];
         let started = sample.then(Instant::now);
-        let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let version = shard.epoch.load(Ordering::Relaxed) + 1;
-        // Grain read inside the lock (see `record`).
-        match self.slot_at(addr, self.grain_of_region(region)) {
-            Slot::Dense { local, .. } => {
-                shard.dense[local].store(version, Ordering::Relaxed);
-                self.bump_region_stamps(region);
+        let mut retries = 0u64;
+        let version = if self.config.lock_free {
+            let version = shard.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            // One address is a one-element region group: the seqlock
+            // bracket, grain read, and CAS-max all apply unchanged.
+            let stamped =
+                self.stamp_region_group_cas(shard, region, &[addr], version, &mut retries);
+            debug_assert_eq!(stamped, 1);
+            if retries > 0 {
+                self.cas_retries.fetch_add(retries, Ordering::Relaxed);
             }
-            Slot::Sparse { range, .. } => {
-                shard
-                    .sparse
-                    .write()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .insert(range, version);
+            version
+        } else {
+            let _guard = shard.slow_lock.lock();
+            let version = shard.epoch.load(Ordering::Relaxed) + 1;
+            // Grain read inside the lock (see `publish_run_locked`).
+            match self.slot_at(addr, self.grain_of_region(region)) {
+                Slot::Dense { local, .. } => {
+                    shard.dense[local].store(version, Ordering::Relaxed);
+                    self.bump_region_stamps(region);
+                }
+                Slot::Sparse { range, .. } => {
+                    shard.stamp_sparse_max(range, version);
+                }
             }
-        }
-        // SeqCst for the reader-registry ordering (see `record`).
-        shard.epoch.store(version, Ordering::SeqCst);
+            // SeqCst for the reader-registry ordering (see `record`).
+            shard.epoch.store(version, Ordering::SeqCst);
+            version
+        };
         if let Some(started) = started {
             self.lock_ns.fetch_add(
                 (started.elapsed().as_nanos() as u64) << LOCK_SAMPLE_LOG2,
                 Ordering::Relaxed,
             );
         }
-        version
+        (version, retries)
     }
 
     /// Record a single-word commit (the non-speculative direct-store path).
     pub fn record_word(&self, addr: Addr) -> CommitVersion {
-        self.record_single(addr)
+        self.record_single(addr).0
     }
 
     // ----- regrain ----------------------------------------------------
 
     /// Rebuild `region`'s slice of the version table at
     /// `new_grain_log2` (clamped to `[grain_log2, region_log2]`), under
-    /// the owning shard's commit lock, with an epoch bump — the
+    /// the owning shard's slow-path lock, with an epoch bump — the
     /// grain-control *mechanism* (see the module-level regrain protocol).
     ///
     /// Every floor-grain slot of the region is stamped with the new
@@ -955,36 +1228,65 @@ impl CommitLog {
         let idx = region as usize;
         let shard_idx = self.shard_of_region(region);
         let shard = &self.shards[shard_idx];
-        let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = shard.slow_lock.lock();
         if self.region_grains[idx].load(Ordering::Relaxed) == new_grain {
             return (shard.epoch.load(Ordering::Relaxed), ReaderSet::default());
         }
-        let version = shard.epoch.load(Ordering::Relaxed) + 1;
         let block = (region >> self.shard_bits) as usize * self.slots_per_region;
+        let version;
         let mut bits = 0u64;
-        for local in block..block + self.slots_per_region {
-            // Conservative whole-region flush: every slot any (however
-            // stale) grain observation could index now holds `version`.
-            shard.dense[local].store(version, Ordering::Relaxed);
-            bits |= shard.readers_dense[local].swap(0, Ordering::SeqCst);
+        if self.config.lock_free {
+            // 1. Hold the region's seqlock word odd: fast-path committers
+            //    mid-pass will fail their re-check and redo; new ones
+            //    hold off until step 5.
+            self.region_seqs[idx].fetch_add(1, Ordering::SeqCst);
+            // 2. New grain first (release), then the version reservation
+            //    (SeqCst fetch_add — which also publishes the epoch): a
+            //    reader whose snapshot observes `>= version` therefore
+            //    also observes the new grain and consults a live slot.
+            self.region_grains[idx].store(new_grain, Ordering::Release);
+            version = shard.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            for local in block..block + self.slots_per_region {
+                // 3. Conservative whole-region flush: every slot any
+                //    (however stale) grain observation could index now
+                //    holds at least `version` — fetch_max, never lowering
+                //    a racing committer's newer stamp.
+                shard.dense[local].fetch_max(version, Ordering::AcqRel);
+                // 4. Collect-and-clear the readers (sound after the epoch
+                //    bump: a registration this swap misses re-reads the
+                //    epoch afterwards in the SC order, so its snapshot
+                //    covers the regrain).
+                bits |= shard.readers_dense[local].swap(0, Ordering::SeqCst);
+            }
+        } else {
+            version = shard.epoch.load(Ordering::Relaxed) + 1;
+            for local in block..block + self.slots_per_region {
+                // Conservative whole-region flush: every slot any (however
+                // stale) grain observation could index now holds `version`.
+                shard.dense[local].store(version, Ordering::Relaxed);
+                bits |= shard.readers_dense[local].swap(0, Ordering::SeqCst);
+            }
         }
         let mut spilled = Vec::new();
         if bits & READER_SPILL_BIT != 0 {
-            let mut spill = shard
-                .readers_spill_dense
-                .write()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut spill = shard.readers_spill_dense.write();
             for local in block..block + self.slots_per_region {
                 if let Some(set) = spill.remove(&local) {
                     spilled.extend(set);
                 }
             }
         }
-        // Grain first (release), then the epoch (SeqCst): a reader that
-        // observes the new epoch observes the new grain; a reader on the
-        // old grain reads a slot stamped `version` above.
-        self.region_grains[idx].store(new_grain, Ordering::Release);
-        shard.epoch.store(version, Ordering::SeqCst);
+        if self.config.lock_free {
+            // 5. Back to even: release the fast path.
+            self.region_seqs[idx].fetch_add(1, Ordering::SeqCst);
+        } else {
+            // Grain first (release), then the epoch (SeqCst): a reader
+            // that observes the new epoch observes the new grain; a
+            // reader on the old grain reads a slot stamped `version`
+            // above.
+            self.region_grains[idx].store(new_grain, Ordering::Release);
+            shard.epoch.store(version, Ordering::SeqCst);
+        }
         self.regrains.fetch_add(1, Ordering::Relaxed);
         (version, ReaderSet::from_parts(bits, spilled))
     }
@@ -1017,7 +1319,6 @@ impl CommitLog {
                         shard
                             .readers_spill_dense
                             .write()
-                            .unwrap_or_else(|e| e.into_inner())
                             .entry(local)
                             .or_default()
                             .insert(rank);
@@ -1029,17 +1330,30 @@ impl CommitLog {
                         shard
                             .readers_spill_sparse
                             .write()
-                            .unwrap_or_else(|e| e.into_inner())
                             .entry(range)
                             .or_default()
                             .insert(rank);
                     }
-                    *shard
+                    // Registration is a fetch_or under the *read* lock —
+                    // the write lock is only paid once, to materialize a
+                    // missing entry (the `fetch_or` keeps the SeqCst slot
+                    // in the registry's ordering argument either way).
+                    let registered = shard
                         .readers_sparse
-                        .write()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .entry(range)
-                        .or_insert(0) |= bit;
+                        .read()
+                        .get(&range)
+                        .map(|bits| {
+                            bits.fetch_or(bit, Ordering::SeqCst);
+                        })
+                        .is_some();
+                    if !registered {
+                        shard
+                            .readers_sparse
+                            .write()
+                            .entry(range)
+                            .or_insert_with(|| AtomicU64::new(0))
+                            .fetch_or(bit, Ordering::SeqCst);
+                    }
                 }
             }
         }
@@ -1068,10 +1382,7 @@ impl CommitLog {
                     }
                     last_dense = Some((shard_idx, local));
                     if bit == READER_SPILL_BIT {
-                        let mut spill = shard
-                            .readers_spill_dense
-                            .write()
-                            .unwrap_or_else(|e| e.into_inner());
+                        let mut spill = shard.readers_spill_dense.write();
                         if let Some(set) = spill.get_mut(&local) {
                             set.remove(&rank);
                             if set.is_empty() {
@@ -1089,10 +1400,7 @@ impl CommitLog {
                     }
                     last_sparse = Some((shard_idx, range));
                     if bit == READER_SPILL_BIT {
-                        let mut spill = shard
-                            .readers_spill_sparse
-                            .write()
-                            .unwrap_or_else(|e| e.into_inner());
+                        let mut spill = shard.readers_spill_sparse.write();
                         let emptied = match spill.get_mut(&range) {
                             Some(set) => {
                                 set.remove(&rank);
@@ -1105,13 +1413,9 @@ impl CommitLog {
                         }
                         spill.remove(&range);
                     }
-                    let mut sparse = shard
-                        .readers_sparse
-                        .write()
-                        .unwrap_or_else(|e| e.into_inner());
+                    let mut sparse = shard.readers_sparse.write();
                     if let Some(bits) = sparse.get_mut(&range) {
-                        *bits &= !bit;
-                        if *bits == 0 {
+                        if bits.fetch_and(!bit, Ordering::SeqCst) & !bit == 0 {
                             sparse.remove(&range);
                         }
                     }
@@ -1181,12 +1485,7 @@ impl CommitLog {
                         let taken = shard.readers_dense[local].swap(0, Ordering::SeqCst);
                         bits |= taken;
                         if taken & READER_SPILL_BIT != 0 {
-                            if let Some(set) = shard
-                                .readers_spill_dense
-                                .write()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .remove(&local)
-                            {
+                            if let Some(set) = shard.readers_spill_dense.write().remove(&local) {
                                 spilled.extend(set);
                             }
                         }
@@ -1197,25 +1496,13 @@ impl CommitLog {
                         continue;
                     }
                     last_sparse = Some((shard_idx, range));
-                    let occupied = !shard
-                        .readers_sparse
-                        .read()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .is_empty();
+                    let occupied = !shard.readers_sparse.read().is_empty();
                     if occupied {
-                        if let Some(found) = shard
-                            .readers_sparse
-                            .write()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .remove(&range)
-                        {
+                        if let Some(found) = shard.readers_sparse.write().remove(&range) {
+                            let found = found.into_inner();
                             bits |= found;
                             if found & READER_SPILL_BIT != 0 {
-                                if let Some(set) = shard
-                                    .readers_spill_sparse
-                                    .write()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .remove(&range)
+                                if let Some(set) = shard.readers_spill_sparse.write().remove(&range)
                                 {
                                     spilled.extend(set);
                                 }
@@ -1245,7 +1532,6 @@ impl CommitLog {
                     shard
                         .readers_spill_dense
                         .read()
-                        .unwrap_or_else(|e| e.into_inner())
                         .get(&local)
                         .map(|s| s.iter().copied().collect())
                         .unwrap_or_default()
@@ -1258,15 +1544,13 @@ impl CommitLog {
                 let bits = shard
                     .readers_sparse
                     .read()
-                    .unwrap_or_else(|e| e.into_inner())
                     .get(&range)
-                    .copied()
+                    .map(|b| b.load(Ordering::SeqCst))
                     .unwrap_or(0);
                 let spilled = if bits & READER_SPILL_BIT != 0 {
                     shard
                         .readers_spill_sparse
                         .read()
-                        .unwrap_or_else(|e| e.into_inner())
                         .get(&range)
                         .map(|s| s.iter().copied().collect())
                         .unwrap_or_default()
@@ -1366,6 +1650,12 @@ impl CommitLog {
         self.regrains.load(Ordering::Relaxed)
     }
 
+    /// Cumulative CAS retries on the lock-free stamp path (0 in locked
+    /// mode) — the contention signal the `commitbench` sweep reports.
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
+    }
+
     /// Number of distinct ranges currently carrying a stamp.  (A regrain
     /// conservatively stamps its whole region, so this is an upper bound
     /// on commit-touched ranges once the controller is active.)
@@ -1376,11 +1666,7 @@ impl CommitLog {
             .flat_map(|s| s.dense.iter())
             .filter(|v| v.load(Ordering::Relaxed) != 0)
             .count();
-        let sparse: usize = self
-            .shards
-            .iter()
-            .map(|s| s.sparse.read().unwrap_or_else(|e| e.into_inner()).len())
-            .sum();
+        let sparse: usize = self.shards.iter().map(|s| s.sparse.read().len()).sum();
         dense + sparse
     }
 
@@ -1391,6 +1677,7 @@ impl CommitLog {
             commits: self.commits.load(Ordering::Relaxed),
             stamp_writes: self.stamped.load(Ordering::Relaxed),
             lock_ns: self.lock_ns.load(Ordering::Relaxed),
+            cas_retries: self.cas_retries.load(Ordering::Relaxed),
             regrains: self.regrains.load(Ordering::Relaxed),
             reader_spills: self.reader_spills.load(Ordering::Relaxed),
             grain_log2: self.config.grain_log2,
@@ -1403,37 +1690,24 @@ impl CommitLog {
     /// initial grain.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let _guard = shard.commit_lock.lock().unwrap_or_else(|e| e.into_inner());
+            let _guard = shard.slow_lock.lock();
             for v in &shard.dense {
                 v.store(0, Ordering::Relaxed);
             }
-            shard
-                .sparse
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .clear();
+            shard.sparse.write().clear();
             for r in &shard.readers_dense {
                 r.store(0, Ordering::Relaxed);
             }
-            shard
-                .readers_spill_dense
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .clear();
-            shard
-                .readers_sparse
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .clear();
-            shard
-                .readers_spill_sparse
-                .write()
-                .unwrap_or_else(|e| e.into_inner())
-                .clear();
+            shard.readers_spill_dense.write().clear();
+            shard.readers_sparse.write().clear();
+            shard.readers_spill_sparse.write().clear();
             shard.epoch.store(0, Ordering::Release);
         }
         for grain in &self.region_grains {
             grain.store(self.initial_grain, Ordering::Release);
+        }
+        for seq in &self.region_seqs {
+            seq.store(0, Ordering::Release);
         }
         for stats in &self.region_stats {
             stats.stamps.store(0, Ordering::Relaxed);
@@ -1447,6 +1721,7 @@ impl CommitLog {
         self.lock_ns.store(0, Ordering::Relaxed);
         self.lock_samples.store(0, Ordering::Relaxed);
         self.reader_spills.store(0, Ordering::Relaxed);
+        self.cas_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -1588,11 +1863,17 @@ mod tests {
 
     #[test]
     fn stamps_are_visible_before_the_epoch_publishes() {
-        // A reader that samples a post-commit shard epoch must never see
-        // a pre-commit version for a stamped address (the stale-version
-        // race validate_against relies on being impossible) — now checked
-        // across a sharded, line-granular log.
-        let log = std::sync::Arc::new(CommitLog::with_dense_bytes(1 << 12));
+        // LOCKED mode's defining transient invariant: a reader that
+        // samples a post-commit shard epoch must never see a pre-commit
+        // version for a stamped address, because stamps precede the
+        // epoch publish under the lock.  (Lock-free mode deliberately
+        // publishes first — its missed-conflict argument runs through
+        // the data-visibility edge instead, see
+        // `lock_free_snapshot_covers_the_data_not_the_stamp`.)
+        let log = std::sync::Arc::new(CommitLog::with_config(
+            CommitLogConfig::default().locked(),
+            1 << 12,
+        ));
         let stop = std::sync::Arc::new(AtomicU64::new(0));
         let writer = {
             let log = std::sync::Arc::clone(&log);
@@ -1618,6 +1899,215 @@ mod tests {
         }
         writer.join().unwrap();
         assert_eq!(log.commits(), 20_000);
+    }
+
+    #[test]
+    fn lock_free_snapshot_covers_the_data_not_the_stamp() {
+        // Lock-free mode publishes the epoch *before* stamping, so the
+        // locked-mode transient (`version_of >= snapshot`) does not
+        // hold.  Its invariants are: a slot never exceeds a
+        // subsequently-sampled shard epoch (the stamp's version was
+        // reserved from that epoch first), slots are monotone, and once
+        // the committer is quiescent every stamp has caught up exactly.
+        let log = std::sync::Arc::new(CommitLog::with_dense_bytes(1 << 12));
+        assert!(log.config().lock_free, "default mode is lock-free");
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        let writer = {
+            let log = std::sync::Arc::clone(&log);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    log.record([8, 256, 1024]);
+                }
+                stop.store(1, Ordering::Release);
+            })
+        };
+        let mut floor = [0u64; 3];
+        while stop.load(Ordering::Acquire) == 0 {
+            for (i, addr) in [8u64, 256, 1024].into_iter().enumerate() {
+                let version = log.version_of(addr);
+                assert!(version >= floor[i], "slots are monotone");
+                floor[i] = version;
+                assert!(
+                    log.snapshot(addr) >= version,
+                    "a stamp outran the epoch it was reserved from"
+                );
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(log.commits(), 20_000);
+        for addr in [8u64, 256, 1024] {
+            assert_eq!(
+                log.version_of(addr),
+                log.snapshot(addr),
+                "quiescent stamps catch up to the epoch"
+            );
+        }
+    }
+
+    #[test]
+    fn lock_free_two_committers_racing_one_slot() {
+        // The two-committer same-slot race, driven through a barrier so
+        // both CAS passes genuinely overlap: whatever the interleaving,
+        // the two reservations are distinct, the slot ends at their max,
+        // and the epoch equals the reservation count — no stamp is ever
+        // lost and no slot is ever lowered.
+        for _ in 0..200 {
+            let log = std::sync::Arc::new(CommitLog::with_dense_bytes(64));
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let log = std::sync::Arc::clone(&log);
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        log.record_word(8)
+                    })
+                })
+                .collect();
+            let versions: Vec<CommitVersion> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert_ne!(versions[0], versions[1], "reservations are unique");
+            assert_eq!(versions.iter().copied().max(), Some(2));
+            assert_eq!(log.version_of(8), 2, "slot holds the max stamp");
+            assert_eq!(log.snapshot(8), 2, "epoch equals the reservations");
+            assert_eq!(log.commits(), 2);
+        }
+    }
+
+    #[test]
+    fn lock_free_disjoint_committers_scale_without_losing_stamps() {
+        // N committers on N disjoint ranges of one shard: every stamp is
+        // visible afterwards, the versions are a permutation of 1..=N,
+        // and (disjoint slots) the barrier race costs no lost update.
+        const N: usize = 8;
+        let log = std::sync::Arc::new(CommitLog::with_config(
+            CommitLogConfig::word_grain().shards(1),
+            1 << 12,
+        ));
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(N));
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let log = std::sync::Arc::clone(&log);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    log.record_word(i as Addr * 8)
+                })
+            })
+            .collect();
+        let mut versions: Vec<CommitVersion> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        versions.sort_unstable();
+        assert_eq!(versions, (1..=N as u64).collect::<Vec<_>>());
+        for i in 0..N {
+            assert!(log.version_of(i as Addr * 8) > 0, "stamp {i} lost");
+        }
+        assert_eq!(log.epoch(), N as u64);
+        assert_eq!(log.stats().stamp_writes, N as u64);
+    }
+
+    #[test]
+    fn lock_free_commits_racing_regrains_never_miss_a_conflict() {
+        // Committers hammer one region while the main thread flips its
+        // grain back and forth: the seqlock word forces racing stamp
+        // passes to redo at the current grain, so a reader's stale
+        // snapshot is flagged through every interleaving, and slots stay
+        // monotone (the regrain flush is a fetch_max).
+        let log = std::sync::Arc::new(CommitLog::with_config(
+            CommitLogConfig::word_grain().shards(1),
+            1 << 12,
+        ));
+        let stale = log.register_reader(8, 3);
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        let committers: Vec<_> = (0..2)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while stop.load(Ordering::Acquire) == 0 {
+                        let v = log.record_word(8 + t * 16);
+                        assert!(v > last, "reservations are monotone per shard");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for grain in [
+            LINE_GRAIN_LOG2,
+            WORD_GRAIN_LOG2,
+            PAGE_GRAIN_LOG2,
+            WORD_GRAIN_LOG2,
+        ] {
+            for _ in 0..50 {
+                log.regrain(0, grain);
+                std::thread::yield_now();
+            }
+        }
+        stop.store(1, Ordering::Release);
+        for h in committers {
+            h.join().unwrap();
+        }
+        assert!(
+            log.written_after(8, stale),
+            "stale reader slipped through a commit/regrain race"
+        );
+        assert!(
+            log.snapshot(8) >= log.version_of(8),
+            "a stamp outran the epoch it was reserved from"
+        );
+    }
+
+    #[test]
+    fn cas_retry_counts_are_consistent_and_locked_mode_never_retries() {
+        // Single-threaded lock-free commits never retry; the aggregate
+        // stat equals the sum of per-batch counts; locked mode reports
+        // zero structurally; clear() resets the counter.
+        let log = CommitLog::with_dense_bytes(1 << 12);
+        let mut total = 0;
+        for i in 0..32u64 {
+            let (_, retries) = log.record_counted([i * 8, i * 8 + 2048]);
+            total += retries;
+        }
+        assert_eq!(total, 0, "uncontended commits pay no retries");
+        assert_eq!(log.stats().cas_retries, 0);
+        assert_eq!(log.cas_retries(), 0);
+        log.clear();
+        assert_eq!(log.stats().cas_retries, 0);
+        let locked = CommitLog::with_config(CommitLogConfig::default().locked(), 1 << 12);
+        let (v, retries) = locked.record_counted([8, 16, 4096]);
+        assert!(v > 0);
+        assert_eq!(retries, 0, "locked mode has no CAS path");
+    }
+
+    #[test]
+    fn locked_and_lock_free_modes_agree_on_versions_and_stats() {
+        // The A/B config flag changes the publish mechanism, never the
+        // observable single-threaded semantics: identical scripts yield
+        // identical versions, stamps, and validation outcomes.
+        let script = |config: CommitLogConfig| {
+            let log = CommitLog::with_config(config, 1 << 13);
+            let snap = log.register_reader(8, 3);
+            let v1 = log.record([8, 64, 4096]);
+            let (v2, _) = log.record_counted([8]);
+            log.regrain(0, PAGE_GRAIN_LOG2);
+            let v3 = log.record_word(16);
+            let stats = log.stats();
+            (
+                v1,
+                v2,
+                v3,
+                log.written_after(8, snap),
+                log.version_of(64),
+                stats.commits,
+                stats.stamp_writes,
+                log.take_readers([8]).is_empty(),
+            )
+        };
+        let lock_free = script(CommitLogConfig::word_grain().shards(2));
+        let locked = script(CommitLogConfig::word_grain().shards(2).locked());
+        assert_eq!(lock_free, locked);
     }
 
     #[test]
@@ -1871,6 +2361,7 @@ mod tests {
             CommitLogConfig {
                 grain_log2: 0,
                 shards: 0,
+                lock_free: true,
             },
             128,
         );
@@ -1880,11 +2371,22 @@ mod tests {
             CommitLogConfig {
                 grain_log2: 6,
                 shards: 3,
+                lock_free: false,
             },
             0,
         );
         assert_eq!(log.config().shards, 4, "shards round up to a power of two");
+        assert!(!log.config().lock_free, "normalization keeps the mode");
         assert_eq!(CommitLogConfig::page_grain().grain_bytes(), 4096);
+        // Mode builders round-trip.
+        assert!(CommitLogConfig::default().lock_free);
+        assert!(!CommitLogConfig::default().locked().lock_free);
+        assert!(
+            CommitLogConfig::default()
+                .locked()
+                .lock_free(true)
+                .lock_free
+        );
     }
 
     // ----- regrain / grain control ------------------------------------

@@ -179,13 +179,14 @@ proptest! {
     fn range_grain_flags_conservatively_never_misses(
         grain_log2 in grain_strategy(),
         shards in (0u32..4).prop_map(|i| [1usize, 2, 8, 16][i as usize]),
+        lock_free in any::<bool>(),
         reads in proptest::collection::vec(addr_strategy(), 1..24),
         commits in proptest::collection::vec(addr_strategy(), 0..24),
     ) {
         let reads: std::collections::HashSet<u64> = reads.into_iter().collect();
         let commits: std::collections::HashSet<u64> = commits.into_iter().collect();
         let mem = GlobalMemory::new(1 << 16);
-        let config = CommitLogConfig { grain_log2, shards };
+        let config = CommitLogConfig { grain_log2, shards, lock_free };
         let log = CommitLog::with_config(config, 1 << 15); // dense/sparse mix
         let mut buf = GlobalBuffer::new(BufferConfig::default());
         for &addr in &reads {
@@ -213,9 +214,10 @@ proptest! {
     fn range_edge_straddlers_do_not_cross_conflict(
         grain_log2 in grain_strategy(),
         shards in (0u32..3).prop_map(|i| [1usize, 2, 8][i as usize]),
+        lock_free in any::<bool>(),
         k in 1u64..64,
     ) {
-        let config = CommitLogConfig { grain_log2, shards };
+        let config = CommitLogConfig { grain_log2, shards, lock_free };
         let log = CommitLog::with_config(config, 1 << 14);
         let edge = k << grain_log2;
         let below = edge - WORD_BYTES; // last word of range k-1
@@ -238,10 +240,11 @@ proptest! {
     #[test]
     fn dense_sparse_crossover_agrees(
         grain_log2 in grain_strategy(),
+        lock_free in any::<bool>(),
         dense_ranges in 1u64..16,
         offsets in proptest::collection::vec(0u64..32, 1..16),
     ) {
-        let config = CommitLogConfig { grain_log2, shards: 4 };
+        let config = CommitLogConfig { grain_log2, shards: 4, lock_free };
         let grain = 1u64 << grain_log2;
         // Dense window ends mid-address-space (and is not grain-aligned:
         // the partial trailing range must round up to dense).
@@ -274,7 +277,7 @@ proptest! {
         batches in proptest::collection::vec(
             proptest::collection::vec(addr_strategy(), 1..8), 1..8),
     ) {
-        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards };
+        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards, lock_free: true };
         let log = CommitLog::with_config(config, 0);
         let mut touched: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut last_epoch = 0;
@@ -307,11 +310,12 @@ proptest! {
     fn doom_set_is_a_subset_of_the_cascades_victims(
         grain_log2 in grain_strategy(),
         shards in (0u32..3).prop_map(|i| [1usize, 4, 8][i as usize]),
+        lock_free in any::<bool>(),
         registrations in proptest::collection::vec(
             (1usize..17, addr_strategy()), 0..40),
         writes in proptest::collection::vec(addr_strategy(), 1..16),
     ) {
-        let config = CommitLogConfig { grain_log2, shards };
+        let config = CommitLogConfig { grain_log2, shards, lock_free };
         let log = CommitLog::with_config(config, 0);
         for (rank, addr) in &registrations {
             log.register_reader(*addr, *rank);
@@ -361,6 +365,7 @@ proptest! {
         floor_i in 0u32..2,
         initial_i in 0u32..3,
         shards in (0u32..3).prop_map(|i| [1usize, 2, 8][i as usize]),
+        lock_free in any::<bool>(),
         reads in proptest::collection::vec((1u64..2048).prop_map(|i| i * WORD_BYTES), 1..16),
         commits in proptest::collection::vec((1u64..2048).prop_map(|i| i * WORD_BYTES), 1..16),
         regrains_before in proptest::collection::vec((0u64..5, 0u32..3), 0..6),
@@ -368,7 +373,7 @@ proptest! {
     ) {
         let ladder = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2];
         let floor = ladder[floor_i as usize];
-        let config = CommitLogConfig { grain_log2: floor, shards };
+        let config = CommitLogConfig { grain_log2: floor, shards, lock_free };
         // 2048 words = 16 KiB = four regions; regrains target regions 0..5
         // so unrelated and out-of-window regions are exercised too.
         let log = CommitLog::with_initial_grain(config, 1 << 14, ladder[initial_i as usize]);
@@ -404,6 +409,76 @@ proptest! {
         if reads.iter().any(|&a| log.grain_of(a) != initial) {
             prop_assert!(!buf.validate_against(&log));
         }
+    }
+
+    /// Lock-free commit-path interleaving property (PR 7): N real
+    /// committer threads CAS-publishing arbitrary mixes of disjoint and
+    /// colliding slots, released together through a barrier.  Afterwards
+    /// **every stamp is visible** (no lost update, whatever the
+    /// interleaving), every shard epoch equals its reservation count
+    /// (epochs are exact and monotone — `fetch_add` never skips or
+    /// repeats), no slot exceeds the epoch it was reserved from, and the
+    /// aggregate counters are exact.
+    #[test]
+    fn concurrent_disjoint_commits_never_lose_a_stamp(
+        shards in (0u32..3).prop_map(|i| [1usize, 2, 4][i as usize]),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..64, 1..8), 2..8),
+    ) {
+        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards, lock_free: true };
+        // 64 word slots spread over `shards` regions: slot i lives in
+        // region (i % shards), so every batch mixes shards and colliding
+        // slots are common.  The capacity makes every region dense — the
+        // property is about the CAS fast path.
+        let log = std::sync::Arc::new(CommitLog::with_config(config, (shards as u64) << 12));
+        let region_bytes = 1u64 << log.region_log2();
+        let addr_of = |slot: u64| (slot % shards as u64) * region_bytes + (slot / shards as u64) * WORD_BYTES;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(batches.len()));
+        let handles: Vec<_> = batches
+            .iter()
+            .map(|batch| {
+                let log = std::sync::Arc::clone(&log);
+                let barrier = std::sync::Arc::clone(&barrier);
+                let addrs: Vec<u64> = batch.iter().map(|&s| addr_of(s)).collect();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    log.record(addrs.iter().copied())
+                })
+            })
+            .collect();
+        for h in handles {
+            let version = h.join().unwrap();
+            prop_assert!(version > 0, "a non-empty batch published no version");
+        }
+        // Every stamp visible: no interleaving loses an update.
+        let mut touched: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for batch in &batches {
+            for &slot in batch {
+                touched.insert(addr_of(slot));
+            }
+        }
+        for &addr in &touched {
+            prop_assert!(log.version_of(addr) > 0, "slot {addr:#x} lost its stamp");
+            prop_assert!(
+                log.version_of(addr) <= log.snapshot(addr),
+                "slot {addr:#x} outran its shard epoch"
+            );
+        }
+        // Shard epochs are exact: one reservation per (batch, touched
+        // shard) pair, so the epoch equals the number of batches whose
+        // addresses hit the shard.
+        for shard in 0..shards as u64 {
+            let expected = batches
+                .iter()
+                .filter(|batch| batch.iter().any(|&s| s % shards as u64 == shard))
+                .count() as u64;
+            prop_assert_eq!(
+                log.snapshot(shard * region_bytes),
+                expected,
+                "shard {} epoch drifted from its reservation count", shard
+            );
+        }
+        prop_assert_eq!(log.commits(), batches.len() as u64);
     }
 
     /// Address-space registration: an address is contained iff it falls in

@@ -269,6 +269,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Choose between the lock-free CAS commit path (the default) and the
+    /// locked A/B baseline (builder style).
+    pub fn commit_lock_free(mut self, lock_free: bool) -> Self {
+        self.commit_log.lock_free = lock_free;
+        self
+    }
+
     /// Set the full recovery-engine configuration (builder style).
     pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
@@ -433,5 +440,11 @@ mod tests {
         assert_eq!(c.commit_log.shards, 2);
         let c = c.commit_log(CommitLogConfig::page_grain());
         assert_eq!(c.commit_log, CommitLogConfig::page_grain());
+        // The native runtime defaults to the lock-free commit path; the
+        // locked baseline stays reachable for A/B comparisons.
+        assert!(RuntimeConfig::default().commit_log.lock_free);
+        let c = RuntimeConfig::default().commit_lock_free(false);
+        assert!(!c.commit_log.lock_free);
+        assert_eq!(c.commit_log, CommitLogConfig::default().locked());
     }
 }

@@ -1072,13 +1072,30 @@ impl ThreadManager {
                 outcome.buffers.global.commit(mem);
                 if outcome.buffers.global.write_set_len() > 0 {
                     let lock_started = Instant::now();
-                    self.commit_log
-                        .record(outcome.buffers.global.write_addresses());
+                    let (_, cas_retries) = self
+                        .commit_log
+                        .record_counted(outcome.buffers.global.write_addresses());
                     let lock_ns = elapsed_ns(lock_started);
                     self.recorder
                         .latency()
                         .record(LatencyPhase::CommitLockWait, lock_ns);
                     self.trace_event(child, site, EventKind::CommitLockWait { ns: lock_ns });
+                    // Contended lock-free batches surface their CAS-loop
+                    // losses; uncontended (and locked-mode) commits stay
+                    // silent, so the sample count doubles as a contention
+                    // signal.
+                    if cas_retries > 0 {
+                        self.recorder
+                            .latency()
+                            .record(LatencyPhase::CommitCasRetry, cas_retries);
+                        self.trace_event(
+                            child,
+                            site,
+                            EventKind::CommitCasRetry {
+                                attempts: cas_retries,
+                            },
+                        );
+                    }
                     let doomed = self.doom_readers(outcome.buffers.global.write_addresses(), child);
                     outcome.stats.counters.targeted_dooms += doomed;
                     if doomed > 0 {

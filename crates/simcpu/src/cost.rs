@@ -42,8 +42,18 @@ pub struct CostModel {
     /// Cycles to acquire and release one commit-log shard lock while
     /// publishing a write-set (charged per shard the batch touches);
     /// models the per-shard lock contention the sharded log trades
-    /// against the old single global commit lock.
+    /// against the old single global commit lock.  Charged only when the
+    /// commit log runs in **locked** mode — the lock-free CAS path
+    /// charges [`cas_retry`](Self::cas_retry) per contender instead.
     pub commit_lock: u64,
+    /// Cycles per **CAS retry** on the lock-free commit path: one failed
+    /// `compare_exchange` (cache-line bounce plus the re-read).  Charged
+    /// per same-shard contender of the committing batch, so disjoint
+    /// committers pay nothing — the contention term that replaces
+    /// [`commit_lock`](Self::commit_lock) when the log is lock-free.
+    /// Cheaper than a lock handoff: a retry is one coherence miss, not a
+    /// syscall-prone wait.
+    pub cas_retry: u64,
     /// Cycles per buffered word during finalization (buffer clearing).
     pub finalize_per_word: u64,
     /// Cycles a speculative thread needs from creation until it starts
@@ -85,6 +95,7 @@ impl Default for CostModel {
             validate_log_lookup: 2,
             commit_per_word: 4,
             commit_lock: 20,
+            cas_retry: 8,
             finalize_per_word: 1,
             spawn_latency: 300,
             retry_per_word: 3,
@@ -125,9 +136,16 @@ impl CostModel {
     }
 
     /// Commit-log locking cost for a batch touching `shards_touched`
-    /// shards of the sharded version table.
+    /// shards of the sharded version table (locked mode only).
     pub fn commit_lock_cycles(&self, shards_touched: u64) -> u64 {
         shards_touched * self.commit_lock
+    }
+
+    /// Lock-free commit-path contention cost for a batch racing
+    /// `retries` same-slot/same-region contenders (lock-free mode only;
+    /// 0 retries — the disjoint-range common case — is free).
+    pub fn cas_retry_cycles(&self, retries: u64) -> u64 {
+        retries * self.cas_retry
     }
 
     /// Finalization cost for `words` buffered entries.
@@ -205,6 +223,16 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.commit_lock_cycles(0), 0);
         assert_eq!(c.commit_lock_cycles(3), 3 * c.commit_lock);
+    }
+
+    #[test]
+    fn cas_retries_are_cheaper_than_lock_handoffs() {
+        let c = CostModel::default();
+        assert_eq!(c.cas_retry_cycles(0), 0, "disjoint committers are free");
+        assert_eq!(c.cas_retry_cycles(5), 5 * c.cas_retry);
+        // The lock-free premise: a CAS bounce costs less than a lock
+        // acquire/release, so the fast path wins even under contention.
+        assert!(c.cas_retry < c.commit_lock);
     }
 
     #[test]

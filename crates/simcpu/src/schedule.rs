@@ -111,7 +111,15 @@ impl Default for SimConfig {
             governor: GovernorConfig::default(),
             commit_log: CommitLogConfig::default()
                 .grain_log2(WORD_GRAIN_LOG2)
-                .shards(1),
+                .shards(1)
+                // The sim defaults to the *locked* cost model even though
+                // the native runtime now defaults lock-free: the committed
+                // replay baselines (BENCH_PR4/PR5.json) and the figure
+                // experiments' cycle counts were priced on commit_lock,
+                // and a single simulated shard has no CAS contention to
+                // model anyway.  Opt into the lock-free pricing with
+                // `commit_lock_free(true)`.
+                .locked(),
             recovery: RecoveryConfig::default(),
             grain_control: GrainControlConfig::default(),
             trace: false,
@@ -155,6 +163,15 @@ impl SimConfig {
     /// Set the simulated commit-log shard count (builder style).
     pub fn commit_shards(mut self, shards: usize) -> Self {
         self.commit_log.shards = shards;
+        self
+    }
+
+    /// Price commits on the lock-free CAS path instead of the default
+    /// locked model (builder style): contended batches pay
+    /// `CostModel::cas_retry` per same-shard contender instead of
+    /// `commit_lock` per shard touched.
+    pub fn commit_lock_free(mut self, lock_free: bool) -> Self {
+        self.commit_log.lock_free = lock_free;
         self
     }
 
@@ -353,6 +370,9 @@ pub struct Scheduler<'a> {
     sim_commits: u64,
     sim_stamps: u64,
     sim_regrains: u64,
+    /// Modeled CAS retries paid by lock-free commits (zero in the
+    /// default locked pricing).
+    sim_cas_retries: u64,
     /// Lifecycle events in virtual time (only filled when tracing is on).
     events: Vec<TraceEvent>,
     /// Always-on phase-latency histograms (virtual cycles as "ns").
@@ -399,6 +419,7 @@ impl<'a> Scheduler<'a> {
             sim_commits: 0,
             sim_stamps: 0,
             sim_regrains: 0,
+            sim_cas_retries: 0,
             events: Vec::new(),
             latency: LatencyRecorder::new(),
         }
@@ -503,6 +524,7 @@ impl<'a> Scheduler<'a> {
                 commits: self.sim_commits,
                 stamp_writes: self.sim_stamps,
                 lock_ns: 0,
+                cas_retries: self.sim_cas_retries,
                 regrains: self.sim_regrains,
                 // The simulator models reader tracking abstractly and
                 // never spills past the bitmask window.
@@ -1213,12 +1235,14 @@ impl<'a> Scheduler<'a> {
         let mut blocked = false;
         match verdict {
             Ok(()) => {
-                // Publishing to main memory locks every commit-log shard
-                // the write-set touches; absorbing into a speculative
-                // parent records nothing in the log and pays no lock.
+                // Publishing to main memory pays the commit log's
+                // contention term — per-shard lock handoffs in locked
+                // mode, per-contender CAS retries in lock-free mode;
+                // absorbing into a speculative parent records nothing in
+                // the log and pays neither.
                 let shard_mask = (self.config.commit_log.shards as u64) - 1;
-                let shards_touched = if self.fibers[fid].speculative {
-                    0
+                let (shards_touched, cas_attempts) = if self.fibers[fid].speculative {
+                    (0, 0)
                 } else {
                     // Shards stripe *regions* (grain-independent), as in
                     // the native log since grain control landed.
@@ -1229,19 +1253,62 @@ impl<'a> Scheduler<'a> {
                             .iter()
                             .map(|w| (w >> self.region_log2) & shard_mask),
                     );
-                    shards.len() as u64
+                    // Deterministic lock-free contention model: every
+                    // *other* in-flight speculative fiber whose buffered
+                    // writes map into a touched shard is one potential
+                    // same-shard contender, costing this batch one CAS
+                    // retry.  Disjoint-shard committers stay free — the
+                    // whole point of the CAS-published slots.
+                    let attempts = if self.config.commit_log.lock_free {
+                        self.fibers
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, f)| {
+                                i != cf && i != fid && f.speculative && f.finished.is_none()
+                            })
+                            .filter(|(_, f)| {
+                                f.writes.iter().any(|w| {
+                                    shards.contains(&((w >> self.region_log2) & shard_mask))
+                                })
+                            })
+                            .count() as u64
+                    } else {
+                        0
+                    };
+                    (shards.len() as u64, attempts)
                 };
-                let lock_wait = cost.commit_lock_cycles(shards_touched);
-                if shards_touched > 0 {
-                    self.latency.record(LatencyPhase::CommitLockWait, lock_wait);
-                    self.emit(
-                        child_rank,
-                        child_site,
-                        now,
-                        EventKind::CommitLockWait { ns: lock_wait },
-                    );
-                }
-                let commit = cost.commit_cycles(write_words) + lock_wait;
+                let contention = if self.config.commit_log.lock_free {
+                    let retry_cycles = cost.cas_retry_cycles(cas_attempts);
+                    if cas_attempts > 0 {
+                        self.sim_cas_retries += cas_attempts;
+                        // The histogram records the *attempt count*, not a
+                        // duration, mirroring the native runtime.
+                        self.latency
+                            .record(LatencyPhase::CommitCasRetry, cas_attempts);
+                        self.emit(
+                            child_rank,
+                            child_site,
+                            now,
+                            EventKind::CommitCasRetry {
+                                attempts: cas_attempts,
+                            },
+                        );
+                    }
+                    retry_cycles
+                } else {
+                    let lock_wait = cost.commit_lock_cycles(shards_touched);
+                    if shards_touched > 0 {
+                        self.latency.record(LatencyPhase::CommitLockWait, lock_wait);
+                        self.emit(
+                            child_rank,
+                            child_site,
+                            now,
+                            EventKind::CommitLockWait { ns: lock_wait },
+                        );
+                    }
+                    lock_wait
+                };
+                let commit = cost.commit_cycles(write_words) + contention;
                 self.fibers[cf].stats.add(Phase::Commit, commit);
                 self.fibers[cf].stats.add(Phase::Finalize, finalize);
                 self.fibers[fid].stats.add(Phase::Idle, commit + finalize);
@@ -1620,6 +1687,103 @@ mod tests {
         assert_eq!(ser(&result.report), ser(&again.report));
     }
 
+    /// Lock-free pricing replaces lock-handoff charges with per-contender
+    /// CAS retries, keeps the schedule itself identical (same commits,
+    /// same threads), and stays byte-deterministic.
+    #[test]
+    fn lock_free_pricing_reports_cas_retries_instead_of_lock_waits() {
+        // A speculation chain over one page (= one shard): every chunk
+        // stores its word in an *early* segment (split off by the check
+        // point) and then works for a long time, so when chunk i commits
+        // at the root's join, chunks i+1.. are still in flight with their
+        // stores already buffered — in-flight same-shard contenders, each
+        // a modeled CAS retry.
+        let memory = Arc::new(GlobalMemory::new(1 << 12));
+        let out = memory.alloc::<i64>(8);
+        let recording = record_region(Arc::clone(&memory), move |ctx| {
+            fn run<C: TlsContext>(
+                ctx: &mut C,
+                out: mutls_membuf::GPtr<i64>,
+                i: usize,
+                chunks: usize,
+            ) -> SpecResult<()> {
+                if i + 1 < chunks {
+                    let cont = task(move |ctx: &mut C| run(ctx, out, i + 1, chunks));
+                    let h = ctx.fork(0, cont)?;
+                    ctx.store(&out, i, i as i64)?;
+                    ctx.check_point()?;
+                    ctx.work(50_000)?;
+                    ctx.join(h)?;
+                } else {
+                    ctx.store(&out, i, i as i64)?;
+                    ctx.work(50_000)?;
+                }
+                Ok(())
+            }
+            run(ctx, out, 0, 6)
+        });
+        let locked = simulate(&recording, SimConfig::with_cpus(8));
+        let lock_free = simulate(&recording, SimConfig::with_cpus(8).commit_lock_free(true));
+        // Locked pricing: lock waits recorded, no CAS retries anywhere.
+        assert_eq!(locked.report.commit_log.cas_retries, 0);
+        assert!(
+            locked
+                .report
+                .latency
+                .row(LatencyPhase::CommitLockWait)
+                .unwrap()
+                .count
+                > 0
+        );
+        assert_eq!(
+            locked
+                .report
+                .latency
+                .row(LatencyPhase::CommitCasRetry)
+                .unwrap()
+                .count,
+            0
+        );
+        // Lock-free pricing: a chunk publishing while later chunks are in
+        // flight pays CAS retries; no lock waits are charged at all.
+        assert!(
+            lock_free.report.commit_log.cas_retries > 0,
+            "publishing while later chunks are in flight must model contention"
+        );
+        assert_eq!(
+            lock_free
+                .report
+                .latency
+                .row(LatencyPhase::CommitLockWait)
+                .unwrap()
+                .count,
+            0
+        );
+        assert!(
+            lock_free
+                .report
+                .latency
+                .row(LatencyPhase::CommitCasRetry)
+                .unwrap()
+                .count
+                > 0
+        );
+        // Only the pricing differs — the schedule commits the same threads.
+        assert_eq!(
+            locked.report.committed_threads,
+            lock_free.report.committed_threads
+        );
+        // Determinism survives the new branch.
+        let again = simulate(&recording, SimConfig::with_cpus(8).commit_lock_free(true));
+        let ser = |r: &RunReport| {
+            let mut out = String::new();
+            use serde::Serialize;
+            r.serialize_json(&mut out);
+            out
+        };
+        assert_eq!(ser(&lock_free.report), ser(&again.report));
+    }
+
     /// Degenerate pub-field configs (zero shards, sub-word grain) must be
     /// normalized by the scheduler, not panic or mis-mask — SimConfig is
     /// routinely built via struct literals.
@@ -1638,7 +1802,11 @@ mod tests {
             let result = simulate(
                 &recording,
                 SimConfig {
-                    commit_log: CommitLogConfig { grain_log2, shards },
+                    commit_log: CommitLogConfig {
+                        grain_log2,
+                        shards,
+                        lock_free: true,
+                    },
                     ..SimConfig::with_cpus(2)
                 },
             );

@@ -23,6 +23,11 @@ pub enum LatencyPhase {
     Validation,
     /// Commit-lock acquisition plus write-set stamping.
     CommitLockWait,
+    /// CAS retries paid by a lock-free commit batch.  The *value* is a
+    /// retry count, not a duration — the histogram buckets then read as
+    /// "batches that paid 1, 2, 4… retries" (only contended batches are
+    /// recorded, mirroring the `CommitCasRetry` event).
+    CommitCasRetry,
     /// Conflict repaired in place by value-predict retry.
     RepairRetry,
     /// Rollback repaired by inline re-execution under targeted dooming.
@@ -33,10 +38,11 @@ pub enum LatencyPhase {
 
 impl LatencyPhase {
     /// Every phase, in presentation order.
-    pub const ALL: [LatencyPhase; 6] = [
+    pub const ALL: [LatencyPhase; 7] = [
         LatencyPhase::ForkToCommit,
         LatencyPhase::Validation,
         LatencyPhase::CommitLockWait,
+        LatencyPhase::CommitCasRetry,
         LatencyPhase::RepairRetry,
         LatencyPhase::RepairDoomSet,
         LatencyPhase::RepairCascade,
@@ -48,6 +54,7 @@ impl LatencyPhase {
             LatencyPhase::ForkToCommit => "fork-to-commit",
             LatencyPhase::Validation => "validation",
             LatencyPhase::CommitLockWait => "commit-lock-wait",
+            LatencyPhase::CommitCasRetry => "commit-cas-retry",
             LatencyPhase::RepairRetry => "repair-retry",
             LatencyPhase::RepairDoomSet => "repair-doomset",
             LatencyPhase::RepairCascade => "repair-cascade",
@@ -59,9 +66,10 @@ impl LatencyPhase {
             LatencyPhase::ForkToCommit => 0,
             LatencyPhase::Validation => 1,
             LatencyPhase::CommitLockWait => 2,
-            LatencyPhase::RepairRetry => 3,
-            LatencyPhase::RepairDoomSet => 4,
-            LatencyPhase::RepairCascade => 5,
+            LatencyPhase::CommitCasRetry => 3,
+            LatencyPhase::RepairRetry => 4,
+            LatencyPhase::RepairDoomSet => 5,
+            LatencyPhase::RepairCascade => 6,
         }
     }
 }

@@ -258,6 +258,7 @@ proptest! {
         recovery_i in 0usize..3,
         adaptive_grain in any::<bool>(),
         tick_commits in 1u64..5,
+        lock_free in any::<bool>(),
         seed in any::<u64>(),
     ) {
         let grain_log2 = GRAINS[grain_i as usize];
@@ -267,6 +268,7 @@ proptest! {
             .commit_log(CommitLogConfig {
                 grain_log2,
                 shards,
+                lock_free,
             })
             .recovery(recovery);
         if adaptive_grain {
@@ -278,12 +280,13 @@ proptest! {
         let (state_ok, report) = conflict::chain_verify_native(chain, runtime_config);
         prop_assert!(
             state_ok,
-            "chain diverged: grain 2^{}B, {} shards, {} cpus, {}‰ sharing, {}, seed {seed:#x} ({})",
+            "chain diverged: grain 2^{}B, {} shards, {} cpus, {}‰ sharing, {}, {} commit path, seed {seed:#x} ({})",
             grain_log2,
             shards,
             cpus,
             permille,
             recovery.label(),
+            if lock_free { "lock-free" } else { "locked" },
             report.rollback_breakdown()
         );
         prop_assert_eq!(report.rollbacks_with(RollbackReason::Injected), 0);

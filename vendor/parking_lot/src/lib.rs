@@ -20,6 +20,12 @@ impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
         Mutex(sync::Mutex::new(value))
     }
+
+    /// Consume the mutex, returning the protected value (ignoring
+    /// poisoning, as parking_lot mutexes cannot be poisoned).
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 impl<T: ?Sized> Mutex<T> {
@@ -109,6 +115,12 @@ impl<T> RwLock<T> {
     /// Create a lock protecting `value`.
     pub const fn new(value: T) -> Self {
         RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the protected value (ignoring
+    /// poisoning, as parking_lot locks cannot be poisoned).
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
