@@ -75,7 +75,15 @@ fn assert_no_regression_once() {
         let JsonValue::Arr(rows) = rows else {
             panic!("graincontrol_replay must be an array");
         };
+        // The replay has since grown an mvcc recovery dimension; the
+        // single-version subset (the engine BENCH_PR5.json was generated
+        // under, in the same point × mode order) must still reproduce the
+        // committed trajectory counter-for-counter.
         let (fresh, _) = graincontrol_replay(&baseline_config());
+        let fresh: Vec<_> = fresh
+            .into_iter()
+            .filter(|r| r.recovery == "targeted+retry")
+            .collect();
         assert_eq!(fresh.len(), rows.len(), "replay row count drifted");
         for (row, expect) in fresh.iter().zip(rows) {
             let expect = expect.as_object().expect("row object");

@@ -74,8 +74,13 @@ pub const ROLLBACK_PROBABILITIES: [f64; 6] = [0.01, 0.05, 0.10, 0.20, 0.50, 1.00
 /// the PR 4/5 shape; v2 adds `schema_version` itself plus the `latency`,
 /// `regrains` and `reader_spills` columns; v3 (the lock-free commit
 /// path) adds the wall-clock `commits_per_sec` and `cas_retries` columns
-/// to the grain rows and the `commitbench` experiment's rows.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+/// to the grain rows and the `commitbench` experiment's rows; v4 (the
+/// mvcc commit log) adds the `precise_passes`/`ring_overflows` columns
+/// and the mvcc engine to the recovery rows, a `grain_log2` dimension to
+/// the recovery replay, and the `recovery` + `precise_passes` columns to
+/// the graincontrol rows (swept over the single-version and mvcc
+/// engines).
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Collects per-run flight-recorder streams across a sweep so the binary
 /// can export one Chrome trace-event document (`--trace <path>`).
@@ -1470,12 +1475,16 @@ pub const RECOVERY_SWEEP_PERMILLE: [u32; 3] = [0, 500, 1000];
 /// sharing only) and line (adds false sharing, the value-predict regime).
 pub const RECOVERY_SWEEP_GRAINS: [u32; 2] = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2];
 
-/// The recovery engines compared by the `recovery` sweep, cheapest-last.
-pub fn recovery_sweep_modes() -> [RecoveryConfig; 3] {
+/// The recovery engines compared by the `recovery` sweep, cheapest-last:
+/// the three single-version engines plus the mvcc engine, whose
+/// version rings turn conservative same-range verdicts into precise
+/// passes and whose retries time-travel to the version actually read.
+pub fn recovery_sweep_modes() -> [RecoveryConfig; 4] {
     [
         RecoveryConfig::cascade_only(),
         RecoveryConfig::targeted(),
         RecoveryConfig::targeted_with_retry(),
+        RecoveryConfig::mvcc(),
     ]
 }
 
@@ -1516,6 +1525,14 @@ pub struct RecoveryRow {
     /// Reader-registry entries spilled to the overflow list (registry
     /// pressure under the targeted engines; always 0 for cascade-only).
     pub reader_spills: u64,
+    /// Validations a version-ring probe proved precise: a later
+    /// same-range commit shown to have missed every word the thread
+    /// read.  Always 0 for the single-version engines.
+    pub precise_passes: u64,
+    /// Ring probes whose observed version had already fallen off the
+    /// version window, degrading that range to the single-version
+    /// conservative verdict.
+    pub ring_overflows: u64,
     /// Per-phase latency quantiles of the median run (ns).
     pub latency: LatencyReport,
     /// Whether the final memory state matched the sequential reference.
@@ -1559,6 +1576,7 @@ pub fn recovery_sweep(config: &ExperimentConfig) -> (Vec<RecoveryRow>, String) {
             "wasted (µs)",
             "commits/ms lock",
             "spills",
+            "precise/ovfl",
             "f2c p50/p99/p999 (µs)",
             "checksum",
         ],
@@ -1619,6 +1637,8 @@ pub fn recovery_sweep(config: &ExperimentConfig) -> (Vec<RecoveryRow>, String) {
                         commits: log.commits,
                         commit_throughput: log.commits as f64 / lock_ms,
                         reader_spills: log.reader_spills,
+                        precise_passes: report.precise_passes(),
+                        ring_overflows: log.ring_overflows,
                         latency: report.latency.clone(),
                         checksum_ok: every_rep_correct,
                     };
@@ -1635,6 +1655,7 @@ pub fn recovery_sweep(config: &ExperimentConfig) -> (Vec<RecoveryRow>, String) {
                         format!("{:.1}", row.wasted_work_ns as f64 / 1e3),
                         format!("{:.0}", row.commit_throughput),
                         row.reader_spills.to_string(),
+                        format!("{}/{}", row.precise_passes, row.ring_overflows),
                         latency_cell_us(&row.latency, LatencyPhase::ForkToCommit),
                         if row.checksum_ok { "ok" } else { "MISMATCH" }.to_string(),
                     ]);
@@ -1673,6 +1694,11 @@ pub struct RecoverySimRow {
     pub schema_version: u32,
     /// Benchmark name.
     pub workload: String,
+    /// Commit-log tracking grain (log2 bytes).  Word grain is the
+    /// single-version regime (every range hit is a word hit, so the
+    /// rings never fire); line grain adds the false sharing the mvcc
+    /// engine turns into precise passes.
+    pub grain_log2: u32,
     /// Recovery-engine label.
     pub recovery: String,
     /// True-sharing rate in `[0, 1]`.
@@ -1685,6 +1711,11 @@ pub struct RecoverySimRow {
     pub rolled_back: u64,
     /// Fibers doomed surgically at publish time.
     pub targeted_dooms: u64,
+    /// Validations the simulated version rings proved precise.
+    pub precise_passes: u64,
+    /// Simulated ring probes that fell off the version window and
+    /// degraded to the single-version conservative verdict.
+    pub ring_overflows: u64,
     /// Work discarded by rollbacks (virtual cycles) — deterministic.
     pub wasted_cycles: u64,
     /// Absolute speedup over the sequential trace cost.
@@ -1711,24 +1742,30 @@ fn record_conflict(kind: WorkloadKind, scale: Scale, permille: u32) -> Recording
 
 /// Deterministic recovery replay: the conflict family recorded at each
 /// sharing rate and replayed on the discrete-event simulator under every
-/// recovery engine, at word grain.  Identical inputs, virtual cycles —
-/// the targeted engine's doomed fibers stop at their next check point
-/// instead of completing their conflict window, so its wasted-work
+/// recovery engine, at word and line grain.  Identical inputs, virtual
+/// cycles — the targeted engine's doomed fibers stop at their next check
+/// point instead of completing their conflict window, so its wasted-work
 /// reduction over the cascade baseline is exact and reproducible, not a
-/// wall-clock estimate.
+/// wall-clock estimate.  The line-grain slice is where the mvcc engine
+/// separates from targeted+retry: false-sharing conflicts become
+/// ring-probed precise passes instead of dooms and retries (at word
+/// grain the engines coincide structurally — every range hit is a word
+/// hit, so the rings never fire).
 pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, String) {
     let cpus = native_cpus(config);
     let mut rows = Vec::new();
     let mut table = Table::new(
-        format!("Recovery Engine Replay at {cpus} CPUs (deterministic simulation, word grain)"),
+        format!("Recovery Engine Replay at {cpus} CPUs (deterministic simulation)"),
         &[
             "workload",
+            "grain",
             "sharing",
             "recovery",
             "committed",
             "retried",
             "rolled back",
             "dooms",
+            "precise/ovfl",
             "wasted (cycles)",
             "speedup",
         ],
@@ -1737,51 +1774,60 @@ pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, Strin
         for permille in RECOVERY_SWEEP_PERMILLE {
             let sharing = permille as f64 / 1000.0;
             let recording = record_conflict(kind, config.scale, permille);
-            for recovery in recovery_sweep_modes() {
-                let result = simulate(
-                    &recording,
-                    SimConfig {
-                        num_cpus: cpus,
-                        seed: config.seed,
-                        recovery,
-                        trace: config.trace_enabled(),
-                        ..SimConfig::default()
-                    },
-                );
-                let report = &result.report;
-                let row = RecoverySimRow {
-                    schema_version: BENCH_SCHEMA_VERSION,
-                    workload: kind.name().to_string(),
-                    recovery: recovery.label().to_string(),
-                    sharing,
-                    committed: report.committed_threads,
-                    retried: report.retried_threads,
-                    rolled_back: report.rolled_back_threads,
-                    targeted_dooms: report.targeted_dooms(),
-                    wasted_cycles: report.wasted_work(),
-                    speedup: result.speedup(),
-                };
-                table.push_row(vec![
-                    row.workload.clone(),
-                    format!("{:.0}%", sharing * 100.0),
-                    row.recovery.clone(),
-                    row.committed.to_string(),
-                    row.retried.to_string(),
-                    row.rolled_back.to_string(),
-                    row.targeted_dooms.to_string(),
-                    row.wasted_cycles.to_string(),
-                    format!("{:.2}", row.speedup),
-                ]);
-                rows.push(row);
-                config.record_trace(
-                    format!(
-                        "recovery_replay/{}/sharing{permille:04}/{}",
-                        kind.name(),
-                        recovery.label()
-                    ),
-                    result.events,
-                    0,
-                );
+            for grain_log2 in RECOVERY_SWEEP_GRAINS {
+                for recovery in recovery_sweep_modes() {
+                    let result = simulate(
+                        &recording,
+                        SimConfig {
+                            num_cpus: cpus,
+                            seed: config.seed,
+                            recovery,
+                            trace: config.trace_enabled(),
+                            ..SimConfig::default()
+                        }
+                        .grain_log2(grain_log2),
+                    );
+                    let report = &result.report;
+                    let row = RecoverySimRow {
+                        schema_version: BENCH_SCHEMA_VERSION,
+                        workload: kind.name().to_string(),
+                        grain_log2,
+                        recovery: recovery.label().to_string(),
+                        sharing,
+                        committed: report.committed_threads,
+                        retried: report.retried_threads,
+                        rolled_back: report.rolled_back_threads,
+                        targeted_dooms: report.targeted_dooms(),
+                        precise_passes: report.precise_passes(),
+                        ring_overflows: report.commit_log.ring_overflows,
+                        wasted_cycles: report.wasted_work(),
+                        speedup: result.speedup(),
+                    };
+                    table.push_row(vec![
+                        row.workload.clone(),
+                        grain_label(grain_log2),
+                        format!("{:.0}%", sharing * 100.0),
+                        row.recovery.clone(),
+                        row.committed.to_string(),
+                        row.retried.to_string(),
+                        row.rolled_back.to_string(),
+                        row.targeted_dooms.to_string(),
+                        format!("{}/{}", row.precise_passes, row.ring_overflows),
+                        row.wasted_cycles.to_string(),
+                        format!("{:.2}", row.speedup),
+                    ]);
+                    rows.push(row);
+                    config.record_trace(
+                        format!(
+                            "recovery_replay/{}/{}/sharing{permille:04}/{}",
+                            kind.name(),
+                            grain_label(grain_log2),
+                            recovery.label()
+                        ),
+                        result.events,
+                        0,
+                    );
+                }
             }
         }
     }
@@ -1869,6 +1915,19 @@ fn census_label(census: &[(u32, u64)]) -> String {
 /// conflict family at (mandelbrot has no sharing knob and runs once).
 pub const GRAINCONTROL_SHARING_PERMILLE: [u32; 2] = [0, 1000];
 
+/// The recovery engines the `graincontrol` sweep and replay compare at
+/// every grain mode: the single-version engine the committed
+/// `BENCH_PR5.json` trajectory was generated under (first — the
+/// trace-overhead bench replays that subset counter-for-counter) and
+/// the mvcc engine, whose rings interact with the controller (regrains
+/// conservatively truncate a region's version history).
+pub fn graincontrol_recoveries() -> [RecoveryConfig; 2] {
+    [
+        RecoveryConfig::targeted_with_retry(),
+        RecoveryConfig::mvcc(),
+    ]
+}
+
 /// Repetitions per native graincontrol point (median by wasted work, as
 /// in the recovery sweep).
 pub const GRAINCONTROL_REPS: usize = 3;
@@ -1882,6 +1941,8 @@ pub struct GrainControlRow {
     pub workload: String,
     /// Grain-mode label (`word`, `line`, `page`, `adaptive`).
     pub mode: String,
+    /// Recovery-engine label (`targeted+retry` or `mvcc`).
+    pub recovery: String,
     /// True-sharing rate in `[0, 1]` (0 for workloads without the knob).
     pub sharing: f64,
     /// Committed speculative threads.
@@ -1901,6 +1962,8 @@ pub struct GrainControlRow {
     pub regrains: u64,
     /// Reader-registry entries spilled to the overflow list.
     pub reader_spills: u64,
+    /// Validations a version-ring probe proved precise (mvcc rows only).
+    pub precise_passes: u64,
     /// Work discarded by rollbacks (nanoseconds, median run).
     pub wasted_work_ns: u64,
     /// Final per-region grain census (`(grain_log2, regions)` pairs).
@@ -1918,6 +1981,8 @@ pub struct GrainControlSimRow {
     pub workload: String,
     /// Grain-mode label.
     pub mode: String,
+    /// Recovery-engine label (`targeted+retry` or `mvcc`).
+    pub recovery: String,
     /// True-sharing rate in `[0, 1]`.
     pub sharing: f64,
     /// Committed speculative fibers.
@@ -1931,6 +1996,9 @@ pub struct GrainControlSimRow {
     pub stamp_writes: u64,
     /// Regions regrained by the simulated controller.
     pub regrains: u64,
+    /// Validations the simulated version rings proved precise (mvcc
+    /// rows only).
+    pub precise_passes: u64,
     /// Work discarded by rollbacks (virtual cycles, deterministic — the
     /// acceptance column for the wasted-work claim).
     pub wasted_cycles: u64,
@@ -1974,6 +2042,7 @@ pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, S
             "workload",
             "sharing",
             "mode",
+            "recovery",
             "committed",
             "retries",
             "rolled back (C/O/I/X)",
@@ -1981,6 +2050,7 @@ pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, S
             "stamps",
             "regrains",
             "spills",
+            "precise",
             "wasted (µs)",
             "final grains",
             "checksum",
@@ -1989,77 +2059,88 @@ pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, S
     for (kind, permille) in graincontrol_points() {
         let sharing = permille as f64 / 1000.0;
         for mode in GrainMode::all() {
-            type Rep = (u64, bool, RunReport, (Vec<TraceEvent>, u64));
-            let mut runs: Vec<Rep> = (0..GRAINCONTROL_REPS)
-                .map(|_| {
-                    let runtime_config = mode.runtime_config(cpus).trace(config.trace_config());
-                    let (ok, report, capture) = match kind {
-                        WorkloadKind::Mandelbrot => {
-                            let runtime = Runtime::new(
-                                runtime_config.memory_bytes(arena_bytes(kind, config.scale)),
-                            );
-                            let memory = runtime.memory();
-                            let data = setup(kind, config.scale, &memory);
-                            let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
-                            let ok = mutls_workloads::checksum(&memory, &data)
-                                == reference_checksum(kind, config.scale);
-                            let capture = (runtime.drain_trace_events(), runtime.trace_dropped());
-                            (ok, report, capture)
-                        }
-                        _ => {
-                            let case = ConflictCase::new(kind, config.scale, permille);
-                            let (sum, report, capture) = case.native_traced(runtime_config);
-                            (sum == case.reference(), report, capture)
-                        }
-                    };
-                    (report.wasted_work(), ok, report, capture)
-                })
-                .collect();
-            let every_rep_correct = runs.iter().all(|(_, ok, _, _)| *ok);
-            runs.sort_by_key(|(wasted, _, _, _)| *wasted);
-            let (_, _, report, (events, dropped)) = runs.swap_remove(runs.len() / 2);
-            config.record_trace(
-                format!(
-                    "graincontrol/{}/sharing{permille:04}/{}",
-                    kind.name(),
-                    mode.label()
-                ),
-                events,
-                dropped,
-            );
-            let row = GrainControlRow {
-                schema_version: BENCH_SCHEMA_VERSION,
-                workload: kind.name().to_string(),
-                mode: mode.label(),
-                sharing,
-                committed: report.committed_threads,
-                retries: report.retries(),
-                rolled_back: report.rolled_back_threads,
-                rollback_reasons: report.rollback_reasons,
-                suspected_false_sharing: report.suspected_false_sharing(),
-                stamp_writes: report.commit_log.stamp_writes,
-                regrains: report.commit_log.regrains,
-                reader_spills: report.commit_log.reader_spills,
-                wasted_work_ns: report.wasted_work(),
-                region_grains: report.region_grains.clone(),
-                checksum_ok: every_rep_correct,
-            };
-            table.push_row(vec![
-                row.workload.clone(),
-                format!("{:.0}%", sharing * 100.0),
-                row.mode.clone(),
-                row.committed.to_string(),
-                row.retries.to_string(),
-                format_rollback_cell(row.rolled_back, &row.rollback_reasons),
-                row.suspected_false_sharing.to_string(),
-                row.stamp_writes.to_string(),
-                row.regrains.to_string(),
-                row.reader_spills.to_string(),
-                format!("{:.1}", row.wasted_work_ns as f64 / 1e3),
-                census_label(&row.region_grains),
-                if row.checksum_ok { "ok" } else { "MISMATCH" }.to_string(),
-            ]);
-            rows.push(row);
+            for recovery in graincontrol_recoveries() {
+                type Rep = (u64, bool, RunReport, (Vec<TraceEvent>, u64));
+                let mut runs: Vec<Rep> = (0..GRAINCONTROL_REPS)
+                    .map(|_| {
+                        let runtime_config = mode
+                            .runtime_config(cpus)
+                            .recovery(recovery)
+                            .trace(config.trace_config());
+                        let (ok, report, capture) = match kind {
+                            WorkloadKind::Mandelbrot => {
+                                let runtime = Runtime::new(
+                                    runtime_config.memory_bytes(arena_bytes(kind, config.scale)),
+                                );
+                                let memory = runtime.memory();
+                                let data = setup(kind, config.scale, &memory);
+                                let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
+                                let ok = mutls_workloads::checksum(&memory, &data)
+                                    == reference_checksum(kind, config.scale);
+                                let capture =
+                                    (runtime.drain_trace_events(), runtime.trace_dropped());
+                                (ok, report, capture)
+                            }
+                            _ => {
+                                let case = ConflictCase::new(kind, config.scale, permille);
+                                let (sum, report, capture) = case.native_traced(runtime_config);
+                                (sum == case.reference(), report, capture)
+                            }
+                        };
+                        (report.wasted_work(), ok, report, capture)
+                    })
+                    .collect();
+                let every_rep_correct = runs.iter().all(|(_, ok, _, _)| *ok);
+                runs.sort_by_key(|(wasted, _, _, _)| *wasted);
+                let (_, _, report, (events, dropped)) = runs.swap_remove(runs.len() / 2);
+                config.record_trace(
+                    format!(
+                        "graincontrol/{}/sharing{permille:04}/{}/{}",
+                        kind.name(),
+                        mode.label(),
+                        recovery.label()
+                    ),
+                    events,
+                    dropped,
+                );
+                let row = GrainControlRow {
+                    schema_version: BENCH_SCHEMA_VERSION,
+                    workload: kind.name().to_string(),
+                    mode: mode.label(),
+                    recovery: recovery.label().to_string(),
+                    sharing,
+                    committed: report.committed_threads,
+                    retries: report.retries(),
+                    rolled_back: report.rolled_back_threads,
+                    rollback_reasons: report.rollback_reasons,
+                    suspected_false_sharing: report.suspected_false_sharing(),
+                    stamp_writes: report.commit_log.stamp_writes,
+                    regrains: report.commit_log.regrains,
+                    reader_spills: report.commit_log.reader_spills,
+                    precise_passes: report.precise_passes(),
+                    wasted_work_ns: report.wasted_work(),
+                    region_grains: report.region_grains.clone(),
+                    checksum_ok: every_rep_correct,
+                };
+                table.push_row(vec![
+                    row.workload.clone(),
+                    format!("{:.0}%", sharing * 100.0),
+                    row.mode.clone(),
+                    row.recovery.clone(),
+                    row.committed.to_string(),
+                    row.retries.to_string(),
+                    format_rollback_cell(row.rolled_back, &row.rollback_reasons),
+                    row.suspected_false_sharing.to_string(),
+                    row.stamp_writes.to_string(),
+                    row.regrains.to_string(),
+                    row.reader_spills.to_string(),
+                    row.precise_passes.to_string(),
+                    format!("{:.1}", row.wasted_work_ns as f64 / 1e3),
+                    census_label(&row.region_grains),
+                    if row.checksum_ok { "ok" } else { "MISMATCH" }.to_string(),
+                ]);
+                rows.push(row);
+            }
         }
     }
     (rows, table.render())
@@ -2081,11 +2162,13 @@ pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow
             "workload",
             "sharing",
             "mode",
+            "recovery",
             "committed",
             "retried",
             "rolled back",
             "stamps",
             "regrains",
+            "precise",
             "wasted (cycles)",
             "speedup",
             "final grains",
@@ -2098,49 +2181,56 @@ pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow
             _ => record_conflict(kind, config.scale, permille),
         };
         for mode in GrainMode::all() {
-            let result = simulate(
-                &recording,
-                mode.sim_config(cpus, config.seed)
-                    .trace(config.trace_enabled()),
-            );
-            let report = &result.report;
-            let row = GrainControlSimRow {
-                schema_version: BENCH_SCHEMA_VERSION,
-                workload: kind.name().to_string(),
-                mode: mode.label(),
-                sharing,
-                committed: report.committed_threads,
-                retried: report.retried_threads,
-                rolled_back: report.rolled_back_threads,
-                stamp_writes: report.commit_log.stamp_writes,
-                regrains: report.commit_log.regrains,
-                wasted_cycles: report.wasted_work(),
-                speedup: result.speedup(),
-                region_grains: report.region_grains.clone(),
-            };
-            table.push_row(vec![
-                row.workload.clone(),
-                format!("{:.0}%", sharing * 100.0),
-                row.mode.clone(),
-                row.committed.to_string(),
-                row.retried.to_string(),
-                row.rolled_back.to_string(),
-                row.stamp_writes.to_string(),
-                row.regrains.to_string(),
-                row.wasted_cycles.to_string(),
-                format!("{:.2}", row.speedup),
-                census_label(&row.region_grains),
-            ]);
-            rows.push(row);
-            config.record_trace(
-                format!(
-                    "graincontrol_replay/{}/sharing{permille:04}/{}",
-                    kind.name(),
-                    mode.label()
-                ),
-                result.events,
-                0,
-            );
+            for recovery in graincontrol_recoveries() {
+                let mut sim_config = mode
+                    .sim_config(cpus, config.seed)
+                    .trace(config.trace_enabled());
+                sim_config.recovery = recovery;
+                let result = simulate(&recording, sim_config);
+                let report = &result.report;
+                let row = GrainControlSimRow {
+                    schema_version: BENCH_SCHEMA_VERSION,
+                    workload: kind.name().to_string(),
+                    mode: mode.label(),
+                    recovery: recovery.label().to_string(),
+                    sharing,
+                    committed: report.committed_threads,
+                    retried: report.retried_threads,
+                    rolled_back: report.rolled_back_threads,
+                    stamp_writes: report.commit_log.stamp_writes,
+                    regrains: report.commit_log.regrains,
+                    precise_passes: report.precise_passes(),
+                    wasted_cycles: report.wasted_work(),
+                    speedup: result.speedup(),
+                    region_grains: report.region_grains.clone(),
+                };
+                table.push_row(vec![
+                    row.workload.clone(),
+                    format!("{:.0}%", sharing * 100.0),
+                    row.mode.clone(),
+                    row.recovery.clone(),
+                    row.committed.to_string(),
+                    row.retried.to_string(),
+                    row.rolled_back.to_string(),
+                    row.stamp_writes.to_string(),
+                    row.regrains.to_string(),
+                    row.precise_passes.to_string(),
+                    row.wasted_cycles.to_string(),
+                    format!("{:.2}", row.speedup),
+                    census_label(&row.region_grains),
+                ]);
+                rows.push(row);
+                config.record_trace(
+                    format!(
+                        "graincontrol_replay/{}/sharing{permille:04}/{}/{}",
+                        kind.name(),
+                        mode.label(),
+                        recovery.label()
+                    ),
+                    result.events,
+                    0,
+                );
+            }
         }
     }
     (rows, table.render())
@@ -2618,27 +2708,52 @@ mod tests {
                 assert_eq!(row.retries, 0, "{}: cascade retried", row.workload);
             }
         }
+        // The single-version engines never ring-probe.
+        for row in &rows {
+            if row.recovery != "mvcc" {
+                assert_eq!(
+                    (row.precise_passes, row.ring_overflows),
+                    (0, 0),
+                    "{} {}: single-version engine reported ring activity",
+                    row.workload,
+                    row.recovery
+                );
+            }
+        }
         // Structural assertions only: native wasted-work magnitudes are
         // wall-clock (scheduling-sensitive, wildly stretched in debug
         // builds under parallel test load), so the quantitative
         // engine-vs-engine claims are asserted on the deterministic
-        // replay below instead.
+        // replay below instead.  Engagement itself is also
+        // scheduling-sensitive at tiny scale (a starved conflict window
+        // retires before anyone observes it), so each claim gets a
+        // bounded number of re-runs before the engine is declared dead.
         //
         // Targeted dooming actually engages…
-        assert!(
+        let dooms_engaged = |rows: &[RecoveryRow]| {
             rows.iter()
                 .filter(|r| r.recovery != "cascade" && r.sharing >= 0.5)
-                .any(|r| r.targeted_dooms > 0),
-            "targeted recovery never doomed anyone"
-        );
+                .any(|r| r.targeted_dooms > 0)
+        };
         // …and value prediction repairs conflicts in place (most visibly
         // the spurious dooms and false sharing of the RMW histogram).
-        assert!(
+        let retry_engaged = |rows: &[RecoveryRow]| {
             rows.iter()
-                .filter(|r| r.recovery == "targeted+retry")
-                .any(|r| r.retries > 0),
-            "value prediction never repaired a conflict"
-        );
+                .filter(|r| r.recovery == "targeted+retry" || r.recovery == "mvcc")
+                .any(|r| r.retries > 0)
+        };
+        let mut doomed = dooms_engaged(&rows);
+        let mut retried = retry_engaged(&rows);
+        for _ in 0..2 {
+            if doomed && retried {
+                break;
+            }
+            let (again, _) = recovery_sweep(&quick());
+            doomed = doomed || dooms_engaged(&again);
+            retried = retried || retry_engaged(&again);
+        }
+        assert!(doomed, "targeted recovery never doomed anyone");
+        assert!(retried, "value prediction never repaired a conflict");
         let _ = LINE_GRAIN_LOG2;
     }
 
@@ -2653,7 +2768,12 @@ mod tests {
         assert!(text.contains("Recovery Engine Replay"));
         let wasted = |kind: &str, sharing: f64, recovery: &str| {
             rows.iter()
-                .find(|r| r.workload == kind && r.sharing == sharing && r.recovery == recovery)
+                .find(|r| {
+                    r.workload == kind
+                        && r.grain_log2 == WORD_GRAIN_LOG2
+                        && r.sharing == sharing
+                        && r.recovery == recovery
+                })
                 .unwrap()
                 .wasted_cycles
         };
@@ -2675,13 +2795,102 @@ mod tests {
                  cascade {chain_cascade} cycles"
             );
         }
-        // Determinism: a second replay is identical.
+        // Determinism: a second replay is identical (the mvcc rows too —
+        // zero divergence is the acceptance bar for the ring probes).
         let (again, _) = recovery_replay(&quick());
-        let key = |r: &RecoverySimRow| (r.wasted_cycles, r.rolled_back, r.targeted_dooms);
+        let key = |r: &RecoverySimRow| {
+            (
+                r.wasted_cycles,
+                r.rolled_back,
+                r.targeted_dooms,
+                r.precise_passes,
+                r.ring_overflows,
+            )
+        };
         assert!(
             rows.iter().map(key).eq(again.iter().map(key)),
             "recovery replay is nondeterministic"
         );
+    }
+
+    #[test]
+    fn recovery_replay_mvcc_beats_single_version_at_line_grain() {
+        // The PR's acceptance claim, on the deterministic simulator: at
+        // line grain and >= 50% sharing the version rings strictly
+        // reduce the fibers squashed or sent through a value-predict
+        // repair against the strongest single-version engine on both
+        // conflict workloads, because false-sharing conflicts become
+        // ring-probed precise passes instead.  Surgical *dooms* may grow
+        // in exchange — a precise-passing fiber survives to its real
+        // conflict, where dooming it early is exactly the engine's job —
+        // so the doomed fiber's budget is asserted through wasted cycles
+        // (never worse pointwise) rather than doom counts.  At word
+        // grain the two engines must coincide counter-for-counter: every
+        // range hit is a word hit there, so the rings never fire and
+        // mvcc degenerates to targeted+retry structurally.
+        let (rows, _) = recovery_replay(&quick());
+        let at = |kind: &str, grain: u32, sharing: f64, recovery: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.workload == kind
+                        && r.grain_log2 == grain
+                        && r.sharing == sharing
+                        && r.recovery == recovery
+                })
+                .unwrap()
+        };
+        let traffic = |r: &RecoverySimRow| r.rolled_back + r.retried;
+        for kind in ["hist_shared", "conflict_chain"] {
+            let mut single_version = 0;
+            let mut mvcc = 0;
+            let mut precise = 0;
+            for sharing in [0.5, 1.0] {
+                let legacy = at(kind, LINE_GRAIN_LOG2, sharing, "targeted+retry");
+                let ringed = at(kind, LINE_GRAIN_LOG2, sharing, "mvcc");
+                single_version += traffic(legacy);
+                mvcc += traffic(ringed);
+                precise += ringed.precise_passes;
+                assert_eq!(
+                    legacy.precise_passes, 0,
+                    "{kind}: single-version engine ring-probed"
+                );
+                assert!(
+                    ringed.wasted_cycles <= legacy.wasted_cycles,
+                    "{kind} at {sharing}: mvcc wasted {} vs single-version {}",
+                    ringed.wasted_cycles,
+                    legacy.wasted_cycles
+                );
+                assert!(
+                    ringed.committed >= legacy.committed,
+                    "{kind} at {sharing}: mvcc committed fewer fibers"
+                );
+            }
+            assert!(
+                mvcc < single_version,
+                "{kind} at line grain: mvcc squash+retry traffic {mvcc} \
+                 vs single-version {single_version} — the rings bought nothing"
+            );
+            assert!(
+                precise > 0,
+                "{kind} at line grain: no precise passes despite shared lines"
+            );
+        }
+        // Word grain: the engines coincide exactly.
+        for kind in ["hist_shared", "conflict_chain"] {
+            for sharing in [0.0, 0.5, 1.0] {
+                let legacy = at(kind, WORD_GRAIN_LOG2, sharing, "targeted+retry");
+                let ringed = at(kind, WORD_GRAIN_LOG2, sharing, "mvcc");
+                assert_eq!(
+                    ringed.precise_passes, 0,
+                    "{kind}: rings fired at word grain"
+                );
+                assert_eq!(
+                    (ringed.rolled_back, ringed.retried, ringed.wasted_cycles),
+                    (legacy.rolled_back, legacy.retried, legacy.wasted_cycles),
+                    "{kind} at {sharing}: mvcc diverged from targeted+retry at word grain"
+                );
+            }
+        }
     }
 
     #[test]
@@ -2692,6 +2901,7 @@ mod tests {
             rows.len(),
             (1 + WorkloadKind::CONFLICT_FAMILY.len() * GRAINCONTROL_SHARING_PERMILLE.len())
                 * GrainMode::all().len()
+                * graincontrol_recoveries().len()
         );
         for row in &rows {
             assert!(
@@ -2734,9 +2944,16 @@ mod tests {
         // mixed-model thesis applied to detection granularity.
         let (rows, text) = graincontrol_replay(&quick());
         assert!(text.contains("Adaptive Grain Control Replay"));
+        // The historical claims are asserted on the single-version rows
+        // (the regime the committed BENCH_PR5.json trajectory pinned).
         let row = |kind: &str, sharing: f64, mode: &str| {
             rows.iter()
-                .find(|r| r.workload == kind && r.sharing == sharing && r.mode == mode)
+                .find(|r| {
+                    r.workload == kind
+                        && r.sharing == sharing
+                        && r.mode == mode
+                        && r.recovery == "targeted+retry"
+                })
                 .unwrap()
         };
         let mandel_adaptive = row("mandelbrot", 0.0, "adaptive");
@@ -2787,9 +3004,42 @@ mod tests {
             }
         }
 
+        // The mvcc dimension never hurts: at every (workload, mode,
+        // sharing) point the ringed run's recovery traffic stays at or
+        // below the single-version run's, and the single-version rows
+        // never ring-probe.
+        for legacy in rows.iter().filter(|r| r.recovery == "targeted+retry") {
+            assert_eq!(legacy.precise_passes, 0);
+            let ringed = rows
+                .iter()
+                .find(|r| {
+                    r.workload == legacy.workload
+                        && r.mode == legacy.mode
+                        && r.sharing == legacy.sharing
+                        && r.recovery == "mvcc"
+                })
+                .unwrap();
+            assert!(
+                ringed.rolled_back + ringed.retried <= legacy.rolled_back + legacy.retried,
+                "{} {} at {:.0}%: mvcc recovery traffic grew ({} vs {})",
+                legacy.workload,
+                legacy.mode,
+                legacy.sharing * 100.0,
+                ringed.rolled_back + ringed.retried,
+                legacy.rolled_back + legacy.retried
+            );
+        }
+
         // Determinism: the replay reproduces itself exactly.
         let (again, _) = graincontrol_replay(&quick());
-        let key = |r: &GrainControlSimRow| (r.stamp_writes, r.wasted_cycles, r.regrains);
+        let key = |r: &GrainControlSimRow| {
+            (
+                r.stamp_writes,
+                r.wasted_cycles,
+                r.regrains,
+                r.precise_passes,
+            )
+        };
         assert!(
             rows.iter().map(key).eq(again.iter().map(key)),
             "graincontrol replay is nondeterministic"

@@ -50,9 +50,9 @@ pub mod report;
 pub use experiments::{
     adaptive_sweep, breakdown, commitbench, commitbench_with, conflict_sweep, figure10, figure11,
     figure3, figure4, figure5, figure6, figure7, figure8, figure9, format_site_table, grain_label,
-    grain_sweep, graincontrol_replay, graincontrol_sweep, overflow_sweep, record_workload,
-    recovery_replay, recovery_sweep, recovery_sweep_modes, speedup_sweep, table2, trace_scenario,
-    AdaptiveRow, BreakdownRow, CommitBenchRow, ExperimentConfig, GrainControlRow,
+    grain_sweep, graincontrol_recoveries, graincontrol_replay, graincontrol_sweep, overflow_sweep,
+    record_workload, recovery_replay, recovery_sweep, recovery_sweep_modes, speedup_sweep, table2,
+    trace_scenario, AdaptiveRow, BreakdownRow, CommitBenchRow, ExperimentConfig, GrainControlRow,
     GrainControlSimRow, GrainMode, GrainRow, MetricKind, NativeRow, RecoveryRow, RecoverySimRow,
     SweepRow, TraceScenarioRow, TraceSink, ADAPTIVE_ROLLBACK_PROBABILITY, BENCH_SCHEMA_VERSION,
     COMMITBENCH_MIXES, COMMITBENCH_THREADS, COMMITBENCH_THREADS_ENV, CONFLICT_SHARING_PERMILLE,

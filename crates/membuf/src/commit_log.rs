@@ -110,6 +110,48 @@
 //! shard lock serializes committers, stamps precede the epoch publish,
 //! and the epoch is stored (not `fetch_add`ed) under the lock.
 //!
+//! ## Version rings (MVCC validation)
+//!
+//! With [`CommitLogConfig::ring_depth`]` > 1` every dense slot carries a
+//! small **ring of packed `(version, footprint)` entries** recording the
+//! recent commit history of the range, published lock-free on the same
+//! fast path (one CAS-merge per touched slot, *before* the dense version
+//! CAS).  The footprint is a 16-bit Bloom hash of the **word offsets
+//! written** within the range — deliberately value-independent, so a
+//! hash collision can only ever *add* conservatism (a value hash could
+//! collide two different values and mask a genuine conflict; an offset
+//! hash at worst blames an unwritten word).
+//!
+//! Entries are indexed by **version bucket**: bucket
+//! `version >> `[`CommitLogConfig::ring_bucket_log2`] owns ring slot
+//! `bucket % ring_depth`.  A committer CAS-merges into its bucket's slot
+//! (same bucket: max the version, OR the footprint; older bucket:
+//! replace; newer bucket already present: leave it — the lost footprint
+//! is conservatively covered, because a validator of the displaced
+//! bucket sees the newer entry at its index and falls back).  That makes
+//! *overflow detection purely arithmetic*: a snapshot older than
+//! `ring_depth` buckets, or a probed bucket whose slot was reused by a
+//! newer bucket, yields [`RingCheck::Overflow`] (counted in
+//! [`CommitLogStats::ring_overflows`]) and validation falls back to the
+//! single-version conservatism above.
+//!
+//! [`CommitLog::probe_written`] is the precise replacement for
+//! [`written_after`](CommitLog::written_after): instead of "did the
+//! range's version move", it answers "did any post-snapshot commit
+//! *touch the read word*" ([`RingCheck::Touched`]) or "commits landed
+//! but none touched it" ([`RingCheck::Precise`] — the false-sharing
+//! survivals that motivate MVCC).  The one-sided guarantee is
+//! unchanged at every depth: probes may report false touches (bucket
+//! aggregation, offset-hash collisions, regrain truncation — a
+//! [`regrain`](CommitLog::regrain) merges a *full* footprint at its
+//! flush version into every slot of the region, in both modes), but a
+//! genuine dependence violation is flagged through every interleaving,
+//! because a committer's ring merge precedes its dense stamp and
+//! join-time validation runs after the relevant commit's
+//! [`record`](CommitLog::record) returned.  Depth 1 (the standalone
+//! default) allocates no rings and degenerates to exactly the
+//! single-version behavior.
+//!
 //! ## Memory-ordering protocol (per shard)
 //!
 //! Soundness under concurrency relies on the order of operations, applied
@@ -273,6 +315,53 @@ pub fn region_log2_for_grain(grain_log2: u32) -> u32 {
 /// scaled up into [`CommitLogStats::lock_ns`].
 pub const LOCK_SAMPLE_LOG2: u32 = 3;
 
+/// Ring depth the runtime's mvcc recovery mode uses by default (the
+/// standalone log default stays 1 = no rings; see
+/// [`CommitLogConfig::ring_depth`]).
+pub const DEFAULT_RING_DEPTH: u32 = 4;
+
+/// Largest ring depth [`CommitLogConfig::normalized`] allows — 64 slots
+/// (512 B) of history per range is already far past the point of
+/// diminishing precision returns.
+pub const MAX_RING_DEPTH: u32 = 64;
+
+/// Bits of a packed ring entry holding the written-word footprint; the
+/// remaining 48 bits hold the commit version (a log that exhausts 2^48
+/// versions saturates to [`RingCheck::Overflow`], never wraps).
+const RING_FOOTPRINT_BITS: u32 = 16;
+
+/// Footprint mask of a packed ring entry.
+const RING_FOOTPRINT_MASK: u64 = (1 << RING_FOOTPRINT_BITS) - 1;
+
+/// The "every word of the range may have been written" footprint —
+/// merged by [`CommitLog::regrain`]'s conservative truncation.
+const RING_FULL_FOOTPRINT: u64 = RING_FOOTPRINT_MASK;
+
+/// First version a packed ring entry cannot represent.
+const RING_VERSION_CAP: u64 = 1 << (64 - RING_FOOTPRINT_BITS);
+
+/// Pack a ring entry.  Caller guarantees `version < RING_VERSION_CAP`.
+fn ring_pack(version: CommitVersion, footprint: u64) -> u64 {
+    (version << RING_FOOTPRINT_BITS) | (footprint & RING_FOOTPRINT_MASK)
+}
+
+/// The commit version of a packed ring entry.
+fn ring_version(entry: u64) -> CommitVersion {
+    entry >> RING_FOOTPRINT_BITS
+}
+
+/// The written-word footprint of a packed ring entry.
+fn ring_footprint(entry: u64) -> u64 {
+    entry & RING_FOOTPRINT_MASK
+}
+
+/// The footprint bit of the word holding `addr`: word index within the
+/// range, folded to 16 bits.  Value-independent by design — collisions
+/// (two words, one bit) only ever add conservatism.
+fn footprint_bit(addr: Addr) -> u64 {
+    1 << ((addr >> WORD_GRAIN_LOG2) & (RING_FOOTPRINT_BITS as u64 - 1))
+}
+
 /// Highest thread rank the reader registry tracks in the per-range
 /// bitmask; ranks beyond it land in the per-range spill set (enumeration
 /// stays complete — the pre-PR5 cascade fallback is gone).
@@ -353,6 +442,40 @@ impl ReaderSet {
     }
 }
 
+/// Answer of [`CommitLog::probe_written`]: what the version ring knows
+/// about commits to `addr`'s range after the probed snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingCheck {
+    /// No commit wrote the range after the snapshot (exactly
+    /// [`written_after`](CommitLog::written_after)` == false`).
+    Clean,
+    /// Commits wrote the range after the snapshot, but the ring proves
+    /// none of them touched the probed *word* — a precise pass that
+    /// single-version validation would have doomed as false sharing.
+    /// Only possible at `ring_depth > 1`.
+    Precise,
+    /// Some post-snapshot commit touched (or may have touched) the
+    /// probed word; `newest_touch` is the newest ring version whose
+    /// footprint covers it — the time-travel restamp target.
+    Touched {
+        /// Newest ring entry version whose footprint covers the word.
+        newest_touch: CommitVersion,
+    },
+    /// The ring's history does not reach back to the snapshot (depth
+    /// exceeded, bucket evicted, or version space exhausted): fall back
+    /// to single-version conservatism.  Counted in
+    /// [`CommitLogStats::ring_overflows`].
+    Overflow,
+}
+
+impl RingCheck {
+    /// Whether the probe proves the read is still valid (either nothing
+    /// wrote the range, or nothing touched the word).
+    pub fn is_valid(self) -> bool {
+        matches!(self, RingCheck::Clean | RingCheck::Precise)
+    }
+}
+
 /// Granularity and sharding of the commit log's version table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommitLogConfig {
@@ -369,6 +492,18 @@ pub struct CommitLogConfig {
     /// protocol, kept for A/B comparison — see the `commitbench`
     /// sweep and the module docs for both protocols).
     pub lock_free: bool,
+    /// Per-slot version-ring depth for MVCC validation (see the module
+    /// docs): 1 (the default) allocates no rings and keeps exact
+    /// single-version behavior; deeper rings let
+    /// [`CommitLog::probe_written`] answer precisely whether the probed
+    /// *word* was overwritten.  Clamped to `1..=`[`MAX_RING_DEPTH`].
+    pub ring_depth: u32,
+    /// Log2 of the ring's version-bucket width: `2^ring_bucket_log2`
+    /// consecutive versions share one ring slot (footprints OR-merged),
+    /// so a depth-`d` ring reaches `d * 2^ring_bucket_log2` versions
+    /// back before overflowing.  Coarser buckets reach further at lower
+    /// word precision.  Clamped to `0..=16`.
+    pub ring_bucket_log2: u32,
 }
 
 impl Default for CommitLogConfig {
@@ -377,6 +512,8 @@ impl Default for CommitLogConfig {
             grain_log2: LINE_GRAIN_LOG2,
             shards: 8,
             lock_free: true,
+            ring_depth: 1,
+            ring_bucket_log2: 6,
         }
     }
 }
@@ -433,6 +570,19 @@ impl CommitLogConfig {
         self
     }
 
+    /// Set the MVCC version-ring depth (builder style); 1 disables the
+    /// rings entirely.
+    pub fn ring_depth(mut self, ring_depth: u32) -> Self {
+        self.ring_depth = ring_depth;
+        self
+    }
+
+    /// Set the ring version-bucket width as a log2 (builder style).
+    pub fn ring_bucket_log2(mut self, ring_bucket_log2: u32) -> Self {
+        self.ring_bucket_log2 = ring_bucket_log2;
+        self
+    }
+
     /// Floor range size in bytes.
     pub fn grain_bytes(&self) -> u64 {
         1u64 << self.grain_log2.max(WORD_GRAIN_LOG2)
@@ -448,6 +598,8 @@ impl CommitLogConfig {
             grain_log2: self.grain_log2.max(WORD_GRAIN_LOG2),
             shards: self.shards.max(1).next_power_of_two(),
             lock_free: self.lock_free,
+            ring_depth: self.ring_depth.clamp(1, MAX_RING_DEPTH),
+            ring_bucket_log2: self.ring_bucket_log2.min(16),
         }
     }
 }
@@ -488,10 +640,17 @@ pub struct CommitLogStats {
     /// path, surfaced so capacity pressure on
     /// [`MAX_TRACKED_READERS`] is visible in reports.
     pub reader_spills: u64,
+    /// Version-ring probes that fell back to single-version
+    /// conservatism because the ring's history did not reach the
+    /// probed snapshot ([`RingCheck::Overflow`]) — the MVCC precision
+    /// pressure signal.  Always 0 at `ring_depth` 1.
+    pub ring_overflows: u64,
     /// Configured floor range size (log2 bytes), echoed for reports.
     pub grain_log2: u32,
     /// Configured shard count, echoed for reports.
     pub shards: usize,
+    /// Configured (normalized) version-ring depth, echoed for reports.
+    pub ring_depth: u32,
 }
 
 /// Per-region telemetry snapshot consumed by the grain controller (see
@@ -549,6 +708,12 @@ struct Shard {
     /// Lock-free mode raises slots monotonically via CAS; locked mode
     /// stores under the lock.
     dense: Vec<AtomicU64>,
+    /// Packed MVCC version-ring entries, `ring_depth` per dense slot
+    /// (slot `local` owns `rings[local * depth .. (local + 1) * depth]`,
+    /// indexed by version bucket modulo depth).  Empty at depth 1 — the
+    /// legacy layout pays nothing.  Published by CAS-merge *before* the
+    /// dense version stamp, in both modes (see the module docs).
+    rings: Vec<AtomicU64>,
     /// Sparse fallback for ranges beyond the dense window (always at the
     /// floor grain — out-of-window addresses are never regrained).
     /// Stamped with max-insert under the write lock: a slow path by
@@ -570,15 +735,18 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(dense_slots: usize) -> Self {
+    fn new(dense_slots: usize, ring_slots: usize) -> Self {
         let mut dense = Vec::with_capacity(dense_slots);
         dense.resize_with(dense_slots, || AtomicU64::new(0));
+        let mut rings = Vec::with_capacity(ring_slots);
+        rings.resize_with(ring_slots, || AtomicU64::new(0));
         let mut readers_dense = Vec::with_capacity(dense_slots);
         readers_dense.resize_with(dense_slots, || AtomicU64::new(0));
         Shard {
             epoch: AtomicU64::new(0),
             slow_lock: Mutex::new(()),
             dense,
+            rings,
             sparse: RwLock::new(HashMap::new()),
             readers_dense,
             readers_spill_dense: RwLock::new(HashMap::new()),
@@ -659,6 +827,9 @@ pub struct CommitLog {
     /// CAS retries on the lock-free stamp path (same-slot losses plus
     /// seqlock-forced re-stamps); relaxed, telemetry only.
     cas_retries: AtomicU64,
+    /// Ring probes that fell back to single-version conservatism
+    /// ([`RingCheck::Overflow`]); relaxed, telemetry only.
+    ring_overflows: AtomicU64,
 }
 
 impl Default for CommitLog {
@@ -714,7 +885,16 @@ impl CommitLog {
         } else {
             regions_per_shard as usize * slots_per_region
         };
-        let shards = (0..shard_count).map(|_| Shard::new(dense_slots)).collect();
+        // Rings are only materialized past depth 1, so the legacy
+        // single-version layout pays no extra memory.
+        let ring_slots = if config.ring_depth > 1 {
+            dense_slots * config.ring_depth as usize
+        } else {
+            0
+        };
+        let shards = (0..shard_count)
+            .map(|_| Shard::new(dense_slots, ring_slots))
+            .collect();
         let region_count = regions_per_shard as usize * shard_count;
         let initial_grain = initial_grain_log2.clamp(config.grain_log2, region_log2);
         let mut region_grains = Vec::with_capacity(region_count);
@@ -742,6 +922,7 @@ impl CommitLog {
             lock_samples: AtomicU64::new(0),
             reader_spills: AtomicU64::new(0),
             cas_retries: AtomicU64::new(0),
+            ring_overflows: AtomicU64::new(0),
         }
     }
 
@@ -860,6 +1041,141 @@ impl CommitLog {
         self.version_of(addr) > read_version
     }
 
+    /// The configured (normalized) version-ring depth; 1 = no rings.
+    pub fn ring_depth(&self) -> u32 {
+        self.config.ring_depth
+    }
+
+    /// Probe the version ring of `addr`'s range: did any commit after
+    /// `read_version` touch the *word* holding `addr`?
+    ///
+    /// Never less conservative than
+    /// [`written_after`](Self::written_after): a genuine post-snapshot
+    /// write of the word always yields [`RingCheck::Touched`] or
+    /// [`RingCheck::Overflow`] (a committer ring-merges before its
+    /// dense stamp, and validation runs after the relevant commit's
+    /// [`record`](Self::record) returned — the same join-ordering
+    /// contract the single-version path relies on).  May be *more*
+    /// precise: post-snapshot commits to other words of the range yield
+    /// [`RingCheck::Precise`] instead of a false-sharing doom.  At
+    /// depth 1, for sparse ranges, and on overflow it degenerates to
+    /// the single-version answer.
+    pub fn probe_written(&self, addr: Addr, read_version: CommitVersion) -> RingCheck {
+        let (shard_idx, local) = match self.slot_of(addr) {
+            Slot::Dense { shard, local } => (shard, local),
+            Slot::Sparse { shard, range } => {
+                // Sparse ranges keep no history: exact legacy behavior.
+                let cur = self.shards[shard]
+                    .sparse
+                    .read()
+                    .get(&range)
+                    .copied()
+                    .unwrap_or(0);
+                return if cur > read_version {
+                    RingCheck::Touched { newest_touch: cur }
+                } else {
+                    RingCheck::Clean
+                };
+            }
+        };
+        let shard = &self.shards[shard_idx];
+        let cur = shard.dense[local].load(Ordering::Acquire);
+        if cur <= read_version {
+            return RingCheck::Clean;
+        }
+        let depth = self.config.ring_depth as u64;
+        if depth <= 1 || shard.rings.is_empty() {
+            return RingCheck::Touched { newest_touch: cur };
+        }
+        if cur >= RING_VERSION_CAP {
+            // Version space exhausted: entries past the cap were never
+            // published, so the ring cannot be trusted.
+            self.ring_overflows.fetch_add(1, Ordering::Relaxed);
+            return RingCheck::Overflow;
+        }
+        let bucket_log2 = self.config.ring_bucket_log2;
+        let cur_bucket = cur >> bucket_log2;
+        let read_bucket = read_version >> bucket_log2;
+        if cur_bucket - read_bucket >= depth {
+            self.ring_overflows.fetch_add(1, Ordering::Relaxed);
+            return RingCheck::Overflow;
+        }
+        let my_bit = footprint_bit(addr);
+        let mut newest_touch = 0;
+        for bucket in read_bucket..=cur_bucket {
+            let idx = local * depth as usize + (bucket % depth) as usize;
+            let entry = shard.rings[idx].load(Ordering::Acquire);
+            let entry_bucket = ring_version(entry) >> bucket_log2;
+            if entry_bucket < bucket {
+                // No commit of this bucket published here.  (One that
+                // races this probe mid-merge reserved a version above
+                // `cur` and is not a predecessor — the join ordering
+                // puts every relevant commit's merge before the probe.)
+                continue;
+            }
+            if entry_bucket > bucket {
+                // The bucket's history was evicted by a newer one:
+                // conservative fallback.
+                self.ring_overflows.fetch_add(1, Ordering::Relaxed);
+                return RingCheck::Overflow;
+            }
+            let entry_version = ring_version(entry);
+            if entry_version <= read_version {
+                // Every merge into this bucket so far predates the
+                // snapshot (the entry version is the bucket's max).
+                continue;
+            }
+            if ring_footprint(entry) & my_bit != 0 {
+                // The bucket's footprint covers the probed word.  (It
+                // is OR-aggregated across the bucket, so the touch may
+                // predate the snapshot — conservative, never missed.)
+                newest_touch = newest_touch.max(entry_version);
+            }
+        }
+        if newest_touch > 0 {
+            RingCheck::Touched { newest_touch }
+        } else {
+            RingCheck::Precise
+        }
+    }
+
+    /// CAS-merge a commit's `(version, footprint)` into slot `local`'s
+    /// ring, **before** the dense version stamp (so a probe that sees
+    /// the raised slot sees the ring entry too, under the join-ordering
+    /// contract).  Same bucket: max the version, OR the footprint;
+    /// older bucket: replace; newer bucket already present: leave it —
+    /// the displaced bucket's validators fall back conservatively.
+    fn ring_merge(&self, shard: &Shard, local: usize, version: CommitVersion, footprint: u64) {
+        let depth = self.config.ring_depth as u64;
+        if depth <= 1 || shard.rings.is_empty() || version >= RING_VERSION_CAP {
+            return;
+        }
+        let bucket_log2 = self.config.ring_bucket_log2;
+        let bucket = version >> bucket_log2;
+        let slot = &shard.rings[local * depth as usize + (bucket % depth) as usize];
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let cur_bucket = ring_version(cur) >> bucket_log2;
+            let proposed = if cur_bucket == bucket {
+                ring_pack(
+                    ring_version(cur).max(version),
+                    ring_footprint(cur) | footprint,
+                )
+            } else if cur_bucket < bucket {
+                ring_pack(version, footprint)
+            } else {
+                return;
+            };
+            if proposed == cur {
+                return;
+            }
+            match slot.compare_exchange_weak(cur, proposed, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// The maximum shard epoch (acquire per shard) — a monotone bound for
     /// diagnostics.  **Not** a valid read snapshot: shard counters
     /// advance independently, so use [`snapshot`](Self::snapshot) when
@@ -960,8 +1276,10 @@ impl CommitLog {
         let mut stamped = 0u64;
         // Dedup key: the concrete slot, not the numeric range id —
         // range ids of *different regions at different grains* can
-        // collide numerically.
-        let mut last_dense: Option<usize> = None;
+        // collide numerically.  Same-slot addresses are adjacent, so
+        // their ring footprint accumulates in `pending` and the slot is
+        // published once (ring merge first, then the version store).
+        let mut pending: Option<(usize, u64)> = None;
         let mut last_sparse: Option<RangeId> = None;
         let mut cached: Option<(RegionId, u32)> = None;
         for &addr in run {
@@ -979,11 +1297,16 @@ impl CommitLog {
             };
             match self.slot_at(addr, grain) {
                 Slot::Dense { local, .. } => {
-                    if last_dense == Some(local) {
-                        continue;
+                    if let Some((l, footprint)) = &mut pending {
+                        if *l == local {
+                            *footprint |= footprint_bit(addr);
+                            continue;
+                        }
+                        let (l, footprint) = (*l, *footprint);
+                        self.ring_merge(shard, l, version, footprint);
+                        shard.dense[l].store(version, Ordering::Relaxed);
                     }
-                    last_dense = Some(local);
-                    shard.dense[local].store(version, Ordering::Relaxed);
+                    pending = Some((local, footprint_bit(addr)));
                     self.bump_region_stamps(region);
                 }
                 Slot::Sparse { range, .. } => {
@@ -995,6 +1318,10 @@ impl CommitLog {
                 }
             }
             stamped += 1;
+        }
+        if let Some((local, footprint)) = pending.take() {
+            self.ring_merge(shard, local, version, footprint);
+            shard.dense[local].store(version, Ordering::Relaxed);
         }
         self.stamped.fetch_add(stamped, Ordering::Relaxed);
         // SeqCst (a release store plus SC ordering): the reader
@@ -1082,18 +1409,20 @@ impl CommitLog {
             // fails and the pass redoes at the then-current grain.
             let grain = self.grain_of_region(region);
             let mut stamped = 0u64;
-            let mut last: Option<usize> = None;
-            for &addr in group {
-                let Slot::Dense { local, .. } = self.slot_at(addr, grain) else {
-                    unreachable!("dense region resolved to a sparse slot");
+            // Adjacent same-slot addresses accumulate one footprint (a
+            // coarse range holds many words, each its own ring bit), so
+            // the flush below publishes the whole slot's footprint in
+            // one ring merge before the one dense CAS.
+            let mut pending: Option<(usize, u64)> = None;
+            let flush = |pending: &mut Option<(usize, u64)>, retries: &mut u64| {
+                let Some((local, footprint)) = pending.take() else {
+                    return;
                 };
-                if last == Some(local) {
-                    continue;
-                }
-                last = Some(local);
-                // Monotone CAS-max: a slot already at or above `version`
-                // was raised by a concurrent later commit (or a regrain
+                // Ring first (see `ring_merge`), then the monotone
+                // CAS-max: a slot already at or above `version` was
+                // raised by a concurrent later commit (or a regrain
                 // flush) — the stamp is free, never lowered.
+                self.ring_merge(shard, local, version, footprint);
                 let slot = &shard.dense[local];
                 let mut cur = slot.load(Ordering::Relaxed);
                 while cur < version {
@@ -1110,8 +1439,23 @@ impl CommitLog {
                         }
                     }
                 }
+            };
+            for &addr in group {
+                let Slot::Dense { local, .. } = self.slot_at(addr, grain) else {
+                    unreachable!("dense region resolved to a sparse slot");
+                };
+                match &mut pending {
+                    Some((l, footprint)) if *l == local => {
+                        *footprint |= footprint_bit(addr);
+                        continue;
+                    }
+                    _ => {}
+                }
+                flush(&mut pending, retries);
+                pending = Some((local, footprint_bit(addr)));
                 stamped += 1;
             }
+            flush(&mut pending, retries);
             if seq.load(Ordering::SeqCst) == before {
                 // No regrain raced the pass: every stamp landed on a
                 // live slot of the observed grain.
@@ -1177,6 +1521,7 @@ impl CommitLog {
             // Grain read inside the lock (see `publish_run_locked`).
             match self.slot_at(addr, self.grain_of_region(region)) {
                 Slot::Dense { local, .. } => {
+                    self.ring_merge(shard, local, version, footprint_bit(addr));
                     shard.dense[local].store(version, Ordering::Relaxed);
                     self.bump_region_stamps(region);
                 }
@@ -1250,7 +1595,11 @@ impl CommitLog {
                 // 3. Conservative whole-region flush: every slot any
                 //    (however stale) grain observation could index now
                 //    holds at least `version` — fetch_max, never lowering
-                //    a racing committer's newer stamp.
+                //    a racing committer's newer stamp.  The ring merge
+                //    (full footprint, before the version flush) is the
+                //    MVCC truncation: no pre-regrain read of the region
+                //    can probe Precise past this version.
+                self.ring_merge(shard, local, version, RING_FULL_FOOTPRINT);
                 shard.dense[local].fetch_max(version, Ordering::AcqRel);
                 // 4. Collect-and-clear the readers (sound after the epoch
                 //    bump: a registration this swap misses re-reads the
@@ -1262,7 +1611,9 @@ impl CommitLog {
             version = shard.epoch.load(Ordering::Relaxed) + 1;
             for local in block..block + self.slots_per_region {
                 // Conservative whole-region flush: every slot any (however
-                // stale) grain observation could index now holds `version`.
+                // stale) grain observation could index now holds `version`
+                // (ring truncation first, as in lock-free mode).
+                self.ring_merge(shard, local, version, RING_FULL_FOOTPRINT);
                 shard.dense[local].store(version, Ordering::Relaxed);
                 bits |= shard.readers_dense[local].swap(0, Ordering::SeqCst);
             }
@@ -1680,8 +2031,10 @@ impl CommitLog {
             cas_retries: self.cas_retries.load(Ordering::Relaxed),
             regrains: self.regrains.load(Ordering::Relaxed),
             reader_spills: self.reader_spills.load(Ordering::Relaxed),
+            ring_overflows: self.ring_overflows.load(Ordering::Relaxed),
             grain_log2: self.config.grain_log2,
             shards: self.config.shards,
+            ring_depth: self.config.ring_depth,
         }
     }
 
@@ -1692,6 +2045,9 @@ impl CommitLog {
         for shard in &self.shards {
             let _guard = shard.slow_lock.lock();
             for v in &shard.dense {
+                v.store(0, Ordering::Relaxed);
+            }
+            for v in &shard.rings {
                 v.store(0, Ordering::Relaxed);
             }
             shard.sparse.write().clear();
@@ -1722,6 +2078,7 @@ impl CommitLog {
         self.lock_samples.store(0, Ordering::Relaxed);
         self.reader_spills.store(0, Ordering::Relaxed);
         self.cas_retries.store(0, Ordering::Relaxed);
+        self.ring_overflows.store(0, Ordering::Relaxed);
     }
 }
 
@@ -2124,6 +2481,7 @@ mod tests {
             CommitLogStats {
                 grain_log2: WORD_GRAIN_LOG2,
                 shards: 4,
+                ring_depth: 1,
                 ..Default::default()
             }
         );
@@ -2361,17 +2719,29 @@ mod tests {
             CommitLogConfig {
                 grain_log2: 0,
                 shards: 0,
-                lock_free: true,
+                ring_depth: 0,
+                ring_bucket_log2: 40,
+                ..Default::default()
             },
             128,
         );
         assert_eq!(log.config().grain_log2, WORD_GRAIN_LOG2);
         assert_eq!(log.config().shards, 1);
+        assert_eq!(log.config().ring_depth, 1, "ring depth clamps to 1");
+        assert_eq!(log.config().ring_bucket_log2, 16, "bucket width clamps");
+        assert_eq!(
+            CommitLogConfig::default()
+                .ring_depth(999)
+                .normalized()
+                .ring_depth,
+            MAX_RING_DEPTH
+        );
         let log = CommitLog::with_config(
             CommitLogConfig {
                 grain_log2: 6,
                 shards: 3,
                 lock_free: false,
+                ..Default::default()
             },
             0,
         );
@@ -2535,5 +2905,218 @@ mod tests {
         assert_eq!(v, 0);
         assert!(readers.is_empty());
         assert_eq!(log.grain_of(far), WORD_GRAIN_LOG2, "sparse stays at floor");
+    }
+
+    // ----- MVCC version rings -----------------------------------------
+
+    #[test]
+    fn ring_probe_distinguishes_touched_from_false_sharing() {
+        for lock_free in [true, false] {
+            let log = CommitLog::with_config(
+                CommitLogConfig::line_grain()
+                    .shards(1)
+                    .lock_free(lock_free)
+                    .ring_depth(4),
+                1 << 12,
+            );
+            assert_eq!(log.ring_depth(), 4);
+            let v = log.record_word(8);
+            // The written word conflicts…
+            assert_eq!(
+                log.probe_written(8, 0),
+                RingCheck::Touched { newest_touch: v },
+                "lock_free={lock_free}"
+            );
+            // …its line-mate does not (the precise pass single-version
+            // validation cannot give)…
+            assert_eq!(log.probe_written(16, 0), RingCheck::Precise);
+            assert!(log.written_after(16, 0), "single-version would doom it");
+            // …a post-commit snapshot is clean, as is an untouched line.
+            assert_eq!(log.probe_written(8, v), RingCheck::Clean);
+            assert_eq!(log.probe_written(64, 0), RingCheck::Clean);
+            assert_eq!(log.stats().ring_overflows, 0);
+        }
+    }
+
+    #[test]
+    fn ring_footprints_merge_within_a_version_bucket() {
+        // Two writes to different words of one line share the default
+        // bucket: probing either word flags it, probing a third stays
+        // precise, and the touch restamp target is the bucket's newest
+        // version (conservative for the older write).
+        let log = CommitLog::with_config(
+            CommitLogConfig::line_grain().shards(1).ring_depth(4),
+            1 << 12,
+        );
+        let v1 = log.record_word(8);
+        let v2 = log.record_word(16);
+        assert!(v2 > v1);
+        assert_eq!(
+            log.probe_written(8, 0),
+            RingCheck::Touched { newest_touch: v2 }
+        );
+        assert_eq!(
+            log.probe_written(16, v1),
+            RingCheck::Touched { newest_touch: v2 }
+        );
+        assert_eq!(log.probe_written(24, 0), RingCheck::Precise);
+    }
+
+    #[test]
+    fn ring_depth_one_degenerates_to_single_version() {
+        let log = CommitLog::with_config(CommitLogConfig::line_grain().shards(1), 1 << 12);
+        assert_eq!(log.ring_depth(), 1);
+        let v = log.record_word(8);
+        // Any post-snapshot commit to the range flags any word of it —
+        // exactly `written_after`, never Precise.
+        assert_eq!(
+            log.probe_written(16, 0),
+            RingCheck::Touched { newest_touch: v }
+        );
+        assert_eq!(log.probe_written(8, v), RingCheck::Clean);
+        assert_eq!(log.stats().ring_overflows, 0, "no rings, no overflows");
+    }
+
+    #[test]
+    fn ring_overflow_falls_back_conservatively_and_is_counted() {
+        // Depth 2 with single-version buckets reaches 2 commits back:
+        // a snapshot 3 commits old overflows instead of guessing.
+        let log = CommitLog::with_config(
+            CommitLogConfig::line_grain()
+                .shards(1)
+                .ring_depth(2)
+                .ring_bucket_log2(0),
+            1 << 12,
+        );
+        for _ in 0..3 {
+            log.record_word(16);
+        }
+        assert_eq!(log.probe_written(8, 0), RingCheck::Overflow);
+        assert_eq!(log.stats().ring_overflows, 1);
+        // A recent-enough snapshot still probes precisely.
+        assert_eq!(log.probe_written(8, 2), RingCheck::Precise);
+        // Deeper history at the same bucket width stays precise.
+        let deep = CommitLog::with_config(
+            CommitLogConfig::line_grain()
+                .shards(1)
+                .ring_depth(4)
+                .ring_bucket_log2(0),
+            1 << 12,
+        );
+        for _ in 0..3 {
+            deep.record_word(16);
+        }
+        assert_eq!(deep.probe_written(8, 0), RingCheck::Precise);
+        assert_eq!(
+            deep.probe_written(16, 1),
+            RingCheck::Touched { newest_touch: 3 }
+        );
+        assert_eq!(deep.stats().ring_overflows, 0);
+    }
+
+    #[test]
+    fn regrain_truncates_the_rings_conservatively() {
+        for lock_free in [true, false] {
+            // Single-version buckets keep the regrain's full-footprint
+            // flush out of the next commit's bucket, so the precision
+            // assertions below are exact.
+            let log = CommitLog::with_config(
+                CommitLogConfig::word_grain()
+                    .shards(1)
+                    .lock_free(lock_free)
+                    .ring_depth(4)
+                    .ring_bucket_log2(0),
+                1 << 13,
+            );
+            log.regrain(0, LINE_GRAIN_LOG2);
+            // The regrain's full-footprint flush: no pre-regrain
+            // snapshot of the region may probe Clean or Precise.
+            for addr in [8u64, 16, 2048] {
+                assert!(
+                    matches!(log.probe_written(addr, 0), RingCheck::Touched { .. }),
+                    "lock_free={lock_free} addr={addr}"
+                );
+            }
+            // Post-regrain snapshots probe precisely again.
+            let fresh = log.snapshot(8);
+            assert_eq!(log.probe_written(8, fresh), RingCheck::Clean);
+            log.record_word(8);
+            assert_eq!(log.probe_written(16, fresh), RingCheck::Precise);
+        }
+    }
+
+    #[test]
+    fn ring_probe_agrees_with_sparse_fallback() {
+        // Out-of-window ranges keep no rings: the probe degenerates to
+        // the single-version answer there, at any configured depth.
+        let log = CommitLog::with_config(CommitLogConfig::line_grain().shards(1).ring_depth(4), 64);
+        let far = 1u64 << 30;
+        let v = log.record_word(far);
+        assert_eq!(
+            log.probe_written(far + 8, 0),
+            RingCheck::Touched { newest_touch: v },
+            "sparse neighbour words stay conservatively flagged"
+        );
+        assert_eq!(log.probe_written(far, v), RingCheck::Clean);
+    }
+
+    #[test]
+    fn clear_resets_the_rings() {
+        let log = CommitLog::with_config(
+            CommitLogConfig::line_grain()
+                .shards(1)
+                .ring_depth(2)
+                .ring_bucket_log2(0),
+            1 << 12,
+        );
+        for _ in 0..3 {
+            log.record_word(8);
+        }
+        assert_eq!(log.probe_written(8, 0), RingCheck::Overflow);
+        log.clear();
+        assert_eq!(log.stats().ring_overflows, 0, "clear resets the counter");
+        assert_eq!(log.probe_written(8, 0), RingCheck::Clean);
+        let v = log.record_word(8);
+        assert_eq!(
+            log.probe_written(8, 0),
+            RingCheck::Touched { newest_touch: v },
+            "stale pre-clear entries do not resurface"
+        );
+        assert_eq!(log.probe_written(16, 0), RingCheck::Precise);
+    }
+
+    #[test]
+    fn ring_probe_never_misses_under_commit_regrain_races() {
+        // Concurrent committers and regrains: a probe for a stale
+        // snapshot must never report Clean/Precise for a written word —
+        // the ring analogue of the single-version race test.
+        let log = std::sync::Arc::new(CommitLog::with_config(
+            CommitLogConfig::word_grain().shards(1).ring_depth(4),
+            1 << 12,
+        ));
+        let stale = log.register_reader(8, 3);
+        let stop = std::sync::Arc::new(AtomicU64::new(0));
+        let committer = {
+            let log = std::sync::Arc::clone(&log);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while stop.load(Ordering::Acquire) == 0 {
+                    log.record([8, 24]);
+                }
+            })
+        };
+        for grain in [LINE_GRAIN_LOG2, WORD_GRAIN_LOG2] {
+            for _ in 0..50 {
+                log.regrain(0, grain);
+                assert!(
+                    !log.probe_written(8, stale).is_valid(),
+                    "stale written word probed valid mid-race"
+                );
+                std::thread::yield_now();
+            }
+        }
+        stop.store(1, Ordering::Release);
+        committer.join().unwrap();
+        assert!(!log.probe_written(8, stale).is_valid());
     }
 }

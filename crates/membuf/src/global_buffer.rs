@@ -10,7 +10,7 @@
 //! read-set entry from main memory and compares; commit then publishes the
 //! write-set (masked by the bytes actually written).
 
-use crate::commit_log::CommitLog;
+use crate::commit_log::{CommitLog, RingCheck};
 use crate::error::BufferError;
 use crate::memory::{Addr, MainMemory, WORD_BYTES};
 use crate::wordmap::{byte_mask, WordMap};
@@ -88,6 +88,11 @@ pub struct BufferStats {
     pub committed_words: u64,
     /// Hash conflicts that landed in the overflow area.
     pub overflow_events: u64,
+    /// Reads whose range was committed after the read but whose *word*
+    /// the version ring proved untouched ([`RingCheck::Precise`]) —
+    /// false-sharing dooms MVCC validation survived.  Always 0 at ring
+    /// depth 1.
+    pub precise_passes: u64,
 }
 
 /// Per-thread buffering of global (static/heap/non-speculative-stack) data.
@@ -338,11 +343,24 @@ impl GlobalBuffer {
     /// coarser than a word the check is conservative: a commit to a
     /// *different* word of the same range also fails validation (false
     /// sharing), but a genuine conflict is never missed.
+    ///
+    /// With version rings
+    /// ([`CommitLogConfig::ring_depth`](crate::commit_log::CommitLogConfig::ring_depth)
+    /// `> 1`) the check
+    /// goes through [`CommitLog::probe_written`] instead: a
+    /// post-snapshot commit whose ring footprint provably missed the
+    /// read *word* passes precisely
+    /// ([`precise_passes`](BufferStats::precise_passes)) rather than
+    /// dooming as false sharing; ring overflow falls back to the
+    /// single-version answer.  Missed conflicts stay impossible at
+    /// every depth.
     pub fn validate_against(&mut self, log: &CommitLog) -> bool {
         for entry in self.read_set.iter() {
             self.stats.validated_words += 1;
-            if log.written_after(entry.addr, entry.version) {
-                return false;
+            match log.probe_written(entry.addr, entry.version) {
+                RingCheck::Clean => {}
+                RingCheck::Precise => self.stats.precise_passes += 1,
+                RingCheck::Touched { .. } | RingCheck::Overflow => return false,
             }
         }
         true
@@ -367,18 +385,25 @@ impl GlobalBuffer {
         let mut values_unchanged = true;
         for entry in self.read_set.iter() {
             self.stats.validated_words += 1;
-            if log.written_after(entry.addr, entry.version) {
-                conflicted = true;
-                // Ranges of one word can only conflict on the word
-                // itself; the grain is a live per-region property now, so
-                // the exactness check is per entry, not per log.
-                let grain_can_false_share =
-                    log.grain_of(entry.addr) > crate::commit_log::WORD_GRAIN_LOG2;
-                if !grain_can_false_share || mem.read_word(entry.addr) != entry.data {
-                    // A changed value (or a word-grain range) proves true
-                    // sharing; stop scanning.
-                    values_unchanged = false;
-                    break;
+            match log.probe_written(entry.addr, entry.version) {
+                RingCheck::Clean => {}
+                // The ring proved the post-snapshot commits missed this
+                // word: the doom single-version validation would have
+                // charged as false sharing never happens.
+                RingCheck::Precise => self.stats.precise_passes += 1,
+                RingCheck::Touched { .. } | RingCheck::Overflow => {
+                    conflicted = true;
+                    // Ranges of one word can only conflict on the word
+                    // itself; the grain is a live per-region property now,
+                    // so the exactness check is per entry, not per log.
+                    let grain_can_false_share =
+                        log.grain_of(entry.addr) > crate::commit_log::WORD_GRAIN_LOG2;
+                    if !grain_can_false_share || mem.read_word(entry.addr) != entry.data {
+                        // A changed value (or a word-grain range) proves
+                        // true sharing; stop scanning.
+                        values_unchanged = false;
+                        break;
+                    }
                 }
             }
         }
@@ -391,42 +416,88 @@ impl GlobalBuffer {
         }
     }
 
-    /// Value-predict retry: re-validate every read whose *range* conflicts
-    /// under `log` by comparing its first-read **value** against main
-    /// memory right now.
+    /// Value-predict retry, generalized to **time-travel retry**:
+    /// re-validate every read whose *range* conflicts under `log` by
+    /// comparing its first-read **value** against main memory right now,
+    /// revalidating against the version chain actually observed rather
+    /// than the current epoch.
     ///
-    /// Returns `true` — and re-stamps the conflicting entries with fresh
-    /// snapshots — when every conflicting word still holds its first-read
-    /// value: the commits that advanced the range versions published the
-    /// very values this thread read (or only touched neighbouring words
-    /// of a coarse range), so the execution is equivalent to one that read
+    /// Returns `true` — and re-stamps the conflicting entries — when
+    /// every conflicting word still holds its first-read value: the
+    /// commits that advanced the range versions published the very
+    /// values this thread read (or only touched neighbouring words of a
+    /// coarse range), so the execution is equivalent to one that read
     /// *after* those commits and the thread may commit without
     /// re-executing.  This covers both grain-induced false sharing and
     /// the value-identical ABA case, which is serializable for the same
-    /// reason (the seed runtime's value validation relied on exactly this).
+    /// reason (the seed runtime's value validation relied on exactly
+    /// this).
     ///
-    /// Each fresh snapshot is sampled *before* its value is re-read, so a
-    /// commit racing the retry stamps a higher version and a later
-    /// validation pass flags the entry again — conservative, never missed.
-    /// On `false` (some value changed: a genuine dependence violation)
-    /// nothing is re-stamped.
+    /// Per conflicting entry, the version-ring probe decides the repair:
+    ///
+    /// * [`RingCheck::Precise`] — the post-snapshot commits provably
+    ///   missed the word: the entry needs no value check and no restamp
+    ///   at all (it will keep probing precise).
+    /// * [`RingCheck::Touched`] — the entry is restamped to the *newest
+    ///   ring version that touched the word*, not the current epoch:
+    ///   later unrelated commits to the range stay precisely probeable
+    ///   instead of re-dooming the thread (this is the time travel, and
+    ///   it is never less conservative than the legacy fresh-snapshot
+    ///   restamp because the target is older).
+    /// * [`RingCheck::Overflow`] (and any touch at ring depth 1) — the
+    ///   legacy behavior: a fresh snapshot sampled *before* the value
+    ///   re-read, so a commit racing the retry stamps a higher version
+    ///   and a later validation pass flags the entry again.
+    ///
+    /// On success the thread's **whole read set is re-registered** in
+    /// the per-range reader registry: the committer that doomed this
+    /// thread consumed its registrations for every range it stamped —
+    /// including ranges whose entries are clean here (read after that
+    /// commit) — and without the repair a *second* conflicting commit
+    /// would miss the thread and leave the doom to join-time validation
+    /// only.  (`register_reader` is an idempotent `fetch_or`; this is
+    /// the cold doom-repair path.)  On `false` (some value changed: a
+    /// genuine dependence violation) nothing is re-stamped.
     pub fn revalidate_by_value(&mut self, log: &CommitLog, mem: &dyn MainMemory) -> bool {
         let mut refreshed: Vec<(Addr, u64)> = Vec::new();
         for entry in self.read_set.iter() {
-            if !log.written_after(entry.addr, entry.version) {
-                continue;
+            match log.probe_written(entry.addr, entry.version) {
+                RingCheck::Clean => continue,
+                RingCheck::Precise => {
+                    self.stats.precise_passes += 1;
+                    continue;
+                }
+                RingCheck::Touched { newest_touch } => {
+                    self.stats.validated_words += 1;
+                    if mem.read_word(entry.addr) != entry.data {
+                        return false;
+                    }
+                    // Time travel: every ring-known touch of this word is
+                    // at most `newest_touch` and the value survived them
+                    // all; a racing commit lands above the version the
+                    // probe saw and re-flags the entry later.
+                    refreshed.push((entry.addr, newest_touch));
+                }
+                RingCheck::Overflow => {
+                    self.stats.validated_words += 1;
+                    // Snapshot first, then the value read (the standard
+                    // ordering).
+                    let fresh = log.snapshot(entry.addr);
+                    if mem.read_word(entry.addr) != entry.data {
+                        return false;
+                    }
+                    refreshed.push((entry.addr, fresh));
+                }
             }
-            self.stats.validated_words += 1;
-            // Snapshot first, then the value read (the standard ordering).
-            let fresh = if self.reader != 0 {
-                log.register_reader(entry.addr, self.reader)
-            } else {
-                log.snapshot(entry.addr)
-            };
-            if mem.read_word(entry.addr) != entry.data {
-                return false;
+        }
+        if self.reader != 0 {
+            // Registry-driven re-read repair (see the doc comment): the
+            // dooming committer's take_readers cleared this thread's
+            // registrations; restore every one of them before declaring
+            // the retry succeeded.
+            for entry in self.read_set.iter() {
+                log.register_reader(entry.addr, self.reader);
             }
-            refreshed.push((entry.addr, fresh));
         }
         for (addr, version) in refreshed {
             // Per-region retry telemetry: a conflict the current grain
@@ -833,6 +904,124 @@ mod tests {
             !parent.validate_against(&log),
             "child's stale read must survive the merge"
         );
+    }
+
+    /// Line-granular mvcc log: one-version-per-bucket so ring entries
+    /// stay per-commit precise (the bucketed default would merge
+    /// footprints of nearby versions).
+    fn mvcc_line_log() -> CommitLog {
+        // Dense capacity covers the whole test arena: rings only back
+        // dense slots (the sparse fallback stays single-version).
+        CommitLog::with_config(
+            CommitLogConfig::line_grain()
+                .ring_depth(4)
+                .ring_bucket_log2(0),
+            4096,
+        )
+    }
+
+    #[test]
+    fn mvcc_validation_passes_precisely_on_neighbour_writes() {
+        let mem = GlobalMemory::new(4096);
+        let log = mvcc_line_log();
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let p = mem.alloc::<u64>(2);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        // A neighbour-word commit advances the line's version; the ring
+        // proves the read word was missed, so validation still passes.
+        log.record_word(p.addr_of(1));
+        assert!(log.written_after(p.addr_of(0), 0), "range version moved");
+        assert!(buf.validate_against(&log));
+        assert_eq!(buf.stats().precise_passes, 1);
+        // Depth-1 (single-version) would have doomed the same snapshot.
+        let legacy = CommitLog::with_config(CommitLogConfig::line_grain(), 0);
+        let mut legacy_buf = GlobalBuffer::new(BufferConfig::default());
+        let _ = legacy_buf
+            .load_logged(&mem, Some(&legacy), p.addr_of(0), 8)
+            .unwrap();
+        legacy.record_word(p.addr_of(1));
+        assert!(!legacy_buf.validate_against(&legacy));
+        // A commit that does touch the read word still dooms precisely.
+        log.record_word(p.addr_of(0));
+        assert!(!buf.validate_against(&log));
+    }
+
+    #[test]
+    fn time_travel_retry_restamps_to_the_observed_touch_version() {
+        let mem = GlobalMemory::new(4096);
+        let log = mvcc_line_log();
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let p = mem.alloc::<u64>(2);
+        mem.set(&p, 0, 5);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        // v1: value-identical (ABA) commit to the read word — flagged by
+        // the ring, survived by the value check, restamped to v1 (the
+        // version actually observed, not the then-current epoch).
+        mem.set(&p, 0, 5);
+        log.record_word(p.addr_of(0));
+        assert!(!buf.validate_against(&log));
+        assert!(buf.revalidate_by_value(&log, &mem));
+        // v2: a neighbour-word commit after the restamp. Time travel put
+        // the entry at v1, and the ring shows v2 missed the word —
+        // validation passes precisely instead of re-dooming.
+        log.record_word(p.addr_of(1));
+        assert!(buf.validate_against(&log));
+        // v3: touching the read word again still dooms.
+        log.record_word(p.addr_of(0));
+        assert!(!buf.validate_against(&log), "retry is not a free pass");
+    }
+
+    #[test]
+    fn retry_re_registers_the_whole_read_set() {
+        let mem = GlobalMemory::new(4096);
+        let log = mvcc_line_log();
+        let mut buf = GlobalBuffer::for_reader(BufferConfig::default(), 5);
+        let p = mem.alloc::<u64>(64); // two distinct lines
+        mem.set(&p, 0, 7);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        let far = p.addr_of(63);
+        let _ = buf.load_logged(&mem, Some(&log), far, 8).unwrap();
+        // A committing writer dooms the thread and consumes its
+        // registrations for every stamped range — model both ranges.
+        let taken = log.take_readers([p.addr_of(0), far]);
+        assert!(taken.contains(5));
+        mem.set(&p, 0, 7);
+        log.record_word(p.addr_of(0));
+        assert!(!log.registered_readers(p.addr_of(0)).contains(5));
+        assert!(!log.registered_readers(far).contains(5));
+        // The in-flight retry must repair the registry for the entire
+        // read set — including the far range, whose entry is clean.
+        assert!(buf.revalidate_by_value(&log, &mem));
+        assert!(log.registered_readers(p.addr_of(0)).contains(5));
+        assert!(log.registered_readers(far).contains(5));
+    }
+
+    #[test]
+    fn ring_overflow_falls_back_to_fresh_snapshot_retry() {
+        let mem = GlobalMemory::new(4096);
+        // Depth 2 with one version per bucket: three commits evict the
+        // snapshot's window and force the conservative path.
+        let log = CommitLog::with_config(
+            CommitLogConfig::line_grain()
+                .ring_depth(2)
+                .ring_bucket_log2(0),
+            4096,
+        );
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        let p = mem.alloc::<u64>(2);
+        mem.set(&p, 0, 5);
+        let _ = buf.load_logged(&mem, Some(&log), p.addr_of(0), 8).unwrap();
+        // Three neighbour-only commits: individually precise-passable,
+        // but the window has rolled past the snapshot.
+        for _ in 0..3 {
+            log.record_word(p.addr_of(1));
+        }
+        assert!(!buf.validate_against(&log), "overflow dooms conservatively");
+        assert!(log.stats().ring_overflows > 0);
+        // The value is untouched, so the legacy fresh-snapshot retry
+        // still rescues the thread.
+        assert!(buf.revalidate_by_value(&log, &mem));
+        assert!(buf.validate_against(&log));
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub mod wordmap;
 pub use address_space::AddressSpace;
 pub use commit_log::{
     region_log2_for_grain, CommitLog, CommitLogConfig, CommitLogStats, CommitVersion, RangeId,
-    ReaderSet, RegionId, RegionProfile, LINE_GRAIN_LOG2, MAX_TRACKED_READERS, MIN_REGION_LOG2,
-    PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2,
+    ReaderSet, RegionId, RegionProfile, RingCheck, DEFAULT_RING_DEPTH, LINE_GRAIN_LOG2,
+    MAX_RING_DEPTH, MAX_TRACKED_READERS, MIN_REGION_LOG2, PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2,
 };
 pub use error::{BufferError, RollbackReason, SpecFailure};
 pub use global_buffer::{BufferConfig, BufferStats, GlobalBuffer, Validation};

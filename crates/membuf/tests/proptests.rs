@@ -186,7 +186,7 @@ proptest! {
         let reads: std::collections::HashSet<u64> = reads.into_iter().collect();
         let commits: std::collections::HashSet<u64> = commits.into_iter().collect();
         let mem = GlobalMemory::new(1 << 16);
-        let config = CommitLogConfig { grain_log2, shards, lock_free };
+        let config = CommitLogConfig { grain_log2, shards, lock_free, ..Default::default() };
         let log = CommitLog::with_config(config, 1 << 15); // dense/sparse mix
         let mut buf = GlobalBuffer::new(BufferConfig::default());
         for &addr in &reads {
@@ -217,7 +217,7 @@ proptest! {
         lock_free in any::<bool>(),
         k in 1u64..64,
     ) {
-        let config = CommitLogConfig { grain_log2, shards, lock_free };
+        let config = CommitLogConfig { grain_log2, shards, lock_free, ..Default::default() };
         let log = CommitLog::with_config(config, 1 << 14);
         let edge = k << grain_log2;
         let below = edge - WORD_BYTES; // last word of range k-1
@@ -244,7 +244,7 @@ proptest! {
         dense_ranges in 1u64..16,
         offsets in proptest::collection::vec(0u64..32, 1..16),
     ) {
-        let config = CommitLogConfig { grain_log2, shards: 4, lock_free };
+        let config = CommitLogConfig { grain_log2, shards: 4, lock_free, ..Default::default() };
         let grain = 1u64 << grain_log2;
         // Dense window ends mid-address-space (and is not grain-aligned:
         // the partial trailing range must round up to dense).
@@ -277,7 +277,7 @@ proptest! {
         batches in proptest::collection::vec(
             proptest::collection::vec(addr_strategy(), 1..8), 1..8),
     ) {
-        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards, lock_free: true };
+        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards, lock_free: true, ..Default::default() };
         let log = CommitLog::with_config(config, 0);
         let mut touched: std::collections::HashSet<u64> = std::collections::HashSet::new();
         let mut last_epoch = 0;
@@ -315,7 +315,7 @@ proptest! {
             (1usize..17, addr_strategy()), 0..40),
         writes in proptest::collection::vec(addr_strategy(), 1..16),
     ) {
-        let config = CommitLogConfig { grain_log2, shards, lock_free };
+        let config = CommitLogConfig { grain_log2, shards, lock_free, ..Default::default() };
         let log = CommitLog::with_config(config, 0);
         for (rank, addr) in &registrations {
             log.register_reader(*addr, *rank);
@@ -373,7 +373,7 @@ proptest! {
     ) {
         let ladder = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2];
         let floor = ladder[floor_i as usize];
-        let config = CommitLogConfig { grain_log2: floor, shards, lock_free };
+        let config = CommitLogConfig { grain_log2: floor, shards, lock_free, ..Default::default() };
         // 2048 words = 16 KiB = four regions; regrains target regions 0..5
         // so unrelated and out-of-window regions are exercised too.
         let log = CommitLog::with_initial_grain(config, 1 << 14, ladder[initial_i as usize]);
@@ -425,7 +425,7 @@ proptest! {
         batches in proptest::collection::vec(
             proptest::collection::vec(0u64..64, 1..8), 2..8),
     ) {
-        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards, lock_free: true };
+        let config = CommitLogConfig { grain_log2: WORD_GRAIN_LOG2, shards, lock_free: true, ..Default::default() };
         // 64 word slots spread over `shards` regions: slot i lives in
         // region (i % shards), so every batch mixes shards and colliding
         // slots are common.  The capacity makes every region dense — the
@@ -479,6 +479,129 @@ proptest! {
             );
         }
         prop_assert_eq!(log.commits(), batches.len() as u64);
+    }
+
+    /// MVCC conservatism sandwich (PR 8): for arbitrary grains, ring
+    /// depths (including the depth-1 degeneration), bucket widths
+    /// (including the one-version-per-bucket setting where small rings
+    /// overflow constantly) and commit-batch interleavings, ring-probe
+    /// validation is
+    ///
+    /// * never *more* conservative than full value-by-value comparison —
+    ///   a commit overlapping a read at **word** level is always flagged
+    ///   (values never change in this test, so value comparison flags
+    ///   nothing: every flag mvcc must raise is exactly the structural
+    ///   word overlap that version validation exists to catch, ABA
+    ///   included), and
+    /// * never *less* conservative than single-version validation — a
+    ///   snapshot the single-version log dooms may precise-pass under
+    ///   mvcc, but never the other way round: whenever the depth-1 twin
+    ///   (identical stamp sequence) validates, the mvcc log validates
+    ///   too, at every depth and under overflow.
+    #[test]
+    fn mvcc_is_sandwiched_between_value_and_single_version_validation(
+        grain_log2 in grain_strategy(),
+        shards in (0u32..3).prop_map(|i| [1usize, 2, 8][i as usize]),
+        lock_free in any::<bool>(),
+        ring_depth in (0u32..3).prop_map(|i| [1u32, 2, 4][i as usize]),
+        ring_bucket_log2 in (0u32..2).prop_map(|i| [0u32, 6][i as usize]),
+        reads in proptest::collection::vec(addr_strategy(), 1..16),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(addr_strategy(), 1..8), 1..6),
+    ) {
+        let reads: std::collections::HashSet<u64> = reads.into_iter().collect();
+        let mem = GlobalMemory::new(1 << 16);
+        let mvcc_config = CommitLogConfig {
+            grain_log2, shards, lock_free, ring_depth, ring_bucket_log2,
+        };
+        let single_config = CommitLogConfig { ring_depth: 1, ..mvcc_config };
+        let mvcc_log = CommitLog::with_config(mvcc_config, 1 << 15); // dense/sparse mix
+        let single_log = CommitLog::with_config(single_config, 1 << 15);
+        let mut mvcc_buf = GlobalBuffer::new(BufferConfig::default());
+        let mut single_buf = GlobalBuffer::new(BufferConfig::default());
+        for &addr in &reads {
+            let _ = mvcc_buf.load_logged(&mem, Some(&mvcc_log), addr, WORD_BYTES).unwrap();
+            let _ = single_buf.load_logged(&mem, Some(&single_log), addr, WORD_BYTES).unwrap();
+        }
+        // Identical stamp sequences on both logs, one version per batch.
+        for batch in &batches {
+            mvcc_log.record(batch.iter().copied());
+            single_log.record(batch.iter().copied());
+        }
+        let mvcc_valid = mvcc_buf.validate_against(&mvcc_log);
+        let single_valid = single_buf.validate_against(&single_log);
+        let word_overlap = batches.iter().flatten().any(|a| reads.contains(a));
+        if word_overlap {
+            prop_assert!(
+                !mvcc_valid,
+                "missed a word-level conflict (depth {ring_depth}, bucket_log2 {ring_bucket_log2}, grain {grain_log2})"
+            );
+        }
+        if single_valid {
+            prop_assert!(
+                mvcc_valid,
+                "mvcc was stricter than single-version (depth {ring_depth}, bucket_log2 {ring_bucket_log2}, grain {grain_log2})"
+            );
+        }
+        if ring_depth == 1 {
+            // Depth-1 degeneration: exactly the legacy verdict.
+            prop_assert_eq!(mvcc_valid, single_valid);
+        }
+    }
+
+    /// Ring probes across regrain interleavings (PR 8): regrains injected
+    /// before/after the commit batch truncate the rings conservatively —
+    /// a word-level overlap is still always flagged, and a region whose
+    /// grain actually flipped dooms its outstanding snapshots exactly as
+    /// the single-version protocol does.
+    #[test]
+    fn mvcc_regrain_during_validate_never_misses_a_conflict(
+        floor_i in 0u32..2,
+        initial_i in 0u32..3,
+        ring_depth in (0u32..3).prop_map(|i| [1u32, 2, 4][i as usize]),
+        lock_free in any::<bool>(),
+        reads in proptest::collection::vec((1u64..2048).prop_map(|i| i * WORD_BYTES), 1..16),
+        commits in proptest::collection::vec((1u64..2048).prop_map(|i| i * WORD_BYTES), 1..16),
+        regrains_before in proptest::collection::vec((0u64..5, 0u32..3), 0..6),
+        regrains_after in proptest::collection::vec((0u64..5, 0u32..3), 0..6),
+    ) {
+        let ladder = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2];
+        let floor = ladder[floor_i as usize];
+        let config = CommitLogConfig {
+            grain_log2: floor,
+            shards: 4,
+            lock_free,
+            ring_depth,
+            ring_bucket_log2: 0, // maximal ring churn: every version its own bucket
+        };
+        let log = CommitLog::with_initial_grain(config, 1 << 14, ladder[initial_i as usize]);
+        let mem = GlobalMemory::new(1 << 16);
+        let reads: std::collections::HashSet<u64> = reads.into_iter().collect();
+        let commits: std::collections::HashSet<u64> = commits.into_iter().collect();
+        let mut buf = GlobalBuffer::new(BufferConfig::default());
+        for &addr in &reads {
+            let _ = buf.load_logged(&mem, Some(&log), addr, WORD_BYTES).unwrap();
+        }
+        for &(region, grain_i) in &regrains_before {
+            log.regrain(region, ladder[grain_i as usize]);
+        }
+        log.record(commits.iter().copied());
+        for &(region, grain_i) in &regrains_after {
+            log.regrain(region, ladder[grain_i as usize]);
+        }
+        if commits.iter().any(|a| reads.contains(a)) {
+            prop_assert!(
+                !buf.validate_against(&log),
+                "ring probe missed a word-level conflict across regrains \
+                 (floor {floor}, depth {ring_depth}, before {regrains_before:?}, \
+                  after {regrains_after:?})"
+            );
+        }
+        let initial = ladder[initial_i as usize]
+            .clamp(floor, mutls_membuf::region_log2_for_grain(floor));
+        if reads.iter().any(|&a| log.grain_of(a) != initial) {
+            prop_assert!(!buf.validate_against(&log), "regrained region must doom its snapshots");
+        }
     }
 
     /// Address-space registration: an address is contained iff it falls in

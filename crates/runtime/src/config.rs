@@ -60,49 +60,86 @@ pub struct RecoveryConfig {
     pub mode: RecoveryMode,
     /// Value-predict-and-retry: a join whose conflicting reads all still
     /// hold their first-read values re-validates in place (the entries
-    /// are re-stamped) and commits without re-execution.
+    /// are re-stamped) and commits without re-execution.  With
+    /// `ring_depth > 1` the retry is *time-travel retry*: entries are
+    /// re-stamped to the newest ring version observed to touch them, not
+    /// the current epoch.
     pub value_predict: bool,
+    /// Depth of the per-range version rings in the commit log (mvcc
+    /// validation).  Depth 1 degenerates to the pre-PR 8 single-version
+    /// protocol; deeper rings let validation answer precisely whether
+    /// the snapshot's word was overwritten, falling back to conservatism
+    /// only on ring overflow.
+    pub ring_depth: u32,
 }
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        RecoveryConfig {
-            mode: RecoveryMode::Targeted,
-            value_predict: true,
-        }
+        Self::mvcc()
     }
 }
 
 impl RecoveryConfig {
     /// The pre-registry baseline: lazy conflict discovery, full squash
-    /// cascade, no value prediction.
+    /// cascade, no value prediction, single-version validation.
     pub fn cascade_only() -> Self {
         RecoveryConfig {
             mode: RecoveryMode::Cascade,
             value_predict: false,
+            ring_depth: 1,
         }
     }
 
-    /// Targeted dooming without value prediction.
+    /// Targeted dooming without value prediction (single-version).
     pub fn targeted() -> Self {
         RecoveryConfig {
             mode: RecoveryMode::Targeted,
             value_predict: false,
+            ring_depth: 1,
         }
     }
 
-    /// Targeted dooming plus value-predict-and-retry (the default).
+    /// Targeted dooming plus value-predict-and-retry at ring depth 1 —
+    /// the pre-PR 8 default, kept as the pinned legacy configuration for
+    /// replay baselines.
     pub fn targeted_with_retry() -> Self {
-        Self::default()
+        RecoveryConfig {
+            mode: RecoveryMode::Targeted,
+            value_predict: true,
+            ring_depth: 1,
+        }
     }
 
-    /// Short label for sweep tables.
+    /// Multi-version validation (the default): targeted dooming,
+    /// time-travel retry, and per-range version rings at
+    /// [`mutls_membuf::DEFAULT_RING_DEPTH`].
+    pub fn mvcc() -> Self {
+        RecoveryConfig {
+            mode: RecoveryMode::Targeted,
+            value_predict: true,
+            ring_depth: mutls_membuf::DEFAULT_RING_DEPTH,
+        }
+    }
+
+    /// Whether multi-version validation is active.
+    pub fn is_mvcc(&self) -> bool {
+        self.ring_depth > 1
+    }
+
+    /// Short label for sweep tables.  Depth-1 labels are unchanged from
+    /// the single-version era; the canonical mvcc configuration
+    /// (targeted + retry + rings) is labelled `mvcc`, and other ringed
+    /// combinations carry a `+mvcc` suffix.
     pub fn label(&self) -> &'static str {
-        match (self.mode, self.value_predict) {
-            (RecoveryMode::Cascade, false) => "cascade",
-            (RecoveryMode::Cascade, true) => "cascade+retry",
-            (RecoveryMode::Targeted, false) => "targeted",
-            (RecoveryMode::Targeted, true) => "targeted+retry",
+        match (self.mode, self.value_predict, self.is_mvcc()) {
+            (RecoveryMode::Cascade, false, false) => "cascade",
+            (RecoveryMode::Cascade, true, false) => "cascade+retry",
+            (RecoveryMode::Targeted, false, false) => "targeted",
+            (RecoveryMode::Targeted, true, false) => "targeted+retry",
+            (RecoveryMode::Targeted, true, true) => "mvcc",
+            (RecoveryMode::Cascade, false, true) => "cascade+mvcc",
+            (RecoveryMode::Cascade, true, true) => "cascade+retry+mvcc",
+            (RecoveryMode::Targeted, false, true) => "targeted+mvcc",
         }
     }
 }
@@ -295,6 +332,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the commit-log version-ring depth (builder style); 1 restores
+    /// the single-version validation protocol.
+    pub fn ring_depth(mut self, depth: u32) -> Self {
+        self.recovery.ring_depth = depth;
+        self
+    }
+
     /// Set the full adaptive-grain control configuration (builder style).
     pub fn grain_control(mut self, grain_control: GrainControlConfig) -> Self {
         self.grain_control = grain_control;
@@ -387,8 +431,9 @@ mod tests {
     #[test]
     fn recovery_builders_and_labels() {
         let c = RuntimeConfig::default();
-        assert_eq!(c.recovery, RecoveryConfig::targeted_with_retry());
-        assert_eq!(c.recovery.label(), "targeted+retry");
+        assert_eq!(c.recovery, RecoveryConfig::mvcc());
+        assert!(c.recovery.is_mvcc());
+        assert_eq!(c.recovery.label(), "mvcc");
         let c = c.recovery(RecoveryConfig::cascade_only());
         assert_eq!(c.recovery.mode, RecoveryMode::Cascade);
         assert!(!c.recovery.value_predict);
@@ -397,7 +442,22 @@ mod tests {
         assert_eq!(c.recovery, RecoveryConfig::targeted());
         assert_eq!(c.recovery.label(), "targeted");
         let c = c.value_predict(true);
+        assert_eq!(c.recovery, RecoveryConfig::targeted_with_retry());
+        assert_eq!(c.recovery.label(), "targeted+retry");
+        let c = c.ring_depth(mutls_membuf::DEFAULT_RING_DEPTH);
         assert_eq!(c.recovery, RecoveryConfig::default());
+        // The depth-1 legacy labels are untouched; ringed non-canonical
+        // combinations are suffixed.
+        assert_eq!(
+            RecoveryConfig::targeted_with_retry().ring_depth,
+            1,
+            "legacy constructor pins single-version validation"
+        );
+        let odd = RecoveryConfig {
+            value_predict: false,
+            ..RecoveryConfig::mvcc()
+        };
+        assert_eq!(odd.label(), "targeted+mvcc");
     }
 
     #[test]

@@ -498,10 +498,19 @@ impl SpecContext {
             finalize_started.elapsed().as_nanos() as u64,
         );
 
-        // This reproduction discards (rather than adopts) the unjoined
-        // children of a finished child; see DESIGN.md §5.
+        // The unjoined children of a finished child: when the child
+        // *committed*, its state already reached the commit log (or the
+        // parent's overlay), so the grandchildren ran on top of valid
+        // state — adopt the completed ones into this joiner instead of
+        // re-speculating their work (see README "Recovery pipeline").
+        // A child that rolled back invalidates the subtree as before.
         for grandchild in std::mem::take(&mut outcome.children) {
-            self.mgr.reap_subtree(grandchild);
+            if verdict.is_ok() {
+                self.stats.counters.adopted_threads +=
+                    self.mgr.adopt_subtree(grandchild, self.global.as_mut());
+            } else {
+                self.mgr.reap_subtree(grandchild);
+            }
         }
 
         let committed = verdict.is_ok();

@@ -110,6 +110,16 @@ pub(crate) struct Slot {
     model: AtomicU8,
     /// Recorder timestamp of the task's dispatch (fork-to-commit latency).
     forked_ns: AtomicU64,
+    /// Logical rank of the running task: its fork-clock stamp.  Children
+    /// fork strictly after their forker acquired its own stamp, so a
+    /// smaller value means the thread executes logically *earlier* work
+    /// (exact under in-order forking; out-of-order forks can only
+    /// overestimate a thread's logical position, which under-dooms —
+    /// sound, since join-time validation stays the oracle).  Committing
+    /// writers use it to skip dooming their logical predecessors, whose
+    /// reads legitimately precede the write (the RMW-predecessor
+    /// over-rollback bug).
+    logical: AtomicU64,
     sender: Sender<WorkerMsg>,
     result: Mutex<Option<SpecOutcome>>,
     result_cv: Condvar,
@@ -126,6 +136,7 @@ impl Slot {
             site: AtomicU32::new(0),
             model: AtomicU8::new(ForkModel::Mixed.index() as u8),
             forked_ns: AtomicU64::new(0),
+            logical: AtomicU64::new(0),
             sender,
             result: Mutex::new(None),
             result_cv: Condvar::new(),
@@ -223,6 +234,10 @@ pub struct ThreadManager {
     rng: Mutex<SmallRng>,
     /// Monotone counter of speculation events (diagnostics).
     speculations: AtomicU64,
+    /// Fork clock: source of the per-slot logical-rank stamps.  Starts at
+    /// 1 so stamp 0 uniquely means "the non-speculative thread" (rank 0),
+    /// which is logically earliest and whose commits doom unfiltered.
+    fork_clock: AtomicU64,
     /// Adaptive speculation governor: consulted before a fork is granted a
     /// CPU, fed with per-site join outcomes.
     governor: Governor,
@@ -265,14 +280,17 @@ impl ThreadManager {
         // control the configured grain is the floor the table is
         // allocated at and regions start at the controller's (usually
         // coarser) initial grain.
+        // The recovery engine owns the validation protocol, so its ring
+        // depth overrides whatever the raw commit-log config carries.
+        let log_config = config.commit_log.ring_depth(config.recovery.ring_depth);
         let commit_log = if config.grain_control.enabled {
             CommitLog::with_initial_grain(
-                config.commit_log,
+                log_config,
                 memory.size_bytes(),
                 config.grain_control.initial_grain_log2,
             )
         } else {
-            CommitLog::with_config(config.commit_log, memory.size_bytes())
+            CommitLog::with_config(log_config, memory.size_bytes())
         };
         let grain = config.grain_control.enabled.then(|| {
             Mutex::new(GrainController::new(
@@ -291,6 +309,7 @@ impl ThreadManager {
             accum: Mutex::new(RunAccumulators::default()),
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed)),
             speculations: AtomicU64::new(0),
+            fork_clock: AtomicU64::new(1),
             governor: Governor::new(config.governor),
             grain,
             grain_events: AtomicU64::new(0),
@@ -510,6 +529,10 @@ impl ThreadManager {
                 slot.doomed.store(false, Ordering::Release);
                 slot.doomed_hard.store(false, Ordering::Release);
                 slot.orphaned.store(false, Ordering::Release);
+                slot.logical.store(
+                    self.fork_clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Release,
+                );
                 *slot.result.lock() = None;
                 self.active.fetch_add(1, Ordering::AcqRel);
                 self.most_speculative.store(rank, Ordering::Release);
@@ -605,6 +628,16 @@ impl ThreadManager {
         self.doom_readers_with(addrs, exclude, true)
     }
 
+    /// The logical-rank stamp of `rank`'s current task (0 for the
+    /// non-speculative thread, which is logically earliest).
+    fn logical_of(&self, rank: Rank) -> u64 {
+        if rank == 0 || rank > self.slots.len() {
+            0
+        } else {
+            self.slots[rank - 1].logical.load(Ordering::Acquire)
+        }
+    }
+
     fn doom_readers_with<I: IntoIterator<Item = Addr>>(
         &self,
         addrs: I,
@@ -618,6 +651,14 @@ impl ThreadManager {
         if set.is_empty() {
             return 0;
         }
+        // Logical-order filter: a reader forked *before* the committing
+        // writer executes logically earlier work, so its reads are
+        // legitimately allowed to precede the write (the RMW-predecessor
+        // pattern: the forker read the cell, forked the continuation,
+        // and the continuation's commit must not doom it).  Skipping a
+        // predecessor is always sound — dooming only accelerates the
+        // verdict join-time validation delivers anyway.
+        let committer = self.logical_of(exclude);
         let mut doomed = 0;
         for rank in set.ranks() {
             if rank == exclude || rank > self.slots.len() {
@@ -627,7 +668,9 @@ impl ThreadManager {
             // Only running threads are doomed — the doom set is thereby a
             // subset of what the cascade would squash (every active
             // speculative thread); an idle slot's registration is stale.
-            if slot.state.load(Ordering::Acquire) == CPU_RUNNING {
+            if slot.state.load(Ordering::Acquire) == CPU_RUNNING
+                && slot.logical.load(Ordering::Acquire) >= committer
+            {
                 if hard {
                     slot.doomed_hard.store(true, Ordering::Release);
                 } else {
@@ -654,7 +697,15 @@ impl ThreadManager {
         let set = self
             .commit_log
             .take_readers(outcome.buffers.global.write_addresses());
-        RecoveryPlan::DoomSet(set.ranks().filter(|&r| r != child).collect())
+        // Same logical-order filter as `doom_readers_with`: the failing
+        // child's re-execution rewrites its ranges, but readers running
+        // logically *earlier* work are entitled to the pre-write values.
+        let committer = self.logical_of(child);
+        RecoveryPlan::DoomSet(
+            set.ranks()
+                .filter(|&r| r != child && self.logical_of(r) >= committer)
+                .collect(),
+        )
     }
 
     /// Block until the speculative thread `rank` deposits its outcome, then
@@ -803,6 +854,76 @@ impl ThreadManager {
         }
     }
 
+    /// Opportunistically **adopt** the subtree rooted at `rank` instead of
+    /// reaping it: a grandchild left unjoined by a child that just
+    /// committed ran logically *after* state that has already reached the
+    /// commit log, so its work is only stale if validation says so — it
+    /// must not be re-speculated from scratch just because its joiner
+    /// finished first.  Non-blocking: a thread that already deposited a
+    /// `Completed` outcome is validated and committed/absorbed exactly
+    /// like a joined child (recursing into *its* unjoined children on
+    /// success); anything still running, failed, or conflicting is reaped
+    /// as before.  Returns the number of threads whose work was salvaged.
+    pub fn adopt_subtree(&self, rank: Rank, mut parent_buffer: Option<&mut GlobalBuffer>) -> u64 {
+        let taken = self.slots[rank - 1].result.lock().take();
+        let Some(mut outcome) = taken else {
+            // Still running: joining would block the adopter on an
+            // unbounded subtree — fall back to the reap.
+            self.reap_subtree(rank);
+            return 0;
+        };
+        if outcome.status != TaskStatus::Completed {
+            self.finish_discarded(rank, outcome, SpecFailure::Cascaded);
+            return 0;
+        }
+        let verdict = self.validate_and_commit(rank, &mut outcome, parent_buffer.as_deref_mut());
+        outcome.buffers.global.clear();
+        let children = std::mem::take(&mut outcome.children);
+        let (site, model) = self.slots[rank - 1].launch_info();
+        match verdict {
+            Ok(kind) => {
+                self.governor.record_outcome(
+                    site,
+                    &SiteOutcome::committed(
+                        outcome.stats.get(Phase::Work),
+                        outcome.stats.get(Phase::Idle),
+                        model,
+                    )
+                    .with_retry(kind.retried()),
+                );
+                self.record_speculative(&outcome.stats, None, kind.retried());
+                self.release_cpu(rank, 0);
+                let mut adopted = 1;
+                for grandchild in children {
+                    adopted += self.adopt_subtree(grandchild, parent_buffer.as_deref_mut());
+                }
+                adopted
+            }
+            Err(reason) => {
+                // `validate_and_commit` already unregistered the readers
+                // and planned the rollback recovery; the subtree below a
+                // conflicting thread read underneath it and only
+                // re-speculation repairs it.
+                outcome.stats.mark_work_wasted();
+                self.governor.record_outcome(
+                    site,
+                    &SiteOutcome::rolled_back(
+                        reason,
+                        outcome.stats.get(Phase::WastedWork),
+                        outcome.stats.get(Phase::Idle),
+                        model,
+                    ),
+                );
+                self.record_speculative(&outcome.stats, Some(reason), false);
+                self.release_cpu(rank, 0);
+                for grandchild in children {
+                    self.reap_subtree(grandchild);
+                }
+                0
+            }
+        }
+    }
+
     /// Validate a finished child and either publish, retry or discard its
     /// buffers — the join half of the **recovery engine**, which picks the
     /// cheapest sound repair per conflict (see [`RecoveryPlan`]).
@@ -873,7 +994,10 @@ impl ThreadManager {
                     .attribute_conflicts(&self.commit_log, mem);
             }
             // The thread is dead either way: its registrations would only
-            // cause spurious dooms from here on.
+            // cause spurious dooms from here on.  In-flight doom-watch
+            // revalidations may still have precise-passed before the final
+            // failure — keep those counted.
+            outcome.stats.counters.precise_passes += outcome.buffers.global.stats().precise_passes;
             self.commit_log
                 .unregister_reader(outcome.buffers.global.read_addresses(), child);
             let validate_ns = elapsed_ns(started);
@@ -902,6 +1026,7 @@ impl ThreadManager {
         // Dependence validation against the commit log (range grain,
         // classifying suspected false sharing), plus the parent write-set
         // overlay when the joiner is speculative.
+        let precise_before = outcome.buffers.global.stats().precise_passes;
         let log_verdict = outcome
             .buffers
             .global
@@ -952,14 +1077,34 @@ impl ThreadManager {
                 .latency()
                 .record(LatencyPhase::RepairRetry, validate_ns);
         }
+        // Single capture point for the buffer's ring-precision counter:
+        // it covers both this join-time validation and any in-flight
+        // doom-watch revalidations the thread survived along the way.
+        let precise_total = outcome.buffers.global.stats().precise_passes;
+        outcome.stats.counters.precise_passes += precise_total;
         self.trace_event(
             child,
             site,
             EventKind::ValidateEnd {
                 outcome: if !valid {
-                    ValidateOutcome::Conflict
+                    if matches!(
+                        log_verdict,
+                        Validation::Conflict {
+                            suspected_false_sharing: true
+                        }
+                    ) {
+                        // All conflicting words still held their
+                        // first-read values: the doom is grain- or
+                        // ring-overflow conservatism, not a proven
+                        // dependence violation.
+                        ValidateOutcome::ConservativeDoom
+                    } else {
+                        ValidateOutcome::Conflict
+                    }
                 } else if retried {
                     ValidateOutcome::Retried
+                } else if precise_total > precise_before {
+                    ValidateOutcome::PrecisePass
                 } else {
                     ValidateOutcome::Clean
                 },
@@ -1551,6 +1696,112 @@ mod tests {
     }
 
     #[test]
+    fn commit_spares_logically_older_readers() {
+        let m = mgr(4);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+        // Fork order is logical order here: predecessor (stamp 1), then
+        // the committing writer (stamp 2), then a successor (stamp 3).
+        let predecessor = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let writer = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let successor = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+
+        // Both bystanders read the word the writer will commit.
+        let mut pred_buf = m.make_buffers(predecessor);
+        let _ = pred_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        let mut succ_buf = m.make_buffers(successor);
+        let _ = succ_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+
+        assert_eq!(m.doom_readers([cell.addr_of(0)], writer), 1);
+        assert!(
+            !m.doom_requested(predecessor),
+            "a logical predecessor's read legitimately precedes the write"
+        );
+        assert!(m.doom_requested(successor), "the successor's read is stale");
+
+        // The writer's own rollback plan applies the same filter.
+        let mut writer_buf = m.make_buffers(writer);
+        writer_buf.global.store(cell.addr_of(0), 9, 8).unwrap();
+        let _ = pred_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        let outcome = completed(writer_buf);
+        match m.plan_rollback_recovery(writer, &outcome) {
+            RecoveryPlan::DoomSet(ranks) => {
+                assert!(
+                    !ranks.contains(&predecessor),
+                    "rollback recovery must spare logical predecessors"
+                );
+            }
+            other => panic!("targeted mode plans a doom set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adoption_salvages_a_deposited_grandchild() {
+        let m = mgr(4);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+        mem.set(&cell, 0, 7);
+
+        // A grandchild finished and deposited before its (committed)
+        // parent was joined — the classic orphan the old code reaped.
+        let gc = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let mut buffers = m.make_buffers(gc);
+        buffers.global.store(cell.addr_of(0), 42, 8).unwrap();
+        assert!(m.deposit_outcome(gc, completed(buffers)));
+
+        assert_eq!(m.adopt_subtree(gc, None), 1, "clean work is salvaged");
+        assert_eq!(mem.get(&cell, 0), 42, "adopted writes reach memory");
+        assert!(
+            m.try_acquire_cpu(0, ForkModel::Mixed).is_some(),
+            "the adopted thread's CPU is released"
+        );
+    }
+
+    #[test]
+    fn adoption_still_reaps_conflicting_and_running_grandchildren() {
+        let m = mgr(4);
+        let mem = Arc::clone(m.memory());
+        let cell = mem.alloc::<u64>(1);
+        mem.set(&cell, 0, 7);
+
+        // Grandchild A read the cell before a predecessor overwrote it:
+        // adoption must validate, fail, and discard — not blindly commit.
+        let stale = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        let mut stale_buf = m.make_buffers(stale);
+        let _ = stale_buf
+            .global
+            .load_logged(&*mem, Some(m.commit_log()), cell.addr_of(0), 8)
+            .unwrap();
+        stale_buf.global.store(cell.addr_of(0), 99, 8).unwrap();
+
+        let mut pred = m.make_buffers(0);
+        pred.global.store(cell.addr_of(0), 13, 8).unwrap();
+        let mut pred_outcome = completed(pred);
+        m.validate_and_commit(0, &mut pred_outcome, None).unwrap();
+
+        assert!(m.deposit_outcome(stale, completed(stale_buf)));
+        assert_eq!(m.adopt_subtree(stale, None), 0, "stale work is discarded");
+        assert_eq!(mem.get(&cell, 0), 13, "the stale write never commits");
+
+        // Grandchild B never deposited: adoption must not block on it.
+        let running = m.try_acquire_cpu(0, ForkModel::Mixed).unwrap();
+        assert_eq!(m.adopt_subtree(running, None), 0);
+        assert!(
+            m.abort_requested(running),
+            "a still-running grandchild is reaped as before"
+        );
+    }
+
+    #[test]
     fn cascade_mode_never_registers_or_dooms() {
         let (m, _rx) = ThreadManager::new(
             RuntimeConfig::with_cpus(2)
@@ -1626,7 +1877,11 @@ mod tests {
                     GrainControlConfig::adaptive()
                         .tick_commits(1)
                         .initial_grain_log2(PAGE_GRAIN_LOG2),
-                ),
+                )
+                // Single-version validation: under mvcc the neighbour
+                // commits below precise-pass instead of producing the
+                // false-sharing retries this test feeds the controller.
+                .recovery(crate::config::RecoveryConfig::targeted_with_retry()),
         );
         let mem = Arc::clone(m.memory());
         let cell = mem.alloc::<u64>(1024);

@@ -130,6 +130,15 @@ pub struct ThreadCounters {
     /// either because the recovery mode is `Cascade` or because the
     /// reader registry overflowed (an untracked rank read the range).
     pub cascade_fallbacks: u64,
+    /// Read-set entries that passed validation *precisely* through the
+    /// commit log's version rings: the range version had moved, but the
+    /// ring footprints proved the commits missed the word (mvcc — at
+    /// ring depth 1 this is always zero).
+    pub precise_passes: u64,
+    /// Unjoined threads of a committed child that were adopted
+    /// (validated and committed/absorbed) by this thread instead of
+    /// being reaped and re-speculated.
+    pub adopted_threads: u64,
     /// Loads issued.
     pub loads: u64,
     /// Stores issued.
@@ -199,6 +208,8 @@ impl ThreadStats {
         self.counters.retries_succeeded += other.counters.retries_succeeded;
         self.counters.targeted_dooms += other.counters.targeted_dooms;
         self.counters.cascade_fallbacks += other.counters.cascade_fallbacks;
+        self.counters.precise_passes += other.counters.precise_passes;
+        self.counters.adopted_threads += other.counters.adopted_threads;
         for (mine, theirs) in self
             .counters
             .rollbacks_by_reason
@@ -349,6 +360,18 @@ impl RunReport {
     /// paths (see [`ThreadCounters::cascade_fallbacks`]).
     pub fn cascade_fallbacks(&self) -> u64 {
         self.critical.counters.cascade_fallbacks + self.speculative.counters.cascade_fallbacks
+    }
+
+    /// Read-set entries that precise-passed through the version rings,
+    /// across both paths (see [`ThreadCounters::precise_passes`]).
+    pub fn precise_passes(&self) -> u64 {
+        self.critical.counters.precise_passes + self.speculative.counters.precise_passes
+    }
+
+    /// Committed-subtree adoptions across both paths (see
+    /// [`ThreadCounters::adopted_threads`]).
+    pub fn adopted_threads(&self) -> u64 {
+        self.critical.counters.adopted_threads + self.speculative.counters.adopted_threads
     }
 
     /// Power efficiency `η_power = T_s / (T_runtime_nonspec + Σ T_runtime_sp)`

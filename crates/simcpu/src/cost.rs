@@ -64,6 +64,12 @@ pub struct CostModel {
     /// memory and re-stamps them.  The retry's total cost replaces a full
     /// squash-and-re-execute — the cheapest rung of the recovery ladder.
     pub retry_per_word: u64,
+    /// Cycles per **version-ring probe** under mvcc validation: one
+    /// packed-atomic load plus the footprint test that proves a later
+    /// commit missed every word the thread read.  Charged per precise
+    /// pass — cheaper than [`retry_per_word`](Self::retry_per_word)
+    /// because no main-memory value re-read happens at all.
+    pub ring_probe: u64,
     /// Cycles a committing writer spends per thread it **dooms** through
     /// the reader registry (enumerate the range's mask, set the doom
     /// flag).  Buys back the doomed thread's remaining conflict-window
@@ -99,6 +105,7 @@ impl Default for CostModel {
             finalize_per_word: 1,
             spawn_latency: 300,
             retry_per_word: 3,
+            ring_probe: 2,
             doom_signal: 30,
             regrain_per_slot: 1,
         }
@@ -157,6 +164,11 @@ impl CostModel {
     /// second, value-comparing validation pass).
     pub fn retry_cycles(&self, words: u64) -> u64 {
         words * self.retry_per_word
+    }
+
+    /// Cost of `probes` version-ring probes (mvcc precise validation).
+    pub fn ring_probe_cycles(&self, probes: u64) -> u64 {
+        probes * self.ring_probe
     }
 
     /// Cost of surgically dooming `threads` registered readers at commit
@@ -241,6 +253,10 @@ mod tests {
         assert_eq!(c.retry_cycles(0), 0);
         assert_eq!(c.retry_cycles(10), 10 * c.retry_per_word);
         assert_eq!(c.doom_cycles(3), 3 * c.doom_signal);
+        assert_eq!(c.ring_probe_cycles(4), 4 * c.ring_probe);
+        // The mvcc premise: a ring probe (no memory re-read) undercuts
+        // even the value-predict retry it replaces.
+        assert!(c.ring_probe < c.retry_per_word);
         // The recovery ladder's premise: retrying a 100-word read set is
         // far cheaper than re-executing even a small segment.
         assert!(c.retry_cycles(100) < c.segment_cycles(1000, 100, 100));

@@ -40,11 +40,21 @@ impl DenyPolicy {
 pub enum ValidateOutcome {
     /// Every read validated against the commit log.
     Clean,
+    /// Every read validated, and at least one did so *precisely*: its
+    /// range version had moved but the commit log's version rings proved
+    /// the commits missed the word (mvcc — single-version validation
+    /// would have doomed the thread).
+    PrecisePass,
     /// Version validation conflicted but value prediction repaired every
     /// conflicting read in place (the thread still commits).
     Retried,
     /// Genuine dependence conflict — the thread rolls back.
     Conflict,
+    /// Conservative doom: the conflicting words all still held their
+    /// first-read values, so the rollback is (suspected) grain- or
+    /// ring-overflow-induced conservatism rather than a proven
+    /// dependence violation.
+    ConservativeDoom,
     /// The task had already failed before validation (overflow, cascade,
     /// doom); its buffers were discarded unvalidated.
     Failed,
@@ -55,8 +65,10 @@ impl ValidateOutcome {
     pub fn label(self) -> &'static str {
         match self {
             ValidateOutcome::Clean => "clean",
+            ValidateOutcome::PrecisePass => "precise-pass",
             ValidateOutcome::Retried => "retried",
             ValidateOutcome::Conflict => "conflict",
+            ValidateOutcome::ConservativeDoom => "conservative-doom",
             ValidateOutcome::Failed => "failed",
         }
     }

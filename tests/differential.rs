@@ -38,12 +38,14 @@ use mutls::workloads::{
 };
 
 /// The recovery engines the oracle sweeps (cascade baseline, targeted
-/// dooming, targeted dooming + value-predict-and-retry).
-fn recovery_engines() -> [RecoveryConfig; 3] {
+/// dooming, targeted dooming + value-predict-and-retry, and the mvcc
+/// engine with its multi-version rings and time-travel retry).
+fn recovery_engines() -> [RecoveryConfig; 4] {
     [
         RecoveryConfig::cascade_only(),
         RecoveryConfig::targeted(),
         RecoveryConfig::targeted_with_retry(),
+        RecoveryConfig::mvcc(),
     ]
 }
 
@@ -77,10 +79,11 @@ fn native_at_grain(kind: WorkloadKind, grain_log2: u32, cpus: usize) -> (u64, Ru
 
 #[test]
 fn every_registry_workload_matches_sequential_at_every_grain() {
-    // The runtime default is the full recovery engine (targeted dooming
-    // + value-predict-and-retry), so this registry-wide pass exercises
-    // reader registration, surgical dooming and in-place retries at
-    // every grain — not just the cascade.
+    // The runtime default is the full mvcc recovery engine (targeted
+    // dooming + time-travel retry over the version rings), so this
+    // registry-wide pass exercises reader registration, surgical dooming,
+    // ring-precise validation and in-place retries at every grain — not
+    // just the cascade.
     for kind in registry() {
         let expected = reference_checksum(kind, Scale::Tiny);
         for grain_log2 in GRAINS {
@@ -255,7 +258,7 @@ proptest! {
         shards in (0u32..3).prop_map(|i| [1usize, 4, 16][i as usize]),
         cpus in 2usize..6,
         permille in 0u32..1001,
-        recovery_i in 0usize..3,
+        recovery_i in 0usize..4,
         adaptive_grain in any::<bool>(),
         tick_commits in 1u64..5,
         lock_free in any::<bool>(),
@@ -269,6 +272,7 @@ proptest! {
                 grain_log2,
                 shards,
                 lock_free,
+                ..CommitLogConfig::default()
             })
             .recovery(recovery);
         if adaptive_grain {
