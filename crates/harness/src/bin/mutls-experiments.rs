@@ -1,8 +1,8 @@
 //! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
 //!
 //! ```text
-//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|trace|all> \
-//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--json <path>] [--trace <path>]
+//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|trace|commitbench|parsim|all> \
+//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--sim-threads N] [--json <path>] [--trace <path>]
 //! ```
 //!
 //! With `--json <path>` the native sweeps (recovery, grain, conflict,
@@ -21,8 +21,8 @@ use serde::Serialize;
 use mutls_harness::{
     adaptive_sweep, commitbench, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
     figure6, figure7, figure8, figure9, grain_sweep, graincontrol_replay, graincontrol_sweep,
-    overflow_sweep, recovery_replay, recovery_sweep, table2, trace_scenario, ExperimentConfig,
-    TraceSink, BENCH_SCHEMA_VERSION,
+    overflow_sweep, parsim, recovery_replay, recovery_sweep, table2, trace_scenario,
+    ExperimentConfig, TraceSink, BENCH_SCHEMA_VERSION,
 };
 use mutls_workloads::Scale;
 
@@ -73,8 +73,18 @@ type ParsedArgs = (
     Option<String>,
 );
 
+/// Environment variable overriding the default simulator thread count
+/// (the `--sim-threads` flag beats it).
+const SIM_THREADS_ENV: &str = "SIM_THREADS";
+
 fn parse_args() -> Result<ParsedArgs, String> {
     let mut config = ExperimentConfig::default();
+    if let Some(threads) = std::env::var(SIM_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        config.sim_threads = threads.max(1);
+    }
     let mut selected = Vec::new();
     let mut json_path = None;
     let mut trace_path = None;
@@ -100,6 +110,13 @@ fn parse_args() -> Result<ParsedArgs, String> {
             "--seed" => {
                 let value = args.next().ok_or("--seed needs a value")?;
                 config.seed = value.parse().map_err(|_| "bad seed".to_string())?;
+            }
+            "--sim-threads" => {
+                let value = args.next().ok_or("--sim-threads needs a value")?;
+                let threads: usize = value
+                    .parse()
+                    .map_err(|_| "bad --sim-threads value".to_string())?;
+                config.sim_threads = threads.max(1);
             }
             "--json" => {
                 json_path = Some(args.next().ok_or("--json needs a path")?);
@@ -172,6 +189,11 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
             sink.push("commitbench", &rows);
             println!("{text}");
         }
+        "parsim" => {
+            let (rows, text) = parsim(config);
+            sink.push("parsim", &rows);
+            println!("{text}");
+        }
         "all" => {
             for exp in [
                 "table2",
@@ -192,6 +214,7 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
                 "graincontrol",
                 "trace",
                 "commitbench",
+                "parsim",
             ] {
                 run_one(exp, config, sink)?;
             }
@@ -217,12 +240,17 @@ fn usage() {
          \x20 trace           flight-recorder scenario: event census + latency tables\n\
          \x20 commitbench     commit-path stress: locked vs lock-free scaling\n\
          \x20                 (cap the thread sweep with COMMITBENCH_THREADS=N)\n\
+         \x20 parsim          Time Warp parallel-simulation scaling + byte-identity\n\
+         \x20                 (cap the thread sweep with PARSIM_THREADS=N)\n\
          \x20 all             everything above\n\
          \n\
          options:\n\
          \x20 --scale tiny|scaled|paper   problem-size preset (default scaled)\n\
          \x20 --cpus 1,2,4,...            CPU counts for the sweep figures\n\
          \x20 --seed N                    RNG seed (rollback injection)\n\
+         \x20 --sim-threads N             simulator threads per simulation (default 1 =\n\
+         \x20                             sequential; SIM_THREADS env is the fallback;\n\
+         \x20                             results are byte-identical at any value)\n\
          \x20 --json <path>               write machine-readable rows (schema v{BENCH_SCHEMA_VERSION})\n\
          \x20 --trace <path>              enable the flight recorder and export\n\
          \x20                             Chrome trace-event JSON (Perfetto)"

@@ -79,8 +79,12 @@ pub const ROLLBACK_PROBABILITIES: [f64; 6] = [0.01, 0.05, 0.10, 0.20, 0.50, 1.00
 /// and the mvcc engine to the recovery rows, a `grain_log2` dimension to
 /// the recovery replay, and the `recovery` + `precise_passes` columns to
 /// the graincontrol rows (swept over the single-version and mvcc
-/// engines).
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+/// engines); v5 (the Time Warp parallel simulator) adds the
+/// `sim_threads` column to every row — the effective simulator worker
+/// count the row ran under (always stamped, also on native-runtime rows,
+/// so a replayed baseline records how it was produced) — plus the
+/// `parsim` experiment's rows.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Collects per-run flight-recorder streams across a sweep so the binary
 /// can export one Chrome trace-event document (`--trace <path>`).
@@ -138,6 +142,16 @@ pub struct ExperimentConfig {
     pub cpus: Vec<usize>,
     /// RNG seed (rollback injection).
     pub seed: u64,
+    /// Simulator threads per simulation run ([`SimConfig::sim_threads`]):
+    /// 1 (the default) keeps every replay on the sequential event loop,
+    /// preserving the exact code path the committed baselines were
+    /// generated under; higher values engage the Time Warp shard workers.
+    /// The parallel simulator is byte-identical to sequential at any
+    /// value, so results never depend on this knob — only wall-clock
+    /// does.  Sweeps that fan simulation points across host threads cap
+    /// the per-point value via [`ExperimentConfig::budgeted_sim_threads`]
+    /// so the host is never oversubscribed.
+    pub sim_threads: usize,
     /// When set, the sweeps enable their flight recorders and drain each
     /// run's lifecycle events into this sink (the binary's
     /// `--trace <path>` export).  `None` keeps recording disabled — the
@@ -151,6 +165,7 @@ impl Default for ExperimentConfig {
             scale: Scale::Scaled,
             cpus: vec![1, 2, 4, 8, 16, 32, 48, 64],
             seed: 0xAB5C155A,
+            sim_threads: 1,
             trace: None,
         }
     }
@@ -163,6 +178,7 @@ impl ExperimentConfig {
             scale: Scale::Tiny,
             cpus: vec![1, 4, 16, 64],
             seed: 7,
+            sim_threads: 1,
             trace: None,
         }
     }
@@ -172,6 +188,43 @@ impl ExperimentConfig {
     pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
         self.trace = Some(sink);
         self
+    }
+
+    /// Set the per-simulation thread count (floored at 1).
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads.max(1);
+        self
+    }
+
+    /// The effective per-simulation thread count: the configured value
+    /// floored at 1.  This is the number stamped into every benchmark
+    /// row and the value serial (non-fanned) replays run at.
+    pub fn effective_sim_threads(&self) -> usize {
+        self.sim_threads.max(1)
+    }
+
+    /// The per-point thread budget when `points` independent simulations
+    /// are fanned across host threads by `par_map`.
+    ///
+    /// Oversubscription policy: `par_map` runs `min(host, points)` sweep
+    /// workers, each driving one simulation at a time, so the total
+    /// worker-thread count is `sweep_workers × per_point_sim_threads`.
+    /// This caps the per-point value at `host / sweep_workers` (floored
+    /// at 1) so that product never exceeds host parallelism — a sweep
+    /// wide enough to saturate the host runs its points sequentially
+    /// (`sim_threads = 1`), and the Time Warp shards only spin up when
+    /// sweep-level parallelism leaves cores idle.  Byte-identity makes
+    /// the cap invisible in the results.
+    pub fn budgeted_sim_threads(&self, points: usize) -> usize {
+        let requested = self.effective_sim_threads();
+        if requested == 1 || points <= 1 {
+            return requested;
+        }
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
+        let sweep_workers = host.min(points);
+        requested.min((host / sweep_workers).max(1))
     }
 
     /// The native-runtime recorder configuration implied by `trace`.
@@ -250,7 +303,7 @@ pub fn record_workload(kind: WorkloadKind, scale: Scale) -> Recording {
     record_region(memory, |ctx| run_speculative(ctx, &data))
 }
 
-fn simulate_point(recording: &Recording, cpus: usize, seed: u64) -> SimResult {
+fn simulate_point(recording: &Recording, cpus: usize, seed: u64, sim_threads: usize) -> SimResult {
     let config = SimConfig {
         num_cpus: cpus,
         fork_model: None,
@@ -258,6 +311,7 @@ fn simulate_point(recording: &Recording, cpus: usize, seed: u64) -> SimResult {
         seed,
         cost: Default::default(),
         governor: Default::default(),
+        sim_threads,
         ..Default::default()
     };
     simulate(recording, config)
@@ -285,8 +339,9 @@ pub fn speedup_sweep(kinds: &[WorkloadKind], config: &ExperimentConfig) -> Vec<S
     let points: Vec<(usize, usize)> = (0..kinds.len())
         .flat_map(|ki| config.cpus.iter().map(move |&cpus| (ki, cpus)))
         .collect();
+    let sim_threads = config.budgeted_sim_threads(points.len());
     par_map(&points, |&(ki, cpus)| {
-        let result = simulate_point(&recordings[ki], cpus, config.seed);
+        let result = simulate_point(&recordings[ki], cpus, config.seed, sim_threads);
         sweep_row(kinds[ki], cpus, &result)
     })
 }
@@ -384,7 +439,12 @@ pub fn breakdown(
     let phases: [Phase; 10] = Phase::ALL;
     let mut rows = Vec::new();
     for &cpus in cpus_list {
-        let result = simulate_point(&recording, cpus, config.seed);
+        let result = simulate_point(
+            &recording,
+            cpus,
+            config.seed,
+            config.effective_sim_threads(),
+        );
         let stats = if speculative_path {
             &result.report.speculative
         } else {
@@ -459,7 +519,8 @@ pub fn figure10(config: &ExperimentConfig) -> (Vec<(String, usize, f64)>, String
         for model in [ForkModel::InOrder, ForkModel::OutOfOrder] {
             let mut values = Vec::new();
             for &cpus in &config.cpus {
-                let mixed = simulate_point(&recording, cpus, config.seed).speedup();
+                let sim_threads = config.effective_sim_threads();
+                let mixed = simulate_point(&recording, cpus, config.seed, sim_threads).speedup();
                 let other = simulate(
                     &recording,
                     SimConfig {
@@ -469,6 +530,7 @@ pub fn figure10(config: &ExperimentConfig) -> (Vec<(String, usize, f64)>, String
                         seed: config.seed,
                         cost: Default::default(),
                         governor: Default::default(),
+                        sim_threads,
                         ..Default::default()
                     },
                 )
@@ -511,9 +573,10 @@ pub fn figure11(config: &ExperimentConfig) -> (Vec<(String, f64, f64)>, String) 
         &["workload", "1%", "5%", "10%", "20%", "50%", "100%"],
     );
     // One parallel task per workload: record, baseline, probability sweep.
+    let sim_threads = config.budgeted_sim_threads(kinds.len());
     let per_kind = par_map(&kinds, |&kind| {
         let recording = record_workload(kind, config.scale);
-        let baseline = simulate_point(&recording, cpus, config.seed).speedup();
+        let baseline = simulate_point(&recording, cpus, config.seed, sim_threads).speedup();
         let sensitivities: Vec<(f64, f64)> = ROLLBACK_PROBABILITIES
             .iter()
             .map(|&p| {
@@ -526,6 +589,7 @@ pub fn figure11(config: &ExperimentConfig) -> (Vec<(String, f64, f64)>, String) 
                         seed: config.seed,
                         cost: Default::default(),
                         governor: Default::default(),
+                        sim_threads,
                         ..Default::default()
                     },
                 )
@@ -560,6 +624,8 @@ pub const ROLLBACK_HEAVY: [WorkloadKind; 3] =
 pub struct AdaptiveRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Effective simulator worker threads the run used (schema v5).
+    pub sim_threads: usize,
     /// Benchmark name.
     pub workload: String,
     /// Governor policy label.
@@ -640,6 +706,7 @@ fn simulate_governed(
     rollback_probability: f64,
     policy: PolicyKind,
     trace: bool,
+    sim_threads: usize,
 ) -> SimResult {
     simulate(
         recording,
@@ -651,6 +718,7 @@ fn simulate_governed(
             cost: Default::default(),
             governor: GovernorConfig::with_policy(policy),
             trace,
+            sim_threads,
             ..Default::default()
         },
     )
@@ -679,6 +747,7 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
         ],
     );
     // One parallel task per workload; assembly below keeps input order.
+    let sim_threads = config.budgeted_sim_threads(WorkloadKind::ALL.len());
     let per_kind = par_map(&WorkloadKind::ALL, |&kind| {
         let heavy = ROLLBACK_HEAVY.contains(&kind);
         let p = if heavy {
@@ -697,10 +766,12 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
                 p,
                 policy,
                 config.trace_enabled(),
+                sim_threads,
             );
             let report = &result.report;
             kind_rows.push(AdaptiveRow {
                 schema_version: BENCH_SCHEMA_VERSION,
+                sim_threads,
                 workload: kind.name().to_string(),
                 policy: policy.label().to_string(),
                 rollback_probability: p,
@@ -779,6 +850,10 @@ fn latency_cell_us(report: &LatencyReport, phase: LatencyPhase) -> String {
 pub struct NativeRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Effective simulator worker threads configured for the invocation
+    /// (schema v5; native rows record it for provenance — the native
+    /// runtime itself is unaffected by the knob).
+    pub sim_threads: usize,
     /// Benchmark name.
     pub workload: String,
     /// Governor policy label.
@@ -811,9 +886,11 @@ impl NativeRow {
         sharing: f64,
         checksum_ok: bool,
         report: &RunReport,
+        sim_threads: usize,
     ) -> Self {
         NativeRow {
             schema_version: BENCH_SCHEMA_VERSION,
+            sim_threads,
             workload: workload.to_string(),
             policy: policy.label().to_string(),
             sharing,
@@ -947,8 +1024,14 @@ pub fn conflict_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
                     events,
                     dropped,
                 );
-                let row =
-                    NativeRow::from_report(kind.name(), policy, sharing, sum == reference, &report);
+                let row = NativeRow::from_report(
+                    kind.name(),
+                    policy,
+                    sharing,
+                    sum == reference,
+                    &report,
+                    config.effective_sim_threads(),
+                );
                 table.push_row(row.table_row());
                 wasted.insert(policy, row.wasted_work_ns);
                 if permille == 1000 && policy == PolicyKind::Throttle {
@@ -1032,7 +1115,14 @@ pub fn overflow_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
                 runtime.trace_dropped(),
             );
             let checksum_ok = mutls_workloads::checksum(&memory, &data) == reference;
-            let row = NativeRow::from_report(kind.name(), policy, 0.0, checksum_ok, &report);
+            let row = NativeRow::from_report(
+                kind.name(),
+                policy,
+                0.0,
+                checksum_ok,
+                &report,
+                config.effective_sim_threads(),
+            );
             table.push_row(row.table_row());
             rows.push(row);
         }
@@ -1066,6 +1156,9 @@ pub fn grain_label(grain_log2: u32) -> String {
 pub struct GrainRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Effective simulator worker threads configured for the invocation
+    /// (schema v5; provenance on native rows).
+    pub sim_threads: usize,
     /// Benchmark name.
     pub workload: String,
     /// Commit-log tracking grain (log2 bytes).
@@ -1192,6 +1285,7 @@ pub fn grain_sweep(config: &ExperimentConfig) -> (Vec<GrainRow>, String) {
                 let lock_ms = (log.lock_ns as f64 / 1e6).max(1e-6);
                 let row = GrainRow {
                     schema_version: BENCH_SCHEMA_VERSION,
+                    sim_threads: config.effective_sim_threads(),
                     workload: kind.name().to_string(),
                     grain_log2,
                     shards,
@@ -1262,6 +1356,9 @@ pub const COMMITBENCH_MIXES: [&str; 2] = ["disjoint", "overlapping"];
 pub struct CommitBenchRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Effective simulator worker threads configured for the invocation
+    /// (schema v5; provenance — the stress runs on OS threads).
+    pub sim_threads: usize,
     /// Address mix (see [`COMMITBENCH_MIXES`]).
     pub mix: String,
     /// Number of committer OS threads.
@@ -1425,6 +1522,7 @@ pub fn commitbench_with(
                     let secs = elapsed.as_secs_f64().max(1e-9);
                     CommitBenchRow {
                         schema_version: BENCH_SCHEMA_VERSION,
+                        sim_threads: config.effective_sim_threads(),
                         mix: mix.to_string(),
                         threads,
                         mode: mode.to_string(),
@@ -1494,6 +1592,9 @@ pub fn recovery_sweep_modes() -> [RecoveryConfig; 4] {
 pub struct RecoveryRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Effective simulator worker threads configured for the invocation
+    /// (schema v5; provenance on native rows).
+    pub sim_threads: usize,
     /// Benchmark name.
     pub workload: String,
     /// Commit-log tracking grain (log2 bytes).
@@ -1623,6 +1724,7 @@ pub fn recovery_sweep(config: &ExperimentConfig) -> (Vec<RecoveryRow>, String) {
                     let lock_ms = (log.lock_ns as f64 / 1e6).max(1e-6);
                     let row = RecoveryRow {
                         schema_version: BENCH_SCHEMA_VERSION,
+                        sim_threads: config.effective_sim_threads(),
                         workload: kind.name().to_string(),
                         grain_log2,
                         recovery: recovery.label().to_string(),
@@ -1692,6 +1794,11 @@ pub fn recovery_sweep(config: &ExperimentConfig) -> (Vec<RecoveryRow>, String) {
 pub struct RecoverySimRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Simulator worker threads the replay actually ran at (schema v5).
+    /// Replays are byte-identical across values, so every other column
+    /// is independent of this one — the committed baselines replay
+    /// counter-for-counter at any thread count.
+    pub sim_threads: usize,
     /// Benchmark name.
     pub workload: String,
     /// Commit-log tracking grain (log2 bytes).  Word grain is the
@@ -1783,6 +1890,7 @@ pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, Strin
                             seed: config.seed,
                             recovery,
                             trace: config.trace_enabled(),
+                            sim_threads: config.effective_sim_threads(),
                             ..SimConfig::default()
                         }
                         .grain_log2(grain_log2),
@@ -1790,6 +1898,7 @@ pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, Strin
                     let report = &result.report;
                     let row = RecoverySimRow {
                         schema_version: BENCH_SCHEMA_VERSION,
+                        sim_threads: config.effective_sim_threads(),
                         workload: kind.name().to_string(),
                         grain_log2,
                         recovery: recovery.label().to_string(),
@@ -1937,6 +2046,9 @@ pub const GRAINCONTROL_REPS: usize = 3;
 pub struct GrainControlRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Effective simulator worker threads configured for the invocation
+    /// (schema v5; provenance on native rows).
+    pub sim_threads: usize,
     /// Benchmark name.
     pub workload: String,
     /// Grain-mode label (`word`, `line`, `page`, `adaptive`).
@@ -1977,6 +2089,9 @@ pub struct GrainControlRow {
 pub struct GrainControlSimRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Simulator worker threads the replay actually ran at (schema v5;
+    /// byte-identity makes every other column independent of it).
+    pub sim_threads: usize,
     /// Benchmark name.
     pub workload: String,
     /// Grain-mode label.
@@ -2105,6 +2220,7 @@ pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, S
                 );
                 let row = GrainControlRow {
                     schema_version: BENCH_SCHEMA_VERSION,
+                    sim_threads: config.effective_sim_threads(),
                     workload: kind.name().to_string(),
                     mode: mode.label(),
                     recovery: recovery.label().to_string(),
@@ -2184,12 +2300,14 @@ pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow
             for recovery in graincontrol_recoveries() {
                 let mut sim_config = mode
                     .sim_config(cpus, config.seed)
-                    .trace(config.trace_enabled());
+                    .trace(config.trace_enabled())
+                    .sim_threads(config.effective_sim_threads());
                 sim_config.recovery = recovery;
                 let result = simulate(&recording, sim_config);
                 let report = &result.report;
                 let row = GrainControlSimRow {
                     schema_version: BENCH_SCHEMA_VERSION,
+                    sim_threads: config.effective_sim_threads(),
                     workload: kind.name().to_string(),
                     mode: mode.label(),
                     recovery: recovery.label().to_string(),
@@ -2242,6 +2360,9 @@ pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow
 pub struct TraceScenarioRow {
     /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
     pub schema_version: u32,
+    /// Effective simulator worker threads (schema v5; used by the replay
+    /// half of the scenario, provenance on the native half).
+    pub sim_threads: usize,
     /// Scenario label (`native/...` or `replay/...`).
     pub scenario: String,
     /// Events captured, after ring drops.
@@ -2284,6 +2405,7 @@ pub fn trace_scenario(config: &ExperimentConfig) -> (Vec<TraceScenarioRow>, Stri
             num_cpus: cpus,
             seed: config.seed,
             trace: true,
+            sim_threads: config.effective_sim_threads(),
             ..SimConfig::default()
         },
     );
@@ -2325,6 +2447,7 @@ pub fn trace_scenario(config: &ExperimentConfig) -> (Vec<TraceScenarioRow>, Stri
         };
         rows.push(TraceScenarioRow {
             schema_version: BENCH_SCHEMA_VERSION,
+            sim_threads: config.effective_sim_threads(),
             scenario: scenario.to_string(),
             events: events.len() as u64,
             dropped,
@@ -2360,6 +2483,184 @@ pub fn trace_scenario(config: &ExperimentConfig) -> (Vec<TraceScenarioRow>, Stri
     );
     config.record_trace("trace/replay/conflict_chain".to_string(), replay.events, 0);
     (rows, text)
+}
+
+/// Thread counts swept by the `parsim` scenario (1 is the sequential
+/// baseline the others are compared against).  The sweep is capped by
+/// the [`PARSIM_THREADS_ENV`] environment variable, so small CI hosts
+/// skip the counts they cannot physically run in parallel.
+pub const PARSIM_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Environment variable capping the `parsim` thread sweep at the given
+/// count (points above it are skipped; 1 always runs).
+pub const PARSIM_THREADS_ENV: &str = "PARSIM_THREADS";
+
+/// Repetitions per `parsim` point; the best (lowest) wall-clock rep is
+/// reported, but byte-identity must hold in *every* rep.
+const PARSIM_REPS: u32 = 3;
+
+/// The `parsim` thread list after applying the environment cap.
+fn parsim_threads() -> Vec<usize> {
+    let cap = std::env::var(PARSIM_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+    PARSIM_THREADS
+        .iter()
+        .copied()
+        .filter(|&t| t == 1 || t <= cap)
+        .collect()
+}
+
+/// One `parsim` data point: a recording simulated at one thread count,
+/// with wall clock, Time Warp shard counters and the byte-identity
+/// verdict against the sequential run of the same recording.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParSimRow {
+    /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Simulator worker threads this run used (1 = sequential baseline).
+    pub sim_threads: usize,
+    /// Benchmark name.
+    pub workload: String,
+    /// Shard policy label (`cpu-stripe` or `fiber-hash`).
+    pub shard_policy: String,
+    /// Recorded tasks in the recording (the problem size the wall clock
+    /// is paid over).
+    pub tasks: u64,
+    /// Wall-clock time of the best rep (milliseconds) — the only
+    /// non-deterministic column besides the advance split below.
+    pub sim_wall_ms: f64,
+    /// Sequential wall over this run's wall (>1 = parallel wins).
+    pub wall_speedup: f64,
+    /// Advance requests posted to shard workers (deterministic).
+    pub requests: u64,
+    /// Advances whose precomputed effects were applied (racy split with
+    /// `advances_overtaken`: depends on worker progress, never on
+    /// results).
+    pub advances_applied: u64,
+    /// Advances the driver overtook and recomputed inline (racy split).
+    pub advances_overtaken: u64,
+    /// Shard rollbacks: advances invalidated by a cross-shard publish or
+    /// regrain in their virtual past (deterministic — a pure function of
+    /// the event schedule).
+    pub shard_rollbacks: u64,
+    /// Publish-log entries reclaimed by GVT fossil collection
+    /// (deterministic).
+    pub fossil_collected: u64,
+    /// Whether every rep's serialized `RunReport` was byte-identical to
+    /// the sequential baseline's.
+    pub identical: bool,
+}
+
+/// The `parsim` scenario: the Time Warp parallel simulator against the
+/// sequential event loop on the two ends of the workload spectrum — the
+/// conflict-heavy `hist_shared` recording (publish-log scans dominate,
+/// the work the shard workers offload) and the embarrassingly parallel
+/// `mandelbrot` recording (scan-light; measures protocol overhead).
+/// Every parallel run is asserted byte-identical to the sequential run
+/// of the same recording; wall clock and shard counters are reported
+/// per thread count.  `BENCH_PR9.json` tracks this table.
+pub fn parsim(config: &ExperimentConfig) -> (Vec<ParSimRow>, String) {
+    let cpus = config.cpus.iter().copied().max().unwrap_or(16);
+    let threads_list = parsim_threads();
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!(
+            "Time Warp Parallel Simulation at {cpus} simulated CPUs (best of {PARSIM_REPS} reps)"
+        ),
+        &[
+            "workload",
+            "threads",
+            "policy",
+            "wall (ms)",
+            "speedup",
+            "requests",
+            "applied",
+            "overtaken",
+            "shard rollbacks",
+            "fossils",
+            "identical",
+        ],
+    );
+    let cases = [
+        (
+            "hist_shared",
+            record_conflict(WorkloadKind::HistShared, config.scale, 1000),
+        ),
+        (
+            "mandelbrot",
+            record_workload(WorkloadKind::Mandelbrot, config.scale),
+        ),
+    ];
+    for (name, recording) in &cases {
+        let tasks = recording.task_count() as u64;
+        let mut sequential_json = None;
+        let mut sequential_wall_ms = f64::NAN;
+        for &sim_threads in &threads_list {
+            let sim_config = SimConfig {
+                num_cpus: cpus,
+                seed: config.seed,
+                sim_threads,
+                ..SimConfig::default()
+            };
+            let mut best: Option<(f64, SimResult)> = None;
+            let mut identical = true;
+            for _ in 0..PARSIM_REPS {
+                let started = Instant::now();
+                let result = simulate(recording, sim_config.clone());
+                let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+                let mut json = String::new();
+                result.report.serialize_json(&mut json);
+                match &sequential_json {
+                    None => sequential_json = Some(json),
+                    Some(reference) => identical &= *reference == json,
+                }
+                if best.as_ref().map(|(w, _)| wall_ms < *w).unwrap_or(true) {
+                    best = Some((wall_ms, result));
+                }
+            }
+            let (wall_ms, result) = best.expect("at least one rep ran");
+            if sim_threads == 1 {
+                sequential_wall_ms = wall_ms;
+            }
+            let warp = result.warp;
+            let row = ParSimRow {
+                schema_version: BENCH_SCHEMA_VERSION,
+                sim_threads,
+                workload: name.to_string(),
+                shard_policy: sim_config.shard_policy.label().to_string(),
+                tasks,
+                sim_wall_ms: wall_ms,
+                wall_speedup: sequential_wall_ms / wall_ms.max(1e-9),
+                requests: warp.requests,
+                advances_applied: warp.advances_applied,
+                advances_overtaken: warp.advances_overtaken,
+                shard_rollbacks: warp.shard_rollbacks,
+                fossil_collected: warp.fossil_collected,
+                identical,
+            };
+            table.push_row(vec![
+                row.workload.clone(),
+                row.sim_threads.to_string(),
+                row.shard_policy.clone(),
+                format!("{:.2}", row.sim_wall_ms),
+                format!("{:.2}", row.wall_speedup),
+                row.requests.to_string(),
+                row.advances_applied.to_string(),
+                row.advances_overtaken.to_string(),
+                row.shard_rollbacks.to_string(),
+                row.fossil_collected.to_string(),
+                if row.identical { "ok" } else { "DIVERGED" }.to_string(),
+            ]);
+            assert!(
+                row.identical,
+                "{name} at {sim_threads} threads diverged from the sequential report"
+            );
+            rows.push(row);
+        }
+    }
+    (rows, table.render())
 }
 
 /// Table II: the benchmark suite, with the measured memory-access density
@@ -2457,6 +2758,7 @@ mod tests {
             scale: Scale::Tiny,
             cpus: vec![16],
             seed: 3,
+            sim_threads: 1,
             trace: None,
         };
         let (rows, _) = figure11(&config);

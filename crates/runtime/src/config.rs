@@ -144,6 +144,46 @@ impl RecoveryConfig {
     }
 }
 
+/// How the Time Warp parallel simulator maps fibers onto its shard
+/// workers (see `mutls_simcpu`'s `parsim` module).  A shared config type
+/// like [`RecoveryConfig`]: the simulator consumes it, the harness sweeps
+/// it, and the policy must be a pure function of replay-deterministic
+/// fiber identity so the shard assignment itself can never perturb the
+/// byte-identical schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Stripe by virtual CPU: all fibers of one simulated CPU stream to
+    /// the same shard worker, preserving per-CPU locality of the publish
+    /// log prefixes the shard scans (the default).
+    #[default]
+    CpuStripe,
+    /// Hash by fiber id: round-robin fibers across shards regardless of
+    /// their CPU, trading locality for balance on fork-heavy traces.
+    FiberHash,
+}
+
+impl ShardPolicy {
+    /// Short label for sweep tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardPolicy::CpuStripe => "cpu-stripe",
+            ShardPolicy::FiberHash => "fiber-hash",
+        }
+    }
+
+    /// The shard worker (of `workers`) that owns fiber `fid` running on
+    /// virtual CPU `cpu`.
+    pub fn shard_of(self, cpu: usize, fid: usize, workers: usize) -> usize {
+        if workers <= 1 {
+            return 0;
+        }
+        match self {
+            ShardPolicy::CpuStripe => cpu % workers,
+            ShardPolicy::FiberHash => fid % workers,
+        }
+    }
+}
+
 /// Configuration of a [`Runtime`](crate::Runtime) instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {

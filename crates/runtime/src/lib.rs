@@ -50,7 +50,7 @@ pub mod task;
 // cycle); re-export them under the historical paths.
 pub use mutls_adaptive::fork_model;
 
-pub use config::{RecoveryConfig, RecoveryMode, RollbackSource, RuntimeConfig};
+pub use config::{RecoveryConfig, RecoveryMode, RollbackSource, RuntimeConfig, ShardPolicy};
 pub use context::{SpecContext, SpecHandle};
 pub use direct::DirectContext;
 pub use fork_model::ForkModel;

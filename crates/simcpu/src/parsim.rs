@@ -1,0 +1,436 @@
+//! # Time Warp parallel simulation runtime
+//!
+//! Shards the discrete-event simulator across OS threads **without ever
+//! changing its answer**: the driver thread still pops events in exactly
+//! the sequential order, but the expensive per-segment effect computation
+//! (grain lookups plus the publish-log conflict scans) is precomputed
+//! optimistically by shard workers while the segment is "in flight" in
+//! virtual time.
+//!
+//! The protocol is optimistic in the Time Warp sense — a shard speculates
+//! past the driver's horizon and is rolled back when reality disagrees:
+//!
+//! 1. When the driver schedules a segment completion it posts an
+//!    `AdvanceRequest` to the fiber's shard worker (chosen by
+//!    [`ShardPolicy`]).  The request captures the *absolute* publish-log
+//!    length (`scanned_to`) and the grain-table epoch the driver observes
+//!    at post time.
+//! 2. The worker computes `SegEffects` — a pure function of the shared
+//!    recording, the publish-log **prefix** below `scanned_to`, and the
+//!    grain table — and parks it in the request's slot.
+//! 3. At the completion pop the driver *validates*: if the grain epoch
+//!    moved (a regrain re-indexed every range id) or any publish-log
+//!    **suffix** entry intersects the segment's reads, the precomputed
+//!    answer is discarded — a **shard rollback** — and the effects are
+//!    recomputed inline over the full log.  Both predicates are pure
+//!    functions of the deterministic event schedule, so the rollback
+//!    count itself replays identically at any thread count.
+//! 4. A valid-but-late worker (slot still empty) is merely *overtaken*:
+//!    the driver recomputes inline and moves on.
+//!
+//! Because a clean suffix plus an unchanged grain epoch make the prefix
+//! scan provably equal to a full-log scan (every conflict predicate
+//! filters on a strict `time > threshold`), the applied effects are
+//! byte-identical to the sequential simulator's — the acceptance gate of
+//! the parallel simulator.
+//!
+//! **GVT / fossil collection.**  The scheduler's pop clock is the global
+//! virtual time.  Every conflict scan filters entries on a strict
+//! `time > threshold` where the threshold is at least the reading fiber's
+//! `start_time`, and fibers only ever fork with `start_time >=` the
+//! current pop time; so entries at or below the *horizon* — the minimum
+//! `start_time` over live speculative fibers, capped by the pop clock —
+//! can never match again and are truncated (`PublishLog::truncate_through`).
+//! Fossil collection runs identically (and is equally safe) in sequential
+//! mode, so it cannot perturb replay.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use mutls_membuf::Addr;
+pub use mutls_runtime::ShardPolicy;
+
+use crate::cost::CostModel;
+use crate::record::{NodeId, Recording, Segment, SimEvent};
+
+/// One published write batch: the commit time, the written word
+/// addresses, and the range ids stamped at the publisher's live grains.
+#[derive(Debug, Clone)]
+pub(crate) struct PubEntry {
+    /// Virtual time of the publish.
+    pub time: u64,
+    /// Word addresses written by the batch.
+    pub words: HashSet<Addr>,
+    /// Region-prefixed range ids the batch stamped.
+    pub ranges: HashSet<u64>,
+}
+
+#[derive(Debug, Default)]
+struct PubLogInner {
+    /// Absolute index of `entries[0]` — entries below it were fossils.
+    base: u64,
+    entries: Vec<PubEntry>,
+}
+
+/// The shared publish log: an append-only sequence of [`PubEntry`]
+/// addressed by *absolute* index, so fossil collection can drop dead
+/// prefixes without invalidating the indices captured by in-flight
+/// [`AdvanceRequest`]s.
+#[derive(Debug, Default)]
+pub(crate) struct PublishLog {
+    inner: RwLock<PubLogInner>,
+}
+
+/// A read view of the log; `prefix`/`suffix` slice by absolute index.
+pub(crate) struct LogView<'a> {
+    base: u64,
+    entries: &'a [PubEntry],
+}
+
+impl<'a> LogView<'a> {
+    /// Entries with absolute index `< upto` (already-fossilized entries
+    /// are simply absent — they can no longer match any live scan).
+    pub fn prefix(&self, upto: u64) -> &'a [PubEntry] {
+        let n = (upto.saturating_sub(self.base) as usize).min(self.entries.len());
+        &self.entries[..n]
+    }
+
+    /// Entries with absolute index `>= from`.
+    pub fn suffix(&self, from: u64) -> &'a [PubEntry] {
+        let s = (from.saturating_sub(self.base) as usize).min(self.entries.len());
+        &self.entries[s..]
+    }
+
+    /// All live entries.
+    pub fn all(&self) -> &'a [PubEntry] {
+        self.entries
+    }
+}
+
+impl PublishLog {
+    /// Absolute length of the log (fossilized entries included).
+    pub fn len_abs(&self) -> u64 {
+        let inner = self.inner.read();
+        inner.base + inner.entries.len() as u64
+    }
+
+    /// Append one published batch.
+    pub fn push(&self, entry: PubEntry) {
+        self.inner.write().entries.push(entry);
+    }
+
+    /// Fossil collection: drop the leading run of entries with
+    /// `time <= horizon` (the log is scanned order-insensitively, but
+    /// only a *prefix* can be dropped without renumbering).  Returns the
+    /// number of entries collected.
+    pub fn truncate_through(&self, horizon: u64) -> u64 {
+        let mut inner = self.inner.write();
+        let dead = inner
+            .entries
+            .iter()
+            .take_while(|e| e.time <= horizon)
+            .count();
+        if dead > 0 {
+            inner.entries.drain(..dead);
+            inner.base += dead as u64;
+        }
+        dead as u64
+    }
+
+    /// Run `f` under the read lock with a [`LogView`].
+    pub fn with<R>(&self, f: impl FnOnce(LogView<'_>) -> R) -> R {
+        let inner = self.inner.read();
+        f(LogView {
+            base: inner.base,
+            entries: &inner.entries,
+        })
+    }
+}
+
+/// The live per-region grain map, shared between the driver and the
+/// shard workers.  Only the driver writes (the grain controller runs on
+/// the driver thread); every write bumps a monotonic epoch, and a worker
+/// answer computed under a stale epoch is discarded at validation — so a
+/// torn read during a regrain can never corrupt the replay.
+#[derive(Debug)]
+pub(crate) struct GrainTable {
+    floor_log2: u32,
+    region_log2: u32,
+    default_grain: u32,
+    /// True when grain control is enabled (the map can be written).
+    dynamic: bool,
+    epoch: AtomicU64,
+    map: RwLock<HashMap<u64, u32>>,
+}
+
+impl GrainTable {
+    /// Build a table with `default_grain` for unmapped regions.
+    pub fn new(floor_log2: u32, region_log2: u32, default_grain: u32, dynamic: bool) -> Self {
+        GrainTable {
+            floor_log2,
+            region_log2,
+            default_grain,
+            dynamic,
+            epoch: AtomicU64::new(0),
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Log2 of the region size the table is keyed by.
+    pub fn region_log2(&self) -> u32 {
+        self.region_log2
+    }
+
+    /// The current regrain epoch (bumped on every [`GrainTable::set`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Driver-only: regrain `region` and bump the epoch.
+    pub fn set(&self, region: u64, grain_log2: u32) {
+        self.map.write().insert(region, grain_log2);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The live grain of `region`.
+    pub fn grain_of_region(&self, region: u64) -> u32 {
+        if !self.dynamic {
+            return self.default_grain;
+        }
+        *self.map.read().get(&region).unwrap_or(&self.default_grain)
+    }
+
+    /// The live grain tracking `addr` right now.
+    pub fn grain_at(&self, addr: Addr) -> u32 {
+        self.grain_of_region(addr >> self.region_log2)
+    }
+
+    /// `addr`'s conflict-detection range id at its region's current
+    /// grain, prefixed with the region id (see `Scheduler::range_at` for
+    /// why the prefix is load-bearing).
+    pub fn range_at(&self, addr: Addr) -> u64 {
+        let region = addr >> self.region_log2;
+        let offset = addr & ((1u64 << self.region_log2) - 1);
+        (region << (self.region_log2 - self.floor_log2)) | (offset >> self.grain_of_region(region))
+    }
+}
+
+/// The precomputed effects of one completed work segment — everything
+/// `apply_segment_effects` needs that is expensive to derive: the priced
+/// cycles, the reads coarsened at the live grains, and the publish-log
+/// conflict verdicts over the scanned prefix.
+#[derive(Debug, Clone)]
+pub(crate) struct SegEffects {
+    /// Virtual cycles the segment costs (speculative or critical pricing).
+    pub cycles: u64,
+    /// `(addr, range_at(addr))` for every read of the segment, at the
+    /// grain epoch the computation ran under.
+    pub seg_read_ranges: Vec<(Addr, u64)>,
+    /// Any scanned publish intersects the segment's reads (word or range).
+    pub hit: bool,
+    /// Some scanned publish wrote a word the segment actually read.
+    pub word_hit: bool,
+    /// mvcc only: a range-only hit whose range overflowed the version
+    /// ring (forces the conservative doom instead of a precise pass).
+    pub overflow: bool,
+    /// Lowest region id among the conflicting reads (telemetry target).
+    pub region: Option<u64>,
+}
+
+/// A one-shot mailbox the worker parks its answer in.  The driver takes
+/// the answer at the completion pop; a late write into an abandoned slot
+/// is harmless (the `Arc` just drops).
+pub(crate) type AdvanceSlot = Mutex<Option<SegEffects>>;
+
+/// What a fiber remembers about its posted advance request until the
+/// segment-completion pop consumes (or invalidates) it.
+#[derive(Debug)]
+pub(crate) struct PendingAdvance {
+    /// Where the worker will park the [`SegEffects`].
+    pub slot: Arc<AdvanceSlot>,
+    /// Absolute publish-log length captured at post time — the boundary
+    /// between the worker's prefix scan and the driver's suffix check.
+    pub scanned_to: u64,
+    /// Grain epoch captured at post time.
+    pub epoch: u64,
+}
+
+/// One unit of shard work: compute the effects of the segment at
+/// `(node, ip)` against the publish-log prefix below `scanned_to`.
+pub(crate) struct AdvanceRequest {
+    /// Task node holding the segment.
+    pub node: NodeId,
+    /// Event index of the segment within the node.
+    pub ip: usize,
+    /// Whether the executing fiber is speculative (selects the pricing
+    /// and enables the conflict scan).
+    pub speculative: bool,
+    /// Virtual time the segment started (the scan threshold).
+    pub seg_start: u64,
+    /// Absolute publish-log prefix bound for the conflict scan.
+    pub scanned_to: u64,
+    /// The mailbox shared with the driver.
+    pub slot: Arc<AdvanceSlot>,
+}
+
+/// State shared between the driver and all shard workers.
+pub(crate) struct WarpShared {
+    /// The publish log (conflict-scan input).
+    pub log: Arc<PublishLog>,
+    /// The live grain table (range-id input).
+    pub grains: Arc<GrainTable>,
+    /// The cost model (segment pricing).
+    pub cost: CostModel,
+    /// Whether the recovery engine is mvcc (enables overflow probing).
+    pub mvcc: bool,
+    /// Version-ring depth for the overflow predicate.
+    pub ring_depth: usize,
+    /// Total effect computations completed by workers (racy telemetry).
+    pub computed: AtomicU64,
+}
+
+/// Driver-side handle to the shard workers for one parallel run.
+pub(crate) struct WarpState {
+    /// One channel per shard worker; dropping them all stops the shards.
+    pub senders: Vec<Sender<AdvanceRequest>>,
+    /// How fibers map onto shards.
+    pub policy: ShardPolicy,
+    /// The shared state the workers compute against.
+    pub shared: Arc<WarpShared>,
+}
+
+/// Telemetry of one parallel (or sequential — all zeros) simulation.
+/// Deliberately *not* part of `RunReport`: the report must serialize
+/// byte-identically at every thread count, while these counters describe
+/// the Time Warp machinery itself.  `shard_rollbacks`, `requests` and
+/// `fossil_collected` are deterministic (pure functions of the event
+/// schedule); the applied/overtaken/computed split depends on worker
+/// timing and is reported for observability only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarpStats {
+    /// Effective `SimConfig::sim_threads` (1 = sequential).
+    pub sim_threads: usize,
+    /// Advance requests posted to shard workers.
+    pub requests: u64,
+    /// Precomputed effects that validated and were applied as-is.
+    pub advances_applied: u64,
+    /// Valid requests whose worker had not answered by the pop (the
+    /// driver overtook its own precompute and recomputed inline).
+    pub advances_overtaken: u64,
+    /// Effect computations completed worker-side (including ones that
+    /// were later invalidated or overtaken).
+    pub advances_computed: u64,
+    /// Precomputed effects discarded because a cross-shard interaction
+    /// (publish or regrain) landed in the segment's virtual past —
+    /// the Time Warp rollback count.  Deterministic at any thread count.
+    pub shard_rollbacks: u64,
+    /// Publish-log entries reclaimed by GVT fossil collection.
+    pub fossil_collected: u64,
+}
+
+/// Effects of the segment at `(seg, seg_start)` against the publish-log
+/// prefix below `scanned_to` — the pure function both the shard workers
+/// and the driver's inline fallback evaluate.  With `scanned_to` at the
+/// full log length this is exactly the sequential simulator's
+/// `apply_segment_effects` scan.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_segment_effects(
+    seg: &Segment,
+    speculative: bool,
+    seg_start: u64,
+    cost: &CostModel,
+    grains: &GrainTable,
+    log: &PublishLog,
+    scanned_to: u64,
+    mvcc: bool,
+    ring_depth: usize,
+) -> SegEffects {
+    let cycles = if speculative {
+        cost.segment_cycles_speculative(seg.work, seg.loads, seg.stores)
+    } else {
+        cost.segment_cycles(seg.work, seg.loads, seg.stores)
+    };
+    let seg_read_ranges: Vec<(Addr, u64)> =
+        seg.reads.iter().map(|&a| (a, grains.range_at(a))).collect();
+    let mut hit = false;
+    let mut word_hit = false;
+    let mut overflow = false;
+    let mut region = None;
+    if speculative {
+        log.with(|view| {
+            let entries = view.prefix(scanned_to);
+            hit = entries.iter().any(|e| {
+                e.time > seg_start
+                    && seg_read_ranges
+                        .iter()
+                        .any(|(a, r)| e.words.contains(a) || e.ranges.contains(r))
+            });
+            if hit {
+                word_hit = entries
+                    .iter()
+                    .any(|e| e.time > seg_start && seg.reads.iter().any(|a| e.words.contains(a)));
+                if mvcc && !word_hit {
+                    // Conservative ring-overflow probe (the driver only
+                    // consults it on the range-only path).
+                    overflow = seg_read_ranges.iter().any(|(_, r)| {
+                        entries
+                            .iter()
+                            .filter(|e| e.time > seg_start && e.ranges.contains(r))
+                            .count()
+                            >= ring_depth
+                    });
+                }
+                // Lowest qualifying region, not "first": seg.reads is a
+                // HashSet, whose order must never leak into the replay.
+                region = seg_read_ranges
+                    .iter()
+                    .filter(|(a, r)| {
+                        entries.iter().any(|e| {
+                            e.time > seg_start && (e.words.contains(a) || e.ranges.contains(r))
+                        })
+                    })
+                    .map(|(a, _)| a >> grains.region_log2())
+                    .min();
+            }
+        });
+    }
+    SegEffects {
+        cycles,
+        seg_read_ranges,
+        hit,
+        word_hit,
+        overflow,
+        region,
+    }
+}
+
+/// Body of one shard worker: drain advance requests until every sender
+/// is dropped, parking each answer in its request's slot.
+pub(crate) fn worker_loop(
+    recording: &Recording,
+    rx: Receiver<AdvanceRequest>,
+    shared: Arc<WarpShared>,
+) {
+    while let Ok(req) = rx.recv() {
+        let node = &recording.nodes[req.node];
+        if let SimEvent::Seg(seg) = &node.events[req.ip] {
+            let fx = compute_segment_effects(
+                seg,
+                req.speculative,
+                req.seg_start,
+                &shared.cost,
+                &shared.grains,
+                &shared.log,
+                req.scanned_to,
+                shared.mvcc,
+                shared.ring_depth,
+            );
+            *req.slot.lock() = Some(fx);
+            shared.computed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

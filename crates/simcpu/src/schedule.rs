@@ -25,6 +25,8 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -36,14 +38,26 @@ use mutls_membuf::{
     region_log2_for_grain, Addr, CommitLogConfig, CommitLogStats, RegionProfile, RollbackReason,
     SpecFailure, WORD_GRAIN_LOG2,
 };
-use mutls_runtime::{ForkModel, Phase, RecoveryConfig, RecoveryMode, RunReport, ThreadStats};
+use mutls_runtime::{
+    ForkModel, Phase, RecoveryConfig, RecoveryMode, RunReport, ShardPolicy, ThreadStats,
+};
 use mutls_trace::{
     DenyPolicy, DoomSource, EventKind, LatencyPhase, LatencyRecorder, PlanArm, RollbackCause,
     TraceEvent, ValidateOutcome,
 };
 
 use crate::cost::CostModel;
-use crate::record::{NodeId, Recording, SimEvent};
+use crate::parsim::{
+    self, AdvanceRequest, GrainTable, PendingAdvance, PubEntry, PublishLog, SegEffects, WarpShared,
+    WarpState, WarpStats,
+};
+use crate::record::{NodeId, Recording, Segment, SimEvent};
+
+/// Pops between GVT sweeps of the publish log (fossil collection).  Runs
+/// in sequential mode too — truncation is provably invisible to every
+/// conflict scan, and keeping both modes on one code path is itself part
+/// of the byte-identity argument.
+const FOSSIL_SWEEP_POPS: u64 = 64;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -98,6 +112,16 @@ pub struct SimConfig {
     /// recording and config produce byte-identical event streams.  The
     /// phase-latency histograms behind `RunReport.latency` are always on.
     pub trace: bool,
+    /// OS threads driving the simulation: `1` (the default) is the
+    /// sequential event loop, `n > 1` is the Time Warp split — the
+    /// driver plus `n - 1` shard workers that precompute segment
+    /// effects optimistically (see the `parsim` module).  The
+    /// serialized [`RunReport`] is byte-identical at every value; only
+    /// wall-clock time changes.
+    pub sim_threads: usize,
+    /// How fibers map onto the Time Warp shard workers (ignored when
+    /// `sim_threads <= 1`).
+    pub shard_policy: ShardPolicy,
 }
 
 impl Default for SimConfig {
@@ -130,6 +154,8 @@ impl Default for SimConfig {
             recovery: RecoveryConfig::targeted_with_retry(),
             grain_control: GrainControlConfig::default(),
             trace: false,
+            sim_threads: 1,
+            shard_policy: ShardPolicy::default(),
         }
     }
 }
@@ -199,6 +225,20 @@ impl SimConfig {
         self.trace = enabled;
         self
     }
+
+    /// Set the simulation thread count (builder style): `1` is the
+    /// sequential simulator, larger values enable the Time Warp shard
+    /// workers.  Zero is normalized to 1.
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n.max(1);
+        self
+    }
+
+    /// Set the Time Warp shard policy (builder style).
+    pub fn shard_policy(mut self, policy: ShardPolicy) -> Self {
+        self.shard_policy = policy;
+        self
+    }
 }
 
 /// Result of one simulation.
@@ -216,6 +256,10 @@ pub struct SimResult {
     /// Lifecycle events in virtual time, in emission order (empty unless
     /// [`SimConfig::trace`] is on).  Deterministic across identical runs.
     pub events: Vec<TraceEvent>,
+    /// Time Warp telemetry (all zeros except `sim_threads` in sequential
+    /// mode).  Deliberately outside [`SimResult::report`] so the report
+    /// serializes byte-identically at every thread count.
+    pub warp: WarpStats,
 }
 
 impl SimResult {
@@ -291,6 +335,9 @@ struct Fiber {
     /// True once the fiber's outcome has been consumed by its joiner or it
     /// was cancelled by a cascading rollback.
     retired: bool,
+    /// Outstanding Time Warp advance request for the in-flight segment
+    /// (always `None` in sequential mode).
+    advance: Option<PendingAdvance>,
 }
 
 impl Fiber {
@@ -331,6 +378,7 @@ impl Fiber {
             child_fibers: HashMap::new(),
             pending_join: None,
             retired: false,
+            advance: None,
         }
     }
 }
@@ -355,16 +403,19 @@ pub struct Scheduler<'a> {
     /// conflict detection.  Ranges are computed at the publisher's
     /// current per-region grain; word-level overlap is always checked in
     /// addition, so a true conflict is never missed even when a regrain
-    /// lands between the publish and the reader's check.
-    publishes: Vec<(u64, HashSet<Addr>, HashSet<u64>)>,
+    /// lands between the publish and the reader's check.  Shared with
+    /// the Time Warp shard workers (read-only on their side) and pruned
+    /// by GVT fossil collection.
+    publishes: Arc<PublishLog>,
     /// Adaptive speculation governor (per-site profiling + fork policy).
     governor: Governor,
     /// Log2 of the grain-control region size (mirrors the native log).
     region_log2: u32,
-    /// Live grain per region; regions absent from the map run at the
-    /// controller's initial grain (or the floor grain when control is
-    /// disabled).
-    region_grain: HashMap<u64, u32>,
+    /// Live grain per region (regions absent from the map run at the
+    /// controller's initial grain, or the floor grain when control is
+    /// disabled), shared with the shard workers.  Driver-only writes;
+    /// every regrain bumps its epoch, invalidating in-flight advances.
+    grains: Arc<GrainTable>,
     /// Per-region telemetry: (stamps, conflicts, false sharing, retries),
     /// cumulative — the controller differences ticks itself.
     region_telemetry: HashMap<u64, [u64; 4]>,
@@ -389,6 +440,21 @@ pub struct Scheduler<'a> {
     events: Vec<TraceEvent>,
     /// Always-on phase-latency histograms (virtual cycles as "ns").
     latency: LatencyRecorder,
+    /// Shard workers of a parallel run (None in sequential mode).
+    warp: Option<WarpState>,
+    /// Events popped so far (the GVT fossil-collection clock).
+    pop_count: u64,
+    /// Advance requests posted to shard workers.
+    warp_requests: u64,
+    /// Precomputed effects that validated and were applied.
+    warp_advances_applied: u64,
+    /// Valid requests the driver overtook (worker had not answered).
+    warp_advances_overtaken: u64,
+    /// Precomputed effects invalidated by a publish or regrain landing
+    /// in the segment's virtual past (deterministic at any thread count).
+    warp_shard_rollbacks: u64,
+    /// Publish-log entries reclaimed by fossil collection.
+    fossil_collected: u64,
 }
 
 impl<'a> Scheduler<'a> {
@@ -412,6 +478,21 @@ impl<'a> Scheduler<'a> {
             .grain_control
             .enabled
             .then(|| GrainController::new(config.grain_control, config.commit_log.grain_log2));
+        let floor = config.commit_log.grain_log2;
+        let default_grain = if config.grain_control.enabled {
+            config
+                .grain_control
+                .initial_grain_log2
+                .clamp(floor, region_log2)
+        } else {
+            floor
+        };
+        let grains = Arc::new(GrainTable::new(
+            floor,
+            region_log2,
+            default_grain,
+            config.grain_control.enabled,
+        ));
         Scheduler {
             recording,
             config,
@@ -427,10 +508,10 @@ impl<'a> Scheduler<'a> {
             rolled_back: 0,
             retried: 0,
             rolled_back_by_reason: [0; RollbackReason::COUNT],
-            publishes: Vec::new(),
+            publishes: Arc::new(PublishLog::default()),
             governor,
             region_log2,
-            region_grain: HashMap::new(),
+            grains,
             region_telemetry: HashMap::new(),
             grain_controller,
             publish_count: 0,
@@ -441,6 +522,13 @@ impl<'a> Scheduler<'a> {
             sim_ring_overflows: 0,
             events: Vec::new(),
             latency: LatencyRecorder::new(),
+            warp: None,
+            pop_count: 0,
+            warp_requests: 0,
+            warp_advances_applied: 0,
+            warp_advances_overtaken: 0,
+            warp_shard_rollbacks: 0,
+            fossil_collected: 0,
         }
     }
 
@@ -464,21 +552,12 @@ impl<'a> Scheduler<'a> {
     /// the controller's initial grain (control enabled) or the
     /// configured grain (disabled).
     fn grain_of_region(&self, region: u64) -> u32 {
-        let floor = self.config.commit_log.grain_log2;
-        let default = if self.config.grain_control.enabled {
-            self.config
-                .grain_control
-                .initial_grain_log2
-                .clamp(floor, self.region_log2)
-        } else {
-            floor
-        };
-        *self.region_grain.get(&region).unwrap_or(&default)
+        self.grains.grain_of_region(region)
     }
 
     /// The live grain tracking `addr` right now.
     fn grain_at(&self, addr: Addr) -> u32 {
-        self.grain_of_region(addr >> self.region_log2)
+        self.grains.grain_at(addr)
     }
 
     /// `addr`'s conflict-detection range id at its region's current
@@ -489,10 +568,7 @@ impl<'a> Scheduler<'a> {
     /// in the replay.  The suffix is the offset-range within the region,
     /// which fits in `region_log2 - floor` bits at any live grain.
     fn range_at(&self, addr: Addr) -> u64 {
-        let region = addr >> self.region_log2;
-        let offset = addr & ((1u64 << self.region_log2) - 1);
-        (region << (self.region_log2 - self.config.commit_log.grain_log2))
-            | (offset >> self.grain_at(addr))
+        self.grains.range_at(addr)
     }
 
     /// Cost of executing the whole trace sequentially.
@@ -508,17 +584,95 @@ impl<'a> Scheduler<'a> {
             .sum()
     }
 
-    /// Run the simulation to completion.
+    /// Run the simulation to completion.  With `sim_threads > 1` the
+    /// event loop runs on this thread while `sim_threads - 1` scoped
+    /// shard workers precompute segment effects; the pop order — and
+    /// therefore the serialized report — is identical either way.
     pub fn run(mut self) -> SimResult {
+        let threads = self.config.sim_threads.max(1);
+        if threads > 1 {
+            self.run_warp(threads - 1);
+        } else {
+            self.event_loop();
+        }
+        self.finish()
+    }
+
+    /// The sequential discrete-event loop — the single source of truth
+    /// for event ordering in both modes.
+    fn event_loop(&mut self) {
         let root = self.spawn_fiber(0, false, 0, 0, 0, ForkModel::Mixed);
+        debug_assert_eq!(root, 0);
         self.schedule(root, 0);
         while let Some(Reverse((time, _, fid))) = self.queue.pop() {
+            self.pop_count += 1;
+            if self.pop_count.is_multiple_of(FOSSIL_SWEEP_POPS) {
+                self.fossil_collect(time);
+            }
             if self.fibers[fid].retired {
                 continue;
             }
             self.resume(fid, time);
         }
-        let root_fiber = &self.fibers[root];
+    }
+
+    /// Drive the event loop with `workers` Time Warp shard workers
+    /// precomputing segment effects on scoped threads.
+    fn run_warp(&mut self, workers: usize) {
+        let recording = self.recording;
+        let shared = Arc::new(WarpShared {
+            log: Arc::clone(&self.publishes),
+            grains: Arc::clone(&self.grains),
+            cost: self.config.cost,
+            mvcc: self.config.recovery.is_mvcc(),
+            ring_depth: self.config.commit_log.ring_depth as usize,
+            computed: AtomicU64::new(0),
+        });
+        let mut senders = Vec::with_capacity(workers);
+        let mut receivers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        self.warp = Some(WarpState {
+            senders,
+            policy: self.config.shard_policy,
+            shared: Arc::clone(&shared),
+        });
+        std::thread::scope(|scope| {
+            for rx in receivers {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || parsim::worker_loop(recording, rx, shared));
+            }
+            self.event_loop();
+            // Drop every sender so the shards drain their queues and
+            // exit before the scope joins them.
+            if let Some(warp) = self.warp.as_mut() {
+                warp.senders.clear();
+            }
+        });
+    }
+
+    /// GVT sweep: truncate publish-log entries no live speculative
+    /// reader — and no future one, since fibers fork with
+    /// `start_time >=` the current pop time — can ever match.  Every
+    /// conflict scan filters on a strict `time > threshold` with
+    /// `threshold >= start_time`, so entries at or below the horizon
+    /// are fossils.
+    fn fossil_collect(&mut self, now: u64) {
+        let mut horizon = now;
+        for fiber in &self.fibers {
+            if fiber.speculative && !fiber.retired {
+                horizon = horizon.min(fiber.start_time);
+            }
+        }
+        self.fossil_collected += self.publishes.truncate_through(horizon);
+    }
+
+    /// Build the [`SimResult`] after the event loop has drained.
+    fn finish(self) -> SimResult {
+        let root_fiber = &self.fibers[0];
         let runtime = root_fiber.finished.unwrap_or(root_fiber.time);
         // Census of the live per-region grains over touched regions —
         // what the (simulated) grain controller converged to.
@@ -556,12 +710,25 @@ impl<'a> Scheduler<'a> {
             region_grains: census.into_iter().collect(),
             latency: self.latency.report(),
         };
+        let warp_stats = WarpStats {
+            sim_threads: self.config.sim_threads.max(1),
+            requests: self.warp_requests,
+            advances_applied: self.warp_advances_applied,
+            advances_overtaken: self.warp_advances_overtaken,
+            advances_computed: self
+                .warp
+                .as_ref()
+                .map_or(0, |w| w.shared.computed.load(Ordering::Relaxed)),
+            shard_rollbacks: self.warp_shard_rollbacks,
+            fossil_collected: self.fossil_collected,
+        };
         SimResult {
             report,
             sequential_cycles: Self::sequential_cycles(self.recording, &self.config.cost),
             parallel_cycles: runtime,
             tasks: self.recording.task_count(),
             events: self.events,
+            warp: warp_stats,
         }
     }
 
@@ -655,12 +822,12 @@ impl<'a> Scheduler<'a> {
                     // forces the legacy range-conservative doom.
                     let overflow = fiber.read_ranges.iter().any(|r| {
                         ranges.contains(r)
-                            && self
-                                .publishes
-                                .iter()
-                                .filter(|(t, _, rs)| *t > fiber.start_time && rs.contains(r))
-                                .count()
-                                + 1
+                            && self.publishes.with(|log| {
+                                log.all()
+                                    .iter()
+                                    .filter(|e| e.time > fiber.start_time && e.ranges.contains(r))
+                                    .count()
+                            }) + 1
                                 >= ring_depth
                     });
                     if !overflow {
@@ -692,7 +859,11 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
-        self.publishes.push((time, writes.clone(), ranges));
+        self.publishes.push(PubEntry {
+            time,
+            words: writes.clone(),
+            ranges,
+        });
         let mut cost = self.config.cost.doom_cycles(newly_doomed.len() as u64);
         if !newly_doomed.is_empty() {
             self.fibers[writer].stats.counters.targeted_dooms += newly_doomed.len() as u64;
@@ -735,18 +906,13 @@ impl<'a> Scheduler<'a> {
         }
         let mut profiles: Vec<RegionProfile> = Vec::new();
         let floor = self.config.commit_log.grain_log2;
-        let default = self
-            .config
-            .grain_control
-            .initial_grain_log2
-            .clamp(floor, self.region_log2);
         let mut regions: Vec<u64> = self.region_telemetry.keys().copied().collect();
         regions.sort_unstable();
         for region in regions {
             let [stamps, conflicts, false_sharing, retries] = self.region_telemetry[&region];
             profiles.push(RegionProfile {
                 region,
-                grain_log2: *self.region_grain.get(&region).unwrap_or(&default),
+                grain_log2: self.grains.grain_of_region(region),
                 stamps,
                 conflicts,
                 false_sharing,
@@ -766,8 +932,9 @@ impl<'a> Scheduler<'a> {
         let mut doomed = 0u64;
         for action in actions {
             let from = self.grain_of_region(action.region);
-            self.region_grain
-                .insert(action.region, action.new_grain_log2);
+            // Driver-only regrain: bumps the shared table's epoch, which
+            // invalidates every in-flight shard advance at its pop.
+            self.grains.set(action.region, action.new_grain_log2);
             self.sim_regrains += 1;
             cost += self.config.cost.regrain_cycles(slots_per_region);
             self.emit(
@@ -905,6 +1072,11 @@ impl<'a> Scheduler<'a> {
                     let end = start + cycles;
                     self.fibers[fid].segment_started = start;
                     self.fibers[fid].seg_in_flight = true;
+                    if self.warp.is_some() {
+                        // Time Warp: hand the segment's effect computation
+                        // to its shard worker while it is "in flight".
+                        self.post_advance(fid, frame.node, frame.ip);
+                    }
                     self.schedule(fid, end);
                     return;
                 }
@@ -979,29 +1151,136 @@ impl<'a> Scheduler<'a> {
         frame.ip += 1;
     }
 
+    /// Post the just-scheduled segment's effect computation to its shard
+    /// worker.  The request captures the publish-log length and grain
+    /// epoch the driver observes *now*; validation at the completion pop
+    /// re-checks both, so the worker's answer is only ever used when it
+    /// is provably identical to an inline recomputation.
+    fn post_advance(&mut self, fid: usize, node: NodeId, ip: usize) {
+        let Some(warp) = &self.warp else { return };
+        if warp.senders.is_empty() {
+            return;
+        }
+        let scanned_to = self.publishes.len_abs();
+        let epoch = self.grains.epoch();
+        let slot = Arc::new(parking_lot::Mutex::new(None));
+        let request = AdvanceRequest {
+            node,
+            ip,
+            speculative: self.fibers[fid].speculative,
+            seg_start: self.fibers[fid].segment_started,
+            scanned_to,
+            slot: Arc::clone(&slot),
+        };
+        let shard = warp
+            .policy
+            .shard_of(self.fibers[fid].cpu, fid, warp.senders.len());
+        // A send failure only costs the precompute; the completion pop
+        // falls back to the inline path regardless.
+        let _ = warp.senders[shard].send(request);
+        self.warp_requests += 1;
+        self.fibers[fid].advance = Some(PendingAdvance {
+            slot,
+            scanned_to,
+            epoch,
+        });
+    }
+
+    /// True when a publish-log entry the posted advance could not see
+    /// (absolute index `>= scanned_to`) intersects the segment's reads —
+    /// the Time Warp causality check.  A pure function of the event
+    /// schedule: the suffix contents never depend on worker timing.
+    fn advance_suffix_dirty(&self, seg: &Segment, seg_start: u64, scanned_to: u64) -> bool {
+        if self.publishes.len_abs() == scanned_to {
+            return false;
+        }
+        let probes: Vec<(Addr, u64)> = seg.reads.iter().map(|&a| (a, self.range_at(a))).collect();
+        self.publishes.with(|log| {
+            log.suffix(scanned_to).iter().any(|e| {
+                e.time > seg_start
+                    && probes
+                        .iter()
+                        .any(|(a, r)| e.words.contains(a) || e.ranges.contains(r))
+            })
+        })
+    }
+
+    /// Inline (sequential-path) effect computation over the full log.
+    fn compute_effects_inline(
+        &self,
+        seg: &Segment,
+        speculative: bool,
+        seg_start: u64,
+    ) -> SegEffects {
+        parsim::compute_segment_effects(
+            seg,
+            speculative,
+            seg_start,
+            &self.config.cost,
+            &self.grains,
+            &self.publishes,
+            self.publishes.len_abs(),
+            self.config.recovery.is_mvcc(),
+            self.config.commit_log.ring_depth as usize,
+        )
+    }
+
+    /// The segment's effects — from the shard worker's precompute when
+    /// it validates, inline otherwise.  Validation is deterministic: a
+    /// regrain since the post (stale range ids) or a publish in the
+    /// unscanned suffix that touches this segment's reads discards the
+    /// precompute — one **shard rollback** — and a missing answer from a
+    /// slow worker merely means the driver overtook it.  In both fallback
+    /// cases the inline recomputation over the full log is exactly the
+    /// sequential computation, and when the precompute *does* validate,
+    /// the clean suffix plus unchanged epoch make its prefix scan equal
+    /// to the full scan (every predicate filters on strict
+    /// `time > seg_start`), so the applied effects are identical either
+    /// way.
+    fn obtain_segment_effects(
+        &mut self,
+        seg: &Segment,
+        fid: usize,
+        speculative: bool,
+        seg_start: u64,
+    ) -> SegEffects {
+        let Some(pending) = self.fibers[fid].advance.take() else {
+            return self.compute_effects_inline(seg, speculative, seg_start);
+        };
+        let stale_grains = pending.epoch != self.grains.epoch();
+        let dirty = stale_grains
+            || (speculative && self.advance_suffix_dirty(seg, seg_start, pending.scanned_to));
+        if dirty {
+            self.warp_shard_rollbacks += 1;
+            return self.compute_effects_inline(seg, speculative, seg_start);
+        }
+        let answer = pending.slot.lock().take();
+        match answer {
+            Some(fx) => {
+                self.warp_advances_applied += 1;
+                fx
+            }
+            None => {
+                self.warp_advances_overtaken += 1;
+                self.compute_effects_inline(seg, speculative, seg_start)
+            }
+        }
+    }
+
     fn apply_segment_effects(&mut self, fid: usize) {
         let frame = *self.fibers[fid].frames.last().expect("frame present");
-        let node = &self.recording.nodes[frame.node];
+        let recording = self.recording;
+        let node = &recording.nodes[frame.node];
         if let SimEvent::Seg(seg) = &node.events[frame.ip] {
-            let cost = &self.config.cost;
-            let cycles = if self.fibers[fid].speculative {
-                cost.segment_cycles_speculative(seg.work, seg.loads, seg.stores)
-            } else {
-                cost.segment_cycles(seg.work, seg.loads, seg.stores)
-            };
-            let seg_reads: Vec<Addr> = seg.reads.iter().copied().collect();
             let speculative = self.fibers[fid].speculative;
             let seg_start = self.fibers[fid].segment_started;
-            // Coarsen at the current per-region grains (precomputed so
-            // the fiber borrow below stays disjoint).
-            let seg_read_ranges: Vec<(Addr, u64)> =
-                seg_reads.iter().map(|&a| (a, self.range_at(a))).collect();
+            let fx = self.obtain_segment_effects(seg, fid, speculative, seg_start);
             {
                 let fiber = &mut self.fibers[fid];
                 fiber.stats.counters.loads += seg.loads;
                 fiber.stats.counters.stores += seg.stores;
-                fiber.stats.add(Phase::Work, cycles);
-                for (addr, range) in &seg_read_ranges {
+                fiber.stats.add(Phase::Work, fx.cycles);
+                for (addr, range) in &fx.seg_read_ranges {
                     if !fiber.writes.contains(addr) {
                         fiber.reads.insert(*addr);
                         fiber.read_ranges.insert(*range);
@@ -1010,59 +1289,31 @@ impl<'a> Scheduler<'a> {
                 fiber.writes.extend(seg.writes.iter().copied());
             }
             if speculative {
-                // Check the reads of this segment against anything that
-                // was published to main memory while the segment executed
-                // — range-grained like the in-flight doom check, with the
+                // The reads of this segment were checked against anything
+                // published to main memory while the segment executed —
+                // range-grained like the in-flight doom check, with the
                 // word-level overlap checked too so a regrain between the
                 // publish and this check can never hide a true conflict.
-                let doomed = self.publishes.iter().any(|(t, words, ranges)| {
-                    *t > seg_start
-                        && seg_read_ranges
-                            .iter()
-                            .any(|(a, r)| words.contains(a) || ranges.contains(r))
-                });
-                if doomed {
-                    let word_hit = self.publishes.iter().any(|(t, words, _)| {
-                        *t > seg_start && seg_reads.iter().any(|a| words.contains(a))
-                    });
+                if fx.hit {
+                    let word_hit = fx.word_hit;
                     // mvcc precise validation for late-registered reads:
                     // a range-only hit whose publishes all still fit in
                     // the range's version ring is proven word-disjoint by
                     // the footprints — a precise pass, not a doom.
                     let mvcc = self.config.recovery.is_mvcc();
-                    let ring_depth = self.config.commit_log.ring_depth as usize;
                     let range_only = mvcc && !word_hit && self.fibers[fid].doomed.is_none();
-                    let overflow = range_only
-                        && seg_read_ranges.iter().any(|(_, r)| {
-                            self.publishes
-                                .iter()
-                                .filter(|(t, _, ranges)| *t > seg_start && ranges.contains(r))
-                                .count()
-                                >= ring_depth
-                        });
+                    let overflow = range_only && fx.overflow;
                     if range_only && !overflow {
                         self.fibers[fid].stats.counters.precise_passes += 1;
                     } else {
                         if range_only {
                             self.sim_ring_overflows += 1;
                         }
-                        // Lowest qualifying region, not "first": seg.reads
-                        // is a HashSet, whose order must never leak into
-                        // the deterministic replay.
-                        let region = seg_read_ranges
-                            .iter()
-                            .filter(|(a, r)| {
-                                self.publishes.iter().any(|(t, words, ranges)| {
-                                    *t > seg_start && (words.contains(a) || ranges.contains(r))
-                                })
-                            })
-                            .map(|(a, _)| a >> self.region_log2)
-                            .min();
                         match self.fibers[fid].doomed {
                             None => {
                                 self.fibers[fid].doomed = Some(SpecFailure::ReadConflict);
                                 self.fibers[fid].doomed_false_sharing = !word_hit;
-                                self.fibers[fid].conflict_region = region;
+                                self.fibers[fid].conflict_region = fx.region;
                             }
                             // Upgrade an earlier false-sharing
                             // classification when this segment's reads
@@ -1932,6 +2183,53 @@ mod tests {
             out
         };
         assert_eq!(ser(&lock_free.report), ser(&again.report));
+    }
+
+    /// Time Warp acceptance gate, shard-rollback edition: the false-
+    /// sharing recording is a ready-made cross-shard straggler — the
+    /// parent's mid-flight publish lands in the child's 20k-cycle
+    /// segment's virtual past, so the shard's precomputed scan *must* be
+    /// invalidated (≥1 shard rollback) and the run must still serialize
+    /// byte-identically to sequential at every thread count and policy.
+    #[test]
+    fn time_warp_straggler_rolls_back_a_shard_and_stays_byte_identical() {
+        let recording = false_sharing_recording();
+        let ser = |r: &RunReport| {
+            let mut out = String::new();
+            use serde::Serialize;
+            r.serialize_json(&mut out);
+            out
+        };
+        let config = || SimConfig::with_cpus(2).grain_log2(LINE_GRAIN_LOG2);
+        let sequential = simulate(&recording, config());
+        assert_eq!(sequential.warp.sim_threads, 1);
+        assert_eq!(sequential.warp.requests, 0);
+        assert_eq!(sequential.warp.shard_rollbacks, 0);
+        for threads in [2usize, 4] {
+            for policy in [ShardPolicy::CpuStripe, ShardPolicy::FiberHash] {
+                let parallel = simulate(
+                    &recording,
+                    config().sim_threads(threads).shard_policy(policy),
+                );
+                assert_eq!(
+                    ser(&parallel.report),
+                    ser(&sequential.report),
+                    "sim_threads={threads} policy={policy:?} diverged"
+                );
+                assert_eq!(parallel.warp.sim_threads, threads);
+                assert!(parallel.warp.requests > 0, "no advances were posted");
+                assert!(
+                    parallel.warp.shard_rollbacks >= 1,
+                    "the straggler publish must invalidate an advance"
+                );
+                // The rollback count is a pure function of the schedule.
+                let again = simulate(
+                    &recording,
+                    config().sim_threads(threads).shard_policy(policy),
+                );
+                assert_eq!(again.warp.shard_rollbacks, parallel.warp.shard_rollbacks);
+            }
+        }
     }
 
     /// Degenerate pub-field configs (zero shards, sub-word grain) must be

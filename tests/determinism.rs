@@ -73,6 +73,7 @@ fn parallel_sweep_fan_out_is_byte_identical_across_runs() {
         scale: Scale::Tiny,
         cpus: vec![1, 4, 16],
         seed: 42,
+        sim_threads: 1,
         trace: None,
     };
     let first = to_json(&speedup_sweep(&kinds, &config));

@@ -1,0 +1,402 @@
+//! Time Warp parallel-simulation oracle: byte-identity and trajectory
+//! reproduction.
+//!
+//! The sharded optimistic simulator (`SimConfig::sim_threads > 1`) makes
+//! a strong promise: the serialized [`RunReport`] is **byte-identical**
+//! to the sequential event loop's at every thread count and shard
+//! policy.  These tests pin that promise down three ways:
+//!
+//! 1. **Registry-wide identity** — every workload the registry knows,
+//!    simulated at 2/4/8 threads under both shard policies, serializes
+//!    exactly like the sequential run.
+//! 2. **Randomized identity** — a proptest fuzzes (threads, policy,
+//!    conflict workload, sharing rate, grain, recovery engine, adaptive
+//!    grain control, CPU count, seed) on fast conflict kernels.  CI pins
+//!    `PROPTEST_CASES` low in its dedicated job; local runs default to
+//!    the full case count.
+//! 3. **Committed-trajectory reproduction** — the deterministic replay
+//!    experiments re-run at `sim_threads = 4` must reproduce the
+//!    committed `BENCH_PR4.json`, `BENCH_PR5.json` and `BENCH_PR8.json`
+//!    replay rows counter-for-counter.  (`BENCH_PR7.json` carries only
+//!    the *native* `commitbench` experiment — no simulator rows exist to
+//!    replay, so the PR 7 baseline is out of scope by construction.)
+//!
+//! The cross-shard straggler unit test (injected virtual-past events
+//! force ≥ 1 shard rollback and still converge identically) lives next
+//! to the machinery in `crates/simcpu/src/schedule.rs`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use serde::{JsonValue, Serialize};
+
+use mutls::harness::{graincontrol_replay, recovery_replay, ExperimentConfig};
+use mutls::membuf::{GlobalMemory, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2, WORD_GRAIN_LOG2};
+use mutls::runtime::{GrainControlConfig, RecoveryConfig};
+use mutls::simcpu::{record_region, simulate, Recording, ShardPolicy, SimConfig};
+use mutls::workloads::conflict::{self, ChainConfig, HistConfig};
+use mutls::workloads::{arena_bytes, run_speculative, setup, Scale, WorkloadKind};
+
+fn to_json<T: Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    out
+}
+
+/// The thread counts the deterministic sweeps exercise (the proptest
+/// additionally draws 3, an uneven shard split).
+const SWEEP_THREADS: [usize; 3] = [2, 4, 8];
+
+/// Both fiber → shard-worker maps.
+const POLICIES: [ShardPolicy; 2] = [ShardPolicy::CpuStripe, ShardPolicy::FiberHash];
+
+/// The recovery engines the fuzzer sweeps (same set as the native
+/// differential oracle).
+fn recovery_engines() -> [RecoveryConfig; 4] {
+    [
+        RecoveryConfig::cascade_only(),
+        RecoveryConfig::targeted(),
+        RecoveryConfig::targeted_with_retry(),
+        RecoveryConfig::mvcc(),
+    ]
+}
+
+const GRAINS: [u32; 3] = [WORD_GRAIN_LOG2, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2];
+
+/// Record a conflict-family workload on a fast kernel: small task counts
+/// and short mixing chains keep one proptest case in the low
+/// milliseconds while still producing real cross-fiber conflicts.
+fn record_fast_conflict(kind: WorkloadKind, permille: u32, seed: u64) -> Recording {
+    let memory = Arc::new(GlobalMemory::new(conflict::ARENA_BYTES));
+    match kind {
+        WorkloadKind::ConflictChain => {
+            let config = ChainConfig {
+                chunks: 10,
+                work_per_chunk: 2_000,
+                sharing_permille: permille,
+                seed,
+            };
+            let data = conflict::chain_setup(&memory, &config);
+            record_region(memory, |ctx| conflict::chain_run(ctx, data, config))
+        }
+        WorkloadKind::HistShared => {
+            let config = HistConfig {
+                items: 60,
+                chunks: 8,
+                shared_bins: 4,
+                private_bins: 4,
+                sharing_permille: permille,
+                work_per_item: 500,
+                seed,
+            };
+            let data = conflict::hist_setup(&memory, &config);
+            record_region(memory, |ctx| conflict::hist_run(ctx, data, config))
+        }
+        other => unreachable!("{} is not a conflict-family workload", other.name()),
+    }
+}
+
+#[test]
+fn registry_workloads_are_byte_identical_at_every_thread_count() {
+    for kind in WorkloadKind::ALL
+        .into_iter()
+        .chain(WorkloadKind::CONFLICT_FAMILY)
+    {
+        let memory = Arc::new(GlobalMemory::new(arena_bytes(kind, Scale::Tiny)));
+        let data = setup(kind, Scale::Tiny, &memory);
+        let recording = record_region(memory, |ctx| run_speculative(ctx, &data));
+        let sequential = simulate(&recording, SimConfig::with_cpus(16));
+        assert_eq!(sequential.warp.sim_threads, 1);
+        assert_eq!(sequential.warp.requests, 0, "sequential mode posts no work");
+        let reference = to_json(&sequential.report);
+        for sim_threads in SWEEP_THREADS {
+            for policy in POLICIES {
+                let parallel = simulate(
+                    &recording,
+                    SimConfig::with_cpus(16)
+                        .sim_threads(sim_threads)
+                        .shard_policy(policy),
+                );
+                assert_eq!(
+                    reference,
+                    to_json(&parallel.report),
+                    "{} diverged at {sim_threads} threads under {}",
+                    kind.name(),
+                    policy.label()
+                );
+                assert_eq!(parallel.warp.sim_threads, sim_threads);
+                assert!(
+                    parallel.warp.requests > 0,
+                    "{}: parallel mode never engaged the shard workers",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Randomized identity: for arbitrary (threads, policy, conflict
+    /// workload, sharing rate, grain, recovery engine, grain control,
+    /// CPU count, seed), the parallel simulation serializes exactly like
+    /// the sequential one — including under injected rollbacks, adaptive
+    /// regrains, mvcc version rings and uneven (3-way) shard splits.
+    #[test]
+    fn randomized_parallel_simulation_is_byte_identical(
+        threads_i in 0usize..4,
+        policy_i in 0usize..2,
+        kind_i in 0usize..2,
+        permille in 0u32..1001,
+        grain_i in 0usize..3,
+        recovery_i in 0usize..4,
+        adaptive_grain in any::<bool>(),
+        rollback_injection in any::<bool>(),
+        cpus in 2usize..17,
+        seed in any::<u64>(),
+    ) {
+        let sim_threads = [2usize, 3, 4, 8][threads_i];
+        let policy = POLICIES[policy_i];
+        let kind = [WorkloadKind::ConflictChain, WorkloadKind::HistShared][kind_i];
+        let recording = record_fast_conflict(kind, permille, seed);
+        // The adaptive controller's floor is word grain (mirroring
+        // `GrainMode::Adaptive`); static modes sweep the grain ladder.
+        let grain_log2 = if adaptive_grain { WORD_GRAIN_LOG2 } else { GRAINS[grain_i] };
+        let mut config = SimConfig {
+            num_cpus: cpus,
+            seed,
+            recovery: recovery_engines()[recovery_i],
+            ..SimConfig::default()
+        }
+        .grain_log2(grain_log2);
+        if adaptive_grain {
+            config.grain_control = GrainControlConfig::adaptive().tick_commits(2);
+        }
+        if rollback_injection {
+            config = config.rollback_probability(0.3);
+        }
+        let sequential = to_json(&simulate(&recording, config.clone()).report);
+        let parallel = simulate(
+            &recording,
+            config.clone().sim_threads(sim_threads).shard_policy(policy),
+        );
+        prop_assert_eq!(
+            &sequential,
+            &to_json(&parallel.report),
+            "{} diverged: {} threads, {}, {}‰ sharing, grain 2^{}B, {}, adaptive={}, inject={}, {} cpus, seed {:#x}",
+            kind.name(),
+            sim_threads,
+            policy.label(),
+            permille,
+            grain_log2,
+            recovery_engines()[recovery_i].label(),
+            adaptive_grain,
+            rollback_injection,
+            cpus,
+            seed
+        );
+        prop_assert!(parallel.warp.requests > 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Committed-trajectory reproduction at sim_threads = 4.
+// ---------------------------------------------------------------------------
+
+fn u64_of(row: &[(String, JsonValue)], key: &str) -> u64 {
+    match serde::obj_get(row, key) {
+        Ok(JsonValue::Num(n)) => *n as u64,
+        other => panic!("{key}: expected number, got {other:?}"),
+    }
+}
+
+fn str_of<'a>(row: &'a [(String, JsonValue)], key: &str) -> &'a str {
+    match serde::obj_get(row, key) {
+        Ok(JsonValue::Str(s)) => s,
+        other => panic!("{key}: expected string, got {other:?}"),
+    }
+}
+
+/// Parse the named experiment's row array out of a committed baseline.
+fn baseline_rows(file: &str, experiment: &str) -> Vec<JsonValue> {
+    let path = format!("{}/{file}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let doc = serde_json::parse(&text).expect("baseline parses");
+    let rows = serde::obj_get(doc.as_object().expect("object"), "experiments")
+        .and_then(|e| serde::obj_get(e.as_object().expect("object"), experiment))
+        .unwrap_or_else(|e| panic!("{file} has no {experiment} rows: {e:?}"));
+    match rows {
+        JsonValue::Arr(rows) => rows.clone(),
+        other => panic!("{experiment} must be an array, got {other:?}"),
+    }
+}
+
+/// Replay config matching the runs that produced the committed baselines
+/// (`--scale tiny`, default seed and CPU sweep) — except the simulator
+/// now runs the Time Warp split at 4 threads, which must not move a
+/// single counter.
+fn replay_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: Scale::Tiny,
+        ..ExperimentConfig::default()
+    }
+    .with_sim_threads(4)
+}
+
+#[test]
+fn parallel_recovery_replay_reproduces_bench_pr8() {
+    let rows = baseline_rows("BENCH_PR8.json", "recovery_replay");
+    let (fresh, _) = recovery_replay(&replay_config());
+    assert_eq!(fresh.len(), rows.len(), "replay row count drifted");
+    for (row, expect) in fresh.iter().zip(&rows) {
+        let expect = expect.as_object().expect("row object");
+        let point = format!(
+            "{}/grain 2^{}B/{} at {:.0}% sharing",
+            row.workload,
+            row.grain_log2,
+            row.recovery,
+            row.sharing * 100.0
+        );
+        assert_eq!(row.sim_threads, 4, "{point}");
+        assert_eq!(row.workload, str_of(expect, "workload"), "{point}");
+        assert_eq!(row.recovery, str_of(expect, "recovery"), "{point}");
+        assert_eq!(
+            u64::from(row.grain_log2),
+            u64_of(expect, "grain_log2"),
+            "{point}"
+        );
+        for (label, got, want) in [
+            ("committed", row.committed, u64_of(expect, "committed")),
+            ("retried", row.retried, u64_of(expect, "retried")),
+            (
+                "rolled_back",
+                row.rolled_back,
+                u64_of(expect, "rolled_back"),
+            ),
+            (
+                "targeted_dooms",
+                row.targeted_dooms,
+                u64_of(expect, "targeted_dooms"),
+            ),
+            (
+                "precise_passes",
+                row.precise_passes,
+                u64_of(expect, "precise_passes"),
+            ),
+            (
+                "ring_overflows",
+                row.ring_overflows,
+                u64_of(expect, "ring_overflows"),
+            ),
+            (
+                "wasted_cycles",
+                row.wasted_cycles,
+                u64_of(expect, "wasted_cycles"),
+            ),
+        ] {
+            assert_eq!(
+                got, want,
+                "{point}: {label} drifted vs BENCH_PR8.json at sim_threads=4"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_recovery_replay_reproduces_bench_pr4() {
+    // The PR 4 baseline predates the grain dimension (implicit word
+    // grain) and the mvcc engine; the surviving subset — word grain,
+    // single-version engines, in the same kind × sharing × engine order —
+    // must still reproduce counter-for-counter.
+    let rows = baseline_rows("BENCH_PR4.json", "recovery_replay");
+    let (fresh, _) = recovery_replay(&replay_config());
+    let fresh: Vec<_> = fresh
+        .into_iter()
+        .filter(|r| r.grain_log2 == WORD_GRAIN_LOG2 && r.recovery != "mvcc")
+        .collect();
+    assert_eq!(fresh.len(), rows.len(), "PR4 subset row count drifted");
+    for (row, expect) in fresh.iter().zip(&rows) {
+        let expect = expect.as_object().expect("row object");
+        let point = format!(
+            "{}/{} at {:.0}% sharing",
+            row.workload,
+            row.recovery,
+            row.sharing * 100.0
+        );
+        assert_eq!(row.workload, str_of(expect, "workload"), "{point}");
+        assert_eq!(row.recovery, str_of(expect, "recovery"), "{point}");
+        for (label, got, want) in [
+            ("committed", row.committed, u64_of(expect, "committed")),
+            ("retried", row.retried, u64_of(expect, "retried")),
+            (
+                "rolled_back",
+                row.rolled_back,
+                u64_of(expect, "rolled_back"),
+            ),
+            (
+                "targeted_dooms",
+                row.targeted_dooms,
+                u64_of(expect, "targeted_dooms"),
+            ),
+            (
+                "wasted_cycles",
+                row.wasted_cycles,
+                u64_of(expect, "wasted_cycles"),
+            ),
+        ] {
+            assert_eq!(
+                got, want,
+                "{point}: {label} drifted vs BENCH_PR4.json at sim_threads=4"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_graincontrol_replay_reproduces_bench_pr5() {
+    // Same subset rule as the trace-overhead bench: the replay has since
+    // grown an mvcc recovery dimension; the single-version rows (the
+    // engine BENCH_PR5.json was generated under) are the baseline.
+    let rows = baseline_rows("BENCH_PR5.json", "graincontrol_replay");
+    let (fresh, _) = graincontrol_replay(&replay_config());
+    let fresh: Vec<_> = fresh
+        .into_iter()
+        .filter(|r| r.recovery == "targeted+retry")
+        .collect();
+    assert_eq!(fresh.len(), rows.len(), "PR5 subset row count drifted");
+    for (row, expect) in fresh.iter().zip(&rows) {
+        let expect = expect.as_object().expect("row object");
+        let point = format!(
+            "{}/{} at {:.0}% sharing",
+            row.workload,
+            row.mode,
+            row.sharing * 100.0
+        );
+        assert_eq!(row.workload, str_of(expect, "workload"), "{point}");
+        assert_eq!(row.mode, str_of(expect, "mode"), "{point}");
+        for (label, got, want) in [
+            ("committed", row.committed, u64_of(expect, "committed")),
+            ("retried", row.retried, u64_of(expect, "retried")),
+            (
+                "rolled_back",
+                row.rolled_back,
+                u64_of(expect, "rolled_back"),
+            ),
+            (
+                "stamp_writes",
+                row.stamp_writes,
+                u64_of(expect, "stamp_writes"),
+            ),
+            ("regrains", row.regrains, u64_of(expect, "regrains")),
+            (
+                "wasted_cycles",
+                row.wasted_cycles,
+                u64_of(expect, "wasted_cycles"),
+            ),
+        ] {
+            assert_eq!(
+                got, want,
+                "{point}: {label} drifted vs BENCH_PR5.json at sim_threads=4"
+            );
+        }
+    }
+}
