@@ -21,7 +21,7 @@ fn bench_config() -> ExperimentConfig {
         scale: Scale::Tiny,
         cpus: vec![1, 4, 16, 64],
         seed: 0xAB5C155A,
-        trace: None,
+        ..ExperimentConfig::quick()
     }
 }
 

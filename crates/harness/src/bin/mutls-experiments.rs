@@ -1,8 +1,9 @@
 //! `mutls-experiments` — regenerate the MUTLS paper's tables and figures.
 //!
 //! ```text
-//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|trace|commitbench|parsim|all> \
-//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--sim-threads N] [--json <path>] [--trace <path>]
+//! mutls-experiments <fig3|...|fig11|table2|adaptive|conflict|overflow|grain|recovery|graincontrol|trace|commitbench|parsim|metrics|all> \
+//!     [--scale tiny|scaled|paper] [--cpus 1,2,4,...] [--sim-threads N] \
+//!     [--json <path>] [--trace <path>] [--metrics <path>]
 //! ```
 //!
 //! With `--json <path>` the native sweeps (recovery, grain, conflict,
@@ -12,7 +13,11 @@
 //! (e.g. `BENCH_PR4.json`).  With `--trace <path>` the sweeps enable the
 //! speculation flight recorder and the drained lifecycle events of every
 //! run are exported as one Chrome trace-event document (open it at
-//! <https://ui.perfetto.dev>).
+//! <https://ui.perfetto.dev>).  With `--metrics <path>` the sweeps enable
+//! the live metrics plane and every run's final snapshot (plus its
+//! sampled time series for `.json` paths) is exported — Prometheus text
+//! exposition by default, JSON time series when the path ends in
+//! `.json`.
 
 use std::process::ExitCode;
 
@@ -21,8 +26,8 @@ use serde::Serialize;
 use mutls_harness::{
     adaptive_sweep, commitbench, conflict_sweep, figure10, figure11, figure3, figure4, figure5,
     figure6, figure7, figure8, figure9, grain_sweep, graincontrol_replay, graincontrol_sweep,
-    overflow_sweep, parsim, recovery_replay, recovery_sweep, table2, trace_scenario,
-    ExperimentConfig, TraceSink, BENCH_SCHEMA_VERSION,
+    metrics_scenario, overflow_sweep, parsim, recovery_replay, recovery_sweep, table2,
+    trace_scenario, ExperimentConfig, MetricsSink, TraceSink, BENCH_SCHEMA_VERSION,
 };
 use mutls_workloads::Scale;
 
@@ -65,10 +70,11 @@ impl JsonSink {
 }
 
 /// Parsed command line: experiments to run, shared config, `--json` path,
-/// `--trace` path.
+/// `--trace` path, `--metrics` path.
 type ParsedArgs = (
     Vec<String>,
     ExperimentConfig,
+    Option<String>,
     Option<String>,
     Option<String>,
 );
@@ -88,6 +94,7 @@ fn parse_args() -> Result<ParsedArgs, String> {
     let mut selected = Vec::new();
     let mut json_path = None;
     let mut trace_path = None;
+    let mut metrics_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -124,11 +131,14 @@ fn parse_args() -> Result<ParsedArgs, String> {
             "--trace" => {
                 trace_path = Some(args.next().ok_or("--trace needs a path")?);
             }
+            "--metrics" => {
+                metrics_path = Some(args.next().ok_or("--metrics needs a path")?);
+            }
             other if !other.starts_with("--") => selected.push(other.to_string()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
-    Ok((selected, config, json_path, trace_path))
+    Ok((selected, config, json_path, trace_path, metrics_path))
 }
 
 fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result<(), String> {
@@ -194,6 +204,11 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
             sink.push("parsim", &rows);
             println!("{text}");
         }
+        "metrics" => {
+            let (rows, text) = metrics_scenario(config);
+            sink.push("metrics", &rows);
+            println!("{text}");
+        }
         "all" => {
             for exp in [
                 "table2",
@@ -215,6 +230,7 @@ fn run_one(name: &str, config: &ExperimentConfig, sink: &mut JsonSink) -> Result
                 "trace",
                 "commitbench",
                 "parsim",
+                "metrics",
             ] {
                 run_one(exp, config, sink)?;
             }
@@ -242,6 +258,8 @@ fn usage() {
          \x20                 (cap the thread sweep with COMMITBENCH_THREADS=N)\n\
          \x20 parsim          Time Warp parallel-simulation scaling + byte-identity\n\
          \x20                 (cap the thread sweep with PARSIM_THREADS=N)\n\
+         \x20 metrics         live-metrics scenario: instrumented native run + replay,\n\
+         \x20                 headline counters and derived gauges\n\
          \x20 all             everything above\n\
          \n\
          options:\n\
@@ -253,12 +271,15 @@ fn usage() {
          \x20                             results are byte-identical at any value)\n\
          \x20 --json <path>               write machine-readable rows (schema v{BENCH_SCHEMA_VERSION})\n\
          \x20 --trace <path>              enable the flight recorder and export\n\
-         \x20                             Chrome trace-event JSON (Perfetto)"
+         \x20                             Chrome trace-event JSON (Perfetto)\n\
+         \x20 --metrics <path>            enable the live metrics plane and export every\n\
+         \x20                             run's final snapshot — Prometheus text, or the\n\
+         \x20                             full JSON time series if the path ends in .json"
     );
 }
 
 fn main() -> ExitCode {
-    let (selected, mut config, json_path, trace_path) = match parse_args() {
+    let (selected, mut config, json_path, trace_path, metrics_path) = match parse_args() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -274,6 +295,10 @@ fn main() -> ExitCode {
     let trace_sink = trace_path.as_ref().map(|_| TraceSink::new());
     if let Some(sink) = &trace_sink {
         config = config.with_trace(sink.clone());
+    }
+    let metrics_sink = metrics_path.as_ref().map(|_| MetricsSink::new());
+    if let Some(sink) = &metrics_sink {
+        config = config.with_metrics(sink.clone());
     }
     let mut sink = JsonSink::default();
     for name in &selected {
@@ -298,6 +323,21 @@ fn main() -> ExitCode {
         eprintln!(
             "wrote {} traced runs to {path} (open at https://ui.perfetto.dev)",
             trace.len()
+        );
+    }
+    if let (Some(path), Some(metrics)) = (metrics_path, metrics_sink) {
+        let (body, format) = if path.ends_with(".json") {
+            (metrics.json(), "JSON time series")
+        } else {
+            (metrics.prometheus_text(), "Prometheus text")
+        };
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote metrics of {} instrumented runs to {path} ({format})",
+            metrics.len()
         );
     }
     ExitCode::SUCCESS

@@ -15,6 +15,7 @@ use mutls_membuf::{
     BufferConfig, CommitLogConfig, GlobalMemory, RollbackReason, LINE_GRAIN_LOG2, PAGE_GRAIN_LOG2,
     WORD_GRAIN_LOG2,
 };
+use mutls_metrics::{MetricsConfig, MetricsSeries, MetricsSnapshot, PromWriter};
 use mutls_runtime::{ForkModel, Phase, RecoveryConfig, RunReport, Runtime, RuntimeConfig};
 use mutls_simcpu::{record_region, simulate, Recording, SimConfig, SimResult};
 use mutls_trace::{
@@ -83,8 +84,13 @@ pub const ROLLBACK_PROBABILITIES: [f64; 6] = [0.01, 0.05, 0.10, 0.20, 0.50, 1.00
 /// `sim_threads` column to every row — the effective simulator worker
 /// count the row ran under (always stamped, also on native-runtime rows,
 /// so a replayed baseline records how it was produced) — plus the
-/// `parsim` experiment's rows.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+/// `parsim` experiment's rows; v6 (the live telemetry plane) adds the
+/// derived `rollback_amplification` column (wasted work over committed
+/// work, the headline efficiency figure of the metrics plane) to every
+/// rollback-bearing row, the `ring_overflows` column to the grain rows,
+/// the `advances_computed` column to the parsim rows, and the `metrics`
+/// scenario's rows.
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Collects per-run flight-recorder streams across a sweep so the binary
 /// can export one Chrome trace-event document (`--trace <path>`).
@@ -133,6 +139,86 @@ impl TraceSink {
     }
 }
 
+/// One run's metrics capture recorded into a [`MetricsSink`]: the
+/// sampler-filled time series plus the final end-of-run scrape (which may
+/// carry export-only labeled gauges, e.g. the Time Warp shard counters,
+/// that are deliberately kept out of the byte-compared series).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsRun {
+    /// Unique run label (`<experiment>/<workload>/...`).
+    pub label: String,
+    /// The bounded time series collected while the run was live.
+    pub series: MetricsSeries,
+    /// The final scrape taken after the run completed.
+    pub last: MetricsSnapshot,
+}
+
+/// Collects per-run metrics captures across a sweep so the binary can
+/// export one Prometheus text exposition or JSON time-series document
+/// (`--metrics <path>`).  Runs fanned out across host threads land in
+/// arrival order, so both exporters sort by label to keep the output
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    runs: Mutex<Vec<MetricsRun>>,
+}
+
+impl MetricsSink {
+    /// A new, empty sink, shared across sweep workers.
+    pub fn new() -> Arc<MetricsSink> {
+        Arc::new(MetricsSink::default())
+    }
+
+    /// Record one run's series and final scrape.
+    pub fn record(&self, label: impl Into<String>, series: MetricsSeries, last: MetricsSnapshot) {
+        let mut runs = self.runs.lock();
+        runs.push(MetricsRun {
+            label: label.into(),
+            series,
+            last,
+        });
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.runs.lock().len()
+    }
+
+    /// True when no run has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Label-sorted clone of the recorded runs.
+    fn sorted_runs(&self) -> Vec<MetricsRun> {
+        let mut runs = self.runs.lock().clone();
+        runs.sort_by(|a, b| a.label.cmp(&b.label));
+        runs
+    }
+
+    /// Render every run's *final* scrape as one Prometheus text
+    /// exposition, each run distinguished by a `run="<label>"` label.
+    pub fn prometheus_text(&self) -> String {
+        let mut writer = PromWriter::new();
+        for run in self.sorted_runs() {
+            writer.append(&run.last, &[("run".to_string(), run.label.clone())]);
+        }
+        writer.finish()
+    }
+
+    /// Render every run's full time series (plus final scrape) as one
+    /// JSON document, label-sorted.
+    pub fn json(&self) -> String {
+        let runs = self.sorted_runs();
+        let mut out = format!(
+            "{{\"schema\":\"mutls-metrics-v{BENCH_SCHEMA_VERSION}\",\"schema_version\":{BENCH_SCHEMA_VERSION},\"runs\":"
+        );
+        runs.serialize_json(&mut out);
+        out.push_str("}\n");
+        out
+    }
+}
+
 /// Shared configuration for all experiments.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
@@ -157,6 +243,11 @@ pub struct ExperimentConfig {
     /// `--trace <path>` export).  `None` keeps recording disabled — the
     /// zero-overhead default.
     pub trace: Option<Arc<TraceSink>>,
+    /// When set, the sweeps enable the live metrics plane and record each
+    /// run's time series plus final scrape into this sink (the binary's
+    /// `--metrics <path>` export).  `None` keeps the registry disabled —
+    /// the one-branch no-op default.
+    pub metrics: Option<Arc<MetricsSink>>,
 }
 
 impl Default for ExperimentConfig {
@@ -167,6 +258,7 @@ impl Default for ExperimentConfig {
             seed: 0xAB5C155A,
             sim_threads: 1,
             trace: None,
+            metrics: None,
         }
     }
 }
@@ -180,6 +272,7 @@ impl ExperimentConfig {
             seed: 7,
             sim_threads: 1,
             trace: None,
+            metrics: None,
         }
     }
 
@@ -187,6 +280,14 @@ impl ExperimentConfig {
     /// and the deterministic replays emit virtual-time events into it.
     pub fn with_trace(mut self, sink: Arc<TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attach a metrics sink: native sweeps enable the sampler-backed
+    /// registry and the deterministic replays mirror it off the virtual
+    /// clock, all recording into the sink.
+    pub fn with_metrics(mut self, sink: Arc<MetricsSink>) -> Self {
+        self.metrics = Some(sink);
         self
     }
 
@@ -245,6 +346,33 @@ impl ExperimentConfig {
     fn record_trace(&self, label: String, events: Vec<TraceEvent>, dropped: u64) {
         if let Some(sink) = &self.trace {
             sink.record(label, events, dropped);
+        }
+    }
+
+    /// The native-runtime metrics configuration implied by `metrics`
+    /// (millisecond sampling so even tiny-scale runs catch live samples).
+    fn metrics_config(&self) -> MetricsConfig {
+        if self.metrics.is_some() {
+            MetricsConfig::enabled().sample_interval_ms(1)
+        } else {
+            MetricsConfig::default()
+        }
+    }
+
+    /// The simulator metrics configuration implied by `metrics`: same
+    /// plane, but sampled off the virtual clock (deterministic).
+    fn sim_metrics_config(&self) -> MetricsConfig {
+        if self.metrics.is_some() {
+            MetricsConfig::enabled()
+        } else {
+            MetricsConfig::default()
+        }
+    }
+
+    /// Record one run's metrics capture into the sink, if one is attached.
+    fn record_metrics(&self, label: String, series: MetricsSeries, last: MetricsSnapshot) {
+        if let Some(sink) = &self.metrics {
+            sink.record(label, series, last);
         }
     }
 }
@@ -643,6 +771,8 @@ pub struct AdaptiveRow {
     pub rollback_reasons: [u64; RollbackReason::COUNT],
     /// Work discarded by rollbacks (virtual cycles).
     pub wasted_work: u64,
+    /// Wasted cycles per committed cycle (schema v6).
+    pub rollback_amplification: f64,
     /// Fork requests suppressed by the governor.
     pub throttled_forks: u64,
 }
@@ -651,7 +781,9 @@ pub struct AdaptiveRow {
 /// rollback-cause split (conflicts / overflows / injected) per site and
 /// the live commit-log grain the site's traffic last ran at (the
 /// "grain" column shows what the adaptive-grain controller converged to
-/// for each site's data; "-" = never observed).
+/// for each site's data; "-" = never observed).  The commit-path cost
+/// counters (`cas_retries`, `ring_overflows`) are log-wide, not
+/// per-site, so they render on a trailing `commit-log` summary row.
 pub fn format_site_table(title: &str, report: &RunReport) -> String {
     let mut table = Table::new(
         title,
@@ -669,6 +801,8 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             "rollback rate",
             "wasted work",
             "grain",
+            "cas-retries",
+            "ring-ovfl",
         ],
     );
     for profile in &report.sites {
@@ -693,19 +827,28 @@ pub fn format_site_table(title: &str, report: &RunReport) -> String {
             } else {
                 grain_label(profile.grain_log2)
             },
+            "-".to_string(),
+            "-".to_string(),
         ]);
     }
+    let log = report.commit_log;
+    let mut summary = vec!["commit-log".to_string()];
+    summary.resize(13, "-".to_string());
+    summary.push(log.cas_retries.to_string());
+    summary.push(log.ring_overflows.to_string());
+    table.push_row(summary);
     table.render()
 }
 
-/// Simulate `recording` under a governor policy.
+/// Simulate `recording` under a governor policy.  Seed, tracing and
+/// metrics cadence come from `config`; `sim_threads` is passed
+/// separately because the caller budgets it against the sweep fan-out.
 fn simulate_governed(
     recording: &Recording,
+    config: &ExperimentConfig,
     cpus: usize,
-    seed: u64,
     rollback_probability: f64,
     policy: PolicyKind,
-    trace: bool,
     sim_threads: usize,
 ) -> SimResult {
     simulate(
@@ -714,11 +857,12 @@ fn simulate_governed(
             num_cpus: cpus,
             fork_model: None,
             rollback_probability,
-            seed,
+            seed: config.seed,
             cost: Default::default(),
             governor: GovernorConfig::with_policy(policy),
-            trace,
+            trace: config.trace_enabled(),
             sim_threads,
+            metrics: config.sim_metrics_config(),
             ..Default::default()
         },
     )
@@ -759,15 +903,7 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
         let mut kind_rows = Vec::new();
         let mut site_tables = String::new();
         for policy in PolicyKind::ALL {
-            let result = simulate_governed(
-                &recording,
-                cpus,
-                config.seed,
-                p,
-                policy,
-                config.trace_enabled(),
-                sim_threads,
-            );
+            let result = simulate_governed(&recording, config, cpus, p, policy, sim_threads);
             let report = &result.report;
             kind_rows.push(AdaptiveRow {
                 schema_version: BENCH_SCHEMA_VERSION,
@@ -780,6 +916,7 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
                 rolled_back: report.rolled_back_threads,
                 rollback_reasons: report.rollback_reasons,
                 wasted_work: report.wasted_work(),
+                rollback_amplification: report.rollback_amplification(),
                 throttled_forks: report.throttled_forks(),
             });
             if heavy && policy == PolicyKind::Throttle {
@@ -793,11 +930,11 @@ pub fn adaptive_sweep(config: &ExperimentConfig) -> (Vec<AdaptiveRow>, String) {
                 ));
                 site_tables.push('\n');
             }
-            config.record_trace(
-                format!("adaptive/{}/{}", kind.name(), policy.label()),
-                result.events,
-                0,
-            );
+            let label = format!("adaptive/{}/{}", kind.name(), policy.label());
+            config.record_trace(label.clone(), result.events, 0);
+            if let Some(last) = result.metrics.latest().cloned() {
+                config.record_metrics(label, result.metrics, last);
+            }
         }
         (kind_rows, site_tables)
     });
@@ -871,6 +1008,10 @@ pub struct NativeRow {
     pub rollback_reasons: [u64; RollbackReason::COUNT],
     /// Work discarded by rollbacks (nanoseconds of native execution).
     pub wasted_work_ns: u64,
+    /// Derived rollback amplification (schema v6): wasted work over
+    /// committed speculative work — the metrics plane's headline
+    /// efficiency gauge, stamped per row so the trajectory is trackable.
+    pub rollback_amplification: f64,
     /// Fork requests suppressed by the governor.
     pub throttled_forks: u64,
     /// Per-phase latency quantiles (log2-bucket lower bounds, ns).
@@ -899,6 +1040,7 @@ impl NativeRow {
             rolled_back: report.rolled_back_threads,
             rollback_reasons: report.rollback_reasons,
             wasted_work_ns: report.wasted_work(),
+            rollback_amplification: report.rollback_amplification(),
             throttled_forks: report.throttled_forks(),
             latency: report.latency.clone(),
             checksum_ok,
@@ -955,15 +1097,21 @@ impl ConflictCase {
         }
     }
 
-    /// Run the case natively and also drain the run's flight recorder
-    /// (the capture is empty unless the config enables tracing).
-    fn native_traced(
+    /// Run the case natively, draining the run's flight recorder (empty
+    /// unless the config enables tracing) and its metrics capture
+    /// (series + final scrape; empty unless the config enables metrics).
+    fn native_observed(
         &self,
         runtime_config: RuntimeConfig,
-    ) -> (u64, RunReport, (Vec<TraceEvent>, u64)) {
+    ) -> (
+        u64,
+        RunReport,
+        (Vec<TraceEvent>, u64),
+        conflict::MetricsCapture,
+    ) {
         match self {
-            ConflictCase::Chain(cfg) => conflict::chain_native_traced(*cfg, runtime_config),
-            ConflictCase::Hist(cfg) => conflict::hist_native_traced(*cfg, runtime_config),
+            ConflictCase::Chain(cfg) => conflict::chain_native_observed(*cfg, runtime_config),
+            ConflictCase::Hist(cfg) => conflict::hist_native_observed(*cfg, runtime_config),
         }
     }
 }
@@ -1009,21 +1157,20 @@ pub fn conflict_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
             let reference = case.reference();
             let mut wasted = HashMap::new();
             for policy in NATIVE_POLICIES {
-                let (sum, report, (events, dropped)) = case.native_traced(
+                let (sum, report, (events, dropped), (series, last)) = case.native_observed(
                     RuntimeConfig::with_cpus(cpus)
                         .governor_policy(policy)
                         .commit_log(CommitLogConfig::word_grain())
-                        .trace(config.trace_config()),
+                        .trace(config.trace_config())
+                        .metrics(config.metrics_config()),
                 );
-                config.record_trace(
-                    format!(
-                        "conflict/{}/sharing{permille:04}/{}",
-                        kind.name(),
-                        policy.label()
-                    ),
-                    events,
-                    dropped,
+                let label = format!(
+                    "conflict/{}/sharing{permille:04}/{}",
+                    kind.name(),
+                    policy.label()
                 );
+                config.record_trace(label.clone(), events, dropped);
+                config.record_metrics(label, series, last);
                 let row = NativeRow::from_report(
                     kind.name(),
                     policy,
@@ -1104,16 +1251,19 @@ pub fn overflow_sweep(config: &ExperimentConfig) -> (Vec<NativeRow>, String) {
                     .memory_bytes(arena_bytes(kind, config.scale))
                     .buffer(BufferConfig::tiny())
                     .governor_policy(policy)
-                    .trace(config.trace_config()),
+                    .trace(config.trace_config())
+                    .metrics(config.metrics_config()),
             );
             let memory = runtime.memory();
             let data = setup(kind, config.scale, &memory);
             let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
+            let label = format!("overflow/{}/{}", kind.name(), policy.label());
             config.record_trace(
-                format!("overflow/{}/{}", kind.name(), policy.label()),
+                label.clone(),
                 runtime.drain_trace_events(),
                 runtime.trace_dropped(),
             );
+            config.record_metrics(label, runtime.metrics_series(), runtime.metrics_snapshot());
             let checksum_ok = mutls_workloads::checksum(&memory, &data) == reference;
             let row = NativeRow::from_report(
                 kind.name(),
@@ -1199,6 +1349,14 @@ pub struct GrainRow {
     /// `compare_exchange` losses plus seqlock-forced re-stamps; schema
     /// v3, 0 in locked mode).
     pub cas_retries: u64,
+    /// Ring probes whose observed version had already fallen off the
+    /// mvcc version window (schema v6; 0 here — the grain sweep runs the
+    /// single-version engine — but rendered so registry pressure is
+    /// visible wherever `CommitLogStats` rows surface).
+    pub ring_overflows: u64,
+    /// Derived rollback amplification (schema v6): wasted work over
+    /// committed speculative work.
+    pub rollback_amplification: f64,
     /// Regions regrained by the adaptive controller (0 here: the grain
     /// sweep runs static grains; the column keeps the row shape shared
     /// with the `graincontrol` sweep).
@@ -1247,6 +1405,7 @@ pub fn grain_sweep(config: &ExperimentConfig) -> (Vec<GrainRow>, String) {
             "commits/ms lock",
             "commits/s",
             "cas-retries",
+            "ring-ovfl",
             "regrains",
             "spills",
             "checksum",
@@ -1264,22 +1423,25 @@ pub fn grain_sweep(config: &ExperimentConfig) -> (Vec<GrainRow>, String) {
                                 .grain_log2(grain_log2)
                                 .shards(shards),
                         )
-                        .trace(config.trace_config()),
+                        .trace(config.trace_config())
+                        .metrics(config.metrics_config()),
                 );
                 let memory = runtime.memory();
                 let data = setup(kind, config.scale, &memory);
                 let run_started = Instant::now();
                 let (_, report) = runtime.run(|ctx| run_speculative(ctx, &data));
                 let run_secs = run_started.elapsed().as_secs_f64().max(1e-9);
+                let label = format!(
+                    "grain/{}/{}/shards{shards}",
+                    kind.name(),
+                    grain_label(grain_log2)
+                );
                 config.record_trace(
-                    format!(
-                        "grain/{}/{}/shards{shards}",
-                        kind.name(),
-                        grain_label(grain_log2)
-                    ),
+                    label.clone(),
                     runtime.drain_trace_events(),
                     runtime.trace_dropped(),
                 );
+                config.record_metrics(label, runtime.metrics_series(), runtime.metrics_snapshot());
                 let checksum_ok = mutls_workloads::checksum(&memory, &data) == reference;
                 let log = report.commit_log;
                 let lock_ms = (log.lock_ns as f64 / 1e6).max(1e-6);
@@ -1301,6 +1463,8 @@ pub fn grain_sweep(config: &ExperimentConfig) -> (Vec<GrainRow>, String) {
                     commit_throughput: log.commits as f64 / lock_ms,
                     commits_per_sec: log.commits as f64 / run_secs,
                     cas_retries: log.cas_retries,
+                    ring_overflows: log.ring_overflows,
+                    rollback_amplification: report.rollback_amplification(),
                     regrains: log.regrains,
                     reader_spills: log.reader_spills,
                     checksum_ok,
@@ -1320,6 +1484,7 @@ pub fn grain_sweep(config: &ExperimentConfig) -> (Vec<GrainRow>, String) {
                     format!("{:.0}", row.commit_throughput),
                     format!("{:.0}", row.commits_per_sec),
                     row.cas_retries.to_string(),
+                    row.ring_overflows.to_string(),
                     row.regrains.to_string(),
                     row.reader_spills.to_string(),
                     if row.checksum_ok { "ok" } else { "MISMATCH" }.to_string(),
@@ -1619,6 +1784,9 @@ pub struct RecoveryRow {
     /// Work discarded by rollbacks (nanoseconds of native execution) —
     /// the column the engines are compared on.
     pub wasted_work_ns: u64,
+    /// Derived rollback amplification (schema v6): wasted work over
+    /// committed speculative work.
+    pub rollback_amplification: f64,
     /// Commit batches recorded in the log.
     pub commits: u64,
     /// Commit throughput: batches per millisecond of commit-lock time.
@@ -1695,31 +1863,43 @@ pub fn recovery_sweep(config: &ExperimentConfig) -> (Vec<RecoveryRow>, String) {
                     // Median-of-reps: run the point several times, keep
                     // the run with the median wasted work.  Correctness
                     // must hold in *every* repetition.
-                    type Rep = (u64, bool, RunReport, (Vec<TraceEvent>, u64));
+                    type Rep = (
+                        u64,
+                        bool,
+                        RunReport,
+                        (Vec<TraceEvent>, u64),
+                        conflict::MetricsCapture,
+                    );
                     let mut runs: Vec<Rep> = (0..RECOVERY_SWEEP_REPS)
                         .map(|_| {
-                            let (sum, report, capture) = case.native_traced(
+                            let (sum, report, capture, metrics) = case.native_observed(
                                 RuntimeConfig::with_cpus(cpus)
                                     .commit_log(CommitLogConfig::default().grain_log2(grain_log2))
                                     .recovery(recovery)
-                                    .trace(config.trace_config()),
+                                    .trace(config.trace_config())
+                                    .metrics(config.metrics_config()),
                             );
-                            (report.wasted_work(), sum == reference, report, capture)
+                            (
+                                report.wasted_work(),
+                                sum == reference,
+                                report,
+                                capture,
+                                metrics,
+                            )
                         })
                         .collect();
-                    let every_rep_correct = runs.iter().all(|(_, ok, _, _)| *ok);
-                    runs.sort_by_key(|(wasted, _, _, _)| *wasted);
-                    let (_, _, report, (events, dropped)) = runs.swap_remove(runs.len() / 2);
-                    config.record_trace(
-                        format!(
-                            "recovery/{}/{}/sharing{permille:04}/{}",
-                            kind.name(),
-                            grain_label(grain_log2),
-                            recovery.label()
-                        ),
-                        events,
-                        dropped,
+                    let every_rep_correct = runs.iter().all(|(_, ok, _, _, _)| *ok);
+                    runs.sort_by_key(|(wasted, _, _, _, _)| *wasted);
+                    let (_, _, report, (events, dropped), (series, last)) =
+                        runs.swap_remove(runs.len() / 2);
+                    let label = format!(
+                        "recovery/{}/{}/sharing{permille:04}/{}",
+                        kind.name(),
+                        grain_label(grain_log2),
+                        recovery.label()
                     );
+                    config.record_trace(label.clone(), events, dropped);
+                    config.record_metrics(label, series, last);
                     let log = report.commit_log;
                     let lock_ms = (log.lock_ns as f64 / 1e6).max(1e-6);
                     let row = RecoveryRow {
@@ -1736,6 +1916,7 @@ pub fn recovery_sweep(config: &ExperimentConfig) -> (Vec<RecoveryRow>, String) {
                         targeted_dooms: report.targeted_dooms(),
                         cascade_fallbacks: report.cascade_fallbacks(),
                         wasted_work_ns: report.wasted_work(),
+                        rollback_amplification: report.rollback_amplification(),
                         commits: log.commits,
                         commit_throughput: log.commits as f64 / lock_ms,
                         reader_spills: log.reader_spills,
@@ -1825,6 +2006,9 @@ pub struct RecoverySimRow {
     pub ring_overflows: u64,
     /// Work discarded by rollbacks (virtual cycles) — deterministic.
     pub wasted_cycles: u64,
+    /// Derived rollback amplification (schema v6): wasted cycles over
+    /// committed speculative cycles — deterministic in the replay.
+    pub rollback_amplification: f64,
     /// Absolute speedup over the sequential trace cost.
     pub speedup: f64,
 }
@@ -1891,6 +2075,7 @@ pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, Strin
                             recovery,
                             trace: config.trace_enabled(),
                             sim_threads: config.effective_sim_threads(),
+                            metrics: config.sim_metrics_config(),
                             ..SimConfig::default()
                         }
                         .grain_log2(grain_log2),
@@ -1910,6 +2095,7 @@ pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, Strin
                         precise_passes: report.precise_passes(),
                         ring_overflows: report.commit_log.ring_overflows,
                         wasted_cycles: report.wasted_work(),
+                        rollback_amplification: report.rollback_amplification(),
                         speedup: result.speedup(),
                     };
                     table.push_row(vec![
@@ -1926,16 +2112,16 @@ pub fn recovery_replay(config: &ExperimentConfig) -> (Vec<RecoverySimRow>, Strin
                         format!("{:.2}", row.speedup),
                     ]);
                     rows.push(row);
-                    config.record_trace(
-                        format!(
-                            "recovery_replay/{}/{}/sharing{permille:04}/{}",
-                            kind.name(),
-                            grain_label(grain_log2),
-                            recovery.label()
-                        ),
-                        result.events,
-                        0,
+                    let label = format!(
+                        "recovery_replay/{}/{}/sharing{permille:04}/{}",
+                        kind.name(),
+                        grain_label(grain_log2),
+                        recovery.label()
                     );
+                    config.record_trace(label.clone(), result.events, 0);
+                    if let Some(last) = result.metrics.latest().cloned() {
+                        config.record_metrics(label, result.metrics, last);
+                    }
                 }
             }
         }
@@ -2078,6 +2264,8 @@ pub struct GrainControlRow {
     pub precise_passes: u64,
     /// Work discarded by rollbacks (nanoseconds, median run).
     pub wasted_work_ns: u64,
+    /// Wasted cycles per committed cycle (schema v6).
+    pub rollback_amplification: f64,
     /// Final per-region grain census (`(grain_log2, regions)` pairs).
     pub region_grains: Vec<(u32, u64)>,
     /// Whether every repetition matched the sequential reference.
@@ -2117,6 +2305,8 @@ pub struct GrainControlSimRow {
     /// Work discarded by rollbacks (virtual cycles, deterministic — the
     /// acceptance column for the wasted-work claim).
     pub wasted_cycles: u64,
+    /// Wasted cycles per committed cycle (schema v6).
+    pub rollback_amplification: f64,
     /// Absolute speedup over the sequential trace cost.
     pub speedup: f64,
     /// Final per-region grain census.
@@ -2175,14 +2365,21 @@ pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, S
         let sharing = permille as f64 / 1000.0;
         for mode in GrainMode::all() {
             for recovery in graincontrol_recoveries() {
-                type Rep = (u64, bool, RunReport, (Vec<TraceEvent>, u64));
+                type Rep = (
+                    u64,
+                    bool,
+                    RunReport,
+                    (Vec<TraceEvent>, u64),
+                    conflict::MetricsCapture,
+                );
                 let mut runs: Vec<Rep> = (0..GRAINCONTROL_REPS)
                     .map(|_| {
                         let runtime_config = mode
                             .runtime_config(cpus)
                             .recovery(recovery)
-                            .trace(config.trace_config());
-                        let (ok, report, capture) = match kind {
+                            .trace(config.trace_config())
+                            .metrics(config.metrics_config());
+                        let (ok, report, capture, metrics) = match kind {
                             WorkloadKind::Mandelbrot => {
                                 let runtime = Runtime::new(
                                     runtime_config.memory_bytes(arena_bytes(kind, config.scale)),
@@ -2194,30 +2391,32 @@ pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, S
                                     == reference_checksum(kind, config.scale);
                                 let capture =
                                     (runtime.drain_trace_events(), runtime.trace_dropped());
-                                (ok, report, capture)
+                                let metrics =
+                                    (runtime.metrics_series(), runtime.metrics_snapshot());
+                                (ok, report, capture, metrics)
                             }
                             _ => {
                                 let case = ConflictCase::new(kind, config.scale, permille);
-                                let (sum, report, capture) = case.native_traced(runtime_config);
-                                (sum == case.reference(), report, capture)
+                                let (sum, report, capture, metrics) =
+                                    case.native_observed(runtime_config);
+                                (sum == case.reference(), report, capture, metrics)
                             }
                         };
-                        (report.wasted_work(), ok, report, capture)
+                        (report.wasted_work(), ok, report, capture, metrics)
                     })
                     .collect();
-                let every_rep_correct = runs.iter().all(|(_, ok, _, _)| *ok);
-                runs.sort_by_key(|(wasted, _, _, _)| *wasted);
-                let (_, _, report, (events, dropped)) = runs.swap_remove(runs.len() / 2);
-                config.record_trace(
-                    format!(
-                        "graincontrol/{}/sharing{permille:04}/{}/{}",
-                        kind.name(),
-                        mode.label(),
-                        recovery.label()
-                    ),
-                    events,
-                    dropped,
+                let every_rep_correct = runs.iter().all(|(_, ok, _, _, _)| *ok);
+                runs.sort_by_key(|(wasted, _, _, _, _)| *wasted);
+                let (_, _, report, (events, dropped), (series, last)) =
+                    runs.swap_remove(runs.len() / 2);
+                let label = format!(
+                    "graincontrol/{}/sharing{permille:04}/{}/{}",
+                    kind.name(),
+                    mode.label(),
+                    recovery.label()
                 );
+                config.record_trace(label.clone(), events, dropped);
+                config.record_metrics(label, series, last);
                 let row = GrainControlRow {
                     schema_version: BENCH_SCHEMA_VERSION,
                     sim_threads: config.effective_sim_threads(),
@@ -2235,6 +2434,7 @@ pub fn graincontrol_sweep(config: &ExperimentConfig) -> (Vec<GrainControlRow>, S
                     reader_spills: report.commit_log.reader_spills,
                     precise_passes: report.precise_passes(),
                     wasted_work_ns: report.wasted_work(),
+                    rollback_amplification: report.rollback_amplification(),
                     region_grains: report.region_grains.clone(),
                     checksum_ok: every_rep_correct,
                 };
@@ -2303,6 +2503,7 @@ pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow
                     .trace(config.trace_enabled())
                     .sim_threads(config.effective_sim_threads());
                 sim_config.recovery = recovery;
+                sim_config.metrics = config.sim_metrics_config();
                 let result = simulate(&recording, sim_config);
                 let report = &result.report;
                 let row = GrainControlSimRow {
@@ -2319,6 +2520,7 @@ pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow
                     regrains: report.commit_log.regrains,
                     precise_passes: report.precise_passes(),
                     wasted_cycles: report.wasted_work(),
+                    rollback_amplification: report.rollback_amplification(),
                     speedup: result.speedup(),
                     region_grains: report.region_grains.clone(),
                 };
@@ -2338,16 +2540,16 @@ pub fn graincontrol_replay(config: &ExperimentConfig) -> (Vec<GrainControlSimRow
                     census_label(&row.region_grains),
                 ]);
                 rows.push(row);
-                config.record_trace(
-                    format!(
-                        "graincontrol_replay/{}/sharing{permille:04}/{}/{}",
-                        kind.name(),
-                        mode.label(),
-                        recovery.label()
-                    ),
-                    result.events,
-                    0,
+                let label = format!(
+                    "graincontrol_replay/{}/sharing{permille:04}/{}/{}",
+                    kind.name(),
+                    mode.label(),
+                    recovery.label()
                 );
+                config.record_trace(label.clone(), result.events, 0);
+                if let Some(last) = result.metrics.latest().cloned() {
+                    config.record_metrics(label, result.metrics, last);
+                }
             }
         }
     }
@@ -2541,6 +2743,10 @@ pub struct ParSimRow {
     pub advances_applied: u64,
     /// Advances the driver overtook and recomputed inline (racy split).
     pub advances_overtaken: u64,
+    /// Advances the shard workers actually precomputed, whether or not
+    /// the driver got to apply them (schema v6; racy like the split
+    /// above — it measures worker throughput, never results).
+    pub advances_computed: u64,
     /// Shard rollbacks: advances invalidated by a cross-shard publish or
     /// regrain in their virtual past (deterministic — a pure function of
     /// the event schedule).
@@ -2578,6 +2784,7 @@ pub fn parsim(config: &ExperimentConfig) -> (Vec<ParSimRow>, String) {
             "requests",
             "applied",
             "overtaken",
+            "computed",
             "shard rollbacks",
             "fossils",
             "identical",
@@ -2636,6 +2843,7 @@ pub fn parsim(config: &ExperimentConfig) -> (Vec<ParSimRow>, String) {
                 requests: warp.requests,
                 advances_applied: warp.advances_applied,
                 advances_overtaken: warp.advances_overtaken,
+                advances_computed: warp.advances_computed,
                 shard_rollbacks: warp.shard_rollbacks,
                 fossil_collected: warp.fossil_collected,
                 identical,
@@ -2649,6 +2857,7 @@ pub fn parsim(config: &ExperimentConfig) -> (Vec<ParSimRow>, String) {
                 row.requests.to_string(),
                 row.advances_applied.to_string(),
                 row.advances_overtaken.to_string(),
+                row.advances_computed.to_string(),
                 row.shard_rollbacks.to_string(),
                 row.fossil_collected.to_string(),
                 if row.identical { "ok" } else { "DIVERGED" }.to_string(),
@@ -2660,6 +2869,149 @@ pub fn parsim(config: &ExperimentConfig) -> (Vec<ParSimRow>, String) {
             rows.push(row);
         }
     }
+    (rows, table.render())
+}
+
+/// One row of the `metrics` scenario: headline counters and derived
+/// gauges read back from the *final exported snapshot* of one fully
+/// instrumented run (native runtime or deterministic replay) — the
+/// telemetry plane observing itself.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsRow {
+    /// Schema version of this row ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Effective simulator worker threads (replay half; provenance on
+    /// the native half).
+    pub sim_threads: usize,
+    /// Scenario label (`native/...` or `replay/...`).
+    pub scenario: String,
+    /// Snapshots the sampler retained (wall-clock cadence natively,
+    /// virtual-cycle cadence in the replay).
+    pub samples: u64,
+    /// `mutls_forks_total` in the final snapshot.
+    pub forks: u64,
+    /// `mutls_commits_total` in the final snapshot.
+    pub commits: u64,
+    /// `mutls_rollbacks_total` in the final snapshot.
+    pub rolled_back: u64,
+    /// `mutls_retries_total` in the final snapshot.
+    pub retries: u64,
+    /// `mutls_wasted_cycles_total` in the final snapshot (ns native,
+    /// virtual cycles replay).
+    pub wasted_cycles: u64,
+    /// Derived gauge: wasted over committed cycles.
+    pub rollback_amplification: f64,
+    /// Derived gauge: commits over forks.
+    pub speculation_success_rate: f64,
+    /// Derived gauge: precise validation passes over commits.
+    pub precise_pass_fraction: f64,
+}
+
+/// The `metrics` scenario: one native conflict-chain run and one
+/// deterministic replay of the same workload at 100% true sharing, both
+/// with the metrics plane forced on, reported as the headline counters
+/// and derived gauges of each final snapshot.  Also records both series
+/// into the config's metrics sink when one is attached, so
+/// `mutls-experiments metrics --metrics out.prom` exports a ready-made
+/// Prometheus document even without running a full sweep.  The replay's
+/// *exported* snapshot additionally carries the Time Warp shard counters
+/// as `warp` labeled gauges; the sampled series never does, preserving
+/// byte-identity across `sim_threads`.
+pub fn metrics_scenario(config: &ExperimentConfig) -> (Vec<MetricsRow>, String) {
+    let cpus = native_cpus(config);
+    let chain = conflict::ChainConfig::for_scale(config.scale).sharing_permille(1000);
+    let (_, _, _, (native_series, native_last)) = conflict::chain_native_observed(
+        chain,
+        RuntimeConfig::with_cpus(cpus)
+            .commit_log(CommitLogConfig::word_grain())
+            .metrics(MetricsConfig::enabled().sample_interval_ms(1)),
+    );
+    let recording = record_conflict(WorkloadKind::ConflictChain, config.scale, 1000);
+    let replay = simulate(
+        &recording,
+        SimConfig {
+            num_cpus: cpus,
+            seed: config.seed,
+            sim_threads: config.effective_sim_threads(),
+            metrics: MetricsConfig::enabled(),
+            ..SimConfig::default()
+        },
+    );
+    let replay_series = replay.metrics;
+    let mut replay_last = replay_series
+        .latest()
+        .cloned()
+        .expect("replay metrics were enabled");
+    replay_last.labeled.extend(replay.warp.metric_gauges());
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Live Metrics Scenario at {cpus} CPUs (conflict_chain, 100% sharing)"),
+        &[
+            "scenario",
+            "samples",
+            "forks",
+            "commits",
+            "rolled back",
+            "retries",
+            "wasted",
+            "rollback amp",
+            "success rate",
+            "precise",
+        ],
+    );
+    let scenarios: [(&str, u64, &MetricsSnapshot); 2] = [
+        (
+            "native/conflict_chain",
+            native_series.len() as u64,
+            &native_last,
+        ),
+        (
+            "replay/conflict_chain",
+            replay_series.len() as u64,
+            &replay_last,
+        ),
+    ];
+    for (scenario, samples, snap) in scenarios {
+        let counter = |name: &str| snap.counter(name).unwrap_or(0);
+        let gauge = |name: &str| snap.gauge(name).unwrap_or(0.0);
+        let row = MetricsRow {
+            schema_version: BENCH_SCHEMA_VERSION,
+            sim_threads: config.effective_sim_threads(),
+            scenario: scenario.to_string(),
+            samples,
+            forks: counter("forks"),
+            commits: counter("commits"),
+            rolled_back: counter("rollbacks"),
+            retries: counter("retries"),
+            wasted_cycles: counter("wasted_cycles"),
+            rollback_amplification: gauge("rollback_amplification"),
+            speculation_success_rate: gauge("speculation_success_rate"),
+            precise_pass_fraction: gauge("precise_pass_fraction"),
+        };
+        table.push_row(vec![
+            row.scenario.clone(),
+            row.samples.to_string(),
+            row.forks.to_string(),
+            row.commits.to_string(),
+            row.rolled_back.to_string(),
+            row.retries.to_string(),
+            row.wasted_cycles.to_string(),
+            format!("{:.3}", row.rollback_amplification),
+            format!("{:.3}", row.speculation_success_rate),
+            format!("{:.3}", row.precise_pass_fraction),
+        ]);
+        rows.push(row);
+    }
+    config.record_metrics(
+        "metrics/native/conflict_chain".to_string(),
+        native_series,
+        native_last,
+    );
+    config.record_metrics(
+        "metrics/replay/conflict_chain".to_string(),
+        replay_series,
+        replay_last,
+    );
     (rows, table.render())
 }
 
@@ -2760,6 +3112,7 @@ mod tests {
             seed: 3,
             sim_threads: 1,
             trace: None,
+            metrics: None,
         };
         let (rows, _) = figure11(&config);
         let fft: Vec<f64> = rows
@@ -3400,10 +3753,11 @@ mod tests {
         let text = format_site_table("Per-site profile — golden", &report);
         let expected = "\
 # Per-site profile — golden
-site              forks  throttled  commits  retries  rollbacks  conflicts  false-share  overflows  injected  rollback rate  wasted work  grain
--------------------------------------------------------------------------------------------------------------------------------------------------
-matmult/quadrant  12     1          10       3        2          1          0            1          0         0.25           420          word \n\
-site 999          4      0          4        0        0          0          0            0          0         0.00           0            -    \n";
+site              forks  throttled  commits  retries  rollbacks  conflicts  false-share  overflows  injected  rollback rate  wasted work  grain  cas-retries  ring-ovfl
+-------------------------------------------------------------------------------------------------------------------------------------------------------------------------\n\
+matmult/quadrant  12     1          10       3        2          1          0            1          0         0.25           420          word   -            -        \n\
+site 999          4      0          4        0        0          0          0            0          0         0.00           0            -      -            -        \n\
+commit-log        -      -          -        -        -          -          -            -          -         -              -            -      0            0        \n";
         assert_eq!(text, expected);
     }
 

@@ -24,6 +24,7 @@
 //! | Flight-recorder scenario (this repo)    | [`trace_scenario`] |
 //! | Commit-path stress, locked vs lock-free (this repo) | [`commitbench`] |
 //! | Time Warp parallel-simulation scaling (this repo) | [`parsim`] |
+//! | Live-metrics scenario (this repo)       | [`metrics_scenario`] |
 //!
 //! `mutls-experiments --json <path>` additionally writes the sweep rows
 //! of the native experiments as machine-readable JSON (schema
@@ -70,16 +71,16 @@ pub mod report;
 pub use experiments::{
     adaptive_sweep, breakdown, commitbench, commitbench_with, conflict_sweep, figure10, figure11,
     figure3, figure4, figure5, figure6, figure7, figure8, figure9, format_site_table, grain_label,
-    grain_sweep, graincontrol_recoveries, graincontrol_replay, graincontrol_sweep, overflow_sweep,
-    parsim, record_workload, recovery_replay, recovery_sweep, recovery_sweep_modes, speedup_sweep,
-    table2, trace_scenario, AdaptiveRow, BreakdownRow, CommitBenchRow, ExperimentConfig,
-    GrainControlRow, GrainControlSimRow, GrainMode, GrainRow, MetricKind, NativeRow, ParSimRow,
-    RecoveryRow, RecoverySimRow, SweepRow, TraceScenarioRow, TraceSink,
-    ADAPTIVE_ROLLBACK_PROBABILITY, BENCH_SCHEMA_VERSION, COMMITBENCH_MIXES, COMMITBENCH_THREADS,
-    COMMITBENCH_THREADS_ENV, CONFLICT_SHARING_PERMILLE, GRAINCONTROL_REPS,
-    GRAINCONTROL_SHARING_PERMILLE, GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS, NATIVE_POLICIES,
-    PARSIM_THREADS, PARSIM_THREADS_ENV, RECOVERY_SWEEP_GRAINS, RECOVERY_SWEEP_PERMILLE,
-    RECOVERY_SWEEP_REPS, ROLLBACK_HEAVY,
+    grain_sweep, graincontrol_recoveries, graincontrol_replay, graincontrol_sweep,
+    metrics_scenario, overflow_sweep, parsim, record_workload, recovery_replay, recovery_sweep,
+    recovery_sweep_modes, speedup_sweep, table2, trace_scenario, AdaptiveRow, BreakdownRow,
+    CommitBenchRow, ExperimentConfig, GrainControlRow, GrainControlSimRow, GrainMode, GrainRow,
+    MetricKind, MetricsRow, MetricsRun, MetricsSink, NativeRow, ParSimRow, RecoveryRow,
+    RecoverySimRow, SweepRow, TraceScenarioRow, TraceSink, ADAPTIVE_ROLLBACK_PROBABILITY,
+    BENCH_SCHEMA_VERSION, COMMITBENCH_MIXES, COMMITBENCH_THREADS, COMMITBENCH_THREADS_ENV,
+    CONFLICT_SHARING_PERMILLE, GRAINCONTROL_REPS, GRAINCONTROL_SHARING_PERMILLE,
+    GRAIN_SWEEP_GRAINS, GRAIN_SWEEP_SHARDS, NATIVE_POLICIES, PARSIM_THREADS, PARSIM_THREADS_ENV,
+    RECOVERY_SWEEP_GRAINS, RECOVERY_SWEEP_PERMILLE, RECOVERY_SWEEP_REPS, ROLLBACK_HEAVY,
 };
 pub use report::{
     format_breakdown_table, format_latency_table, format_rollback_cell, format_sweep_table, Table,

@@ -1,0 +1,112 @@
+//! The background sampler: a thread that invokes a scrape closure on a
+//! fixed cadence until stopped.
+//!
+//! The closure owns the whole scrape (aggregate the registry, pull the
+//! commit-log / governor / latency state, push into the series) so the
+//! sampler itself stays dependency-free.  `Runtime` spawns one when
+//! metrics are enabled with a non-zero interval and stops it on drop —
+//! stopping is synchronous (notify + join), so no scrape can observe a
+//! torn-down runtime.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Default)]
+struct StopFlag {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Handle to a running sampler thread.  Dropping it stops and joins the
+/// thread.
+pub struct Sampler {
+    stop: Arc<StopFlag>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+impl Sampler {
+    /// Spawn a sampler invoking `scrape` every `interval` until
+    /// [`Sampler::stop`] (or drop).  The first tick fires after one full
+    /// interval; a zero interval is floored to 1 ms.
+    pub fn spawn(interval: Duration, mut scrape: impl FnMut() + Send + 'static) -> Sampler {
+        let interval = interval.max(Duration::from_millis(1));
+        let stop = Arc::new(StopFlag::default());
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("mutls-metrics-sampler".to_string())
+            .spawn(move || loop {
+                {
+                    let mut stopped = thread_stop.stopped.lock();
+                    if *stopped {
+                        return;
+                    }
+                    // A notified (non-timeout) wake means stop.
+                    if !thread_stop.cv.wait_for(&mut stopped, interval) || *stopped {
+                        return;
+                    }
+                }
+                scrape();
+            })
+            .expect("spawn metrics sampler");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the sampler and join its thread (idempotent).
+    pub fn stop(&mut self) {
+        *self.stop.stopped.lock() = true;
+        self.stop.cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn sampler_ticks_then_stops() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&ticks);
+        let mut sampler = Sampler::spawn(Duration::from_millis(2), move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        while ticks.load(Ordering::Relaxed) < 2 {
+            std::thread::yield_now();
+        }
+        sampler.stop();
+        let after_stop = ticks.load(Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(ticks.load(Ordering::Relaxed), after_stop);
+    }
+
+    #[test]
+    fn drop_stops_quickly_even_with_long_interval() {
+        let started = std::time::Instant::now();
+        let sampler = Sampler::spawn(Duration::from_secs(60), || {});
+        drop(sampler);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

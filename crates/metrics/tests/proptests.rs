@@ -1,0 +1,83 @@
+//! Property tests of the metrics plane.
+//!
+//! * **Registry concurrency**: concurrent increments from real threads
+//!   never lose counts — the per-rank sharded cells plus relaxed
+//!   `fetch_add` must aggregate to the exact sum on scrape.
+//! * **JSON round-trip**: an arbitrary-ish series survives
+//!   serialize → parse → deserialize unchanged.
+
+use proptest::prelude::*;
+
+use mutls_metrics::{
+    CounterId, GaugeId, HistId, HistogramSnapshot, LabeledGauge, MetricsConfig, MetricsSeries,
+    MetricsSnapshot, Registry, ScrapeExtras,
+};
+use serde::Deserialize;
+
+proptest! {
+    /// Concurrent increments from `threads` real OS threads, each adding
+    /// `per_thread` times to its own rank (plus a histogram observation
+    /// and a gauge bump), never lose a count.
+    #[test]
+    fn concurrent_increments_never_lose_counts(
+        threads in 1usize..8,
+        per_thread in 1u64..300,
+        amount in 1u64..5,
+    ) {
+        let registry = Registry::new(MetricsConfig::enabled(), threads);
+        std::thread::scope(|scope| {
+            for rank in 0..threads {
+                let registry = &registry;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        registry.add(rank, CounterId::Commits, amount);
+                        // Hammer one shared counter from every thread too:
+                        // cross-shard aggregation must still be exact.
+                        registry.add_unranked(CounterId::Rollbacks, 1);
+                        registry.observe(HistId::ThreadCycles, i);
+                        registry.gauge_add(GaugeId::InFlightSpeculations, 1);
+                        registry.gauge_add(GaugeId::InFlightSpeculations, -1);
+                    }
+                });
+            }
+        });
+        let expected = threads as u64 * per_thread;
+        prop_assert_eq!(registry.counter_total(CounterId::Commits), expected * amount);
+        prop_assert_eq!(registry.counter_total(CounterId::Rollbacks), expected);
+        prop_assert_eq!(registry.gauge_value(GaugeId::InFlightSpeculations), 0);
+        let snap = registry.scrape(0, ScrapeExtras::default());
+        prop_assert_eq!(snap.counter("commits"), Some(expected * amount));
+        prop_assert_eq!(snap.histograms[0].count, expected);
+    }
+
+    /// The JSON time-series dump round-trips: serialize, parse with the
+    /// workspace serde_json, deserialize, compare.
+    #[test]
+    fn json_series_round_trips(
+        samples in 0usize..5,
+        // The vendored serde stores JSON numbers as f64, exact for
+        // |x| <= 2^53 — stay inside the exact range.
+        counter in 0u64..(1 << 53),
+        bucket in 0u64..(1 << 52),
+        gauge_millis in 0u64..1_000_000,
+    ) {
+        let mut series = MetricsSeries::new(8);
+        for ts in 0..samples as u64 {
+            series.push(MetricsSnapshot {
+                ts,
+                counters: vec![("commits".to_string(), counter), ("log_stamps".to_string(), ts)],
+                gauges: vec![("rollback_amplification".to_string(), gauge_millis as f64 / 1000.0)],
+                histograms: vec![HistogramSnapshot {
+                    name: "thread_cycles".to_string(),
+                    count: 2,
+                    buckets: vec![1, bucket, 1],
+                }],
+                labeled: vec![LabeledGauge::new("phase_share", "phase", "va\"l\\ue", 0.5)],
+            });
+        }
+        let json = series.to_json();
+        let parsed = serde_json::parse(&json).expect("series JSON parses");
+        let back = MetricsSeries::deserialize(&parsed).expect("series deserializes");
+        prop_assert_eq!(back, series);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::fork_model::ForkModel;
 use mutls_adaptive::{GovernorConfig, GrainControlConfig, PolicyKind};
 use mutls_membuf::{BufferConfig, CommitLogConfig, LocalBufferConfig};
+use mutls_metrics::MetricsConfig;
 use mutls_trace::TraceConfig;
 
 /// Where rollbacks come from.
@@ -234,6 +235,13 @@ pub struct RuntimeConfig {
     /// lifecycle events are captured into the per-rank rings for export
     /// as a Chrome/Perfetto trace.
     pub trace: TraceConfig,
+    /// The live telemetry plane (default: disabled — every push is one
+    /// always-false branch).  When enabled, the runtime feeds a sharded
+    /// lock-free registry, a background sampler snapshots it on
+    /// `metrics.sample_interval_ms` cadence into a bounded time series,
+    /// and the aggregate can be exported as Prometheus text or a JSON
+    /// time-series dump.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -252,6 +260,7 @@ impl Default for RuntimeConfig {
             recovery: RecoveryConfig::default(),
             grain_control: GrainControlConfig::default(),
             trace: TraceConfig::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -395,6 +404,19 @@ impl RuntimeConfig {
     /// (builder style).
     pub fn trace_events(mut self) -> Self {
         self.trace = TraceConfig::enabled();
+        self
+    }
+
+    /// Set the full metrics-plane configuration (builder style).
+    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Enable the live metrics plane at the default sampling cadence
+    /// (builder style).
+    pub fn metrics_enabled(mut self) -> Self {
+        self.metrics = MetricsConfig::enabled();
         self
     }
 

@@ -17,6 +17,7 @@ use mutls_membuf::{
 };
 
 use mutls_adaptive::{ForkDecision, SiteOutcome};
+use mutls_metrics::CounterId;
 use mutls_trace::{DenyPolicy, DoomSource, EventKind, LatencyPhase};
 
 use crate::config::RecoveryMode;
@@ -506,8 +507,12 @@ impl SpecContext {
         // A child that rolled back invalidates the subtree as before.
         for grandchild in std::mem::take(&mut outcome.children) {
             if verdict.is_ok() {
-                self.stats.counters.adopted_threads +=
-                    self.mgr.adopt_subtree(grandchild, self.global.as_mut());
+                let adopted = self.mgr.adopt_subtree(grandchild, self.global.as_mut());
+                self.stats.counters.adopted_threads += adopted;
+                self.mgr
+                    .metrics()
+                    .registry()
+                    .add(self.rank, CounterId::AdoptedThreads, adopted);
             } else {
                 self.mgr.reap_subtree(grandchild);
             }
@@ -593,6 +598,10 @@ impl TlsContext for SpecContext {
         // reader registry surgically dooms the genuinely stale ones.)
         if self.rank != 0 && self.reexec_depth > 0 {
             self.stats.counters.failed_forks += 1;
+            self.mgr
+                .metrics()
+                .registry()
+                .add(self.rank, CounterId::FailedForks, 1);
             self.mgr.trace_event(
                 self.rank,
                 point,
@@ -622,6 +631,10 @@ impl TlsContext for SpecContext {
             }
             ForkDecision::Deny => {
                 self.stats.counters.throttled_forks += 1;
+                self.mgr
+                    .metrics()
+                    .registry()
+                    .add(self.rank, CounterId::ThrottledForks, 1);
                 self.mgr.trace_event(
                     self.rank,
                     point,
@@ -650,6 +663,10 @@ impl TlsContext for SpecContext {
 
         let Some(child) = child else {
             self.stats.counters.failed_forks += 1;
+            self.mgr
+                .metrics()
+                .registry()
+                .add(self.rank, CounterId::FailedForks, 1);
             let policy = if self.mgr.model_allows_fork(self.rank, model) {
                 DenyPolicy::NoCpu
             } else {

@@ -76,6 +76,8 @@ pub use mutls_membuf::{
 
 // Re-export the flight recorder so harnesses can configure tracing and
 // consume drained events without naming the leaf crate.
+pub use mutls_metrics as metrics;
+pub use mutls_metrics::{MetricsConfig, MetricsSeries, MetricsSnapshot};
 pub use mutls_trace as trace;
 pub use mutls_trace::{
     DenyPolicy, DoomSource, EventKind, LatencyPhase, LatencyReport, LatencyRow, PlanArm, Recorder,

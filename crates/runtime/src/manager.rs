@@ -28,6 +28,10 @@ use mutls_membuf::{
     Addr, AddressSpace, CommitLog, GlobalBuffer, GlobalMemory, LocalBuffer, MainMemory,
     RollbackReason, SpecFailure, Validation,
 };
+use mutls_metrics::{
+    phase_share_gauges, CounterId, GaugeId, HistId, LabeledGauge, MetricsHub, MetricsSnapshot,
+    ScrapeExtras,
+};
 use mutls_trace::{
     DoomSource, EventKind, LatencyPhase, PlanArm, Recorder, RollbackCause, TraceEvent,
     ValidateOutcome,
@@ -257,6 +261,11 @@ pub struct ThreadManager {
     recorder: Recorder,
     /// Zero point of recorder timestamps.
     trace_origin: Instant,
+    /// The live telemetry plane: a sharded lock-free counter/gauge/
+    /// histogram registry plus the bounded snapshot series the sampler
+    /// fills.  Disabled (the default) it is a single always-false branch
+    /// per push, mirroring the recorder's no-op discipline.
+    metrics: Arc<MetricsHub>,
 }
 
 impl ThreadManager {
@@ -315,6 +324,9 @@ impl ThreadManager {
             grain_events: AtomicU64::new(0),
             recorder: Recorder::new(config.trace, config.num_cpus + 2),
             trace_origin: Instant::now(),
+            // Shards for ranks 0..=num_cpus plus the hub's own control
+            // shard for unranked pushes.
+            metrics: Arc::new(MetricsHub::new(config.metrics, config.num_cpus + 1)),
         });
         (mgr, receivers)
     }
@@ -327,6 +339,11 @@ impl ThreadManager {
     /// The speculation flight recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// The live telemetry hub (registry + snapshot series).
+    pub fn metrics(&self) -> &Arc<MetricsHub> {
+        &self.metrics
     }
 
     /// Nanoseconds since the recorder's origin (the event/latency clock).
@@ -537,6 +554,9 @@ impl ThreadManager {
                 self.active.fetch_add(1, Ordering::AcqRel);
                 self.most_speculative.store(rank, Ordering::Release);
                 self.speculations.fetch_add(1, Ordering::Relaxed);
+                let registry = self.metrics.registry();
+                registry.add(forker, CounterId::Forks, 1);
+                registry.gauge_add(GaugeId::InFlightSpeculations, 1);
                 return Some(rank);
             }
         }
@@ -772,6 +792,9 @@ impl ThreadManager {
         let slot = &self.slots[rank - 1];
         slot.state.store(CPU_IDLE, Ordering::Release);
         self.active.fetch_sub(1, Ordering::AcqRel);
+        self.metrics
+            .registry()
+            .gauge_add(GaugeId::InFlightSpeculations, -1);
         let _ = self.most_speculative.compare_exchange(
             rank,
             joiner,
@@ -790,7 +813,8 @@ impl ThreadManager {
         self.commit_log
             .unregister_reader(outcome.buffers.global.read_addresses(), rank);
         let mut stats = outcome.stats;
-        stats.mark_work_wasted();
+        let wasted = stats.mark_work_wasted();
+        self.push_rollback_metrics(rank, RollbackReason::from(reason), wasted, stats.total());
         self.report_discard_to_governor(rank, &stats, reason);
         {
             let mut accum = self.accum.lock();
@@ -799,6 +823,21 @@ impl ThreadManager {
             accum.rolled_back_by_reason[RollbackReason::from(reason).index()] += 1;
         }
         self.release_cpu(rank, 0);
+    }
+
+    /// Feed one rolled-back thread into the telemetry registry: the
+    /// rollback count, its cause, and the wasted cycles it burned (both
+    /// as a counter and as a histogram observation for attribution).
+    fn push_rollback_metrics(&self, rank: Rank, reason: RollbackReason, wasted: u64, total: u64) {
+        let registry = self.metrics.registry();
+        if !registry.enabled() {
+            return;
+        }
+        registry.add(rank, CounterId::Rollbacks, 1);
+        registry.add(rank, CounterId::rollback_reason(reason.index()), 1);
+        registry.add(rank, CounterId::WastedCycles, wasted);
+        registry.observe(HistId::RollbackWastedCycles, wasted);
+        registry.observe(HistId::ThreadCycles, total);
     }
 
     /// Feed a discarded thread's outcome into the governor's site profile.
@@ -829,7 +868,13 @@ impl ThreadManager {
         self.commit_log
             .unregister_reader(outcome.buffers.global.read_addresses(), rank);
         let mut stats = outcome.stats;
-        stats.mark_work_wasted();
+        let wasted = stats.mark_work_wasted();
+        self.push_rollback_metrics(
+            rank,
+            RollbackReason::from(SpecFailure::Cascaded),
+            wasted,
+            stats.total(),
+        );
         self.report_discard_to_governor(rank, &stats, SpecFailure::Cascaded);
         {
             let mut accum = self.accum.lock();
@@ -1360,6 +1405,27 @@ impl ThreadManager {
         // Every joined thread is one commit/validate event on the grain
         // controller's clock.
         self.tick_grain_controller();
+        let registry = self.metrics.registry();
+        if registry.enabled() {
+            match rollback {
+                None => {
+                    registry.add_unranked(CounterId::Commits, 1);
+                    registry.add_unranked(CounterId::Retries, u64::from(retried));
+                    registry.add_unranked(CounterId::CommittedCycles, stats.get(Phase::Work));
+                    registry.observe(HistId::ThreadCycles, stats.total());
+                }
+                Some(reason) => {
+                    // The joiner already reclassified the thread's work as
+                    // wasted before handing the stats over.
+                    self.push_rollback_metrics(
+                        usize::MAX,
+                        RollbackReason::from(reason),
+                        stats.get(Phase::WastedWork),
+                        stats.total(),
+                    );
+                }
+            }
+        }
         let mut accum = self.accum.lock();
         accum.speculative.merge(stats);
         match rollback {
@@ -1385,6 +1451,75 @@ impl ThreadManager {
         }
         self.grain_events.store(0, Ordering::Relaxed);
         self.recorder.reset();
+        self.metrics.reset();
+    }
+
+    /// Aggregate every telemetry source into one [`MetricsSnapshot`] at
+    /// timestamp `ts` and append it to the hub's series.  This is the
+    /// sampler's tick body and the final-scrape path; pull-side state
+    /// (run accumulators, commit log, governor sites, grain census,
+    /// latency phases) is folded in as scrape extras so the snapshot is a
+    /// complete view regardless of which side owns a counter.
+    pub fn scrape_metrics(&self, ts: u64) -> MetricsSnapshot {
+        let totals = self.run_snapshot();
+        let counters = &totals.speculative.counters;
+        let log = self.commit_log.stats();
+        let mut extras = ScrapeExtras {
+            // These accumulate per-thread and merge at joins — the
+            // registry never sees them, so the accumulators own them.
+            counter_overrides: vec![
+                (CounterId::TargetedDooms, counters.targeted_dooms),
+                (CounterId::CascadeFallbacks, counters.cascade_fallbacks),
+                (CounterId::PrecisePasses, counters.precise_passes),
+                (
+                    CounterId::FalseSharingSuspects,
+                    counters.false_sharing_suspects,
+                ),
+            ],
+            extra_counters: vec![
+                ("log_commits".to_string(), log.commits),
+                ("log_stamps".to_string(), log.stamp_writes),
+                ("log_cas_retries".to_string(), log.cas_retries),
+                ("log_ring_overflows".to_string(), log.ring_overflows),
+                ("log_regrains".to_string(), log.regrains),
+                ("log_reader_spills".to_string(), log.reader_spills),
+            ],
+            ..ScrapeExtras::default()
+        };
+        for site in self.governor.snapshot() {
+            let site_label = site.site.to_string();
+            extras.labeled.push(LabeledGauge::new(
+                "site_rollback_rate",
+                "site",
+                site_label.clone(),
+                site.rollback_rate,
+            ));
+            extras.labeled.push(LabeledGauge::new(
+                "site_throttled",
+                "site",
+                site_label,
+                site.throttled as f64,
+            ));
+        }
+        for (grain_log2, regions) in self.commit_log.grain_census() {
+            extras.labeled.push(LabeledGauge::new(
+                "grain_regions",
+                "grain_log2",
+                grain_log2.to_string(),
+                regions as f64,
+            ));
+        }
+        extras
+            .labeled
+            .extend(phase_share_gauges(&self.recorder.latency().approx_totals()));
+        self.metrics.registry().scrape(ts, extras)
+    }
+
+    /// Scrape and append one sample to the hub's bounded series (the
+    /// sampler tick).
+    pub fn sample_metrics(&self) {
+        let snapshot = self.scrape_metrics(self.trace_now_ns());
+        self.metrics.push(snapshot);
     }
 
     /// Take a snapshot of the per-run accumulators: speculative-path

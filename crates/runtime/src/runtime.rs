@@ -3,9 +3,10 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mutls_membuf::{GPtr, GlobalMemory, WORD_BYTES};
+use mutls_metrics::{prometheus_text, MetricsSeries, MetricsSnapshot, Sampler};
 
 use crate::config::RuntimeConfig;
 use crate::context::SpecContext;
@@ -48,6 +49,10 @@ use crate::task::{SpecResult, Word};
 pub struct Runtime {
     mgr: Arc<ThreadManager>,
     workers: Vec<JoinHandle<()>>,
+    /// Background metrics sampler (None unless the metrics plane is
+    /// enabled with a non-zero interval).  Stopped before the workers
+    /// shut down so no scrape observes a torn-down manager.
+    sampler: Option<Sampler>,
 }
 
 impl Runtime {
@@ -66,7 +71,19 @@ impl Runtime {
                     .expect("spawn virtual CPU worker")
             })
             .collect();
-        Runtime { mgr, workers }
+        let sampler =
+            (config.metrics.enabled && config.metrics.sample_interval_ms > 0).then(|| {
+                let mgr = Arc::clone(&mgr);
+                Sampler::spawn(
+                    Duration::from_millis(config.metrics.sample_interval_ms),
+                    move || mgr.sample_metrics(),
+                )
+            });
+        Runtime {
+            mgr,
+            workers,
+            sampler,
+        }
     }
 
     /// The runtime configuration.
@@ -156,10 +173,32 @@ impl Runtime {
     pub fn trace_dropped(&self) -> u64 {
         self.mgr.recorder().dropped()
     }
+
+    /// Scrape every telemetry source right now into one aggregated
+    /// snapshot (without appending it to the series).  Meaningful only
+    /// with [`RuntimeConfig::metrics`] enabled — disabled, all registry
+    /// counters read zero and only pull-side extras carry data.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.mgr.scrape_metrics(self.mgr.trace_now_ns())
+    }
+
+    /// The sampler-filled bounded time series collected so far (clone).
+    pub fn metrics_series(&self) -> MetricsSeries {
+        self.mgr.metrics().series()
+    }
+
+    /// A fresh scrape rendered as a Prometheus text exposition.
+    pub fn metrics_prometheus(&self) -> String {
+        prometheus_text(&self.metrics_snapshot(), &[])
+    }
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
+        // Stop sampling first: a scrape must never race worker teardown.
+        if let Some(sampler) = &mut self.sampler {
+            sampler.stop();
+        }
         self.mgr.shutdown_workers();
         for handle in self.workers.drain(..) {
             let _ = handle.join();

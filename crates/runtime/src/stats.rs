@@ -185,13 +185,15 @@ impl ThreadStats {
     }
 
     /// Reclassify all useful work as wasted work (called when the thread
-    /// rolls back).
-    pub fn mark_work_wasted(&mut self) {
+    /// rolls back).  Returns the amount moved, so rollback sites can feed
+    /// the wasted-cycles metric without re-reading the phase map.
+    pub fn mark_work_wasted(&mut self) -> u64 {
         let w = self.get(Phase::Work);
         if w > 0 {
             self.phases.insert(Phase::Work, 0);
             self.add(Phase::WastedWork, w);
         }
+        w
     }
 
     /// Merge another thread's statistics into this one.
@@ -313,6 +315,15 @@ impl RunReport {
     /// Total work discarded by rollbacks on the speculative path.
     pub fn wasted_work(&self) -> u64 {
         self.speculative.get(Phase::WastedWork)
+    }
+
+    /// Rollback amplification: wasted speculative work per unit of work
+    /// that survived to commit (`wasted / max(1, useful)`).  The headline
+    /// wasted-work-attribution gauge of the metrics plane; 0 means no
+    /// speculation was discarded, 1 means every committed cycle paid one
+    /// discarded cycle.
+    pub fn rollback_amplification(&self) -> f64 {
+        self.wasted_work() as f64 / (self.speculative.get(Phase::Work).max(1)) as f64
     }
 
     /// Rolled-back threads whose cause was `reason`.

@@ -332,6 +332,28 @@ pub struct WarpStats {
     pub fossil_collected: u64,
 }
 
+impl WarpStats {
+    /// The stats as labeled metric gauges, for appending to a *final*
+    /// exported metrics snapshot.  They must never enter the sampled
+    /// series: the applied/overtaken/computed split is wall-clock racy,
+    /// and even the deterministic counters vary with `sim_threads`,
+    /// which would break the series' byte-identity guarantee.
+    pub fn metric_gauges(&self) -> Vec<mutls_metrics::LabeledGauge> {
+        let gauge = |counter: &str, value: u64| {
+            mutls_metrics::LabeledGauge::new("warp", "counter", counter, value as f64)
+        };
+        vec![
+            gauge("sim_threads", self.sim_threads as u64),
+            gauge("requests", self.requests),
+            gauge("advances_applied", self.advances_applied),
+            gauge("advances_overtaken", self.advances_overtaken),
+            gauge("advances_computed", self.advances_computed),
+            gauge("shard_rollbacks", self.shard_rollbacks),
+            gauge("fossil_collected", self.fossil_collected),
+        ]
+    }
+}
+
 /// Effects of the segment at `(seg, seg_start)` against the publish-log
 /// prefix below `scanned_to` — the pure function both the shard workers
 /// and the driver's inline fallback evaluate.  With `scanned_to` at the

@@ -38,6 +38,10 @@ use mutls_membuf::{
     region_log2_for_grain, Addr, CommitLogConfig, CommitLogStats, RegionProfile, RollbackReason,
     SpecFailure, WORD_GRAIN_LOG2,
 };
+use mutls_metrics::{
+    phase_share_gauges, CounterId, GaugeId, HistId, LabeledGauge, MetricsConfig, MetricsSeries,
+    MetricsSnapshot, Registry, ScrapeExtras,
+};
 use mutls_runtime::{
     ForkModel, Phase, RecoveryConfig, RecoveryMode, RunReport, ShardPolicy, ThreadStats,
 };
@@ -122,6 +126,12 @@ pub struct SimConfig {
     /// How fibers map onto the Time Warp shard workers (ignored when
     /// `sim_threads <= 1`).
     pub shard_policy: ShardPolicy,
+    /// The live telemetry plane, mirrored deterministically: samples are
+    /// taken off the **virtual clock** every
+    /// [`MetricsConfig::sim_cadence_cycles`] cycles (the wall-clock
+    /// interval is ignored), so the series in [`SimResult::metrics`] is
+    /// byte-identical at every `sim_threads` and shard policy.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for SimConfig {
@@ -156,6 +166,7 @@ impl Default for SimConfig {
             trace: false,
             sim_threads: 1,
             shard_policy: ShardPolicy::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -239,6 +250,15 @@ impl SimConfig {
         self.shard_policy = policy;
         self
     }
+
+    /// Set the metrics-plane configuration (builder style).  The
+    /// simulator samples off the virtual clock
+    /// ([`MetricsConfig::sim_cadence_cycles`]); the wall-clock interval
+    /// is ignored.
+    pub fn metrics(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = metrics;
+        self
+    }
 }
 
 /// Result of one simulation.
@@ -260,6 +280,12 @@ pub struct SimResult {
     /// mode).  Deliberately outside [`SimResult::report`] so the report
     /// serializes byte-identically at every thread count.
     pub warp: WarpStats,
+    /// The deterministic metrics time series (empty unless
+    /// [`SimConfig::metrics`] is enabled): one snapshot per virtual-cycle
+    /// cadence boundary crossed, plus a final snapshot at `ts = runtime`.
+    /// Warp telemetry is deliberately excluded, so the series — like the
+    /// report — is byte-identical at every `sim_threads`.
+    pub metrics: MetricsSeries,
 }
 
 impl SimResult {
@@ -455,6 +481,17 @@ pub struct Scheduler<'a> {
     warp_shard_rollbacks: u64,
     /// Publish-log entries reclaimed by fossil collection.
     fossil_collected: u64,
+    /// Speculative fibers spawned (the replay's fork counter).
+    sim_forks: u64,
+    /// Metrics-plane histogram bank: observed only from the driver
+    /// thread (retire sites), so its contents are deterministic at any
+    /// `sim_threads`.  Disabled (the default) every observe is one
+    /// always-false branch.
+    metrics_registry: Registry,
+    /// The deterministic snapshot series (virtual-clock cadence).
+    metrics_series: MetricsSeries,
+    /// Next virtual-cycle boundary a sample is due at.
+    next_metrics_tick: u64,
 }
 
 impl<'a> Scheduler<'a> {
@@ -495,7 +532,6 @@ impl<'a> Scheduler<'a> {
         ));
         Scheduler {
             recording,
-            config,
             fibers: Vec::new(),
             queue: BinaryHeap::new(),
             queue_seq: 0,
@@ -529,6 +565,11 @@ impl<'a> Scheduler<'a> {
             warp_advances_overtaken: 0,
             warp_shard_rollbacks: 0,
             fossil_collected: 0,
+            sim_forks: 0,
+            metrics_registry: Registry::new(config.metrics, 1),
+            metrics_series: MetricsSeries::new(config.metrics.series_capacity),
+            next_metrics_tick: config.metrics.sim_cadence_cycles.max(1),
+            config,
         }
     }
 
@@ -609,11 +650,121 @@ impl<'a> Scheduler<'a> {
             if self.pop_count.is_multiple_of(FOSSIL_SWEEP_POPS) {
                 self.fossil_collect(time);
             }
+            // Sample off the virtual clock: pop times (and everything a
+            // scrape reads) are identical at every `sim_threads`, so the
+            // series is too.
+            if self.config.metrics.enabled && time >= self.next_metrics_tick {
+                self.sample_metrics(time);
+            }
             if self.fibers[fid].retired {
                 continue;
             }
             self.resume(fid, time);
         }
+    }
+
+    /// Append one snapshot stamped at the largest cadence boundary not
+    /// past `now`, and re-arm the next tick.
+    fn sample_metrics(&mut self, now: u64) {
+        let cadence = self.config.metrics.sim_cadence_cycles.max(1);
+        let ts = now - now % cadence;
+        let snapshot = self.scrape_metrics(ts);
+        self.metrics_series.push(snapshot);
+        self.next_metrics_tick = ts + cadence;
+    }
+
+    /// Aggregate the scheduler's accounting into one [`MetricsSnapshot`]
+    /// at virtual timestamp `ts`, through the same naming/derivation path
+    /// the native registry uses (every counter the scheduler owns is
+    /// supplied as an override).  Time Warp telemetry is deliberately
+    /// excluded — it varies with `sim_threads` and would break the
+    /// series' byte identity.
+    fn scrape_metrics(&self, ts: u64) -> MetricsSnapshot {
+        // Counters carried in fiber stats merge into `spec_stats` only at
+        // retirement; fold the live fibers (the root included — its stats
+        // never merge) in for a current view.  Vec order, deterministic.
+        let mut totals = self.spec_stats.clone();
+        for fiber in &self.fibers {
+            if !fiber.retired {
+                totals.merge(&fiber.stats);
+            }
+        }
+        let counters = &totals.counters;
+        let mut extras = ScrapeExtras {
+            counter_overrides: vec![
+                (CounterId::Forks, self.sim_forks),
+                (CounterId::FailedForks, counters.failed_forks),
+                (CounterId::ThrottledForks, counters.throttled_forks),
+                (CounterId::Commits, self.committed),
+                (CounterId::Rollbacks, self.rolled_back),
+                (CounterId::rollback_reason(0), self.rolled_back_by_reason[0]),
+                (CounterId::rollback_reason(1), self.rolled_back_by_reason[1]),
+                (CounterId::rollback_reason(2), self.rolled_back_by_reason[2]),
+                (CounterId::rollback_reason(3), self.rolled_back_by_reason[3]),
+                (CounterId::Retries, self.retried),
+                (CounterId::TargetedDooms, counters.targeted_dooms),
+                (CounterId::CascadeFallbacks, counters.cascade_fallbacks),
+                (CounterId::PrecisePasses, counters.precise_passes),
+                (CounterId::AdoptedThreads, counters.adopted_threads),
+                (
+                    CounterId::FalseSharingSuspects,
+                    counters.false_sharing_suspects,
+                ),
+                // Wasted/committed cycles count *settled* fibers only
+                // (mirroring the native push sites, which fire at joins).
+                (
+                    CounterId::WastedCycles,
+                    self.spec_stats.get(Phase::WastedWork),
+                ),
+                (CounterId::CommittedCycles, self.spec_stats.get(Phase::Work)),
+            ],
+            extra_counters: vec![
+                ("log_commits".to_string(), self.sim_commits),
+                ("log_stamps".to_string(), self.sim_stamps),
+                ("log_cas_retries".to_string(), self.sim_cas_retries),
+                ("log_ring_overflows".to_string(), self.sim_ring_overflows),
+                ("log_regrains".to_string(), self.sim_regrains),
+                ("log_reader_spills".to_string(), 0),
+            ],
+            gauge_overrides: vec![(
+                GaugeId::InFlightSpeculations,
+                self.active_speculative as f64,
+            )],
+            ..ScrapeExtras::default()
+        };
+        for site in self.governor.snapshot() {
+            let site_label = site.site.to_string();
+            extras.labeled.push(LabeledGauge::new(
+                "site_rollback_rate",
+                "site",
+                site_label.clone(),
+                site.rollback_rate,
+            ));
+            extras.labeled.push(LabeledGauge::new(
+                "site_throttled",
+                "site",
+                site_label,
+                site.throttled as f64,
+            ));
+        }
+        // Grain census over touched regions — BTreeMap, because HashMap
+        // iteration order would leak into the serialized series.
+        let mut census: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for &region in self.region_telemetry.keys() {
+            *census.entry(self.grain_of_region(region)).or_insert(0) += 1;
+        }
+        for (grain_log2, regions) in census {
+            extras.labeled.push(LabeledGauge::new(
+                "grain_regions",
+                "grain_log2",
+                grain_log2.to_string(),
+                regions as f64,
+            ));
+        }
+        extras
+            .labeled
+            .extend(phase_share_gauges(&self.latency.approx_totals()));
+        self.metrics_registry.scrape(ts, extras)
     }
 
     /// Drive the event loop with `workers` Time Warp shard workers
@@ -671,9 +822,18 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Build the [`SimResult`] after the event loop has drained.
-    fn finish(self) -> SimResult {
+    fn finish(mut self) -> SimResult {
+        let runtime = {
+            let root_fiber = &self.fibers[0];
+            root_fiber.finished.unwrap_or(root_fiber.time)
+        };
+        // One final sample at the end of virtual time, so short runs that
+        // never crossed a cadence boundary still export a snapshot.
+        if self.config.metrics.enabled {
+            let snapshot = self.scrape_metrics(runtime);
+            self.metrics_series.push(snapshot);
+        }
         let root_fiber = &self.fibers[0];
-        let runtime = root_fiber.finished.unwrap_or(root_fiber.time);
         // Census of the live per-region grains over touched regions —
         // what the (simulated) grain controller converged to.
         let mut census: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
@@ -729,6 +889,7 @@ impl<'a> Scheduler<'a> {
             tasks: self.recording.task_count(),
             events: self.events,
             warp: warp_stats,
+            metrics: self.metrics_series,
         }
     }
 
@@ -742,6 +903,9 @@ impl<'a> Scheduler<'a> {
         model: ForkModel,
     ) -> usize {
         let fiber = Fiber::new(cpu, speculative, node, start, site, model);
+        if speculative {
+            self.sim_forks += 1;
+        }
         self.fibers.push(fiber);
         self.fibers.len() - 1
     }
@@ -1835,7 +1999,15 @@ impl<'a> Scheduler<'a> {
         }
         self.fibers[cf].retired = true;
         if !committed {
-            self.fibers[cf].stats.mark_work_wasted();
+            let wasted = self.fibers[cf].stats.mark_work_wasted();
+            if self.fibers[cf].speculative {
+                self.metrics_registry
+                    .observe(HistId::RollbackWastedCycles, wasted);
+            }
+        }
+        if self.fibers[cf].speculative {
+            self.metrics_registry
+                .observe(HistId::ThreadCycles, self.fibers[cf].stats.total());
         }
         if self.fibers[cf].speculative {
             let fiber = &self.fibers[cf];

@@ -142,6 +142,21 @@ impl Histogram {
         bucket_floor(BUCKETS - 1)
     }
 
+    /// Approximate sum of all samples: `Σ count × bucket_floor`.  Floors
+    /// are powers of two, so this is a deterministic lower bound within
+    /// 2× — good enough for share-of-total attribution.
+    pub fn approx_total(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(bucket, count)| {
+                count
+                    .load(Ordering::Relaxed)
+                    .saturating_mul(bucket_floor(bucket))
+            })
+            .sum()
+    }
+
     /// Zero every bucket.
     pub fn reset(&self) {
         for bucket in &self.buckets {
@@ -227,6 +242,16 @@ impl LatencyRecorder {
                 })
                 .collect(),
         }
+    }
+
+    /// Per-phase approximate totals (`Σ count × bucket_floor`), in
+    /// [`LatencyPhase::ALL`] order — the metrics plane's phase-attribution
+    /// input.
+    pub fn approx_totals(&self) -> Vec<(&'static str, u64)> {
+        LatencyPhase::ALL
+            .iter()
+            .map(|&phase| (phase.label(), self.histograms[phase.index()].approx_total()))
+            .collect()
     }
 
     /// Zero every histogram.

@@ -24,9 +24,14 @@ use std::sync::Arc;
 
 use mutls_membuf::{GPtr, GlobalMemory};
 use mutls_runtime::{
-    task, DirectContext, RunReport, Runtime, RuntimeConfig, SpecContext, SpecResult, TlsContext,
-    TraceEvent,
+    task, DirectContext, MetricsSeries, MetricsSnapshot, RunReport, Runtime, RuntimeConfig,
+    SpecContext, SpecResult, TlsContext, TraceEvent,
 };
+
+/// A native run's metrics capture: the sampler-filled time series plus
+/// the final end-of-run scrape (both empty-ish unless the runtime config
+/// enabled the metrics plane).
+pub type MetricsCapture = (MetricsSeries, MetricsSnapshot);
 
 /// Fork-site ID of the chain-continuation speculation.
 pub const SITE_CHAIN: u32 = 20;
@@ -483,12 +488,28 @@ fn native_traced_run_of<Cfg: Copy, D: Copy + Send + Sync + 'static>(
     run_spec: fn(&mut SpecContext, D, Cfg) -> SpecResult<()>,
     result: fn(&GlobalMemory, &D, &Cfg) -> u64,
 ) -> (u64, RunReport, (Vec<TraceEvent>, u64)) {
+    let (sum, report, capture, _) =
+        native_observed_run_of(config, runtime_config, setup, run_spec, result);
+    (sum, report, capture)
+}
+
+/// Like [`native_traced_run_of`] but additionally returns the run's
+/// metrics capture (time series + final scrape) — the observability
+/// superset the harness sweeps record into their `--metrics` sink.
+fn native_observed_run_of<Cfg: Copy, D: Copy + Send + Sync + 'static>(
+    config: Cfg,
+    runtime_config: RuntimeConfig,
+    setup: fn(&GlobalMemory, &Cfg) -> D,
+    run_spec: fn(&mut SpecContext, D, Cfg) -> SpecResult<()>,
+    result: fn(&GlobalMemory, &D, &Cfg) -> u64,
+) -> (u64, RunReport, (Vec<TraceEvent>, u64), MetricsCapture) {
     let runtime = Runtime::new(runtime_config.memory_bytes(ARENA_BYTES));
     let memory = runtime.memory();
     let data = setup(&memory, &config);
     let (_, report) = runtime.run(|ctx| run_spec(ctx, data, config));
     let capture = (runtime.drain_trace_events(), runtime.trace_dropped());
-    (result(&memory, &data, &config), report, capture)
+    let metrics = (runtime.metrics_series(), runtime.metrics_snapshot());
+    (result(&memory, &data, &config), report, capture, metrics)
 }
 
 /// Sequential reference checksum of `conflict_chain` for `config`.
@@ -522,6 +543,22 @@ pub fn chain_native_traced(
     runtime_config: RuntimeConfig,
 ) -> (u64, RunReport, (Vec<TraceEvent>, u64)) {
     native_traced_run_of(
+        config,
+        runtime_config,
+        chain_setup,
+        chain_run::<SpecContext>,
+        chain_result,
+    )
+}
+
+/// Like [`chain_native_traced`] but also returns the run's metrics
+/// capture (empty series / zeroed counters unless the config enabled the
+/// metrics plane).
+pub fn chain_native_observed(
+    config: ChainConfig,
+    runtime_config: RuntimeConfig,
+) -> (u64, RunReport, (Vec<TraceEvent>, u64), MetricsCapture) {
+    native_observed_run_of(
         config,
         runtime_config,
         chain_setup,
@@ -565,6 +602,21 @@ pub fn hist_native_traced(
     runtime_config: RuntimeConfig,
 ) -> (u64, RunReport, (Vec<TraceEvent>, u64)) {
     native_traced_run_of(
+        config,
+        runtime_config,
+        hist_setup,
+        hist_run::<SpecContext>,
+        hist_result,
+    )
+}
+
+/// Like [`hist_native_traced`] but also returns the run's metrics
+/// capture.
+pub fn hist_native_observed(
+    config: HistConfig,
+    runtime_config: RuntimeConfig,
+) -> (u64, RunReport, (Vec<TraceEvent>, u64), MetricsCapture) {
+    native_observed_run_of(
         config,
         runtime_config,
         hist_setup,

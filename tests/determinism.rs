@@ -75,6 +75,7 @@ fn parallel_sweep_fan_out_is_byte_identical_across_runs() {
         seed: 42,
         sim_threads: 1,
         trace: None,
+        metrics: None,
     };
     let first = to_json(&speedup_sweep(&kinds, &config));
     let second = to_json(&speedup_sweep(&kinds, &config));
